@@ -1,0 +1,14 @@
+//! `cargo bench --bench figures` regenerates every table and figure of
+//! the paper's evaluation (the per-figure binaries in `src/bin/` print
+//! them individually).
+
+fn main() {
+    // Keep the zero-error campaign CI-sized here; the sec52_validation
+    // binary accepts a larger budget for paper-scale runs.
+    for table in fc_bench::all_figures(2_000_000) {
+        table.print();
+    }
+    for table in fc_bench::all_ablations() {
+        table.print();
+    }
+}

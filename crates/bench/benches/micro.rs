@@ -1,0 +1,147 @@
+//! Criterion microbenchmarks for the core data structures and the
+//! simulator hot paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fc_bits::BitVec;
+use fc_nand::chip::NandChip;
+use fc_nand::command::{Command, IscmFlags, MwsTarget};
+use fc_nand::config::ChipConfig;
+use fc_nand::geometry::{BlockAddr, ChipGeometry};
+use fc_nand::randomizer::Randomizer;
+use fc_ssd::ecc::{EccConfig, PageCodec};
+use fc_ssd::pipeline::{HostWork, PipelineModel};
+use fc_ssd::SsdConfig;
+use flash_cosmos::expr::Expr;
+use flash_cosmos::planner::{self, PlacementMap, PlannerCaps};
+use flash_cosmos::timeline::{Approach, Fig7Scenario};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bitvec_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitvec");
+    let bits = 16 * 1024 * 8; // one 16 KiB page
+    group.throughput(Throughput::Bytes((bits / 8) as u64));
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = BitVec::random(bits, &mut rng);
+    let b = BitVec::random(bits, &mut rng);
+    group.bench_function("and_16kib_page", |bench| {
+        let mut acc = a.clone();
+        bench.iter(|| acc.and_assign(std::hint::black_box(&b)));
+    });
+    group.bench_function("popcount_16kib_page", |bench| {
+        bench.iter(|| std::hint::black_box(&a).count_ones());
+    });
+    group.bench_function("hamming_16kib_page", |bench| {
+        bench.iter(|| std::hint::black_box(&a).hamming_distance(&b));
+    });
+    group.finish();
+}
+
+fn chip_geometry() -> ChipGeometry {
+    ChipGeometry {
+        planes: 1,
+        blocks_per_plane: 8,
+        wls_per_block: 48,
+        page_bytes: 16 * 1024,
+        subblocks_per_physical_block: 4,
+    }
+}
+
+fn mws_sensing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chip");
+    group.sample_size(20);
+    let mut cfg = ChipConfig::tiny_test();
+    cfg.geometry = chip_geometry();
+    let mut chip = NandChip::new(cfg);
+    let blk = BlockAddr::new(0, 0);
+    let mut rng = StdRng::seed_from_u64(2);
+    for wl in 0..48 {
+        let page = BitVec::random(16 * 1024 * 8, &mut rng);
+        chip.execute(Command::esp_program(blk.wordline(wl), page)).unwrap();
+    }
+    for n in [2u32, 16, 48] {
+        group.bench_with_input(BenchmarkId::new("mws_48layer_16kib", n), &n, |bench, &n| {
+            let wls: Vec<u32> = (0..n).collect();
+            bench.iter(|| {
+                chip.execute(Command::Mws {
+                    flags: IscmFlags::single_read(),
+                    targets: vec![MwsTarget::new(blk, &wls)],
+                })
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn planner_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner");
+    for operands in [8usize, 48, 192] {
+        let mut map = PlacementMap::new();
+        for i in 0..operands {
+            map.insert(i, fc_nand::geometry::WlAddr::new(0, (i / 48) as u32, (i % 48) as u32), false);
+        }
+        let expr = Expr::and_vars(0..operands);
+        let nnf = expr.to_nnf();
+        group.bench_with_input(BenchmarkId::new("compile_and", operands), &operands, |bench, _| {
+            bench.iter(|| planner::compile(&nnf, &map, PlannerCaps::default()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn ecc_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bch");
+    group.sample_size(20);
+    let codec = PageCodec::new(EccConfig::production());
+    let k = codec.code().k();
+    let mut rng = StdRng::seed_from_u64(3);
+    let payload = BitVec::random(k, &mut rng);
+    let cw = codec.code().encode(&payload);
+    let mut corrupted = cw.clone();
+    corrupted.flip_random_bits(8, &mut rng);
+    group.bench_function("encode_1023_1015ish", |bench| {
+        bench.iter(|| codec.code().encode(std::hint::black_box(&payload)));
+    });
+    group.bench_function("decode_8_errors", |bench| {
+        bench.iter(|| codec.code().decode(std::hint::black_box(&corrupted)));
+    });
+    group.finish();
+}
+
+fn randomizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("randomizer");
+    let bits = 16 * 1024 * 8;
+    group.throughput(Throughput::Bytes((bits / 8) as u64));
+    let r = Randomizer::new(7);
+    let mut rng = StdRng::seed_from_u64(4);
+    let page = BitVec::random(bits, &mut rng);
+    let addr = fc_nand::geometry::WlAddr::new(0, 0, 0);
+    group.bench_function("scramble_16kib_page", |bench| {
+        bench.iter(|| r.randomize(addr, std::hint::black_box(&page)));
+    });
+    group.finish();
+}
+
+fn pipeline_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+    let scenario = Fig7Scenario::default();
+    group.bench_function("fig7_osp_64dies", |bench| {
+        let model = PipelineModel::new(SsdConfig::fig7_example());
+        let jobs = scenario.jobs(Approach::Osp);
+        bench.iter(|| model.run(std::hint::black_box(&jobs), HostWork::default()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bitvec_ops,
+    mws_sensing,
+    planner_compile,
+    ecc_codec,
+    randomizer,
+    pipeline_sim
+);
+criterion_main!(benches);

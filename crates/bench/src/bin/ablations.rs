@@ -1,0 +1,6 @@
+//! Runs every ablation study (DESIGN.md §5).
+fn main() {
+    for t in fc_bench::all_ablations() {
+        t.print();
+    }
+}

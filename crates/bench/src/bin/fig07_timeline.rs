@@ -1,0 +1,6 @@
+//! Regenerates Fig. 7 (OSP/ISP/IFP channel timelines).
+fn main() {
+    for t in fc_bench::fig07_timeline() {
+        t.print();
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 8 (RBER vs retention × PEC, SLC/MLC × randomization).
+fn main() {
+    for t in fc_bench::fig08_rber() {
+        t.print();
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 11 (RBER vs tESP).
+fn main() {
+    fc_bench::fig11_esp().print();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 12 (intra-block MWS latency).
+fn main() {
+    fc_bench::fig12_intra_mws().print();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 13 (inter-block MWS latency).
+fn main() {
+    fc_bench::fig13_inter_mws().print();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 14 (MWS power).
+fn main() {
+    fc_bench::fig14_power().print();
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 17 (speedups over OSP for BMI/IMS/KCS sweeps).
+fn main() {
+    for t in fc_bench::fig17_speedup() {
+        t.print();
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 18 (energy efficiency over OSP).
+fn main() {
+    for t in fc_bench::fig18_energy() {
+        t.print();
+    }
+}

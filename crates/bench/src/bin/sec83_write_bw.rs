@@ -1,0 +1,4 @@
+//! Regenerates the §8.3 sequential-write-bandwidth comparison.
+fn main() {
+    fc_bench::sec83_write_bw().print();
+}

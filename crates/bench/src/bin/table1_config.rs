@@ -1,0 +1,4 @@
+//! Prints Table 1 (evaluated system configurations).
+fn main() {
+    fc_bench::table1_config().print();
+}

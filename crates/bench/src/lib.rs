@@ -1,0 +1,16 @@
+//! # fc-bench — harnesses that regenerate every table and figure of the
+//! Flash-Cosmos evaluation
+//!
+//! Each `fig*`/`table*`/`sec*` function reproduces one artifact of the
+//! paper and returns a printable [`table::Table`] annotated with the
+//! paper's reported values where the paper states them. The `figures`
+//! bench target (`cargo bench --bench figures`) prints all of them; the
+//! `src/bin/` binaries print them individually.
+
+pub mod ablations;
+pub mod figures;
+pub mod table;
+
+pub use ablations::all_ablations;
+pub use figures::*;
+pub use table::Table;

@@ -1,0 +1,623 @@
+//! Word-packed bit vector with bulk bitwise operations.
+
+use std::fmt;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{words_for, WORD_BITS};
+
+/// A fixed-length bit vector packed into `u64` words.
+///
+/// `BitVec` is the common data representation of the whole reproduction:
+/// a NAND page, a latch bank's contents, and a workload operand are all bit
+/// vectors. All bulk operations (`and`, `or`, `xor`, `not`, `count_ones`)
+/// run word-at-a-time.
+///
+/// Bits beyond `len` inside the last word are kept at zero as an internal
+/// invariant, so `count_ones` and word-level comparisons never see garbage.
+///
+/// ```
+/// use fc_bits::BitVec;
+///
+/// let mut v = BitVec::zeros(10);
+/// v.set(3, true);
+/// assert!(v.get(3));
+/// assert_eq!(v.count_ones(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates a bit vector of `len` zero bits.
+    pub fn zeros(len: usize) -> Self {
+        Self { words: vec![0u64; words_for(len)], len }
+    }
+
+    /// Creates a bit vector of `len` one bits.
+    pub fn ones(len: usize) -> Self {
+        let mut v = Self { words: vec![u64::MAX; words_for(len)], len };
+        v.mask_tail();
+        v
+    }
+
+    /// Creates a bit vector of `len` bits, where bit `i` is `f(i)`.
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut v = Self::zeros(len);
+        for i in 0..len {
+            if f(i) {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Creates a bit vector from a slice of booleans.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        Self::from_fn(bits.len(), |i| bits[i])
+    }
+
+    /// Creates a bit vector of `len` bits copied from `bytes`
+    /// (little-endian bit order within each byte).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` holds fewer than `len` bits.
+    pub fn from_bytes(bytes: &[u8], len: usize) -> Self {
+        assert!(bytes.len() * 8 >= len, "byte slice too short for {len} bits");
+        let mut v = Self::zeros(len);
+        for (w, chunk) in v.words.iter_mut().zip(bytes.chunks(8)) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            *w = u64::from_le_bytes(buf);
+        }
+        v.mask_tail();
+        v
+    }
+
+    /// Creates a bit vector whose words come directly from `words`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` does not have exactly `words_for(len)` entries.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(words.len(), words_for(len), "word count must match len");
+        let mut v = Self { words, len };
+        v.mask_tail();
+        v
+    }
+
+    /// Creates a uniformly random bit vector of `len` bits.
+    pub fn random<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Self {
+        let mut v = Self { words: (0..words_for(len)).map(|_| rng.gen()).collect(), len };
+        v.mask_tail();
+        v
+    }
+
+    /// Creates a random bit vector where each bit is one with probability
+    /// `density`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `density` is not within `0.0..=1.0`.
+    pub fn random_with_density<R: Rng + ?Sized>(len: usize, density: f64, rng: &mut R) -> Self {
+        assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
+        Self::from_fn(len, |_| rng.gen_bool(density))
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector holds zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The backing words (tail bits beyond `len` are zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Returns bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        let mask = 1u64 << (i % WORD_BITS);
+        if value {
+            self.words[i / WORD_BITS] |= mask;
+        } else {
+            self.words[i / WORD_BITS] &= !mask;
+        }
+    }
+
+    /// Flips bit `i`, returning its new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn flip(&mut self, i: usize) -> bool {
+        let v = !self.get(i);
+        self.set(i, v);
+        v
+    }
+
+    /// Number of one bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of zero bits.
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.count_ones()
+    }
+
+    /// Whether every bit is zero.
+    pub fn is_all_zeros(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Whether every bit is one.
+    pub fn is_all_ones(&self) -> bool {
+        self.count_ones() == self.len
+    }
+
+    /// Number of positions where `self` and `other` differ (Hamming
+    /// distance). This is how the characterization harness counts raw bit
+    /// errors between programmed and sensed data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn hamming_distance(&self, other: &Self) -> usize {
+        self.assert_same_len(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// In-place bitwise AND with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn and_assign(&mut self, other: &Self) {
+        self.assert_same_len(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place bitwise OR with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn or_assign(&mut self, other: &Self) {
+        self.assert_same_len(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place bitwise XOR with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn xor_assign(&mut self, other: &Self) {
+        self.assert_same_len(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// In-place bitwise NOT.
+    pub fn not_assign(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// Returns `self AND other`.
+    pub fn and(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        out.and_assign(other);
+        out
+    }
+
+    /// Returns `self OR other`.
+    pub fn or(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        out.or_assign(other);
+        out
+    }
+
+    /// Returns `self XOR other`.
+    pub fn xor(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        out.xor_assign(other);
+        out
+    }
+
+    /// Returns `NOT self`.
+    pub fn not(&self) -> Self {
+        let mut out = self.clone();
+        out.not_assign();
+        out
+    }
+
+    /// Fills every bit with `value`.
+    pub fn fill(&mut self, value: bool) {
+        let w = if value { u64::MAX } else { 0 };
+        self.words.fill(w);
+        self.mask_tail();
+    }
+
+    /// Returns a copy of bits `start..start + len` as a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, start: usize, len: usize) -> Self {
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= self.len),
+            "slice {start}+{len} out of range (len {})",
+            self.len
+        );
+        // Word-aligned fast path covers the common page-extraction case.
+        if start % WORD_BITS == 0 {
+            let first = start / WORD_BITS;
+            let words = self.words[first..first + words_for(len)].to_vec();
+            let mut v = Self { words, len };
+            v.mask_tail();
+            return v;
+        }
+        Self::from_fn(len, |i| self.get(start + i))
+    }
+
+    /// Overwrites bits `start..start + src.len()` with `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn copy_from(&mut self, start: usize, src: &Self) {
+        assert!(
+            start.checked_add(src.len).is_some_and(|end| end <= self.len),
+            "copy {start}+{} out of range (len {})",
+            src.len,
+            self.len
+        );
+        if start % WORD_BITS == 0 && src.len % WORD_BITS == 0 {
+            let first = start / WORD_BITS;
+            self.words[first..first + src.words.len()].copy_from_slice(&src.words);
+            return;
+        }
+        for i in 0..src.len {
+            self.set(start + i, src.get(i));
+        }
+    }
+
+    /// Iterator over bits as booleans.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Iterator over the indices of one bits.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let base = wi * WORD_BITS;
+            let len = self.len;
+            BitIter { word: w }.map(move |b| base + b).filter(move |&i| i < len)
+        })
+    }
+
+    /// Serializes to little-endian bytes (ceil(len/8) of them).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let nbytes = self.len.div_ceil(8);
+        let mut out = Vec::with_capacity(nbytes);
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.truncate(nbytes);
+        out
+    }
+
+    /// Flips `count` distinct randomly-chosen bits. Used by the error
+    /// injection machinery to apply a sampled raw-bit-error count to a page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > len`.
+    pub fn flip_random_bits<R: Rng + ?Sized>(&mut self, count: usize, rng: &mut R) {
+        assert!(count <= self.len, "cannot flip {count} bits of {}", self.len);
+        if count == 0 {
+            return;
+        }
+        // For small counts relative to length, rejection sampling is fast
+        // and allocation-free in the common case.
+        if count * 4 <= self.len {
+            let mut flipped = std::collections::HashSet::with_capacity(count);
+            while flipped.len() < count {
+                let i = rng.gen_range(0..self.len);
+                if flipped.insert(i) {
+                    self.flip(i);
+                }
+            }
+        } else {
+            // Dense case: partial Fisher-Yates over all indices.
+            let mut idx: Vec<usize> = (0..self.len).collect();
+            for k in 0..count {
+                let j = rng.gen_range(k..idx.len());
+                idx.swap(k, j);
+                self.flip(idx[k]);
+            }
+        }
+    }
+
+    fn assert_same_len(&self, other: &Self) {
+        assert_eq!(self.len, other.len, "bit vector length mismatch");
+    }
+
+    /// Zeroes bits beyond `len` in the last word (maintains the invariant).
+    fn mask_tail(&mut self) {
+        let rem = self.len % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec(len={}, ones={}", self.len, self.count_ones())?;
+        if self.len <= 64 {
+            write!(f, ", bits=")?;
+            for i in 0..self.len {
+                write!(f, "{}", u8::from(self.get(i)))?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len.min(256) {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        if self.len > 256 {
+            write!(f, "… ({} bits)", self.len)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let bools: Vec<bool> = iter.into_iter().collect();
+        Self::from_bools(&bools)
+    }
+}
+
+/// Iterator over set-bit positions inside one word.
+struct BitIter {
+    word: u64,
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            return None;
+        }
+        let b = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some(b)
+    }
+}
+
+/// Borrowed view of a bit vector's words, used by zero-copy consumers such
+/// as the popcount pipelines in the host model.
+#[derive(Debug, Clone, Copy)]
+pub struct Words<'a> {
+    words: &'a [u64],
+    len: usize,
+}
+
+impl<'a> Words<'a> {
+    /// Number of valid bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view holds zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The underlying words.
+    pub fn words(&self) -> &'a [u64] {
+        self.words
+    }
+}
+
+impl<'a> From<&'a BitVec> for Words<'a> {
+    fn from(v: &'a BitVec) -> Self {
+        Words { words: &v.words, len: v.len }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = BitVec::zeros(100);
+        assert_eq!(z.len(), 100);
+        assert_eq!(z.count_ones(), 0);
+        assert!(z.is_all_zeros());
+        let o = BitVec::ones(100);
+        assert_eq!(o.count_ones(), 100);
+        assert!(o.is_all_ones());
+    }
+
+    #[test]
+    fn tail_masking_invariant() {
+        let o = BitVec::ones(65);
+        assert_eq!(o.words()[1], 1);
+        let mut n = BitVec::zeros(65);
+        n.not_assign();
+        assert_eq!(n.count_ones(), 65);
+    }
+
+    #[test]
+    fn get_set_flip() {
+        let mut v = BitVec::zeros(130);
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert!(v.get(0) && v.get(64) && v.get(129));
+        assert!(!v.get(1));
+        assert_eq!(v.count_ones(), 3);
+        assert!(!v.flip(0));
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitVec::zeros(10).get(10);
+    }
+
+    #[test]
+    fn bulk_ops_match_bitwise_definition() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = BitVec::random(333, &mut rng);
+        let b = BitVec::random(333, &mut rng);
+        for i in 0..333 {
+            assert_eq!(a.and(&b).get(i), a.get(i) & b.get(i));
+            assert_eq!(a.or(&b).get(i), a.get(i) | b.get(i));
+            assert_eq!(a.xor(&b).get(i), a.get(i) ^ b.get(i));
+            assert_eq!(a.not().get(i), !a.get(i));
+        }
+    }
+
+    #[test]
+    fn demorgan_holds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = BitVec::random(512, &mut rng);
+        let b = BitVec::random(512, &mut rng);
+        // NOT (a AND b) == (NOT a) OR (NOT b)
+        assert_eq!(a.and(&b).not(), a.not().or(&b.not()));
+        // NOT (a OR b) == (NOT a) AND (NOT b)
+        assert_eq!(a.or(&b).not(), a.not().and(&b.not()));
+    }
+
+    #[test]
+    fn hamming_distance_counts_flips() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = BitVec::random(1000, &mut rng);
+        let mut b = a.clone();
+        b.flip_random_bits(37, &mut rng);
+        assert_eq!(a.hamming_distance(&b), 37);
+    }
+
+    #[test]
+    fn flip_random_bits_dense() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v = BitVec::zeros(64);
+        v.flip_random_bits(64, &mut rng);
+        assert!(v.is_all_ones());
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let v = BitVec::random(777, &mut rng);
+        let bytes = v.to_bytes();
+        assert_eq!(bytes.len(), 98);
+        let w = BitVec::from_bytes(&bytes, 777);
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn slice_and_copy_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let v = BitVec::random(500, &mut rng);
+        let s = v.slice(64, 128); // word-aligned path
+        let t = v.slice(65, 100); // unaligned path
+        for i in 0..128 {
+            assert_eq!(s.get(i), v.get(64 + i));
+        }
+        for i in 0..100 {
+            assert_eq!(t.get(i), v.get(65 + i));
+        }
+        let mut w = BitVec::zeros(500);
+        w.copy_from(64, &s);
+        assert_eq!(w.slice(64, 128), s);
+    }
+
+    #[test]
+    fn iter_ones_matches_get() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let v = BitVec::random_with_density(300, 0.1, &mut rng);
+        let ones: Vec<usize> = v.iter_ones().collect();
+        assert_eq!(ones.len(), v.count_ones());
+        assert!(ones.iter().all(|&i| v.get(i)));
+        assert!(ones.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let v: BitVec = (0..10).map(|i| i % 2 == 0).collect();
+        assert_eq!(v.len(), 10);
+        assert_eq!(v.count_ones(), 5);
+    }
+
+    #[test]
+    fn density_is_respected() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let v = BitVec::random_with_density(100_000, 0.25, &mut rng);
+        let density = v.count_ones() as f64 / v.len() as f64;
+        assert!((density - 0.25).abs() < 0.01, "density {density}");
+    }
+
+    #[test]
+    fn empty_vector_is_well_behaved() {
+        let v = BitVec::zeros(0);
+        assert!(v.is_empty());
+        assert_eq!(v.count_ones(), 0);
+        assert!(v.is_all_zeros());
+        assert!(v.is_all_ones()); // vacuously true
+        assert_eq!(v.to_bytes().len(), 0);
+    }
+}

@@ -1,0 +1,188 @@
+//! NAND data patterns used in the paper's real-device characterization.
+//!
+//! Section 5.1: *"Unless specified otherwise, we program each page using the
+//! checkered data pattern, the worst-case data pattern for NAND flash
+//! reliability where any two adjacent cells (both horizontally and
+//! vertically) are programmed either to the highest V_TH state or to the
+//! lowest V_TH state."*
+//!
+//! Section 5.2 additionally uses a *maximum string resistance* pattern for
+//! stress-testing MWS: at most one `1` cell per NAND string, and only on an
+//! MWS target wordline.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::BitVec;
+
+/// A named data pattern to program into a wordline.
+///
+/// Patterns are functions of the (wordline, column) position so that the
+/// "checkered" pattern alternates both horizontally (across bitlines) and
+/// vertically (across wordlines), exactly as in §5.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataPattern {
+    /// Worst-case checkerboard: cell (wl, col) stores `(wl + col) % 2`.
+    Checkered,
+    /// All cells erased (`1` in SLC encoding — erased cells read as one).
+    AllOnes,
+    /// All cells programmed (`0` in SLC encoding).
+    AllZeros,
+    /// Vertical stripes of the given width in bits.
+    Stripes(u32),
+    /// Uniformly random data with the given seed mixed with the wordline
+    /// index, so each wordline gets distinct but reproducible data.
+    Random(u64),
+}
+
+impl DataPattern {
+    /// Renders the pattern for wordline `wl` into a page of `bits` bits.
+    pub fn render(self, wl: usize, bits: usize) -> BitVec {
+        match self {
+            DataPattern::Checkered => checkered(wl, bits),
+            DataPattern::AllOnes => solid(true, bits),
+            DataPattern::AllZeros => solid(false, bits),
+            DataPattern::Stripes(width) => striped(width as usize, bits),
+            DataPattern::Random(seed) => {
+                use rand::rngs::StdRng;
+                use rand::SeedableRng;
+                let mut rng = StdRng::seed_from_u64(seed ^ (wl as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                BitVec::random(bits, &mut rng)
+            }
+        }
+    }
+}
+
+/// The checkerboard pattern for wordline `wl`: bit `i` is `(wl + i) % 2 == 0`.
+///
+/// Adjacent cells along the wordline differ, and the same column on the
+/// next wordline differs too — the 2-D worst case of §5.1.
+pub fn checkered(wl: usize, bits: usize) -> BitVec {
+    BitVec::from_fn(bits, |i| (wl + i) % 2 == 0)
+}
+
+/// A solid page of all-`value` bits.
+pub fn solid(value: bool, bits: usize) -> BitVec {
+    if value {
+        BitVec::ones(bits)
+    } else {
+        BitVec::zeros(bits)
+    }
+}
+
+/// Vertical stripes: `width` ones followed by `width` zeros, repeating.
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+pub fn striped(width: usize, bits: usize) -> BitVec {
+    assert!(width > 0, "stripe width must be positive");
+    BitVec::from_fn(bits, |i| (i / width) % 2 == 0)
+}
+
+/// Generates the §5.2 *maximum string resistance* pattern for a whole block:
+/// one page per wordline, such that every NAND string (bitline column) has at
+/// most one `1` cell, and if it has one, it lies on an MWS target wordline.
+///
+/// Returns `wordlines` pages of `bits` bits each.
+///
+/// # Panics
+///
+/// Panics if `targets` contains an index `>= wordlines`.
+pub fn max_string_resistance<R: Rng + ?Sized>(
+    wordlines: usize,
+    bits: usize,
+    targets: &[usize],
+    rng: &mut R,
+) -> Vec<BitVec> {
+    for &t in targets {
+        assert!(t < wordlines, "target wordline {t} out of range ({wordlines})");
+    }
+    let mut pages = vec![BitVec::zeros(bits); wordlines];
+    if targets.is_empty() {
+        return pages;
+    }
+    for col in 0..bits {
+        // Each column independently either stays all-programmed (`0`s,
+        // maximum resistance) or gets exactly one erased cell on a random
+        // target wordline.
+        if rng.gen_bool(0.5) {
+            let t = targets[rng.gen_range(0..targets.len())];
+            pages[t].set(col, true);
+        }
+    }
+    pages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn checkered_alternates_in_both_dimensions() {
+        let wl0 = checkered(0, 16);
+        let wl1 = checkered(1, 16);
+        for i in 0..15 {
+            assert_ne!(wl0.get(i), wl0.get(i + 1), "horizontal alternation");
+        }
+        for i in 0..16 {
+            assert_ne!(wl0.get(i), wl1.get(i), "vertical alternation");
+        }
+    }
+
+    #[test]
+    fn solid_patterns() {
+        assert!(solid(true, 64).is_all_ones());
+        assert!(solid(false, 64).is_all_zeros());
+    }
+
+    #[test]
+    fn stripes_have_requested_width() {
+        let v = striped(4, 16);
+        let expected = [true, true, true, true, false, false, false, false];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(v.get(i), e);
+            assert_eq!(v.get(i + 8), e);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stripe width")]
+    fn zero_stripe_width_panics() {
+        striped(0, 8);
+    }
+
+    #[test]
+    fn render_random_is_reproducible_and_distinct_per_wl() {
+        let p = DataPattern::Random(42);
+        assert_eq!(p.render(3, 256), p.render(3, 256));
+        assert_ne!(p.render(3, 256), p.render(4, 256));
+    }
+
+    #[test]
+    fn max_string_resistance_has_at_most_one_erased_cell_per_string() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let targets = [2, 5, 7];
+        let pages = max_string_resistance(8, 512, &targets, &mut rng);
+        for col in 0..512 {
+            let ones: Vec<usize> =
+                (0..8).filter(|&wl| pages[wl].get(col)).collect();
+            assert!(ones.len() <= 1, "column {col} has {} erased cells", ones.len());
+            if let Some(&wl) = ones.first() {
+                assert!(targets.contains(&wl), "erased cell on non-target wl {wl}");
+            }
+        }
+        // Roughly half the columns should carry an erased cell.
+        let total: usize = pages.iter().map(|p| p.count_ones()).sum();
+        assert!(total > 150 && total < 360, "total erased cells {total}");
+    }
+
+    #[test]
+    fn max_string_resistance_empty_targets() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pages = max_string_resistance(4, 64, &[], &mut rng);
+        assert!(pages.iter().all(|p| p.is_all_zeros()));
+    }
+}

@@ -1,0 +1,604 @@
+//! The end-to-end Flash-Cosmos device: the `fc_write` / `fc_read` library
+//! interface of §6.3 on top of the functional SSD.
+//!
+//! * [`FlashCosmosDevice::fc_write`] stores an operand vector for in-flash
+//!   computation: striped across planes, co-located with its *placement
+//!   group* (operands that will be combined by intra-block MWS), optionally
+//!   inverted (§6.1), always ESP-programmed without randomization or ECC.
+//! * [`FlashCosmosDevice::fc_read`] takes a bitwise [`Expr`] over stored
+//!   operands, compiles one MWS program per plane-stripe, executes it on
+//!   the owning chips, and assembles the result vector.
+//! * [`FlashCosmosDevice::parabit_read`] runs the same expression through
+//!   the ParaBit baseline compiler for comparison.
+
+use std::collections::HashMap;
+
+use fc_bits::BitVec;
+use fc_nand::command::Command;
+use fc_ssd::device::{DeviceError, SsdDevice, WriteOptions};
+use fc_ssd::SsdConfig;
+
+use crate::expr::{Expr, OperandId};
+use crate::parabit;
+use crate::planner::{self, PlacementMap, PlanError, PlannerCaps};
+
+/// Handle to a stored operand vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OperandHandle {
+    /// The operand id to use in expressions.
+    pub id: OperandId,
+}
+
+/// How to store an operand (the application-level choices of §6.3).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StoreHints {
+    /// Placement group: operands sharing a group land in the same blocks,
+    /// stripe by stripe, so intra-block MWS can combine them.
+    pub group: String,
+    /// Store the inverse of the data (turns OR over the group into a
+    /// single intra-block inverse MWS, §6.1).
+    pub inverted: bool,
+}
+
+impl StoreHints {
+    /// Operands that will be AND-ed together.
+    pub fn and_group(name: &str) -> Self {
+        Self { group: name.to_string(), inverted: false }
+    }
+
+    /// Operands that will be OR-ed together (stored inverted, §6.1).
+    pub fn or_group(name: &str) -> Self {
+        Self { group: name.to_string(), inverted: true }
+    }
+}
+
+/// Errors from the device API.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FcError {
+    /// Propagated SSD/chip error.
+    Device(DeviceError),
+    /// Planner failure (often fixable by different store hints).
+    Plan(PlanError),
+    /// Operands referenced by the expression have different sizes.
+    SizeMismatch,
+    /// The expression references an unknown operand id.
+    UnknownOperand(OperandId),
+    /// An operand name was written twice.
+    DuplicateName(String),
+}
+
+impl std::fmt::Display for FcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FcError::Device(e) => write!(f, "device: {e}"),
+            FcError::Plan(e) => write!(f, "planner: {e}"),
+            FcError::SizeMismatch => write!(f, "operand vectors have different lengths"),
+            FcError::UnknownOperand(id) => write!(f, "unknown operand v{id}"),
+            FcError::DuplicateName(n) => write!(f, "operand name {n:?} already stored"),
+        }
+    }
+}
+
+impl std::error::Error for FcError {}
+
+impl From<DeviceError> for FcError {
+    fn from(e: DeviceError) -> Self {
+        FcError::Device(e)
+    }
+}
+
+impl From<PlanError> for FcError {
+    fn from(e: PlanError) -> Self {
+        FcError::Plan(e)
+    }
+}
+
+/// Execution statistics of one `fc_read` (per the §8 cost metrics).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ReadStats {
+    /// Total sensing operations across all plane-stripes.
+    pub senses: u64,
+    /// Sum of chip op latencies across stripes, µs (stripes execute on
+    /// different planes in parallel; this is the serial-equivalent cost).
+    pub chip_time_us: f64,
+    /// Critical path: the largest per-stripe latency, µs.
+    pub critical_path_us: f64,
+    /// NAND energy, µJ.
+    pub energy_uj: f64,
+}
+
+#[derive(Debug, Clone)]
+struct OperandRecord {
+    bits: usize,
+    lpns: Vec<u64>,
+    group_index: u64,
+}
+
+/// The Flash-Cosmos-enabled SSD.
+pub struct FlashCosmosDevice {
+    ssd: SsdDevice,
+    operands: Vec<OperandRecord>,
+    names: HashMap<String, OperandId>,
+    groups: HashMap<String, u64>,
+    group_fill: HashMap<(u64, u64), u64>,
+    next_lpn: u64,
+}
+
+impl std::fmt::Debug for FlashCosmosDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlashCosmosDevice")
+            .field("operands", &self.operands.len())
+            .field("config", self.ssd.config())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FlashCosmosDevice {
+    /// Creates a device over a fresh functional SSD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plane count is not a power of two (the placement
+    /// group encoding relies on it).
+    pub fn new(config: SsdConfig) -> Self {
+        Self::over(SsdDevice::new(config))
+    }
+
+    /// Creates a device with error injection enabled (reliability
+    /// studies; ESP-stored operands still read back error-free).
+    pub fn new_noisy(config: SsdConfig) -> Self {
+        Self::over(SsdDevice::new_noisy(config))
+    }
+
+    fn over(ssd: SsdDevice) -> Self {
+        assert!(
+            ssd.config().total_planes().is_power_of_two(),
+            "plane count must be a power of two"
+        );
+        Self {
+            ssd,
+            operands: Vec::new(),
+            names: HashMap::new(),
+            groups: HashMap::new(),
+            group_fill: HashMap::new(),
+            next_lpn: 0,
+        }
+    }
+
+    /// The underlying SSD (inspection / fault injection in tests).
+    pub fn ssd_mut(&mut self) -> &mut SsdDevice {
+        &mut self.ssd
+    }
+
+    /// The SSD configuration.
+    pub fn config(&self) -> &SsdConfig {
+        self.ssd.config()
+    }
+
+    /// Looks up an operand written earlier by name.
+    pub fn operand(&self, name: &str) -> Option<OperandHandle> {
+        self.names.get(name).map(|&id| OperandHandle { id })
+    }
+
+    /// Stores an operand vector for in-flash computation.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate names or SSD allocation/programming errors.
+    pub fn fc_write(
+        &mut self,
+        name: &str,
+        data: &BitVec,
+        hints: StoreHints,
+    ) -> Result<OperandHandle, FcError> {
+        if self.names.contains_key(name) {
+            return Err(FcError::DuplicateName(name.to_string()));
+        }
+        let next_index = self.groups.len() as u64;
+        let group_index = *self.groups.entry(hints.group.clone()).or_insert(next_index);
+        let page_bits = self.ssd.config().page_bits();
+        let pages = data.len().div_ceil(page_bits).max(1);
+        let mut lpns = Vec::with_capacity(pages);
+        for slot in 0..pages as u64 {
+            // One FTL group per (named group, stripe slot, overflow id):
+            // the low bits keep the plane rotating with the slot, the
+            // overflow id moves to a fresh block once a block's wordlines
+            // are exhausted (>48 operands per group).
+            let fill = self.group_fill.entry((group_index, slot)).or_insert(0);
+            let wls = self.ssd.config().wls_per_block as u64;
+            let overflow = *fill / wls;
+            *fill += 1;
+            let ftl_group = (group_index << 32) | (overflow << 24) | slot;
+            let start = (slot as usize) * page_bits;
+            let len = page_bits.min(data.len().saturating_sub(start));
+            let mut page = BitVec::zeros(page_bits);
+            if len > 0 {
+                page.copy_from(0, &data.slice(start, len));
+            }
+            let lpn = self.next_lpn;
+            self.next_lpn += 1;
+            self.ssd.write(
+                lpn,
+                &page,
+                WriteOptions::flash_cosmos(ftl_group, hints.inverted),
+            )?;
+            lpns.push(lpn);
+        }
+        let id = self.operands.len();
+        self.operands.push(OperandRecord { bits: data.len(), lpns, group_index });
+        self.names.insert(name.to_string(), id);
+        Ok(OperandHandle { id })
+    }
+
+    /// Executes a bulk bitwise expression in-flash with Flash-Cosmos and
+    /// returns the result vector plus execution statistics.
+    ///
+    /// # Errors
+    ///
+    /// Fails if operands mismatch, the planner rejects the layout, or a
+    /// chip op fails.
+    pub fn fc_read(&mut self, expr: &Expr) -> Result<(BitVec, ReadStats), FcError> {
+        self.run(expr, CompileKind::FlashCosmos)
+    }
+
+    /// Executes the expression with the ParaBit baseline (serial
+    /// single-wordline senses).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::fc_read`].
+    pub fn parabit_read(&mut self, expr: &Expr) -> Result<(BitVec, ReadStats), FcError> {
+        self.run(expr, CompileKind::ParaBit)
+    }
+
+    fn run(&mut self, expr: &Expr, kind: CompileKind) -> Result<(BitVec, ReadStats), FcError> {
+        let ids: Vec<OperandId> = expr.operands().into_iter().collect();
+        let first = *ids.first().ok_or(FcError::SizeMismatch)?;
+        let bits = self.record(first)?.bits;
+        let pages = self.record(first)?.lpns.len();
+        for &id in &ids {
+            let r = self.record(id)?;
+            if r.bits != bits || r.lpns.len() != pages {
+                return Err(FcError::SizeMismatch);
+            }
+        }
+        let nnf = expr.to_nnf();
+        let caps = PlannerCaps {
+            max_inter_blocks: self.ssd.config().max_inter_blocks,
+            wls_per_block: self.ssd.config().wls_per_block,
+        };
+        let page_bits = self.ssd.config().page_bits();
+        let mut result = BitVec::zeros(pages * page_bits);
+        let mut stats = ReadStats::default();
+        for slot in 0..pages {
+            // Build this stripe's placement map from the FTL.
+            let mut map = PlacementMap::new();
+            let mut die = None;
+            for &id in &ids {
+                let lpn = self.record(id)?.lpns[slot];
+                let (d, wl) = self
+                    .ssd
+                    .locate(lpn)
+                    .expect("written operands are always mapped");
+                let inverted = self
+                    .ssd
+                    .ftl()
+                    .meta(lpn)
+                    .expect("written operands carry metadata")
+                    .inverted;
+                map.insert(id, wl, inverted);
+                die = Some(d);
+            }
+            let program = match kind {
+                CompileKind::FlashCosmos => planner::compile(&nnf, &map, caps)?,
+                CompileKind::ParaBit => parabit::compile(&nnf, &map)?,
+            };
+            let die = die.expect("at least one operand");
+            let chip = self.ssd.chip_mut(die);
+            let mut stripe_latency = 0.0;
+            for cmd in &program.commands {
+                let out = chip.execute(cmd.clone()).map_err(DeviceError::Nand)?;
+                stripe_latency += out.latency_us;
+                stats.energy_uj += out.energy_uj;
+            }
+            let page = chip
+                .execute(Command::ReadOut { plane: program.plane })
+                .map_err(DeviceError::Nand)?
+                .into_page()
+                .expect("read-out streams the cache latch");
+            let page = if program.controller_not { page.not() } else { page };
+            result.copy_from(slot * page_bits, &page);
+            stats.senses += program.sense_count() as u64;
+            stats.chip_time_us += stripe_latency;
+            stats.critical_path_us = stats.critical_path_us.max(stripe_latency);
+        }
+        Ok((result.slice(0, bits), stats))
+    }
+
+    fn record(&self, id: OperandId) -> Result<&OperandRecord, FcError> {
+        self.operands.get(id).ok_or(FcError::UnknownOperand(id))
+    }
+
+    /// The placement-group index an operand landed in (for tests).
+    pub fn group_index_of(&self, id: OperandId) -> Option<u64> {
+        self.operands.get(id).map(|r| r.group_index)
+    }
+
+    /// Migrates a stored operand to new placement hints — the §10
+    /// background gathering: operands written at different times (or with
+    /// the wrong polarity) move into a shared block so a later `fc_read`
+    /// needs fewer MWS commands. Returns how many pages moved via the
+    /// chip's copyback fast path (vs controller rewrite).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown names or SSD migration errors.
+    pub fn migrate_operand(&mut self, name: &str, hints: StoreHints) -> Result<u64, FcError> {
+        let id = *self.names.get(name).ok_or_else(|| {
+            FcError::DuplicateName(format!("unknown operand {name:?}"))
+        })?;
+        let next_index = self.groups.len() as u64;
+        let group_index = *self.groups.entry(hints.group.clone()).or_insert(next_index);
+        let wls = self.ssd.config().wls_per_block as u64;
+        let lpns = self.operands[id].lpns.clone();
+        let mut copybacks = 0;
+        for (slot, &lpn) in lpns.iter().enumerate() {
+            let fill = self.group_fill.entry((group_index, slot as u64)).or_insert(0);
+            let overflow = *fill / wls;
+            *fill += 1;
+            let ftl_group = (group_index << 32) | (overflow << 24) | slot as u64;
+            let meta = fc_ssd::ftl::PageMeta::flash_cosmos(hints.inverted);
+            let used_copyback = self.ssd.migrate(
+                lpn,
+                fc_ssd::ftl::PlacementHint::Grouped { group: ftl_group },
+                meta,
+            )?;
+            copybacks += u64::from(used_copyback);
+        }
+        self.operands[id].group_index = group_index;
+        Ok(copybacks)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CompileKind {
+    FlashCosmos,
+    ParaBit,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn device() -> FlashCosmosDevice {
+        FlashCosmosDevice::new(SsdConfig::tiny_test())
+    }
+
+    fn vectors(n: usize, bits: usize, seed: u64) -> Vec<BitVec> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| BitVec::random(bits, &mut rng)).collect()
+    }
+
+    #[test]
+    fn multi_operand_and_in_one_sense_per_stripe() {
+        let mut dev = device();
+        // 5 operands, 3 pages each (tiny page = 256 bits).
+        let vs = vectors(5, 700, 1);
+        let handles: Vec<OperandHandle> = vs
+            .iter()
+            .enumerate()
+            .map(|(i, v)| dev.fc_write(&format!("op{i}"), v, StoreHints::and_group("g")).unwrap())
+            .collect();
+        let expr = Expr::and_vars(handles.iter().map(|h| h.id));
+        let (result, stats) = dev.fc_read(&expr).unwrap();
+        let expect = vs.iter().skip(1).fold(vs[0].clone(), |a, v| a.and(v));
+        assert_eq!(result, expect);
+        // One MWS per stripe (3 stripes), not one per operand.
+        assert_eq!(stats.senses, 3);
+        assert!(stats.critical_path_us <= stats.chip_time_us);
+    }
+
+    #[test]
+    fn or_group_via_inverse_storage() {
+        let mut dev = device();
+        let vs = vectors(4, 300, 2);
+        let handles: Vec<OperandHandle> = vs
+            .iter()
+            .enumerate()
+            .map(|(i, v)| dev.fc_write(&format!("op{i}"), v, StoreHints::or_group("g")).unwrap())
+            .collect();
+        let expr = Expr::or_vars(handles.iter().map(|h| h.id));
+        let (result, stats) = dev.fc_read(&expr).unwrap();
+        let expect = vs.iter().skip(1).fold(vs[0].clone(), |a, v| a.or(v));
+        assert_eq!(result, expect);
+        assert_eq!(stats.senses, 2, "2 stripes, one inverse MWS each");
+    }
+
+    #[test]
+    fn parabit_matches_fc_but_costs_more_senses() {
+        let mut dev = device();
+        let vs = vectors(6, 256, 3);
+        let handles: Vec<OperandHandle> = vs
+            .iter()
+            .enumerate()
+            .map(|(i, v)| dev.fc_write(&format!("op{i}"), v, StoreHints::and_group("g")).unwrap())
+            .collect();
+        let expr = Expr::and_vars(handles.iter().map(|h| h.id));
+        let (fc, fc_stats) = dev.fc_read(&expr).unwrap();
+        let (pb, pb_stats) = dev.parabit_read(&expr).unwrap();
+        assert_eq!(fc, pb, "both techniques compute the same function");
+        assert_eq!(fc_stats.senses, 1);
+        assert_eq!(pb_stats.senses, 6, "ParaBit senses every operand");
+        assert!(pb_stats.chip_time_us > 5.0 * fc_stats.chip_time_us);
+    }
+
+    #[test]
+    fn kcs_shape_single_sense() {
+        let mut dev = device();
+        let vs = vectors(4, 256, 4);
+        let mut ids = Vec::new();
+        for (i, v) in vs.iter().take(3).enumerate() {
+            ids.push(dev.fc_write(&format!("v{i}"), v, StoreHints::and_group("verts")).unwrap().id);
+        }
+        let clique =
+            dev.fc_write("clique", &vs[3], StoreHints::and_group("clique")).unwrap().id;
+        let expr = Expr::or(vec![Expr::and_vars(ids.clone()), Expr::var(clique)]);
+        let (result, stats) = dev.fc_read(&expr).unwrap();
+        let expect = vs[0].and(&vs[1]).and(&vs[2]).or(&vs[3]);
+        assert_eq!(result, expect);
+        assert_eq!(stats.senses, 1, "AND + OR fused into one inter-block MWS");
+    }
+
+    #[test]
+    fn overflow_beyond_block_capacity_accumulates() {
+        // tiny geometry: 8 wordlines per block; 12 operands overflow into
+        // a second block and the planner AND-accumulates across them.
+        let mut dev = device();
+        let vs = vectors(12, 256, 5);
+        let handles: Vec<OperandHandle> = vs
+            .iter()
+            .enumerate()
+            .map(|(i, v)| dev.fc_write(&format!("op{i}"), v, StoreHints::and_group("g")).unwrap())
+            .collect();
+        let expr = Expr::and_vars(handles.iter().map(|h| h.id));
+        let (result, stats) = dev.fc_read(&expr).unwrap();
+        let expect = vs.iter().skip(1).fold(vs[0].clone(), |a, v| a.and(v));
+        assert_eq!(result, expect);
+        assert_eq!(stats.senses, 2, "12 operands over 8-WL blocks → 2 MWS");
+    }
+
+    #[test]
+    fn xor_and_xnor_roundtrip() {
+        let mut dev = device();
+        let vs = vectors(2, 256, 6);
+        let a = dev.fc_write("a", &vs[0], StoreHints::and_group("g")).unwrap().id;
+        let b = dev.fc_write("b", &vs[1], StoreHints::and_group("g")).unwrap().id;
+        let (x, _) = dev.fc_read(&Expr::xor(Expr::var(a), Expr::var(b))).unwrap();
+        assert_eq!(x, vs[0].xor(&vs[1]));
+        let (xn, _) = dev.fc_read(&Expr::xnor(Expr::var(a), Expr::var(b))).unwrap();
+        assert_eq!(xn, vs[0].xor(&vs[1]).not());
+    }
+
+    #[test]
+    fn nand_nor_not() {
+        let mut dev = device();
+        let vs = vectors(3, 256, 7);
+        let ids: Vec<usize> = vs
+            .iter()
+            .enumerate()
+            .map(|(i, v)| dev.fc_write(&format!("x{i}"), v, StoreHints::and_group("g")).unwrap().id)
+            .collect();
+        let (nand, _) =
+            dev.fc_read(&Expr::nand(ids.iter().map(|&i| Expr::var(i)).collect())).unwrap();
+        assert_eq!(nand, vs[0].and(&vs[1]).and(&vs[2]).not());
+        let (not, _) = dev.fc_read(&Expr::not(Expr::var(ids[0]))).unwrap();
+        assert_eq!(not, vs[0].not());
+        // NOR over operands in different groups (different blocks).
+        let mut dev2 = device();
+        let ids2: Vec<usize> = vs
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                dev2.fc_write(&format!("y{i}"), v, StoreHints::and_group(&format!("g{i}")))
+                    .unwrap()
+                    .id
+            })
+            .collect();
+        let (nor, _) =
+            dev2.fc_read(&Expr::nor(ids2.iter().map(|&i| Expr::var(i)).collect())).unwrap();
+        assert_eq!(nor, vs[0].or(&vs[1]).or(&vs[2]).not());
+    }
+
+    #[test]
+    fn duplicate_names_and_size_mismatch_are_rejected() {
+        let mut dev = device();
+        let vs = vectors(2, 256, 8);
+        dev.fc_write("a", &vs[0], StoreHints::and_group("g")).unwrap();
+        assert!(matches!(
+            dev.fc_write("a", &vs[1], StoreHints::and_group("g")).unwrap_err(),
+            FcError::DuplicateName(_)
+        ));
+        let short = BitVec::zeros(100);
+        let b = dev.fc_write("b", &short, StoreHints::and_group("g")).unwrap();
+        let a = dev.operand("a").unwrap();
+        assert!(matches!(
+            dev.fc_read(&Expr::and_vars([a.id, b.id])).unwrap_err(),
+            FcError::SizeMismatch
+        ));
+    }
+
+    #[test]
+    fn migration_gathers_scattered_operands() {
+        // Operands written into separate groups (scattered blocks) need
+        // one MWS per operand-block; migrating them into a shared group
+        // restores the single-sense AND (§10).
+        let mut dev = device();
+        let vs = vectors(4, 256, 20);
+        let ids: Vec<usize> = vs
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                dev.fc_write(&format!("op{i}"), v, StoreHints::and_group(&format!("s{i}")))
+                    .unwrap()
+                    .id
+            })
+            .collect();
+        let expr = Expr::and_vars(ids.iter().copied());
+        let (_, before) = dev.fc_read(&expr).unwrap();
+        assert_eq!(before.senses, 4, "scattered: one sense per block");
+        let mut copybacks = 0;
+        for i in 0..4 {
+            copybacks += dev.migrate_operand(&format!("op{i}"), StoreHints::and_group("gathered")).unwrap();
+        }
+        let (result, after) = dev.fc_read(&expr).unwrap();
+        let expect = vs.iter().skip(1).fold(vs[0].clone(), |a, v| a.and(v));
+        assert_eq!(result, expect, "migration must preserve data");
+        assert_eq!(after.senses, 1, "gathered: single intra-block MWS");
+        assert!(copybacks > 0, "same-polarity moves use copyback");
+    }
+
+    #[test]
+    fn migration_with_polarity_change_rewrites() {
+        // AND-group → OR-group migration flips the stored polarity, so
+        // the controller rewrite path runs (copyback would copy raw bits
+        // with the wrong polarity).
+        let mut dev = device();
+        let vs = vectors(3, 256, 21);
+        for (i, v) in vs.iter().enumerate() {
+            dev.fc_write(&format!("op{i}"), v, StoreHints::and_group("flat")).unwrap();
+        }
+        let mut copybacks = 0;
+        for i in 0..3 {
+            copybacks +=
+                dev.migrate_operand(&format!("op{i}"), StoreHints::or_group("ors")).unwrap();
+        }
+        assert_eq!(copybacks, 0, "polarity change forces rewrite");
+        let ids = [0usize, 1, 2];
+        let (result, stats) = dev.fc_read(&Expr::or_vars(ids)).unwrap();
+        let expect = vs[0].or(&vs[1]).or(&vs[2]);
+        assert_eq!(result, expect);
+        assert_eq!(stats.senses, 1, "inverted co-located OR is one inverse MWS");
+    }
+
+    #[test]
+    fn noisy_device_with_esp_still_exact() {
+        // The paper's reliability claim end-to-end: with error injection
+        // enabled and worst-case aging, ESP-stored operands still produce
+        // bit-exact results.
+        let mut dev = FlashCosmosDevice::new_noisy(SsdConfig::tiny_test());
+        dev.ssd_mut().set_retention_months(12.0);
+        let vs = vectors(4, 512, 9);
+        let handles: Vec<OperandHandle> = vs
+            .iter()
+            .enumerate()
+            .map(|(i, v)| dev.fc_write(&format!("op{i}"), v, StoreHints::and_group("g")).unwrap())
+            .collect();
+        let expr = Expr::and_vars(handles.iter().map(|h| h.id));
+        let (result, _) = dev.fc_read(&expr).unwrap();
+        let expect = vs.iter().skip(1).fold(vs[0].clone(), |a, v| a.and(v));
+        assert_eq!(result, expect, "ESP keeps in-flash results error-free");
+    }
+}

@@ -1,0 +1,382 @@
+//! The four evaluated platforms (§7): OSP, ISP, ParaBit and Flash-Cosmos,
+//! expressed as job-list builders for the SSD pipeline model.
+//!
+//! A workload is summarized by its [`WorkloadShape`] — how many operand
+//! vectors of what size are combined per query, and what the host does
+//! with the result. Each platform lowers the shape differently:
+//!
+//! * **OSP** — every operand page crosses channel + external link; the
+//!   host combines (hidden behind the stream) — Fig. 7b.
+//! * **ISP** — operands stop at the controller's accelerator; only
+//!   results cross the external link — Fig. 7c.
+//! * **ParaBit** — one sensing operation *per operand*, accumulating in
+//!   the latches; only results move — Fig. 7d.
+//! * **Flash-Cosmos** — `ceil(operands / 48)` MWS operations per result
+//!   page; only results move (§6).
+
+use fc_host::HostCpu;
+use fc_ssd::pipeline::{HostWork, PipelineModel, SenseJob};
+use fc_ssd::topology::Striping;
+use fc_ssd::{ExecutionReport, SsdConfig};
+use serde::{Deserialize, Serialize};
+
+/// The four evaluated computing platforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Platform {
+    /// Outside-storage processing (host CPU).
+    Osp,
+    /// In-storage processing (controller accelerator).
+    Isp,
+    /// ParaBit in-flash processing.
+    ParaBit,
+    /// Flash-Cosmos in-flash processing.
+    FlashCosmos,
+}
+
+impl Platform {
+    /// All platforms in the paper's presentation order.
+    pub const ALL: [Platform; 4] =
+        [Platform::Osp, Platform::Isp, Platform::ParaBit, Platform::FlashCosmos];
+}
+
+impl std::fmt::Display for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Platform::Osp => write!(f, "OSP"),
+            Platform::Isp => write!(f, "ISP"),
+            Platform::ParaBit => write!(f, "PB"),
+            Platform::FlashCosmos => write!(f, "FC"),
+        }
+    }
+}
+
+/// Cost-model summary of a bulk bitwise workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadShape {
+    /// Workload name (display).
+    pub name: String,
+    /// Independent queries (e.g. one per k-clique).
+    pub queries: u64,
+    /// Operands AND-ed per query.
+    pub and_operands: u64,
+    /// Extra operands OR-ed onto each query's result (KCS: the clique
+    /// vector).
+    pub or_operands: u64,
+    /// Bytes per operand vector (= bytes per per-query result).
+    pub vector_bytes: u64,
+    /// Whether the host bit-counts the result (BMI's final step).
+    pub result_popcount: bool,
+}
+
+impl WorkloadShape {
+    /// Total operand bytes read by operand-moving platforms.
+    pub fn total_operand_bytes(&self) -> u64 {
+        self.queries * (self.and_operands + self.or_operands) * self.vector_bytes
+    }
+
+    /// Total result bytes leaving the SSD.
+    pub fn total_result_bytes(&self) -> u64 {
+        self.queries * self.vector_bytes
+    }
+
+    /// Operands per query (the paper's "number of operands").
+    pub fn operands_per_query(&self) -> u64 {
+        self.and_operands + self.or_operands
+    }
+}
+
+/// Per-platform evaluation result.
+#[derive(Debug, Clone)]
+pub struct PlatformReport {
+    /// Which platform.
+    pub platform: Platform,
+    /// Pipeline execution report (time + energy).
+    pub report: ExecutionReport,
+}
+
+impl PlatformReport {
+    /// Execution time, µs.
+    pub fn time_us(&self) -> f64 {
+        self.report.makespan_us
+    }
+
+    /// Total energy, J.
+    pub fn energy_j(&self) -> f64 {
+        self.report.energy_j()
+    }
+}
+
+/// Evaluates workload shapes on the four platforms.
+#[derive(Debug, Clone)]
+pub struct Engines {
+    config: SsdConfig,
+    host: HostCpu,
+}
+
+impl Engines {
+    /// Creates the evaluation engines for an SSD and host.
+    pub fn new(config: SsdConfig, host: HostCpu) -> Self {
+        Self { config, host }
+    }
+
+    /// The paper's evaluated system (Table 1).
+    pub fn paper() -> Self {
+        Self::new(SsdConfig::paper_table1(), HostCpu::paper_host())
+    }
+
+    /// The SSD configuration in use.
+    pub fn config(&self) -> &SsdConfig {
+        &self.config
+    }
+
+    /// Evaluates one platform on one workload shape.
+    pub fn evaluate(&self, platform: Platform, shape: &WorkloadShape) -> PlatformReport {
+        let (jobs, host, isp_bytes) = self.build(platform, shape);
+        let model = PipelineModel::new(self.config.clone());
+        let mut report = model.run(&jobs, host);
+        if isp_bytes > 0 {
+            report.energy.add_isp_bytes(isp_bytes);
+        }
+        PlatformReport { platform, report }
+    }
+
+    /// Evaluates all four platforms.
+    pub fn evaluate_all(&self, shape: &WorkloadShape) -> Vec<PlatformReport> {
+        Platform::ALL.iter().map(|&p| self.evaluate(p, shape)).collect()
+    }
+
+    /// Speedups over OSP for ISP/PB/FC (the Fig. 17 rows).
+    pub fn speedups_over_osp(&self, shape: &WorkloadShape) -> Vec<(Platform, f64)> {
+        let reports = self.evaluate_all(shape);
+        let osp_time = reports[0].time_us();
+        reports.into_iter().skip(1).map(|r| (r.platform, osp_time / r.time_us())).collect()
+    }
+
+    /// Energy-efficiency gains over OSP (the Fig. 18 rows: bits/energy
+    /// normalized to OSP = energy ratio for identical output bits).
+    pub fn energy_gains_over_osp(&self, shape: &WorkloadShape) -> Vec<(Platform, f64)> {
+        let reports = self.evaluate_all(shape);
+        let osp_energy = reports[0].energy_j();
+        reports.into_iter().skip(1).map(|r| (r.platform, osp_energy / r.energy_j())).collect()
+    }
+
+    /// Builds (die jobs, host work, ISP accelerator bytes).
+    fn build(
+        &self,
+        platform: Platform,
+        shape: &WorkloadShape,
+    ) -> (Vec<Vec<SenseJob>>, HostWork, u64) {
+        let cfg = &self.config;
+        let striping = Striping::new(cfg);
+        let pages_per_vector = shape.vector_bytes.div_ceil(cfg.page_bytes as u64);
+        // Die-steps per vector: each step is one multi-plane sense
+        // covering `planes_per_die` stripes.
+        let steps = striping.max_pages_per_plane(pages_per_vector).max(1);
+        let chunk = (cfg.page_bytes * cfg.planes_per_die) as u64;
+        let ops = shape.operands_per_query();
+        let dies = cfg.total_dies();
+
+        // Batching: coalesce identical per-die steps so huge sweeps stay
+        // tractable; latency/bytes scale with the batch, so makespan and
+        // energy are unchanged (uniform pipelines are time-invariant).
+        let total_units = shape.queries * steps;
+        let batch = total_units.div_ceil(2_000).max(1);
+        let batches = total_units.div_ceil(batch);
+        let scale = |b: u64| b * batch.min(total_units);
+
+        let host;
+        let mut isp_bytes = 0u64;
+        let per_die: Vec<SenseJob> = match platform {
+            Platform::Osp => {
+                host = self.host_work(shape, true);
+                let job = SenseJob {
+                    latency_us: cfg.tr_us * (batch * ops) as f64,
+                    dma_bytes: scale(ops) * chunk,
+                    ext_bytes: scale(ops) * chunk,
+                    norm_power: 1.0,
+                };
+                vec![job; batches as usize]
+            }
+            Platform::Isp => {
+                host = self.host_work(shape, false);
+                isp_bytes = shape.total_operand_bytes();
+                let job = SenseJob {
+                    latency_us: cfg.tr_us * (batch * ops) as f64,
+                    dma_bytes: scale(ops) * chunk,
+                    // The accelerator emits the result chunk once a
+                    // query-step's operands have all arrived.
+                    ext_bytes: scale(1) * chunk,
+                    norm_power: 1.0,
+                };
+                vec![job; batches as usize]
+            }
+            Platform::ParaBit => {
+                host = self.host_work(shape, false);
+                let job = SenseJob {
+                    latency_us: cfg.tr_us * (batch * ops) as f64,
+                    dma_bytes: scale(1) * chunk,
+                    ext_bytes: scale(1) * chunk,
+                    norm_power: 1.0,
+                };
+                vec![job; batches as usize]
+            }
+            Platform::FlashCosmos => {
+                host = self.host_work(shape, false);
+                let senses = self.fc_senses_per_query(shape);
+                let power = self.fc_norm_power(shape);
+                let job = SenseJob {
+                    latency_us: cfg.tmws_us * (batch * senses) as f64,
+                    dma_bytes: scale(1) * chunk,
+                    ext_bytes: scale(1) * chunk,
+                    norm_power: power,
+                };
+                vec![job; batches as usize]
+            }
+        };
+        (vec![per_die; dies], host, isp_bytes)
+    }
+
+    /// Sensing operations Flash-Cosmos needs per query-step (§6.1):
+    /// `ceil(AND operands / string length)` intra-block MWS commands,
+    /// with up to `cap − 1` OR operands fused into the last command and
+    /// extra commands for any remainder.
+    pub fn fc_senses_per_query(&self, shape: &WorkloadShape) -> u64 {
+        let per_block = self.config.wls_per_block as u64;
+        let cap = self.config.max_inter_blocks as u64;
+        let and_senses = shape.and_operands.div_ceil(per_block).max(1);
+        let fused_or = shape.or_operands.min(cap - 1);
+        let extra_or = (shape.or_operands - fused_or).div_ceil(cap);
+        and_senses + extra_or
+    }
+
+    /// Chip power during a Flash-Cosmos sense, normalized (Fig. 14): the
+    /// last command activates `1 + min(or, cap−1)` blocks.
+    fn fc_norm_power(&self, shape: &WorkloadShape) -> f64 {
+        let cap = self.config.max_inter_blocks as u64;
+        let blocks = 1 + shape.or_operands.min(cap - 1) as usize;
+        fc_nand::power::mws_power_norm(blocks)
+    }
+
+    fn host_work(&self, shape: &WorkloadShape, osp: bool) -> HostWork {
+        let result = shape.total_result_bytes();
+        let operands = if osp { shape.total_operand_bytes() } else { 0 };
+        let popcount = if shape.result_popcount { result } else { 0 };
+        let cpu_bytes = operands + popcount;
+        // OSP streams at the bitwise-combine rate; pure post-processing
+        // runs at popcount rate.
+        let cpu_gbps = if osp { self.host.bitwise_gbps } else { self.host.popcount_gbps };
+        HostWork {
+            cpu_bytes,
+            cpu_gbps,
+            cpu_pj_per_byte: self.host.pj_per_byte,
+            dram_bytes: 2 * (operands + result),
+            dram_pj_per_byte: self.host.dram.pj_per_byte,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bmi_shape(months: u64) -> WorkloadShape {
+        WorkloadShape {
+            name: format!("BMI m={months}"),
+            queries: 1,
+            and_operands: months * 30,
+            or_operands: 0,
+            vector_bytes: 100_000_000,
+            result_popcount: true,
+        }
+    }
+
+    #[test]
+    fn ordering_matches_fig17() {
+        let engines = Engines::paper();
+        let shape = bmi_shape(12);
+        let r = engines.evaluate_all(&shape);
+        let t = |p: usize| r[p].time_us();
+        // OSP slowest, then ISP, then PB, then FC.
+        assert!(t(0) > t(1), "ISP beats OSP");
+        assert!(t(1) > t(2), "PB beats ISP");
+        assert!(t(2) > t(3), "FC beats PB");
+    }
+
+    #[test]
+    fn bmi_speedups_land_in_paper_regime() {
+        let engines = Engines::paper();
+        // m = 36 → 1080 operands; paper: FC ≈ 198× over OSP, PB ≈ 14×.
+        let s = engines.speedups_over_osp(&bmi_shape(36));
+        let fc = s.iter().find(|(p, _)| *p == Platform::FlashCosmos).unwrap().1;
+        let pb = s.iter().find(|(p, _)| *p == Platform::ParaBit).unwrap().1;
+        assert!(fc > 80.0 && fc < 500.0, "FC speedup {fc} (paper: 198.4)");
+        assert!(pb > 6.0 && pb < 40.0, "PB speedup {pb} (paper: 14)");
+        assert!(fc / pb > 3.0, "FC/PB ratio {} (paper: ~14)", fc / pb);
+    }
+
+    #[test]
+    fn fc_sense_count_model() {
+        let engines = Engines::paper();
+        assert_eq!(engines.fc_senses_per_query(&bmi_shape(1)), 1); // 30 ops
+        assert_eq!(engines.fc_senses_per_query(&bmi_shape(36)), 23); // 1080
+        let kcs = WorkloadShape {
+            name: "KCS".into(),
+            queries: 1024,
+            and_operands: 32,
+            or_operands: 1,
+            vector_bytes: 4_000_000,
+            result_popcount: false,
+        };
+        assert_eq!(engines.fc_senses_per_query(&kcs), 1, "AND+OR fuse into one MWS");
+    }
+
+    #[test]
+    fn ims_is_transfer_bound_so_fc_equals_pb() {
+        let engines = Engines::paper();
+        let ims = WorkloadShape {
+            name: "IMS".into(),
+            queries: 1,
+            and_operands: 3,
+            or_operands: 0,
+            vector_bytes: 10_000 * 800 * 600 * 4 / 8,
+            result_popcount: false,
+        };
+        let s = engines.speedups_over_osp(&ims);
+        let fc = s.iter().find(|(p, _)| *p == Platform::FlashCosmos).unwrap().1;
+        let pb = s.iter().find(|(p, _)| *p == Platform::ParaBit).unwrap().1;
+        // §8.1 observation six: FC ≈ PB on IMS (both result-transfer
+        // bound), both ≈ 3× over OSP.
+        assert!((fc / pb - 1.0).abs() < 0.25, "FC {fc} vs PB {pb}");
+        assert!(fc > 2.0 && fc < 5.0, "IMS FC speedup {fc} (paper ~3)");
+    }
+
+    #[test]
+    fn energy_gains_exceed_speedups_for_fc() {
+        // §8.2: FC's energy benefits (95× avg) exceed its performance
+        // benefits (32× avg) because sensing energy also drops.
+        let engines = Engines::paper();
+        let shape = bmi_shape(24);
+        let speed = engines.speedups_over_osp(&shape);
+        let energy = engines.energy_gains_over_osp(&shape);
+        let fc_speed = speed.iter().find(|(p, _)| *p == Platform::FlashCosmos).unwrap().1;
+        let fc_energy = energy.iter().find(|(p, _)| *p == Platform::FlashCosmos).unwrap().1;
+        assert!(fc_energy > fc_speed, "energy gain {fc_energy} vs speedup {fc_speed}");
+    }
+
+    #[test]
+    fn isp_beats_osp_modestly() {
+        // §8.1: ISP ≈ 1.28× over OSP.
+        let engines = Engines::paper();
+        let s = engines.speedups_over_osp(&bmi_shape(6));
+        let isp = s.iter().find(|(p, _)| *p == Platform::Isp).unwrap().1;
+        assert!(isp > 1.05 && isp < 2.0, "ISP speedup {isp} (paper ~1.28)");
+    }
+
+    #[test]
+    fn shape_helpers() {
+        let s = bmi_shape(1);
+        assert_eq!(s.operands_per_query(), 30);
+        assert_eq!(s.total_operand_bytes(), 30 * 100_000_000);
+        assert_eq!(s.total_result_bytes(), 100_000_000);
+    }
+}

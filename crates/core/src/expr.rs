@@ -1,0 +1,433 @@
+//! Bulk bitwise expressions over named operands.
+//!
+//! Applications describe the computation they want (`fc_read` in §6.3
+//! takes "the types of bitwise operations required") as an [`Expr`] —
+//! AND/OR/NOT/XOR over operand vectors. The planner lowers a normalized
+//! expression onto MWS commands; the same expression evaluates directly
+//! on bit vectors for ground truth.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use fc_bits::BitVec;
+use serde::{Deserialize, Serialize};
+
+/// Identifies an operand vector (index into the caller's operand table).
+pub type OperandId = usize;
+
+/// A bulk bitwise expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Expr {
+    /// An operand vector.
+    Operand(OperandId),
+    /// Bitwise complement.
+    Not(Box<Expr>),
+    /// Bitwise AND over two or more sub-expressions.
+    And(Vec<Expr>),
+    /// Bitwise OR over two or more sub-expressions.
+    Or(Vec<Expr>),
+    /// Bitwise XOR of exactly two sub-expressions (the chip's XOR logic
+    /// is binary, §6.1).
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// An operand leaf.
+    pub fn var(id: OperandId) -> Self {
+        Expr::Operand(id)
+    }
+
+    /// Bitwise NOT.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(e: Expr) -> Self {
+        Expr::Not(Box::new(e))
+    }
+
+    /// Bitwise AND of the given sub-expressions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than one sub-expression is supplied.
+    pub fn and(es: Vec<Expr>) -> Self {
+        assert!(!es.is_empty(), "AND needs at least one sub-expression");
+        if es.len() == 1 {
+            return es.into_iter().next().unwrap();
+        }
+        Expr::And(es)
+    }
+
+    /// Bitwise OR of the given sub-expressions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than one sub-expression is supplied.
+    pub fn or(es: Vec<Expr>) -> Self {
+        assert!(!es.is_empty(), "OR needs at least one sub-expression");
+        if es.len() == 1 {
+            return es.into_iter().next().unwrap();
+        }
+        Expr::Or(es)
+    }
+
+    /// Bitwise AND over operand ids (the common multi-operand case).
+    pub fn and_vars<I: IntoIterator<Item = OperandId>>(ids: I) -> Self {
+        Expr::and(ids.into_iter().map(Expr::var).collect())
+    }
+
+    /// Bitwise OR over operand ids.
+    pub fn or_vars<I: IntoIterator<Item = OperandId>>(ids: I) -> Self {
+        Expr::or(ids.into_iter().map(Expr::var).collect())
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(a: Expr, b: Expr) -> Self {
+        Expr::Xor(Box::new(a), Box::new(b))
+    }
+
+    /// Bitwise NAND.
+    pub fn nand(es: Vec<Expr>) -> Self {
+        Expr::not(Expr::and(es))
+    }
+
+    /// Bitwise NOR.
+    pub fn nor(es: Vec<Expr>) -> Self {
+        Expr::not(Expr::or(es))
+    }
+
+    /// Bitwise XNOR (Eq. 2: `A XNOR B = (NOT A) XOR B`).
+    pub fn xnor(a: Expr, b: Expr) -> Self {
+        Expr::not(Expr::xor(a, b))
+    }
+
+    /// All operand ids referenced by the expression, ascending.
+    pub fn operands(&self) -> BTreeSet<OperandId> {
+        let mut out = BTreeSet::new();
+        self.collect_operands(&mut out);
+        out
+    }
+
+    fn collect_operands(&self, out: &mut BTreeSet<OperandId>) {
+        match self {
+            Expr::Operand(id) => {
+                out.insert(*id);
+            }
+            Expr::Not(e) => e.collect_operands(out),
+            Expr::And(es) | Expr::Or(es) => {
+                for e in es {
+                    e.collect_operands(out);
+                }
+            }
+            Expr::Xor(a, b) => {
+                a.collect_operands(out);
+                b.collect_operands(out);
+            }
+        }
+    }
+
+    /// Evaluates the expression over bit vectors (ground truth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lookup` returns vectors of different lengths.
+    pub fn eval(&self, lookup: &impl Fn(OperandId) -> BitVec) -> BitVec {
+        match self {
+            Expr::Operand(id) => lookup(*id),
+            Expr::Not(e) => e.eval(lookup).not(),
+            Expr::And(es) => {
+                let mut acc = es[0].eval(lookup);
+                for e in &es[1..] {
+                    acc.and_assign(&e.eval(lookup));
+                }
+                acc
+            }
+            Expr::Or(es) => {
+                let mut acc = es[0].eval(lookup);
+                for e in &es[1..] {
+                    acc.or_assign(&e.eval(lookup));
+                }
+                acc
+            }
+            Expr::Xor(a, b) => a.eval(lookup).xor(&b.eval(lookup)),
+        }
+    }
+
+    /// Negation-normal form: `Not` pushed down to the leaves via
+    /// De Morgan's laws, nested `And`/`Or` flattened, `Xor` rewritten
+    /// with its complement identity (`NOT (a XOR b) = (NOT a) XOR b`).
+    pub fn to_nnf(&self) -> Nnf {
+        nnf_of(self, false)
+    }
+
+    /// Total number of operand *references* (a leaf used twice counts
+    /// twice) — the paper's "number of operands" of a bulk operation.
+    pub fn operand_refs(&self) -> usize {
+        match self {
+            Expr::Operand(_) => 1,
+            Expr::Not(e) => e.operand_refs(),
+            Expr::And(es) | Expr::Or(es) => es.iter().map(Expr::operand_refs).sum(),
+            Expr::Xor(a, b) => a.operand_refs() + b.operand_refs(),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Operand(id) => write!(f, "v{id}"),
+            Expr::Not(e) => write!(f, "!{e}"),
+            Expr::And(es) => write_joined(f, es, " & "),
+            Expr::Or(es) => write_joined(f, es, " | "),
+            Expr::Xor(a, b) => write!(f, "({a} ^ {b})"),
+        }
+    }
+}
+
+fn write_joined(f: &mut fmt::Formatter<'_>, es: &[Expr], sep: &str) -> fmt::Result {
+    write!(f, "(")?;
+    for (i, e) in es.iter().enumerate() {
+        if i > 0 {
+            write!(f, "{sep}")?;
+        }
+        write!(f, "{e}")?;
+    }
+    write!(f, ")")
+}
+
+/// A literal: an operand, possibly complemented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Literal {
+    /// The operand.
+    pub id: OperandId,
+    /// Whether the literal is the operand's complement.
+    pub negated: bool,
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negated {
+            write!(f, "!v{}", self.id)
+        } else {
+            write!(f, "v{}", self.id)
+        }
+    }
+}
+
+/// Negation-normal form with flattened n-ary connectives.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Nnf {
+    /// A (possibly negated) operand.
+    Literal(Literal),
+    /// AND over two or more children.
+    And(Vec<Nnf>),
+    /// OR over two or more children.
+    Or(Vec<Nnf>),
+    /// XOR of two children (negation hoisted onto the left child).
+    Xor(Box<Nnf>, Box<Nnf>),
+}
+
+impl Nnf {
+    /// Evaluates the NNF (used by property tests to check normalization
+    /// preserves semantics).
+    pub fn eval(&self, lookup: &impl Fn(OperandId) -> BitVec) -> BitVec {
+        match self {
+            Nnf::Literal(l) => {
+                let v = lookup(l.id);
+                if l.negated {
+                    v.not()
+                } else {
+                    v
+                }
+            }
+            Nnf::And(cs) => {
+                let mut acc = cs[0].eval(lookup);
+                for c in &cs[1..] {
+                    acc.and_assign(&c.eval(lookup));
+                }
+                acc
+            }
+            Nnf::Or(cs) => {
+                let mut acc = cs[0].eval(lookup);
+                for c in &cs[1..] {
+                    acc.or_assign(&c.eval(lookup));
+                }
+                acc
+            }
+            Nnf::Xor(a, b) => a.eval(lookup).xor(&b.eval(lookup)),
+        }
+    }
+}
+
+fn nnf_of(e: &Expr, negate: bool) -> Nnf {
+    match e {
+        Expr::Operand(id) => Nnf::Literal(Literal { id: *id, negated: negate }),
+        Expr::Not(inner) => nnf_of(inner, !negate),
+        Expr::And(es) => {
+            let children: Vec<Nnf> = es.iter().map(|c| nnf_of(c, negate)).collect();
+            if negate {
+                flatten_or(children)
+            } else {
+                flatten_and(children)
+            }
+        }
+        Expr::Or(es) => {
+            let children: Vec<Nnf> = es.iter().map(|c| nnf_of(c, negate)).collect();
+            if negate {
+                flatten_and(children)
+            } else {
+                flatten_or(children)
+            }
+        }
+        Expr::Xor(a, b) => {
+            // NOT (a ^ b) == (NOT a) ^ b: hoist negation onto `a`.
+            let left = nnf_of(a, negate);
+            let right = nnf_of(b, false);
+            Nnf::Xor(Box::new(left), Box::new(right))
+        }
+    }
+}
+
+fn flatten_and(children: Vec<Nnf>) -> Nnf {
+    let mut flat = Vec::with_capacity(children.len());
+    for c in children {
+        match c {
+            Nnf::And(inner) => flat.extend(inner),
+            other => flat.push(other),
+        }
+    }
+    if flat.len() == 1 {
+        flat.pop().unwrap()
+    } else {
+        Nnf::And(flat)
+    }
+}
+
+fn flatten_or(children: Vec<Nnf>) -> Nnf {
+    let mut flat = Vec::with_capacity(children.len());
+    for c in children {
+        match c {
+            Nnf::Or(inner) => flat.extend(inner),
+            other => flat.push(other),
+        }
+    }
+    if flat.len() == 1 {
+        flat.pop().unwrap()
+    } else {
+        Nnf::Or(flat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table(n: usize, bits: usize, seed: u64) -> Vec<BitVec> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| BitVec::random(bits, &mut rng)).collect()
+    }
+
+    #[test]
+    fn eval_matches_bitvec_ops() {
+        let t = table(4, 256, 1);
+        let lookup = |i: usize| t[i].clone();
+        let e = Expr::and(vec![Expr::var(0), Expr::or_vars([1, 2]), Expr::not(Expr::var(3))]);
+        let expect = t[0].and(&t[1].or(&t[2])).and(&t[3].not());
+        assert_eq!(e.eval(&lookup), expect);
+    }
+
+    #[test]
+    fn nand_nor_xnor_definitions() {
+        let t = table(2, 128, 2);
+        let lookup = |i: usize| t[i].clone();
+        assert_eq!(
+            Expr::nand(vec![Expr::var(0), Expr::var(1)]).eval(&lookup),
+            t[0].and(&t[1]).not()
+        );
+        assert_eq!(
+            Expr::nor(vec![Expr::var(0), Expr::var(1)]).eval(&lookup),
+            t[0].or(&t[1]).not()
+        );
+        assert_eq!(
+            Expr::xnor(Expr::var(0), Expr::var(1)).eval(&lookup),
+            t[0].xor(&t[1]).not()
+        );
+    }
+
+    #[test]
+    fn nnf_pushes_negation_to_leaves() {
+        // NOT (a & (b | !c)) → !a | (!b & c)
+        let e = Expr::not(Expr::and(vec![
+            Expr::var(0),
+            Expr::or(vec![Expr::var(1), Expr::not(Expr::var(2))]),
+        ]));
+        let nnf = e.to_nnf();
+        match &nnf {
+            Nnf::Or(cs) => {
+                assert_eq!(cs.len(), 2);
+                assert_eq!(cs[0], Nnf::Literal(Literal { id: 0, negated: true }));
+                match &cs[1] {
+                    Nnf::And(inner) => {
+                        assert_eq!(inner[0], Nnf::Literal(Literal { id: 1, negated: true }));
+                        assert_eq!(inner[1], Nnf::Literal(Literal { id: 2, negated: false }));
+                    }
+                    other => panic!("expected And, got {other:?}"),
+                }
+            }
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nnf_flattens_nested_connectives() {
+        let e = Expr::and(vec![
+            Expr::and(vec![Expr::var(0), Expr::var(1)]),
+            Expr::and(vec![Expr::var(2), Expr::and(vec![Expr::var(3), Expr::var(4)])]),
+        ]);
+        match e.to_nnf() {
+            Nnf::And(cs) => assert_eq!(cs.len(), 5),
+            other => panic!("expected flat And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nnf_preserves_semantics() {
+        let t = table(5, 512, 3);
+        let lookup = |i: usize| t[i].clone();
+        let exprs = vec![
+            Expr::not(Expr::and_vars([0, 1, 2])),
+            Expr::nor(vec![Expr::and_vars([0, 1]), Expr::var(2), Expr::not(Expr::var(3))]),
+            Expr::not(Expr::xor(Expr::var(0), Expr::and_vars([1, 2]))),
+            Expr::and(vec![
+                Expr::or(vec![Expr::var(0), Expr::nand(vec![Expr::var(1), Expr::var(2)])]),
+                Expr::not(Expr::or_vars([3, 4])),
+            ]),
+        ];
+        for e in exprs {
+            assert_eq!(e.to_nnf().eval(&lookup), e.eval(&lookup), "expr {e}");
+        }
+    }
+
+    #[test]
+    fn operand_collection_and_counts() {
+        let e = Expr::and(vec![Expr::var(3), Expr::or_vars([1, 3]), Expr::not(Expr::var(0))]);
+        assert_eq!(e.operands().into_iter().collect::<Vec<_>>(), vec![0, 1, 3]);
+        assert_eq!(e.operand_refs(), 4);
+    }
+
+    #[test]
+    fn single_child_connectives_collapse() {
+        assert_eq!(Expr::and(vec![Expr::var(7)]), Expr::var(7));
+        assert_eq!(Expr::or(vec![Expr::var(7)]), Expr::var(7));
+    }
+
+    #[test]
+    fn display_round() {
+        let e = Expr::or(vec![Expr::and_vars([0, 1]), Expr::not(Expr::var(2))]);
+        assert_eq!(e.to_string(), "((v0 & v1) | !v2)");
+        assert_eq!(
+            Literal { id: 4, negated: true }.to_string(),
+            "!v4"
+        );
+    }
+}

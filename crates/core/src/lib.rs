@@ -1,0 +1,68 @@
+//! # flash-cosmos — in-flash bulk bitwise operations
+//!
+//! Reproduction of *Flash-Cosmos: In-Flash Bulk Bitwise Operations Using
+//! Inherent Computation Capability of NAND Flash Memory* (MICRO 2022).
+//!
+//! Flash-Cosmos performs bulk bitwise AND/OR/NOT/NAND/NOR/XOR/XNOR
+//! *inside* NAND flash chips:
+//!
+//! * **Multi-Wordline Sensing (MWS)** reads tens of operands with a
+//!   single sensing operation — intra-block sensing computes AND along
+//!   NAND strings, inter-block sensing computes OR across blocks sharing
+//!   bitlines.
+//! * **Enhanced SLC-mode Programming (ESP)** widens threshold-voltage
+//!   margins so the computation results carry zero bit errors, without
+//!   ECC or data randomization.
+//!
+//! This crate provides the paper's contribution end to end:
+//!
+//! * [`expr`] — bitwise expressions over stored operand vectors.
+//! * [`planner`] — compiles expressions to MWS command programs under
+//!   the chip's latch-circuit rules (§6.1/Fig. 16).
+//! * [`parabit`] — the ParaBit baseline compiler (serial sensing).
+//! * [`device`] — the `fc_write`/`fc_read` interface (§6.3) over the
+//!   functional SSD.
+//! * [`engines`] — the four evaluated platforms (OSP/ISP/PB/FC) as
+//!   pipeline-model job builders (Figs. 17/18).
+//! * [`reliability`] — the §5 characterization harness (Figs. 8, 11–14,
+//!   zero-error validation).
+//! * [`timeline`] — the Fig. 7 OSP/ISP/IFP timeline scenario.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use flash_cosmos::device::{FlashCosmosDevice, StoreHints};
+//! use flash_cosmos::expr::Expr;
+//! use fc_ssd::SsdConfig;
+//! use fc_bits::BitVec;
+//!
+//! let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+//! let a = BitVec::from_fn(1000, |i| i % 2 == 0);
+//! let b = BitVec::from_fn(1000, |i| i % 3 == 0);
+//! let c = BitVec::from_fn(1000, |i| i % 5 == 0);
+//! let ha = dev.fc_write("a", &a, StoreHints::and_group("g")).unwrap();
+//! let hb = dev.fc_write("b", &b, StoreHints::and_group("g")).unwrap();
+//! let hc = dev.fc_write("c", &c, StoreHints::and_group("g")).unwrap();
+//! let (result, stats) = dev
+//!     .fc_read(&Expr::and_vars([ha.id, hb.id, hc.id]))
+//!     .unwrap();
+//! assert_eq!(result, a.and(&b).and(&c));
+//! // One sensing operation per plane-stripe, not one per operand.
+//! assert_eq!(stats.senses, 4);
+//! ```
+
+pub mod device;
+pub mod engines;
+pub mod expr;
+pub mod ops;
+pub mod parabit;
+pub mod placement;
+pub mod planner;
+pub mod reliability;
+pub mod timeline;
+
+pub use device::{FlashCosmosDevice, OperandHandle, ReadStats, StoreHints};
+pub use engines::{Engines, Platform, PlatformReport, WorkloadShape};
+pub use expr::{Expr, Nnf, OperandId};
+pub use placement::{suggest_hints, LayoutAdvice};
+pub use planner::{MwsProgram, PlacementMap, PlanError, PlannerCaps};

@@ -1,0 +1,323 @@
+//! Layout advisor: derives the §6.3 application-level storage choices
+//! from the expression an application intends to run.
+//!
+//! §6.3 leaves three decisions to the application: *which* data feeds
+//! in-flash computation (→ ESP), *whether* to store inverses (§6.1), and
+//! *which operands co-reside in a block*. [`suggest_hints`] walks the
+//! normalized expression and makes those choices so that the planner
+//! produces minimal sensing counts:
+//!
+//! * literals AND-ed together → same group, stored as-is (intra-block
+//!   MWS), chunked at the string length;
+//! * literals OR-ed together within one group → same group, stored
+//!   **inverted** (a single inverse intra-block MWS computes the OR);
+//! * OR across AND-groups (the Eq. 1 / KCS shape) → each child in its
+//!   own group so the groups land in different blocks.
+
+use std::collections::HashMap;
+
+use crate::device::StoreHints;
+use crate::expr::{Expr, Nnf, OperandId};
+
+/// Advisory result: hints per operand plus the sensing-cost estimate the
+/// planner will achieve under them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayoutAdvice {
+    /// Store hints per operand.
+    pub hints: HashMap<OperandId, StoreHints>,
+    /// Estimated MWS commands per plane-stripe for the target expression.
+    pub estimated_senses: usize,
+}
+
+impl LayoutAdvice {
+    /// Hints for one operand (falling back to a default AND-group for
+    /// operands the expression does not constrain).
+    pub fn hints_for(&self, id: OperandId) -> StoreHints {
+        self.hints.get(&id).cloned().unwrap_or_else(|| StoreHints::and_group("default"))
+    }
+}
+
+/// Derives storage hints for `expr` given the chip's string length.
+///
+/// Operands appearing several times adopt the first role encountered;
+/// re-storing data per-expression (or copying via `migrate`) is the
+/// §10 answer when one layout cannot serve two access patterns.
+pub fn suggest_hints(expr: &Expr, wls_per_block: usize) -> LayoutAdvice {
+    let mut advisor = Advisor { hints: HashMap::new(), group_counter: 0, wls_per_block };
+    let nnf = expr.to_nnf();
+    let senses = advisor.walk_top(&nnf);
+    LayoutAdvice { hints: advisor.hints, estimated_senses: senses }
+}
+
+struct Advisor {
+    hints: HashMap<OperandId, StoreHints>,
+    group_counter: usize,
+    wls_per_block: usize,
+}
+
+impl Advisor {
+    fn fresh_group(&mut self, prefix: &str) -> String {
+        self.group_counter += 1;
+        format!("{prefix}-{}", self.group_counter)
+    }
+
+    fn assign(&mut self, id: OperandId, hints: StoreHints) {
+        self.hints.entry(id).or_insert(hints);
+    }
+
+    /// Assigns literals of a conjunction: positives share chunked
+    /// AND-groups. Returns the number of MWS commands (= chunks).
+    fn assign_and_literals(&mut self, ids: &[OperandId], negated: &[bool]) -> usize {
+        let mut senses = 0;
+        // Positive literals: chunk at the string length.
+        let positives: Vec<OperandId> = ids
+            .iter()
+            .zip(negated)
+            .filter(|(_, &n)| !n)
+            .map(|(&i, _)| i)
+            .collect();
+        for chunk in positives.chunks(self.wls_per_block) {
+            let group = self.fresh_group("and");
+            for &id in chunk {
+                self.assign(id, StoreHints::and_group(&group));
+            }
+            senses += 1;
+        }
+        // Negated conjuncts: store inverted so the raw page equals the
+        // literal's value — they then join a positive chunk.
+        let negatives: Vec<OperandId> = ids
+            .iter()
+            .zip(negated)
+            .filter(|(_, &n)| n)
+            .map(|(&i, _)| i)
+            .collect();
+        for chunk in negatives.chunks(self.wls_per_block) {
+            let group = self.fresh_group("nand");
+            for &id in chunk {
+                self.assign(id, StoreHints { group: group.clone(), inverted: true });
+            }
+            senses += 1;
+        }
+        senses
+    }
+
+    fn walk_top(&mut self, nnf: &Nnf) -> usize {
+        match nnf {
+            Nnf::Literal(l) => {
+                let group = self.fresh_group("lit");
+                // A negated top-level literal reads via the chip inverse
+                // mode; no need to store inverted.
+                self.assign(l.id, StoreHints::and_group(&group));
+                1
+            }
+            Nnf::And(children) => {
+                let (lit_ids, lit_neg, others) = split_literals(children);
+                let mut senses = self.assign_and_literals(&lit_ids, &lit_neg);
+                for child in others {
+                    senses += self.walk_or_group(child);
+                }
+                senses.max(1)
+            }
+            Nnf::Or(children) => {
+                // Eq. 1 shape: each child gets its own block-group; the
+                // planner fuses up to `cap` of them per command. Estimate
+                // conservatively at one command per 4 children.
+                let mut groups = 0;
+                for child in children {
+                    groups += self.walk_or_child(child);
+                }
+                groups.div_ceil(4).max(1)
+            }
+            Nnf::Xor(a, b) => {
+                let mut senses = 0;
+                for side in [a.as_ref(), b.as_ref()] {
+                    if let Nnf::Literal(l) = side {
+                        let group = self.fresh_group("xor");
+                        self.assign(l.id, StoreHints::and_group(&group));
+                        senses += 1;
+                    }
+                }
+                senses.max(2)
+            }
+        }
+    }
+
+    /// An OR group appearing inside a conjunction: store its literals
+    /// inverted in one block (§6.1) so it feeds the single leading
+    /// inverse command.
+    fn walk_or_group(&mut self, child: &Nnf) -> usize {
+        match child {
+            Nnf::Or(grandchildren) => {
+                let group = self.fresh_group("or");
+                for g in grandchildren {
+                    if let Nnf::Literal(l) = g {
+                        // Stored-inverted positives become raw-complement;
+                        // negated literals are stored as-is (their raw
+                        // page is already the complement of the literal).
+                        self.assign(
+                            l.id,
+                            StoreHints { group: group.clone(), inverted: !l.negated },
+                        );
+                    }
+                }
+                1
+            }
+            Nnf::Literal(l) => {
+                let group = self.fresh_group("lit");
+                self.assign(l.id, StoreHints::and_group(&group));
+                1
+            }
+            _ => 1,
+        }
+    }
+
+    /// A child of a top-level OR: its own group so it can be a distinct
+    /// block target (Eq. 1).
+    fn walk_or_child(&mut self, child: &Nnf) -> usize {
+        match child {
+            Nnf::Literal(l) => {
+                let group = self.fresh_group("orc");
+                self.assign(l.id, StoreHints { group, inverted: l.negated });
+                1
+            }
+            Nnf::And(lits) => {
+                let group = self.fresh_group("orc-and");
+                for lit in lits {
+                    if let Nnf::Literal(l) = lit {
+                        self.assign(
+                            l.id,
+                            StoreHints { group: group.clone(), inverted: l.negated },
+                        );
+                    }
+                }
+                1
+            }
+            other => self.walk_top(other),
+        }
+    }
+}
+
+fn split_literals(children: &[Nnf]) -> (Vec<OperandId>, Vec<bool>, Vec<&Nnf>) {
+    let mut ids = Vec::new();
+    let mut neg = Vec::new();
+    let mut others = Vec::new();
+    for c in children {
+        match c {
+            Nnf::Literal(l) => {
+                ids.push(l.id);
+                neg.push(l.negated);
+            }
+            other => others.push(other),
+        }
+    }
+    (ids, neg, others)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::FlashCosmosDevice;
+    use fc_bits::BitVec;
+    use fc_ssd::SsdConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Stores operands per the advice and checks fc_read achieves the
+    /// estimated sensing count and an exact result.
+    fn validate(expr: &Expr, n_operands: usize, seed: u64) -> (u64, usize) {
+        let cfg = SsdConfig::tiny_test();
+        let advice = suggest_hints(expr, cfg.wls_per_block);
+        let mut dev = FlashCosmosDevice::new(cfg.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vectors: Vec<BitVec> =
+            (0..n_operands).map(|_| BitVec::random(cfg.page_bits(), &mut rng)).collect();
+        for (i, v) in vectors.iter().enumerate() {
+            dev.fc_write(&format!("v{i}"), v, advice.hints_for(i)).unwrap();
+        }
+        let (result, stats) = dev.fc_read(expr).unwrap();
+        let lookup = |i: usize| vectors[i].clone();
+        assert_eq!(result, expr.eval(&lookup));
+        (stats.senses, advice.estimated_senses)
+    }
+
+    #[test]
+    fn and_advice_colocates_and_single_senses() {
+        let expr = Expr::and_vars(0..6);
+        let (senses, estimate) = validate(&expr, 6, 1);
+        assert_eq!(senses, 1, "one stripe at page-size vectors → one sense");
+        assert_eq!(estimate, 1);
+    }
+
+    #[test]
+    fn or_advice_stores_inverted() {
+        let expr = Expr::or_vars(0..5);
+        let cfg = SsdConfig::tiny_test();
+        let advice = suggest_hints(&expr, cfg.wls_per_block);
+        // Top-level OR of literals → each its own group (Eq. 1 targets),
+        // capped fusion estimate: ceil(5/4) = 2.
+        assert_eq!(advice.estimated_senses, 2);
+        let (senses, _) = validate(&expr, 5, 2);
+        assert_eq!(senses, 2);
+    }
+
+    #[test]
+    fn and_of_or_groups_uses_inverse_storage() {
+        // (v0|v1) & (v2|v3) & v4 — the Fig. 16 family.
+        let expr = Expr::and(vec![
+            Expr::or_vars([0, 1]),
+            Expr::or_vars([2, 3]),
+            Expr::var(4),
+        ]);
+        let advice = suggest_hints(&expr, 8);
+        assert!(advice.hints_for(0).inverted && advice.hints_for(1).inverted);
+        assert!(advice.hints_for(2).inverted && advice.hints_for(3).inverted);
+        assert!(!advice.hints_for(4).inverted);
+        // Distinct groups for the two OR sets.
+        assert_ne!(advice.hints_for(0).group, advice.hints_for(2).group);
+        let (senses, _) = validate(&expr, 5, 3);
+        // One inverse command (both OR groups) + one positive command.
+        assert_eq!(senses, 2);
+    }
+
+    #[test]
+    fn kcs_advice_separates_clique_vector() {
+        let expr = Expr::or(vec![Expr::and_vars(0..4), Expr::var(4)]);
+        let advice = suggest_hints(&expr, 8);
+        let adj_group = advice.hints_for(0).group.clone();
+        assert_eq!(advice.hints_for(3).group, adj_group, "adjacency vectors co-locate");
+        assert_ne!(advice.hints_for(4).group, adj_group, "clique vector in its own block");
+        let (senses, _) = validate(&expr, 5, 4);
+        assert_eq!(senses, 1, "AND ∥ OR fused");
+    }
+
+    #[test]
+    fn negated_conjuncts_store_inverted() {
+        let expr = Expr::and(vec![Expr::var(0), Expr::not(Expr::var(1)), Expr::not(Expr::var(2))]);
+        let advice = suggest_hints(&expr, 8);
+        assert!(!advice.hints_for(0).inverted);
+        assert!(advice.hints_for(1).inverted && advice.hints_for(2).inverted);
+        let (senses, _) = validate(&expr, 3, 5);
+        // Positives chunk + negatives chunk → 2 commands.
+        assert_eq!(senses, 2);
+    }
+
+    #[test]
+    fn chunking_respects_string_length() {
+        let expr = Expr::and_vars(0..20);
+        let advice = suggest_hints(&expr, 8);
+        let groups: std::collections::HashSet<String> =
+            (0..20).map(|i| advice.hints_for(i).group).collect();
+        assert_eq!(groups.len(), 3, "20 operands over 8-WL strings → 3 groups");
+        assert_eq!(advice.estimated_senses, 3);
+        let (senses, _) = validate(&expr, 20, 6);
+        assert_eq!(senses, 3);
+    }
+
+    #[test]
+    fn xor_advice() {
+        let expr = Expr::xor(Expr::var(0), Expr::var(1));
+        let (senses, estimate) = validate(&expr, 2, 7);
+        assert_eq!(senses, 2);
+        assert_eq!(estimate, 2);
+    }
+}

@@ -1,0 +1,94 @@
+//! DDR4 main-memory model (the Ramulator substitute).
+//!
+//! Bulk bitwise kernels stream sequentially, so a bandwidth/energy model
+//! captures what a cycle-accurate simulation would report for these
+//! access patterns: effective bandwidth = peak × efficiency, energy =
+//! bytes × per-byte cost.
+
+use serde::{Deserialize, Serialize};
+
+use crate::calib;
+
+/// A DDR4 memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ddr4 {
+    /// Data rate in MT/s.
+    pub mtps: f64,
+    /// Number of channels.
+    pub channels: usize,
+    /// Bus width per channel, bytes.
+    pub bus_bytes: usize,
+    /// Effective fraction of peak bandwidth sustained by streaming.
+    pub efficiency: f64,
+    /// Access energy, pJ per byte.
+    pub pj_per_byte: f64,
+}
+
+impl Ddr4 {
+    /// The evaluated host's memory: DDR4-3600, 4 channels (Table 1).
+    pub fn paper_host() -> Self {
+        Self {
+            mtps: calib::DDR_MTPS,
+            channels: calib::DRAM_CHANNELS,
+            bus_bytes: 8,
+            efficiency: calib::DRAM_EFFICIENCY,
+            pj_per_byte: calib::DRAM_PJ_PER_BYTE,
+        }
+    }
+
+    /// Peak bandwidth, GB/s.
+    pub fn peak_gbps(&self) -> f64 {
+        self.mtps * 1e6 * self.bus_bytes as f64 * self.channels as f64 / 1e9
+    }
+
+    /// Effective streaming bandwidth, GB/s.
+    pub fn effective_gbps(&self) -> f64 {
+        self.peak_gbps() * self.efficiency
+    }
+
+    /// Time to stream `bytes` through DRAM, microseconds.
+    pub fn stream_us(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.effective_gbps() * 1e9) * 1e6
+    }
+
+    /// Energy to move `bytes` through DRAM, microjoules.
+    pub fn energy_uj(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.pj_per_byte * 1e-6
+    }
+}
+
+impl Default for Ddr4 {
+    fn default() -> Self {
+        Self::paper_host()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_host_bandwidth() {
+        let d = Ddr4::paper_host();
+        assert!((d.peak_gbps() - 115.2).abs() < 0.1);
+        assert!(d.effective_gbps() < d.peak_gbps());
+        assert!(d.effective_gbps() > 80.0);
+    }
+
+    #[test]
+    fn streaming_time_scales_linearly() {
+        let d = Ddr4::paper_host();
+        let t1 = d.stream_us(1 << 30);
+        let t2 = d.stream_us(2 << 30);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+        // 1 GiB at ~86 GB/s ≈ 12.4 ms.
+        assert!((t1 - 12_420.0).abs() < 500.0, "{t1}");
+    }
+
+    #[test]
+    fn energy_per_gigabyte() {
+        let d = Ddr4::paper_host();
+        // 1 GB × 20 pJ/B = 20 mJ = 20_000 µJ.
+        assert!((d.energy_uj(1_000_000_000) - 20_000.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Calibration constants taken directly from the paper.
+//!
+//! Every constant cites the paper section, table or figure it comes from so
+//! that `EXPERIMENTS.md` can audit paper-vs-model in a single pass. Nothing
+//! else in the workspace hard-codes paper numbers.
+
+/// Operation timing parameters (Table 1 and §5.1).
+pub mod timing {
+    /// SLC-mode page read latency `tR` in microseconds (Table 1, §5.1:
+    /// "the chips have a read latency tR = 22.5 µs").
+    pub const T_R_SLC_US: f64 = 22.5;
+
+    /// Fixed MWS latency budget in microseconds when the number of
+    /// simultaneously activated blocks is capped at 4 (Table 1:
+    /// "tMWS: 25 µs (Max. 4 blocks)").
+    pub const T_MWS_US: f64 = 25.0;
+
+    /// SLC-mode program latency `tPROG` in microseconds (Table 1, §5.1).
+    pub const T_PROG_SLC_US: f64 = 200.0;
+
+    /// MLC-mode program latency in microseconds (Table 1).
+    pub const T_PROG_MLC_US: f64 = 500.0;
+
+    /// TLC-mode program latency in microseconds (Table 1).
+    pub const T_PROG_TLC_US: f64 = 700.0;
+
+    /// ESP program latency in microseconds (Table 1: "tESP: 400 µs";
+    /// §8.3: "2× the page-program latency compared to regular SLC").
+    pub const T_ESP_US: f64 = 400.0;
+
+    /// Block erase latency `tBERS` in microseconds (§2.1: "3–5 ms").
+    pub const T_BERS_US: f64 = 3_500.0;
+
+    /// Maximum number of simultaneously activated blocks for inter-block
+    /// MWS under the fixed `T_MWS_US` budget (Table 1, §5.2).
+    pub const MAX_INTER_BLOCKS: usize = 4;
+}
+
+/// MWS latency scaling (Figs. 12 and 13).
+pub mod mws_latency {
+    /// Relative `tMWS/tR` increase when simultaneously sensing all 48
+    /// wordlines of a block (Fig. 12 / §5.2: "only 3.3% higher than tR").
+    pub const INTRA_MAX_FACTOR_DELTA: f64 = 0.033;
+
+    /// Wordline count at which the paper measured the max intra factor.
+    pub const INTRA_MAX_WLS: usize = 48;
+
+    /// Shape exponent for the intra-block curve. Chosen so that sensing
+    /// ≤ 8 wordlines stays below +1% (§5.2: "When we perform intra-block
+    /// MWS on eight (or fewer) WLs, tMWS is less than 1% higher than tR").
+    pub const INTRA_SHAPE_EXP: f64 = 0.8;
+
+    /// Relative `tMWS/tR` increase when activating 32 blocks (Fig. 13 /
+    /// §5.2: "tMWS is 36.3% higher than tR").
+    pub const INTER_MAX_FACTOR_DELTA: f64 = 0.363;
+
+    /// Block count at which the paper measured the max inter factor.
+    pub const INTER_MAX_BLOCKS: usize = 32;
+
+    /// Block count up to which the extra wordline-precharge time is mostly
+    /// hidden by the bitline precharge (§5.2: "mostly hidden ... until we
+    /// activate eight blocks").
+    pub const INTER_HIDDEN_BLOCKS: usize = 8;
+
+    /// Per-block latency delta in the hidden region (small but non-zero —
+    /// Fig. 13 shows a mild slope below 8 blocks).
+    pub const INTER_HIDDEN_SLOPE: f64 = 0.005;
+}
+
+/// Chip power, normalized to a regular page read (Fig. 14 and §5.2).
+pub mod power {
+    /// Normalized power of a regular page read (the Fig. 14 baseline).
+    pub const READ: f64 = 1.0;
+
+    /// Normalized program-operation power (Fig. 14 reference line).
+    pub const PROGRAM: f64 = 1.5;
+
+    /// Normalized erase-operation power (Fig. 14 reference line; §5.2:
+    /// inter-block MWS up to 4 blocks "remains lower than that of an
+    /// erase operation", and 4 blocks is "about 80% power increase").
+    pub const ERASE: f64 = 1.9;
+
+    /// Normalized inter-block MWS power for 1..=5 activated blocks
+    /// (Fig. 14; §5.2: one→two blocks "increases the average power
+    /// consumption by about 34%").
+    pub const INTER_MWS_BY_BLOCKS: [f64; 5] = [1.0, 1.34, 1.58, 1.80, 2.02];
+
+    /// Extrapolation slope beyond 5 blocks (normalized power per block).
+    pub const INTER_MWS_EXTRA_SLOPE: f64 = 0.22;
+
+    /// Intra-block MWS power relative to a regular read. §4.1: "an
+    /// intra-block MWS operation's power consumption is lower compared to
+    /// a regular read because it applies V_REF to additional target WLs,
+    /// to which a regular read would apply V_PASS".
+    pub const INTRA_MWS: f64 = 0.95;
+
+    /// Absolute average power of a regular page read, in milliwatts, for
+    /// one plane of one die. Used to anchor the normalized Fig. 14 scale
+    /// to joules in the SSD energy model. (Not reported by the paper;
+    /// representative of commodity 3D TLC parts.)
+    pub const READ_POWER_MW: f64 = 40.0;
+}
+
+/// Raw bit error rate calibration (Figs. 8 and 11, §3.2 and §5.2).
+pub mod rber {
+    /// Best-case RBER the paper quotes for MLC-mode programming with data
+    /// randomization (§7: "a best-case RBER of 8.6×10⁻⁴").
+    pub const MLC_RANDOMIZED_BEST: f64 = 8.6e-4;
+
+    /// Worst-case RBER across the MLC plots (§3.2: "a bit error rate range
+    /// of 8.6×10⁻⁴ to 1.6×10⁻²").
+    pub const MLC_WORST: f64 = 1.6e-2;
+
+    /// RBER increase factor when randomization is disabled, SLC mode
+    /// (§3.2: "by 1.91× and 4.92× in SLC mode and MLC mode").
+    pub const SLC_NO_RANDOMIZATION_FACTOR: f64 = 1.91;
+
+    /// RBER increase factor when randomization is disabled, MLC mode.
+    pub const MLC_NO_RANDOMIZATION_FACTOR: f64 = 4.92;
+
+    /// MLC-vs-SLC RBER ratio (§3.2: "up to 4× the RBER of SLC-mode").
+    pub const MLC_OVER_SLC: f64 = 4.0;
+
+    /// `tESP/tPROG` ratio above which the paper observed zero bit errors
+    /// (§5.2: "When we increase tESP by more than 90% compared to tPROG,
+    /// we observe zero bit errors").
+    pub const ESP_ZERO_ERROR_RATIO: f64 = 1.9;
+
+    /// Statistical RBER bound demonstrated at the zero-error point (§5.2:
+    /// "the statistical RBER of ESP is lower than 2.07×10⁻¹²").
+    pub const ESP_STATISTICAL_RBER: f64 = 2.07e-12;
+
+    /// Median-block RBER reduction at +60% program latency (§5.2:
+    /// "increasing tESP by 60% achieves an order of magnitude RBER
+    /// reduction").
+    pub const ESP_DECADE_AT_RATIO: f64 = 1.6;
+
+    /// Total bits validated with zero errors in the paper's MWS
+    /// characterization (§5.2: "more than 4.83×10¹¹ bits in total").
+    pub const VALIDATED_BITS: f64 = 4.83e11;
+
+    /// P/E-cycle count used for worst-case characterization (§5.1).
+    pub const WORST_CASE_PEC: u32 = 10_000;
+
+    /// Retention age (months) for worst-case characterization (§5.1:
+    /// "1-year retention age at 30 °C").
+    pub const WORST_CASE_RETENTION_MONTHS: f64 = 12.0;
+}
+
+/// Real-device characterization campaign parameters (§5.1).
+pub mod characterization {
+    /// Number of chips the paper tested.
+    pub const CHIPS: usize = 160;
+
+    /// Layers / cells per NAND string of the tested chips.
+    pub const STRING_LENGTH: usize = 48;
+
+    /// Page size of the tested chips in bytes.
+    pub const PAGE_BYTES: usize = 16 * 1024;
+
+    /// Blocks sampled per chip.
+    pub const BLOCKS_PER_CHIP: usize = 120;
+
+    /// Total wordlines tested ("a total of 3,686,400 WLs").
+    pub const TOTAL_WLS: usize = 3_686_400;
+
+    /// Wafers the chips came from.
+    pub const WAFERS: usize = 5;
+
+    /// Operating temperature for the tests, °C.
+    pub const TEST_TEMPERATURE_C: f64 = 85.0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_timing_is_consistent() {
+        // ESP is exactly double regular SLC programming (§8.3).
+        assert_eq!(timing::T_ESP_US, 2.0 * timing::T_PROG_SLC_US);
+        // tMWS covers the worst intra-block case with margin.
+        assert!(timing::T_MWS_US > timing::T_R_SLC_US * (1.0 + mws_latency::INTRA_MAX_FACTOR_DELTA));
+        // Program latencies are ordered SLC < MLC < TLC.
+        assert!(timing::T_PROG_SLC_US < timing::T_PROG_MLC_US);
+        assert!(timing::T_PROG_MLC_US < timing::T_PROG_TLC_US);
+    }
+
+    #[test]
+    fn fig14_power_ordering_matches_paper_text() {
+        // Two blocks is ~+34% over one.
+        assert!((power::INTER_MWS_BY_BLOCKS[1] - 1.34).abs() < 1e-9);
+        // Four blocks (~+80%) stays below erase power.
+        assert!(power::INTER_MWS_BY_BLOCKS[3] < power::ERASE);
+        // Five blocks exceeds erase power (why the cap is 4).
+        assert!(power::INTER_MWS_BY_BLOCKS[4] > power::ERASE);
+        // Intra-block MWS is cheaper than a regular read.
+        assert!(power::INTRA_MWS < power::READ);
+    }
+
+    #[test]
+    fn characterization_totals_are_self_consistent() {
+        // 160 chips × 120 blocks × 192 WLs/block = 3,686,400 WLs.
+        let wls_per_block = characterization::TOTAL_WLS
+            / (characterization::CHIPS * characterization::BLOCKS_PER_CHIP);
+        assert_eq!(wls_per_block, 192);
+        assert_eq!(wls_per_block % characterization::STRING_LENGTH, 0);
+    }
+}

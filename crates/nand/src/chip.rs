@@ -1,0 +1,1113 @@
+//! The NAND chip state machine: executes [`Command`]s against the cell
+//! array, drives the latch banks, injects reliability behaviour, and
+//! accounts latency and energy per operation.
+//!
+//! A [`NandChip`] models one die. Each plane has its own latch bank (as in
+//! real chips); blocks track P/E cycles and reads since their last program
+//! so the stress and RBER models see the right conditions.
+
+use fc_bits::BitVec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::calib::timing;
+use crate::command::{Command, Feature, IscmFlags, MwsTarget};
+use crate::config::{ChipConfig, Fidelity};
+use crate::error::NandError;
+use crate::geometry::{BlockAddr, WlAddr};
+use crate::ispp::{self, ProgramScheme};
+use crate::latch::LatchBank;
+use crate::power;
+use crate::randomizer::Randomizer;
+use crate::sense;
+use crate::stress::StressState;
+
+/// Raw state of one programmed wordline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PageState {
+    /// Raw stored bits (post-randomization if the page was scrambled).
+    pub data: BitVec,
+    /// Programming scheme used.
+    pub scheme: ProgramScheme,
+    /// Whether the on-chip scrambler was engaged.
+    pub randomized: bool,
+    /// Physics mode only: per-cell threshold voltages at program time.
+    #[serde(skip)]
+    pub vth: Option<Vec<f64>>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Block {
+    pages: Vec<Option<PageState>>,
+    pec: u32,
+    reads_since_program: u64,
+}
+
+impl Block {
+    fn new(wls: usize) -> Self {
+        Self { pages: vec![None; wls], pec: 0, reads_since_program: 0 }
+    }
+}
+
+#[derive(Debug)]
+struct Plane {
+    blocks: Vec<Block>,
+    latches: LatchBank,
+    /// Permanently defective bitline columns (stuck-at faults).
+    faulty_mask: BitVec,
+    /// The value each faulty column is stuck at.
+    faulty_stuck: BitVec,
+}
+
+/// Result of executing one command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmdOutput {
+    /// Operation latency in microseconds.
+    pub latency_us: f64,
+    /// Operation energy in microjoules.
+    pub energy_uj: f64,
+    /// Chip power during the operation, normalized to a regular read
+    /// (Fig. 14 scale). Zero for pure latch/feature operations.
+    pub norm_power: f64,
+    page: Option<BitVec>,
+}
+
+impl CmdOutput {
+    fn latch_only() -> Self {
+        Self { latency_us: 0.0, energy_uj: 0.0, norm_power: 0.0, page: None }
+    }
+
+    /// Page data produced by the command (the C-latch snapshot after a
+    /// transfer, or the streamed-out data of a `ReadOut`).
+    pub fn page(&self) -> Option<&BitVec> {
+        self.page.as_ref()
+    }
+
+    /// Consumes the output, returning the page data.
+    pub fn into_page(self) -> Option<BitVec> {
+        self.page
+    }
+}
+
+/// Cumulative operation counters for one chip.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ChipStats {
+    /// Sensing operations (regular reads + MWS + erase-verify).
+    pub senses: u64,
+    /// Of which multi-wordline (more than one WL or more than one block).
+    pub mws_ops: u64,
+    /// Program operations.
+    pub programs: u64,
+    /// Erase operations.
+    pub erases: u64,
+    /// Raw bit errors injected into sensed data (functional mode).
+    pub injected_errors: u64,
+    /// Total busy time, microseconds.
+    pub busy_us: f64,
+    /// Total energy, microjoules.
+    pub energy_uj: f64,
+}
+
+/// One simulated NAND die.
+pub struct NandChip {
+    config: ChipConfig,
+    planes: Vec<Plane>,
+    randomizer: Randomizer,
+    rng: StdRng,
+    retention_months: f64,
+    esp_ratio_default: f64,
+    stats: ChipStats,
+}
+
+impl std::fmt::Debug for NandChip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NandChip")
+            .field("geometry", &self.config.geometry)
+            .field("fidelity", &self.config.fidelity)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl NandChip {
+    /// Creates a chip in the fully erased state. Fabrication defects
+    /// (stuck-at bitline columns) are sampled per plane from the
+    /// configured fraction.
+    pub fn new(config: ChipConfig) -> Self {
+        let page_bits = config.geometry.page_bits();
+        let mut fab_rng = StdRng::seed_from_u64(config.seed ^ 0xFAB);
+        let planes = (0..config.geometry.planes)
+            .map(|_| {
+                let faulty_mask = if config.faulty_column_fraction > 0.0 {
+                    BitVec::random_with_density(
+                        page_bits,
+                        config.faulty_column_fraction,
+                        &mut fab_rng,
+                    )
+                } else {
+                    BitVec::zeros(page_bits)
+                };
+                let faulty_stuck = BitVec::random(page_bits, &mut fab_rng).and(&faulty_mask);
+                Plane {
+                    blocks: (0..config.geometry.blocks_per_plane)
+                        .map(|_| Block::new(config.geometry.wls_per_block as usize))
+                        .collect(),
+                    latches: LatchBank::new(page_bits),
+                    faulty_mask,
+                    faulty_stuck,
+                }
+            })
+            .collect();
+        let rng = StdRng::seed_from_u64(config.seed);
+        let randomizer = Randomizer::new(config.seed ^ 0x5EED_5EED);
+        Self {
+            config,
+            planes,
+            randomizer,
+            rng,
+            retention_months: 0.0,
+            esp_ratio_default: timing::T_ESP_US / timing::T_PROG_SLC_US,
+            stats: ChipStats::default(),
+        }
+    }
+
+    /// The chip's configuration.
+    pub fn config(&self) -> &ChipConfig {
+        &self.config
+    }
+
+    /// Cumulative operation statistics.
+    pub fn stats(&self) -> ChipStats {
+        self.stats
+    }
+
+    /// The on-chip scrambler (the SSD controller model uses this to
+    /// derandomize data read from randomized pages).
+    pub fn randomizer(&self) -> &Randomizer {
+        &self.randomizer
+    }
+
+    /// Sets the equivalent retention age seen by all stored data. The
+    /// paper's testbed accelerates aging with temperature (Arrhenius);
+    /// experiments here set the equivalent age directly.
+    pub fn set_retention_months(&mut self, months: f64) {
+        self.retention_months = months;
+    }
+
+    /// Current equivalent retention age, months.
+    pub fn retention_months(&self) -> f64 {
+        self.retention_months
+    }
+
+    /// Current ESP latency-ratio default (SET FEATURE adjustable).
+    pub fn esp_ratio_default(&self) -> f64 {
+        self.esp_ratio_default
+    }
+
+    /// P/E-cycle count of a block.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an out-of-range address.
+    pub fn block_pec(&self, block: BlockAddr) -> Result<u32, NandError> {
+        self.config.geometry.validate_block(block)?;
+        Ok(self.planes[block.plane as usize].blocks[block.block as usize].pec)
+    }
+
+    /// Ages a block by `cycles` program/erase cycles without simulating
+    /// each one (the paper's PEC-conditioning loop, §5.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an out-of-range address.
+    pub fn cycle_block(&mut self, block: BlockAddr, cycles: u32) -> Result<(), NandError> {
+        self.config.geometry.validate_block(block)?;
+        let b = &mut self.planes[block.plane as usize].blocks[block.block as usize];
+        b.pec = b.pec.saturating_add(cycles);
+        Ok(())
+    }
+
+    /// Raw stored bits of a page, if programmed. Post-randomization if the
+    /// page was scrambled; no error injection (this is the ground truth).
+    pub fn page_raw(&self, addr: WlAddr) -> Option<&BitVec> {
+        self.config.geometry.validate_wl(addr).ok()?;
+        self.planes[addr.plane as usize].blocks[addr.block as usize].pages[addr.wl as usize]
+            .as_ref()
+            .map(|p| &p.data)
+    }
+
+    /// Convenience: reads a page and undoes randomization if it was
+    /// scrambled (combines the chip read and the controller descrambling
+    /// step).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any chip error from the underlying read.
+    pub fn read_logical(&mut self, addr: WlAddr) -> Result<BitVec, NandError> {
+        let randomized = self
+            .page_state(addr)
+            .ok_or(NandError::ReadOfUnwrittenPage {
+                plane: addr.plane,
+                block: addr.block,
+                wl: addr.wl,
+            })?
+            .randomized;
+        let out = self.execute(Command::Read { addr, inverse: false })?;
+        let raw = out.into_page().expect("read always produces a page");
+        Ok(if randomized { self.randomizer.derandomize(addr, &raw) } else { raw })
+    }
+
+    fn page_state(&self, addr: WlAddr) -> Option<&PageState> {
+        self.config.geometry.validate_wl(addr).ok()?;
+        self.planes[addr.plane as usize].blocks[addr.block as usize].pages[addr.wl as usize]
+            .as_ref()
+    }
+
+    /// Profiles the permanently faulty bitline columns of a plane by the
+    /// standard two-pattern test: program all-ones and all-zeros pages
+    /// into two wordlines of `scratch_block`, read both back, and flag
+    /// any column that misreads either pattern persistently (transient
+    /// injected errors are filtered by majority over `rounds` reads).
+    ///
+    /// §5.1 footnote 9: "faulty cells can be profiled and excluded for
+    /// the purpose of Flash-Cosmos".
+    ///
+    /// # Errors
+    ///
+    /// Propagates chip errors; the scratch block is erased on entry and
+    /// on exit.
+    pub fn profile_faulty_columns(
+        &mut self,
+        scratch_block: BlockAddr,
+        rounds: u32,
+    ) -> Result<BitVec, NandError> {
+        self.config.geometry.validate_block(scratch_block)?;
+        let bits = self.config.geometry.page_bits();
+        self.execute(Command::Erase { block: scratch_block })?;
+        self.execute(Command::Program {
+            addr: scratch_block.wordline(0),
+            data: BitVec::ones(bits),
+            scheme: crate::ispp::ProgramScheme::esp_default(),
+            randomize: false,
+        })?;
+        self.execute(Command::Program {
+            addr: scratch_block.wordline(1),
+            data: BitVec::zeros(bits),
+            scheme: crate::ispp::ProgramScheme::esp_default(),
+            randomize: false,
+        })?;
+        let mut miscount = vec![0u32; bits];
+        for _ in 0..rounds {
+            let ones = self
+                .execute(Command::Read { addr: scratch_block.wordline(0), inverse: false })?
+                .into_page()
+                .expect("read produces a page");
+            let zeros = self
+                .execute(Command::Read { addr: scratch_block.wordline(1), inverse: false })?
+                .into_page()
+                .expect("read produces a page");
+            for (i, m) in miscount.iter_mut().enumerate() {
+                if !ones.get(i) || zeros.get(i) {
+                    *m += 1;
+                }
+            }
+        }
+        self.execute(Command::Erase { block: scratch_block })?;
+        // Persistent across a majority of rounds → permanent defect.
+        Ok(BitVec::from_fn(bits, |i| miscount[i] * 2 > rounds))
+    }
+
+    /// The fabrication-time faulty-column map of a plane (ground truth
+    /// for validating profiling).
+    pub fn faulty_columns(&self, plane: u32) -> Option<&BitVec> {
+        self.planes.get(plane as usize).map(|p| &p.faulty_mask)
+    }
+
+    /// Executes one command.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NandError`] for invalid addresses, programming rule
+    /// violations, malformed MWS target lists, or power-cap violations.
+    pub fn execute(&mut self, cmd: Command) -> Result<CmdOutput, NandError> {
+        let out = match cmd {
+            Command::Read { addr, inverse } => {
+                let flags = if inverse {
+                    IscmFlags::single_inverse_read()
+                } else {
+                    IscmFlags::single_read()
+                };
+                self.exec_mws(flags, &[MwsTarget::new(addr.block(), &[addr.wl])], false)?
+            }
+            Command::Mws { flags, targets } => self.exec_mws(flags, &targets, false)?,
+            Command::EraseVerify { block } => {
+                self.config.geometry.validate_block(block)?;
+                let n = self.config.geometry.wls_per_block.min(64);
+                self.exec_mws(
+                    IscmFlags::single_read(),
+                    &[MwsTarget::all_wls(block, n)],
+                    true,
+                )?
+            }
+            Command::Program { addr, data, scheme, randomize } => {
+                self.exec_program(addr, data, scheme, randomize)?
+            }
+            Command::Erase { block } => self.exec_erase(block)?,
+            Command::XorLatch { plane } => {
+                self.validate_plane(plane)?;
+                self.planes[plane as usize].latches.xor_into_c();
+                CmdOutput::latch_only()
+            }
+            Command::ReadOut { plane } => {
+                self.validate_plane(plane)?;
+                let page = self.planes[plane as usize].latches.c_latch().clone();
+                CmdOutput { page: Some(page), ..CmdOutput::latch_only() }
+            }
+            Command::Copyback { from, to } => self.exec_copyback(from, to)?,
+            Command::SetFeature { feature } => self.exec_set_feature(feature)?,
+        };
+        self.stats.busy_us += out.latency_us;
+        self.stats.energy_uj += out.energy_uj;
+        Ok(out)
+    }
+
+    fn validate_plane(&self, plane: u32) -> Result<(), NandError> {
+        if plane >= self.config.geometry.planes {
+            return Err(NandError::AddressOutOfRange { what: "plane", plane, block: 0, wl: 0 });
+        }
+        Ok(())
+    }
+
+    fn exec_program(
+        &mut self,
+        addr: WlAddr,
+        data: BitVec,
+        scheme: ProgramScheme,
+        randomize: bool,
+    ) -> Result<CmdOutput, NandError> {
+        self.config.geometry.validate_wl(addr)?;
+        let expected = self.config.geometry.page_bits();
+        if data.len() != expected {
+            return Err(NandError::PageSizeMismatch { got: data.len(), expected });
+        }
+        if self.page_state(addr).is_some() {
+            return Err(NandError::ProgramWithoutErase {
+                plane: addr.plane,
+                block: addr.block,
+                wl: addr.wl,
+            });
+        }
+        let stored = if randomize { self.randomizer.randomize(addr, &data) } else { data };
+
+        let vth = if matches!(self.config.fidelity, Fidelity::Physics) {
+            // SLC encoding: bit 1 = erased, bit 0 = programmed.
+            let targets: Vec<bool> = stored.iter().collect();
+            let outcome = match scheme {
+                ProgramScheme::Esp { ratio } => ispp::program_esp(&targets, ratio, &mut self.rng),
+                _ => ispp::program_slc_like(
+                    &targets,
+                    ispp::IsppConfig::slc_default(),
+                    &mut self.rng,
+                ),
+            };
+            Some(outcome.vth)
+        } else {
+            None
+        };
+
+        let latency = scheme.program_latency_us();
+        let energy = power::program_energy_uj(latency);
+        let block =
+            &mut self.planes[addr.plane as usize].blocks[addr.block as usize];
+        block.pages[addr.wl as usize] =
+            Some(PageState { data: stored, scheme, randomized: randomize, vth });
+        block.reads_since_program = 0;
+
+        // Physics: programming disturbs the neighbouring wordlines
+        // (program interference, §2.2).
+        if matches!(self.config.fidelity, Fidelity::Physics) {
+            let model = self.config.stress_model;
+            let wl = addr.wl as usize;
+            let block = &mut self.planes[addr.plane as usize].blocks[addr.block as usize];
+            for neighbour in [wl.checked_sub(1), Some(wl + 1)].into_iter().flatten() {
+                if let Some(Some(p)) = block.pages.get_mut(neighbour) {
+                    if let Some(vth) = p.vth.as_mut() {
+                        model.apply_interference(vth, &mut self.rng);
+                    }
+                }
+            }
+        }
+
+        self.stats.programs += 1;
+        Ok(CmdOutput {
+            latency_us: latency,
+            energy_uj: energy,
+            norm_power: power::program_power_norm(),
+            page: None,
+        })
+    }
+
+    fn exec_erase(&mut self, block: BlockAddr) -> Result<CmdOutput, NandError> {
+        self.config.geometry.validate_block(block)?;
+        let b = &mut self.planes[block.plane as usize].blocks[block.block as usize];
+        for p in &mut b.pages {
+            *p = None;
+        }
+        b.pec = b.pec.saturating_add(1);
+        b.reads_since_program = 0;
+        self.stats.erases += 1;
+        Ok(CmdOutput {
+            latency_us: timing::T_BERS_US,
+            energy_uj: power::erase_energy_uj(),
+            norm_power: power::erase_power_norm(),
+            page: None,
+        })
+    }
+
+    fn exec_copyback(&mut self, from: WlAddr, to: WlAddr) -> Result<CmdOutput, NandError> {
+        self.config.geometry.validate_wl(from)?;
+        self.config.geometry.validate_wl(to)?;
+        if from.plane != to.plane {
+            return Err(NandError::PlaneMismatch);
+        }
+        let src = self
+            .page_state(from)
+            .ok_or(NandError::ReadOfUnwrittenPage {
+                plane: from.plane,
+                block: from.block,
+                wl: from.wl,
+            })?
+            .clone();
+        // Internal read (with error injection — copyback copies raw bits,
+        // errors and all, which is why real SSDs bound copyback chains).
+        let read = self.exec_mws(
+            IscmFlags::single_read(),
+            &[MwsTarget::new(from.block(), &[from.wl])],
+            false,
+        )?;
+        let data = read.page.clone().expect("read produces a page");
+        let prog = self.exec_program(to, data, src.scheme, false)?;
+        Ok(CmdOutput {
+            latency_us: read.latency_us + prog.latency_us,
+            energy_uj: read.energy_uj + prog.energy_uj,
+            norm_power: prog.norm_power,
+            page: None,
+        })
+    }
+
+    fn exec_set_feature(&mut self, feature: Feature) -> Result<CmdOutput, NandError> {
+        match feature {
+            Feature::MaxInterBlocks(n) => {
+                if n == 0 || n as usize > 32 {
+                    return Err(NandError::InvalidFeature(format!(
+                        "max inter-block count {n} outside 1..=32"
+                    )));
+                }
+                self.config.max_inter_blocks = n as usize;
+            }
+            Feature::EspLatencyRatio(r) => {
+                if !(1.0..=2.5).contains(&r) {
+                    return Err(NandError::InvalidFeature(format!(
+                        "ESP latency ratio {r} outside 1.0..=2.5"
+                    )));
+                }
+                self.esp_ratio_default = r;
+            }
+        }
+        Ok(CmdOutput::latch_only())
+    }
+
+    /// Core sensing path shared by `Read`, `Mws` and `EraseVerify`.
+    ///
+    /// `allow_unwritten` treats unwritten wordlines as fully erased
+    /// (all-ones) instead of erroring — needed by erase-verify.
+    fn exec_mws(
+        &mut self,
+        flags: IscmFlags,
+        targets: &[MwsTarget],
+        allow_unwritten: bool,
+    ) -> Result<CmdOutput, NandError> {
+        if targets.is_empty() || targets.iter().any(|t| t.pbm == 0) {
+            return Err(NandError::EmptyMwsTarget);
+        }
+        let plane = targets[0].block.plane;
+        if targets.iter().any(|t| t.block.plane != plane) {
+            return Err(NandError::PlaneMismatch);
+        }
+        if targets.len() > self.config.max_inter_blocks {
+            return Err(NandError::TooManyBlocks {
+                requested: targets.len(),
+                max: self.config.max_inter_blocks,
+            });
+        }
+        let geom = self.config.geometry;
+        for t in targets {
+            geom.validate_block(t.block)?;
+            for wl in t.wls() {
+                geom.validate_wl(t.block.wordline(wl))?;
+                if !allow_unwritten && self.page_state(t.block.wordline(wl)).is_none() {
+                    return Err(NandError::ReadOfUnwrittenPage {
+                        plane: t.block.plane,
+                        block: t.block.block,
+                        wl,
+                    });
+                }
+            }
+        }
+
+        // Evaluate each block's string AND, then OR across blocks (Eq. 1).
+        let mut per_block: Vec<BitVec> = Vec::with_capacity(targets.len());
+        for t in targets {
+            per_block.push(self.sense_block_and(t, allow_unwritten)?);
+        }
+        let mut sensed = sense::combine_blocks_or(&per_block);
+        // Stuck-at columns read their stuck value regardless of the
+        // stored data (§5.1 footnote 9).
+        let plane_state = &self.planes[plane as usize];
+        if !plane_state.faulty_mask.is_all_zeros() {
+            sensed.and_assign(&plane_state.faulty_mask.not());
+            sensed.or_assign(&plane_state.faulty_stuck);
+        }
+
+        // Latch sequence per the ISCM flags.
+        let latches = &mut self.planes[plane as usize].latches;
+        if flags.init_s {
+            latches.init_s();
+        }
+        if flags.init_c {
+            latches.init_c();
+        }
+        latches.sense(&sensed, flags.inverse);
+        if flags.transfer {
+            latches.transfer();
+        }
+        let page = flags.transfer.then(|| latches.c_latch().clone());
+
+        // Timing and power.
+        let max_wls = targets.iter().map(MwsTarget::wl_count).max().unwrap_or(1);
+        let latency = sense::mws_latency_us(timing::T_R_SLC_US, max_wls, targets.len());
+        let norm_power = if targets.len() > 1 {
+            power::mws_power_norm(targets.len())
+        } else if max_wls > 1 {
+            power::mws_power_norm(1)
+        } else {
+            power::read_power_norm()
+        };
+        let energy = power::energy_uj(norm_power, latency);
+
+        // Read disturb accounting.
+        for t in targets {
+            let b = &mut self.planes[plane as usize].blocks[t.block.block as usize];
+            b.reads_since_program += 1;
+        }
+
+        self.stats.senses += 1;
+        if targets.len() > 1 || max_wls > 1 {
+            self.stats.mws_ops += 1;
+        }
+        Ok(CmdOutput { latency_us: latency, energy_uj: energy, norm_power, page })
+    }
+
+    /// AND of one block's target wordlines, with fidelity-appropriate
+    /// reliability behaviour.
+    fn sense_block_and(
+        &mut self,
+        target: &MwsTarget,
+        allow_unwritten: bool,
+    ) -> Result<BitVec, NandError> {
+        let page_bits = self.config.geometry.page_bits();
+        let block_ref =
+            &self.planes[target.block.plane as usize].blocks[target.block.block as usize];
+        let stress = StressState {
+            pec: block_ref.pec,
+            retention_months: self.retention_months,
+            reads_since_program: block_ref.reads_since_program,
+        };
+
+        match self.config.fidelity {
+            Fidelity::Functional { inject_errors } => {
+                let mut acc = BitVec::ones(page_bits);
+                // Collect page snapshots first (borrow discipline), then
+                // optionally corrupt copies.
+                let mut snapshots: Vec<(BitVec, ProgramScheme, bool)> = Vec::new();
+                for wl in target.wls() {
+                    match &block_ref.pages[wl as usize] {
+                        Some(p) => snapshots.push((p.data.clone(), p.scheme, p.randomized)),
+                        None if allow_unwritten => {
+                            snapshots.push((BitVec::ones(page_bits), ProgramScheme::Slc, false))
+                        }
+                        None => unreachable!("validated above"),
+                    }
+                }
+                for (mut data, scheme, randomized) in snapshots {
+                    if inject_errors {
+                        let n = self.config.rber.sample_errors(
+                            scheme,
+                            randomized,
+                            stress,
+                            page_bits,
+                            &mut self.rng,
+                        );
+                        self.stats.injected_errors += n as u64;
+                        data.flip_random_bits(n, &mut self.rng);
+                    }
+                    acc.and_assign(&data);
+                }
+                Ok(acc)
+            }
+            Fidelity::Physics => {
+                // Stress-shift copies of the stored V_TH populations, then
+                // evaluate string conduction against the scheme's V_REF.
+                let model = self.config.stress_model;
+                let mut vref = f64::NEG_INFINITY;
+                let mut populations: Vec<Vec<f64>> = Vec::new();
+                for wl in target.wls() {
+                    match &block_ref.pages[wl as usize] {
+                        Some(p) => {
+                            let v = p
+                                .vth
+                                .clone()
+                                .expect("physics mode stores V_TH populations");
+                            vref = vref.max(p.scheme.layout().slc_vref_or_first());
+                            populations.push(v);
+                        }
+                        None if allow_unwritten => {
+                            populations.push(vec![crate::vth::ERASED.mean_v; page_bits]);
+                        }
+                        None => unreachable!("validated above"),
+                    }
+                }
+                if vref == f64::NEG_INFINITY {
+                    vref = crate::vth::VthLayout::slc().slc_vref();
+                }
+                for v in &mut populations {
+                    model.apply(v, stress, &mut self.rng);
+                }
+                let slices: Vec<&[f64]> = populations.iter().map(Vec::as_slice).collect();
+                Ok(sense::evaluate_string_and(&slices, vref))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ChipConfig;
+
+    fn page(chip: &NandChip, seed: u64) -> BitVec {
+        use rand::rngs::StdRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        BitVec::random(chip.config().geometry.page_bits(), &mut rng)
+    }
+
+    fn write_pages(chip: &mut NandChip, blk: BlockAddr, n: usize, seed: u64) -> Vec<BitVec> {
+        (0..n)
+            .map(|i| {
+                let p = page(chip, seed + i as u64);
+                chip.execute(Command::esp_program(blk.wordline(i as u32), p.clone())).unwrap();
+                p
+            })
+            .collect()
+    }
+
+    #[test]
+    fn read_returns_stored_page() {
+        let mut chip = NandChip::new(ChipConfig::tiny_test());
+        let blk = BlockAddr::new(0, 0);
+        let pages = write_pages(&mut chip, blk, 1, 100);
+        let out = chip.execute(Command::Read { addr: blk.wordline(0), inverse: false }).unwrap();
+        assert_eq!(out.page().unwrap(), &pages[0]);
+        assert!((out.latency_us - timing::T_R_SLC_US).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_read_returns_complement() {
+        let mut chip = NandChip::new(ChipConfig::tiny_test());
+        let blk = BlockAddr::new(0, 0);
+        let pages = write_pages(&mut chip, blk, 1, 101);
+        let out = chip.execute(Command::Read { addr: blk.wordline(0), inverse: true }).unwrap();
+        assert_eq!(out.page().unwrap(), &pages[0].not());
+    }
+
+    #[test]
+    fn intra_block_mws_computes_and() {
+        let mut chip = NandChip::new(ChipConfig::tiny_test());
+        let blk = BlockAddr::new(0, 1);
+        let pages = write_pages(&mut chip, blk, 5, 200);
+        let out = chip
+            .execute(Command::Mws {
+                flags: IscmFlags::single_read(),
+                targets: vec![MwsTarget::new(blk, &[0, 1, 2, 3, 4])],
+            })
+            .unwrap();
+        let expect = pages.iter().skip(1).fold(pages[0].clone(), |a, p| a.and(p));
+        assert_eq!(out.page().unwrap(), &expect);
+        assert_eq!(chip.stats().mws_ops, 1);
+    }
+
+    #[test]
+    fn inter_block_mws_computes_or_of_per_block_ands() {
+        // Eq. (1): (A1·A2) + (B1·B2).
+        let mut chip = NandChip::new(ChipConfig::tiny_test());
+        let blk_a = BlockAddr::new(0, 2);
+        let blk_b = BlockAddr::new(0, 3);
+        let a = write_pages(&mut chip, blk_a, 2, 300);
+        let b = write_pages(&mut chip, blk_b, 2, 310);
+        let out = chip
+            .execute(Command::Mws {
+                flags: IscmFlags::single_read(),
+                targets: vec![
+                    MwsTarget::new(blk_a, &[0, 1]),
+                    MwsTarget::new(blk_b, &[0, 1]),
+                ],
+            })
+            .unwrap();
+        let expect = a[0].and(&a[1]).or(&b[0].and(&b[1]));
+        assert_eq!(out.page().unwrap(), &expect);
+    }
+
+    #[test]
+    fn inverse_mws_gives_nand_and_nor() {
+        let mut chip = NandChip::new(ChipConfig::tiny_test());
+        let blk = BlockAddr::new(0, 4);
+        let pages = write_pages(&mut chip, blk, 3, 400);
+        // NAND via intra-block MWS + inverse read.
+        let out = chip
+            .execute(Command::Mws {
+                flags: IscmFlags::single_inverse_read(),
+                targets: vec![MwsTarget::new(blk, &[0, 1, 2])],
+            })
+            .unwrap();
+        let expect = pages[0].and(&pages[1]).and(&pages[2]).not();
+        assert_eq!(out.page().unwrap(), &expect);
+        // NOR via inter-block MWS + inverse read.
+        let blk2 = BlockAddr::new(0, 5);
+        let q = write_pages(&mut chip, blk2, 1, 410);
+        let out = chip
+            .execute(Command::Mws {
+                flags: IscmFlags::single_inverse_read(),
+                targets: vec![MwsTarget::new(blk, &[0]), MwsTarget::new(blk2, &[0])],
+            })
+            .unwrap();
+        let expect = pages[0].or(&q[0]).not();
+        assert_eq!(out.page().unwrap(), &expect);
+    }
+
+    #[test]
+    fn accumulation_across_mws_commands() {
+        // DESIGN.md §3.1: AND-accumulate in the S-latch across commands,
+        // publish with C-init + transfer on the last command.
+        let mut chip = NandChip::new(ChipConfig::tiny_test());
+        let blk_a = BlockAddr::new(0, 6);
+        let blk_b = BlockAddr::new(0, 7);
+        let a = write_pages(&mut chip, blk_a, 3, 500);
+        let b = write_pages(&mut chip, blk_b, 3, 510);
+        // First command: plain sense into initialized latches, no transfer.
+        let first = chip
+            .execute(Command::Mws {
+                flags: IscmFlags { inverse: false, init_s: true, init_c: true, transfer: false },
+                targets: vec![MwsTarget::new(blk_a, &[0, 1, 2])],
+            })
+            .unwrap();
+        assert!(first.page().is_none(), "no transfer → no page output");
+        // Second command: accumulate and publish.
+        let out = chip
+            .execute(Command::Mws {
+                flags: IscmFlags::accumulate_last(),
+                targets: vec![MwsTarget::new(blk_b, &[0, 1, 2])],
+            })
+            .unwrap();
+        let expect = a[0].and(&a[1]).and(&a[2]).and(&b[0]).and(&b[1]).and(&b[2]);
+        assert_eq!(out.page().unwrap(), &expect);
+    }
+
+    #[test]
+    fn xor_latch_command() {
+        let mut chip = NandChip::new(ChipConfig::tiny_test());
+        let blk = BlockAddr::new(0, 8);
+        let pages = write_pages(&mut chip, blk, 2, 600);
+        // Read A (lands in S and C), then sense B into S only, then XOR.
+        chip.execute(Command::Read { addr: blk.wordline(0), inverse: false }).unwrap();
+        chip.execute(Command::Mws {
+            flags: IscmFlags { inverse: false, init_s: true, init_c: false, transfer: false },
+            targets: vec![MwsTarget::new(blk, &[1])],
+        })
+        .unwrap();
+        chip.execute(Command::XorLatch { plane: 0 }).unwrap();
+        let out = chip.execute(Command::ReadOut { plane: 0 }).unwrap();
+        assert_eq!(out.page().unwrap(), &pages[0].xor(&pages[1]));
+    }
+
+    #[test]
+    fn erase_verify_detects_programmed_pages() {
+        let mut chip = NandChip::new(ChipConfig::tiny_test());
+        let blk = BlockAddr::new(1, 0);
+        let out = chip.execute(Command::EraseVerify { block: blk }).unwrap();
+        assert!(out.page().unwrap().is_all_ones(), "fresh block verifies erased");
+        write_pages(&mut chip, blk, 1, 700);
+        let out = chip.execute(Command::EraseVerify { block: blk }).unwrap();
+        assert!(!out.page().unwrap().is_all_ones(), "programmed block fails verify");
+        chip.execute(Command::Erase { block: blk }).unwrap();
+        let out = chip.execute(Command::EraseVerify { block: blk }).unwrap();
+        assert!(out.page().unwrap().is_all_ones(), "erased block verifies again");
+    }
+
+    #[test]
+    fn erase_bumps_pec_and_clears_pages() {
+        let mut chip = NandChip::new(ChipConfig::tiny_test());
+        let blk = BlockAddr::new(0, 9);
+        write_pages(&mut chip, blk, 2, 800);
+        assert_eq!(chip.block_pec(blk).unwrap(), 0);
+        chip.execute(Command::Erase { block: blk }).unwrap();
+        assert_eq!(chip.block_pec(blk).unwrap(), 1);
+        assert!(chip.page_raw(blk.wordline(0)).is_none());
+        chip.cycle_block(blk, 999).unwrap();
+        assert_eq!(chip.block_pec(blk).unwrap(), 1000);
+    }
+
+    #[test]
+    fn program_without_erase_is_rejected() {
+        let mut chip = NandChip::new(ChipConfig::tiny_test());
+        let blk = BlockAddr::new(0, 10);
+        write_pages(&mut chip, blk, 1, 900);
+        let err = chip
+            .execute(Command::esp_program(blk.wordline(0), page(&chip, 901)))
+            .unwrap_err();
+        assert!(matches!(err, NandError::ProgramWithoutErase { .. }));
+    }
+
+    #[test]
+    fn page_size_mismatch_is_rejected() {
+        let mut chip = NandChip::new(ChipConfig::tiny_test());
+        let err = chip
+            .execute(Command::esp_program(WlAddr::new(0, 0, 0), BitVec::zeros(3)))
+            .unwrap_err();
+        assert!(matches!(err, NandError::PageSizeMismatch { .. }));
+    }
+
+    #[test]
+    fn power_cap_on_inter_block_mws() {
+        let mut chip = NandChip::new(ChipConfig::tiny_test());
+        for b in 0..5 {
+            write_pages(&mut chip, BlockAddr::new(0, b), 1, 1000 + b as u64);
+        }
+        let targets: Vec<MwsTarget> =
+            (0..5).map(|b| MwsTarget::new(BlockAddr::new(0, b), &[0])).collect();
+        let err = chip
+            .execute(Command::Mws { flags: IscmFlags::single_read(), targets })
+            .unwrap_err();
+        assert_eq!(err, NandError::TooManyBlocks { requested: 5, max: 4 });
+        // Raising the cap via SET FEATURE lets it through.
+        chip.execute(Command::SetFeature { feature: Feature::MaxInterBlocks(8) }).unwrap();
+        let targets: Vec<MwsTarget> =
+            (0..5).map(|b| MwsTarget::new(BlockAddr::new(0, b), &[0])).collect();
+        assert!(chip.execute(Command::Mws { flags: IscmFlags::single_read(), targets }).is_ok());
+    }
+
+    #[test]
+    fn cross_plane_mws_is_rejected() {
+        let mut chip = NandChip::new(ChipConfig::tiny_test());
+        write_pages(&mut chip, BlockAddr::new(0, 0), 1, 1100);
+        write_pages(&mut chip, BlockAddr::new(1, 0), 1, 1101);
+        let err = chip
+            .execute(Command::Mws {
+                flags: IscmFlags::single_read(),
+                targets: vec![
+                    MwsTarget::new(BlockAddr::new(0, 0), &[0]),
+                    MwsTarget::new(BlockAddr::new(1, 0), &[0]),
+                ],
+            })
+            .unwrap_err();
+        assert_eq!(err, NandError::PlaneMismatch);
+    }
+
+    #[test]
+    fn read_of_unwritten_page_is_rejected() {
+        let mut chip = NandChip::new(ChipConfig::tiny_test());
+        let err = chip
+            .execute(Command::Read { addr: WlAddr::new(0, 0, 0), inverse: false })
+            .unwrap_err();
+        assert!(matches!(err, NandError::ReadOfUnwrittenPage { .. }));
+    }
+
+    #[test]
+    fn copyback_moves_data_within_plane() {
+        let mut chip = NandChip::new(ChipConfig::tiny_test());
+        let blk = BlockAddr::new(0, 11);
+        let pages = write_pages(&mut chip, blk, 1, 1200);
+        let dst = BlockAddr::new(0, 12).wordline(0);
+        chip.execute(Command::Copyback { from: blk.wordline(0), to: dst }).unwrap();
+        assert_eq!(chip.page_raw(dst).unwrap(), &pages[0]);
+    }
+
+    #[test]
+    fn randomized_program_roundtrips_through_read_logical() {
+        let mut chip = NandChip::new(ChipConfig::tiny_test());
+        let addr = WlAddr::new(0, 13, 0);
+        let data = page(&chip, 1300);
+        chip.execute(Command::slc_program(addr, data.clone())).unwrap();
+        // Raw differs (scrambled), logical read restores.
+        assert_ne!(chip.page_raw(addr).unwrap(), &data);
+        assert_eq!(chip.read_logical(addr).unwrap(), data);
+    }
+
+    #[test]
+    fn mws_latency_grows_with_scope() {
+        let mut chip = NandChip::new(ChipConfig::tiny_test());
+        let blk = BlockAddr::new(0, 14);
+        write_pages(&mut chip, blk, 8, 1400);
+        let one = chip
+            .execute(Command::Mws {
+                flags: IscmFlags::single_read(),
+                targets: vec![MwsTarget::new(blk, &[0])],
+            })
+            .unwrap();
+        let eight = chip
+            .execute(Command::Mws {
+                flags: IscmFlags::single_read(),
+                targets: vec![MwsTarget::all_wls(blk, 8)],
+            })
+            .unwrap();
+        assert!(eight.latency_us > one.latency_us);
+        assert!(eight.latency_us < one.latency_us * 1.01, "Fig. 12: ≤8 WLs under +1%");
+    }
+
+    #[test]
+    fn esp_program_latency_is_double_slc() {
+        let mut chip = NandChip::new(ChipConfig::tiny_test());
+        let esp = chip
+            .execute(Command::esp_program(WlAddr::new(0, 15, 0), page(&chip, 1500)))
+            .unwrap();
+        let slc = chip
+            .execute(Command::Program {
+                addr: WlAddr::new(0, 15, 1),
+                data: page(&chip, 1501),
+                scheme: ProgramScheme::Slc,
+                randomize: false,
+            })
+            .unwrap();
+        assert!((esp.latency_us / slc.latency_us - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feature_validation() {
+        let mut chip = NandChip::new(ChipConfig::tiny_test());
+        assert!(chip
+            .execute(Command::SetFeature { feature: Feature::MaxInterBlocks(0) })
+            .is_err());
+        assert!(chip
+            .execute(Command::SetFeature { feature: Feature::EspLatencyRatio(0.5) })
+            .is_err());
+        chip.execute(Command::SetFeature { feature: Feature::EspLatencyRatio(1.8) }).unwrap();
+        assert!((chip.esp_ratio_default() - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut chip = NandChip::new(ChipConfig::tiny_test());
+        let blk = BlockAddr::new(0, 0);
+        write_pages(&mut chip, blk, 2, 1600);
+        chip.execute(Command::Read { addr: blk.wordline(0), inverse: false }).unwrap();
+        chip.execute(Command::Mws {
+            flags: IscmFlags::single_read(),
+            targets: vec![MwsTarget::new(blk, &[0, 1])],
+        })
+        .unwrap();
+        let s = chip.stats();
+        assert_eq!(s.programs, 2);
+        assert_eq!(s.senses, 2);
+        assert_eq!(s.mws_ops, 1);
+        assert!(s.busy_us > 0.0 && s.energy_uj > 0.0);
+    }
+
+    #[test]
+    fn noisy_chip_injects_errors_on_aged_blocks() {
+        let mut cfg = ChipConfig::tiny_noisy();
+        // Large pages so expected error counts are visible.
+        cfg.geometry.page_bytes = 4096;
+        let mut chip = NandChip::new(cfg);
+        let blk = BlockAddr::new(0, 0);
+        let data = BitVec::ones(chip.config().geometry.page_bits());
+        chip.execute(Command::Program {
+            addr: blk.wordline(0),
+            data: data.clone(),
+            scheme: ProgramScheme::Slc,
+            randomize: false,
+        })
+        .unwrap();
+        chip.cycle_block(blk, 10_000).unwrap();
+        chip.set_retention_months(12.0);
+        let mut total_errors = 0usize;
+        for _ in 0..20 {
+            let out =
+                chip.execute(Command::Read { addr: blk.wordline(0), inverse: false }).unwrap();
+            total_errors += out.page().unwrap().hamming_distance(&data);
+        }
+        assert!(total_errors > 0, "aged unrandomized SLC must show raw bit errors");
+    }
+
+    #[test]
+    fn faulty_columns_are_stuck_and_profilable() {
+        let cfg = ChipConfig::tiny_test().with_faulty_columns(0.05);
+        let mut chip = NandChip::new(cfg);
+        let truth = chip.faulty_columns(0).unwrap().clone();
+        assert!(truth.count_ones() > 0, "5% of 256 columns should include faults");
+        // Profiling finds exactly the fabrication map.
+        let profiled = chip.profile_faulty_columns(BlockAddr::new(0, 15), 5).unwrap();
+        assert_eq!(profiled, truth);
+        // Excluding profiled columns makes MWS exact again (the paper's
+        // §5.1 methodology).
+        let blk = BlockAddr::new(0, 1);
+        let bits = chip.config().geometry.page_bits();
+        let pages: Vec<BitVec> = (0..3u32)
+            .map(|wl| {
+                use rand::rngs::StdRng;
+                let mut rng = StdRng::seed_from_u64(900 + wl as u64);
+                let p = BitVec::random(bits, &mut rng);
+                chip.execute(Command::esp_program(blk.wordline(wl), p.clone())).unwrap();
+                p
+            })
+            .collect();
+        let out = chip
+            .execute(Command::Mws {
+                flags: IscmFlags::single_read(),
+                targets: vec![MwsTarget::new(blk, &[0, 1, 2])],
+            })
+            .unwrap();
+        let expect = pages[0].and(&pages[1]).and(&pages[2]);
+        let sensed = out.into_page().unwrap();
+        assert_ne!(sensed, expect, "stuck columns corrupt the raw result");
+        let keep = profiled.not();
+        assert_eq!(
+            sensed.and(&keep),
+            expect.and(&keep),
+            "masking profiled columns restores exactness"
+        );
+    }
+
+    #[test]
+    fn healthy_chip_profiles_clean() {
+        let mut chip = NandChip::new(ChipConfig::tiny_test());
+        let profiled = chip.profile_faulty_columns(BlockAddr::new(1, 15), 3).unwrap();
+        assert!(profiled.is_all_zeros());
+    }
+
+    #[test]
+    fn esp_pages_stay_error_free_even_when_noisy() {
+        let mut cfg = ChipConfig::tiny_noisy();
+        cfg.geometry.page_bytes = 4096;
+        let mut chip = NandChip::new(cfg);
+        let blk = BlockAddr::new(0, 0);
+        let data = BitVec::ones(chip.config().geometry.page_bits());
+        chip.execute(Command::esp_program(blk.wordline(0), data.clone())).unwrap();
+        chip.cycle_block(blk, 10_000).unwrap();
+        chip.set_retention_months(12.0);
+        for _ in 0..50 {
+            let out =
+                chip.execute(Command::Read { addr: blk.wordline(0), inverse: false }).unwrap();
+            assert_eq!(out.page().unwrap().hamming_distance(&data), 0);
+        }
+    }
+}

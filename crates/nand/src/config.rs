@@ -1,0 +1,135 @@
+//! Chip configuration: geometry, fidelity level, environment and seeds.
+
+use serde::{Deserialize, Serialize};
+
+use crate::calib::timing;
+use crate::geometry::ChipGeometry;
+use crate::rber::RberModel;
+use crate::stress::StressModel;
+
+/// How faithfully the chip simulates cell behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Fidelity {
+    /// Pages are stored as exact bit vectors; reads optionally inject
+    /// raw bit errors sampled from the calibrated RBER model. Fast enough
+    /// for SSD-scale functional runs.
+    Functional {
+        /// Inject sampled raw bit errors on every sense.
+        inject_errors: bool,
+    },
+    /// Every cell carries a threshold voltage: programs run the ISPP
+    /// engine, stress physics shift V_TH, senses compare against `V_REF`.
+    /// Used by the characterization harness on small geometries.
+    Physics,
+}
+
+/// Full chip configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipConfig {
+    /// Cell-array geometry.
+    pub geometry: ChipGeometry,
+    /// Simulation fidelity.
+    pub fidelity: Fidelity,
+    /// Power cap on simultaneously activated blocks for inter-block MWS
+    /// (Table 1 default: 4). Adjustable at runtime via SET FEATURE.
+    pub max_inter_blocks: usize,
+    /// Calibrated RBER model (functional-mode error injection).
+    pub rber: RberModel,
+    /// Stress physics coefficients (physics mode).
+    pub stress_model: StressModel,
+    /// Seed for all stochastic behaviour (error sampling, V_TH sampling,
+    /// scrambler). Two chips with equal configs behave identically.
+    pub seed: u64,
+    /// Fraction of bitline columns with permanent (stuck-at) defects
+    /// (§5.1 footnote 9: the paper profiles and excludes faulty cells).
+    /// Zero by default; reliability studies opt in.
+    pub faulty_column_fraction: f64,
+}
+
+impl ChipConfig {
+    /// The paper's chip (Table 1 geometry, functional fidelity, error
+    /// injection on).
+    pub fn paper() -> Self {
+        Self {
+            geometry: ChipGeometry::paper(),
+            fidelity: Fidelity::Functional { inject_errors: true },
+            max_inter_blocks: timing::MAX_INTER_BLOCKS,
+            rber: RberModel::paper(),
+            stress_model: StressModel::default(),
+            seed: 0xC05_305,
+            faulty_column_fraction: 0.0,
+        }
+    }
+
+    /// Tiny geometry, functional fidelity, **no** error injection —
+    /// deterministic results for unit tests and examples.
+    pub fn tiny_test() -> Self {
+        Self {
+            geometry: ChipGeometry::tiny(),
+            fidelity: Fidelity::Functional { inject_errors: false },
+            max_inter_blocks: timing::MAX_INTER_BLOCKS,
+            rber: RberModel::paper(),
+            stress_model: StressModel::default(),
+            seed: 7,
+            faulty_column_fraction: 0.0,
+        }
+    }
+
+    /// Tiny geometry with error injection on — for reliability tests.
+    pub fn tiny_noisy() -> Self {
+        Self { fidelity: Fidelity::Functional { inject_errors: true }, ..Self::tiny_test() }
+    }
+
+    /// Tiny geometry at physics fidelity — for characterization tests.
+    pub fn tiny_physics() -> Self {
+        Self { fidelity: Fidelity::Physics, ..Self::tiny_test() }
+    }
+
+    /// Returns this config with a different seed (for multi-chip sweeps).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns this config with a fraction of permanently faulty bitline
+    /// columns (stuck-at defects).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `0.0..=0.5`.
+    pub fn with_faulty_columns(mut self, fraction: f64) -> Self {
+        assert!((0.0..=0.5).contains(&fraction), "faulty fraction {fraction} out of range");
+        self.faulty_column_fraction = fraction;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_distinct_and_sane() {
+        let paper = ChipConfig::paper();
+        assert_eq!(paper.max_inter_blocks, 4);
+        assert!(matches!(paper.fidelity, Fidelity::Functional { inject_errors: true }));
+
+        let t = ChipConfig::tiny_test();
+        assert!(matches!(t.fidelity, Fidelity::Functional { inject_errors: false }));
+        assert!(t.geometry.total_cells() < 1_000_000, "tiny must stay tiny");
+
+        assert!(matches!(ChipConfig::tiny_physics().fidelity, Fidelity::Physics));
+        assert!(matches!(
+            ChipConfig::tiny_noisy().fidelity,
+            Fidelity::Functional { inject_errors: true }
+        ));
+    }
+
+    #[test]
+    fn with_seed_changes_only_seed() {
+        let a = ChipConfig::tiny_test();
+        let b = a.clone().with_seed(99);
+        assert_eq!(a.geometry, b.geometry);
+        assert_ne!(a.seed, b.seed);
+    }
+}

@@ -1,0 +1,128 @@
+//! Error types for the NAND chip simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by chip-level operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NandError {
+    /// An address does not exist on this die.
+    AddressOutOfRange {
+        /// Which address component was invalid ("block", "wordline", ...).
+        what: &'static str,
+        /// Offending plane index.
+        plane: u32,
+        /// Offending block index.
+        block: u32,
+        /// Offending wordline index (0 when not applicable).
+        wl: u32,
+    },
+    /// Attempt to program a wordline that has not been erased since its
+    /// last program. Real NAND requires erase-before-program.
+    ProgramWithoutErase {
+        /// Plane of the offending wordline.
+        plane: u32,
+        /// Block of the offending wordline.
+        block: u32,
+        /// Offending wordline.
+        wl: u32,
+    },
+    /// Data length does not match the page size.
+    PageSizeMismatch {
+        /// Bits supplied by the caller.
+        got: usize,
+        /// Bits the geometry requires.
+        expected: usize,
+    },
+    /// An MWS command listed no target wordline at all.
+    EmptyMwsTarget,
+    /// An MWS command activates more blocks than the chip's power budget
+    /// allows (§5.2; Table 1 caps inter-block MWS at 4 blocks).
+    TooManyBlocks {
+        /// Blocks requested.
+        requested: usize,
+        /// Configured cap.
+        max: usize,
+    },
+    /// MWS targets must all lie in the same plane (they must share
+    /// bitlines and sensing circuitry).
+    PlaneMismatch,
+    /// A command frame could not be decoded.
+    MalformedFrame(String),
+    /// A read targeted a wordline that holds no data (erased / never
+    /// programmed). The simulator is strict about this so placement bugs
+    /// surface as errors instead of reads of stale data.
+    ReadOfUnwrittenPage {
+        /// Plane of the offending wordline.
+        plane: u32,
+        /// Block of the offending wordline.
+        block: u32,
+        /// Offending wordline.
+        wl: u32,
+    },
+    /// A SET FEATURE parameter value was outside its legal range.
+    InvalidFeature(String),
+}
+
+impl fmt::Display for NandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NandError::AddressOutOfRange { what, plane, block, wl } => {
+                write!(f, "{what} address out of range: plane {plane}, block {block}, wl {wl}")
+            }
+            NandError::ProgramWithoutErase { plane, block, wl } => {
+                write!(f, "program without erase at plane {plane}, block {block}, wl {wl}")
+            }
+            NandError::PageSizeMismatch { got, expected } => {
+                write!(f, "page size mismatch: got {got} bits, expected {expected}")
+            }
+            NandError::EmptyMwsTarget => write!(f, "MWS command has no target wordlines"),
+            NandError::TooManyBlocks { requested, max } => {
+                write!(f, "inter-block MWS over {requested} blocks exceeds the power cap of {max}")
+            }
+            NandError::PlaneMismatch => {
+                write!(f, "MWS targets must share a plane (bitlines are per-plane)")
+            }
+            NandError::MalformedFrame(msg) => write!(f, "malformed command frame: {msg}"),
+            NandError::ReadOfUnwrittenPage { plane, block, wl } => {
+                write!(f, "read of unwritten page at plane {plane}, block {block}, wl {wl}")
+            }
+            NandError::InvalidFeature(msg) => write!(f, "invalid feature setting: {msg}"),
+        }
+    }
+}
+
+impl Error for NandError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_trailing_punctuation() {
+        let errors: Vec<NandError> = vec![
+            NandError::AddressOutOfRange { what: "block", plane: 9, block: 9, wl: 0 },
+            NandError::ProgramWithoutErase { plane: 0, block: 1, wl: 2 },
+            NandError::PageSizeMismatch { got: 8, expected: 16 },
+            NandError::EmptyMwsTarget,
+            NandError::TooManyBlocks { requested: 8, max: 4 },
+            NandError::PlaneMismatch,
+            NandError::MalformedFrame("oops".into()),
+            NandError::ReadOfUnwrittenPage { plane: 0, block: 0, wl: 0 },
+            NandError::InvalidFeature("bad".into()),
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'), "no trailing period: {s}");
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with("MWS"), "{s}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NandError>();
+    }
+}

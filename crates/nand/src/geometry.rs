@@ -1,0 +1,273 @@
+//! Cell-array geometry: planes, blocks, wordlines, bitlines (§2.1).
+//!
+//! Terminology follows the paper: a *NAND string* is a vertical series
+//! connection of (e.g.) 48 cells; strings at different bitlines form a
+//! *sub-block*; several sub-blocks form a physical block; thousands of
+//! blocks share the bitlines of a *plane*.
+//!
+//! Like the paper ("we refer to a sub-block as a block for simplicity"),
+//! the simulator addresses storage at sub-block granularity: a
+//! [`BlockAddr`] names a sub-block whose wordline count equals the NAND
+//! string length, which is exactly the unit over which intra-block MWS can
+//! AND wordlines. The physical-block grouping is retained only as a count
+//! ([`ChipGeometry::subblocks_per_physical_block`]) for capacity math.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NandError;
+
+/// Geometry of one NAND flash chip (die).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ChipGeometry {
+    /// Planes per die (Table 1: 2).
+    pub planes: u32,
+    /// Sub-blocks per plane. All of them share the plane's bitlines, so
+    /// any set of them can participate in inter-block MWS.
+    pub blocks_per_plane: u32,
+    /// Cells per NAND string == wordlines per sub-block (48 for the
+    /// paper's 48-layer chips).
+    pub wls_per_block: u32,
+    /// Page size in bytes (16 KiB in the paper). One wordline stores one
+    /// page in SLC mode.
+    pub page_bytes: u32,
+    /// Sub-blocks per physical block (paper: 4; Table 1's "192 (4×48)
+    /// WLs/block"). Only used for capacity accounting.
+    pub subblocks_per_physical_block: u32,
+}
+
+impl ChipGeometry {
+    /// Geometry of the paper's characterized chips (§5.1, Table 1),
+    /// scaled to one die: 2 planes × 2048 physical blocks × 4 sub-blocks
+    /// × 48 WLs × 16 KiB pages.
+    pub fn paper() -> Self {
+        Self {
+            planes: 2,
+            blocks_per_plane: 2048 * 4,
+            wls_per_block: 48,
+            page_bytes: 16 * 1024,
+            subblocks_per_physical_block: 4,
+        }
+    }
+
+    /// A small geometry for unit tests and examples: functional behaviour
+    /// is identical, data sizes are laptop-friendly.
+    pub fn tiny() -> Self {
+        Self {
+            planes: 2,
+            blocks_per_plane: 16,
+            wls_per_block: 8,
+            page_bytes: 32,
+            subblocks_per_physical_block: 4,
+        }
+    }
+
+    /// Bits per page (bitlines per plane).
+    pub fn page_bits(&self) -> usize {
+        self.page_bytes as usize * 8
+    }
+
+    /// Total sub-blocks on the die.
+    pub fn total_blocks(&self) -> usize {
+        self.planes as usize * self.blocks_per_plane as usize
+    }
+
+    /// Total wordlines on the die.
+    pub fn total_wls(&self) -> usize {
+        self.total_blocks() * self.wls_per_block as usize
+    }
+
+    /// Total cells on the die.
+    pub fn total_cells(&self) -> usize {
+        self.total_wls() * self.page_bits()
+    }
+
+    /// Raw capacity in bytes when every cell stores `bits_per_cell` bits.
+    pub fn capacity_bytes(&self, bits_per_cell: u32) -> u64 {
+        self.total_wls() as u64 * self.page_bytes as u64 * bits_per_cell as u64
+    }
+
+    /// Checks that a block address lies on this die.
+    pub fn validate_block(&self, addr: BlockAddr) -> Result<(), NandError> {
+        if addr.plane >= self.planes || addr.block >= self.blocks_per_plane {
+            return Err(NandError::AddressOutOfRange {
+                what: "block",
+                plane: addr.plane,
+                block: addr.block,
+                wl: 0,
+            });
+        }
+        Ok(())
+    }
+
+    /// Checks that a wordline address lies on this die.
+    pub fn validate_wl(&self, addr: WlAddr) -> Result<(), NandError> {
+        self.validate_block(addr.block())?;
+        if addr.wl >= self.wls_per_block {
+            return Err(NandError::AddressOutOfRange {
+                what: "wordline",
+                plane: addr.plane,
+                block: addr.block,
+                wl: addr.wl,
+            });
+        }
+        Ok(())
+    }
+
+    /// Iterator over every block address on the die, plane-major.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = BlockAddr> {
+        let planes = self.planes;
+        let blocks = self.blocks_per_plane;
+        (0..planes).flat_map(move |p| (0..blocks).map(move |b| BlockAddr::new(p, b)))
+    }
+
+    /// Iterator over every wordline of a block.
+    pub fn iter_wls(&self, block: BlockAddr) -> impl Iterator<Item = WlAddr> {
+        (0..self.wls_per_block).map(move |wl| block.wordline(wl))
+    }
+}
+
+/// Address of a sub-block on a die.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockAddr {
+    /// Plane index on the die.
+    pub plane: u32,
+    /// Sub-block index within the plane.
+    pub block: u32,
+}
+
+impl BlockAddr {
+    /// Creates a block address.
+    pub fn new(plane: u32, block: u32) -> Self {
+        Self { plane, block }
+    }
+
+    /// The address of wordline `wl` within this block.
+    pub fn wordline(self, wl: u32) -> WlAddr {
+        WlAddr { plane: self.plane, block: self.block, wl }
+    }
+}
+
+impl std::fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}/B{}", self.plane, self.block)
+    }
+}
+
+/// Address of a wordline (equivalently: an SLC page) on a die.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WlAddr {
+    /// Plane index on the die.
+    pub plane: u32,
+    /// Sub-block index within the plane.
+    pub block: u32,
+    /// Wordline index within the sub-block (0-based from the bitline side).
+    pub wl: u32,
+}
+
+impl WlAddr {
+    /// Creates a wordline address.
+    pub fn new(plane: u32, block: u32, wl: u32) -> Self {
+        Self { plane, block, wl }
+    }
+
+    /// The containing block's address.
+    pub fn block(self) -> BlockAddr {
+        BlockAddr { plane: self.plane, block: self.block }
+    }
+}
+
+impl std::fmt::Display for WlAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}/B{}/W{}", self.plane, self.block, self.wl)
+    }
+}
+
+/// How many bits a cell stores in each programming mode (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellMode {
+    /// Single-level cell: 1 bit, two V_TH states.
+    Slc,
+    /// Multi-level cell: 2 bits, four V_TH states.
+    Mlc,
+    /// Triple-level cell: 3 bits, eight V_TH states.
+    Tlc,
+}
+
+impl CellMode {
+    /// Bits stored per cell.
+    pub fn bits_per_cell(self) -> u32 {
+        match self {
+            CellMode::Slc => 1,
+            CellMode::Mlc => 2,
+            CellMode::Tlc => 3,
+        }
+    }
+
+    /// Number of V_TH states.
+    pub fn states(self) -> u32 {
+        1 << self.bits_per_cell()
+    }
+}
+
+impl std::fmt::Display for CellMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CellMode::Slc => write!(f, "SLC"),
+            CellMode::Mlc => write!(f, "MLC"),
+            CellMode::Tlc => write!(f, "TLC"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_matches_table1() {
+        let g = ChipGeometry::paper();
+        // 2 planes × 2048 physical blocks × 192 WLs = Table 1 per-die count.
+        assert_eq!(g.total_wls(), 2 * 2048 * 4 * 48);
+        assert_eq!(g.page_bits(), 16 * 1024 * 8);
+        // TLC capacity per die: 2 planes × 2048 blocks × 192 WLs × 16 KiB × 3.
+        let cap = g.capacity_bytes(3);
+        assert_eq!(cap, 2 * 2048 * 192 * 16 * 1024 * 3);
+    }
+
+    #[test]
+    fn address_validation() {
+        let g = ChipGeometry::tiny();
+        assert!(g.validate_block(BlockAddr::new(0, 0)).is_ok());
+        assert!(g.validate_block(BlockAddr::new(1, 15)).is_ok());
+        assert!(g.validate_block(BlockAddr::new(2, 0)).is_err());
+        assert!(g.validate_block(BlockAddr::new(0, 16)).is_err());
+        assert!(g.validate_wl(WlAddr::new(0, 0, 7)).is_ok());
+        assert!(g.validate_wl(WlAddr::new(0, 0, 8)).is_err());
+    }
+
+    #[test]
+    fn iterators_cover_the_die() {
+        let g = ChipGeometry::tiny();
+        assert_eq!(g.iter_blocks().count(), g.total_blocks());
+        let blk = BlockAddr::new(1, 3);
+        let wls: Vec<_> = g.iter_wls(blk).collect();
+        assert_eq!(wls.len(), 8);
+        assert_eq!(wls[0], WlAddr::new(1, 3, 0));
+        assert_eq!(wls[7], WlAddr::new(1, 3, 7));
+    }
+
+    #[test]
+    fn cell_mode_bits() {
+        assert_eq!(CellMode::Slc.bits_per_cell(), 1);
+        assert_eq!(CellMode::Mlc.states(), 4);
+        assert_eq!(CellMode::Tlc.states(), 8);
+        assert_eq!(CellMode::Tlc.to_string(), "TLC");
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(BlockAddr::new(1, 2).to_string(), "P1/B2");
+        assert_eq!(WlAddr::new(1, 2, 3).to_string(), "P1/B2/W3");
+        assert_eq!(BlockAddr::new(0, 5).wordline(7), WlAddr::new(0, 5, 7));
+    }
+}

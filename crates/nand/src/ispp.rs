@@ -1,0 +1,298 @@
+//! Incremental Step Pulse Programming (ISPP) and Enhanced SLC-mode
+//! Programming (ESP) — §4.2, Fig. 10.
+//!
+//! ISPP raises a cell's V_TH in discrete pulses: every pulse adds roughly
+//! `ΔV_ISPP` to the cell's threshold voltage, and a verify step after each
+//! pulse excludes cells that have reached their target voltage `V_TGT` from
+//! further pulses. The final distribution width is therefore governed by
+//! `ΔV_ISPP` (plus intrinsic noise), and the program latency by the number
+//! of pulses.
+//!
+//! ESP = regular SLC programming + extra pulses with a **raised `V_TGT`**
+//! and a **smaller `ΔV_ISPP`**, trading latency for margin (Fig. 10a:
+//! "Only in ESP").
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::calib::timing;
+use crate::geometry::CellMode;
+use crate::vth::{sample_standard_normal, VthLayout, ERASED};
+
+/// How a page is programmed. This choice drives latency, capacity and
+/// reliability everywhere in the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ProgramScheme {
+    /// Regular SLC-mode programming (1 bit/cell, default ISPP).
+    Slc,
+    /// Enhanced SLC-mode programming with the given latency budget
+    /// `tESP / tPROG(SLC)` (the paper's operating point is 2.0 → 400 µs).
+    Esp {
+        /// Latency budget as a multiple of the SLC program latency;
+        /// clamped to `1.0..=2.5` wherever it is interpreted.
+        ratio: f64,
+    },
+    /// Regular MLC-mode programming (2 bits/cell).
+    Mlc,
+    /// Regular TLC-mode programming (3 bits/cell).
+    Tlc,
+}
+
+impl ProgramScheme {
+    /// ESP at the paper's default operating point (`tESP = 2 × tPROG`).
+    pub fn esp_default() -> Self {
+        ProgramScheme::Esp { ratio: timing::T_ESP_US / timing::T_PROG_SLC_US }
+    }
+
+    /// The cell mode this scheme programs in.
+    pub fn cell_mode(self) -> CellMode {
+        match self {
+            ProgramScheme::Slc | ProgramScheme::Esp { .. } => CellMode::Slc,
+            ProgramScheme::Mlc => CellMode::Mlc,
+            ProgramScheme::Tlc => CellMode::Tlc,
+        }
+    }
+
+    /// Program latency in microseconds (Table 1).
+    pub fn program_latency_us(self) -> f64 {
+        match self {
+            ProgramScheme::Slc => timing::T_PROG_SLC_US,
+            ProgramScheme::Esp { ratio } => timing::T_PROG_SLC_US * ratio.clamp(1.0, 2.5),
+            ProgramScheme::Mlc => timing::T_PROG_MLC_US,
+            ProgramScheme::Tlc => timing::T_PROG_TLC_US,
+        }
+    }
+
+    /// The V_TH layout this scheme produces.
+    pub fn layout(self) -> VthLayout {
+        match self {
+            ProgramScheme::Slc => VthLayout::slc(),
+            ProgramScheme::Esp { ratio } => VthLayout::esp(ratio),
+            ProgramScheme::Mlc => VthLayout::mlc(),
+            ProgramScheme::Tlc => VthLayout::tlc(),
+        }
+    }
+
+    /// Whether this is (any flavor of) single-bit-per-cell programming.
+    pub fn is_single_bit(self) -> bool {
+        matches!(self, ProgramScheme::Slc | ProgramScheme::Esp { .. })
+    }
+}
+
+impl Default for ProgramScheme {
+    fn default() -> Self {
+        ProgramScheme::Slc
+    }
+}
+
+/// ISPP pulse-train parameters (Fig. 10a).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IsppConfig {
+    /// Target threshold voltage `V_TGT` in volts.
+    pub vtgt: f64,
+    /// Step voltage `ΔV_ISPP` in volts.
+    pub delta_v: f64,
+    /// Per-pulse intrinsic noise sigma in volts (cell-to-cell variation in
+    /// coupling efficiency).
+    pub pulse_noise_v: f64,
+    /// Maximum pulses before giving up (real chips flag a program failure;
+    /// we size it generously).
+    pub max_pulses: u32,
+}
+
+impl IsppConfig {
+    /// Default SLC pulse train: coarse steps to 2.0 V.
+    pub fn slc_default() -> Self {
+        Self { vtgt: 2.0, delta_v: 0.6, pulse_noise_v: 0.05, max_pulses: 32 }
+    }
+
+    /// The ESP refinement pulse train for a latency ratio: smaller steps,
+    /// raised target (Fig. 10).
+    pub fn esp_refinement(ratio: f64) -> Self {
+        let r = ratio.clamp(1.0, 2.5) - 1.0;
+        Self {
+            vtgt: 2.0 + 1.3 * r,
+            delta_v: (0.6 - 0.4 * r).max(0.1),
+            pulse_noise_v: 0.03,
+            max_pulses: 64,
+        }
+    }
+}
+
+/// Outcome of programming one wordline's cells through the ISPP engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IsppOutcome {
+    /// Final per-cell threshold voltages.
+    pub vth: Vec<f64>,
+    /// Pulses consumed by the slowest cell.
+    pub pulses: u32,
+}
+
+/// Programs cells to `targets` (true = leave erased, false = program, SLC
+/// encoding) by simulating the ISPP pulse train cell-by-cell.
+///
+/// Returns the final V_TH of each cell and the pulse count. Cells left
+/// erased are sampled from the erased distribution.
+pub fn program_slc_like<R: Rng + ?Sized>(
+    targets: &[bool],
+    cfg: IsppConfig,
+    rng: &mut R,
+) -> IsppOutcome {
+    let mut vth = Vec::with_capacity(targets.len());
+    let mut max_pulses = 0u32;
+    for &stay_erased in targets {
+        if stay_erased {
+            vth.push(ERASED.sample(rng));
+            continue;
+        }
+        // Cell starts from a fresh erased level and is pulsed until the
+        // verify step sees it at/above V_TGT.
+        let mut v = ERASED.sample(rng);
+        let mut pulses = 0u32;
+        while v < cfg.vtgt && pulses < cfg.max_pulses {
+            v += cfg.delta_v + cfg.pulse_noise_v * sample_standard_normal(rng);
+            pulses += 1;
+        }
+        max_pulses = max_pulses.max(pulses);
+        vth.push(v);
+    }
+    IsppOutcome { vth, pulses: max_pulses }
+}
+
+/// Programs cells with full ESP: the regular SLC pulse train followed by
+/// the refinement train with raised `V_TGT` and reduced `ΔV_ISPP`.
+pub fn program_esp<R: Rng + ?Sized>(
+    targets: &[bool],
+    ratio: f64,
+    rng: &mut R,
+) -> IsppOutcome {
+    let coarse = IsppConfig::slc_default();
+    let refine = IsppConfig::esp_refinement(ratio);
+    let mut out = program_slc_like(targets, coarse, rng);
+    if ratio <= 1.0 {
+        return out;
+    }
+    let mut extra = 0u32;
+    for (v, &stay_erased) in out.vth.iter_mut().zip(targets) {
+        if stay_erased {
+            continue;
+        }
+        let mut pulses = 0u32;
+        while *v < refine.vtgt && pulses < refine.max_pulses {
+            *v += refine.delta_v + refine.pulse_noise_v * sample_standard_normal(rng);
+            pulses += 1;
+        }
+        extra = extra.max(pulses);
+    }
+    out.pulses += extra;
+    out
+}
+
+/// Empirical width (standard deviation) of the programmed distribution.
+/// Convenience for tests and the characterization harness.
+pub fn programmed_sigma(vth: &[f64], targets: &[bool]) -> f64 {
+    let programmed: Vec<f64> = vth
+        .iter()
+        .zip(targets)
+        .filter(|(_, &e)| !e)
+        .map(|(&v, _)| v)
+        .collect();
+    if programmed.len() < 2 {
+        return 0.0;
+    }
+    let mean = programmed.iter().sum::<f64>() / programmed.len() as f64;
+    (programmed.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / programmed.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn half_programmed(n: usize) -> Vec<bool> {
+        (0..n).map(|i| i % 2 == 0).collect()
+    }
+
+    #[test]
+    fn scheme_latencies_match_table1() {
+        assert_eq!(ProgramScheme::Slc.program_latency_us(), 200.0);
+        assert_eq!(ProgramScheme::esp_default().program_latency_us(), 400.0);
+        assert_eq!(ProgramScheme::Mlc.program_latency_us(), 500.0);
+        assert_eq!(ProgramScheme::Tlc.program_latency_us(), 700.0);
+        assert_eq!(ProgramScheme::Esp { ratio: 1.5 }.program_latency_us(), 300.0);
+    }
+
+    #[test]
+    fn slc_programming_reaches_target() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let targets = half_programmed(2000);
+        let out = program_slc_like(&targets, IsppConfig::slc_default(), &mut rng);
+        for (v, &erased) in out.vth.iter().zip(&targets) {
+            if erased {
+                assert!(*v < 0.0, "erased cell at {v}");
+            } else {
+                assert!(*v >= 2.0, "programmed cell below target: {v}");
+                assert!(*v < 3.2, "programmed cell overshot: {v}");
+            }
+        }
+        assert!(out.pulses <= 32);
+    }
+
+    #[test]
+    fn esp_raises_target_and_tightens_distribution() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let targets = half_programmed(4000);
+        let slc = program_slc_like(&targets, IsppConfig::slc_default(), &mut rng);
+        let esp = program_esp(&targets, 2.0, &mut rng);
+        let slc_sigma = programmed_sigma(&slc.vth, &targets);
+        let esp_sigma = programmed_sigma(&esp.vth, &targets);
+        assert!(esp_sigma < slc_sigma, "ESP sigma {esp_sigma} !< SLC sigma {slc_sigma}");
+        // ESP programmed cells all sit at/above the raised target.
+        for (v, &erased) in esp.vth.iter().zip(&targets) {
+            if !erased {
+                assert!(*v >= 3.2, "ESP cell below raised target: {v}");
+            }
+        }
+        // ESP spends more pulses (that is where the latency goes).
+        assert!(esp.pulses > slc.pulses);
+    }
+
+    #[test]
+    fn esp_ratio_one_adds_no_refinement() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let targets = half_programmed(512);
+        let out = program_esp(&targets, 1.0, &mut rng);
+        for (v, &erased) in out.vth.iter().zip(&targets) {
+            if !erased {
+                assert!(*v >= 2.0 && *v < 3.2);
+            }
+        }
+    }
+
+    #[test]
+    fn refinement_step_shrinks_with_budget() {
+        let a = IsppConfig::esp_refinement(1.2);
+        let b = IsppConfig::esp_refinement(2.0);
+        assert!(b.delta_v < a.delta_v);
+        assert!(b.vtgt > a.vtgt);
+    }
+
+    #[test]
+    fn all_erased_page_needs_no_pulses() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let targets = vec![true; 64];
+        let out = program_slc_like(&targets, IsppConfig::slc_default(), &mut rng);
+        assert_eq!(out.pulses, 0);
+        assert!(out.vth.iter().all(|&v| v < 0.0));
+    }
+
+    #[test]
+    fn scheme_cell_modes() {
+        assert!(ProgramScheme::Slc.is_single_bit());
+        assert!(ProgramScheme::esp_default().is_single_bit());
+        assert!(!ProgramScheme::Mlc.is_single_bit());
+        assert_eq!(ProgramScheme::Tlc.cell_mode(), CellMode::Tlc);
+        assert_eq!(ProgramScheme::default(), ProgramScheme::Slc);
+    }
+}

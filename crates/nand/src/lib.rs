@@ -1,0 +1,76 @@
+//! # fc-nand — NAND flash chip simulator
+//!
+//! This crate is the key substrate of the Flash-Cosmos reproduction: a
+//! behavioural model of a 3D NAND flash chip faithful to the cell-array
+//! structures and operating principles that the paper's two mechanisms
+//! exploit.
+//!
+//! The model covers, bottom-up:
+//!
+//! * [`geometry`] — planes / blocks / NAND strings / wordlines / bitlines,
+//!   matching the 48-layer 3D TLC chips characterized in the paper (§2.1).
+//! * [`vth`] + [`ispp`] — per-cell threshold-voltage physics: state
+//!   distributions, incremental step pulse programming (ISPP), and the
+//!   paper's Enhanced SLC-mode Programming (ESP, §4.2).
+//! * [`stress`] — retention loss, program interference, read disturb and
+//!   P/E-cycle wear applied to cell populations (§2.2).
+//! * [`rber`] — a closed-form raw-bit-error-rate model calibrated to the
+//!   paper's 160-chip characterization (Figs. 8 and 11).
+//! * [`latch`] — the sensing-latch / cache-latch periphery with the exact
+//!   Boolean semantics of Figs. 3, 4 and 6 (normal/inverse sensing,
+//!   AND-accumulation, M3 OR-transfer, inter-latch XOR).
+//! * [`sense`] — the read mechanism including **Multi-Wordline Sensing**
+//!   (intra-block → AND, inter-block → OR; §4.1) with the latency model of
+//!   Figs. 12/13.
+//! * [`power`] — op power/energy calibrated to Fig. 14.
+//! * [`command`] — the Flash-Cosmos command set of Fig. 15 (`MWS`, `ESP`,
+//!   `XOR`) plus the legacy read/program/erase/set-feature commands, with
+//!   byte-level frame encoding/decoding.
+//! * [`chip`] — the chip state machine tying everything together.
+//!
+//! ## Quick example: one-shot 3-operand AND via intra-block MWS
+//!
+//! ```
+//! use fc_nand::chip::NandChip;
+//! use fc_nand::config::ChipConfig;
+//! use fc_nand::command::{Command, IscmFlags, MwsTarget};
+//! use fc_nand::geometry::BlockAddr;
+//! use fc_bits::BitVec;
+//!
+//! let mut chip = NandChip::new(ChipConfig::tiny_test());
+//! let blk = BlockAddr::new(0, 0);
+//! let pages: Vec<BitVec> = (0..3)
+//!     .map(|i| BitVec::from_fn(chip.config().geometry.page_bits(), |c| (c + i) % 2 == 0))
+//!     .collect();
+//! for (wl, page) in pages.iter().enumerate() {
+//!     chip.execute(Command::esp_program(blk.wordline(wl as u32), page.clone())).unwrap();
+//! }
+//! let out = chip
+//!     .execute(Command::Mws {
+//!         flags: IscmFlags::single_read(),
+//!         targets: vec![MwsTarget::new(blk, &[0, 1, 2])],
+//!     })
+//!     .unwrap();
+//! let expect = pages[0].and(&pages[1]).and(&pages[2]);
+//! assert_eq!(out.page().unwrap(), &expect);
+//! ```
+
+pub mod calib;
+pub mod chip;
+pub mod command;
+pub mod config;
+pub mod error;
+pub mod geometry;
+pub mod ispp;
+pub mod latch;
+pub mod power;
+pub mod randomizer;
+pub mod rber;
+pub mod sense;
+pub mod stress;
+pub mod vth;
+
+pub use chip::NandChip;
+pub use config::ChipConfig;
+pub use error::NandError;
+pub use geometry::{BlockAddr, ChipGeometry, WlAddr};

@@ -1,0 +1,114 @@
+//! Chip power and energy model, calibrated to Fig. 14 (§5.2).
+//!
+//! Fig. 14 reports power normalized to a regular page read. To account
+//! energy in joules at the SSD level, the normalized scale is anchored by
+//! [`crate::calib::power::READ_POWER_MW`] (an assumed absolute read power;
+//! the paper reports only the normalized values).
+
+use crate::calib::power as cal;
+use crate::calib::timing;
+
+/// Power of an inter-block MWS activating `n_blocks` blocks, normalized to
+/// a regular page read (Fig. 14). One block degenerates to the intra-block
+/// case, which is slightly *cheaper* than a regular read (§4.1).
+///
+/// # Panics
+///
+/// Panics if `n_blocks` is zero.
+pub fn mws_power_norm(n_blocks: usize) -> f64 {
+    assert!(n_blocks > 0, "at least one block must be activated");
+    if n_blocks == 1 {
+        return cal::INTRA_MWS;
+    }
+    if n_blocks <= cal::INTER_MWS_BY_BLOCKS.len() {
+        return cal::INTER_MWS_BY_BLOCKS[n_blocks - 1];
+    }
+    let last = *cal::INTER_MWS_BY_BLOCKS.last().unwrap();
+    last + cal::INTER_MWS_EXTRA_SLOPE * (n_blocks - cal::INTER_MWS_BY_BLOCKS.len()) as f64
+}
+
+/// Normalized power of a regular page read.
+pub fn read_power_norm() -> f64 {
+    cal::READ
+}
+
+/// Normalized power of a program operation.
+pub fn program_power_norm() -> f64 {
+    cal::PROGRAM
+}
+
+/// Normalized power of an erase operation.
+pub fn erase_power_norm() -> f64 {
+    cal::ERASE
+}
+
+/// Converts a normalized power and a latency to energy in microjoules:
+/// `norm × READ_POWER_MW [mW] × t [µs] = nJ`, divided by 1000 → µJ.
+pub fn energy_uj(norm_power: f64, latency_us: f64) -> f64 {
+    norm_power * cal::READ_POWER_MW * latency_us / 1000.0
+}
+
+/// Energy of a regular SLC page read, microjoules.
+pub fn read_energy_uj() -> f64 {
+    energy_uj(cal::READ, timing::T_R_SLC_US)
+}
+
+/// Energy of one MWS operation activating `n_blocks` blocks at the fixed
+/// `tMWS` budget, microjoules.
+pub fn mws_energy_uj(n_blocks: usize) -> f64 {
+    energy_uj(mws_power_norm(n_blocks), timing::T_MWS_US)
+}
+
+/// Energy of a program operation with the given latency, microjoules.
+pub fn program_energy_uj(latency_us: f64) -> f64 {
+    energy_uj(cal::PROGRAM, latency_us)
+}
+
+/// Energy of a block erase, microjoules.
+pub fn erase_energy_uj() -> f64 {
+    energy_uj(cal::ERASE, timing::T_BERS_US)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig14_two_blocks_is_plus_34_percent() {
+        assert!((mws_power_norm(2) - 1.34).abs() < 1e-9);
+    }
+
+    #[test]
+    fn four_blocks_below_erase_five_above() {
+        assert!(mws_power_norm(4) < erase_power_norm());
+        assert!(mws_power_norm(5) > erase_power_norm());
+    }
+
+    #[test]
+    fn intra_block_mws_cheaper_than_read() {
+        assert!(mws_power_norm(1) < read_power_norm());
+    }
+
+    #[test]
+    fn extrapolation_is_monotone() {
+        for n in 1..16 {
+            assert!(mws_power_norm(n) < mws_power_norm(n + 1));
+        }
+    }
+
+    #[test]
+    fn mws_on_four_blocks_halves_energy_vs_serial_reads() {
+        // §5.2: 4-block inter-block MWS "significantly reduces the energy
+        // consumption by 53% compared to individual reads of the four WLs".
+        let mws = mws_energy_uj(4);
+        let serial = 4.0 * read_energy_uj();
+        let saving = 1.0 - mws / serial;
+        assert!((saving - 0.53).abs() < 0.08, "energy saving {saving}");
+    }
+
+    #[test]
+    fn energy_units() {
+        // 1.0 normalized × 40 mW × 25 µs = 1000 nJ = 1 µJ.
+        assert!((energy_uj(1.0, 25.0) - 1.0).abs() < 1e-12);
+    }
+}

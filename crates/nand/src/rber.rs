@@ -1,0 +1,353 @@
+//! Closed-form raw-bit-error-rate model calibrated to the paper's 160-chip
+//! characterization (Figs. 8 and 11, §3.2, §5.2).
+//!
+//! The model is multiplicative:
+//!
+//! ```text
+//! RBER = base(mode) × rand_penalty(mode, randomized)
+//!        × pec_growth(PEC) × retention_growth(months)
+//!        × esp_decay(tESP/tPROG) × block_grade
+//! ```
+//!
+//! Anchors (all from the paper, see [`crate::calib::rber`]):
+//! * MLC + randomization, fresh: 8.6×10⁻⁴ (§7)
+//! * MLC worst case (no randomization, 10K PEC, 1 yr): 1.6×10⁻² (§3.2)
+//! * randomization-off penalty: 1.91× (SLC), 4.92× (MLC) (§3.2)
+//! * MLC ≈ 4× SLC (§3.2)
+//! * ESP: one decade of improvement at ratio 1.6, zero observed errors at
+//!   ratio ≥ 1.9 (statistically < 2.07×10⁻¹²) (§5.2, Fig. 11)
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::calib::rber as c;
+use crate::geometry::CellMode;
+use crate::ispp::ProgramScheme;
+use crate::stress::StressState;
+
+/// Block-to-block reliability variation, as plotted in Fig. 11
+/// (worst / median / best block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlockGrade {
+    /// The worst block of the tested population.
+    Worst,
+    /// The median block.
+    Median,
+    /// The best block.
+    Best,
+}
+
+impl BlockGrade {
+    /// RBER multiplier relative to the median block.
+    pub fn multiplier(self) -> f64 {
+        match self {
+            BlockGrade::Worst => 2.5,
+            BlockGrade::Median => 1.0,
+            BlockGrade::Best => 0.25,
+        }
+    }
+}
+
+/// The calibrated RBER model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RberModel {
+    /// RBER of fresh SLC with randomization (the anchor everything else is
+    /// expressed relative to). Derived: MLC anchor / MLC-over-SLC ratio.
+    pub slc_randomized_fresh: f64,
+    /// P/E-cycle growth coefficient (`1 + a·(PEC/1000)^pec_exp`).
+    pub pec_alpha: f64,
+    /// P/E-cycle growth exponent.
+    pub pec_exp: f64,
+    /// Retention growth coefficient (`1 + b·ln(1 + months/t0)`).
+    pub retention_beta: f64,
+    /// Retention time constant in months.
+    pub retention_t0: f64,
+    /// ESP improvement in decades per unit of `(ratio - 1)` (Fig. 11:
+    /// one decade at ratio 1.6 → 1/0.6 decades per unit).
+    pub esp_decades_per_ratio: f64,
+    /// `tESP/tPROG` at and above which no errors are observed (§5.2).
+    pub esp_zero_ratio: f64,
+}
+
+impl Default for RberModel {
+    fn default() -> Self {
+        Self {
+            slc_randomized_fresh: c::MLC_RANDOMIZED_BEST / c::MLC_OVER_SLC,
+            pec_alpha: 0.10,
+            pec_exp: 1.0,
+            retention_beta: 0.28,
+            retention_t0: 0.5,
+            esp_decades_per_ratio: 1.0 / (c::ESP_DECADE_AT_RATIO - 1.0),
+            esp_zero_ratio: c::ESP_ZERO_ERROR_RATIO,
+        }
+    }
+}
+
+impl RberModel {
+    /// The paper-calibrated model.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Expected RBER for a page programmed with `scheme`, with or without
+    /// data randomization, after the given stress.
+    ///
+    /// Returns exactly `0.0` for ESP at or above the zero-error ratio —
+    /// the paper's core reliability claim (§5.2). The statistical upper
+    /// bound for that regime is [`crate::calib::rber::ESP_STATISTICAL_RBER`].
+    pub fn rber(&self, scheme: ProgramScheme, randomized: bool, stress: StressState) -> f64 {
+        self.rber_graded(scheme, randomized, stress, BlockGrade::Median)
+    }
+
+    /// Like [`Self::rber`] but for a specific block grade (Fig. 11 plots
+    /// worst/median/best).
+    pub fn rber_graded(
+        &self,
+        scheme: ProgramScheme,
+        randomized: bool,
+        stress: StressState,
+        grade: BlockGrade,
+    ) -> f64 {
+        let esp_ratio = match scheme {
+            ProgramScheme::Esp { ratio } => ratio.clamp(1.0, 2.5),
+            _ => 1.0,
+        };
+        if matches!(scheme, ProgramScheme::Esp { .. }) && esp_ratio >= self.esp_zero_ratio {
+            return 0.0;
+        }
+        let mode = scheme.cell_mode();
+        let base = self.slc_randomized_fresh * mode_factor(mode);
+        let rand_factor = if randomized { 1.0 } else { no_randomization_factor(mode) };
+        let growth = self.pec_growth(stress.pec) * self.retention_growth(stress.retention_months);
+        let esp = 10f64.powf(-self.esp_decades_per_ratio * (esp_ratio - 1.0));
+        base * rand_factor * growth * esp * grade.multiplier()
+    }
+
+    /// P/E-cycle growth factor.
+    pub fn pec_growth(&self, pec: u32) -> f64 {
+        1.0 + self.pec_alpha * (pec as f64 / 1000.0).powf(self.pec_exp)
+    }
+
+    /// Retention growth factor.
+    pub fn retention_growth(&self, months: f64) -> f64 {
+        1.0 + self.retention_beta * (1.0 + months.max(0.0) / self.retention_t0).ln()
+    }
+
+    /// Samples the number of raw bit errors in a page of `page_bits` bits
+    /// (binomial via per-trial simulation for small expected counts,
+    /// normal approximation for large ones).
+    pub fn sample_errors<R: Rng + ?Sized>(
+        &self,
+        scheme: ProgramScheme,
+        randomized: bool,
+        stress: StressState,
+        page_bits: usize,
+        rng: &mut R,
+    ) -> usize {
+        let p = self.rber(scheme, randomized, stress);
+        sample_binomial(page_bits, p, rng)
+    }
+}
+
+/// RBER multiplier for storing more bits per cell (§3.2).
+fn mode_factor(mode: CellMode) -> f64 {
+    match mode {
+        CellMode::Slc => 1.0,
+        CellMode::Mlc => c::MLC_OVER_SLC,
+        // TLC extrapolated beyond the paper's MLC data (used only for
+        // completeness; the paper's IFP data is SLC/MLC).
+        CellMode::Tlc => c::MLC_OVER_SLC * 3.0,
+    }
+}
+
+/// RBER multiplier for disabling data randomization (§3.2).
+fn no_randomization_factor(mode: CellMode) -> f64 {
+    match mode {
+        CellMode::Slc => c::SLC_NO_RANDOMIZATION_FACTOR,
+        CellMode::Mlc | CellMode::Tlc => c::MLC_NO_RANDOMIZATION_FACTOR,
+    }
+}
+
+/// Samples Binomial(n, p). Uses the normal approximation when `n·p` is
+/// large and exact Bernoulli summation otherwise.
+pub fn sample_binomial<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> usize {
+    if p <= 0.0 || n == 0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    let mean = n as f64 * p;
+    if mean > 64.0 && n as f64 * (1.0 - p) > 64.0 {
+        let sigma = (mean * (1.0 - p)).sqrt();
+        let z = crate::vth::sample_standard_normal(rng);
+        return (mean + sigma * z).round().clamp(0.0, n as f64) as usize;
+    }
+    if mean < 16.0 {
+        // Sparse case: geometric skipping (O(errors), not O(n)).
+        let mut count = 0usize;
+        let mut i = 0usize;
+        let log_q = (1.0 - p).ln();
+        loop {
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let skip = (u.ln() / log_q).floor() as usize;
+            i = match i.checked_add(skip) {
+                Some(v) => v,
+                None => break,
+            };
+            if i >= n {
+                break;
+            }
+            count += 1;
+            i += 1;
+        }
+        return count;
+    }
+    (0..n).filter(|_| rng.gen_bool(p)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn worst() -> StressState {
+        StressState::worst_case()
+    }
+
+    #[test]
+    fn anchor_mlc_randomized_fresh() {
+        let m = RberModel::paper();
+        let r = m.rber(ProgramScheme::Mlc, true, StressState::fresh());
+        let rel = (r - c::MLC_RANDOMIZED_BEST).abs() / c::MLC_RANDOMIZED_BEST;
+        assert!(rel < 0.05, "MLC fresh anchor off by {rel}: {r}");
+    }
+
+    #[test]
+    fn anchor_mlc_unrandomized_worst() {
+        let m = RberModel::paper();
+        let r = m.rber(ProgramScheme::Mlc, false, worst());
+        let rel = (r - c::MLC_WORST).abs() / c::MLC_WORST;
+        assert!(rel < 0.25, "MLC worst anchor off by {rel}: {r}");
+    }
+
+    #[test]
+    fn randomization_factors_match_paper() {
+        let m = RberModel::paper();
+        let s = worst();
+        let slc_ratio =
+            m.rber(ProgramScheme::Slc, false, s) / m.rber(ProgramScheme::Slc, true, s);
+        let mlc_ratio =
+            m.rber(ProgramScheme::Mlc, false, s) / m.rber(ProgramScheme::Mlc, true, s);
+        assert!((slc_ratio - 1.91).abs() < 1e-9);
+        assert!((mlc_ratio - 4.92).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mlc_is_4x_slc() {
+        let m = RberModel::paper();
+        let s = worst();
+        let ratio = m.rber(ProgramScheme::Mlc, true, s) / m.rber(ProgramScheme::Slc, true, s);
+        assert!((ratio - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rber_grows_with_pec_and_retention() {
+        let m = RberModel::paper();
+        let mut last = 0.0;
+        for pec in [0u32, 1000, 2000, 3000, 6000, 10_000] {
+            let r = m.rber(
+                ProgramScheme::Slc,
+                true,
+                StressState { pec, retention_months: 6.0, reads_since_program: 0 },
+            );
+            assert!(r > last, "RBER must grow with PEC ({pec}: {r})");
+            last = r;
+        }
+        let mut last = 0.0;
+        for months in [0.0, 1.0, 2.0, 3.0, 6.0, 12.0] {
+            let r = m.rber(
+                ProgramScheme::Slc,
+                true,
+                StressState { pec: 10_000, retention_months: months, reads_since_program: 0 },
+            );
+            assert!(r > last, "RBER must grow with retention ({months}: {r})");
+            last = r;
+        }
+    }
+
+    #[test]
+    fn slc_rber_far_above_uber_requirement() {
+        // §3.2: "around 12 orders of magnitude higher than the UBER
+        // requirement (<1e-15 to 1e-16)".
+        let m = RberModel::paper();
+        let r = m.rber(ProgramScheme::Slc, true, worst());
+        assert!(r > 1e-4, "SLC worst-case RBER {r} should be ~1e-3");
+        assert!(r / 1e-15 > 1e10, "should be >10 decades above UBER");
+    }
+
+    #[test]
+    fn esp_decade_at_1_6_and_zero_at_1_9() {
+        let m = RberModel::paper();
+        let s = worst();
+        let base = m.rber(ProgramScheme::Esp { ratio: 1.0 }, false, s);
+        let at16 = m.rber(ProgramScheme::Esp { ratio: 1.6 }, false, s);
+        assert!((base / at16 - 10.0).abs() < 0.5, "decade at 1.6: {}", base / at16);
+        assert_eq!(m.rber(ProgramScheme::Esp { ratio: 1.9 }, false, s), 0.0);
+        assert_eq!(m.rber(ProgramScheme::Esp { ratio: 2.0 }, false, s), 0.0);
+        assert!(m.rber(ProgramScheme::Esp { ratio: 1.89 }, false, s) > 0.0);
+    }
+
+    #[test]
+    fn esp_ratio_one_equals_unrandomized_slc() {
+        let m = RberModel::paper();
+        let s = worst();
+        let esp = m.rber(ProgramScheme::Esp { ratio: 1.0 }, false, s);
+        let slc = m.rber(ProgramScheme::Slc, false, s);
+        assert!((esp - slc).abs() / slc < 1e-12);
+    }
+
+    #[test]
+    fn block_grades_are_ordered() {
+        let m = RberModel::paper();
+        let s = worst();
+        let w = m.rber_graded(ProgramScheme::Slc, false, s, BlockGrade::Worst);
+        let med = m.rber_graded(ProgramScheme::Slc, false, s, BlockGrade::Median);
+        let b = m.rber_graded(ProgramScheme::Slc, false, s, BlockGrade::Best);
+        assert!(w > med && med > b);
+    }
+
+    #[test]
+    fn binomial_sampler_statistics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // Sparse regime.
+        let total: usize = (0..2000).map(|_| sample_binomial(10_000, 1e-3, &mut rng)).sum();
+        let mean = total as f64 / 2000.0;
+        assert!((mean - 10.0).abs() < 0.8, "sparse mean {mean}");
+        // Normal-approximation regime.
+        let total: usize = (0..500).map(|_| sample_binomial(100_000, 0.01, &mut rng)).sum();
+        let mean = total as f64 / 500.0;
+        assert!((mean - 1000.0).abs() < 15.0, "normal-approx mean {mean}");
+        // Edge cases.
+        assert_eq!(sample_binomial(100, 0.0, &mut rng), 0);
+        assert_eq!(sample_binomial(100, 1.0, &mut rng), 100);
+        assert_eq!(sample_binomial(0, 0.5, &mut rng), 0);
+    }
+
+    #[test]
+    fn sample_errors_is_zero_for_esp_operating_point() {
+        let m = RberModel::paper();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let e = m.sample_errors(
+                ProgramScheme::esp_default(),
+                false,
+                worst(),
+                16 * 1024 * 8,
+                &mut rng,
+            );
+            assert_eq!(e, 0);
+        }
+    }
+}

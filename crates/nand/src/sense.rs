@@ -1,0 +1,184 @@
+//! The read mechanism and Multi-Wordline Sensing (§2.1, §4.1, §5.2).
+//!
+//! A read is precharge → evaluation → discharge (Fig. 2). MWS applies
+//! `V_REF` to *several* wordlines at once:
+//!
+//! * **intra-block** — several wordlines of one NAND string: the bitline
+//!   conducts only if *every* target cell is erased → bitwise AND.
+//! * **inter-block** — wordlines in several blocks sharing the bitlines:
+//!   the bitline conducts if *any* activated string conducts → bitwise OR
+//!   across blocks (of the AND within each block, Eq. (1)).
+//!
+//! This module provides the latency model of Figs. 12/13, and the
+//! physics-mode sensing primitive that evaluates strings from per-cell
+//! V_TH populations.
+
+use fc_bits::BitVec;
+
+use crate::calib::mws_latency as cal;
+use crate::calib::timing;
+
+/// Latency factor `tMWS / tR` for intra-block MWS over `n_wls`
+/// simultaneously read wordlines (Fig. 12).
+///
+/// A single wordline is a regular read (factor 1.0; §5.2: "bypassing data
+/// randomization does not increase a regular read operation's latency").
+/// The curve stays below +1% through 8 wordlines and reaches +3.3% at 48.
+///
+/// # Panics
+///
+/// Panics if `n_wls` is zero.
+pub fn intra_latency_factor(n_wls: usize) -> f64 {
+    assert!(n_wls > 0, "at least one wordline must be sensed");
+    let span = (cal::INTRA_MAX_WLS - 1) as f64;
+    let x = ((n_wls - 1) as f64 / span).min(1.5);
+    1.0 + cal::INTRA_MAX_FACTOR_DELTA * x.powf(cal::INTRA_SHAPE_EXP)
+}
+
+/// Latency factor `tMWS / tR` for inter-block MWS over `n_blocks`
+/// simultaneously activated blocks (Fig. 13).
+///
+/// The extra wordline-precharge time is mostly hidden by the bitline
+/// precharge until about 8 blocks, then grows roughly linearly to +36.3%
+/// at 32 blocks.
+///
+/// # Panics
+///
+/// Panics if `n_blocks` is zero.
+pub fn inter_latency_factor(n_blocks: usize) -> f64 {
+    assert!(n_blocks > 0, "at least one block must be activated");
+    let hidden = cal::INTER_HIDDEN_BLOCKS;
+    let hidden_end = 1.0 + cal::INTER_HIDDEN_SLOPE * (hidden - 1) as f64;
+    if n_blocks <= hidden {
+        1.0 + cal::INTER_HIDDEN_SLOPE * (n_blocks - 1) as f64
+    } else {
+        let visible_slope = (1.0 + cal::INTER_MAX_FACTOR_DELTA - hidden_end)
+            / (cal::INTER_MAX_BLOCKS - hidden) as f64;
+        hidden_end + visible_slope * (n_blocks - hidden) as f64
+    }
+}
+
+/// Combined MWS latency in microseconds for an operation that activates
+/// `n_blocks` blocks with at most `max_wls_per_block` target wordlines in
+/// any one of them, given the base read latency `tr_us`.
+///
+/// The wordline-count and block-count effects are both precharge-side, so
+/// the model composes their *deltas* additively on the shared baseline.
+pub fn mws_latency_us(tr_us: f64, max_wls_per_block: usize, n_blocks: usize) -> f64 {
+    let intra_delta = intra_latency_factor(max_wls_per_block) - 1.0;
+    let inter_delta = inter_latency_factor(n_blocks) - 1.0;
+    tr_us * (1.0 + intra_delta + inter_delta)
+}
+
+/// Latency of a regular single-wordline SLC read, microseconds (Table 1).
+pub fn regular_read_latency_us() -> f64 {
+    timing::T_R_SLC_US
+}
+
+/// Physics-mode string evaluation for one block's contribution to a sense:
+/// column `c` conducts iff **every** target wordline's cell `c` has
+/// `V_TH ≤ V_REF` (non-target wordlines get `V_PASS` and always conduct).
+///
+/// `wl_vth[w]` is the V_TH population of target wordline `w`; all must
+/// have the same length. Returns the per-bitline conduction (i.e. the
+/// sensed AND page).
+///
+/// # Panics
+///
+/// Panics if `wl_vth` is empty or the populations have different lengths.
+pub fn evaluate_string_and(wl_vth: &[&[f64]], vref: f64) -> BitVec {
+    assert!(!wl_vth.is_empty(), "no target wordlines");
+    let bits = wl_vth[0].len();
+    assert!(wl_vth.iter().all(|v| v.len() == bits), "wordline width mismatch");
+    BitVec::from_fn(bits, |c| wl_vth.iter().all(|v| v[c] <= vref))
+}
+
+/// Physics-mode inter-block combination: the bitline conducts if **any**
+/// activated block's string conducts (OR across blocks).
+///
+/// # Panics
+///
+/// Panics if `per_block` is empty or widths mismatch.
+pub fn combine_blocks_or(per_block: &[BitVec]) -> BitVec {
+    assert!(!per_block.is_empty(), "no blocks to combine");
+    let mut out = per_block[0].clone();
+    for b in &per_block[1..] {
+        out.or_assign(b);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_wl_is_a_regular_read() {
+        assert!((intra_latency_factor(1) - 1.0).abs() < 1e-12);
+        assert!((inter_latency_factor(1) - 1.0).abs() < 1e-12);
+        assert!((mws_latency_us(22.5, 1, 1) - 22.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig12_anchors() {
+        // ≤ 8 WLs: under +1%.
+        for n in [2, 4, 8] {
+            let f = intra_latency_factor(n);
+            assert!(f < 1.01, "{n} WLs → {f}");
+        }
+        // 48 WLs: +3.3%.
+        assert!((intra_latency_factor(48) - 1.033).abs() < 1e-3);
+        // Monotone.
+        for n in 1..48 {
+            assert!(intra_latency_factor(n) < intra_latency_factor(n + 1));
+        }
+    }
+
+    #[test]
+    fn fig13_anchors() {
+        // 32 blocks: +36.3%.
+        assert!((inter_latency_factor(32) - 1.363).abs() < 1e-3);
+        // Mostly hidden through 8 blocks.
+        assert!(inter_latency_factor(8) < 1.05);
+        // Monotone.
+        for n in 1..32 {
+            assert!(inter_latency_factor(n) <= inter_latency_factor(n + 1));
+        }
+        // Much cheaper than serial reads (the whole point of MWS).
+        assert!(inter_latency_factor(32) < 32.0 * 0.5);
+    }
+
+    #[test]
+    fn four_block_cap_fits_the_fixed_budget() {
+        // Table 1: tMWS = 25 µs covers 4 blocks × up to 48 WLs.
+        let worst = mws_latency_us(timing::T_R_SLC_US, 48, 4);
+        assert!(worst <= timing::T_MWS_US, "worst capped MWS {worst} µs > 25 µs");
+    }
+
+    #[test]
+    fn string_and_evaluates_conduction() {
+        // Cells: wl0 = [-2, 2, -2, 2], wl1 = [-2, -2, 2, 2]; vref = 0.
+        let wl0 = [-2.0, 2.0, -2.0, 2.0];
+        let wl1 = [-2.0, -2.0, 2.0, 2.0];
+        let out = evaluate_string_and(&[&wl0, &wl1], 0.0);
+        // AND of (1,0,1,0) and (1,1,0,0) = (1,0,0,0).
+        assert!(out.get(0));
+        assert!(!out.get(1));
+        assert!(!out.get(2));
+        assert!(!out.get(3));
+    }
+
+    #[test]
+    fn blocks_or_combines() {
+        let a = BitVec::from_bools(&[true, false, false]);
+        let b = BitVec::from_bools(&[false, true, false]);
+        let out = combine_blocks_or(&[a, b]);
+        assert!(out.get(0) && out.get(1) && !out.get(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one wordline")]
+    fn zero_wordlines_panics() {
+        intra_latency_factor(0);
+    }
+}

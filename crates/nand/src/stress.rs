@@ -1,0 +1,268 @@
+//! Error-source physics: retention loss, read disturb, program
+//! interference and P/E-cycle wear (§2.2, Fig. 5a).
+//!
+//! These transforms act on per-cell V_TH populations produced by the ISPP
+//! engine. The closed-form RBER model in [`crate::rber`] is calibrated to
+//! the paper's measurements; this module makes the *physics-mode* chip
+//! reproduce the same qualitative behaviour from first principles so the
+//! characterization harness can cross-check the two.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::vth::{sample_standard_normal, ERASED};
+
+/// Stress conditions a block has experienced since its pages were
+/// programmed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StressState {
+    /// Program/erase cycles endured by the block (wear).
+    pub pec: u32,
+    /// Retention age in months at 30 °C equivalent (the paper accelerates
+    /// this with temperature per Arrhenius's law; we take the equivalent
+    /// age directly).
+    pub retention_months: f64,
+    /// Read operations since the last program (read disturb).
+    pub reads_since_program: u64,
+}
+
+impl StressState {
+    /// Freshly programmed block on a fresh chip.
+    pub fn fresh() -> Self {
+        Self { pec: 0, retention_months: 0.0, reads_since_program: 0 }
+    }
+
+    /// The paper's worst-case characterization point (§5.1): 10K P/E
+    /// cycles, 1-year retention.
+    pub fn worst_case() -> Self {
+        Self { pec: 10_000, retention_months: 12.0, reads_since_program: 0 }
+    }
+}
+
+impl Default for StressState {
+    fn default() -> Self {
+        Self::fresh()
+    }
+}
+
+/// Physics coefficients for the stress transforms. The defaults are
+/// calibrated so the physics-mode RBER lands in the same decade as the
+/// paper's Fig. 8 measurements (see `tests` and the characterization
+/// harness in the `flash-cosmos` crate).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StressModel {
+    /// Retention: fraction of a cell's charge (V_TH above the erased mean)
+    /// lost per log-unit of time.
+    pub retention_k: f64,
+    /// Retention time constant in months.
+    pub retention_t0_months: f64,
+    /// Wear growth coefficient: multiplies stress per (PEC/1000)^wear_exp.
+    pub wear_alpha: f64,
+    /// Wear growth exponent.
+    pub wear_exp: f64,
+    /// Absolute per-cell spread of the retention shift in volts (scaled by
+    /// √wear and √log-time). This is what creates the deep error tail: a
+    /// small population of cells loses far more charge than the mean
+    /// (fast-detrapping cells), which is why plain SLC still shows errors
+    /// while ESP's wider margin outruns the tail.
+    pub retention_sigma_v: f64,
+    /// Read disturb: V_TH increase per decade of reads, in volts (affects
+    /// low-V_TH cells most; §2.2).
+    pub disturb_v_per_decade: f64,
+    /// Program interference: one-off V_TH increase applied to a wordline
+    /// when a neighbouring wordline is programmed, in volts.
+    pub interference_v: f64,
+    /// Random spread of interference, in volts.
+    pub interference_spread_v: f64,
+}
+
+impl Default for StressModel {
+    fn default() -> Self {
+        Self {
+            retention_k: 0.0245,
+            retention_t0_months: 1.0,
+            wear_alpha: 0.45,
+            wear_exp: 0.6,
+            retention_sigma_v: 0.19,
+            disturb_v_per_decade: 0.04,
+            interference_v: 0.06,
+            interference_spread_v: 0.04,
+        }
+    }
+}
+
+impl StressModel {
+    /// Wear multiplier for a P/E-cycle count: 1.0 when fresh, growing
+    /// sub-linearly (§2.2: cells become more error-prone with cycling).
+    pub fn wear_factor(&self, pec: u32) -> f64 {
+        1.0 + self.wear_alpha * (pec as f64 / 1000.0).powf(self.wear_exp)
+    }
+
+    /// Mean retention V_TH loss for a cell currently `charge` volts above
+    /// the erased mean.
+    pub fn retention_shift_mean(&self, charge: f64, stress: StressState) -> f64 {
+        if charge <= 0.0 || stress.retention_months <= 0.0 {
+            return 0.0;
+        }
+        self.retention_k
+            * charge
+            * (1.0 + stress.retention_months / self.retention_t0_months).ln()
+            * self.wear_factor(stress.pec)
+    }
+
+    /// Mean read-disturb V_TH gain after `reads` read operations.
+    pub fn disturb_shift_mean(&self, reads: u64) -> f64 {
+        if reads == 0 {
+            return 0.0;
+        }
+        self.disturb_v_per_decade * (1.0 + reads as f64).log10()
+    }
+
+    /// Applies every stress source to a V_TH population **in place**.
+    ///
+    /// Retention pulls programmed cells down (proportionally to their
+    /// stored charge); disturb and interference push low-V_TH cells up.
+    pub fn apply<R: Rng + ?Sized>(&self, vth: &mut [f64], stress: StressState, rng: &mut R) {
+        let disturb = self.disturb_shift_mean(stress.reads_since_program);
+        let ln_t = (1.0 + stress.retention_months.max(0.0) / self.retention_t0_months).ln();
+        let wear = self.wear_factor(stress.pec);
+        // Tail spread grows with both wear and elapsed time (normalized so
+        // the calibration point is the paper's worst case: 12 months).
+        let sigma_ret = self.retention_sigma_v * wear.sqrt() * (ln_t / 13f64.ln()).sqrt();
+        for v in vth.iter_mut() {
+            let charge = *v - ERASED.mean_v;
+            // Retention loss applies to cells holding charge (programmed
+            // states); erased cells have nothing to leak.
+            if charge > 1.0 && stress.retention_months > 0.0 {
+                let loss = self.retention_k * charge * ln_t * wear
+                    + sigma_ret * sample_standard_normal(rng);
+                *v -= loss.max(0.0);
+            }
+            if disturb > 0.0 {
+                // Disturb affects cells far below V_PASS the most; weight by
+                // how "erased" the cell is.
+                let weight = ((2.0 - charge) / 4.0).clamp(0.0, 1.0);
+                *v += disturb * weight * (1.0 + 0.3 * sample_standard_normal(rng)).max(0.0);
+            }
+        }
+    }
+
+    /// Applies one program-interference event (a neighbouring wordline was
+    /// programmed) to a V_TH population in place.
+    pub fn apply_interference<R: Rng + ?Sized>(&self, vth: &mut [f64], rng: &mut R) {
+        for v in vth.iter_mut() {
+            let bump = self.interference_v + self.interference_spread_v * sample_standard_normal(rng);
+            *v += bump.max(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ispp::{program_esp, program_slc_like, IsppConfig};
+    use crate::vth::VthLayout;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rber_after_stress(
+        esp_ratio: Option<f64>,
+        stress: StressState,
+        n: usize,
+        seed: u64,
+    ) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let targets: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let (mut vth, layout) = match esp_ratio {
+            Some(r) => (program_esp(&targets, r, &mut rng).vth, VthLayout::esp(r)),
+            None => (
+                program_slc_like(&targets, IsppConfig::slc_default(), &mut rng).vth,
+                VthLayout::slc(),
+            ),
+        };
+        let model = StressModel::default();
+        model.apply(&mut vth, stress, &mut rng);
+        let vref = layout.slc_vref();
+        let errors = vth
+            .iter()
+            .zip(&targets)
+            .filter(|(&v, &erased)| {
+                let read_one = v <= vref;
+                read_one != erased
+            })
+            .count();
+        errors as f64 / n as f64
+    }
+
+    #[test]
+    fn wear_factor_grows_with_pec() {
+        let m = StressModel::default();
+        assert!((m.wear_factor(0) - 1.0).abs() < 1e-12);
+        assert!(m.wear_factor(10_000) > m.wear_factor(1_000));
+        assert!(m.wear_factor(10_000) > 2.0 && m.wear_factor(10_000) < 4.0);
+    }
+
+    #[test]
+    fn fresh_stress_produces_effectively_no_errors() {
+        let r = rber_after_stress(None, StressState::fresh(), 100_000, 11);
+        assert!(r < 1e-4, "fresh SLC RBER {r}");
+    }
+
+    #[test]
+    fn worst_case_slc_rber_in_fig8_decade() {
+        // Fig. 8a without randomization tops out around 6e-3; physics mode
+        // should land within the same decade at the worst-case corner.
+        let r = rber_after_stress(None, StressState::worst_case(), 200_000, 12);
+        assert!(r > 2e-4 && r < 3e-2, "worst-case SLC RBER {r} outside Fig. 8 decade");
+    }
+
+    #[test]
+    fn esp_eliminates_errors_at_operating_point() {
+        // §5.2: tESP ≥ 1.9 × tPROG → zero observed errors even worst-case.
+        let r = rber_after_stress(Some(2.0), StressState::worst_case(), 200_000, 13);
+        assert_eq!(r, 0.0, "ESP at ratio 2.0 must show zero errors, got {r}");
+    }
+
+    #[test]
+    fn esp_monotonically_improves_with_budget() {
+        let worst = StressState::worst_case();
+        let r10 = rber_after_stress(Some(1.0), worst, 120_000, 14);
+        let r16 = rber_after_stress(Some(1.6), worst, 120_000, 14);
+        let r20 = rber_after_stress(Some(2.0), worst, 120_000, 14);
+        assert!(r16 < r10, "ratio 1.6 ({r16}) !< ratio 1.0 ({r10})");
+        assert!(r20 <= r16);
+    }
+
+    #[test]
+    fn retention_pulls_down_and_disturb_pushes_up() {
+        let m = StressModel::default();
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut programmed = vec![2.0; 1000];
+        m.apply(
+            &mut programmed,
+            StressState { pec: 5000, retention_months: 6.0, reads_since_program: 0 },
+            &mut rng,
+        );
+        let mean = programmed.iter().sum::<f64>() / 1000.0;
+        assert!(mean < 2.0, "retention must lower programmed cells: {mean}");
+
+        let mut erased = vec![-2.0; 1000];
+        m.apply(
+            &mut erased,
+            StressState { pec: 0, retention_months: 0.0, reads_since_program: 100_000 },
+            &mut rng,
+        );
+        let mean = erased.iter().sum::<f64>() / 1000.0;
+        assert!(mean > -2.0, "read disturb must raise erased cells: {mean}");
+    }
+
+    #[test]
+    fn interference_raises_vth() {
+        let m = StressModel::default();
+        let mut rng = StdRng::seed_from_u64(16);
+        let mut vth = vec![-2.0; 1000];
+        m.apply_interference(&mut vth, &mut rng);
+        let mean = vth.iter().sum::<f64>() / 1000.0;
+        assert!(mean > -2.0 && mean < -1.7, "interference bump {mean}");
+    }
+}

@@ -1,0 +1,326 @@
+//! Threshold-voltage (V_TH) state model (§2.2, Fig. 5).
+//!
+//! A flash cell stores data as a V_TH level. Each programming mode packs
+//! 2^bits states into the same fixed voltage window; the margin between
+//! adjacent states determines how robust the cell is to retention loss,
+//! disturbance and interference. ESP (§4.2) widens the SLC margin by
+//! raising the programmed state's target voltage and narrowing its
+//! distribution.
+//!
+//! Voltages are in volts throughout; distributions are Gaussian, which is
+//! the standard first-order model for post-randomization V_TH states (the
+//! paper's footnote 4 notes randomization is what makes states identically
+//! shaped).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::CellMode;
+
+/// A single V_TH state: mean and standard deviation of its distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VthState {
+    /// Mean threshold voltage in volts.
+    pub mean_v: f64,
+    /// Standard deviation in volts.
+    pub sigma_v: f64,
+}
+
+impl VthState {
+    /// Creates a state.
+    pub fn new(mean_v: f64, sigma_v: f64) -> Self {
+        Self { mean_v, sigma_v }
+    }
+
+    /// Samples a cell's V_TH from this state.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean_v + self.sigma_v * sample_standard_normal(rng)
+    }
+
+    /// Probability that a cell in this state reads **above** `vref`
+    /// (Gaussian upper tail).
+    pub fn prob_above(&self, vref: f64) -> f64 {
+        let z = (vref - self.mean_v) / self.sigma_v;
+        1.0 - standard_normal_cdf(z)
+    }
+
+    /// Probability that a cell in this state reads **below** `vref`.
+    pub fn prob_below(&self, vref: f64) -> f64 {
+        standard_normal_cdf((vref - self.mean_v) / self.sigma_v)
+    }
+}
+
+/// The erased state shared by all modes (the lowest-V_TH state; an erased
+/// cell conducts and reads as `1` in SLC encoding).
+pub const ERASED: VthState = VthState { mean_v: -2.0, sigma_v: 0.45 };
+
+/// Pass voltage applied to non-target wordlines during a read (§2.1:
+/// "V_PASS is high enough (>6 V) to turn on any flash cell").
+pub const V_PASS: f64 = 6.5;
+
+/// SLC read reference voltage in volts. Placed 5.5 erased sigmas above the
+/// erased mean: erased cells drift up only slightly (disturb), while the
+/// programmed state keeps a wide budget for retention loss.
+pub const SLC_VREF: f64 = 0.5;
+
+/// A complete V_TH layout for one programming scheme: the list of states
+/// (index = state number, LSB-first encoding) and the read reference
+/// voltages between adjacent states.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VthLayout {
+    /// States ordered by increasing mean voltage. `states[0]` is erased.
+    pub states: Vec<VthState>,
+    /// `vrefs[i]` separates `states[i]` from `states[i + 1]`.
+    pub vrefs: Vec<f64>,
+}
+
+impl VthLayout {
+    /// Standard SLC layout: erased vs one programmed state (Fig. 5a).
+    ///
+    /// `V_REF` sits asymmetrically, closer to the erased state: retention
+    /// loss pulls *programmed* cells down over time while erased cells only
+    /// drift up slowly via disturbance, so real read levels reserve most of
+    /// the window for the programmed state's downward drift.
+    pub fn slc() -> Self {
+        Self {
+            states: vec![ERASED, VthState::new(2.0, 0.25)],
+            vrefs: vec![SLC_VREF],
+        }
+    }
+
+    /// ESP layout for a given latency budget ratio `tESP/tPROG ≥ 1`.
+    ///
+    /// The extra ISPP steps (i) raise the programmed target voltage and
+    /// (ii) shrink the distribution width, while `V_REF'` moves up to keep
+    /// both margins balanced (Fig. 10b). At the paper's operating point
+    /// (ratio 2.0) the programmed state is far enough from `V_REF'` that
+    /// worst-case retention/disturb shifts cannot cross it.
+    pub fn esp(ratio: f64) -> Self {
+        let r = ratio.clamp(1.0, 2.5) - 1.0;
+        // Ratio 1.0 → plain SLC; ratio 2.0 → mean 3.3 V, sigma 0.10 V.
+        let prog = VthState::new(2.0 + 1.3 * r, 0.25 - 0.15 * r);
+        // V_REF' rises with the programmed state (Fig. 10b) but keeps most
+        // of the added window as programmed-side margin against retention.
+        let vref = SLC_VREF + 0.15 * r;
+        Self { states: vec![ERASED, prog], vrefs: vec![vref] }
+    }
+
+    /// Standard MLC layout: four states (Fig. 5b).
+    pub fn mlc() -> Self {
+        let states = vec![
+            ERASED,
+            VthState::new(0.8, 0.18),
+            VthState::new(2.0, 0.18),
+            VthState::new(3.2, 0.18),
+        ];
+        let vrefs = pairwise_balanced_vrefs(&states);
+        Self { states, vrefs }
+    }
+
+    /// Standard TLC layout: eight states.
+    pub fn tlc() -> Self {
+        let mut states = vec![ERASED];
+        for i in 0..7 {
+            states.push(VthState::new(0.2 + 0.62 * i as f64, 0.12));
+        }
+        let vrefs = pairwise_balanced_vrefs(&states);
+        Self { states, vrefs }
+    }
+
+    /// Layout for a plain (non-ESP) mode.
+    pub fn for_mode(mode: CellMode) -> Self {
+        match mode {
+            CellMode::Slc => Self::slc(),
+            CellMode::Mlc => Self::mlc(),
+            CellMode::Tlc => Self::tlc(),
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The single `V_REF` of a two-state (SLC/ESP) layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout has more than two states.
+    pub fn slc_vref(&self) -> f64 {
+        assert_eq!(self.states.len(), 2, "slc_vref requires a two-state layout");
+        self.vrefs[0]
+    }
+
+    /// The first `V_REF` — the read level used by SLC-style sensing. For
+    /// two-state layouts this is the only reference; for MLC/TLC it is the
+    /// lowest one (the LSB-page read level, footnote 15 of the paper).
+    pub fn slc_vref_or_first(&self) -> f64 {
+        self.vrefs[0]
+    }
+
+    /// Margin in volts from the erased state's mean to the first `V_REF`.
+    pub fn erased_margin(&self) -> f64 {
+        self.vrefs[0] - self.states[0].mean_v
+    }
+
+    /// Margin in volts from the last `V_REF` to the top state's mean.
+    pub fn programmed_margin(&self) -> f64 {
+        self.states.last().unwrap().mean_v - *self.vrefs.last().unwrap()
+    }
+
+    /// Decodes a V_TH value to a state index by comparing against the
+    /// reference voltages.
+    pub fn classify(&self, vth: f64) -> usize {
+        self.vrefs.iter().take_while(|&&v| vth > v).count()
+    }
+}
+
+/// `V_REF` position that equalizes the two states' error tails, measured in
+/// units of their respective sigmas.
+fn balanced_vref(lo: VthState, hi: VthState) -> f64 {
+    (lo.mean_v * hi.sigma_v + hi.mean_v * lo.sigma_v) / (lo.sigma_v + hi.sigma_v)
+}
+
+fn pairwise_balanced_vrefs(states: &[VthState]) -> Vec<f64> {
+    states.windows(2).map(|w| balanced_vref(w[0], w[1])).collect()
+}
+
+/// Samples a standard normal via Box–Muller. `rand` is the only random
+/// dependency sanctioned for this workspace, so we implement the transform
+/// here rather than pulling in `rand_distr`.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            let u2: f64 = rng.gen::<f64>();
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// Standard normal CDF via the complementary error function
+/// (Abramowitz–Stegun 7.1.26 rational approximation; max abs error < 1.5e-7,
+/// ample for RBER work).
+pub fn standard_normal_cdf(z: f64) -> f64 {
+    0.5 * erfc_as(-z / std::f64::consts::SQRT_2)
+}
+
+fn erfc_as(x: f64) -> f64 {
+    let sign_neg = x < 0.0;
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let erf = 1.0 - poly * (-x * x).exp();
+    let erfc = 1.0 - erf;
+    if sign_neg {
+        2.0 - erfc
+    } else {
+        erfc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_cdf_reference_points() {
+        assert!((standard_normal_cdf(0.0) - 0.5).abs() < 1e-6);
+        assert!((standard_normal_cdf(1.0) - 0.841_344_7).abs() < 1e-5);
+        assert!((standard_normal_cdf(-1.0) - 0.158_655_3).abs() < 1e-5);
+        assert!((standard_normal_cdf(3.0) - 0.998_650_1).abs() < 1e-5);
+        assert!(standard_normal_cdf(8.0) > 0.999_999_9);
+    }
+
+    #[test]
+    fn sampling_matches_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let st = VthState::new(2.0, 0.25);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| st.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.01, "mean {mean}");
+        assert!((var.sqrt() - 0.25).abs() < 0.01, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    fn slc_layout_reserves_margin_for_retention() {
+        let l = VthLayout::slc();
+        let vref = l.slc_vref();
+        // Erased cells sit at least 5 sigma below V_REF (disturb headroom).
+        let z_erased = (vref - ERASED.mean_v) / ERASED.sigma_v;
+        assert!(z_erased > 5.0, "erased margin {z_erased} sigma");
+        // Programmed cells keep the larger share of the window in volts —
+        // the retention-loss budget.
+        assert!(l.programmed_margin() > l.erased_margin() / 2.0);
+        assert!((vref - SLC_VREF).abs() < 1e-12);
+    }
+
+    #[test]
+    fn esp_widens_margins_monotonically() {
+        let mut last = 0.0;
+        for ratio in [1.0, 1.2, 1.4, 1.6, 1.8, 2.0] {
+            let l = VthLayout::esp(ratio);
+            let z = (l.states[1].mean_v - l.slc_vref()) / l.states[1].sigma_v;
+            assert!(z > last, "margin must grow with tESP (ratio {ratio}: z={z})");
+            last = z;
+        }
+        // At the paper's operating point the programmed tail below V_REF'
+        // is negligible even before stress.
+        let l = VthLayout::esp(2.0);
+        assert!(l.states[1].prob_below(l.slc_vref()) < 1e-15);
+    }
+
+    #[test]
+    fn esp_ratio_one_is_plain_slc() {
+        let esp = VthLayout::esp(1.0);
+        let slc = VthLayout::slc();
+        assert!((esp.states[1].mean_v - slc.states[1].mean_v).abs() < 1e-12);
+        assert!((esp.states[1].sigma_v - slc.states[1].sigma_v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mlc_packs_states_into_same_window_with_smaller_margins() {
+        let slc = VthLayout::slc();
+        let mlc = VthLayout::mlc();
+        assert_eq!(mlc.num_states(), 4);
+        // MLC's top state stays within a similar window but margins shrink.
+        let slc_margin = slc.programmed_margin();
+        let mlc_margin = mlc.states[1].mean_v - mlc.vrefs[0];
+        assert!(mlc_margin < slc_margin);
+        // V_REFs are strictly increasing.
+        assert!(mlc.vrefs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn tlc_has_eight_increasing_states() {
+        let tlc = VthLayout::tlc();
+        assert_eq!(tlc.num_states(), 8);
+        assert!(tlc.states.windows(2).all(|w| w[0].mean_v < w[1].mean_v));
+        assert_eq!(tlc.vrefs.len(), 7);
+    }
+
+    #[test]
+    fn classify_roundtrips_state_means() {
+        for layout in [VthLayout::slc(), VthLayout::mlc(), VthLayout::tlc(), VthLayout::esp(2.0)] {
+            for (i, s) in layout.states.iter().enumerate() {
+                assert_eq!(layout.classify(s.mean_v), i, "state {i} of {layout:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn vpass_turns_on_every_state() {
+        for layout in [VthLayout::slc(), VthLayout::mlc(), VthLayout::tlc(), VthLayout::esp(2.0)] {
+            for s in &layout.states {
+                // Even 6 sigma above the top state stays below V_PASS.
+                assert!(s.mean_v + 6.0 * s.sigma_v < V_PASS);
+            }
+        }
+    }
+}

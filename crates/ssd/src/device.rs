@@ -1,0 +1,426 @@
+//! A functional SSD: NAND chips + FTL + ECC + randomization behind a
+//! logical-page API.
+//!
+//! Two storage paths, matching §6.3:
+//!
+//! * **Conventional** — data is ECC-encoded, randomized and SLC-programmed.
+//!   Reliable for storage, but *incompatible* with in-flash computation
+//!   (§3.2) — the integration tests demonstrate both properties.
+//! * **Flash-Cosmos** — raw data (optionally inverted, §6.1) is
+//!   ESP-programmed into placement groups so intra-block MWS can combine
+//!   operands in one sensing operation.
+//!
+//! With ECC enabled a logical page carries fewer payload bits than the
+//! physical page (the parity lives in what real drives call the spare
+//! area): see [`SsdDevice::logical_page_bits`].
+
+use fc_bits::BitVec;
+use fc_nand::chip::NandChip;
+use fc_nand::command::Command;
+use fc_nand::config::{ChipConfig, Fidelity};
+use fc_nand::error::NandError;
+use fc_nand::geometry::WlAddr;
+
+use crate::config::SsdConfig;
+use crate::ecc::{EccConfig, PageCodec, PageDecode};
+use crate::energy::EnergyMeter;
+use crate::ftl::{Ftl, FtlError, PageMeta, PlacementHint};
+use crate::topology::{DieId, Ppa};
+
+/// Device-level errors.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// Propagated chip error.
+    Nand(NandError),
+    /// Propagated FTL error.
+    Ftl(FtlError),
+    /// ECC decoding failed (uncorrectable errors).
+    Uncorrectable {
+        /// Logical page that failed.
+        lpn: u64,
+    },
+    /// Payload length does not match [`SsdDevice::logical_page_bits`].
+    PayloadSize {
+        /// Bits supplied.
+        got: usize,
+        /// Bits required.
+        expected: usize,
+    },
+    /// The logical page is not mapped.
+    NotMapped(u64),
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::Nand(e) => write!(f, "nand: {e}"),
+            DeviceError::Ftl(e) => write!(f, "ftl: {e}"),
+            DeviceError::Uncorrectable { lpn } => {
+                write!(f, "uncorrectable ECC failure on logical page {lpn}")
+            }
+            DeviceError::PayloadSize { got, expected } => {
+                write!(f, "payload of {got} bits, expected {expected}")
+            }
+            DeviceError::NotMapped(lpn) => write!(f, "logical page {lpn} is not mapped"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+impl From<NandError> for DeviceError {
+    fn from(e: NandError) -> Self {
+        DeviceError::Nand(e)
+    }
+}
+
+impl From<FtlError> for DeviceError {
+    fn from(e: FtlError) -> Self {
+        DeviceError::Ftl(e)
+    }
+}
+
+/// How to store a logical page.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WriteOptions {
+    /// Placement policy.
+    pub placement: PlacementHint,
+    /// Page metadata (scheme / randomization / inversion / ECC).
+    pub meta: PageMeta,
+}
+
+impl WriteOptions {
+    /// The conventional storage path: striped, SLC, randomized, ECC.
+    pub fn conventional() -> Self {
+        Self { placement: PlacementHint::Striped, meta: PageMeta::conventional() }
+    }
+
+    /// The Flash-Cosmos computation path: grouped, ESP, raw bits.
+    pub fn flash_cosmos(group: u64, inverted: bool) -> Self {
+        Self {
+            placement: PlacementHint::Grouped { group },
+            meta: PageMeta::flash_cosmos(inverted),
+        }
+    }
+}
+
+/// The functional SSD.
+pub struct SsdDevice {
+    config: SsdConfig,
+    chips: Vec<NandChip>,
+    ftl: Ftl,
+    codec: PageCodec,
+    energy: EnergyMeter,
+}
+
+impl std::fmt::Debug for SsdDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SsdDevice")
+            .field("config", &self.config)
+            .field("mapped_pages", &self.ftl.mapped_pages())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SsdDevice {
+    /// Builds a device with functional-fidelity chips (no error
+    /// injection).
+    pub fn new(config: SsdConfig) -> Self {
+        Self::with_fidelity(config, Fidelity::Functional { inject_errors: false })
+    }
+
+    /// Builds a device with error-injecting chips (reliability studies).
+    pub fn new_noisy(config: SsdConfig) -> Self {
+        Self::with_fidelity(config, Fidelity::Functional { inject_errors: true })
+    }
+
+    fn with_fidelity(config: SsdConfig, fidelity: Fidelity) -> Self {
+        let chips = (0..config.total_dies())
+            .map(|i| {
+                let chip_config = ChipConfig {
+                    geometry: config.chip_geometry(),
+                    fidelity,
+                    max_inter_blocks: config.max_inter_blocks,
+                    ..ChipConfig::paper()
+                }
+                .with_seed(0xD1E0 + i as u64);
+                NandChip::new(chip_config)
+            })
+            .collect();
+        let ftl = Ftl::new(&config);
+        Self { config, chips, ftl, codec: PageCodec::new(EccConfig::small()), energy: EnergyMeter::new() }
+    }
+
+    /// The SSD configuration.
+    pub fn config(&self) -> &SsdConfig {
+        &self.config
+    }
+
+    /// The FTL (read access for placement inspection).
+    pub fn ftl(&self) -> &Ftl {
+        &self.ftl
+    }
+
+    /// Payload bits per logical page, given whether ECC is in use. With
+    /// ECC, parity shares the physical page, shrinking the payload to a
+    /// whole number of codewords.
+    pub fn logical_page_bits(&self, ecc: bool) -> usize {
+        let page_bits = self.config.page_bits();
+        if !ecc {
+            return page_bits;
+        }
+        let n = self.codec.code().n();
+        let k = self.codec.code().k();
+        (page_bits / n) * k
+    }
+
+    /// Chip of one die.
+    pub fn chip(&self, die: DieId) -> &NandChip {
+        &self.chips[die.flat(&self.config)]
+    }
+
+    /// Mutable chip of one die (the Flash-Cosmos engine drives MWS
+    /// through this).
+    pub fn chip_mut(&mut self, die: DieId) -> &mut NandChip {
+        &mut self.chips[die.flat(&self.config)]
+    }
+
+    /// Sets the equivalent retention age on every chip.
+    pub fn set_retention_months(&mut self, months: f64) {
+        for c in &mut self.chips {
+            c.set_retention_months(months);
+        }
+    }
+
+    /// Aggregated NAND energy across chips plus device-level transfers,
+    /// µJ.
+    pub fn energy_uj(&self) -> f64 {
+        self.energy.total_uj()
+            + self.chips.iter().map(|c| c.stats().energy_uj).sum::<f64>()
+    }
+
+    /// Writes a logical page.
+    ///
+    /// # Errors
+    ///
+    /// Fails on payload-size mismatch, FTL exhaustion, or chip errors.
+    pub fn write(&mut self, lpn: u64, payload: &BitVec, opts: WriteOptions) -> Result<Ppa, DeviceError> {
+        let expected = self.logical_page_bits(opts.meta.ecc);
+        if payload.len() != expected {
+            return Err(DeviceError::PayloadSize { got: payload.len(), expected });
+        }
+        let stored = self.build_stored(payload, opts.meta);
+        let ppa = self.ftl.allocate(lpn, opts.placement, opts.meta)?;
+        let addr = wl_addr(ppa);
+        let die = ppa.plane.die;
+        self.chips[die.flat(&self.config)].execute(Command::Program {
+            addr,
+            data: stored,
+            scheme: opts.meta.scheme,
+            randomize: opts.meta.randomized,
+        })?;
+        self.energy.add_channel_bytes(self.config.page_bytes as u64);
+        Ok(ppa)
+    }
+
+    /// Reads a logical page back, undoing randomization, ECC and
+    /// inversion as recorded in its metadata.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unmapped pages, chip errors, or uncorrectable ECC
+    /// failures.
+    pub fn read(&mut self, lpn: u64) -> Result<BitVec, DeviceError> {
+        let ppa = self.ftl.translate(lpn).ok_or(DeviceError::NotMapped(lpn))?;
+        let meta = self.ftl.meta(lpn).expect("mapped pages always carry metadata");
+        let addr = wl_addr(ppa);
+        let die = ppa.plane.die;
+        let chip = &mut self.chips[die.flat(&self.config)];
+        let raw = chip
+            .execute(Command::Read { addr, inverse: false })?
+            .into_page()
+            .expect("read produces a page");
+        self.energy.add_channel_bytes(self.config.page_bytes as u64);
+        let descrambled =
+            if meta.randomized { chip.randomizer().derandomize(addr, &raw) } else { raw };
+        let payload_bits = self.logical_page_bits(meta.ecc);
+        let decoded = if meta.ecc {
+            let n = self.codec.code().n();
+            let words = payload_bits / self.codec.code().k();
+            let stored = descrambled.slice(0, words * n);
+            match self.codec.decode_page(&stored, payload_bits) {
+                PageDecode::Corrected { data, .. } => data,
+                PageDecode::Uncorrectable => return Err(DeviceError::Uncorrectable { lpn }),
+            }
+        } else {
+            descrambled
+        };
+        Ok(if meta.inverted { decoded.not() } else { decoded })
+    }
+
+    /// The physical wordline address of a logical page, if mapped.
+    pub fn locate(&self, lpn: u64) -> Option<(DieId, WlAddr)> {
+        self.ftl.translate(lpn).map(|ppa| (ppa.plane.die, wl_addr(ppa)))
+    }
+
+    /// Assembles the raw stored page for a logical payload: optional
+    /// inversion (§6.1), optional ECC, padding to the physical page size.
+    fn build_stored(&self, payload: &BitVec, meta: PageMeta) -> BitVec {
+        let logical = if meta.inverted { payload.not() } else { payload.clone() };
+        if meta.ecc {
+            let encoded = self.codec.encode_page(&logical);
+            let mut page = BitVec::zeros(self.config.page_bits());
+            page.copy_from(0, &encoded);
+            page
+        } else {
+            logical
+        }
+    }
+
+    /// Migrates a logical page to a new placement (the §10 background
+    /// gathering primitive: "leverage an efficient inter-chip data
+    /// migration technique to gather the target operands into the same
+    /// block").
+    ///
+    /// Uses the chip's **copyback** (§2.1 footnote 3 — no off-chip
+    /// transfer) when the source and destination share a plane and the
+    /// storage metadata is unchanged; otherwise falls back to a full
+    /// read-rewrite through the controller. Returns whether copyback was
+    /// used.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unmapped pages, placement exhaustion, or chip errors.
+    pub fn migrate(
+        &mut self,
+        lpn: u64,
+        placement: PlacementHint,
+        meta: PageMeta,
+    ) -> Result<bool, DeviceError> {
+        let old_meta = self.ftl.meta(lpn).ok_or(DeviceError::NotMapped(lpn))?;
+        let compatible = old_meta == meta;
+        // Read the logical payload before remapping (the rewrite path
+        // needs it; reading after remap would chase the new address).
+        let payload = if compatible { None } else { Some(self.read(lpn)?) };
+        let (old, new) = self.ftl.remap(lpn, placement, meta)?;
+        let old_addr = wl_addr(old);
+        let new_addr = wl_addr(new);
+        if compatible && old.plane.die == new.plane.die && old.plane.plane == new.plane.plane {
+            let die = old.plane.die;
+            self.chips[die.flat(&self.config)]
+                .execute(Command::Copyback { from: old_addr, to: new_addr })?;
+            return Ok(true);
+        }
+        let stored = self.build_stored(payload.as_ref().expect("read above"), meta);
+        let die = new.plane.die;
+        self.chips[die.flat(&self.config)].execute(Command::Program {
+            addr: new_addr,
+            data: stored,
+            scheme: meta.scheme,
+            randomize: meta.randomized,
+        })?;
+        self.energy.add_channel_bytes(2 * self.config.page_bytes as u64);
+        Ok(false)
+    }
+}
+
+/// Converts a physical page address into the owning chip's wordline
+/// address.
+pub fn wl_addr(ppa: Ppa) -> WlAddr {
+    WlAddr::new(ppa.plane.plane, ppa.block, ppa.wl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn device() -> SsdDevice {
+        SsdDevice::new(SsdConfig::tiny_test())
+    }
+
+    fn payload(dev: &SsdDevice, ecc: bool, seed: u64) -> BitVec {
+        let mut rng = StdRng::seed_from_u64(seed);
+        BitVec::random(dev.logical_page_bits(ecc), &mut rng)
+    }
+
+    #[test]
+    fn conventional_roundtrip() {
+        let mut dev = device();
+        let data = payload(&dev, true, 1);
+        dev.write(10, &data, WriteOptions::conventional()).unwrap();
+        assert_eq!(dev.read(10).unwrap(), data);
+    }
+
+    #[test]
+    fn flash_cosmos_roundtrip_with_inversion() {
+        let mut dev = device();
+        let data = payload(&dev, false, 2);
+        dev.write(20, &data, WriteOptions::flash_cosmos(0, true)).unwrap();
+        // Stored raw bits are the inverse; logical read restores.
+        let (die, addr) = dev.locate(20).unwrap();
+        assert_eq!(dev.chip(die).page_raw(addr).unwrap(), &data.not());
+        assert_eq!(dev.read(20).unwrap(), data);
+    }
+
+    #[test]
+    fn ecc_shrinks_logical_page() {
+        let dev = device();
+        // tiny page = 256 bits; (63,45) code → 4 codewords → 180 bits.
+        assert_eq!(dev.logical_page_bits(false), 256);
+        assert_eq!(dev.logical_page_bits(true), 180);
+    }
+
+    #[test]
+    fn conventional_survives_injected_errors() {
+        let mut dev = SsdDevice::new_noisy(SsdConfig::tiny_test());
+        dev.set_retention_months(12.0);
+        let data = payload(&dev, true, 3);
+        dev.write(1, &data, WriteOptions::conventional()).unwrap();
+        // Age the block heavily — SLC RBER at this stress is ~1e-3, well
+        // within t=3 per 63-bit codeword virtually always.
+        let (die, addr) = dev.locate(1).unwrap();
+        dev.chip_mut(die).cycle_block(addr.block(), 10_000).unwrap();
+        for _ in 0..20 {
+            assert_eq!(dev.read(1).unwrap(), data, "ECC must absorb injected errors");
+        }
+    }
+
+    #[test]
+    fn payload_size_is_validated() {
+        let mut dev = device();
+        let err = dev.write(1, &BitVec::zeros(7), WriteOptions::conventional()).unwrap_err();
+        assert!(matches!(err, DeviceError::PayloadSize { got: 7, expected: 180 }));
+    }
+
+    #[test]
+    fn unmapped_read_fails() {
+        let mut dev = device();
+        assert!(matches!(dev.read(99).unwrap_err(), DeviceError::NotMapped(99)));
+    }
+
+    #[test]
+    fn grouped_writes_share_a_block() {
+        let mut dev = device();
+        for i in 0..4 {
+            let data = payload(&dev, false, 10 + i);
+            dev.write(i, &data, WriteOptions::flash_cosmos(7, false)).unwrap();
+        }
+        let locs: Vec<_> = (0..4).map(|i| dev.locate(i).unwrap()).collect();
+        assert!(locs.iter().all(|(d, a)| *d == locs[0].0 && a.block == locs[0].1.block));
+        let wls: Vec<u32> = locs.iter().map(|(_, a)| a.wl).collect();
+        assert_eq!(wls, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn energy_accumulates() {
+        let mut dev = device();
+        let before = dev.energy_uj();
+        let data = payload(&dev, true, 4);
+        dev.write(1, &data, WriteOptions::conventional()).unwrap();
+        dev.read(1).unwrap();
+        assert!(dev.energy_uj() > before);
+    }
+}

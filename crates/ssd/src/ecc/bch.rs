@@ -1,0 +1,366 @@
+//! Binary primitive BCH codes: systematic encoder and algebraic decoder.
+//!
+//! A `t`-error-correcting BCH code over GF(2^m) has length `n = 2^m − 1`
+//! and generator polynomial `g(x) = lcm(m_1(x), m_3(x), …, m_{2t−1}(x))`
+//! where `m_i` is the minimal polynomial of `α^i`. Decoding: compute the
+//! 2t syndromes, run Berlekamp–Massey to find the error-locator polynomial
+//! `σ(x)`, and Chien-search its roots to locate the error positions.
+
+use fc_bits::BitVec;
+
+use super::gf::GfTables;
+
+/// A binary BCH code.
+#[derive(Debug, Clone)]
+pub struct BchCode {
+    gf: GfTables,
+    t: u32,
+    n: usize,
+    k: usize,
+    /// Generator polynomial coefficients, degree ascending (bit i = coeff
+    /// of x^i); degree = n − k.
+    generator: BitVec,
+}
+
+/// Outcome of decoding one codeword.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeOutcome {
+    /// Decoded successfully; `data` holds the k payload bits.
+    Corrected {
+        /// Recovered payload.
+        data: BitVec,
+        /// Number of bit errors corrected.
+        errors: usize,
+    },
+    /// More than `t` errors — decoding failed (detected).
+    Uncorrectable,
+}
+
+impl BchCode {
+    /// Constructs the `t`-error-correcting BCH code over GF(2^m).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is outside `3..=14`, `t` is zero, or the code would
+    /// have no payload bits (`t` too large for the field).
+    pub fn new(m: u32, t: u32) -> Self {
+        assert!(t > 0, "correction capability must be positive");
+        let gf = GfTables::new(m);
+        let n = gf.n();
+        let generator = compute_generator(&gf, t);
+        let deg = generator.len() - 1;
+        assert!(deg < n, "t={t} leaves no payload bits for m={m}");
+        let k = n - deg;
+        Self { gf, t, n, k, generator: BitVec::from_bools(&generator) }
+    }
+
+    /// Codeword length `n = 2^m − 1`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Payload bits per codeword.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Correction capability in bits.
+    pub fn t(&self) -> u32 {
+        self.t
+    }
+
+    /// Parity bits per codeword (`n − k`).
+    pub fn parity_bits(&self) -> usize {
+        self.n - self.k
+    }
+
+    /// Systematically encodes `k` payload bits into an `n`-bit codeword:
+    /// `codeword = [payload ‖ remainder(payload · x^{n−k} mod g)]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload.len() != k`.
+    pub fn encode(&self, payload: &BitVec) -> BitVec {
+        assert_eq!(payload.len(), self.k, "payload must be exactly k bits");
+        let parity = self.parity_bits();
+        // LFSR division: shift payload through, XOR generator on feedback.
+        let mut reg = vec![false; parity];
+        for i in (0..self.k).rev() {
+            let feedback = payload.get(i) ^ reg[parity - 1];
+            for j in (1..parity).rev() {
+                reg[j] = reg[j - 1] ^ (feedback && self.generator.get(j));
+            }
+            reg[0] = feedback && self.generator.get(0);
+        }
+        let mut cw = BitVec::zeros(self.n);
+        for (j, &r) in reg.iter().enumerate() {
+            cw.set(j, r);
+        }
+        for i in 0..self.k {
+            cw.set(parity + i, payload.get(i));
+        }
+        cw
+    }
+
+    /// Decodes an `n`-bit received word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `received.len() != n`.
+    pub fn decode(&self, received: &BitVec) -> DecodeOutcome {
+        assert_eq!(received.len(), self.n, "received word must be exactly n bits");
+        let syndromes = self.syndromes(received);
+        if syndromes.iter().all(|&s| s == 0) {
+            return DecodeOutcome::Corrected { data: self.extract_payload(received), errors: 0 };
+        }
+        let sigma = self.berlekamp_massey(&syndromes);
+        let nu = sigma.len() - 1;
+        if nu > self.t as usize {
+            return DecodeOutcome::Uncorrectable;
+        }
+        let positions = self.chien_search(&sigma);
+        if positions.len() != nu {
+            return DecodeOutcome::Uncorrectable;
+        }
+        let mut corrected = received.clone();
+        for &p in &positions {
+            corrected.flip(p);
+        }
+        // Re-check: the corrected word must be a codeword.
+        if self.syndromes(&corrected).iter().any(|&s| s != 0) {
+            return DecodeOutcome::Uncorrectable;
+        }
+        DecodeOutcome::Corrected { data: self.extract_payload(&corrected), errors: positions.len() }
+    }
+
+    fn extract_payload(&self, cw: &BitVec) -> BitVec {
+        cw.slice(self.parity_bits(), self.k)
+    }
+
+    /// Syndromes `S_i = r(α^i)` for `i = 1..=2t`.
+    fn syndromes(&self, r: &BitVec) -> Vec<u32> {
+        (1..=2 * self.t as usize)
+            .map(|i| {
+                let mut s = 0u32;
+                for pos in r.iter_ones() {
+                    s ^= self.gf.alpha_pow(i * pos);
+                }
+                s
+            })
+            .collect()
+    }
+
+    /// Berlekamp–Massey over GF(2^m): returns the error-locator polynomial
+    /// σ(x) as coefficients, degree ascending, σ(0) = 1.
+    fn berlekamp_massey(&self, s: &Vec<u32>) -> Vec<u32> {
+        let gf = &self.gf;
+        let mut sigma = vec![1u32];
+        let mut b = vec![1u32];
+        let mut l = 0usize;
+        let mut m = 1usize;
+        let mut bb = 1u32;
+        for n in 0..s.len() {
+            // Discrepancy d = S_n + Σ σ_i · S_{n−i}.
+            let mut d = s[n];
+            for i in 1..=l {
+                if i < sigma.len() && sigma[i] != 0 {
+                    d ^= gf.mul(sigma[i], s[n - i]);
+                }
+            }
+            if d == 0 {
+                m += 1;
+            } else if 2 * l <= n {
+                let t_poly = sigma.clone();
+                let coef = gf.div(d, bb);
+                sigma = poly_sub_scaled(gf, &sigma, &b, coef, m);
+                l = n + 1 - l;
+                b = t_poly;
+                bb = d;
+                m = 1;
+            } else {
+                let coef = gf.div(d, bb);
+                sigma = poly_sub_scaled(gf, &sigma, &b, coef, m);
+                m += 1;
+            }
+        }
+        // Trim trailing zeros.
+        while sigma.len() > 1 && *sigma.last().unwrap() == 0 {
+            sigma.pop();
+        }
+        sigma
+    }
+
+    /// Chien search: positions `p` where `σ(α^{−p}) = 0`.
+    fn chien_search(&self, sigma: &[u32]) -> Vec<usize> {
+        let gf = &self.gf;
+        let mut out = Vec::new();
+        for p in 0..self.n {
+            // Evaluate σ at α^{-p} = α^{n-p}.
+            let x = gf.alpha_pow(self.n - p % self.n);
+            let mut acc = 0u32;
+            for (i, &c) in sigma.iter().enumerate() {
+                if c != 0 {
+                    acc ^= gf.mul(c, gf.pow(x, i));
+                }
+            }
+            if acc == 0 {
+                out.push(p);
+            }
+        }
+        out
+    }
+}
+
+/// `sigma − coef · x^m · b` over GF(2^m) (subtraction is XOR).
+fn poly_sub_scaled(gf: &GfTables, sigma: &[u32], b: &[u32], coef: u32, m: usize) -> Vec<u32> {
+    let mut out = sigma.to_vec();
+    let needed = b.len() + m;
+    if out.len() < needed {
+        out.resize(needed, 0);
+    }
+    for (i, &bi) in b.iter().enumerate() {
+        if bi != 0 {
+            out[i + m] ^= gf.mul(coef, bi);
+        }
+    }
+    out
+}
+
+/// Generator polynomial as a bool vec (degree ascending):
+/// `g(x) = lcm` of the minimal polynomials of `α, α^2, …, α^{2t}`.
+fn compute_generator(gf: &GfTables, t: u32) -> Vec<bool> {
+    let n = gf.n();
+    // Collect the union of cyclotomic cosets of 1..=2t.
+    let mut roots = std::collections::BTreeSet::new();
+    for i in 1..=2 * t as usize {
+        let mut j = i % n;
+        loop {
+            if !roots.insert(j) {
+                break;
+            }
+            j = (j * 2) % n;
+        }
+    }
+    // g(x) = Π (x − α^j) over all roots j, built coefficient-wise in GF.
+    let mut g = vec![1u32];
+    for j in roots {
+        let root = gf.alpha_pow(j);
+        let mut next = vec![0u32; g.len() + 1];
+        for (i, &c) in g.iter().enumerate() {
+            if c != 0 {
+                next[i + 1] ^= c; // x · c
+                next[i] ^= gf.mul(c, root); // root · c
+            }
+        }
+        g = next;
+    }
+    // All coefficients must be 0/1 for a binary BCH generator.
+    g.iter()
+        .map(|&c| {
+            debug_assert!(c <= 1, "generator coefficient {c} not binary");
+            c == 1
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn classic_bch_15_7_2() {
+        // The (15, 7) double-error-correcting BCH code: g(x) has degree 8.
+        let code = BchCode::new(4, 2);
+        assert_eq!(code.n(), 15);
+        assert_eq!(code.k(), 7);
+        assert_eq!(code.parity_bits(), 8);
+    }
+
+    #[test]
+    fn classic_bch_15_5_3() {
+        let code = BchCode::new(4, 3);
+        assert_eq!(code.n(), 15);
+        assert_eq!(code.k(), 5);
+    }
+
+    #[test]
+    fn encode_is_systematic() {
+        let code = BchCode::new(4, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let payload = BitVec::random(code.k(), &mut rng);
+        let cw = code.encode(&payload);
+        for i in 0..code.k() {
+            assert_eq!(cw.get(code.parity_bits() + i), payload.get(i));
+        }
+    }
+
+    #[test]
+    fn clean_codeword_decodes_with_zero_errors() {
+        let code = BchCode::new(6, 3);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let payload = BitVec::random(code.k(), &mut rng);
+            let cw = code.encode(&payload);
+            match code.decode(&cw) {
+                DecodeOutcome::Corrected { data, errors } => {
+                    assert_eq!(data, payload);
+                    assert_eq!(errors, 0);
+                }
+                DecodeOutcome::Uncorrectable => panic!("clean codeword failed"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrects_up_to_t_errors_everywhere() {
+        for (m, t) in [(4u32, 2u32), (5, 2), (6, 3), (8, 4)] {
+            let code = BchCode::new(m, t);
+            let mut rng = StdRng::seed_from_u64(100 + m as u64 * 10 + t as u64);
+            for trial in 0..15 {
+                let payload = BitVec::random(code.k(), &mut rng);
+                let cw = code.encode(&payload);
+                let e = rng.gen_range(1..=t as usize);
+                let mut corrupted = cw.clone();
+                corrupted.flip_random_bits(e, &mut rng);
+                match code.decode(&corrupted) {
+                    DecodeOutcome::Corrected { data, errors } => {
+                        assert_eq!(data, payload, "m={m} t={t} trial={trial}");
+                        assert_eq!(errors, e);
+                    }
+                    DecodeOutcome::Uncorrectable => {
+                        panic!("m={m} t={t}: {e} ≤ t errors must decode")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_than_t_errors_mostly_detected_never_silently_right() {
+        let code = BchCode::new(6, 3);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut detected = 0;
+        for _ in 0..50 {
+            let payload = BitVec::random(code.k(), &mut rng);
+            let cw = code.encode(&payload);
+            let mut corrupted = cw.clone();
+            corrupted.flip_random_bits(8, &mut rng); // t = 3, inject 8
+            match code.decode(&corrupted) {
+                DecodeOutcome::Uncorrectable => detected += 1,
+                DecodeOutcome::Corrected { data, .. } => {
+                    assert_ne!(data, payload, "8 errors cannot decode to the truth");
+                }
+            }
+        }
+        assert!(detected > 25, "most overloads should be detected ({detected}/50)");
+    }
+
+    #[test]
+    #[should_panic(expected = "payload must be exactly k bits")]
+    fn wrong_payload_size_panics() {
+        let code = BchCode::new(4, 2);
+        code.encode(&BitVec::zeros(3));
+    }
+}

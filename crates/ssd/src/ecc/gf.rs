@@ -1,0 +1,185 @@
+//! Arithmetic over GF(2^m) via exponent/logarithm tables.
+
+use serde::{Deserialize, Serialize};
+
+/// Primitive polynomials (feedback masks, excluding the x^m term) for
+/// GF(2^m), m = 3..=14. Standard choices from coding-theory tables.
+const PRIMITIVE_POLYS: [(u32, u32); 12] = [
+    (3, 0b011),            // x^3 + x + 1
+    (4, 0b0011),           // x^4 + x + 1
+    (5, 0b0_0101),         // x^5 + x^2 + 1
+    (6, 0b00_0011),        // x^6 + x + 1
+    (7, 0b000_1001),       // x^7 + x^3 + 1
+    (8, 0b0001_1101),      // x^8 + x^4 + x^3 + x^2 + 1
+    (9, 0b0_0001_0001),    // x^9 + x^4 + 1
+    (10, 0b00_0000_1001),  // x^10 + x^3 + 1
+    (11, 0b000_0000_0101), // x^11 + x^2 + 1
+    (12, 0b1000_0101_0011_u32), // x^12 + x^6 + x^4 + x + 1
+    (13, 0b1_1011u32),     // x^13 + x^4 + x^3 + x + 1
+    (14, 0b10_1000_0100_0011_u32 >> 1), // x^14 + x^10 + x^6 + x + 1
+];
+
+/// Exp/log tables for one field.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GfTables {
+    m: u32,
+    n: usize,
+    exp: Vec<u32>,
+    log: Vec<u32>,
+}
+
+impl GfTables {
+    /// Builds the tables for GF(2^m).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is outside `3..=14`.
+    pub fn new(m: u32) -> Self {
+        let poly = PRIMITIVE_POLYS
+            .iter()
+            .find(|(mm, _)| *mm == m)
+            .unwrap_or_else(|| panic!("unsupported field exponent m={m} (need 3..=14)"))
+            .1;
+        let n = (1usize << m) - 1;
+        let mut exp = vec![0u32; 2 * n];
+        let mut log = vec![0u32; n + 1];
+        let mut x = 1u32;
+        for (i, e) in exp.iter_mut().enumerate().take(n) {
+            *e = x;
+            log[x as usize] = i as u32;
+            x <<= 1;
+            if x > n as u32 {
+                x = (x & n as u32) ^ poly;
+            }
+        }
+        for i in n..2 * n {
+            exp[i] = exp[i - n];
+        }
+        Self { m, n, exp, log }
+    }
+
+    /// The field exponent m.
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Multiplicative group order `n = 2^m − 1`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `α^i` for any `i` (reduced mod n).
+    pub fn alpha_pow(&self, i: usize) -> u32 {
+        self.exp[i % self.n]
+    }
+
+    /// Discrete log of a non-zero element.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero (zero has no logarithm).
+    pub fn log(&self, x: u32) -> u32 {
+        assert!(x != 0, "log of zero");
+        self.log[x as usize]
+    }
+
+    /// Field multiplication.
+    pub fn mul(&self, a: u32, b: u32) -> u32 {
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        self.exp[(self.log[a as usize] + self.log[b as usize]) as usize]
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero.
+    pub fn inv(&self, a: u32) -> u32 {
+        assert!(a != 0, "inverse of zero");
+        self.exp[self.n - self.log[a as usize] as usize]
+    }
+
+    /// Field division `a / b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is zero.
+    pub fn div(&self, a: u32, b: u32) -> u32 {
+        if a == 0 {
+            return 0;
+        }
+        self.mul(a, self.inv(b))
+    }
+
+    /// `a^p` by exponent arithmetic.
+    pub fn pow(&self, a: u32, p: usize) -> u32 {
+        if a == 0 {
+            return if p == 0 { 1 } else { 0 };
+        }
+        self.exp[(self.log[a as usize] as usize * p) % self.n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_axioms_gf16() {
+        let gf = GfTables::new(4);
+        let n = gf.n() as u32;
+        // Every non-zero element has an inverse; mul is commutative.
+        for a in 1..=n {
+            assert_eq!(gf.mul(a, gf.inv(a)), 1, "a={a}");
+            for b in 1..=n {
+                assert_eq!(gf.mul(a, b), gf.mul(b, a));
+            }
+        }
+        // Zero annihilates.
+        assert_eq!(gf.mul(0, 7), 0);
+        assert_eq!(gf.div(0, 5), 0);
+    }
+
+    #[test]
+    fn alpha_generates_the_whole_group() {
+        for m in 3..=10 {
+            let gf = GfTables::new(m);
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..gf.n() {
+                seen.insert(gf.alpha_pow(i));
+            }
+            assert_eq!(seen.len(), gf.n(), "α must be primitive for m={m}");
+            assert!(!seen.contains(&0));
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let gf = GfTables::new(6);
+        for a in [1u32, 2, 5, 33, 62] {
+            let mut acc = 1u32;
+            for p in 0..10 {
+                assert_eq!(gf.pow(a, p), acc, "a={a} p={p}");
+                acc = gf.mul(acc, a);
+            }
+        }
+        assert_eq!(gf.pow(0, 0), 1);
+        assert_eq!(gf.pow(0, 3), 0);
+    }
+
+    #[test]
+    fn log_exp_roundtrip() {
+        let gf = GfTables::new(8);
+        for x in 1..=gf.n() as u32 {
+            assert_eq!(gf.alpha_pow(gf.log(x) as usize), x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported field exponent")]
+    fn unsupported_m_panics() {
+        GfTables::new(2);
+    }
+}

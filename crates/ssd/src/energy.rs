@@ -1,0 +1,220 @@
+//! Per-component energy metering (§7 "Energy Modeling", Fig. 18).
+//!
+//! The paper combines Intel RAPL measurements (host CPU), a DDR4 energy
+//! model (DRAM), Samsung 980 Pro power values (SSD) and its own
+//! real-device NAND measurements. This module provides the accounting
+//! structure plus the per-bit transfer constants; NAND op energies come
+//! from [`fc_nand::power`] and host energies from `fc-host`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Energy-consuming components of the end-to-end system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Component {
+    /// NAND array sensing (reads and MWS).
+    NandSense,
+    /// NAND programming.
+    NandProgram,
+    /// NAND erase.
+    NandErase,
+    /// Flash-channel transfers (die ↔ controller).
+    Channel,
+    /// SSD controller (ECC, randomizer, firmware).
+    Controller,
+    /// In-storage accelerator (ISP platform only).
+    IspAccelerator,
+    /// External link (SSD ↔ host, PCIe).
+    External,
+    /// Host DRAM traffic.
+    HostDram,
+    /// Host CPU computation.
+    HostCpu,
+}
+
+impl Component {
+    /// All components, in display order.
+    pub const ALL: [Component; 9] = [
+        Component::NandSense,
+        Component::NandProgram,
+        Component::NandErase,
+        Component::Channel,
+        Component::Controller,
+        Component::IspAccelerator,
+        Component::External,
+        Component::HostDram,
+        Component::HostCpu,
+    ];
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Component::NandSense => "nand-sense",
+            Component::NandProgram => "nand-program",
+            Component::NandErase => "nand-erase",
+            Component::Channel => "channel",
+            Component::Controller => "controller",
+            Component::IspAccelerator => "isp-accelerator",
+            Component::External => "external",
+            Component::HostDram => "host-dram",
+            Component::HostCpu => "host-cpu",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Transfer/processing energy constants. Representative figures for the
+/// modelled technology generation; the paper reports only aggregate
+/// energies, so these anchor the absolute scale (documented in
+/// EXPERIMENTS.md).
+pub mod constants {
+    /// Flash-channel (ONFI bus) energy, pJ per bit.
+    pub const CHANNEL_PJ_PER_BIT: f64 = 2.0;
+    /// SSD-controller processing energy, pJ per bit moved through it.
+    pub const CONTROLLER_PJ_PER_BIT: f64 = 1.0;
+    /// External PCIe link energy, pJ per bit.
+    pub const EXTERNAL_PJ_PER_BIT: f64 = 10.0;
+    /// ISP hardware accelerator: 93 pJ per 64-byte operation (Table 1).
+    pub const ISP_PJ_PER_64B: f64 = 93.0;
+}
+
+/// Accumulates energy per component, in microjoules.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    uj: BTreeMap<Component, f64>,
+}
+
+impl EnergyMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `uj` microjoules to `component`.
+    pub fn add(&mut self, component: Component, uj: f64) {
+        *self.uj.entry(component).or_insert(0.0) += uj;
+    }
+
+    /// Adds channel-transfer energy for `bytes` bytes.
+    pub fn add_channel_bytes(&mut self, bytes: u64) {
+        self.add(Component::Channel, bytes as f64 * 8.0 * constants::CHANNEL_PJ_PER_BIT * 1e-6);
+        self.add(
+            Component::Controller,
+            bytes as f64 * 8.0 * constants::CONTROLLER_PJ_PER_BIT * 1e-6,
+        );
+    }
+
+    /// Adds external-link energy for `bytes` bytes.
+    pub fn add_external_bytes(&mut self, bytes: u64) {
+        self.add(Component::External, bytes as f64 * 8.0 * constants::EXTERNAL_PJ_PER_BIT * 1e-6);
+    }
+
+    /// Adds ISP-accelerator energy for processing `bytes` bytes (Table 1:
+    /// 93 pJ per 64 B operation).
+    pub fn add_isp_bytes(&mut self, bytes: u64) {
+        let ops = bytes as f64 / 64.0;
+        self.add(Component::IspAccelerator, ops * constants::ISP_PJ_PER_64B * 1e-6);
+    }
+
+    /// Energy of one component, µJ.
+    pub fn component_uj(&self, component: Component) -> f64 {
+        self.uj.get(&component).copied().unwrap_or(0.0)
+    }
+
+    /// Total energy, µJ.
+    pub fn total_uj(&self) -> f64 {
+        self.uj.values().sum()
+    }
+
+    /// Total energy, joules.
+    pub fn total_j(&self) -> f64 {
+        self.total_uj() * 1e-6
+    }
+
+    /// Merges another meter into this one.
+    pub fn merge(&mut self, other: &EnergyMeter) {
+        for (c, v) in &other.uj {
+            self.add(*c, *v);
+        }
+    }
+
+    /// Per-component breakdown, µJ, in display order (zero entries
+    /// omitted).
+    pub fn breakdown(&self) -> Vec<(Component, f64)> {
+        Component::ALL
+            .iter()
+            .filter_map(|c| {
+                let v = self.component_uj(*c);
+                (v > 0.0).then_some((*c, v))
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for EnergyMeter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} J", self.total_j())?;
+        let parts: Vec<String> =
+            self.breakdown().iter().map(|(c, v)| format!("{c}: {v:.1} µJ")).collect();
+        if !parts.is_empty() {
+            write!(f, " ({})", parts.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_totals() {
+        let mut m = EnergyMeter::new();
+        m.add(Component::NandSense, 2.0);
+        m.add(Component::NandSense, 3.0);
+        m.add(Component::HostCpu, 5.0);
+        assert_eq!(m.component_uj(Component::NandSense), 5.0);
+        assert_eq!(m.total_uj(), 10.0);
+        assert!((m.total_j() - 1e-5).abs() < 1e-18);
+    }
+
+    #[test]
+    fn transfer_helpers_use_constants() {
+        let mut m = EnergyMeter::new();
+        // 1 MB over the channel: 8e6 bits × 2 pJ = 16 µJ (+ 8 µJ controller).
+        m.add_channel_bytes(1_000_000);
+        assert!((m.component_uj(Component::Channel) - 16.0).abs() < 1e-9);
+        assert!((m.component_uj(Component::Controller) - 8.0).abs() < 1e-9);
+        // 1 MB external: 80 µJ.
+        m.add_external_bytes(1_000_000);
+        assert!((m.component_uj(Component::External) - 80.0).abs() < 1e-9);
+        // 64 B through the ISP accelerator: 93 pJ.
+        m.add_isp_bytes(64);
+        assert!((m.component_uj(Component::IspAccelerator) - 93e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_components() {
+        let mut a = EnergyMeter::new();
+        a.add(Component::External, 1.0);
+        let mut b = EnergyMeter::new();
+        b.add(Component::External, 2.0);
+        b.add(Component::HostDram, 4.0);
+        a.merge(&b);
+        assert_eq!(a.component_uj(Component::External), 3.0);
+        assert_eq!(a.component_uj(Component::HostDram), 4.0);
+    }
+
+    #[test]
+    fn breakdown_omits_zero_components() {
+        let mut m = EnergyMeter::new();
+        m.add(Component::HostCpu, 1.0);
+        let b = m.breakdown();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].0, Component::HostCpu);
+        assert_eq!(Component::HostCpu.to_string(), "host-cpu");
+    }
+}

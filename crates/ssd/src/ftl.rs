@@ -1,0 +1,384 @@
+//! A page-mapped flash translation layer with Flash-Cosmos placement
+//! metadata (§6.3).
+//!
+//! Beyond the usual logical-to-physical page map, the FTL records per page:
+//! the programming scheme (regular vs ESP — "the SSD firmware maintains
+//! additional metadata necessary for Flash-Cosmos, such as each page's
+//! programming mode"), whether the data was randomized, and whether the
+//! *inverse* of the logical data was stored (the §6.1 trick that turns
+//! intra-block MWS into a bitwise OR via De Morgan).
+//!
+//! Two allocation policies:
+//! * [`PlacementHint::Striped`] — round-robin across planes (normal data,
+//!   maximizes read parallelism).
+//! * [`PlacementHint::Grouped`] — all pages of a group go to the *same
+//!   block* of a given plane, consecutive wordlines (operands that will be
+//!   combined by intra-block MWS; "the application decides which operands
+//!   to be stored in the same block to minimize the number of MWS
+//!   operations", §6.3).
+
+use std::collections::HashMap;
+
+use fc_nand::ispp::ProgramScheme;
+use serde::{Deserialize, Serialize};
+
+use crate::config::SsdConfig;
+use crate::topology::{PlaneId, Ppa};
+
+/// Per-page metadata the firmware keeps for Flash-Cosmos.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PageMeta {
+    /// Programming scheme used.
+    pub scheme: ProgramScheme,
+    /// Whether the stored bits were randomized.
+    pub randomized: bool,
+    /// Whether the stored bits are the inverse of the logical data.
+    pub inverted: bool,
+    /// Whether the stored bits are ECC-encoded.
+    pub ecc: bool,
+}
+
+impl PageMeta {
+    /// Metadata for the conventional storage path: regular SLC,
+    /// randomized, ECC-protected, not inverted.
+    pub fn conventional() -> Self {
+        Self { scheme: ProgramScheme::Slc, randomized: true, inverted: false, ecc: true }
+    }
+
+    /// Metadata for the Flash-Cosmos computation path: ESP, raw bits
+    /// (no randomization, no ECC).
+    pub fn flash_cosmos(inverted: bool) -> Self {
+        Self {
+            scheme: ProgramScheme::esp_default(),
+            randomized: false,
+            inverted,
+            ecc: false,
+        }
+    }
+}
+
+/// Where the FTL should place a page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlacementHint {
+    /// Round-robin striping across all planes.
+    Striped,
+    /// Co-locate with other pages of `group` in one block of one plane.
+    /// Pages of a group occupy consecutive wordlines, so any subset can be
+    /// combined with a single intra-block MWS.
+    Grouped {
+        /// Group identity (e.g. one operand set of one plane-stripe).
+        group: u64,
+    },
+}
+
+/// Errors from FTL allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FtlError {
+    /// The logical page already has a mapping (overwrite requires a trim
+    /// in this simplified FTL).
+    AlreadyMapped(u64),
+    /// No free wordline is available in the required placement domain.
+    OutOfSpace,
+    /// A grouped allocation exceeded one block's wordline count (callers
+    /// must split operand sets across groups; §6.1 covers combining them).
+    GroupFull {
+        /// The group that overflowed.
+        group: u64,
+        /// Block capacity in wordlines.
+        capacity: usize,
+    },
+    /// The logical page has no mapping (migration of unwritten pages).
+    NotMapped(u64),
+}
+
+impl std::fmt::Display for FtlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FtlError::AlreadyMapped(lpn) => write!(f, "logical page {lpn} is already mapped"),
+            FtlError::OutOfSpace => write!(f, "no free wordlines left in the placement domain"),
+            FtlError::GroupFull { group, capacity } => {
+                write!(f, "group {group} exceeds one block ({capacity} wordlines)")
+            }
+            FtlError::NotMapped(lpn) => write!(f, "logical page {lpn} is not mapped"),
+        }
+    }
+}
+
+impl std::error::Error for FtlError {}
+
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct GroupCursor {
+    plane: usize,
+    block: u32,
+    next_wl: u32,
+}
+
+/// The page-mapped FTL.
+#[derive(Debug, Clone)]
+pub struct Ftl {
+    planes: usize,
+    wls_per_block: u32,
+    blocks_per_plane: u32,
+    map: HashMap<u64, Ppa>,
+    meta: HashMap<u64, PageMeta>,
+    /// Next free block per plane (blocks are allocated whole).
+    next_block: Vec<u32>,
+    /// Striped-allocation cursor: (plane, open block, next wordline).
+    stripe_cursor: usize,
+    stripe_open: Vec<Option<(u32, u32)>>,
+    groups: HashMap<u64, GroupCursor>,
+    config: SsdConfig,
+}
+
+impl Ftl {
+    /// Creates an empty FTL for the given SSD.
+    pub fn new(config: &SsdConfig) -> Self {
+        let planes = config.total_planes();
+        Self {
+            planes,
+            wls_per_block: config.wls_per_block as u32,
+            blocks_per_plane: config.blocks_per_plane as u32,
+            map: HashMap::new(),
+            meta: HashMap::new(),
+            next_block: vec![0; planes],
+            stripe_cursor: 0,
+            stripe_open: vec![None; planes],
+            groups: HashMap::new(),
+            config: config.clone(),
+        }
+    }
+
+    /// Number of mapped logical pages.
+    pub fn mapped_pages(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Looks up a logical page's physical address.
+    pub fn translate(&self, lpn: u64) -> Option<Ppa> {
+        self.map.get(&lpn).copied()
+    }
+
+    /// Looks up a logical page's metadata.
+    pub fn meta(&self, lpn: u64) -> Option<PageMeta> {
+        self.meta.get(&lpn).copied()
+    }
+
+    /// Unmaps a logical page (trim). Returns the freed physical address.
+    pub fn trim(&mut self, lpn: u64) -> Option<Ppa> {
+        self.meta.remove(&lpn);
+        self.map.remove(&lpn)
+    }
+
+    /// Allocates a physical page for `lpn` and records its metadata.
+    ///
+    /// # Errors
+    ///
+    /// See [`FtlError`].
+    pub fn allocate(
+        &mut self,
+        lpn: u64,
+        hint: PlacementHint,
+        meta: PageMeta,
+    ) -> Result<Ppa, FtlError> {
+        if self.map.contains_key(&lpn) {
+            return Err(FtlError::AlreadyMapped(lpn));
+        }
+        let ppa = match hint {
+            PlacementHint::Striped => self.allocate_striped()?,
+            PlacementHint::Grouped { group } => self.allocate_grouped(group)?,
+        };
+        self.map.insert(lpn, ppa);
+        self.meta.insert(lpn, meta);
+        Ok(ppa)
+    }
+
+    fn take_block(&mut self, plane: usize) -> Result<u32, FtlError> {
+        let b = self.next_block[plane];
+        if b >= self.blocks_per_plane {
+            return Err(FtlError::OutOfSpace);
+        }
+        self.next_block[plane] = b + 1;
+        Ok(b)
+    }
+
+    fn allocate_striped(&mut self) -> Result<Ppa, FtlError> {
+        let plane = self.stripe_cursor;
+        self.stripe_cursor = (self.stripe_cursor + 1) % self.planes;
+        let (block, wl) = match self.stripe_open[plane] {
+            Some((b, w)) if w < self.wls_per_block => (b, w),
+            _ => (self.take_block(plane)?, 0),
+        };
+        self.stripe_open[plane] =
+            if wl + 1 < self.wls_per_block { Some((block, wl + 1)) } else { None };
+        Ok(Ppa { plane: PlaneId::from_flat(plane, &self.config), block, wl })
+    }
+
+    /// Re-places an already-mapped logical page under a new hint and
+    /// metadata (the §10 background-migration primitive). Returns the old
+    /// and new physical addresses; on allocation failure the original
+    /// mapping is left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `lpn` is unmapped or the new placement domain is full.
+    pub fn remap(
+        &mut self,
+        lpn: u64,
+        hint: PlacementHint,
+        meta: PageMeta,
+    ) -> Result<(Ppa, Ppa), FtlError> {
+        let old = self.map.get(&lpn).copied().ok_or(FtlError::NotMapped(lpn))?;
+        let new = match hint {
+            PlacementHint::Striped => self.allocate_striped()?,
+            PlacementHint::Grouped { group } => self.allocate_grouped(group)?,
+        };
+        self.map.insert(lpn, new);
+        self.meta.insert(lpn, meta);
+        Ok((old, new))
+    }
+
+    fn allocate_grouped(&mut self, group: u64) -> Result<Ppa, FtlError> {
+        let cursor = match self.groups.get(&group).copied() {
+            Some(c) => c,
+            None => {
+                // New groups rotate across planes by group id so different
+                // plane-stripes spread naturally.
+                let plane = (group % self.planes as u64) as usize;
+                let block = self.take_block(plane)?;
+                GroupCursor { plane, block, next_wl: 0 }
+            }
+        };
+        if cursor.next_wl >= self.wls_per_block {
+            return Err(FtlError::GroupFull {
+                group,
+                capacity: self.wls_per_block as usize,
+            });
+        }
+        let ppa = Ppa {
+            plane: PlaneId::from_flat(cursor.plane, &self.config),
+            block: cursor.block,
+            wl: cursor.next_wl,
+        };
+        self.groups.insert(group, GroupCursor { next_wl: cursor.next_wl + 1, ..cursor });
+        Ok(ppa)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ftl() -> Ftl {
+        Ftl::new(&SsdConfig::tiny_test())
+    }
+
+    #[test]
+    fn striped_allocation_rotates_planes() {
+        let mut f = ftl();
+        let planes: Vec<usize> = (0..8)
+            .map(|i| {
+                f.allocate(i, PlacementHint::Striped, PageMeta::conventional())
+                    .unwrap()
+                    .plane
+                    .flat(&SsdConfig::tiny_test())
+            })
+            .collect();
+        // tiny: 2 ch × 2 dies × 2 planes = 8 planes — all distinct.
+        let distinct: std::collections::HashSet<_> = planes.iter().collect();
+        assert_eq!(distinct.len(), 8);
+    }
+
+    #[test]
+    fn grouped_allocation_shares_one_block() {
+        let mut f = ftl();
+        let ppas: Vec<Ppa> = (0..8)
+            .map(|i| {
+                f.allocate(100 + i, PlacementHint::Grouped { group: 42 }, PageMeta::flash_cosmos(false))
+                    .unwrap()
+            })
+            .collect();
+        let first = ppas[0];
+        for (i, p) in ppas.iter().enumerate() {
+            assert_eq!(p.plane, first.plane);
+            assert_eq!(p.block, first.block);
+            assert_eq!(p.wl, i as u32, "consecutive wordlines");
+        }
+    }
+
+    #[test]
+    fn group_overflow_is_reported() {
+        let mut f = ftl();
+        for i in 0..8 {
+            f.allocate(i, PlacementHint::Grouped { group: 1 }, PageMeta::flash_cosmos(false))
+                .unwrap();
+        }
+        let err = f
+            .allocate(99, PlacementHint::Grouped { group: 1 }, PageMeta::flash_cosmos(false))
+            .unwrap_err();
+        assert_eq!(err, FtlError::GroupFull { group: 1, capacity: 8 });
+    }
+
+    #[test]
+    fn distinct_groups_get_distinct_blocks() {
+        let mut f = ftl();
+        let a = f
+            .allocate(1, PlacementHint::Grouped { group: 8 }, PageMeta::flash_cosmos(false))
+            .unwrap();
+        let b = f
+            .allocate(2, PlacementHint::Grouped { group: 16 }, PageMeta::flash_cosmos(true))
+            .unwrap();
+        // Groups 8 and 16 both map to plane 0 (mod 8) but different blocks.
+        assert_eq!(a.plane, b.plane);
+        assert_ne!(a.block, b.block);
+        assert!(f.meta(2).unwrap().inverted);
+    }
+
+    #[test]
+    fn double_mapping_rejected_translate_and_trim_work() {
+        let mut f = ftl();
+        let ppa = f.allocate(7, PlacementHint::Striped, PageMeta::conventional()).unwrap();
+        assert_eq!(f.translate(7), Some(ppa));
+        assert_eq!(f.mapped_pages(), 1);
+        assert_eq!(
+            f.allocate(7, PlacementHint::Striped, PageMeta::conventional()),
+            Err(FtlError::AlreadyMapped(7))
+        );
+        assert_eq!(f.trim(7), Some(ppa));
+        assert_eq!(f.translate(7), None);
+        assert_eq!(f.meta(7), None);
+    }
+
+    #[test]
+    fn metadata_is_recorded() {
+        let mut f = ftl();
+        f.allocate(1, PlacementHint::Striped, PageMeta::conventional()).unwrap();
+        f.allocate(2, PlacementHint::Grouped { group: 0 }, PageMeta::flash_cosmos(true)).unwrap();
+        let conv = f.meta(1).unwrap();
+        assert!(conv.randomized && conv.ecc && !conv.inverted);
+        assert_eq!(conv.scheme, ProgramScheme::Slc);
+        let fc = f.meta(2).unwrap();
+        assert!(!fc.randomized && !fc.ecc && fc.inverted);
+        assert!(matches!(fc.scheme, ProgramScheme::Esp { .. }));
+    }
+
+    #[test]
+    fn exhaustion_reports_out_of_space() {
+        let cfg = SsdConfig::tiny_test();
+        let mut f = Ftl::new(&cfg);
+        // Fill plane 0 completely with groups (16 blocks × 8 WLs), planes
+        // count = 8 so groups ≡ 0 mod 8 land on plane 0.
+        let mut lpn = 0;
+        for g in 0..16u64 {
+            for _ in 0..8 {
+                f.allocate(lpn, PlacementHint::Grouped { group: g * 8 }, PageMeta::flash_cosmos(false))
+                    .unwrap();
+                lpn += 1;
+            }
+        }
+        let err = f
+            .allocate(lpn, PlacementHint::Grouped { group: 128 * 8 }, PageMeta::flash_cosmos(false))
+            .unwrap_err();
+        assert_eq!(err, FtlError::OutOfSpace);
+    }
+}

@@ -1,0 +1,215 @@
+//! The in-storage-processing (ISP) baseline accelerator (§7).
+//!
+//! "ISP leverages an in-storage hardware accelerator that consists of
+//! simple bitwise logic and 256-KiB SRAM buffer in order to perform bulk
+//! bitwise operations inside the SSD and sends only the final results to
+//! the host." Energy: 93 pJ per 64-byte operation (Table 1).
+//!
+//! The accelerator streams operand chunks from the channels and
+//! accumulates a running AND/OR/XOR per buffer slot. Its SRAM bounds how
+//! much result state can be resident at once; the platform model uses
+//! that bound to size result batches.
+
+use fc_bits::BitVec;
+use serde::{Deserialize, Serialize};
+
+use crate::energy::EnergyMeter;
+
+/// SRAM buffer size of the accelerator, bytes (§7: 256 KiB).
+pub const SRAM_BYTES: usize = 256 * 1024;
+
+/// Accumulation operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccOp {
+    /// Running bitwise AND.
+    And,
+    /// Running bitwise OR.
+    Or,
+    /// Running bitwise XOR.
+    Xor,
+}
+
+/// Errors from the accelerator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IspError {
+    /// The requested buffer does not fit in SRAM.
+    BufferTooLarge {
+        /// Requested size in bytes.
+        requested: usize,
+    },
+    /// Chunk size does not match the open buffer.
+    SizeMismatch {
+        /// Supplied chunk bits.
+        got: usize,
+        /// Open buffer bits.
+        expected: usize,
+    },
+    /// No buffer is open.
+    NoBuffer,
+}
+
+impl std::fmt::Display for IspError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IspError::BufferTooLarge { requested } => {
+                write!(f, "buffer of {requested} bytes exceeds the {SRAM_BYTES}-byte SRAM")
+            }
+            IspError::SizeMismatch { got, expected } => {
+                write!(f, "chunk of {got} bits does not match the {expected}-bit buffer")
+            }
+            IspError::NoBuffer => write!(f, "no accumulation buffer is open"),
+        }
+    }
+}
+
+impl std::error::Error for IspError {}
+
+/// One per-channel accelerator instance.
+#[derive(Debug, Clone, Default)]
+pub struct IspAccelerator {
+    buffer: Option<(BitVec, AccOp, bool)>,
+    bytes_processed: u64,
+}
+
+impl IspAccelerator {
+    /// Creates an idle accelerator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes streamed through the bitwise logic (for energy
+    /// accounting).
+    pub fn bytes_processed(&self) -> u64 {
+        self.bytes_processed
+    }
+
+    /// Opens an accumulation buffer of `bits` bits for `op`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the buffer exceeds the SRAM capacity.
+    pub fn open(&mut self, bits: usize, op: AccOp) -> Result<(), IspError> {
+        let bytes = bits.div_ceil(8);
+        if bytes > SRAM_BYTES {
+            return Err(IspError::BufferTooLarge { requested: bytes });
+        }
+        let init = match op {
+            AccOp::And => BitVec::ones(bits),
+            AccOp::Or | AccOp::Xor => BitVec::zeros(bits),
+        };
+        self.buffer = Some((init, op, false));
+        Ok(())
+    }
+
+    /// Streams one operand chunk into the open buffer.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no buffer is open or sizes mismatch.
+    pub fn accumulate(&mut self, chunk: &BitVec) -> Result<(), IspError> {
+        let (buf, op, touched) = self.buffer.as_mut().ok_or(IspError::NoBuffer)?;
+        if chunk.len() != buf.len() {
+            return Err(IspError::SizeMismatch { got: chunk.len(), expected: buf.len() });
+        }
+        match op {
+            AccOp::And => buf.and_assign(chunk),
+            AccOp::Or => buf.or_assign(chunk),
+            AccOp::Xor => buf.xor_assign(chunk),
+        }
+        *touched = true;
+        self.bytes_processed += chunk.len().div_ceil(8) as u64;
+        Ok(())
+    }
+
+    /// Closes the buffer and returns the accumulated result.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no buffer is open.
+    pub fn finish(&mut self) -> Result<BitVec, IspError> {
+        let (buf, _, _) = self.buffer.take().ok_or(IspError::NoBuffer)?;
+        Ok(buf)
+    }
+
+    /// Charges this accelerator's processing energy to `meter` and resets
+    /// the byte counter.
+    pub fn charge_energy(&mut self, meter: &mut EnergyMeter) {
+        meter.add_isp_bytes(self.bytes_processed);
+        self.bytes_processed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::energy::Component;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chunks(n: usize, bits: usize) -> Vec<BitVec> {
+        let mut rng = StdRng::seed_from_u64(5);
+        (0..n).map(|_| BitVec::random(bits, &mut rng)).collect()
+    }
+
+    #[test]
+    fn and_accumulation() {
+        let mut acc = IspAccelerator::new();
+        let cs = chunks(4, 512);
+        acc.open(512, AccOp::And).unwrap();
+        for c in &cs {
+            acc.accumulate(c).unwrap();
+        }
+        let expect = cs.iter().skip(1).fold(cs[0].clone(), |a, c| a.and(c));
+        assert_eq!(acc.finish().unwrap(), expect);
+    }
+
+    #[test]
+    fn or_and_xor_accumulation() {
+        let cs = chunks(3, 256);
+        let mut acc = IspAccelerator::new();
+        acc.open(256, AccOp::Or).unwrap();
+        for c in &cs {
+            acc.accumulate(c).unwrap();
+        }
+        assert_eq!(acc.finish().unwrap(), cs[0].or(&cs[1]).or(&cs[2]));
+        acc.open(256, AccOp::Xor).unwrap();
+        for c in &cs {
+            acc.accumulate(c).unwrap();
+        }
+        assert_eq!(acc.finish().unwrap(), cs[0].xor(&cs[1]).xor(&cs[2]));
+    }
+
+    #[test]
+    fn sram_capacity_is_enforced() {
+        let mut acc = IspAccelerator::new();
+        assert!(acc.open(SRAM_BYTES * 8, AccOp::And).is_ok());
+        let err = acc.open(SRAM_BYTES * 8 + 8, AccOp::And).unwrap_err();
+        assert_eq!(err, IspError::BufferTooLarge { requested: SRAM_BYTES + 1 });
+    }
+
+    #[test]
+    fn misuse_errors() {
+        let mut acc = IspAccelerator::new();
+        assert_eq!(acc.accumulate(&BitVec::zeros(8)).unwrap_err(), IspError::NoBuffer);
+        assert_eq!(acc.finish().unwrap_err(), IspError::NoBuffer);
+        acc.open(16, AccOp::And).unwrap();
+        assert_eq!(
+            acc.accumulate(&BitVec::zeros(8)).unwrap_err(),
+            IspError::SizeMismatch { got: 8, expected: 16 }
+        );
+    }
+
+    #[test]
+    fn energy_accounting_93pj_per_64b() {
+        let mut acc = IspAccelerator::new();
+        acc.open(64 * 8, AccOp::And).unwrap();
+        acc.accumulate(&BitVec::ones(64 * 8)).unwrap();
+        assert_eq!(acc.bytes_processed(), 64);
+        let mut meter = EnergyMeter::new();
+        acc.charge_energy(&mut meter);
+        let uj = meter.component_uj(Component::IspAccelerator);
+        assert!((uj - 93e-6).abs() < 1e-12, "93 pJ = {uj} µJ");
+        assert_eq!(acc.bytes_processed(), 0, "counter resets after charging");
+    }
+}

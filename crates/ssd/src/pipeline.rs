@@ -1,0 +1,506 @@
+//! Execution-pipeline model: turns per-die job lists into end-to-end
+//! makespan and energy (the engine behind Figs. 7, 17 and 18).
+//!
+//! The model captures the three-stage pipeline of §3.1:
+//!
+//! 1. **Sensing** — each die executes its sense jobs back-to-back (the
+//!    cache latch lets the next sense overlap the previous transfer).
+//! 2. **Internal I/O** — a die's output chunk moves over its channel; the
+//!    channel is a FIFO resource shared by the channel's dies.
+//! 3. **External I/O** — chunks bound for the host move over the shared
+//!    external link (FIFO), in data-ready order.
+//!
+//! Host-side consumption (bitwise combine for OSP, bit-count for BMI, …)
+//! streams concurrently with external transfers and adds a tail if the
+//! host is slower than the link.
+//!
+//! Each platform (OSP / ISP / ParaBit / Flash-Cosmos) is expressed purely
+//! as a different job list — see `flash_cosmos::engines` — so the timing
+//! model itself stays platform-agnostic, exactly like the paper's extended
+//! MQSim.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::SsdConfig;
+use crate::energy::{Component, EnergyMeter};
+use crate::sim::{self, Resource, SimTime};
+
+/// One die-level operation: a sense followed by optional internal and
+/// external transfers of its output.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SenseJob {
+    /// Sense latency, µs (`tR` for a regular read, `tMWS` for MWS, 0 for
+    /// pure transfer jobs).
+    pub latency_us: f64,
+    /// Bytes to move die → controller after the sense (0 = stays in the
+    /// latches / no output).
+    pub dma_bytes: u64,
+    /// Bytes to move controller → host once the DMA lands (0 = consumed
+    /// inside the SSD).
+    pub ext_bytes: u64,
+    /// Chip power during the sense, normalized to a regular read
+    /// (Fig. 14 scale) — drives NAND energy accounting.
+    pub norm_power: f64,
+}
+
+impl SenseJob {
+    /// A regular page read whose output goes all the way to the host.
+    pub fn read_to_host(config: &SsdConfig) -> Self {
+        let bytes = (config.page_bytes * config.planes_per_die) as u64;
+        Self { latency_us: config.tr_us, dma_bytes: bytes, ext_bytes: bytes, norm_power: 1.0 }
+    }
+
+    /// A regular page read consumed inside the SSD (ISP operand fetch).
+    pub fn read_to_controller(config: &SsdConfig) -> Self {
+        let bytes = (config.page_bytes * config.planes_per_die) as u64;
+        Self { latency_us: config.tr_us, dma_bytes: bytes, ext_bytes: 0, norm_power: 1.0 }
+    }
+
+    /// A sense whose result stays in the latches (ParaBit accumulation
+    /// step / non-final MWS).
+    pub fn sense_only(latency_us: f64, norm_power: f64) -> Self {
+        Self { latency_us, dma_bytes: 0, ext_bytes: 0, norm_power }
+    }
+}
+
+/// Host-side work fed by the external stream.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct HostWork {
+    /// Bytes the host CPU must process.
+    pub cpu_bytes: u64,
+    /// Host CPU streaming throughput over those bytes, GB/s.
+    pub cpu_gbps: f64,
+    /// Host CPU energy, pJ per byte processed.
+    pub cpu_pj_per_byte: f64,
+    /// Bytes moved through host DRAM (typically 2× the stream: write on
+    /// arrival + read for processing).
+    pub dram_bytes: u64,
+    /// DRAM energy, pJ per byte.
+    pub dram_pj_per_byte: f64,
+}
+
+/// A per-die trace entry (used to print Fig. 7-style timelines).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Flat die index.
+    pub die: usize,
+    /// Pipeline stage.
+    pub stage: Stage,
+    /// Job index on the die.
+    pub job: usize,
+    /// Start, µs.
+    pub start_us: f64,
+    /// End, µs.
+    pub end_us: f64,
+}
+
+/// Pipeline stage of a trace entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stage {
+    /// NAND array sensing.
+    Sense,
+    /// Channel DMA (die → controller).
+    Dma,
+    /// External transfer (controller → host).
+    Ext,
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Stage::Sense => write!(f, "sense"),
+            Stage::Dma => write!(f, "dma"),
+            Stage::Ext => write!(f, "ext"),
+        }
+    }
+}
+
+/// Result of a pipeline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionReport {
+    /// End-to-end execution time, µs.
+    pub makespan_us: f64,
+    /// Per-component energy.
+    pub energy: EnergyMeter,
+    /// Latest sensing completion across dies, µs.
+    pub sense_end_us: f64,
+    /// Latest channel-DMA completion, µs.
+    pub dma_end_us: f64,
+    /// Latest external-transfer completion, µs.
+    pub ext_end_us: f64,
+    /// Host-compute completion, µs.
+    pub host_end_us: f64,
+    /// Longest per-die total sensing time, µs.
+    pub sense_busy_us: f64,
+    /// Busiest channel's total DMA time, µs.
+    pub dma_busy_us: f64,
+    /// External link total busy time, µs.
+    pub ext_busy_us: f64,
+    /// Per-die traces (only when tracing was requested).
+    pub trace: Vec<TraceEvent>,
+}
+
+impl ExecutionReport {
+    /// Which stage bounds the execution (the paper's "Bottleneck" labels
+    /// in Fig. 7): the stage with the largest total busy time. Host
+    /// compute rides the external stream and is attributed to Ext.
+    pub fn bottleneck(&self) -> Stage {
+        let ext = self.ext_busy_us.max(self.host_end_us - self.ext_end_us + self.ext_busy_us);
+        if self.sense_busy_us >= self.dma_busy_us && self.sense_busy_us >= ext {
+            Stage::Sense
+        } else if self.dma_busy_us >= ext {
+            Stage::Dma
+        } else {
+            Stage::Ext
+        }
+    }
+
+    /// Total energy in joules.
+    pub fn energy_j(&self) -> f64 {
+        self.energy.total_j()
+    }
+}
+
+/// The platform-agnostic pipeline model.
+#[derive(Debug, Clone)]
+pub struct PipelineModel {
+    config: SsdConfig,
+}
+
+impl PipelineModel {
+    /// Creates a model for an SSD configuration.
+    pub fn new(config: SsdConfig) -> Self {
+        Self { config }
+    }
+
+    /// The SSD configuration.
+    pub fn config(&self) -> &SsdConfig {
+        &self.config
+    }
+
+    /// Runs the pipeline for `die_jobs` (indexed by flat die id; shorter
+    /// vectors leave the remaining dies idle) and `host` work.
+    pub fn run(&self, die_jobs: &[Vec<SenseJob>], host: HostWork) -> ExecutionReport {
+        self.run_inner(die_jobs, host, false)
+    }
+
+    /// Like [`Self::run`] but also records per-die traces (for timeline
+    /// rendering; costs memory proportional to the job count).
+    pub fn run_traced(&self, die_jobs: &[Vec<SenseJob>], host: HostWork) -> ExecutionReport {
+        self.run_inner(die_jobs, host, true)
+    }
+
+    fn run_inner(&self, die_jobs: &[Vec<SenseJob>], host: HostWork, traced: bool) -> ExecutionReport {
+        let cfg = &self.config;
+        assert!(
+            die_jobs.len() <= cfg.total_dies(),
+            "job list names {} dies but the SSD has {}",
+            die_jobs.len(),
+            cfg.total_dies()
+        );
+        let mut energy = EnergyMeter::new();
+        let mut trace = Vec::new();
+
+        // Stage 1: senses run back-to-back per die.
+        // (sense_end, die, job index, job) for every job, in die order.
+        let mut dma_requests: Vec<(SimTime, usize, usize, SenseJob)> = Vec::new();
+        let mut sense_end_max: SimTime = 0;
+        let mut sense_busy_max: SimTime = 0;
+        for (die, jobs) in die_jobs.iter().enumerate() {
+            let mut t: SimTime = 0;
+            for (j, job) in jobs.iter().enumerate() {
+                let dur = sim::us(job.latency_us);
+                let start = t;
+                t += dur;
+                if traced && dur > 0 {
+                    trace.push(TraceEvent {
+                        die,
+                        stage: Stage::Sense,
+                        job: j,
+                        start_us: sim::to_us(start),
+                        end_us: sim::to_us(t),
+                    });
+                }
+                if job.latency_us > 0.0 {
+                    // Multi-plane op: every plane's array is active.
+                    let planes = cfg.planes_per_die as f64;
+                    energy.add(
+                        Component::NandSense,
+                        planes * fc_nand::power::energy_uj(job.norm_power, job.latency_us),
+                    );
+                }
+                if job.dma_bytes > 0 || job.ext_bytes > 0 {
+                    dma_requests.push((t, die, j, *job));
+                }
+            }
+            sense_end_max = sense_end_max.max(t);
+            sense_busy_max = sense_busy_max.max(t);
+        }
+
+        // Stage 2: channel FIFO arbitration in data-ready order.
+        let mut channels = vec![Resource::new(); cfg.channels];
+        let mut ext_requests: Vec<(SimTime, usize, usize, u64)> = Vec::new();
+        let mut dma_end_max: SimTime = 0;
+        dma_requests.sort_by_key(|&(ready, die, j, _)| (ready, die, j));
+        for (ready, die, j, job) in dma_requests {
+            let mut data_at_controller = ready;
+            if job.dma_bytes > 0 {
+                let ch = die / cfg.dies_per_channel;
+                let dur = sim::transfer_ns(job.dma_bytes, cfg.channel_gbps);
+                let (start, end) = channels[ch].reserve(ready, dur);
+                energy.add_channel_bytes(job.dma_bytes);
+                dma_end_max = dma_end_max.max(end);
+                data_at_controller = end;
+                if traced {
+                    trace.push(TraceEvent {
+                        die,
+                        stage: Stage::Dma,
+                        job: j,
+                        start_us: sim::to_us(start),
+                        end_us: sim::to_us(end),
+                    });
+                }
+            }
+            if job.ext_bytes > 0 {
+                ext_requests.push((data_at_controller, die, j, job.ext_bytes));
+            }
+        }
+
+        // Stage 3: external link, FIFO in data-ready order.
+        let mut ext = Resource::new();
+        let mut ext_end_max: SimTime = 0;
+        let mut first_ext_end: Option<SimTime> = None;
+        ext_requests.sort_by_key(|&(ready, die, j, _)| (ready, die, j));
+        for (ready, die, j, bytes) in ext_requests {
+            let dur = sim::transfer_ns(bytes, cfg.external_gbps);
+            let (start, end) = ext.reserve(ready, dur);
+            energy.add_external_bytes(bytes);
+            ext_end_max = ext_end_max.max(end);
+            first_ext_end.get_or_insert(end);
+            if traced {
+                trace.push(TraceEvent {
+                    die,
+                    stage: Stage::Ext,
+                    job: j,
+                    start_us: sim::to_us(start),
+                    end_us: sim::to_us(end),
+                });
+            }
+        }
+
+        // Host consumption: streams behind the external link; the tail
+        // beyond the last arrival is what the CPU still has to chew.
+        let mut host_end: SimTime = 0;
+        if host.cpu_bytes > 0 && host.cpu_gbps > 0.0 {
+            let cpu_dur = sim::transfer_ns(host.cpu_bytes, host.cpu_gbps);
+            let start = first_ext_end.unwrap_or(0);
+            host_end = (start + cpu_dur).max(ext_end_max);
+            energy.add(Component::HostCpu, host.cpu_bytes as f64 * host.cpu_pj_per_byte * 1e-6);
+        }
+        if host.dram_bytes > 0 {
+            energy.add(Component::HostDram, host.dram_bytes as f64 * host.dram_pj_per_byte * 1e-6);
+        }
+
+        let makespan = sense_end_max.max(dma_end_max).max(ext_end_max).max(host_end);
+        let dma_busy_max = channels.iter().map(Resource::busy_time).max().unwrap_or(0);
+        ExecutionReport {
+            makespan_us: sim::to_us(makespan),
+            energy,
+            sense_end_us: sim::to_us(sense_end_max),
+            dma_end_us: sim::to_us(dma_end_max),
+            ext_end_us: sim::to_us(ext_end_max),
+            host_end_us: sim::to_us(host_end),
+            sense_busy_us: sim::to_us(sense_busy_max),
+            dma_busy_us: sim::to_us(dma_busy_max),
+            ext_busy_us: sim::to_us(ext.busy_time()),
+            trace,
+        }
+    }
+}
+
+/// Sequential-write bandwidth of the whole SSD for a program latency
+/// (§8.3). Steady state per channel: all its dies program concurrently,
+/// but each die's multi-plane data-in must cross the shared channel, so
+/// one round takes `max(tprog, dies × tDMA)` and commits one multi-plane
+/// page set per die.
+///
+/// The paper reports 6.4 / 4.7 / 3.87 / 2.82 GB/s for SLC / ESP / MLC /
+/// TLC; this model reproduces the ordering and the ESP-vs-MLC/TLC ratios
+/// (the paper's absolute SLC figure implies extra per-op overheads it
+/// does not itemize — see EXPERIMENTS.md).
+pub fn sequential_write_gbps(config: &SsdConfig, tprog_us: f64, _bits_per_cell: u32) -> f64 {
+    let chunk = (config.page_bytes * config.planes_per_die) as f64;
+    let datain_us = chunk / (config.channel_gbps * 1e9) * 1e6;
+    let round_us = tprog_us.max(datain_us * config.dies_per_channel as f64);
+    let per_channel = chunk * config.dies_per_channel as f64 / (round_us * 1e-6);
+    per_channel * config.channels as f64 / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the Fig. 7 job lists: 3 operands × 1 MiB striped over all
+    /// planes → one 32 KiB multi-plane read per die per operand.
+    fn fig7_jobs(kind: &str) -> (SsdConfig, Vec<Vec<SenseJob>>) {
+        let cfg = SsdConfig::fig7_example();
+        let dies = cfg.total_dies();
+        let chunk = (cfg.page_bytes * cfg.planes_per_die) as u64;
+        let jobs: Vec<Vec<SenseJob>> = (0..dies)
+            .map(|_| match kind {
+                "osp" => vec![SenseJob::read_to_host(&cfg); 3],
+                "isp" => {
+                    // Operands stay inside the SSD; the accelerator emits
+                    // the result chunk after the last operand arrives.
+                    let mut v = vec![SenseJob::read_to_controller(&cfg); 2];
+                    v.push(SenseJob {
+                        latency_us: cfg.tr_us,
+                        dma_bytes: chunk,
+                        ext_bytes: chunk,
+                        norm_power: 1.0,
+                    });
+                    v
+                }
+                "ifp" => {
+                    // ParaBit: three serial senses accumulate in the latch;
+                    // only the result moves.
+                    let mut v = vec![SenseJob::sense_only(cfg.tr_us, 1.0); 2];
+                    v.push(SenseJob {
+                        latency_us: cfg.tr_us,
+                        dma_bytes: chunk,
+                        ext_bytes: chunk,
+                        norm_power: 1.0,
+                    });
+                    v
+                }
+                _ => unreachable!(),
+            })
+            .collect();
+        (cfg, jobs)
+    }
+
+    #[test]
+    fn fig7_osp_timeline() {
+        let (cfg, jobs) = fig7_jobs("osp");
+        let r = PipelineModel::new(cfg).run(&jobs, HostWork::default());
+        // Paper: 471 µs, external-I/O bound.
+        assert!(
+            (r.makespan_us - 471.0).abs() < 30.0,
+            "OSP makespan {} µs (paper: 471)",
+            r.makespan_us
+        );
+        assert_eq!(r.bottleneck(), Stage::Ext);
+    }
+
+    #[test]
+    fn fig7_isp_timeline() {
+        let (cfg, jobs) = fig7_jobs("isp");
+        let r = PipelineModel::new(cfg).run(&jobs, HostWork::default());
+        // Paper: 431 µs, internal-I/O bound.
+        assert!(
+            (r.makespan_us - 431.0).abs() < 30.0,
+            "ISP makespan {} µs (paper: 431)",
+            r.makespan_us
+        );
+        assert_eq!(r.bottleneck(), Stage::Dma);
+    }
+
+    #[test]
+    fn fig7_ifp_timeline() {
+        let (cfg, jobs) = fig7_jobs("ifp");
+        let r = PipelineModel::new(cfg).run(&jobs, HostWork::default());
+        // Paper: 335 µs, sensing bound.
+        assert!(
+            (r.makespan_us - 335.0).abs() < 30.0,
+            "IFP makespan {} µs (paper: 335)",
+            r.makespan_us
+        );
+        // Sensing dominates per the paper's narrative; with only a result
+        // DMA+ext tail the bottleneck label sits at Sense or the short
+        // Ext tail depending on rounding — accept either but require the
+        // ordering IFP < ISP < OSP.
+        let (c2, j2) = fig7_jobs("isp");
+        let isp = PipelineModel::new(c2).run(&j2, HostWork::default());
+        let (c3, j3) = fig7_jobs("osp");
+        let osp = PipelineModel::new(c3).run(&j3, HostWork::default());
+        assert!(r.makespan_us < isp.makespan_us && isp.makespan_us < osp.makespan_us);
+    }
+
+    #[test]
+    fn tracing_produces_ordered_events() {
+        let (cfg, jobs) = fig7_jobs("osp");
+        let r = PipelineModel::new(cfg).run_traced(&jobs, HostWork::default());
+        assert!(!r.trace.is_empty());
+        for e in &r.trace {
+            assert!(e.end_us > e.start_us);
+        }
+        // Channel DMAs never overlap within one channel.
+        let cfg = SsdConfig::fig7_example();
+        for ch in 0..cfg.channels {
+            let mut dmas: Vec<_> = r
+                .trace
+                .iter()
+                .filter(|e| e.stage == Stage::Dma && e.die / cfg.dies_per_channel == ch)
+                .collect();
+            dmas.sort_by(|a, b| a.start_us.partial_cmp(&b.start_us).unwrap());
+            for w in dmas.windows(2) {
+                assert!(w[1].start_us >= w[0].end_us - 1e-9, "overlap on channel {ch}");
+            }
+        }
+    }
+
+    #[test]
+    fn host_tail_extends_makespan() {
+        let cfg = SsdConfig::fig7_example();
+        let jobs = vec![vec![SenseJob::read_to_host(&cfg)]; 4];
+        let fast_host = PipelineModel::new(cfg.clone()).run(
+            &jobs,
+            HostWork { cpu_bytes: 1 << 20, cpu_gbps: 100.0, cpu_pj_per_byte: 1.0, ..Default::default() },
+        );
+        let slow_host = PipelineModel::new(cfg).run(
+            &jobs,
+            HostWork { cpu_bytes: 1 << 20, cpu_gbps: 0.05, cpu_pj_per_byte: 1.0, ..Default::default() },
+        );
+        assert!(slow_host.makespan_us > fast_host.makespan_us * 5.0);
+        assert!(slow_host.host_end_us > slow_host.ext_end_us);
+    }
+
+    #[test]
+    fn energy_components_accumulate() {
+        let (cfg, jobs) = fig7_jobs("osp");
+        let r = PipelineModel::new(cfg).run(&jobs, HostWork::default());
+        assert!(r.energy.component_uj(Component::NandSense) > 0.0);
+        assert!(r.energy.component_uj(Component::Channel) > 0.0);
+        assert!(r.energy.component_uj(Component::External) > 0.0);
+        assert!(r.energy_j() > 0.0);
+    }
+
+    #[test]
+    fn sec83_write_bandwidths() {
+        // §8.3: SLC 6.4, ESP 4.7, MLC 3.87, TLC 2.82 GB/s.
+        let cfg = SsdConfig::paper_table1();
+        let slc = sequential_write_gbps(&cfg, cfg.tprog_slc_us, 1);
+        let esp = sequential_write_gbps(&cfg, cfg.tesp_us, 1);
+        let mlc = sequential_write_gbps(&cfg, cfg.tprog_mlc_us, 2);
+        let tlc = sequential_write_gbps(&cfg, cfg.tprog_tlc_us, 3);
+        // The §8.3 ordering claim: ESP between SLC and MLC, TLC slowest.
+        assert!(esp < slc && esp > mlc && mlc > tlc, "{slc}/{esp}/{mlc}/{tlc}");
+        // Shape checks against the paper's 6.4/4.7/3.87/2.82 GB/s: the
+        // ESP-vs-MLC and ESP-vs-TLC ratios hold within ~15%.
+        assert!(((esp / mlc) - 4.7 / 3.87).abs() < 0.2, "ESP/MLC {}", esp / mlc);
+        assert!(((esp / tlc) - 4.7 / 2.82).abs() < 0.3, "ESP/TLC {}", esp / tlc);
+        // Absolute values land in the right regime (GB/s, single digits).
+        assert!((4.0..11.0).contains(&slc), "SLC {slc}");
+        assert!((3.5..6.5).contains(&esp), "ESP {esp}");
+        assert!((3.0..5.0).contains(&mlc), "MLC {mlc}");
+        assert!((2.2..3.6).contains(&tlc), "TLC {tlc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "job list names")]
+    fn too_many_dies_panics() {
+        let cfg = SsdConfig::tiny_test();
+        let jobs = vec![Vec::new(); cfg.total_dies() + 1];
+        PipelineModel::new(cfg).run(&jobs, HostWork::default());
+    }
+}

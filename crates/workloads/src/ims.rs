@@ -1,0 +1,118 @@
+//! Image Segmentation (IMS, §7): YUV color recognition — a pixel belongs
+//! to color `C` iff `Y(p,C) & U(p,C) & V(p,C)`, a 3-operand bulk AND.
+
+use fc_bits::BitVec;
+use flash_cosmos::device::StoreHints;
+use flash_cosmos::expr::Expr;
+use flash_cosmos::WorkloadShape;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{FunctionalInstance, Query, StoredOperand};
+
+/// Paper image dimensions (§7: 800×600 pixels, 4 colors).
+pub const PAPER_PIXELS: u64 = 800 * 600;
+
+/// Colors per segmentation (§7).
+pub const PAPER_COLORS: u64 = 4;
+
+/// Paper-scale cost shape for Fig. 17b / 18b (`images` = the paper's
+/// `I`, swept 10,000..200,000).
+pub fn paper_shape(images: u64) -> WorkloadShape {
+    WorkloadShape {
+        name: format!("IMS I={}k", images / 1000),
+        queries: 1,
+        and_operands: 3,
+        or_operands: 0,
+        vector_bytes: images * PAPER_PIXELS * PAPER_COLORS / 8,
+        result_popcount: false,
+    }
+}
+
+/// A miniature functional IMS instance: `images` synthetic images of
+/// `width × height` pixels, 4 colors. The generator synthesizes per-pixel
+/// YUV values and derives the three binary masks by thresholding around
+/// the color prototypes — the pre-processing of §7's reference [135].
+pub fn mini(images: usize, width: usize, height: usize, seed: u64) -> FunctionalInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let colors = PAPER_COLORS as usize;
+    let bits = images * width * height * colors;
+    // Color prototypes in YUV space.
+    let prototypes: Vec<[f64; 3]> =
+        (0..colors).map(|c| [0.2 + 0.2 * c as f64, 0.25 * c as f64, 1.0 - 0.25 * c as f64]).collect();
+    let mut masks = [BitVec::zeros(bits), BitVec::zeros(bits), BitVec::zeros(bits)];
+    for img in 0..images {
+        for p in 0..width * height {
+            let yuv = [rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()];
+            for (c, proto) in prototypes.iter().enumerate() {
+                let idx = (img * width * height + p) * colors + c;
+                for ch in 0..3 {
+                    // Generous thresholds so plenty of pixels pass one
+                    // channel but fewer pass all three.
+                    if (yuv[ch] - proto[ch]).abs() < 0.35 {
+                        masks[ch].set(idx, true);
+                    }
+                }
+            }
+        }
+    }
+    let [y, u, v] = masks;
+    let expected = y.and(&u).and(&v);
+    let operands = vec![
+        StoredOperand {
+            name: "Y".to_string(),
+            data: y,
+            hints: StoreHints::and_group("ims-yuv"),
+        },
+        StoredOperand {
+            name: "U".to_string(),
+            data: u,
+            hints: StoreHints::and_group("ims-yuv"),
+        },
+        StoredOperand {
+            name: "V".to_string(),
+            data: v,
+            hints: StoreHints::and_group("ims-yuv"),
+        },
+    ];
+    let queries = vec![Query {
+        label: format!("segment {images} images ({width}x{height}, 4 colors)"),
+        expr: Expr::and_vars(0..3),
+        expected,
+    }];
+    FunctionalInstance { name: "IMS".to_string(), operands, queries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_shape_sizes() {
+        // I = 200,000 → bit vectors of 48 GB (§8.1: "up to 44 GiB").
+        let s = paper_shape(200_000);
+        assert_eq!(s.vector_bytes, 48_000_000_000);
+        let gib = s.vector_bytes as f64 / (1u64 << 30) as f64;
+        assert!((gib - 44.7).abs() < 1.0, "{gib} GiB");
+        assert_eq!(s.and_operands, 3);
+    }
+
+    #[test]
+    fn mini_masks_have_expected_structure() {
+        let inst = mini(2, 8, 8, 3);
+        assert_eq!(inst.operands.len(), 3);
+        let bits = 2 * 8 * 8 * 4;
+        for op in &inst.operands {
+            assert_eq!(op.data.len(), bits);
+            let density = op.data.count_ones() as f64 / bits as f64;
+            assert!(density > 0.2 && density < 0.95, "channel density {density}");
+        }
+        let q = &inst.queries[0];
+        // Result is sparser than each individual mask.
+        assert!(q.expected.count_ones() <= inst.operands[0].data.count_ones());
+        assert_eq!(
+            q.expected,
+            inst.operands[0].data.and(&inst.operands[1].data).and(&inst.operands[2].data)
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! K-Clique Star Listing (KCS, §7): for each k-clique, AND the adjacency
+//! vectors of its k member vertices (finding vertices connected to *all*
+//! of them), then OR the clique-membership vector to form the star.
+//!
+//! Flash-Cosmos executes the AND and the OR in a *single* MWS operation
+//! when the clique vector lives in a different block than the adjacency
+//! vectors (§7) — the functional instance stores them accordingly.
+
+use fc_bits::BitVec;
+use flash_cosmos::device::StoreHints;
+use flash_cosmos::expr::Expr;
+use flash_cosmos::WorkloadShape;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{FunctionalInstance, Query, StoredOperand};
+
+/// Vertices in the paper's input graph (§7: 32 million).
+pub const PAPER_VERTICES: u64 = 32_000_000;
+
+/// Cliques in the paper's input (§7: 1,024).
+pub const PAPER_CLIQUES: u64 = 1_024;
+
+/// Paper-scale cost shape for Fig. 17c / 18c (`k` swept 8..64).
+pub fn paper_shape(k: u32) -> WorkloadShape {
+    WorkloadShape {
+        name: format!("KCS k={k}"),
+        queries: PAPER_CLIQUES,
+        and_operands: k as u64,
+        or_operands: 1,
+        vector_bytes: PAPER_VERTICES / 8,
+        result_popcount: false,
+    }
+}
+
+/// A miniature functional KCS instance: a random graph over `vertices`
+/// vertices with `cliques` planted k-cliques. Each clique's query ANDs
+/// its members' adjacency vectors and ORs the clique vector.
+///
+/// # Panics
+///
+/// Panics if `k × cliques > vertices` (planted cliques are disjoint).
+pub fn mini(vertices: usize, k: usize, cliques: usize, seed: u64) -> FunctionalInstance {
+    assert!(k * cliques <= vertices, "planted cliques must fit the vertex set");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Random background graph.
+    let mut adjacency: Vec<BitVec> =
+        (0..vertices).map(|_| BitVec::zeros(vertices)).collect();
+    for a in 0..vertices {
+        for b in (a + 1)..vertices {
+            if rng.gen_bool(0.35) {
+                adjacency[a].set(b, true);
+                adjacency[b].set(a, true);
+            }
+        }
+    }
+    // Plant disjoint k-cliques.
+    let mut clique_members: Vec<Vec<usize>> = Vec::new();
+    for c in 0..cliques {
+        let members: Vec<usize> = (0..k).map(|i| c * k + i).collect();
+        for &a in &members {
+            for &b in &members {
+                if a != b {
+                    adjacency[a].set(b, true);
+                }
+            }
+        }
+        clique_members.push(members);
+    }
+
+    // Operands: one adjacency vector per clique member (grouped per
+    // clique for intra-block MWS), plus one clique vector per clique in
+    // its own block (so AND ∥ OR fuse into one inter-block MWS).
+    let mut operands = Vec::new();
+    let mut queries = Vec::new();
+    for (c, members) in clique_members.iter().enumerate() {
+        let base = operands.len();
+        for (j, &m) in members.iter().enumerate() {
+            operands.push(StoredOperand {
+                name: format!("clique{c}-adj{j}"),
+                data: adjacency[m].clone(),
+                hints: StoreHints::and_group(&format!("kcs-adj-{c}")),
+            });
+        }
+        let clique_vec = BitVec::from_fn(vertices, |v| members.contains(&v));
+        operands.push(StoredOperand {
+            name: format!("clique{c}-members"),
+            data: clique_vec.clone(),
+            hints: StoreHints::and_group(&format!("kcs-clique-{c}")),
+        });
+
+        // Ground truth: vertices adjacent to every member, plus members.
+        let common = members
+            .iter()
+            .skip(1)
+            .fold(adjacency[members[0]].clone(), |acc, &m| acc.and(&adjacency[m]));
+        let expected = common.or(&clique_vec);
+        queries.push(Query {
+            label: format!("star of clique {c} (k={k})"),
+            expr: Expr::or(vec![
+                Expr::and_vars(base..base + k),
+                Expr::var(base + k),
+            ]),
+            expected,
+        });
+    }
+    FunctionalInstance { name: "KCS".to_string(), operands, queries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_shape_sizes() {
+        let s = paper_shape(32);
+        assert_eq!(s.queries, 1024);
+        assert_eq!(s.and_operands, 32);
+        assert_eq!(s.or_operands, 1);
+        // Result vectors total 4 GB (§8.1: "the total size of the result
+        // bit vectors ... 4 GB in KCS").
+        assert_eq!(s.total_result_bytes(), 4_096_000_000);
+    }
+
+    #[test]
+    fn planted_cliques_are_fully_connected() {
+        let inst = mini(40, 4, 2, 7);
+        // First clique: vertices 0..4; its adjacency operands must show
+        // mutual edges.
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    assert!(inst.operands[i].data.get(j), "edge {i}-{j} missing");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn star_contains_the_clique_itself() {
+        let inst = mini(40, 4, 2, 8);
+        for (c, q) in inst.queries.iter().enumerate() {
+            for member in c * 4..(c + 1) * 4 {
+                assert!(q.expected.get(member), "clique {c} member {member} not in star");
+            }
+        }
+    }
+
+    #[test]
+    fn expected_matches_manual_and_or() {
+        let inst = mini(32, 3, 2, 9);
+        let q = &inst.queries[0];
+        let manual = inst.operands[0]
+            .data
+            .and(&inst.operands[1].data)
+            .and(&inst.operands[2].data)
+            .or(&inst.operands[3].data);
+        assert_eq!(q.expected, manual);
+    }
+
+    #[test]
+    #[should_panic(expected = "planted cliques must fit")]
+    fn oversized_plant_panics() {
+        mini(10, 4, 3, 1);
+    }
+}

@@ -1,0 +1,140 @@
+//! # fc-workloads — the paper's evaluation workloads (§7)
+//!
+//! Three real-world applications that rely on bulk bitwise operations:
+//!
+//! * [`bmi`] — **Bitmap Index**: "How many users were active every day
+//!   for the past m months?" — AND over 30–1095 daily login vectors of
+//!   800 M users, then a bit count.
+//! * [`ims`] — **Image Segmentation**: YUV color recognition — AND of
+//!   three binary masks over `I × 800 × 600 × 4` bits.
+//! * [`kcs`] — **K-Clique Star Listing**: per clique, AND of the k member
+//!   vertices' adjacency vectors, OR-ed with the clique vector (the
+//!   set-centric formulation of SISA).
+//!
+//! A fourth domain from the paper's introduction — [`hdc`],
+//! hyper-dimensional computing — exercises the derived-operation layer
+//! (bind/bundle/similarity over binary hypervectors).
+//!
+//! Each workload exposes two granularities:
+//!
+//! * a **functional instance** (`*::mini`) with real bit vectors small
+//!   enough to push through the functional chip model end-to-end — used
+//!   by integration tests and examples to validate *correctness*; and
+//! * a **paper-scale [`WorkloadShape`]** (`*::paper_shape`) that drives
+//!   the analytic platform engines for Figs. 17/18 — the data sets there
+//!   (up to ~110 GB) exist only as cost-model parameters, exactly as in
+//!   the paper's simulator-based evaluation.
+
+pub mod bmi;
+pub mod hdc;
+pub mod ims;
+pub mod kcs;
+
+use fc_bits::BitVec;
+use flash_cosmos::device::{FcError, FlashCosmosDevice, StoreHints};
+use flash_cosmos::expr::Expr;
+pub use flash_cosmos::WorkloadShape;
+
+/// One operand vector to store before running a workload's queries.
+#[derive(Debug, Clone)]
+pub struct StoredOperand {
+    /// Unique operand name.
+    pub name: String,
+    /// The data.
+    pub data: BitVec,
+    /// Placement/inversion hints (§6.3 application choices).
+    pub hints: StoreHints,
+}
+
+/// A query: an expression over operand *names* plus its expected result.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Human-readable label.
+    pub label: String,
+    /// Expression over indices into the workload's operand list.
+    pub expr: Expr,
+    /// Ground-truth result (computed host-side by the generator).
+    pub expected: BitVec,
+}
+
+/// A functional workload instance: operands + queries with ground truth.
+#[derive(Debug, Clone)]
+pub struct FunctionalInstance {
+    /// Workload name.
+    pub name: String,
+    /// Operands, in id order (operand `i` in query expressions refers to
+    /// `operands[i]`).
+    pub operands: Vec<StoredOperand>,
+    /// Queries to execute.
+    pub queries: Vec<Query>,
+}
+
+impl FunctionalInstance {
+    /// Writes every operand into a device. Operand ids as used by the
+    /// queries' expressions match the order in `self.operands`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device write errors.
+    pub fn load(&self, dev: &mut FlashCosmosDevice) -> Result<(), FcError> {
+        for (i, op) in self.operands.iter().enumerate() {
+            let handle = dev.fc_write(&op.name, &op.data, op.hints.clone())?;
+            assert_eq!(handle.id, i, "operand ids must match list order");
+        }
+        Ok(())
+    }
+
+    /// Runs every query through `fc_read` and checks it against ground
+    /// truth, returning total sensing operations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors; result mismatches panic (they indicate a
+    /// simulator bug, not an operational failure).
+    pub fn run_flash_cosmos(&self, dev: &mut FlashCosmosDevice) -> Result<u64, FcError> {
+        let mut senses = 0;
+        for q in &self.queries {
+            let (result, stats) = dev.fc_read(&q.expr)?;
+            assert_eq!(result, q.expected, "{}: {}", self.name, q.label);
+            senses += stats.senses;
+        }
+        Ok(senses)
+    }
+
+    /// Same but through the ParaBit baseline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn run_parabit(&self, dev: &mut FlashCosmosDevice) -> Result<u64, FcError> {
+        let mut senses = 0;
+        for q in &self.queries {
+            let (result, stats) = dev.parabit_read(&q.expr)?;
+            assert_eq!(result, q.expected, "{}: {}", self.name, q.label);
+            senses += stats.senses;
+        }
+        Ok(senses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_ssd::SsdConfig;
+
+    #[test]
+    fn all_mini_instances_validate_on_both_techniques() {
+        for instance in [
+            bmi::mini(6, 64, 0xB1),
+            ims::mini(2, 16, 12, 0x15),
+            kcs::mini(48, 3, 2, 0xC1),
+            hdc::mini(2, 3, 256, 0x4D),
+        ] {
+            let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+            instance.load(&mut dev).unwrap();
+            let fc = instance.run_flash_cosmos(&mut dev).unwrap();
+            let pb = instance.run_parabit(&mut dev).unwrap();
+            assert!(fc <= pb, "{}: FC senses {fc} must not exceed PB {pb}", instance.name);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! The Fig. 16 walk-through: compiling
+//! `{A1 + (B1·B2·B3·B4)} · (C1+C3) · (D2+D4)` into exactly two MWS
+//! commands, showing the ISCM flags, the page bitmaps, and the encoded
+//! wire frames (Fig. 15a), then executing them on a chip.
+//!
+//! Run with: `cargo run --example command_trace`
+
+use fc_bits::BitVec;
+use fc_nand::chip::NandChip;
+use fc_nand::command::{encode_frame, Command};
+use fc_nand::config::ChipConfig;
+use fc_nand::geometry::WlAddr;
+use flash_cosmos::planner::{self, PlacementMap, PlannerCaps};
+use flash_cosmos::Expr;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut chip = NandChip::new(ChipConfig::tiny_test());
+    let page_bits = chip.config().geometry.page_bits();
+    let mut rng = StdRng::seed_from_u64(16);
+
+    // Store the Fig. 16 data: A and B as-is; C and D inverted ("with the
+    // knowledge that they would be used for bitwise OR", §6.2).
+    let names = ["A1", "B1", "B2", "B3", "B4", "C1", "C3", "D2", "D4"];
+    let vectors: Vec<BitVec> = names.iter().map(|_| BitVec::random(page_bits, &mut rng)).collect();
+    let mut placements = PlacementMap::new();
+    let layout: [(usize, u32, u32, bool); 9] = [
+        (0, 0, 0, false), // A1 → Blk0/WL0
+        (1, 1, 0, false), // B1..B4 → Blk1
+        (2, 1, 1, false),
+        (3, 1, 2, false),
+        (4, 1, 3, false),
+        (5, 2, 0, true), // C1, C3 → Blk2, inverted
+        (6, 2, 2, true),
+        (7, 3, 1, true), // D2, D4 → Blk3, inverted
+        (8, 3, 3, true),
+    ];
+    for &(id, block, wl, inverted) in &layout {
+        let stored = if inverted { vectors[id].not() } else { vectors[id].clone() };
+        chip.execute(Command::esp_program(WlAddr::new(0, block, wl), stored)).unwrap();
+        placements.insert(id, WlAddr::new(0, block, wl), inverted);
+        println!(
+            "store {:>2} → P0/B{block}/W{wl}{}",
+            names[id],
+            if inverted { " (inverted)" } else { "" }
+        );
+    }
+
+    // Eq. (4): {A1 + (B1·B2·B3·B4)} · (C1 + C3) · (D2 + D4).
+    let expr = Expr::and(vec![
+        Expr::or(vec![Expr::var(0), Expr::and_vars(1..5)]),
+        Expr::or_vars([5, 6]),
+        Expr::or_vars([7, 8]),
+    ]);
+    println!("\nexpression: {expr}");
+
+    let caps = PlannerCaps { max_inter_blocks: 4, wls_per_block: 8 };
+    let program = planner::compile(&expr.to_nnf(), &placements, caps).unwrap();
+    println!("compiled to {} MWS commands (paper: 2, Fig. 16):\n", program.sense_count());
+    for (i, cmd) in program.commands.iter().enumerate() {
+        if let Command::Mws { flags, targets } = cmd {
+            println!(
+                "  command {} — ISCM = I:{} S:{} C:{} M:{}",
+                i + 1,
+                u8::from(flags.inverse),
+                u8::from(flags.init_s),
+                u8::from(flags.init_c),
+                u8::from(flags.transfer)
+            );
+            for t in targets {
+                let wls: Vec<u32> = t.wls().collect();
+                println!("      target {} PBM wordlines {:?}", t.block, wls);
+            }
+            let frame = encode_frame(*flags, targets);
+            let hex: Vec<String> = frame.iter().map(|b| format!("{b:02X}")).collect();
+            println!("      wire frame: {}", hex.join(" "));
+        }
+    }
+
+    // Execute and verify against host-side evaluation.
+    let mut result = None;
+    for cmd in &program.commands {
+        result = chip.execute(cmd.clone()).unwrap().into_page();
+    }
+    let result = result.expect("final command transfers to the C-latch");
+    let lookup = |i: usize| vectors[i].clone();
+    assert_eq!(result, expr.eval(&lookup), "chip result must match host evaluation");
+    println!("\nchip result matches host evaluation over {page_bits} bitlines ✓");
+}

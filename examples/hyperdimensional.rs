@@ -1,0 +1,90 @@
+//! Hyper-dimensional computing in flash — one of the application domains
+//! the paper's introduction motivates. The full HDC pipeline runs on
+//! Flash-Cosmos primitives:
+//!
+//! 1. **bundle** each class's example hypervectors with an in-flash
+//!    majority vote (AND/OR synthesis via `ops::at_least_k_of`);
+//! 2. **similarity-match** a noisy query against the bundled prototypes
+//!    with in-flash XNOR + host popcount.
+//!
+//! Run with: `cargo run --example hyperdimensional`
+
+use fc_bits::BitVec;
+use fc_ssd::SsdConfig;
+use fc_workloads::hdc;
+use flash_cosmos::{ops, Expr, FlashCosmosDevice, StoreHints};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let (classes, examples, dims) = (4, 5, 1024);
+    let instance = hdc::mini(classes, examples, dims, 0x4DC0);
+    let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+    instance.load(&mut dev).expect("store example hypervectors");
+
+    // Stage 1: bundle each class in-flash (majority over its examples).
+    println!("HDC: {classes} classes × {examples} examples × {dims}-bit hypervectors");
+    let mut prototypes = Vec::new();
+    let mut total_senses = 0;
+    for (c, q) in instance.queries.iter().enumerate() {
+        let (bundle, stats) = dev.fc_read(&q.expr).expect("in-flash majority bundle");
+        assert_eq!(bundle, q.expected);
+        total_senses += stats.senses;
+        println!("  class {c}: bundled with {} senses", stats.senses);
+        // Store the prototype back for the matching stage.
+        dev.fc_write(&format!("proto{c}"), &bundle, StoreHints::and_group(&format!("p{c}")))
+            .expect("store prototype");
+        prototypes.push(bundle);
+    }
+    println!("  total bundling senses: {total_senses}");
+
+    // Stage 2: classify noisy queries by in-flash XNOR + host popcount.
+    let mut rng = StdRng::seed_from_u64(0x9E0);
+    let mut correct = 0;
+    let trials = 4;
+    for t in 0..trials {
+        let class = t % classes;
+        let mut query = prototypes[class].clone();
+        query.flip_random_bits(dims / 6, &mut rng); // ~17% noise
+        dev.fc_write(&format!("query{t}"), &query, StoreHints::and_group(&format!("q{t}")))
+            .expect("store query");
+        let qid = dev.operand(&format!("query{t}")).unwrap().id;
+
+        let mut best = (0usize, 0usize);
+        for c in 0..classes {
+            let pid = dev.operand(&format!("proto{c}")).unwrap().id;
+            // In-flash XNOR: 1 where query and prototype agree.
+            let (agreement, _) = dev
+                .fc_read(&ops::equality(qid, pid))
+                .expect("in-flash XNOR similarity");
+            let score = agreement.count_ones(); // host-side popcount
+            if score > best.1 {
+                best = (c, score);
+            }
+        }
+        let hit = best.0 == class;
+        correct += usize::from(hit);
+        println!(
+            "  query {t} (true class {class}) → class {} (agreement {}/{dims}) {}",
+            best.0,
+            best.1,
+            if hit { "✓" } else { "✗" }
+        );
+    }
+    println!("accuracy: {correct}/{trials}");
+    assert_eq!(correct, trials, "17% noise should always classify correctly at 1024 dims");
+
+    // Bonus: binding/unbinding round-trip in flash.
+    let a = BitVec::random(dims, &mut rng);
+    let b = BitVec::random(dims, &mut rng);
+    dev.fc_write("bind-a", &a, StoreHints::and_group("ba")).unwrap();
+    dev.fc_write("bind-b", &b, StoreHints::and_group("bb")).unwrap();
+    let ia = dev.operand("bind-a").unwrap().id;
+    let ib = dev.operand("bind-b").unwrap().id;
+    let (bound, _) = dev.fc_read(&Expr::xor(Expr::var(ia), Expr::var(ib))).unwrap();
+    dev.fc_write("bound", &bound, StoreHints::and_group("bc")).unwrap();
+    let ic = dev.operand("bound").unwrap().id;
+    let (unbound, _) = dev.fc_read(&Expr::xor(Expr::var(ic), Expr::var(ib))).unwrap();
+    assert_eq!(unbound, a, "(a ⊗ b) ⊗ b = a");
+    println!("bind/unbind identity verified in flash ✓");
+}

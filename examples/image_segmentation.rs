@@ -1,0 +1,42 @@
+//! Image segmentation (IMS, §7): YUV color recognition as a 3-operand
+//! bulk AND, plus the paper-scale observation that Flash-Cosmos and
+//! ParaBit tie on this workload because moving the (huge) result
+//! dominates (§8.1, observation six).
+//!
+//! Run with: `cargo run --example image_segmentation`
+
+use fc_ssd::SsdConfig;
+use fc_workloads::ims;
+use flash_cosmos::engines::{Engines, Platform};
+use flash_cosmos::FlashCosmosDevice;
+
+fn main() {
+    // --- functional mini instance --------------------------------------
+    let (images, w, h) = (3, 20, 12);
+    let instance = ims::mini(images, w, h, 0x135);
+    let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+    instance.load(&mut dev).expect("load YUV masks");
+
+    let q = &instance.queries[0];
+    let (segmented, stats) = dev.fc_read(&q.expr).expect("in-flash segmentation");
+    assert_eq!(segmented, q.expected);
+    let pixels = images * w * h;
+    println!("IMS mini: {images} images of {w}×{h}, 4 colors ({pixels} pixels)");
+    println!("  pixel-color matches   : {}", segmented.count_ones());
+    println!("  Flash-Cosmos senses   : {}", stats.senses);
+    let (_, pb) = dev.parabit_read(&q.expr).expect("ParaBit segmentation");
+    println!("  ParaBit senses        : {} (3 operands → 3× the senses)", pb.senses);
+
+    // --- paper-scale projection (Fig. 17b / 18b) -----------------------
+    let engines = Engines::paper();
+    println!("\npaper-scale IMS sweep (800×600, 4 colors), speedup over OSP:");
+    println!("{:>10} {:>10} {:>10} {:>10} {:>8}", "I", "ISP", "PB", "FC", "FC/PB");
+    for i in [10_000u64, 50_000, 100_000, 200_000] {
+        let shape = ims::paper_shape(i);
+        let perf = engines.speedups_over_osp(&shape);
+        let get = |p: Platform| perf.iter().find(|(q2, _)| *q2 == p).map(|(_, x)| *x).unwrap();
+        let (isp, pb, fc) = (get(Platform::Isp), get(Platform::ParaBit), get(Platform::FlashCosmos));
+        println!("{:>9}k {:>9.2}x {:>9.2}x {:>9.2}x {:>8.2}", i / 1000, isp, pb, fc, fc / pb);
+    }
+    println!("(paper: FC ≈ PB here — the up-to-44-GiB result transfer dominates both)");
+}

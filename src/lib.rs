@@ -1,0 +1,41 @@
+//! # flash-cosmos-repro — repository facade
+//!
+//! This crate ties the workspace together for the runnable examples in
+//! `examples/` and the cross-crate integration tests in `tests/`. The
+//! actual functionality lives in the member crates:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`fc_bits`] | bit vectors, bulk ops, NAND data patterns |
+//! | [`fc_nand`] | the NAND chip simulator (V_TH physics, MWS, ESP, latches, command set) |
+//! | [`fc_ssd`] | SSD-scale simulation (channels, FTL, BCH ECC, pipeline timing, energy) |
+//! | [`fc_host`] | host CPU/DRAM models (the OSP baseline) |
+//! | [`flash_cosmos`] | the paper's contribution: planner, device API, platforms, characterization |
+//! | [`fc_workloads`] | BMI / IMS / KCS generators with ground truth |
+
+pub use fc_bits;
+pub use fc_host;
+pub use fc_nand;
+pub use fc_ssd;
+pub use fc_workloads;
+pub use flash_cosmos;
+
+/// Builds the miniature demo device used by several examples: the tiny
+/// SSD preset with deterministic (error-free) chips.
+pub fn demo_device() -> flash_cosmos::FlashCosmosDevice {
+    flash_cosmos::FlashCosmosDevice::new(fc_ssd::SsdConfig::tiny_test())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn demo_device_is_usable() {
+        use fc_bits::BitVec;
+        use flash_cosmos::{Expr, StoreHints};
+        let mut dev = super::demo_device();
+        let v = BitVec::ones(64);
+        let h = dev.fc_write("x", &v, StoreHints::and_group("g")).unwrap();
+        let (out, _) = dev.fc_read(&Expr::var(h.id)).unwrap();
+        assert_eq!(out, v);
+    }
+}

@@ -1,0 +1,171 @@
+//! Characterization integration: the Fig. 8/11–14 harnesses hit their
+//! paper anchors, and the physics-mode chip agrees with the closed-form
+//! RBER model within an order of magnitude (the cross-check promised in
+//! DESIGN.md).
+
+use fc_bits::BitVec;
+use fc_nand::chip::NandChip;
+use fc_nand::command::{Command, IscmFlags, MwsTarget};
+use fc_nand::config::ChipConfig;
+use fc_nand::geometry::BlockAddr;
+use fc_nand::ispp::ProgramScheme;
+use fc_nand::rber::RberModel;
+use fc_nand::stress::StressState;
+use flash_cosmos::reliability;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn fig8_grid_is_monotone_in_stress() {
+    let points = reliability::fig8_sweep();
+    // For every (scheme, randomized, retention), RBER grows with PEC.
+    for scheme_rand in [(true,), (false,)] {
+        let _ = scheme_rand;
+    }
+    for p in &points {
+        for q in &points {
+            if p.scheme == q.scheme
+                && p.randomized == q.randomized
+                && p.retention_months == q.retention_months
+                && p.pec < q.pec
+            {
+                assert!(p.rber < q.rber, "PEC monotonicity violated");
+            }
+        }
+    }
+}
+
+#[test]
+fn fig11_grades_are_ordered_and_decay() {
+    let points = reliability::fig11_sweep();
+    for step in 0..=8 {
+        let ratio = 1.0 + 0.1 * step as f64;
+        let at = |g: fc_nand::rber::BlockGrade| {
+            points
+                .iter()
+                .find(|p| (p.tesp_ratio - ratio).abs() < 1e-9 && p.grade == g)
+                .unwrap()
+                .rber
+        };
+        use fc_nand::rber::BlockGrade::*;
+        assert!(at(Worst) > at(Median) && at(Median) > at(Best), "ratio {ratio}");
+    }
+    // One decade of improvement at +60% (the §5.2 median-block claim).
+    let median_at = |r: f64| {
+        points
+            .iter()
+            .find(|p| {
+                (p.tesp_ratio - r).abs() < 1e-9 && p.grade == fc_nand::rber::BlockGrade::Median
+            })
+            .unwrap()
+            .rber
+    };
+    let decade = median_at(1.0) / median_at(1.6);
+    assert!((decade - 10.0).abs() < 1.0, "decade ratio {decade}");
+}
+
+/// Physics mode (ISPP + stress + V_REF comparison) must land within an
+/// order of magnitude of the calibrated closed-form model at the
+/// worst-case corner — the two are independent implementations.
+#[test]
+fn physics_mode_crosschecks_closed_form() {
+    let mut cfg = ChipConfig::tiny_physics();
+    cfg.geometry.page_bytes = 8192; // 65536 cells per wordline
+    let mut chip = NandChip::new(cfg);
+    chip.set_retention_months(12.0);
+    let blk = BlockAddr::new(0, 0);
+    chip.cycle_block(blk, 10_000).unwrap();
+    let bits = chip.config().geometry.page_bits();
+    let mut rng = StdRng::seed_from_u64(0xF15);
+    let mut errors = 0usize;
+    let mut total = 0usize;
+    for wl in 0..4 {
+        let data = BitVec::random(bits, &mut rng);
+        chip.execute(Command::Program {
+            addr: blk.wordline(wl),
+            data: data.clone(),
+            scheme: ProgramScheme::Slc,
+            randomize: false,
+        })
+        .unwrap();
+        let out = chip.execute(Command::Read { addr: blk.wordline(wl), inverse: false }).unwrap();
+        errors += out.page().unwrap().hamming_distance(&data);
+        total += bits;
+    }
+    let physics_rber = errors as f64 / total as f64;
+    let model_rber = RberModel::paper().rber(
+        ProgramScheme::Slc,
+        false,
+        StressState::worst_case(),
+    );
+    assert!(physics_rber > 0.0, "physics mode must show errors at worst case");
+    let ratio = physics_rber / model_rber;
+    assert!(
+        (0.1..10.0).contains(&ratio),
+        "physics {physics_rber} vs model {model_rber} (ratio {ratio})"
+    );
+}
+
+/// Physics-mode MWS: multi-wordline sensing on ESP-programmed cells is
+/// exact even at worst-case stress — the mechanism-level version of the
+/// §5.2 claim, from V_TH first principles.
+#[test]
+fn physics_mode_mws_with_esp_is_exact() {
+    let mut cfg = ChipConfig::tiny_physics();
+    cfg.geometry.page_bytes = 2048;
+    let mut chip = NandChip::new(cfg);
+    chip.set_retention_months(12.0);
+    let blk = BlockAddr::new(0, 1);
+    chip.cycle_block(blk, 10_000).unwrap();
+    let bits = chip.config().geometry.page_bits();
+    let mut rng = StdRng::seed_from_u64(0xE59);
+    let pages: Vec<BitVec> = (0..8)
+        .map(|wl| {
+            let data = BitVec::random(bits, &mut rng);
+            chip.execute(Command::esp_program(blk.wordline(wl), data.clone())).unwrap();
+            data
+        })
+        .collect();
+    let out = chip
+        .execute(Command::Mws {
+            flags: IscmFlags::single_read(),
+            targets: vec![MwsTarget::all_wls(blk, 8)],
+        })
+        .unwrap();
+    let expect = pages.iter().skip(1).fold(pages[0].clone(), |a, p| a.and(p));
+    assert_eq!(
+        out.page().unwrap().hamming_distance(&expect),
+        0,
+        "physics-mode ESP MWS must be error-free"
+    );
+}
+
+/// The worst-case §5.2 stress pattern (max string resistance) senses
+/// correctly in physics mode.
+#[test]
+fn max_string_resistance_pattern_senses_correctly() {
+    let mut cfg = ChipConfig::tiny_physics();
+    cfg.geometry.page_bytes = 1024;
+    let mut chip = NandChip::new(cfg);
+    let blk = BlockAddr::new(0, 2);
+    let bits = chip.config().geometry.page_bits();
+    let mut rng = StdRng::seed_from_u64(0x3514);
+    let targets = [1u32, 4, 6];
+    let pages = fc_bits::max_string_resistance(
+        8,
+        bits,
+        &[1, 4, 6],
+        &mut rng,
+    );
+    for (wl, page) in pages.iter().enumerate() {
+        chip.execute(Command::esp_program(blk.wordline(wl as u32), page.clone())).unwrap();
+    }
+    let out = chip
+        .execute(Command::Mws {
+            flags: IscmFlags::single_read(),
+            targets: vec![MwsTarget::new(blk, &targets)],
+        })
+        .unwrap();
+    let expect = pages[1].and(&pages[4]).and(&pages[6]);
+    assert_eq!(out.page().unwrap(), &expect);
+}

@@ -1,0 +1,68 @@
+//! End-to-end integration: full workload instances flow through the
+//! Flash-Cosmos device (FTL placement → planner → chip MWS → result
+//! assembly) and match host ground truth, on both FC and ParaBit paths.
+
+use fc_ssd::SsdConfig;
+use fc_workloads::{bmi, ims, kcs};
+use flash_cosmos::FlashCosmosDevice;
+
+#[test]
+fn bmi_instance_end_to_end() {
+    let instance = bmi::mini(12, 1024, 0xE2E_1);
+    let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+    instance.load(&mut dev).unwrap();
+    let fc = instance.run_flash_cosmos(&mut dev).unwrap();
+    let pb = instance.run_parabit(&mut dev).unwrap();
+    // 12 daily vectors over 8-WL blocks: FC needs ceil(12/8)=2 MWS per
+    // stripe; PB needs 12 senses per stripe.
+    assert_eq!(pb / fc, 6, "FC {fc} vs PB {pb}");
+}
+
+#[test]
+fn ims_instance_end_to_end() {
+    let instance = ims::mini(2, 24, 16, 0xE2E_2);
+    let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+    instance.load(&mut dev).unwrap();
+    let fc = instance.run_flash_cosmos(&mut dev).unwrap();
+    let pb = instance.run_parabit(&mut dev).unwrap();
+    assert_eq!(pb, 3 * fc, "3 operands → 3× the ParaBit senses");
+}
+
+#[test]
+fn kcs_instance_end_to_end() {
+    let instance = kcs::mini(64, 4, 3, 0xE2E_3);
+    let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+    instance.load(&mut dev).unwrap();
+    let fc = instance.run_flash_cosmos(&mut dev).unwrap();
+    let pb = instance.run_parabit(&mut dev).unwrap();
+    // Per stripe per clique: FC fuses AND(k)+OR into one sense; PB needs
+    // k+1 senses.
+    assert_eq!(pb, 5 * fc, "k=4 plus clique vector → 5× senses for PB");
+}
+
+#[test]
+fn results_survive_worst_case_aging_with_error_injection() {
+    // The paper's end-to-end reliability claim on the full stack: noisy
+    // chips at worst-case stress, ESP-stored operands → exact results.
+    let instance = bmi::mini(8, 512, 0xE2E_4);
+    let mut dev = FlashCosmosDevice::new_noisy(SsdConfig::tiny_test());
+    instance.load(&mut dev).unwrap();
+    dev.ssd_mut().set_retention_months(12.0);
+    instance.run_flash_cosmos(&mut dev).unwrap();
+}
+
+#[test]
+fn many_workloads_share_one_device() {
+    // Different workloads co-reside on one SSD without interfering.
+    let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+    let a = bmi::mini(4, 256, 1);
+    let b = ims::mini(1, 8, 8, 2);
+    a.load(&mut dev).unwrap();
+    // IMS operand names don't clash with BMI's, but ids continue.
+    let base = dev.operand("day3").unwrap().id + 1;
+    for (i, op) in b.operands.iter().enumerate() {
+        let h = dev.fc_write(&op.name, &op.data, op.hints.clone()).unwrap();
+        assert_eq!(h.id, base + i);
+    }
+    a.run_flash_cosmos(&mut dev).unwrap();
+}
