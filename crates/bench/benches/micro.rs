@@ -34,6 +34,20 @@ fn bitvec_ops(c: &mut Criterion) {
     group.bench_function("hamming_16kib_page", |bench| {
         bench.iter(|| std::hint::black_box(&a).hamming_distance(&b));
     });
+    let operands: Vec<BitVec> = (0..8).map(|_| BitVec::random(bits, &mut rng)).collect();
+    let refs: Vec<&BitVec> = operands.iter().collect();
+    group.bench_function("and_fold8_16kib_page", |bench| {
+        let mut acc = BitVec::zeros(bits);
+        bench.iter(|| {
+            acc.fill(true);
+            acc.and_fold_assign(std::hint::black_box(&refs));
+        });
+    });
+    let vth: Vec<f64> = (0..bits).map(|i| if i % 2 == 0 { -2.0 } else { 3.3 }).collect();
+    group.bench_function("threshold_pack_16kib_page", |bench| {
+        let mut acc = BitVec::ones(bits);
+        bench.iter(|| acc.and_le_threshold(std::hint::black_box(&vth), 0.65));
+    });
     group.finish();
 }
 
@@ -74,12 +88,96 @@ fn mws_sensing(c: &mut Criterion) {
     group.finish();
 }
 
+fn physics_geometry() -> ChipGeometry {
+    ChipGeometry {
+        planes: 1,
+        blocks_per_plane: 2,
+        wls_per_block: 8,
+        page_bytes: 4 * 1024,
+        subblocks_per_physical_block: 4,
+    }
+}
+
+/// Physics-mode MWS: every sense stress-shifts per-cell V_TH populations
+/// and evaluates string conduction against V_REF — the heaviest sense
+/// path in the simulator.
+fn mws_physics_sensing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chip");
+    group.sample_size(10);
+    let mut cfg = ChipConfig::tiny_physics();
+    cfg.geometry = physics_geometry();
+    let mut chip = NandChip::new(cfg);
+    let blk = BlockAddr::new(0, 0);
+    let mut rng = StdRng::seed_from_u64(5);
+    let bits = chip.config().geometry.page_bits();
+    for wl in 0..8 {
+        let page = BitVec::random(bits, &mut rng);
+        chip.execute(Command::esp_program(blk.wordline(wl), page)).unwrap();
+    }
+    for n in [2u32, 8] {
+        group.bench_with_input(BenchmarkId::new("mws_physics_4kib", n), &n, |bench, &n| {
+            let wls: Vec<u32> = (0..n).collect();
+            bench.iter(|| {
+                chip.execute(Command::Mws {
+                    flags: IscmFlags::single_read(),
+                    targets: vec![MwsTarget::new(blk, &wls)],
+                })
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Functional-mode MWS with RBER error injection on an aged block — the
+/// SSD-scale steady-state sense path.
+fn mws_error_injection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chip");
+    group.sample_size(20);
+    let mut cfg = ChipConfig::tiny_noisy();
+    cfg.geometry = chip_geometry();
+    let mut chip = NandChip::new(cfg);
+    let blk = BlockAddr::new(0, 0);
+    let mut rng = StdRng::seed_from_u64(6);
+    let bits = chip.config().geometry.page_bits();
+    for wl in 0..48 {
+        let page = BitVec::random(bits, &mut rng);
+        // Plain SLC (not ESP) so the RBER model actually injects errors.
+        chip.execute(Command::Program {
+            addr: blk.wordline(wl),
+            data: page,
+            scheme: fc_nand::ispp::ProgramScheme::Slc,
+            randomize: false,
+        })
+        .unwrap();
+    }
+    chip.cycle_block(blk, 10_000).unwrap();
+    chip.set_retention_months(12.0);
+    for n in [2u32, 16, 48] {
+        group.bench_with_input(BenchmarkId::new("mws_inject_16kib", n), &n, |bench, &n| {
+            let wls: Vec<u32> = (0..n).collect();
+            bench.iter(|| {
+                chip.execute(Command::Mws {
+                    flags: IscmFlags::single_read(),
+                    targets: vec![MwsTarget::new(blk, &wls)],
+                })
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
 fn planner_compile(c: &mut Criterion) {
     let mut group = c.benchmark_group("planner");
     for operands in [8usize, 48, 192] {
         let mut map = PlacementMap::new();
         for i in 0..operands {
-            map.insert(i, fc_nand::geometry::WlAddr::new(0, (i / 48) as u32, (i % 48) as u32), false);
+            map.insert(
+                i,
+                fc_nand::geometry::WlAddr::new(0, (i / 48) as u32, (i % 48) as u32),
+                false,
+            );
         }
         let expr = Expr::and_vars(0..operands);
         let nnf = expr.to_nnf();
@@ -130,7 +228,10 @@ fn pipeline_sim(c: &mut Criterion) {
     group.bench_function("fig7_osp_64dies", |bench| {
         let model = PipelineModel::new(SsdConfig::fig7_example());
         let jobs = scenario.jobs(Approach::Osp);
-        bench.iter(|| model.run(std::hint::black_box(&jobs), HostWork::default()));
+        let mut scratch = fc_ssd::pipeline::PipelineScratch::new();
+        bench.iter(|| {
+            model.run_with_scratch(std::hint::black_box(&jobs), HostWork::default(), &mut scratch)
+        });
     });
     group.finish();
 }
@@ -139,6 +240,8 @@ criterion_group!(
     benches,
     bitvec_ops,
     mws_sensing,
+    mws_physics_sensing,
+    mws_error_injection,
     planner_compile,
     ecc_codec,
     randomizer,

@@ -136,7 +136,13 @@ pub fn ablation_esp_ratio() -> Table {
     let stress = StressState::worst_case();
     let mut t = Table::new(
         "Ablation — ESP latency budget: reliability vs write cost",
-        &["tESP/tPROG", "tPROG (µs)", "write BW (GB/s)", "RBER (worst case)", "P(correct BMI m=36)"],
+        &[
+            "tESP/tPROG",
+            "tPROG (µs)",
+            "write BW (GB/s)",
+            "RBER (worst case)",
+            "P(correct BMI m=36)",
+        ],
     );
     for step in 0..=5 {
         let ratio = 1.0 + 0.2 * step as f64;

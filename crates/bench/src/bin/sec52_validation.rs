@@ -1,9 +1,6 @@
 //! Runs the §5.2 zero-error validation campaign. Pass a bit budget as the
 //! first argument (default 10,000,000).
 fn main() {
-    let bits = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10_000_000u64);
+    let bits = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10_000_000u64);
     fc_bench::sec52_validation(bits).print();
 }

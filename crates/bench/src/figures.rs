@@ -4,10 +4,10 @@ use fc_nand::ispp::ProgramScheme;
 use fc_nand::rber::BlockGrade;
 use fc_ssd::pipeline::sequential_write_gbps;
 use fc_ssd::SsdConfig;
+use fc_workloads::{bmi, ims, kcs};
 use flash_cosmos::engines::{Engines, Platform};
 use flash_cosmos::reliability;
 use flash_cosmos::timeline::{render_channel_timeline, Approach, Fig7Scenario};
-use fc_workloads::{bmi, ims, kcs};
 
 use crate::table::{fnum, Table};
 
@@ -184,17 +184,36 @@ pub fn table1_config() -> Table {
     let mut t = Table::new("Table 1 — evaluated system configurations", &["parameter", "value"]);
     let rows: Vec<(&str, String)> = vec![
         ("host CPU", format!("{} cores @ {} GHz (i7-11700K class)", host.cores, host.freq_ghz)),
-        ("host DRAM", format!("DDR4-3600, {} channels, {:.1} GB/s peak", host.dram.channels, host.dram.peak_gbps())),
+        (
+            "host DRAM",
+            format!(
+                "DDR4-3600, {} channels, {:.1} GB/s peak",
+                host.dram.channels,
+                host.dram.peak_gbps()
+            ),
+        ),
         ("SSD capacity (TLC)", format!("{:.1} TB", c.capacity_bytes(3) as f64 / 1e12)),
         ("external bandwidth", format!("{} GB/s (4-lane PCIe Gen4)", c.external_gbps)),
         ("channel I/O rate", format!("{} GB/s × {} channels", c.channel_gbps, c.channels)),
-        ("NAND organization", format!("{} channels × {} dies × {} planes", c.channels, c.dies_per_channel, c.planes_per_die)),
-        ("blocks/plane", format!("{} sub-blocks ({} physical × 4)", c.blocks_per_plane, c.blocks_per_plane / 4)),
+        (
+            "NAND organization",
+            format!(
+                "{} channels × {} dies × {} planes",
+                c.channels, c.dies_per_channel, c.planes_per_die
+            ),
+        ),
+        (
+            "blocks/plane",
+            format!("{} sub-blocks ({} physical × 4)", c.blocks_per_plane, c.blocks_per_plane / 4),
+        ),
         ("WLs/block", format!("{} per sub-block (192 = 4×48 per physical block)", c.wls_per_block)),
         ("page size", format!("{} KiB", c.page_bytes / 1024)),
         ("tR (SLC)", format!("{} µs", c.tr_us)),
         ("tMWS", format!("{} µs (max {} blocks)", c.tmws_us, c.max_inter_blocks)),
-        ("tPROG SLC/MLC/TLC", format!("{}/{}/{} µs", c.tprog_slc_us, c.tprog_mlc_us, c.tprog_tlc_us)),
+        (
+            "tPROG SLC/MLC/TLC",
+            format!("{}/{}/{} µs", c.tprog_slc_us, c.tprog_mlc_us, c.tprog_tlc_us),
+        ),
         ("tESP", format!("{} µs", c.tesp_us)),
         ("ISP accelerator", "bitwise logic + 256 KiB SRAM, 93 pJ / 64 B op".to_string()),
     ];
@@ -239,7 +258,9 @@ pub fn fig17_speedup() -> Vec<Table> {
                 (get(Platform::Isp), get(Platform::ParaBit), get(Platform::FlashCosmos));
             t.row(vec![shape.name.clone(), fnum(isp), fnum(pb), fnum(fc), fnum(fc / pb)]);
         }
-        t.note("paper averages across all workloads: FC = 32× over OSP, 25× over ISP, 3.5× over PB");
+        t.note(
+            "paper averages across all workloads: FC = 32× over OSP, 25× over ISP, 3.5× over PB",
+        );
         if title.starts_with("BMI") {
             t.note("paper BMI anchors: FC up to 198.4× over OSP; PB 14× over OSP");
         }
@@ -315,8 +336,8 @@ pub fn sec83_write_bw() -> Table {
 
 /// §5.2: the zero-error validation campaign (scaled down).
 pub fn sec52_validation(bits: u64) -> Table {
-    let esp = reliability::validate_zero_errors(bits, 0x5EC5_2);
-    let slc = reliability::validate_slc_baseline(bits, 0x5EC5_2);
+    let esp = reliability::validate_zero_errors(bits, 0x5_EC52);
+    let slc = reliability::validate_slc_baseline(bits, 0x5_EC52);
     let mut t = Table::new(
         "§5.2 — MWS result validation at worst-case stress (10K PEC, 1-year retention)",
         &["campaign", "bits checked", "MWS ops", "bit errors", "RBER"],

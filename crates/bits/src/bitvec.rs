@@ -60,6 +60,85 @@ impl BitVec {
         Self::from_fn(bits.len(), |i| bits[i])
     }
 
+    /// Creates a bit vector of `len` bits where storage word `w` is
+    /// `f(w)` — the word-parallel counterpart of [`BitVec::from_fn`].
+    ///
+    /// Bits beyond `len` in the last word are masked off, so `f` may
+    /// return garbage in the tail.
+    pub fn from_fn_words(len: usize, mut f: impl FnMut(usize) -> u64) -> Self {
+        let mut v = Self { words: (0..words_for(len)).map(&mut f).collect(), len };
+        v.mask_tail();
+        v
+    }
+
+    /// Multi-operand AND: returns `ops[0] & ops[1] & …` evaluated one
+    /// storage word at a time, without cloning any operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty or the operands' lengths differ.
+    pub fn and_fold(ops: &[&Self]) -> Self {
+        let mut out = Self::ones(Self::fold_len(ops));
+        out.and_fold_assign(ops);
+        out
+    }
+
+    /// Multi-operand OR: returns `ops[0] | ops[1] | …` evaluated one
+    /// storage word at a time, without cloning any operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty or the operands' lengths differ.
+    pub fn or_fold(ops: &[&Self]) -> Self {
+        let mut out = Self::zeros(Self::fold_len(ops));
+        out.or_fold_assign(ops);
+        out
+    }
+
+    /// In-place multi-operand AND: `self &= ops[0] & ops[1] & …`, one
+    /// storage word at a time. All operands of one word are combined
+    /// before moving to the next, so each output word is written once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand's length differs from `self`.
+    pub fn and_fold_assign(&mut self, ops: &[&Self]) {
+        for op in ops {
+            self.assert_same_len(op);
+        }
+        for (w, a) in self.words.iter_mut().enumerate() {
+            let mut acc = *a;
+            for op in ops {
+                acc &= op.words[w];
+            }
+            *a = acc;
+        }
+    }
+
+    /// In-place multi-operand OR: `self |= ops[0] | ops[1] | …`, one
+    /// storage word at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand's length differs from `self`.
+    pub fn or_fold_assign(&mut self, ops: &[&Self]) {
+        for op in ops {
+            self.assert_same_len(op);
+        }
+        for (w, a) in self.words.iter_mut().enumerate() {
+            let mut acc = *a;
+            for op in ops {
+                acc |= op.words[w];
+            }
+            *a = acc;
+        }
+    }
+
+    fn fold_len(ops: &[&Self]) -> usize {
+        assert!(!ops.is_empty(), "fold needs at least one operand");
+        ops[0].len
+    }
+
     /// Creates a bit vector of `len` bits copied from `bytes`
     /// (little-endian bit order within each byte).
     ///
@@ -156,9 +235,20 @@ impl BitVec {
     ///
     /// Panics if `i >= len`.
     pub fn flip(&mut self, i: usize) -> bool {
-        let v = !self.get(i);
-        self.set(i, v);
-        v
+        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        self.toggle(i);
+        self.get(i)
+    }
+
+    /// Flips bit `i` without reading it back — one word XOR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn toggle(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        self.words[i / WORD_BITS] ^= 1u64 << (i % WORD_BITS);
     }
 
     /// Number of one bits.
@@ -190,11 +280,7 @@ impl BitVec {
     /// Panics if the lengths differ.
     pub fn hamming_distance(&self, other: &Self) -> usize {
         self.assert_same_len(other);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a ^ b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a ^ b).count_ones() as usize).sum()
     }
 
     /// In-place bitwise AND with `other`.
@@ -241,6 +327,38 @@ impl BitVec {
         self.mask_tail();
     }
 
+    /// In-place bitwise AND-NOT: clears every bit of `self` that is set
+    /// in `other` (`self &= !other`), without materializing `!other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn and_not_assign(&mut self, other: &Self) {
+        self.assert_same_len(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Overwrites `self` with a copy of `other`, reusing `self`'s
+    /// allocation. Unlike [`BitVec::copy_from`] the lengths may differ:
+    /// `self` takes `other`'s length.
+    pub fn assign_from(&mut self, other: &Self) {
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+        self.len = other.len;
+    }
+
+    /// Overwrites `self` with `NOT other` in a single pass, reusing
+    /// `self`'s allocation (the in-place counterpart of
+    /// [`BitVec::not`]).
+    pub fn assign_not_from(&mut self, other: &Self) {
+        self.words.clear();
+        self.words.extend(other.words.iter().map(|w| !w));
+        self.len = other.len;
+        self.mask_tail();
+    }
+
     /// Returns `self AND other`.
     pub fn and(&self, other: &Self) -> Self {
         let mut out = self.clone();
@@ -276,26 +394,123 @@ impl BitVec {
         self.mask_tail();
     }
 
+    /// Resizes to `new_len` bits, filling any new bits with `value`
+    /// (like `Vec::resize`, reusing the allocation).
+    pub fn resize(&mut self, new_len: usize, value: bool) {
+        if new_len <= self.len {
+            self.words.truncate(words_for(new_len));
+            self.len = new_len;
+            self.mask_tail();
+            return;
+        }
+        if value {
+            // Raise the tail bits of the current last word before
+            // extending with all-ones words.
+            let rem = self.len % WORD_BITS;
+            if rem != 0 {
+                if let Some(last) = self.words.last_mut() {
+                    *last |= !((1u64 << rem) - 1);
+                }
+            }
+            self.words.resize(words_for(new_len), u64::MAX);
+        } else {
+            self.words.resize(words_for(new_len), 0);
+        }
+        self.len = new_len;
+        self.mask_tail();
+    }
+
+    /// Re-initializes the vector to `len` bits of `value`, reusing the
+    /// existing allocation — the buffer-recycling counterpart of
+    /// [`BitVec::zeros`]/[`BitVec::ones`].
+    pub fn reset(&mut self, len: usize, value: bool) {
+        self.words.clear();
+        self.words.resize(words_for(len), if value { u64::MAX } else { 0 });
+        self.len = len;
+        if value {
+            self.mask_tail();
+        }
+    }
+
+    /// Overwrites this vector with the packed comparisons
+    /// `bit c = values[c] <= threshold`, 64 lanes per storage word.
+    ///
+    /// This is the sensing kernel of the physics-mode chip model: a NAND
+    /// string's per-bitline conduction against `V_REF` packs into page
+    /// words without any per-bit `set` calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.len()`.
+    pub fn fill_le_threshold(&mut self, values: &[f64], threshold: f64) {
+        assert_eq!(values.len(), self.len, "threshold input length mismatch");
+        for (wi, w) in self.words.iter_mut().enumerate() {
+            let start = wi * WORD_BITS;
+            let end = (start + WORD_BITS).min(values.len());
+            *w = pack_le_word(&values[start..end], threshold);
+        }
+    }
+
+    /// ANDs the packed comparisons `values[c] <= threshold` into this
+    /// vector: `bit c &= (values[c] <= threshold)`.
+    ///
+    /// Folding one wordline at a time with this kernel evaluates an
+    /// intra-block multi-wordline sense without materializing any
+    /// intermediate page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.len()`.
+    pub fn and_le_threshold(&mut self, values: &[f64], threshold: f64) {
+        assert_eq!(values.len(), self.len, "threshold input length mismatch");
+        for (wi, w) in self.words.iter_mut().enumerate() {
+            let start = wi * WORD_BITS;
+            let end = (start + WORD_BITS).min(values.len());
+            *w &= pack_le_word(&values[start..end], threshold);
+        }
+    }
+
     /// Returns a copy of bits `start..start + len` as a new vector.
     ///
     /// # Panics
     ///
     /// Panics if the range is out of bounds.
     pub fn slice(&self, start: usize, len: usize) -> Self {
+        let mut out = Self::zeros(len);
+        self.slice_into(start, len, &mut out);
+        out
+    }
+
+    /// Copies bits `start..start + len` into `out`, reusing `out`'s
+    /// allocation (`out` takes length `len`). Word-parallel for both
+    /// aligned and unaligned `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice_into(&self, start: usize, len: usize, out: &mut Self) {
         assert!(
             start.checked_add(len).is_some_and(|end| end <= self.len),
             "slice {start}+{len} out of range (len {})",
             self.len
         );
-        // Word-aligned fast path covers the common page-extraction case.
-        if start % WORD_BITS == 0 {
-            let first = start / WORD_BITS;
-            let words = self.words[first..first + words_for(len)].to_vec();
-            let mut v = Self { words, len };
-            v.mask_tail();
-            return v;
+        out.words.clear();
+        let first = start / WORD_BITS;
+        let nw = words_for(len);
+        let off = start % WORD_BITS;
+        if off == 0 {
+            out.words.extend_from_slice(&self.words[first..first + nw]);
+        } else {
+            // Unaligned: each output word stitches two neighbouring input
+            // words together.
+            out.words.extend((0..nw).map(|i| {
+                let lo = self.words[first + i] >> off;
+                let hi = self.words.get(first + i + 1).map_or(0, |w| w << (WORD_BITS - off));
+                lo | hi
+            }));
         }
-        Self::from_fn(len, |i| self.get(start + i))
+        out.len = len;
+        out.mask_tail();
     }
 
     /// Overwrites bits `start..start + src.len()` with `src`.
@@ -310,7 +525,7 @@ impl BitVec {
             src.len,
             self.len
         );
-        if start % WORD_BITS == 0 && src.len % WORD_BITS == 0 {
+        if start.is_multiple_of(WORD_BITS) && src.len.is_multiple_of(WORD_BITS) {
             let first = start / WORD_BITS;
             self.words[first..first + src.words.len()].copy_from_slice(&src.words);
             return;
@@ -352,27 +567,56 @@ impl BitVec {
     ///
     /// Panics if `count > len`.
     pub fn flip_random_bits<R: Rng + ?Sized>(&mut self, count: usize, rng: &mut R) {
+        let mut scratch = Vec::new();
+        self.flip_random_bits_with(count, rng, &mut scratch);
+    }
+
+    /// Like [`BitVec::flip_random_bits`], but uses `scratch` as reusable
+    /// working memory (contents unspecified afterwards), so repeated
+    /// callers — the chip's error-injection path flips bits on every
+    /// sense — perform no per-call allocation once the buffer has warmed
+    /// up. Flips are word-indexed XORs; no bit is read back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > len`.
+    pub fn flip_random_bits_with<R: Rng + ?Sized>(
+        &mut self,
+        count: usize,
+        rng: &mut R,
+        scratch: &mut Vec<usize>,
+    ) {
         assert!(count <= self.len, "cannot flip {count} bits of {}", self.len);
         if count == 0 {
             return;
         }
-        // For small counts relative to length, rejection sampling is fast
-        // and allocation-free in the common case.
+        const SB: usize = usize::BITS as usize;
         if count * 4 <= self.len {
-            let mut flipped = std::collections::HashSet::with_capacity(count);
-            while flipped.len() < count {
+            // Sparse case: rejection sampling, deduplicated with a
+            // word-packed seen-bitmap carried in `scratch` — O(1) per
+            // draw, no hashing.
+            let words = self.len.div_ceil(SB);
+            scratch.clear();
+            scratch.resize(words, 0);
+            let mut done = 0;
+            while done < count {
                 let i = rng.gen_range(0..self.len);
-                if flipped.insert(i) {
-                    self.flip(i);
+                let mask = 1usize << (i % SB);
+                let seen = &mut scratch[i / SB];
+                if *seen & mask == 0 {
+                    *seen |= mask;
+                    self.toggle(i);
+                    done += 1;
                 }
             }
         } else {
             // Dense case: partial Fisher-Yates over all indices.
-            let mut idx: Vec<usize> = (0..self.len).collect();
+            scratch.clear();
+            scratch.extend(0..self.len);
             for k in 0..count {
-                let j = rng.gen_range(k..idx.len());
-                idx.swap(k, j);
-                self.flip(idx[k]);
+                let j = rng.gen_range(k..scratch.len());
+                scratch.swap(k, j);
+                self.toggle(scratch[k]);
             }
         }
     }
@@ -389,6 +633,14 @@ impl BitVec {
                 *last &= (1u64 << rem) - 1;
             }
         }
+    }
+}
+
+impl Default for BitVec {
+    /// An empty (zero-bit) vector — the natural seed for buffers that are
+    /// later [`BitVec::reset`] or [`BitVec::assign_from`] into shape.
+    fn default() -> Self {
+        Self::zeros(0)
     }
 }
 
@@ -422,6 +674,17 @@ impl FromIterator<bool> for BitVec {
         let bools: Vec<bool> = iter.into_iter().collect();
         Self::from_bools(&bools)
     }
+}
+
+/// Packs up to 64 `v <= threshold` comparisons into one word
+/// (little-endian lane order, branch-free inner loop).
+#[inline]
+fn pack_le_word(values: &[f64], threshold: f64) -> u64 {
+    let mut w = 0u64;
+    for (b, &v) in values.iter().enumerate() {
+        w |= u64::from(v <= threshold) << b;
+    }
+    w
 }
 
 /// Iterator over set-bit positions inside one word.

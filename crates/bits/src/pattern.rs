@@ -46,7 +46,8 @@ impl DataPattern {
             DataPattern::Random(seed) => {
                 use rand::rngs::StdRng;
                 use rand::SeedableRng;
-                let mut rng = StdRng::seed_from_u64(seed ^ (wl as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut rng =
+                    StdRng::seed_from_u64(seed ^ (wl as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
                 BitVec::random(bits, &mut rng)
             }
         }
@@ -58,7 +59,7 @@ impl DataPattern {
 /// Adjacent cells along the wordline differ, and the same column on the
 /// next wordline differs too — the 2-D worst case of §5.1.
 pub fn checkered(wl: usize, bits: usize) -> BitVec {
-    BitVec::from_fn(bits, |i| (wl + i) % 2 == 0)
+    BitVec::from_fn(bits, |i| (wl + i).is_multiple_of(2))
 }
 
 /// A solid page of all-`value` bits.
@@ -77,7 +78,7 @@ pub fn solid(value: bool, bits: usize) -> BitVec {
 /// Panics if `width` is zero.
 pub fn striped(width: usize, bits: usize) -> BitVec {
     assert!(width > 0, "stripe width must be positive");
-    BitVec::from_fn(bits, |i| (i / width) % 2 == 0)
+    BitVec::from_fn(bits, |i| (i / width).is_multiple_of(2))
 }
 
 /// Generates the §5.2 *maximum string resistance* pattern for a whole block:
@@ -167,8 +168,7 @@ mod tests {
         let targets = [2, 5, 7];
         let pages = max_string_resistance(8, 512, &targets, &mut rng);
         for col in 0..512 {
-            let ones: Vec<usize> =
-                (0..8).filter(|&wl| pages[wl].get(col)).collect();
+            let ones: Vec<usize> = (0..8).filter(|&wl| pages[wl].get(col)).collect();
             assert!(ones.len() <= 1, "column {col} has {} erased cells", ones.len());
             if let Some(&wl) = ones.first() {
                 assert!(targets.contains(&wl), "erased cell on non-target wl {wl}");

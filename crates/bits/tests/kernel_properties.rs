@@ -1,0 +1,181 @@
+//! Property tests for the word-parallel kernels: every fast path must
+//! match its naive per-bit reference, including non-word-aligned tails.
+
+use fc_bits::BitVec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random operands of one shared (possibly unaligned) length.
+fn operands(seed: u64, count: usize, len: usize) -> Vec<BitVec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| BitVec::random(len, &mut rng)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `and_fold` equals the naive per-bit AND over any operand count and
+    /// any length (word-aligned or not).
+    #[test]
+    fn and_fold_matches_per_bit_reference(
+        seed in any::<u64>(),
+        count in 1usize..6,
+        len in 1usize..300,
+    ) {
+        let ops = operands(seed, count, len);
+        let refs: Vec<&BitVec> = ops.iter().collect();
+        let fast = BitVec::and_fold(&refs);
+        let naive = BitVec::from_fn(len, |i| ops.iter().all(|o| o.get(i)));
+        prop_assert_eq!(fast, naive);
+    }
+
+    /// `or_fold` equals the naive per-bit OR.
+    #[test]
+    fn or_fold_matches_per_bit_reference(
+        seed in any::<u64>(),
+        count in 1usize..6,
+        len in 1usize..300,
+    ) {
+        let ops = operands(seed, count, len);
+        let refs: Vec<&BitVec> = ops.iter().collect();
+        let fast = BitVec::or_fold(&refs);
+        let naive = BitVec::from_fn(len, |i| ops.iter().any(|o| o.get(i)));
+        prop_assert_eq!(fast, naive);
+    }
+
+    /// The in-place fold variants agree with their allocating forms and
+    /// honor the existing accumulator contents.
+    #[test]
+    fn fold_assign_composes_with_accumulator(
+        seed in any::<u64>(),
+        count in 1usize..5,
+        len in 1usize..200,
+    ) {
+        let ops = operands(seed, count + 1, len);
+        let (acc0, rest) = ops.split_first().unwrap();
+        let refs: Vec<&BitVec> = rest.iter().collect();
+        let mut acc_and = acc0.clone();
+        acc_and.and_fold_assign(&refs);
+        let mut acc_or = acc0.clone();
+        acc_or.or_fold_assign(&refs);
+        for i in 0..len {
+            prop_assert_eq!(acc_and.get(i), acc0.get(i) && rest.iter().all(|o| o.get(i)));
+            prop_assert_eq!(acc_or.get(i), acc0.get(i) || rest.iter().any(|o| o.get(i)));
+        }
+    }
+
+    /// The packed threshold compare matches the scalar comparison at every
+    /// lane, including the last partial word.
+    #[test]
+    fn threshold_pack_matches_scalar_compare(
+        seed in any::<u64>(),
+        len in 1usize..300,
+        vref in -3.0f64..3.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let values: Vec<f64> = (0..len).map(|_| rng.gen_range(-4.0f64..4.0)).collect();
+        let mut filled = BitVec::zeros(len);
+        filled.fill_le_threshold(&values, vref);
+        let naive = BitVec::from_fn(len, |i| values[i] <= vref);
+        prop_assert_eq!(&filled, &naive);
+
+        // AND-variant folds into an existing accumulator.
+        let acc0 = BitVec::random(len, &mut rng);
+        let mut acc = acc0.clone();
+        acc.and_le_threshold(&values, vref);
+        prop_assert_eq!(acc, acc0.and(&naive));
+    }
+
+    /// `slice_into` (both aligned and unaligned starts) matches per-bit
+    /// extraction and reuses any prior buffer contents safely.
+    #[test]
+    fn slice_into_matches_per_bit_reference(
+        seed in any::<u64>(),
+        len in 1usize..400,
+        start_frac in 0.0f64..1.0,
+        take_frac in 0.0f64..=1.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v = BitVec::random(len, &mut rng);
+        let start = ((len - 1) as f64 * start_frac) as usize;
+        let take = 1 + ((len - start - 1) as f64 * take_frac) as usize;
+        let mut out = BitVec::random(17, &mut rng); // stale, differently-sized buffer
+        v.slice_into(start, take, &mut out);
+        let naive = BitVec::from_fn(take, |i| v.get(start + i));
+        prop_assert_eq!(out, naive);
+    }
+
+    /// `assign_from` / `assign_not_from` copy exactly, across lengths.
+    #[test]
+    fn assign_from_variants_copy_exactly(
+        seed in any::<u64>(),
+        len in 1usize..300,
+        stale_len in 0usize..300,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let src = BitVec::random(len, &mut rng);
+        let mut dst = BitVec::random(stale_len, &mut rng);
+        dst.assign_from(&src);
+        prop_assert_eq!(&dst, &src);
+        let mut neg = BitVec::random(stale_len, &mut rng);
+        neg.assign_not_from(&src);
+        prop_assert_eq!(neg, src.not());
+    }
+
+    /// `resize` preserves the prefix and fills new bits with the given
+    /// value; the tail invariant holds afterwards (count_ones sees no
+    /// garbage).
+    #[test]
+    fn resize_preserves_prefix_and_fill(
+        seed in any::<u64>(),
+        len in 0usize..260,
+        new_len in 0usize..260,
+        value in any::<bool>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v = BitVec::random(len, &mut rng);
+        let mut r = v.clone();
+        r.resize(new_len, value);
+        prop_assert_eq!(r.len(), new_len);
+        let keep = len.min(new_len);
+        for i in 0..keep {
+            prop_assert_eq!(r.get(i), v.get(i));
+        }
+        for i in keep..new_len {
+            prop_assert_eq!(r.get(i), value);
+        }
+        let expect_ones = (0..keep).filter(|&i| v.get(i)).count()
+            + if value { new_len - keep } else { 0 };
+        prop_assert_eq!(r.count_ones(), expect_ones);
+    }
+
+    /// `from_fn_words` agrees with `from_fn` via word expansion and masks
+    /// tail garbage.
+    #[test]
+    fn from_fn_words_matches_from_fn(seed in any::<u64>(), len in 1usize..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let words: Vec<u64> = (0..len.div_ceil(64)).map(|_| rng.gen()).collect();
+        let fast = BitVec::from_fn_words(len, |w| words[w]);
+        let naive = BitVec::from_fn(len, |i| (words[i / 64] >> (i % 64)) & 1 == 1);
+        prop_assert_eq!(fast, naive);
+    }
+
+    /// `flip_random_bits_with` flips exactly `count` distinct bits.
+    #[test]
+    fn flip_random_bits_flips_exact_count(
+        seed in any::<u64>(),
+        len in 1usize..2000,
+        count_frac in 0.0f64..=1.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let count = (len as f64 * count_frac) as usize;
+        let v = BitVec::random(len, &mut rng);
+        let mut flipped = v.clone();
+        let mut scratch = Vec::new();
+        flipped.flip_random_bits_with(count, &mut rng, &mut scratch);
+        prop_assert_eq!(v.hamming_distance(&flipped), count);
+    }
+}

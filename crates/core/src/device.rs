@@ -218,11 +218,7 @@ impl FlashCosmosDevice {
             }
             let lpn = self.next_lpn;
             self.next_lpn += 1;
-            self.ssd.write(
-                lpn,
-                &page,
-                WriteOptions::flash_cosmos(ftl_group, hints.inverted),
-            )?;
+            self.ssd.write(lpn, &page, WriteOptions::flash_cosmos(ftl_group, hints.inverted))?;
             lpns.push(lpn);
         }
         let id = self.operands.len();
@@ -277,16 +273,9 @@ impl FlashCosmosDevice {
             let mut die = None;
             for &id in &ids {
                 let lpn = self.record(id)?.lpns[slot];
-                let (d, wl) = self
-                    .ssd
-                    .locate(lpn)
-                    .expect("written operands are always mapped");
-                let inverted = self
-                    .ssd
-                    .ftl()
-                    .meta(lpn)
-                    .expect("written operands carry metadata")
-                    .inverted;
+                let (d, wl) = self.ssd.locate(lpn).expect("written operands are always mapped");
+                let inverted =
+                    self.ssd.ftl().meta(lpn).expect("written operands carry metadata").inverted;
                 map.insert(id, wl, inverted);
                 die = Some(d);
             }
@@ -335,9 +324,10 @@ impl FlashCosmosDevice {
     ///
     /// Fails on unknown names or SSD migration errors.
     pub fn migrate_operand(&mut self, name: &str, hints: StoreHints) -> Result<u64, FcError> {
-        let id = *self.names.get(name).ok_or_else(|| {
-            FcError::DuplicateName(format!("unknown operand {name:?}"))
-        })?;
+        let id = *self
+            .names
+            .get(name)
+            .ok_or_else(|| FcError::DuplicateName(format!("unknown operand {name:?}")))?;
         let next_index = self.groups.len() as u64;
         let group_index = *self.groups.entry(hints.group.clone()).or_insert(next_index);
         let wls = self.ssd.config().wls_per_block as u64;
@@ -443,8 +433,7 @@ mod tests {
         for (i, v) in vs.iter().take(3).enumerate() {
             ids.push(dev.fc_write(&format!("v{i}"), v, StoreHints::and_group("verts")).unwrap().id);
         }
-        let clique =
-            dev.fc_write("clique", &vs[3], StoreHints::and_group("clique")).unwrap().id;
+        let clique = dev.fc_write("clique", &vs[3], StoreHints::and_group("clique")).unwrap().id;
         let expr = Expr::or(vec![Expr::and_vars(ids.clone()), Expr::var(clique)]);
         let (result, stats) = dev.fc_read(&expr).unwrap();
         let expect = vs[0].and(&vs[1]).and(&vs[2]).or(&vs[3]);
@@ -551,7 +540,8 @@ mod tests {
         assert_eq!(before.senses, 4, "scattered: one sense per block");
         let mut copybacks = 0;
         for i in 0..4 {
-            copybacks += dev.migrate_operand(&format!("op{i}"), StoreHints::and_group("gathered")).unwrap();
+            copybacks +=
+                dev.migrate_operand(&format!("op{i}"), StoreHints::and_group("gathered")).unwrap();
         }
         let (result, after) = dev.fc_read(&expr).unwrap();
         let expect = vs.iter().skip(1).fold(vs[0].clone(), |a, v| a.and(v));

@@ -344,14 +344,8 @@ mod tests {
             Expr::nand(vec![Expr::var(0), Expr::var(1)]).eval(&lookup),
             t[0].and(&t[1]).not()
         );
-        assert_eq!(
-            Expr::nor(vec![Expr::var(0), Expr::var(1)]).eval(&lookup),
-            t[0].or(&t[1]).not()
-        );
-        assert_eq!(
-            Expr::xnor(Expr::var(0), Expr::var(1)).eval(&lookup),
-            t[0].xor(&t[1]).not()
-        );
+        assert_eq!(Expr::nor(vec![Expr::var(0), Expr::var(1)]).eval(&lookup), t[0].or(&t[1]).not());
+        assert_eq!(Expr::xnor(Expr::var(0), Expr::var(1)).eval(&lookup), t[0].xor(&t[1]).not());
     }
 
     #[test]
@@ -425,9 +419,6 @@ mod tests {
     fn display_round() {
         let e = Expr::or(vec![Expr::and_vars([0, 1]), Expr::not(Expr::var(2))]);
         assert_eq!(e.to_string(), "((v0 & v1) | !v2)");
-        assert_eq!(
-            Literal { id: 4, negated: true }.to_string(),
-            "!v4"
-        );
+        assert_eq!(Literal { id: 4, negated: true }.to_string(), "!v4");
     }
 }

@@ -25,11 +25,7 @@ pub fn mux(sel: OperandId, a: OperandId, b: OperandId) -> Expr {
 /// Position-wise majority of three vectors:
 /// `(a&b) | (a&c) | (b&c)` — the carry function of a full adder.
 pub fn majority3(a: OperandId, b: OperandId, c: OperandId) -> Expr {
-    Expr::or(vec![
-        Expr::and_vars([a, b]),
-        Expr::and_vars([a, c]),
-        Expr::and_vars([b, c]),
-    ])
+    Expr::or(vec![Expr::and_vars([a, b]), Expr::and_vars([a, c]), Expr::and_vars([b, c])])
 }
 
 /// Position-wise parity (sum bit of a full adder): `a ^ b ^ c`.
@@ -132,8 +128,7 @@ mod tests {
         let carry = majority3(0, 1, 2).eval(&lookup);
         let sum = parity3(0, 1, 2).eval(&lookup);
         for i in 0..512 {
-            let total =
-                u8::from(t[0].get(i)) + u8::from(t[1].get(i)) + u8::from(t[2].get(i));
+            let total = u8::from(t[0].get(i)) + u8::from(t[1].get(i)) + u8::from(t[2].get(i));
             assert_eq!(sum.get(i), total % 2 == 1, "sum bit at {i}");
             assert_eq!(carry.get(i), total >= 2, "carry bit at {i}");
         }
@@ -200,8 +195,7 @@ mod tests {
         let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
         let t = table(3, 256, 6);
         for (i, v) in t.iter().enumerate() {
-            dev.fc_write(&format!("in{i}"), v, StoreHints::and_group(&format!("g{i}")))
-                .unwrap();
+            dev.fc_write(&format!("in{i}"), v, StoreHints::and_group(&format!("g{i}"))).unwrap();
         }
         // Carry = majority — a single AND/OR expression.
         let (carry, _) = dev.fc_read(&majority3(0, 1, 2)).unwrap();

@@ -48,7 +48,11 @@ pub fn compile(nnf: &Nnf, placements: &PlacementMap) -> Result<MwsProgram, PlanE
             read_cmd(rb, false, false),
             Command::XorLatch { plane: compiler.plane.unwrap_or(0) },
         ];
-        return Ok(MwsProgram { commands, controller_not: false, plane: compiler.plane.unwrap_or(0) });
+        return Ok(MwsProgram {
+            commands,
+            controller_not: false,
+            plane: compiler.plane.unwrap_or(0),
+        });
     }
 
     let disjuncts: Vec<&Nnf> = match nnf {
@@ -80,12 +84,7 @@ struct Resolved {
 
 fn read_cmd(r: Resolved, init_c: bool, transfer: bool) -> Command {
     Command::Mws {
-        flags: IscmFlags {
-            inverse: !r.raw_positive,
-            init_s: true,
-            init_c,
-            transfer,
-        },
+        flags: IscmFlags { inverse: !r.raw_positive, init_s: true, init_c, transfer },
         targets: vec![MwsTarget::new(r.wl.block(), &[r.wl.wl])],
     }
 }
@@ -230,10 +229,7 @@ mod tests {
     fn two_complements_are_rejected() {
         let m = placement(3);
         let e = Expr::and(vec![Expr::not(Expr::var(0)), Expr::not(Expr::var(1)), Expr::var(2)]);
-        assert!(matches!(
-            compile(&e.to_nnf(), &m).unwrap_err(),
-            PlanError::Unplannable(_)
-        ));
+        assert!(matches!(compile(&e.to_nnf(), &m).unwrap_err(), PlanError::Unplannable(_)));
     }
 
     #[test]

@@ -70,12 +70,8 @@ impl Advisor {
     fn assign_and_literals(&mut self, ids: &[OperandId], negated: &[bool]) -> usize {
         let mut senses = 0;
         // Positive literals: chunk at the string length.
-        let positives: Vec<OperandId> = ids
-            .iter()
-            .zip(negated)
-            .filter(|(_, &n)| !n)
-            .map(|(&i, _)| i)
-            .collect();
+        let positives: Vec<OperandId> =
+            ids.iter().zip(negated).filter(|(_, &n)| !n).map(|(&i, _)| i).collect();
         for chunk in positives.chunks(self.wls_per_block) {
             let group = self.fresh_group("and");
             for &id in chunk {
@@ -85,12 +81,8 @@ impl Advisor {
         }
         // Negated conjuncts: store inverted so the raw page equals the
         // literal's value — they then join a positive chunk.
-        let negatives: Vec<OperandId> = ids
-            .iter()
-            .zip(negated)
-            .filter(|(_, &n)| n)
-            .map(|(&i, _)| i)
-            .collect();
+        let negatives: Vec<OperandId> =
+            ids.iter().zip(negated).filter(|(_, &n)| n).map(|(&i, _)| i).collect();
         for chunk in negatives.chunks(self.wls_per_block) {
             let group = self.fresh_group("nand");
             for &id in chunk {
@@ -184,10 +176,7 @@ impl Advisor {
                 let group = self.fresh_group("orc-and");
                 for lit in lits {
                     if let Nnf::Literal(l) = lit {
-                        self.assign(
-                            l.id,
-                            StoreHints { group: group.clone(), inverted: l.negated },
-                        );
+                        self.assign(l.id, StoreHints { group: group.clone(), inverted: l.negated });
                     }
                 }
                 1
@@ -263,11 +252,7 @@ mod tests {
     #[test]
     fn and_of_or_groups_uses_inverse_storage() {
         // (v0|v1) & (v2|v3) & v4 — the Fig. 16 family.
-        let expr = Expr::and(vec![
-            Expr::or_vars([0, 1]),
-            Expr::or_vars([2, 3]),
-            Expr::var(4),
-        ]);
+        let expr = Expr::and(vec![Expr::or_vars([0, 1]), Expr::or_vars([2, 3]), Expr::var(4)]);
         let advice = suggest_hints(&expr, 8);
         assert!(advice.hints_for(0).inverted && advice.hints_for(1).inverted);
         assert!(advice.hints_for(2).inverted && advice.hints_for(3).inverted);

@@ -191,7 +191,11 @@ impl MwsProgram {
 /// Returns a [`PlanError`] when the expression cannot be lowered under
 /// the latch rules, the power cap, or the current placement. The caller
 /// can retry after re-storing operands (e.g. inverted, §6.1).
-pub fn compile(nnf: &Nnf, placements: &PlacementMap, caps: PlannerCaps) -> Result<MwsProgram, PlanError> {
+pub fn compile(
+    nnf: &Nnf,
+    placements: &PlacementMap,
+    caps: PlannerCaps,
+) -> Result<MwsProgram, PlanError> {
     let mut planner = Planner { placements, caps, plane: None };
     // XOR programs have their own two-command + XorLatch shape.
     if let Nnf::Xor(a, b) = nnf {
@@ -284,27 +288,25 @@ impl<'a> Planner<'a> {
                         push_distinct(&mut inverse_targets, target)?;
                     }
                 }
-                Nnf::Or(children) => {
-                    match self.classify_or(children)? {
-                        OrLowering::InverseTargets(ts) => {
-                            for t in ts {
-                                push_distinct(&mut inverse_targets, t)?;
-                            }
-                        }
-                        OrLowering::SingleCommand(ts) => normal_commands.push(ts),
-                        OrLowering::NeedsCAccumulation => {
-                            if groups.len() == 1 {
-                                return self.compile_or_strategy(children);
-                            }
-                            return Err(PlanError::Unplannable(
-                                "an OR group inside a conjunction needs C-latch accumulation, \
-                                 which cannot combine with AND accumulation; store the group's \
-                                 operands inverted in one block instead"
-                                    .to_string(),
-                            ));
+                Nnf::Or(children) => match self.classify_or(children)? {
+                    OrLowering::InverseTargets(ts) => {
+                        for t in ts {
+                            push_distinct(&mut inverse_targets, t)?;
                         }
                     }
-                }
+                    OrLowering::SingleCommand(ts) => normal_commands.push(ts),
+                    OrLowering::NeedsCAccumulation => {
+                        if groups.len() == 1 {
+                            return self.compile_or_strategy(children);
+                        }
+                        return Err(PlanError::Unplannable(
+                            "an OR group inside a conjunction needs C-latch accumulation, \
+                                 which cannot combine with AND accumulation; store the group's \
+                                 operands inverted in one block instead"
+                                .to_string(),
+                        ));
+                    }
+                },
                 Nnf::And(_) => unreachable!("NNF flattening removes nested ANDs"),
                 Nnf::Xor(_, _) => {
                     return Err(PlanError::Unplannable(
@@ -329,12 +331,7 @@ impl<'a> Planner<'a> {
         let mut commands = Vec::new();
         if !inverse_targets.is_empty() {
             commands.push(Command::Mws {
-                flags: IscmFlags {
-                    inverse: true,
-                    init_s: true,
-                    init_c: true,
-                    transfer: false,
-                },
+                flags: IscmFlags { inverse: true, init_s: true, init_c: true, transfer: false },
                 targets: inverse_targets,
             });
         }
@@ -358,12 +355,7 @@ impl<'a> Planner<'a> {
             let first = commands.is_empty();
             let last = i + 1 == n_normal;
             commands.push(Command::Mws {
-                flags: IscmFlags {
-                    inverse: false,
-                    init_s: first,
-                    init_c: last,
-                    transfer: last,
-                },
+                flags: IscmFlags { inverse: false, init_s: first, init_c: last, transfer: last },
                 targets,
             });
         }
@@ -496,15 +488,13 @@ impl<'a> Planner<'a> {
                     }
                     MwsTarget::new(r.wl.block(), &[r.wl.wl])
                 }
-                Nnf::And(lits) => {
-                    match self.try_one_block_positive_and(lits)? {
-                        Some(t) => t,
-                        None => {
-                            single_command = false;
-                            break;
-                        }
+                Nnf::And(lits) => match self.try_one_block_positive_and(lits)? {
+                    Some(t) => t,
+                    None => {
+                        single_command = false;
+                        break;
                     }
-                }
+                },
                 _ => {
                     single_command = false;
                     break;

@@ -266,7 +266,10 @@ mod tests {
         let best = points
             .iter()
             .find(|p| {
-                p.scheme == ProgramScheme::Mlc && p.randomized && p.pec == 0 && p.retention_months == 0.0
+                p.scheme == ProgramScheme::Mlc
+                    && p.randomized
+                    && p.pec == 0
+                    && p.retention_months == 0.0
             })
             .unwrap();
         assert!((best.rber - 8.6e-4).abs() / 8.6e-4 < 0.05);

@@ -89,7 +89,11 @@ impl Fig7Scenario {
 
 /// Renders channel 0's trace as an ASCII timeline (one row per die and
 /// stage), the textual equivalent of Fig. 7's boxes.
-pub fn render_channel_timeline(report: &ExecutionReport, config: &SsdConfig, width: usize) -> String {
+pub fn render_channel_timeline(
+    report: &ExecutionReport,
+    config: &SsdConfig,
+    width: usize,
+) -> String {
     let horizon = report.makespan_us.max(1.0);
     let scale = |t: f64| ((t / horizon) * (width as f64 - 1.0)).round() as usize;
     let mut out = String::new();

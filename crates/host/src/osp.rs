@@ -52,7 +52,8 @@ impl OspModel {
         let post_us = self.cpu.popcount_us(result_bytes);
         let cpu_us = combine_us + post_us;
         let hidden = cpu_us <= stream_us;
-        let time_us = if hidden { stream_us } else { stream_us.max(cpu_us) } + post_us.min(stream_us * 0.01);
+        let time_us =
+            if hidden { stream_us } else { stream_us.max(cpu_us) } + post_us.min(stream_us * 0.01);
         // DRAM traffic: operands written on arrival + read by the kernel;
         // results written + read once more for post-processing.
         let dram_bytes = 2 * operand_bytes + 2 * result_bytes;

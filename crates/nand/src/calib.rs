@@ -176,17 +176,21 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // named constants, checked for consistency
     fn table1_timing_is_consistent() {
         // ESP is exactly double regular SLC programming (§8.3).
         assert_eq!(timing::T_ESP_US, 2.0 * timing::T_PROG_SLC_US);
         // tMWS covers the worst intra-block case with margin.
-        assert!(timing::T_MWS_US > timing::T_R_SLC_US * (1.0 + mws_latency::INTRA_MAX_FACTOR_DELTA));
+        assert!(
+            timing::T_MWS_US > timing::T_R_SLC_US * (1.0 + mws_latency::INTRA_MAX_FACTOR_DELTA)
+        );
         // Program latencies are ordered SLC < MLC < TLC.
         assert!(timing::T_PROG_SLC_US < timing::T_PROG_MLC_US);
         assert!(timing::T_PROG_MLC_US < timing::T_PROG_TLC_US);
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // named constants, checked for consistency
     fn fig14_power_ordering_matches_paper_text() {
         // Two blocks is ~+34% over one.
         assert!((power::INTER_MWS_BY_BLOCKS[1] - 1.34).abs() < 1e-9);

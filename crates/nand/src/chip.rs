@@ -109,6 +109,46 @@ pub struct ChipStats {
     pub energy_uj: f64,
 }
 
+/// Reusable buffers for the sensing hot path.
+///
+/// # Scratch-reuse contract
+///
+/// Every sense (`Read`, `Mws`, `EraseVerify`) evaluates its per-block
+/// ANDs, the inter-block OR, and any error injection **into these
+/// buffers** instead of allocating. The buffers are owned by the chip and
+/// live as long as it does, so steady-state sensing performs zero heap
+/// allocations once each buffer has grown to the chip's page size:
+///
+/// * `per_block` is an arena of per-block AND results — one entry per
+///   simultaneously activated block, grown on demand and never shrunk.
+/// * `sensed` holds the OR-combined page that feeds the latch bank.
+/// * `corrupt` receives a copy of a stored page **only** when that page
+///   actually gets injected errors (error-free pages are ANDed in place
+///   from the stored data, with no copy at all).
+/// * `flip_idx` is the error-injection working memory between senses.
+/// * `stress_buf` is the physics-mode working population: the stored
+///   V_TH vector is copied in, stress-shifted, and threshold-compared —
+///   the stored populations themselves are never cloned.
+///
+/// Buffer contents are unspecified between senses; each sense fully
+/// re-initializes what it reads. Nothing outside the sense path may hold
+/// references into the scratch across a sense.
+#[derive(Debug, Default)]
+pub struct SenseScratch {
+    per_block: Vec<BitVec>,
+    sensed: BitVec,
+    corrupt: BitVec,
+    flip_idx: Vec<usize>,
+    stress_buf: Vec<f64>,
+}
+
+impl SenseScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// One simulated NAND die.
 pub struct NandChip {
     config: ChipConfig,
@@ -118,6 +158,7 @@ pub struct NandChip {
     retention_months: f64,
     esp_ratio_default: f64,
     stats: ChipStats,
+    scratch: SenseScratch,
 }
 
 impl std::fmt::Debug for NandChip {
@@ -169,6 +210,7 @@ impl NandChip {
             retention_months: 0.0,
             esp_ratio_default: timing::T_ESP_US / timing::T_PROG_SLC_US,
             stats: ChipStats::default(),
+            scratch: SenseScratch::new(),
         }
     }
 
@@ -344,11 +386,7 @@ impl NandChip {
             Command::EraseVerify { block } => {
                 self.config.geometry.validate_block(block)?;
                 let n = self.config.geometry.wls_per_block.min(64);
-                self.exec_mws(
-                    IscmFlags::single_read(),
-                    &[MwsTarget::all_wls(block, n)],
-                    true,
-                )?
+                self.exec_mws(IscmFlags::single_read(), &[MwsTarget::all_wls(block, n)], true)?
             }
             Command::Program { addr, data, scheme, randomize } => {
                 self.exec_program(addr, data, scheme, randomize)?
@@ -405,11 +443,9 @@ impl NandChip {
             let targets: Vec<bool> = stored.iter().collect();
             let outcome = match scheme {
                 ProgramScheme::Esp { ratio } => ispp::program_esp(&targets, ratio, &mut self.rng),
-                _ => ispp::program_slc_like(
-                    &targets,
-                    ispp::IsppConfig::slc_default(),
-                    &mut self.rng,
-                ),
+                _ => {
+                    ispp::program_slc_like(&targets, ispp::IsppConfig::slc_default(), &mut self.rng)
+                }
             };
             Some(outcome.vth)
         } else {
@@ -418,8 +454,7 @@ impl NandChip {
 
         let latency = scheme.program_latency_us();
         let energy = power::program_energy_uj(latency);
-        let block =
-            &mut self.planes[addr.plane as usize].blocks[addr.block as usize];
+        let block = &mut self.planes[addr.plane as usize].blocks[addr.block as usize];
         block.pages[addr.wl as usize] =
             Some(PageState { data: stored, scheme, randomized: randomize, vth });
         block.reads_since_program = 0;
@@ -556,17 +591,42 @@ impl NandChip {
             }
         }
 
-        // Evaluate each block's string AND, then OR across blocks (Eq. 1).
-        let mut per_block: Vec<BitVec> = Vec::with_capacity(targets.len());
-        for t in targets {
-            per_block.push(self.sense_block_and(t, allow_unwritten)?);
+        // Evaluate each block's string AND into the scratch arena, then OR
+        // across blocks (Eq. 1). Field-level borrows keep the stored pages
+        // readable in place while the RNG, stats and scratch mutate.
+        {
+            let Self { planes, rng, scratch, config, stats, retention_months, .. } = self;
+            while scratch.per_block.len() < targets.len() {
+                scratch.per_block.push(BitVec::default());
+            }
+            let SenseScratch { per_block, corrupt, flip_idx, stress_buf, .. } = scratch;
+            let plane_state = &planes[plane as usize];
+            for (out, t) in per_block.iter_mut().zip(targets) {
+                sense_block_and_into(
+                    out,
+                    plane_state,
+                    t,
+                    allow_unwritten,
+                    config,
+                    *retention_months,
+                    rng,
+                    stats,
+                    corrupt,
+                    flip_idx,
+                    stress_buf,
+                )?;
+            }
         }
-        let mut sensed = sense::combine_blocks_or(&per_block);
+        {
+            let SenseScratch { per_block, sensed, .. } = &mut self.scratch;
+            sense::combine_blocks_or_into(sensed, &per_block[..targets.len()]);
+        }
+        let sensed = &mut self.scratch.sensed;
         // Stuck-at columns read their stuck value regardless of the
         // stored data (§5.1 footnote 9).
         let plane_state = &self.planes[plane as usize];
         if !plane_state.faulty_mask.is_all_zeros() {
-            sensed.and_assign(&plane_state.faulty_mask.not());
+            sensed.and_not_assign(&plane_state.faulty_mask);
             sensed.or_assign(&plane_state.faulty_stuck);
         }
 
@@ -578,7 +638,7 @@ impl NandChip {
         if flags.init_c {
             latches.init_c();
         }
-        latches.sense(&sensed, flags.inverse);
+        latches.sense(sensed, flags.inverse);
         if flags.transfer {
             latches.transfer();
         }
@@ -608,87 +668,104 @@ impl NandChip {
         }
         Ok(CmdOutput { latency_us: latency, energy_uj: energy, norm_power, page })
     }
+}
 
-    /// AND of one block's target wordlines, with fidelity-appropriate
-    /// reliability behaviour.
-    fn sense_block_and(
-        &mut self,
-        target: &MwsTarget,
-        allow_unwritten: bool,
-    ) -> Result<BitVec, NandError> {
-        let page_bits = self.config.geometry.page_bits();
-        let block_ref =
-            &self.planes[target.block.plane as usize].blocks[target.block.block as usize];
-        let stress = StressState {
-            pec: block_ref.pec,
-            retention_months: self.retention_months,
-            reads_since_program: block_ref.reads_since_program,
-        };
+/// AND of one block's target wordlines, with fidelity-appropriate
+/// reliability behaviour, written into `out` (reusing its allocation).
+///
+/// A free function rather than a `NandChip` method so `exec_mws` can pass
+/// disjoint field borrows: the plane's stored pages stay borrowed
+/// immutably while the RNG, stats and scratch buffers mutate. See
+/// [`SenseScratch`] for the reuse contract of `corrupt` / `flip_idx` /
+/// `stress_buf`.
+#[allow(clippy::too_many_arguments)]
+fn sense_block_and_into(
+    out: &mut BitVec,
+    plane: &Plane,
+    target: &MwsTarget,
+    allow_unwritten: bool,
+    config: &ChipConfig,
+    retention_months: f64,
+    rng: &mut StdRng,
+    stats: &mut ChipStats,
+    corrupt: &mut BitVec,
+    flip_idx: &mut Vec<usize>,
+    stress_buf: &mut Vec<f64>,
+) -> Result<(), NandError> {
+    let page_bits = config.geometry.page_bits();
+    let block_ref = &plane.blocks[target.block.block as usize];
+    let stress = StressState {
+        pec: block_ref.pec,
+        retention_months,
+        reads_since_program: block_ref.reads_since_program,
+    };
 
-        match self.config.fidelity {
-            Fidelity::Functional { inject_errors } => {
-                let mut acc = BitVec::ones(page_bits);
-                // Collect page snapshots first (borrow discipline), then
-                // optionally corrupt copies.
-                let mut snapshots: Vec<(BitVec, ProgramScheme, bool)> = Vec::new();
-                for wl in target.wls() {
-                    match &block_ref.pages[wl as usize] {
-                        Some(p) => snapshots.push((p.data.clone(), p.scheme, p.randomized)),
-                        None if allow_unwritten => {
-                            snapshots.push((BitVec::ones(page_bits), ProgramScheme::Slc, false))
+    out.reset(page_bits, true);
+    match config.fidelity {
+        Fidelity::Functional { inject_errors } => {
+            // Fold the stored pages directly — word-at-a-time, with no
+            // snapshot clones. A page is copied (into the reusable
+            // `corrupt` buffer) only when it actually receives errors.
+            for wl in target.wls() {
+                let page = match &block_ref.pages[wl as usize] {
+                    Some(p) => Some(p),
+                    None if allow_unwritten => None, // fully erased: all ones
+                    None => unreachable!("validated above"),
+                };
+                if inject_errors {
+                    let (scheme, randomized) =
+                        page.map_or((ProgramScheme::Slc, false), |p| (p.scheme, p.randomized));
+                    let n = config.rber.sample_errors(scheme, randomized, stress, page_bits, rng);
+                    stats.injected_errors += n as u64;
+                    if n > 0 {
+                        match page {
+                            Some(p) => corrupt.assign_from(&p.data),
+                            None => corrupt.reset(page_bits, true),
                         }
-                        None => unreachable!("validated above"),
+                        corrupt.flip_random_bits_with(n, rng, flip_idx);
+                        out.and_assign(corrupt);
+                        continue;
                     }
                 }
-                for (mut data, scheme, randomized) in snapshots {
-                    if inject_errors {
-                        let n = self.config.rber.sample_errors(
-                            scheme,
-                            randomized,
-                            stress,
-                            page_bits,
-                            &mut self.rng,
-                        );
-                        self.stats.injected_errors += n as u64;
-                        data.flip_random_bits(n, &mut self.rng);
-                    }
-                    acc.and_assign(&data);
+                if let Some(p) = page {
+                    out.and_assign(&p.data);
                 }
-                Ok(acc)
+                // Erased, error-free page: AND with all-ones is a no-op.
             }
-            Fidelity::Physics => {
-                // Stress-shift copies of the stored V_TH populations, then
-                // evaluate string conduction against the scheme's V_REF.
-                let model = self.config.stress_model;
-                let mut vref = f64::NEG_INFINITY;
-                let mut populations: Vec<Vec<f64>> = Vec::new();
-                for wl in target.wls() {
-                    match &block_ref.pages[wl as usize] {
-                        Some(p) => {
-                            let v = p
-                                .vth
-                                .clone()
-                                .expect("physics mode stores V_TH populations");
-                            vref = vref.max(p.scheme.layout().slc_vref_or_first());
-                            populations.push(v);
-                        }
-                        None if allow_unwritten => {
-                            populations.push(vec![crate::vth::ERASED.mean_v; page_bits]);
-                        }
-                        None => unreachable!("validated above"),
+        }
+        Fidelity::Physics => {
+            // Pass 1 (metadata only): the read reference voltage is the
+            // highest V_REF among the target wordlines' schemes.
+            let mut vref = f64::NEG_INFINITY;
+            for wl in target.wls() {
+                if let Some(p) = &block_ref.pages[wl as usize] {
+                    vref = vref.max(p.scheme.read_vref());
+                }
+            }
+            if vref == f64::NEG_INFINITY {
+                vref = crate::vth::SLC_VREF;
+            }
+            // Pass 2: stress-shift each population in the reusable buffer
+            // (stored V_TH vectors are never cloned) and fold its packed
+            // threshold comparison into the accumulator.
+            let model = config.stress_model;
+            for wl in target.wls() {
+                stress_buf.clear();
+                match &block_ref.pages[wl as usize] {
+                    Some(p) => stress_buf.extend_from_slice(
+                        p.vth.as_ref().expect("physics mode stores V_TH populations"),
+                    ),
+                    None if allow_unwritten => {
+                        stress_buf.resize(page_bits, crate::vth::ERASED.mean_v);
                     }
+                    None => unreachable!("validated above"),
                 }
-                if vref == f64::NEG_INFINITY {
-                    vref = crate::vth::VthLayout::slc().slc_vref();
-                }
-                for v in &mut populations {
-                    model.apply(v, stress, &mut self.rng);
-                }
-                let slices: Vec<&[f64]> = populations.iter().map(Vec::as_slice).collect();
-                Ok(sense::evaluate_string_and(&slices, vref))
+                model.apply(stress_buf, stress, rng);
+                out.and_le_threshold(stress_buf, vref);
             }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -758,10 +835,7 @@ mod tests {
         let out = chip
             .execute(Command::Mws {
                 flags: IscmFlags::single_read(),
-                targets: vec![
-                    MwsTarget::new(blk_a, &[0, 1]),
-                    MwsTarget::new(blk_b, &[0, 1]),
-                ],
+                targets: vec![MwsTarget::new(blk_a, &[0, 1]), MwsTarget::new(blk_b, &[0, 1])],
             })
             .unwrap();
         let expect = a[0].and(&a[1]).or(&b[0].and(&b[1]));
@@ -872,18 +946,16 @@ mod tests {
         let mut chip = NandChip::new(ChipConfig::tiny_test());
         let blk = BlockAddr::new(0, 10);
         write_pages(&mut chip, blk, 1, 900);
-        let err = chip
-            .execute(Command::esp_program(blk.wordline(0), page(&chip, 901)))
-            .unwrap_err();
+        let err =
+            chip.execute(Command::esp_program(blk.wordline(0), page(&chip, 901))).unwrap_err();
         assert!(matches!(err, NandError::ProgramWithoutErase { .. }));
     }
 
     #[test]
     fn page_size_mismatch_is_rejected() {
         let mut chip = NandChip::new(ChipConfig::tiny_test());
-        let err = chip
-            .execute(Command::esp_program(WlAddr::new(0, 0, 0), BitVec::zeros(3)))
-            .unwrap_err();
+        let err =
+            chip.execute(Command::esp_program(WlAddr::new(0, 0, 0), BitVec::zeros(3))).unwrap_err();
         assert!(matches!(err, NandError::PageSizeMismatch { .. }));
     }
 
@@ -895,9 +967,8 @@ mod tests {
         }
         let targets: Vec<MwsTarget> =
             (0..5).map(|b| MwsTarget::new(BlockAddr::new(0, b), &[0])).collect();
-        let err = chip
-            .execute(Command::Mws { flags: IscmFlags::single_read(), targets })
-            .unwrap_err();
+        let err =
+            chip.execute(Command::Mws { flags: IscmFlags::single_read(), targets }).unwrap_err();
         assert_eq!(err, NandError::TooManyBlocks { requested: 5, max: 4 });
         // Raising the cap via SET FEATURE lets it through.
         chip.execute(Command::SetFeature { feature: Feature::MaxInterBlocks(8) }).unwrap();
@@ -926,9 +997,8 @@ mod tests {
     #[test]
     fn read_of_unwritten_page_is_rejected() {
         let mut chip = NandChip::new(ChipConfig::tiny_test());
-        let err = chip
-            .execute(Command::Read { addr: WlAddr::new(0, 0, 0), inverse: false })
-            .unwrap_err();
+        let err =
+            chip.execute(Command::Read { addr: WlAddr::new(0, 0, 0), inverse: false }).unwrap_err();
         assert!(matches!(err, NandError::ReadOfUnwrittenPage { .. }));
     }
 
@@ -977,9 +1047,8 @@ mod tests {
     #[test]
     fn esp_program_latency_is_double_slc() {
         let mut chip = NandChip::new(ChipConfig::tiny_test());
-        let esp = chip
-            .execute(Command::esp_program(WlAddr::new(0, 15, 0), page(&chip, 1500)))
-            .unwrap();
+        let esp =
+            chip.execute(Command::esp_program(WlAddr::new(0, 15, 0), page(&chip, 1500))).unwrap();
         let slc = chip
             .execute(Command::Program {
                 addr: WlAddr::new(0, 15, 1),
@@ -994,9 +1063,7 @@ mod tests {
     #[test]
     fn feature_validation() {
         let mut chip = NandChip::new(ChipConfig::tiny_test());
-        assert!(chip
-            .execute(Command::SetFeature { feature: Feature::MaxInterBlocks(0) })
-            .is_err());
+        assert!(chip.execute(Command::SetFeature { feature: Feature::MaxInterBlocks(0) }).is_err());
         assert!(chip
             .execute(Command::SetFeature { feature: Feature::EspLatencyRatio(0.5) })
             .is_err());
@@ -1020,6 +1087,50 @@ mod tests {
         assert_eq!(s.senses, 2);
         assert_eq!(s.mws_ops, 1);
         assert!(s.busy_us > 0.0 && s.energy_uj > 0.0);
+    }
+
+    #[test]
+    fn scratch_reuse_is_stateless_across_senses() {
+        // The sense scratch persists inside the chip; interleaving senses
+        // of different shapes (single read, intra-MWS, inter-MWS over
+        // varying block counts, erase-verify) must never leak state from
+        // one sense into the next. Every result is checked against the
+        // stored ground truth, three rounds over the same buffers.
+        let mut chip = NandChip::new(ChipConfig::tiny_test());
+        let blocks: Vec<BlockAddr> = (0..3).map(|b| BlockAddr::new(0, b)).collect();
+        let pages: Vec<Vec<BitVec>> = blocks
+            .iter()
+            .enumerate()
+            .map(|(i, &blk)| write_pages(&mut chip, blk, 3, 2000 + 10 * i as u64))
+            .collect();
+        for _round in 0..3 {
+            let single = chip
+                .execute(Command::Read { addr: blocks[0].wordline(1), inverse: false })
+                .unwrap();
+            assert_eq!(single.page().unwrap(), &pages[0][1]);
+
+            let intra = chip
+                .execute(Command::Mws {
+                    flags: IscmFlags::single_read(),
+                    targets: vec![MwsTarget::new(blocks[1], &[0, 1, 2])],
+                })
+                .unwrap();
+            let expect = pages[1][0].and(&pages[1][1]).and(&pages[1][2]);
+            assert_eq!(intra.page().unwrap(), &expect);
+
+            let inter = chip
+                .execute(Command::Mws {
+                    flags: IscmFlags::single_read(),
+                    targets: blocks.iter().map(|&b| MwsTarget::new(b, &[0, 1])).collect(),
+                })
+                .unwrap();
+            let expect = pages.iter().map(|p| p[0].and(&p[1])).reduce(|a, b| a.or(&b)).unwrap();
+            assert_eq!(inter.page().unwrap(), &expect);
+
+            let verify =
+                chip.execute(Command::EraseVerify { block: BlockAddr::new(1, 0) }).unwrap();
+            assert!(verify.page().unwrap().is_all_ones(), "untouched block verifies erased");
+        }
     }
 
     #[test]

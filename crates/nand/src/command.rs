@@ -350,9 +350,8 @@ mod tests {
     fn frame_roundtrip_four_targets() {
         // Fig. 15a: "up to four address slots for inter-block MWS".
         let flags = IscmFlags::single_inverse_read();
-        let targets: Vec<MwsTarget> = (0..4)
-            .map(|b| MwsTarget::new(BlockAddr::new(0, b), &[b, b + 1]))
-            .collect();
+        let targets: Vec<MwsTarget> =
+            (0..4).map(|b| MwsTarget::new(BlockAddr::new(0, b), &[b, b + 1])).collect();
         let frame = encode_frame(flags, &targets);
         // Three CONT separators present.
         assert_eq!(frame.iter().filter(|&&b| b == 0xC8).count(), 3);
@@ -366,7 +365,8 @@ mod tests {
     fn malformed_frames_are_rejected() {
         assert!(decode_frame(&[]).is_err());
         assert!(decode_frame(&[0x00, 0x07]).is_err());
-        let good = encode_frame(IscmFlags::single_read(), &[MwsTarget::new(BlockAddr::new(0, 0), &[0])]);
+        let good =
+            encode_frame(IscmFlags::single_read(), &[MwsTarget::new(BlockAddr::new(0, 0), &[0])]);
         // Truncation anywhere breaks it.
         for cut in 1..good.len() {
             assert!(decode_frame(&good[..cut]).is_err(), "cut at {cut}");

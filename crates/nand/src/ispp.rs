@@ -21,9 +21,10 @@ use crate::vth::{sample_standard_normal, VthLayout, ERASED};
 
 /// How a page is programmed. This choice drives latency, capacity and
 /// reliability everywhere in the stack.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum ProgramScheme {
     /// Regular SLC-mode programming (1 bit/cell, default ISPP).
+    #[default]
     Slc,
     /// Enhanced SLC-mode programming with the given latency budget
     /// `tESP / tPROG(SLC)` (the paper's operating point is 2.0 → 400 µs).
@@ -73,15 +74,22 @@ impl ProgramScheme {
         }
     }
 
+    /// The SLC-style read reference voltage of this scheme's layout
+    /// (the first `V_REF`), computed without materializing the layout —
+    /// the physics-mode sense path queries this per target wordline.
+    pub fn read_vref(self) -> f64 {
+        match self {
+            ProgramScheme::Slc => crate::vth::SLC_VREF,
+            ProgramScheme::Esp { ratio } => crate::vth::esp_vref(ratio),
+            // Multi-bit layouts derive their read levels from the state
+            // list; rare on this path, so building the layout is fine.
+            ProgramScheme::Mlc | ProgramScheme::Tlc => self.layout().slc_vref_or_first(),
+        }
+    }
+
     /// Whether this is (any flavor of) single-bit-per-cell programming.
     pub fn is_single_bit(self) -> bool {
         matches!(self, ProgramScheme::Slc | ProgramScheme::Esp { .. })
-    }
-}
-
-impl Default for ProgramScheme {
-    fn default() -> Self {
-        ProgramScheme::Slc
     }
 }
 
@@ -161,11 +169,7 @@ pub fn program_slc_like<R: Rng + ?Sized>(
 
 /// Programs cells with full ESP: the regular SLC pulse train followed by
 /// the refinement train with raised `V_TGT` and reduced `ΔV_ISPP`.
-pub fn program_esp<R: Rng + ?Sized>(
-    targets: &[bool],
-    ratio: f64,
-    rng: &mut R,
-) -> IsppOutcome {
+pub fn program_esp<R: Rng + ?Sized>(targets: &[bool], ratio: f64, rng: &mut R) -> IsppOutcome {
     let coarse = IsppConfig::slc_default();
     let refine = IsppConfig::esp_refinement(ratio);
     let mut out = program_slc_like(targets, coarse, rng);
@@ -191,12 +195,8 @@ pub fn program_esp<R: Rng + ?Sized>(
 /// Empirical width (standard deviation) of the programmed distribution.
 /// Convenience for tests and the characterization harness.
 pub fn programmed_sigma(vth: &[f64], targets: &[bool]) -> f64 {
-    let programmed: Vec<f64> = vth
-        .iter()
-        .zip(targets)
-        .filter(|(_, &e)| !e)
-        .map(|(&v, _)| v)
-        .collect();
+    let programmed: Vec<f64> =
+        vth.iter().zip(targets).filter(|(_, &e)| !e).map(|(&v, _)| v).collect();
     if programmed.len() < 2 {
         return 0.0;
     }

@@ -80,7 +80,7 @@ impl LatchBank {
     pub fn sense(&mut self, sensed: &BitVec, inverse: bool) {
         assert_eq!(sensed.len(), self.s.len(), "sensed page width mismatch");
         if inverse {
-            self.s = sensed.not();
+            self.s.assign_not_from(sensed);
         } else {
             self.s.and_assign(sensed);
         }
@@ -93,8 +93,8 @@ impl LatchBank {
 
     /// Internal XOR logic: `C ← S XOR C`.
     pub fn xor_into_c(&mut self) {
-        let s = self.s.clone();
-        self.c.xor_assign(&s);
+        let Self { s, c } = self;
+        c.xor_assign(s);
     }
 
     /// Current S-latch contents (`OUT_S` column).
@@ -116,7 +116,7 @@ impl LatchBank {
     /// Panics if `data` does not match the bank width.
     pub fn load_s(&mut self, data: &BitVec) {
         assert_eq!(data.len(), self.s.len(), "data width mismatch");
-        self.s = data.clone();
+        self.s.assign_from(data);
     }
 
     /// Loads external data into the C-latch.
@@ -126,7 +126,7 @@ impl LatchBank {
     /// Panics if `data` does not match the bank width.
     pub fn load_c(&mut self, data: &BitVec) {
         assert_eq!(data.len(), self.c.len(), "data width mismatch");
-        self.c = data.clone();
+        self.c.assign_from(data);
     }
 }
 

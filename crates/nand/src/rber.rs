@@ -236,10 +236,8 @@ mod tests {
     fn randomization_factors_match_paper() {
         let m = RberModel::paper();
         let s = worst();
-        let slc_ratio =
-            m.rber(ProgramScheme::Slc, false, s) / m.rber(ProgramScheme::Slc, true, s);
-        let mlc_ratio =
-            m.rber(ProgramScheme::Mlc, false, s) / m.rber(ProgramScheme::Mlc, true, s);
+        let slc_ratio = m.rber(ProgramScheme::Slc, false, s) / m.rber(ProgramScheme::Slc, true, s);
+        let mlc_ratio = m.rber(ProgramScheme::Mlc, false, s) / m.rber(ProgramScheme::Mlc, true, s);
         assert!((slc_ratio - 1.91).abs() < 1e-9);
         assert!((mlc_ratio - 4.92).abs() < 1e-9);
     }

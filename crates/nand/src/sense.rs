@@ -83,6 +83,9 @@ pub fn regular_read_latency_us() -> f64 {
 /// have the same length. Returns the per-bitline conduction (i.e. the
 /// sensed AND page).
 ///
+/// The comparisons are packed 64 bitlines per word
+/// ([`BitVec::and_le_threshold`]); no per-bit construction happens.
+///
 /// # Panics
 ///
 /// Panics if `wl_vth` is empty or the populations have different lengths.
@@ -90,7 +93,11 @@ pub fn evaluate_string_and(wl_vth: &[&[f64]], vref: f64) -> BitVec {
     assert!(!wl_vth.is_empty(), "no target wordlines");
     let bits = wl_vth[0].len();
     assert!(wl_vth.iter().all(|v| v.len() == bits), "wordline width mismatch");
-    BitVec::from_fn(bits, |c| wl_vth.iter().all(|v| v[c] <= vref))
+    let mut out = BitVec::ones(bits);
+    for v in wl_vth {
+        out.and_le_threshold(v, vref);
+    }
+    out
 }
 
 /// Physics-mode inter-block combination: the bitline conducts if **any**
@@ -101,11 +108,24 @@ pub fn evaluate_string_and(wl_vth: &[&[f64]], vref: f64) -> BitVec {
 /// Panics if `per_block` is empty or widths mismatch.
 pub fn combine_blocks_or(per_block: &[BitVec]) -> BitVec {
     assert!(!per_block.is_empty(), "no blocks to combine");
-    let mut out = per_block[0].clone();
+    let mut out = BitVec::zeros(per_block[0].len());
+    combine_blocks_or_into(&mut out, per_block);
+    out
+}
+
+/// Like [`combine_blocks_or`] but writes into a caller-provided output
+/// (reusing its allocation), so the steady-state MWS path combines blocks
+/// without cloning any per-block page.
+///
+/// # Panics
+///
+/// Panics if `per_block` is empty or widths mismatch.
+pub fn combine_blocks_or_into(out: &mut BitVec, per_block: &[BitVec]) {
+    assert!(!per_block.is_empty(), "no blocks to combine");
+    out.assign_from(&per_block[0]);
     for b in &per_block[1..] {
         out.or_assign(b);
     }
-    out
 }
 
 #[cfg(test)]

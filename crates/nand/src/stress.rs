@@ -124,25 +124,63 @@ impl StressModel {
     /// stored charge); disturb and interference push low-V_TH cells up.
     pub fn apply<R: Rng + ?Sized>(&self, vth: &mut [f64], stress: StressState, rng: &mut R) {
         let disturb = self.disturb_shift_mean(stress.reads_since_program);
+        let retention_on = stress.retention_months > 0.0;
+        if !retention_on && disturb <= 0.0 {
+            // Fresh, undisturbed block: every transform below is the
+            // identity, so skip the per-cell sweep entirely.
+            return;
+        }
         let ln_t = (1.0 + stress.retention_months.max(0.0) / self.retention_t0_months).ln();
         let wear = self.wear_factor(stress.pec);
+        let loss_scale = self.retention_k * ln_t * wear;
         // Tail spread grows with both wear and elapsed time (normalized so
         // the calibration point is the paper's worst case: 12 months).
         let sigma_ret = self.retention_sigma_v * wear.sqrt() * (ln_t / 13f64.ln()).sqrt();
-        for v in vth.iter_mut() {
-            let charge = *v - ERASED.mean_v;
-            // Retention loss applies to cells holding charge (programmed
-            // states); erased cells have nothing to leak.
-            if charge > 1.0 && stress.retention_months > 0.0 {
-                let loss = self.retention_k * charge * ln_t * wear
-                    + sigma_ret * sample_standard_normal(rng);
+        let normals = crate::vth::NormalSampler::get();
+        let dis_on = disturb > 0.0;
+
+        // The sweep is the sense hot path: one draw per affected cell on a
+        // population that interleaves erased and programmed cells at
+        // random. A naive per-cell loop takes two unpredictable branches
+        // per cell; instead, classify each fixed-size chunk into compact
+        // stack-resident index lists (branch-free), then run the draw
+        // loops over just the affected cells. Disturb weights come from
+        // the pre-retention charge, so each cell's shift distribution is
+        // exactly the sequential formulation's — but the RNG draw *order*
+        // differs (retention draws batch before disturb draws per chunk,
+        // and zero-coefficient cells consume no draw), so seeded outputs
+        // are statistically equivalent, not bit-identical, to a per-cell
+        // loop.
+        const CHUNK: usize = 1024;
+        let mut ret_idx = [0u16; CHUNK];
+        let mut dis_idx = [0u16; CHUNK];
+        let mut dis_weight = [0f64; CHUNK];
+        for chunk in vth.chunks_mut(CHUNK) {
+            let mut nr = 0usize;
+            let mut nd = 0usize;
+            for (j, v) in chunk.iter().enumerate() {
+                let charge = *v - ERASED.mean_v;
+                // Retention loss applies to cells holding charge
+                // (programmed states); erased cells have nothing to leak.
+                ret_idx[nr] = j as u16;
+                nr += usize::from(retention_on && charge > 1.0);
+                // Disturb affects cells far below V_PASS the most; weight
+                // by how "erased" the cell is (from the pre-retention
+                // charge, as in the sequential formulation).
+                let weight = ((2.0 - charge) / 4.0).clamp(0.0, 1.0);
+                dis_idx[nd] = j as u16;
+                dis_weight[nd] = weight;
+                nd += usize::from(dis_on && weight > 0.0);
+            }
+            for &j in &ret_idx[..nr] {
+                let v = &mut chunk[j as usize];
+                let charge = *v - ERASED.mean_v;
+                let loss = loss_scale * charge + sigma_ret * normals.sample(rng);
                 *v -= loss.max(0.0);
             }
-            if disturb > 0.0 {
-                // Disturb affects cells far below V_PASS the most; weight by
-                // how "erased" the cell is.
-                let weight = ((2.0 - charge) / 4.0).clamp(0.0, 1.0);
-                *v += disturb * weight * (1.0 + 0.3 * sample_standard_normal(rng)).max(0.0);
+            for (&j, &weight) in dis_idx[..nd].iter().zip(&dis_weight) {
+                let bump = disturb * weight * (1.0 + 0.3 * normals.sample(rng)).max(0.0);
+                chunk[j as usize] += bump;
             }
         }
     }
@@ -151,7 +189,8 @@ impl StressModel {
     /// programmed) to a V_TH population in place.
     pub fn apply_interference<R: Rng + ?Sized>(&self, vth: &mut [f64], rng: &mut R) {
         for v in vth.iter_mut() {
-            let bump = self.interference_v + self.interference_spread_v * sample_standard_normal(rng);
+            let bump =
+                self.interference_v + self.interference_spread_v * sample_standard_normal(rng);
             *v += bump.max(0.0);
         }
     }
@@ -165,12 +204,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn rber_after_stress(
-        esp_ratio: Option<f64>,
-        stress: StressState,
-        n: usize,
-        seed: u64,
-    ) -> f64 {
+    fn rber_after_stress(esp_ratio: Option<f64>, stress: StressState, n: usize, seed: u64) -> f64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let targets: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
         let (mut vth, layout) = match esp_ratio {

@@ -82,10 +82,7 @@ impl VthLayout {
     /// drift up slowly via disturbance, so real read levels reserve most of
     /// the window for the programmed state's downward drift.
     pub fn slc() -> Self {
-        Self {
-            states: vec![ERASED, VthState::new(2.0, 0.25)],
-            vrefs: vec![SLC_VREF],
-        }
+        Self { states: vec![ERASED, VthState::new(2.0, 0.25)], vrefs: vec![SLC_VREF] }
     }
 
     /// ESP layout for a given latency budget ratio `tESP/tPROG ≥ 1`.
@@ -99,10 +96,7 @@ impl VthLayout {
         let r = ratio.clamp(1.0, 2.5) - 1.0;
         // Ratio 1.0 → plain SLC; ratio 2.0 → mean 3.3 V, sigma 0.10 V.
         let prog = VthState::new(2.0 + 1.3 * r, 0.25 - 0.15 * r);
-        // V_REF' rises with the programmed state (Fig. 10b) but keeps most
-        // of the added window as programmed-side margin against retention.
-        let vref = SLC_VREF + 0.15 * r;
-        Self { states: vec![ERASED, prog], vrefs: vec![vref] }
+        Self { states: vec![ERASED, prog], vrefs: vec![esp_vref(ratio)] }
     }
 
     /// Standard MLC layout: four states (Fig. 5b).
@@ -175,6 +169,15 @@ impl VthLayout {
     }
 }
 
+/// The ESP read reference voltage `V_REF'` for a latency budget ratio:
+/// rises with the programmed state (Fig. 10b) but keeps most of the added
+/// window as programmed-side margin against retention. Exposed separately
+/// from [`VthLayout::esp`] so hot paths can obtain the reference voltage
+/// without materializing a layout.
+pub fn esp_vref(ratio: f64) -> f64 {
+    SLC_VREF + 0.15 * (ratio.clamp(1.0, 2.5) - 1.0)
+}
+
 /// `V_REF` position that equalizes the two states' error tails, measured in
 /// units of their respective sigmas.
 fn balanced_vref(lo: VthState, hi: VthState) -> f64 {
@@ -185,17 +188,122 @@ fn pairwise_balanced_vrefs(states: &[VthState]) -> Vec<f64> {
     states.windows(2).map(|w| balanced_vref(w[0], w[1])).collect()
 }
 
-/// Samples a standard normal via Box–Muller. `rand` is the only random
-/// dependency sanctioned for this workspace, so we implement the transform
-/// here rather than pulling in `rand_distr`.
+/// Samples a standard normal. `rand` is the only random dependency
+/// sanctioned for this workspace, so we implement the sampler here rather
+/// than pulling in `rand_distr`.
+///
+/// Uses the Marsaglia–Tsang ziggurat (128 layers): ~98% of draws cost one
+/// 32-bit RNG word, a table compare and a multiply, which matters because
+/// the physics-mode stress transforms draw one normal per cell per sense.
+/// The tail and wedge fallbacks are exact, so the output distribution is a
+/// true standard normal (the V_TH error model depends on its deep tails).
 pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    loop {
-        let u1: f64 = rng.gen::<f64>();
-        if u1 > f64::MIN_POSITIVE {
-            let u2: f64 = rng.gen::<f64>();
-            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    NormalSampler::get().sample(rng)
+}
+
+/// Batch handle over the ziggurat with the table pointer hoisted out of
+/// the per-draw path — the stress transforms draw tens of thousands of
+/// normals per sense, so even the `OnceLock` acquire-load per draw shows
+/// up.
+pub struct NormalSampler {
+    z: &'static Ziggurat,
+}
+
+impl NormalSampler {
+    /// Obtains the shared sampler (builds the tables on first use).
+    pub fn get() -> Self {
+        Self { z: Ziggurat::tables() }
+    }
+
+    /// Draws one standard normal.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        loop {
+            let hz = rng.gen::<u32>() as i32;
+            let iz = (hz & 127) as usize;
+            if (hz.unsigned_abs()) < self.z.kn[iz] {
+                return hz as f64 * self.z.wn[iz];
+            }
+            if let Some(x) = self.z.fix(hz, iz, rng) {
+                return x;
+            }
         }
     }
+}
+
+/// Precomputed ziggurat layer tables (Marsaglia & Tsang 2000, 128 layers).
+struct Ziggurat {
+    /// Acceptance thresholds per layer, scaled to the `i32` lattice.
+    kn: [u32; 128],
+    /// Layer x-coordinates scaled by 2⁻³¹ (multiplier per lattice point).
+    wn: [f64; 128],
+    /// Density values `exp(-x²/2)` at the layer boundaries.
+    fd: [f64; 128],
+}
+
+/// Rightmost layer boundary of the 128-layer normal ziggurat.
+const ZIG_R: f64 = 3.442619855899;
+
+impl Ziggurat {
+    fn tables() -> &'static Ziggurat {
+        static TABLES: std::sync::OnceLock<Ziggurat> = std::sync::OnceLock::new();
+        TABLES.get_or_init(Ziggurat::build)
+    }
+
+    fn build() -> Ziggurat {
+        let m1 = 2147483648.0; // 2^31
+        let vn = 9.91256303526217e-3; // area of each layer
+        let mut dn = ZIG_R;
+        let mut tn = dn;
+        let mut kn = [0u32; 128];
+        let mut wn = [0f64; 128];
+        let mut fd = [0f64; 128];
+        let q = vn / (-0.5 * dn * dn).exp();
+        kn[0] = ((dn / q) * m1) as u32;
+        kn[1] = 0;
+        wn[0] = q / m1;
+        wn[127] = dn / m1;
+        fd[0] = 1.0;
+        fd[127] = (-0.5 * dn * dn).exp();
+        for i in (1..=126).rev() {
+            dn = (-2.0 * (vn / dn + (-0.5 * dn * dn).exp()).ln()).sqrt();
+            kn[i + 1] = ((dn / tn) * m1) as u32;
+            tn = dn;
+            fd[i] = (-0.5 * dn * dn).exp();
+            wn[i] = dn / m1;
+        }
+        Ziggurat { kn, wn, fd }
+    }
+
+    /// Slow path: the sample fell outside the layer's rectangular core.
+    /// Returns `None` when the retried lattice point needs the full
+    /// top-level test again.
+    fn fix<R: Rng + ?Sized>(&self, hz: i32, iz: usize, rng: &mut R) -> Option<f64> {
+        let x = hz as f64 * self.wn[iz];
+        if iz == 0 {
+            // Base layer: sample the exact tail beyond R.
+            loop {
+                let u1 = positive_uniform(rng);
+                let u2 = positive_uniform(rng);
+                let xt = -u1.ln() / ZIG_R;
+                let yt = -u2.ln();
+                if yt + yt >= xt * xt {
+                    return Some(if hz > 0 { ZIG_R + xt } else { -ZIG_R - xt });
+                }
+            }
+        }
+        // Wedge: accept with the exact density.
+        let u: f64 = rng.gen::<f64>();
+        if self.fd[iz] + u * (self.fd[iz - 1] - self.fd[iz]) < (-0.5 * x * x).exp() {
+            return Some(x);
+        }
+        None
+    }
+}
+
+/// Uniform draw in `(0, 1]` — safe to feed to `ln`.
+fn positive_uniform<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    1.0 - rng.gen::<f64>()
 }
 
 /// Standard normal CDF via the complementary error function
@@ -211,7 +319,8 @@ fn erfc_as(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     let erf = 1.0 - poly * (-x * x).exp();
     let erfc = 1.0 - erf;
     if sign_neg {

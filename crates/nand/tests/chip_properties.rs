@@ -91,9 +91,9 @@ proptest! {
             .unwrap();
         let and_of = |pages: &[BitVec], pbm: u64| {
             let mut acc = BitVec::ones(bits);
-            for wl in 0..8 {
+            for (wl, page) in pages.iter().enumerate() {
                 if pbm & (1 << wl) != 0 {
-                    acc.and_assign(&pages[wl]);
+                    acc.and_assign(page);
                 }
             }
             acc

@@ -22,7 +22,7 @@ use fc_nand::error::NandError;
 use fc_nand::geometry::WlAddr;
 
 use crate::config::SsdConfig;
-use crate::ecc::{EccConfig, PageCodec, PageDecode};
+use crate::ecc::{EccConfig, EccScratch, PageCodec, PageDecode};
 use crate::energy::EnergyMeter;
 use crate::ftl::{Ftl, FtlError, PageMeta, PlacementHint};
 use crate::topology::{DieId, Ppa};
@@ -98,10 +98,7 @@ impl WriteOptions {
 
     /// The Flash-Cosmos computation path: grouped, ESP, raw bits.
     pub fn flash_cosmos(group: u64, inverted: bool) -> Self {
-        Self {
-            placement: PlacementHint::Grouped { group },
-            meta: PageMeta::flash_cosmos(inverted),
-        }
+        Self { placement: PlacementHint::Grouped { group }, meta: PageMeta::flash_cosmos(inverted) }
     }
 }
 
@@ -112,6 +109,12 @@ pub struct SsdDevice {
     ftl: Ftl,
     codec: PageCodec,
     energy: EnergyMeter,
+    /// Reusable ECC buffers: one page encode/decode runs per I/O job, so
+    /// the codec scratch persists across jobs instead of reallocating.
+    ecc_scratch: EccScratch,
+    /// Reusable staging buffer for the stored-page prefix handed to the
+    /// decoder.
+    stored_buf: BitVec,
 }
 
 impl std::fmt::Debug for SsdDevice {
@@ -149,7 +152,15 @@ impl SsdDevice {
             })
             .collect();
         let ftl = Ftl::new(&config);
-        Self { config, chips, ftl, codec: PageCodec::new(EccConfig::small()), energy: EnergyMeter::new() }
+        Self {
+            config,
+            chips,
+            ftl,
+            codec: PageCodec::new(EccConfig::small()),
+            energy: EnergyMeter::new(),
+            ecc_scratch: EccScratch::new(),
+            stored_buf: BitVec::default(),
+        }
     }
 
     /// The SSD configuration.
@@ -196,8 +207,7 @@ impl SsdDevice {
     /// Aggregated NAND energy across chips plus device-level transfers,
     /// µJ.
     pub fn energy_uj(&self) -> f64 {
-        self.energy.total_uj()
-            + self.chips.iter().map(|c| c.stats().energy_uj).sum::<f64>()
+        self.energy.total_uj() + self.chips.iter().map(|c| c.stats().energy_uj).sum::<f64>()
     }
 
     /// Writes a logical page.
@@ -205,7 +215,12 @@ impl SsdDevice {
     /// # Errors
     ///
     /// Fails on payload-size mismatch, FTL exhaustion, or chip errors.
-    pub fn write(&mut self, lpn: u64, payload: &BitVec, opts: WriteOptions) -> Result<Ppa, DeviceError> {
+    pub fn write(
+        &mut self,
+        lpn: u64,
+        payload: &BitVec,
+        opts: WriteOptions,
+    ) -> Result<Ppa, DeviceError> {
         let expected = self.logical_page_bits(opts.meta.ecc);
         if payload.len() != expected {
             return Err(DeviceError::PayloadSize { got: payload.len(), expected });
@@ -248,8 +263,9 @@ impl SsdDevice {
         let decoded = if meta.ecc {
             let n = self.codec.code().n();
             let words = payload_bits / self.codec.code().k();
-            let stored = descrambled.slice(0, words * n);
-            match self.codec.decode_page(&stored, payload_bits) {
+            descrambled.slice_into(0, words * n, &mut self.stored_buf);
+            match self.codec.decode_page_with(&self.stored_buf, payload_bits, &mut self.ecc_scratch)
+            {
                 PageDecode::Corrected { data, .. } => data,
                 PageDecode::Uncorrectable => return Err(DeviceError::Uncorrectable { lpn }),
             }
@@ -266,12 +282,14 @@ impl SsdDevice {
 
     /// Assembles the raw stored page for a logical payload: optional
     /// inversion (§6.1), optional ECC, padding to the physical page size.
-    fn build_stored(&self, payload: &BitVec, meta: PageMeta) -> BitVec {
+    /// (The returned page is owned by the chip afterwards; only the
+    /// intermediate codec buffers are reused.)
+    fn build_stored(&mut self, payload: &BitVec, meta: PageMeta) -> BitVec {
         let logical = if meta.inverted { payload.not() } else { payload.clone() };
         if meta.ecc {
-            let encoded = self.codec.encode_page(&logical);
+            self.codec.encode_page_into(&logical, &mut self.stored_buf, &mut self.ecc_scratch);
             let mut page = BitVec::zeros(self.config.page_bits());
-            page.copy_from(0, &encoded);
+            page.copy_from(0, &self.stored_buf);
             page
         } else {
             logical

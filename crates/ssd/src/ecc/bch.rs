@@ -81,10 +81,25 @@ impl BchCode {
     ///
     /// Panics if `payload.len() != k`.
     pub fn encode(&self, payload: &BitVec) -> BitVec {
+        let mut cw = BitVec::zeros(self.n);
+        let mut reg = Vec::new();
+        self.encode_into(payload, &mut cw, &mut reg);
+        cw
+    }
+
+    /// Like [`BchCode::encode`] but writes the codeword into `cw` and uses
+    /// `reg` as the LFSR register, reusing both allocations — the
+    /// page-codec encode loop calls this once per codeword.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload.len() != k`.
+    pub fn encode_into(&self, payload: &BitVec, cw: &mut BitVec, reg: &mut Vec<bool>) {
         assert_eq!(payload.len(), self.k, "payload must be exactly k bits");
         let parity = self.parity_bits();
         // LFSR division: shift payload through, XOR generator on feedback.
-        let mut reg = vec![false; parity];
+        reg.clear();
+        reg.resize(parity, false);
         for i in (0..self.k).rev() {
             let feedback = payload.get(i) ^ reg[parity - 1];
             for j in (1..parity).rev() {
@@ -92,14 +107,11 @@ impl BchCode {
             }
             reg[0] = feedback && self.generator.get(0);
         }
-        let mut cw = BitVec::zeros(self.n);
+        cw.reset(self.n, false);
         for (j, &r) in reg.iter().enumerate() {
             cw.set(j, r);
         }
-        for i in 0..self.k {
-            cw.set(parity + i, payload.get(i));
-        }
-        cw
+        cw.copy_from(parity, payload);
     }
 
     /// Decodes an `n`-bit received word.
@@ -152,7 +164,7 @@ impl BchCode {
 
     /// Berlekamp–Massey over GF(2^m): returns the error-locator polynomial
     /// σ(x) as coefficients, degree ascending, σ(0) = 1.
-    fn berlekamp_massey(&self, s: &Vec<u32>) -> Vec<u32> {
+    fn berlekamp_massey(&self, s: &[u32]) -> Vec<u32> {
         let gf = &self.gf;
         let mut sigma = vec![1u32];
         let mut b = vec![1u32];

@@ -5,17 +5,17 @@ use serde::{Deserialize, Serialize};
 /// Primitive polynomials (feedback masks, excluding the x^m term) for
 /// GF(2^m), m = 3..=14. Standard choices from coding-theory tables.
 const PRIMITIVE_POLYS: [(u32, u32); 12] = [
-    (3, 0b011),            // x^3 + x + 1
-    (4, 0b0011),           // x^4 + x + 1
-    (5, 0b0_0101),         // x^5 + x^2 + 1
-    (6, 0b00_0011),        // x^6 + x + 1
-    (7, 0b000_1001),       // x^7 + x^3 + 1
-    (8, 0b0001_1101),      // x^8 + x^4 + x^3 + x^2 + 1
-    (9, 0b0_0001_0001),    // x^9 + x^4 + 1
-    (10, 0b00_0000_1001),  // x^10 + x^3 + 1
-    (11, 0b000_0000_0101), // x^11 + x^2 + 1
-    (12, 0b1000_0101_0011_u32), // x^12 + x^6 + x^4 + x + 1
-    (13, 0b1_1011u32),     // x^13 + x^4 + x^3 + x + 1
+    (3, 0b011),                         // x^3 + x + 1
+    (4, 0b0011),                        // x^4 + x + 1
+    (5, 0b0_0101),                      // x^5 + x^2 + 1
+    (6, 0b00_0011),                     // x^6 + x + 1
+    (7, 0b000_1001),                    // x^7 + x^3 + 1
+    (8, 0b0001_1101),                   // x^8 + x^4 + x^3 + x^2 + 1
+    (9, 0b0_0001_0001),                 // x^9 + x^4 + 1
+    (10, 0b00_0000_1001),               // x^10 + x^3 + 1
+    (11, 0b000_0000_0101),              // x^11 + x^2 + 1
+    (12, 0b1000_0101_0011_u32),         // x^12 + x^6 + x^4 + x + 1
+    (13, 0b1_1011u32),                  // x^13 + x^4 + x^3 + x + 1
     (14, 0b10_1000_0100_0011_u32 >> 1), // x^14 + x^10 + x^6 + x + 1
 ];
 

@@ -68,6 +68,27 @@ pub enum PageDecode {
     Uncorrectable,
 }
 
+/// Reusable buffers for page-level encode/decode.
+///
+/// The SSD device performs one page encode per write job and one page
+/// decode per read job; carrying this scratch across jobs removes the
+/// per-codeword allocations (payload slices, codeword buffers, the LFSR
+/// register) from that steady state. Contents are unspecified between
+/// calls.
+#[derive(Debug, Default)]
+pub struct EccScratch {
+    payload: BitVec,
+    codeword: BitVec,
+    reg: Vec<bool>,
+}
+
+impl EccScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl PageCodec {
     /// Builds a codec.
     ///
@@ -92,28 +113,45 @@ impl PageCodec {
     /// Encodes a page into its stored representation (codewords
     /// concatenated; the last codeword is zero-padded).
     pub fn encode_page(&self, page: &BitVec) -> BitVec {
+        let mut out = BitVec::default();
+        self.encode_page_into(page, &mut out, &mut EccScratch::new());
+        out
+    }
+
+    /// Like [`PageCodec::encode_page`] but writes into `out` and reuses
+    /// `scratch` across calls, so repeated page encodes allocate nothing.
+    pub fn encode_page_into(&self, page: &BitVec, out: &mut BitVec, scratch: &mut EccScratch) {
         let k = self.code.k();
         let n = self.code.n();
         let words = page.len().div_ceil(k);
-        let mut out = BitVec::zeros(words * n);
+        out.reset(words * n, false);
         for w in 0..words {
             let start = w * k;
             let len = k.min(page.len() - start);
-            let mut payload = page.slice(start, len);
+            page.slice_into(start, len, &mut scratch.payload);
             if len < k {
-                let mut padded = BitVec::zeros(k);
-                padded.copy_from(0, &payload);
-                payload = padded;
+                scratch.payload.resize(k, false); // zero-pad the tail codeword
             }
-            let cw = self.code.encode(&payload);
-            out.copy_from(w * n, &cw);
+            self.code.encode_into(&scratch.payload, &mut scratch.codeword, &mut scratch.reg);
+            out.copy_from(w * n, &scratch.codeword);
         }
-        out
     }
 
     /// Decodes a stored page back to `page_bits` payload bits, correcting
     /// up to `t` errors per codeword.
     pub fn decode_page(&self, stored: &BitVec, page_bits: usize) -> PageDecode {
+        self.decode_page_with(stored, page_bits, &mut EccScratch::new())
+    }
+
+    /// Like [`PageCodec::decode_page`] but reuses `scratch` for the
+    /// per-codeword buffers. The recovered page itself is freshly
+    /// allocated (it is returned to the caller).
+    pub fn decode_page_with(
+        &self,
+        stored: &BitVec,
+        page_bits: usize,
+        scratch: &mut EccScratch,
+    ) -> PageDecode {
         let k = self.code.k();
         let n = self.code.n();
         let words = page_bits.div_ceil(k);
@@ -121,13 +159,14 @@ impl PageCodec {
         let mut data = BitVec::zeros(page_bits);
         let mut corrected = 0;
         for w in 0..words {
-            let cw = stored.slice(w * n, n);
-            match self.code.decode(&cw) {
+            stored.slice_into(w * n, n, &mut scratch.codeword);
+            match self.code.decode(&scratch.codeword) {
                 DecodeOutcome::Corrected { data: payload, errors } => {
                     corrected += errors;
                     let start = w * k;
                     let len = k.min(page_bits - start);
-                    data.copy_from(start, &payload.slice(0, len));
+                    payload.slice_into(0, len, &mut scratch.payload);
+                    data.copy_from(start, &scratch.payload);
                 }
                 DecodeOutcome::Uncorrectable => return PageDecode::Uncorrectable,
             }

@@ -48,12 +48,7 @@ impl PageMeta {
     /// Metadata for the Flash-Cosmos computation path: ESP, raw bits
     /// (no randomization, no ECC).
     pub fn flash_cosmos(inverted: bool) -> Self {
-        Self {
-            scheme: ProgramScheme::esp_default(),
-            randomized: false,
-            inverted,
-            ecc: false,
-        }
+        Self { scheme: ProgramScheme::esp_default(), randomized: false, inverted, ecc: false }
     }
 }
 
@@ -250,10 +245,7 @@ impl Ftl {
             }
         };
         if cursor.next_wl >= self.wls_per_block {
-            return Err(FtlError::GroupFull {
-                group,
-                capacity: self.wls_per_block as usize,
-            });
+            return Err(FtlError::GroupFull { group, capacity: self.wls_per_block as usize });
         }
         let ppa = Ppa {
             plane: PlaneId::from_flat(cursor.plane, &self.config),
@@ -294,8 +286,12 @@ mod tests {
         let mut f = ftl();
         let ppas: Vec<Ppa> = (0..8)
             .map(|i| {
-                f.allocate(100 + i, PlacementHint::Grouped { group: 42 }, PageMeta::flash_cosmos(false))
-                    .unwrap()
+                f.allocate(
+                    100 + i,
+                    PlacementHint::Grouped { group: 42 },
+                    PageMeta::flash_cosmos(false),
+                )
+                .unwrap()
             })
             .collect();
         let first = ppas[0];
@@ -371,8 +367,12 @@ mod tests {
         let mut lpn = 0;
         for g in 0..16u64 {
             for _ in 0..8 {
-                f.allocate(lpn, PlacementHint::Grouped { group: g * 8 }, PageMeta::flash_cosmos(false))
-                    .unwrap();
+                f.allocate(
+                    lpn,
+                    PlacementHint::Grouped { group: g * 8 },
+                    PageMeta::flash_cosmos(false),
+                )
+                .unwrap();
                 lpn += 1;
             }
         }

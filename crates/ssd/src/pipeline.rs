@@ -161,6 +161,27 @@ impl ExecutionReport {
     }
 }
 
+/// Reusable buffers for repeated pipeline runs.
+///
+/// A run's request staging lists and channel-resource array are sized by
+/// the job count and channel count; the evaluation harnesses execute the
+/// same model thousands of times (figure sweeps, ablations), so carrying
+/// this scratch across runs removes those per-run allocations. Contents
+/// are unspecified between runs.
+#[derive(Debug, Default)]
+pub struct PipelineScratch {
+    dma_requests: Vec<(SimTime, usize, usize, SenseJob)>,
+    ext_requests: Vec<(SimTime, usize, usize, u64)>,
+    channels: Vec<Resource>,
+}
+
+impl PipelineScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The platform-agnostic pipeline model.
 #[derive(Debug, Clone)]
 pub struct PipelineModel {
@@ -181,16 +202,34 @@ impl PipelineModel {
     /// Runs the pipeline for `die_jobs` (indexed by flat die id; shorter
     /// vectors leave the remaining dies idle) and `host` work.
     pub fn run(&self, die_jobs: &[Vec<SenseJob>], host: HostWork) -> ExecutionReport {
-        self.run_inner(die_jobs, host, false)
+        self.run_inner(die_jobs, host, false, &mut PipelineScratch::new())
+    }
+
+    /// Like [`Self::run`] but reuses `scratch` across runs, so sweeps that
+    /// evaluate the model repeatedly stage their requests without per-run
+    /// allocation.
+    pub fn run_with_scratch(
+        &self,
+        die_jobs: &[Vec<SenseJob>],
+        host: HostWork,
+        scratch: &mut PipelineScratch,
+    ) -> ExecutionReport {
+        self.run_inner(die_jobs, host, false, scratch)
     }
 
     /// Like [`Self::run`] but also records per-die traces (for timeline
     /// rendering; costs memory proportional to the job count).
     pub fn run_traced(&self, die_jobs: &[Vec<SenseJob>], host: HostWork) -> ExecutionReport {
-        self.run_inner(die_jobs, host, true)
+        self.run_inner(die_jobs, host, true, &mut PipelineScratch::new())
     }
 
-    fn run_inner(&self, die_jobs: &[Vec<SenseJob>], host: HostWork, traced: bool) -> ExecutionReport {
+    fn run_inner(
+        &self,
+        die_jobs: &[Vec<SenseJob>],
+        host: HostWork,
+        traced: bool,
+        scratch: &mut PipelineScratch,
+    ) -> ExecutionReport {
         let cfg = &self.config;
         assert!(
             die_jobs.len() <= cfg.total_dies(),
@@ -203,7 +242,8 @@ impl PipelineModel {
 
         // Stage 1: senses run back-to-back per die.
         // (sense_end, die, job index, job) for every job, in die order.
-        let mut dma_requests: Vec<(SimTime, usize, usize, SenseJob)> = Vec::new();
+        let dma_requests = &mut scratch.dma_requests;
+        dma_requests.clear();
         let mut sense_end_max: SimTime = 0;
         let mut sense_busy_max: SimTime = 0;
         for (die, jobs) in die_jobs.iter().enumerate() {
@@ -238,11 +278,14 @@ impl PipelineModel {
         }
 
         // Stage 2: channel FIFO arbitration in data-ready order.
-        let mut channels = vec![Resource::new(); cfg.channels];
-        let mut ext_requests: Vec<(SimTime, usize, usize, u64)> = Vec::new();
+        let channels = &mut scratch.channels;
+        channels.clear();
+        channels.resize(cfg.channels, Resource::new());
+        let ext_requests = &mut scratch.ext_requests;
+        ext_requests.clear();
         let mut dma_end_max: SimTime = 0;
         dma_requests.sort_by_key(|&(ready, die, j, _)| (ready, die, j));
-        for (ready, die, j, job) in dma_requests {
+        for &mut (ready, die, j, job) in dma_requests {
             let mut data_at_controller = ready;
             if job.dma_bytes > 0 {
                 let ch = die / cfg.dies_per_channel;
@@ -271,7 +314,7 @@ impl PipelineModel {
         let mut ext_end_max: SimTime = 0;
         let mut first_ext_end: Option<SimTime> = None;
         ext_requests.sort_by_key(|&(ready, die, j, _)| (ready, die, j));
-        for (ready, die, j, bytes) in ext_requests {
+        for &mut (ready, die, j, bytes) in ext_requests {
             let dur = sim::transfer_ns(bytes, cfg.external_gbps);
             let (start, end) = ext.reserve(ready, dur);
             energy.add_external_bytes(bytes);
@@ -455,11 +498,21 @@ mod tests {
         let jobs = vec![vec![SenseJob::read_to_host(&cfg)]; 4];
         let fast_host = PipelineModel::new(cfg.clone()).run(
             &jobs,
-            HostWork { cpu_bytes: 1 << 20, cpu_gbps: 100.0, cpu_pj_per_byte: 1.0, ..Default::default() },
+            HostWork {
+                cpu_bytes: 1 << 20,
+                cpu_gbps: 100.0,
+                cpu_pj_per_byte: 1.0,
+                ..Default::default()
+            },
         );
         let slow_host = PipelineModel::new(cfg).run(
             &jobs,
-            HostWork { cpu_bytes: 1 << 20, cpu_gbps: 0.05, cpu_pj_per_byte: 1.0, ..Default::default() },
+            HostWork {
+                cpu_bytes: 1 << 20,
+                cpu_gbps: 0.05,
+                cpu_pj_per_byte: 1.0,
+                ..Default::default()
+            },
         );
         assert!(slow_host.makespan_us > fast_host.makespan_us * 5.0);
         assert!(slow_host.host_end_us > slow_host.ext_end_us);

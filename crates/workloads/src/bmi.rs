@@ -38,12 +38,10 @@ pub fn mini(days: u32, users: usize, seed: u64) -> FunctionalInstance {
     let mut rng = StdRng::seed_from_u64(seed);
     // Every user logs in with their own daily probability; a slice of
     // power users is active (almost) every day.
-    let user_prob: Vec<f64> = (0..users)
-        .map(|u| if u % 7 == 0 { 0.995 } else { rng.gen_range(0.3..0.9) })
-        .collect();
-    let day_vectors: Vec<BitVec> = (0..days)
-        .map(|_| BitVec::from_fn(users, |u| rng.gen_bool(user_prob[u])))
-        .collect();
+    let user_prob: Vec<f64> =
+        (0..users).map(|u| if u % 7 == 0 { 0.995 } else { rng.gen_range(0.3..0.9) }).collect();
+    let day_vectors: Vec<BitVec> =
+        (0..days).map(|_| BitVec::from_fn(users, |u| rng.gen_bool(user_prob[u]))).collect();
 
     let operands: Vec<StoredOperand> = day_vectors
         .iter()
@@ -56,10 +54,7 @@ pub fn mini(days: u32, users: usize, seed: u64) -> FunctionalInstance {
         })
         .collect();
 
-    let expected = day_vectors
-        .iter()
-        .skip(1)
-        .fold(day_vectors[0].clone(), |acc, v| acc.and(v));
+    let expected = day_vectors.iter().skip(1).fold(day_vectors[0].clone(), |acc, v| acc.and(v));
     let queries = vec![Query {
         label: format!("active every day for {days} days"),
         expr: Expr::and_vars(0..days as usize),
@@ -106,9 +101,8 @@ mod tests {
         assert_eq!(inst.queries.len(), 1);
         let q = &inst.queries[0];
         // Ground truth really is the AND of all days.
-        let manual = inst.operands.iter().skip(1).fold(inst.operands[0].data.clone(), |a, o| {
-            a.and(&o.data)
-        });
+        let manual =
+            inst.operands.iter().skip(1).fold(inst.operands[0].data.clone(), |a, o| a.and(&o.data));
         assert_eq!(q.expected, manual);
         // Power users guarantee a non-empty, non-full result.
         assert!(q.expected.count_ones() > 0);

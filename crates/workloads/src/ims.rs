@@ -38,8 +38,9 @@ pub fn mini(images: usize, width: usize, height: usize, seed: u64) -> Functional
     let colors = PAPER_COLORS as usize;
     let bits = images * width * height * colors;
     // Color prototypes in YUV space.
-    let prototypes: Vec<[f64; 3]> =
-        (0..colors).map(|c| [0.2 + 0.2 * c as f64, 0.25 * c as f64, 1.0 - 0.25 * c as f64]).collect();
+    let prototypes: Vec<[f64; 3]> = (0..colors)
+        .map(|c| [0.2 + 0.2 * c as f64, 0.25 * c as f64, 1.0 - 0.25 * c as f64])
+        .collect();
     let mut masks = [BitVec::zeros(bits), BitVec::zeros(bits), BitVec::zeros(bits)];
     for img in 0..images {
         for p in 0..width * height {
@@ -59,21 +60,9 @@ pub fn mini(images: usize, width: usize, height: usize, seed: u64) -> Functional
     let [y, u, v] = masks;
     let expected = y.and(&u).and(&v);
     let operands = vec![
-        StoredOperand {
-            name: "Y".to_string(),
-            data: y,
-            hints: StoreHints::and_group("ims-yuv"),
-        },
-        StoredOperand {
-            name: "U".to_string(),
-            data: u,
-            hints: StoreHints::and_group("ims-yuv"),
-        },
-        StoredOperand {
-            name: "V".to_string(),
-            data: v,
-            hints: StoreHints::and_group("ims-yuv"),
-        },
+        StoredOperand { name: "Y".to_string(), data: y, hints: StoreHints::and_group("ims-yuv") },
+        StoredOperand { name: "U".to_string(), data: u, hints: StoreHints::and_group("ims-yuv") },
+        StoredOperand { name: "V".to_string(), data: v, hints: StoreHints::and_group("ims-yuv") },
     ];
     let queries = vec![Query {
         label: format!("segment {images} images ({width}x{height}, 4 colors)"),

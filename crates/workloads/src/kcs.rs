@@ -44,8 +44,7 @@ pub fn mini(vertices: usize, k: usize, cliques: usize, seed: u64) -> FunctionalI
     assert!(k * cliques <= vertices, "planted cliques must fit the vertex set");
     let mut rng = StdRng::seed_from_u64(seed);
     // Random background graph.
-    let mut adjacency: Vec<BitVec> =
-        (0..vertices).map(|_| BitVec::zeros(vertices)).collect();
+    let mut adjacency: Vec<BitVec> = (0..vertices).map(|_| BitVec::zeros(vertices)).collect();
     for a in 0..vertices {
         for b in (a + 1)..vertices {
             if rng.gen_bool(0.35) {
@@ -97,10 +96,7 @@ pub fn mini(vertices: usize, k: usize, cliques: usize, seed: u64) -> FunctionalI
         let expected = common.or(&clique_vec);
         queries.push(Query {
             label: format!("star of clique {c} (k={k})"),
-            expr: Expr::or(vec![
-                Expr::and_vars(base..base + k),
-                Expr::var(base + k),
-            ]),
+            expr: Expr::or(vec![Expr::and_vars(base..base + k), Expr::var(base + k)]),
             expected,
         });
     }

@@ -34,7 +34,10 @@ fn main() {
     // --- paper-scale projection (Fig. 17a / 18a) -----------------------
     let engines = Engines::paper();
     println!("\npaper-scale BMI sweep (800M users), speedup & energy gain over OSP:");
-    println!("{:>6} {:>10} {:>10} {:>10} {:>12} {:>12}", "m", "operands", "PB perf", "FC perf", "PB energy", "FC energy");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "m", "operands", "PB perf", "FC perf", "PB energy", "FC energy"
+    );
     for months in [1u32, 3, 6, 12, 24, 36] {
         let shape = bmi::paper_shape(months);
         let perf = engines.speedups_over_osp(&shape);

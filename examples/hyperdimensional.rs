@@ -54,9 +54,8 @@ fn main() {
         for c in 0..classes {
             let pid = dev.operand(&format!("proto{c}")).unwrap().id;
             // In-flash XNOR: 1 where query and prototype agree.
-            let (agreement, _) = dev
-                .fc_read(&ops::equality(qid, pid))
-                .expect("in-flash XNOR similarity");
+            let (agreement, _) =
+                dev.fc_read(&ops::equality(qid, pid)).expect("in-flash XNOR similarity");
             let score = agreement.count_ones(); // host-side popcount
             if score > best.1 {
                 best = (c, score);

@@ -35,7 +35,8 @@ fn main() {
         let shape = ims::paper_shape(i);
         let perf = engines.speedups_over_osp(&shape);
         let get = |p: Platform| perf.iter().find(|(q2, _)| *q2 == p).map(|(_, x)| *x).unwrap();
-        let (isp, pb, fc) = (get(Platform::Isp), get(Platform::ParaBit), get(Platform::FlashCosmos));
+        let (isp, pb, fc) =
+            (get(Platform::Isp), get(Platform::ParaBit), get(Platform::FlashCosmos));
         println!("{:>9}k {:>9.2}x {:>9.2}x {:>9.2}x {:>8.2}", i / 1000, isp, pb, fc, fc / pb);
     }
     println!("(paper: FC ≈ PB here — the up-to-44-GiB result transfer dominates both)");

@@ -48,5 +48,7 @@ fn main() {
             get(Platform::FlashCosmos),
         );
     }
-    println!("(paper: PB's benefit flattens beyond k=16 — serial sensing — while FC keeps scaling)");
+    println!(
+        "(paper: PB's benefit flattens beyond k=16 — serial sensing — while FC keeps scaling)"
+    );
 }

@@ -19,9 +19,8 @@ fn main() {
     // placement group so each plane keeps them in one block, stacked on
     // consecutive wordlines of the same NAND strings.
     let bits = 4096;
-    let operands: Vec<BitVec> = (0..10).map(|_| {
-        BitVec::random_with_density(bits, 0.9, &mut rng)
-    }).collect();
+    let operands: Vec<BitVec> =
+        (0..10).map(|_| BitVec::random_with_density(bits, 0.9, &mut rng)).collect();
     let mut ids = Vec::new();
     for (i, v) in operands.iter().enumerate() {
         let handle = dev

@@ -27,10 +27,9 @@ fn main() {
     let combined = codec.encode_page(&a).and(&codec.encode_page(&b));
     let ecc_outcome = match codec.decode_page(&combined, 256) {
         PageDecode::Uncorrectable => "uncorrectable ECC failure".to_string(),
-        PageDecode::Corrected { data, .. } => format!(
-            "mis-decode: {} of 256 result bits wrong",
-            data.hamming_distance(&a.and(&b))
-        ),
+        PageDecode::Corrected { data, .. } => {
+            format!("mis-decode: {} of 256 result bits wrong", data.hamming_distance(&a.and(&b)))
+        }
     };
     println!("1. AND over ECC-encoded pages   → {ecc_outcome}");
 

@@ -93,11 +93,7 @@ fn physics_mode_crosschecks_closed_form() {
         total += bits;
     }
     let physics_rber = errors as f64 / total as f64;
-    let model_rber = RberModel::paper().rber(
-        ProgramScheme::Slc,
-        false,
-        StressState::worst_case(),
-    );
+    let model_rber = RberModel::paper().rber(ProgramScheme::Slc, false, StressState::worst_case());
     assert!(physics_rber > 0.0, "physics mode must show errors at worst case");
     let ratio = physics_rber / model_rber;
     assert!(
@@ -151,12 +147,7 @@ fn max_string_resistance_pattern_senses_correctly() {
     let bits = chip.config().geometry.page_bits();
     let mut rng = StdRng::seed_from_u64(0x3514);
     let targets = [1u32, 4, 6];
-    let pages = fc_bits::max_string_resistance(
-        8,
-        bits,
-        &[1, 4, 6],
-        &mut rng,
-    );
+    let pages = fc_bits::max_string_resistance(8, bits, &[1, 4, 6], &mut rng);
     for (wl, page) in pages.iter().enumerate() {
         chip.execute(Command::esp_program(blk.wordline(wl as u32), page.clone())).unwrap();
     }

@@ -8,7 +8,7 @@ use flash_cosmos::FlashCosmosDevice;
 
 #[test]
 fn bmi_instance_end_to_end() {
-    let instance = bmi::mini(12, 1024, 0xE2E_1);
+    let instance = bmi::mini(12, 1024, 0xE2E1);
     let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
     instance.load(&mut dev).unwrap();
     let fc = instance.run_flash_cosmos(&mut dev).unwrap();
@@ -20,7 +20,7 @@ fn bmi_instance_end_to_end() {
 
 #[test]
 fn ims_instance_end_to_end() {
-    let instance = ims::mini(2, 24, 16, 0xE2E_2);
+    let instance = ims::mini(2, 24, 16, 0xE2E2);
     let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
     instance.load(&mut dev).unwrap();
     let fc = instance.run_flash_cosmos(&mut dev).unwrap();
@@ -30,7 +30,7 @@ fn ims_instance_end_to_end() {
 
 #[test]
 fn kcs_instance_end_to_end() {
-    let instance = kcs::mini(64, 4, 3, 0xE2E_3);
+    let instance = kcs::mini(64, 4, 3, 0xE2E3);
     let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
     instance.load(&mut dev).unwrap();
     let fc = instance.run_flash_cosmos(&mut dev).unwrap();
@@ -44,7 +44,7 @@ fn kcs_instance_end_to_end() {
 fn results_survive_worst_case_aging_with_error_injection() {
     // The paper's end-to-end reliability claim on the full stack: noisy
     // chips at worst-case stress, ESP-stored operands → exact results.
-    let instance = bmi::mini(8, 512, 0xE2E_4);
+    let instance = bmi::mini(8, 512, 0xE2E4);
     let mut dev = FlashCosmosDevice::new_noisy(SsdConfig::tiny_test());
     instance.load(&mut dev).unwrap();
     dev.ssd_mut().set_retention_months(12.0);

@@ -29,11 +29,7 @@ fn arb_expr(n: usize) -> impl Strategy<Value = Expr> {
 
 /// Executes a compiled program on a chip pre-loaded with `vectors`
 /// according to `layout` (operand i → block/wl/inverted).
-fn run_program(
-    vectors: &[BitVec],
-    layout: &[(u32, u32, bool)],
-    expr: &Expr,
-) -> Option<BitVec> {
+fn run_program(vectors: &[BitVec], layout: &[(u32, u32, bool)], expr: &Expr) -> Option<BitVec> {
     let mut cfg = ChipConfig::tiny_test();
     cfg.geometry.page_bytes = (PAGE_BITS / 8) as u32;
     let mut chip = NandChip::new(cfg);

@@ -6,8 +6,8 @@ use fc_nand::command::{Command, IscmFlags, MwsTarget};
 use fc_nand::geometry::BlockAddr;
 use fc_nand::ispp::ProgramScheme;
 use fc_ssd::device::{SsdDevice, WriteOptions};
-use fc_ssd::SsdConfig;
 use fc_ssd::topology::DieId;
+use fc_ssd::SsdConfig;
 use flash_cosmos::reliability;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -1,0 +1,301 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion 0.5 API the workspace benches
+//! use (`Criterion::benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, the `criterion_group!`/`criterion_main!`
+//! macros) on top of a plain wall-clock harness: per benchmark it warms
+//! up, auto-calibrates an iteration batch, then reports the median of
+//! `sample_size` batch means. No statistics machinery, no HTML reports —
+//! just stable, comparable numbers printed to stdout.
+//!
+//! Output format (one line per benchmark):
+//!
+//! ```text
+//! group/name                     time:   12.345 µs/iter   (thrpt: 1.30 GiB/s)
+//! ```
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export mirroring `criterion::black_box` (deprecated upstream in
+/// favour of `std::hint::black_box`, which this simply forwards to).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Measurement configuration and bench registry.
+pub struct Criterion {
+    filter: Option<String>,
+    /// Measurement time budget per benchmark.
+    measurement: Duration,
+    warm_up: Duration,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes `--bench` (and any user filter words) to
+        // harness=false binaries; accept the flags we understand, treat the
+        // first free-standing word as a substring filter, ignore the rest.
+        let mut filter = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--test" | "--nocapture" => {}
+                "--save-baseline" | "--baseline" | "--load-baseline" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with("--") => {}
+                s if filter.is_none() => filter = Some(s.to_string()),
+                _ => {}
+            }
+        }
+        Self {
+            filter,
+            measurement: Duration::from_millis(400),
+            warm_up: Duration::from_millis(80),
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None, sample_size: None }
+    }
+
+    /// Group-less convenience used by some criterion setups.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group("");
+        group.bench_function(name.to_string(), f);
+        group.finish();
+        self
+    }
+}
+
+/// Throughput annotation: turns per-iteration time into a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for a parameterized benchmark (`name/param`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Shortens the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full =
+            if self.name.is_empty() { id.id.clone() } else { format!("{}/{}", self.name, id.id) };
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            warm_up: self.criterion.warm_up,
+            measurement: self.criterion.measurement,
+            samples: self.sample_size.unwrap_or(self.criterion.default_sample_size),
+            ns_per_iter: None,
+        };
+        f(&mut bencher);
+        report(&full, bencher.ns_per_iter, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (printing happens per benchmark; this is a no-op
+    /// kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`, storing the median per-iteration time.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget elapses, counting iters to
+        // calibrate the batch size.
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < self.warm_up {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let warm_elapsed = start.elapsed().as_nanos().max(1) as f64;
+        let ns_per_iter_est = warm_elapsed / warm_iters as f64;
+        // Batch size: aim for each sample to take measurement/samples.
+        let target_ns = self.measurement.as_nanos() as f64 / self.samples as f64;
+        let batch = ((target_ns / ns_per_iter_est).ceil() as u64).max(1);
+        let mut means: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            means.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        means.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = Some(means[means.len() / 2]);
+    }
+
+    /// `iter_batched` compatibility: setup runs outside the timed section.
+    pub fn iter_batched<S, T, Sf: FnMut() -> S, F: FnMut(S) -> T>(
+        &mut self,
+        mut setup: Sf,
+        mut f: F,
+        _size: BatchSize,
+    ) {
+        // Simplified: time routine including a fresh setup value per call,
+        // subtracting nothing. Adequate for comparative numbers.
+        self.iter(|| f(setup()));
+    }
+}
+
+/// Batch sizing hint (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+fn report(name: &str, ns: Option<f64>, throughput: Option<Throughput>) {
+    let Some(ns) = ns else {
+        println!("{name:<44} (no measurement)");
+        return;
+    };
+    let time = human_time(ns);
+    match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let rate = bytes as f64 / (ns * 1e-9);
+            println!("{name:<44} time: {time:>12}/iter   thrpt: {}", human_rate(rate, "B/s"));
+        }
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (ns * 1e-9);
+            println!("{name:<44} time: {time:>12}/iter   thrpt: {}", human_rate(rate, "elem/s"));
+        }
+        None => println!("{name:<44} time: {time:>12}/iter"),
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn human_rate(per_s: f64, unit: &str) -> String {
+    if per_s >= 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.2} Gi{unit}", per_s / (1024.0 * 1024.0 * 1024.0))
+    } else if per_s >= 1024.0 * 1024.0 {
+        format!("{:.2} Mi{unit}", per_s / (1024.0 * 1024.0))
+    } else if per_s >= 1024.0 {
+        format!("{:.2} Ki{unit}", per_s / 1024.0)
+    } else {
+        format!("{per_s:.2} {unit}")
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,75 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its model types for
+//! API compatibility, but never actually serializes anything (there is no
+//! `serde_json` or other format crate in the tree). This stub provides the
+//! two traits as markers and re-exports no-op derive macros, so the derive
+//! annotations compile unchanged in the offline build container. If a real
+//! serialization need appears, swap this out for the real crate by editing
+//! `[workspace.dependencies]`.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Blanket impls for the std types the model types compose, so derived
+/// impls never need field-level bounds.
+mod impls {
+    use super::{Deserialize, Serialize};
+
+    macro_rules! mark {
+        ($($t:ty),*) => {$(
+            impl Serialize for $t {}
+            impl<'de> Deserialize<'de> for $t {}
+        )*};
+    }
+
+    mark!(
+        (),
+        bool,
+        char,
+        u8,
+        u16,
+        u32,
+        u64,
+        u128,
+        usize,
+        i8,
+        i16,
+        i32,
+        i64,
+        i128,
+        isize,
+        f32,
+        f64,
+        String
+    );
+
+    impl<T> Serialize for Option<T> {}
+    impl<'de, T> Deserialize<'de> for Option<T> {}
+    impl<T> Serialize for Vec<T> {}
+    impl<'de, T> Deserialize<'de> for Vec<T> {}
+    impl<T> Serialize for Box<T> {}
+    impl<'de, T> Deserialize<'de> for Box<T> {}
+    impl<K, V> Serialize for std::collections::HashMap<K, V> {}
+    impl<'de, K, V> Deserialize<'de> for std::collections::HashMap<K, V> {}
+    impl<K, V> Serialize for std::collections::BTreeMap<K, V> {}
+    impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V> {}
+    impl<T> Serialize for std::collections::BTreeSet<T> {}
+    impl<'de, T> Deserialize<'de> for std::collections::BTreeSet<T> {}
+    impl<A, B> Serialize for (A, B) {}
+    impl<'de, A, B> Deserialize<'de> for (A, B) {}
+    impl<A, B, C> Serialize for (A, B, C) {}
+    impl<'de, A, B, C> Deserialize<'de> for (A, B, C) {}
+    impl<T, const N: usize> Serialize for [T; N] {}
+    impl<'de, T, const N: usize> Deserialize<'de> for [T; N] {}
+}

@@ -1,0 +1,136 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde stub.
+//!
+//! The stub traits are markers, so the derives only need the item's name
+//! (and generics, if any) to emit an empty `impl`. Parsing is done directly
+//! on the token stream — no `syn`/`quote`, which the offline container
+//! cannot download.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracted shape of the derive target: its name and raw generics tokens.
+struct Target {
+    name: String,
+    /// Generic parameter list *without* bounds or defaults, e.g. `<T, 'a>`,
+    /// for use in the `impl` header and the type position.
+    params: Vec<String>,
+}
+
+fn parse_target(input: TokenStream) -> Target {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(_)) = iter.peek() {
+                    iter.next(); // pub(crate) etc.
+                }
+            }
+            _ => break,
+        }
+    }
+    // Expect `struct`/`enum`/`union` then the name.
+    match iter.next() {
+        Some(TokenTree::Ident(kw))
+            if matches!(kw.to_string().as_str(), "struct" | "enum" | "union") => {}
+        other => panic!("derive target must be a struct or enum, found {other:?}"),
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    // Collect generic parameter names if a `<...>` list follows. Only the
+    // parameter identifiers are kept (bounds and defaults are dropped);
+    // that is sufficient for an empty marker impl.
+    let mut params = Vec::new();
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            iter.next();
+            let mut depth = 1usize;
+            let mut current = String::new();
+            let mut at_param_start = true;
+            let mut skipping = false; // inside bounds/defaults of the current param
+            while depth > 0 {
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) => match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        ',' if depth == 1 => {
+                            if !current.is_empty() {
+                                params.push(std::mem::take(&mut current));
+                            }
+                            at_param_start = true;
+                            skipping = false;
+                        }
+                        ':' | '=' if depth == 1 => skipping = true,
+                        '\'' if at_param_start => current.push('\''),
+                        _ => {}
+                    },
+                    Some(TokenTree::Ident(id)) => {
+                        if at_param_start && !skipping {
+                            // `const N: usize` — keep the N, drop `const`.
+                            let s = id.to_string();
+                            if s != "const" {
+                                current.push_str(&s);
+                                at_param_start = false;
+                            }
+                        }
+                    }
+                    Some(_) => {}
+                    None => panic!("unbalanced generics in derive target"),
+                }
+            }
+            if !current.is_empty() {
+                params.push(current);
+            }
+        }
+    }
+    Target { name, params }
+}
+
+fn empty_impl(trait_path: &str, lifetime: Option<&str>, target: &Target) -> TokenStream {
+    let mut impl_params: Vec<String> = Vec::new();
+    if let Some(lt) = lifetime {
+        impl_params.push(lt.to_string());
+    }
+    impl_params.extend(target.params.iter().cloned());
+    let impl_generics = if impl_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", impl_params.join(", "))
+    };
+    let trait_generics = lifetime.map(|lt| format!("<{lt}>")).unwrap_or_default();
+    let ty_generics = if target.params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", target.params.join(", "))
+    };
+    let code = format!(
+        "#[automatically_derived] impl{impl_generics} {trait_path}{trait_generics} for {}{ty_generics} {{}}",
+        target.name
+    );
+    code.parse().expect("generated impl must parse")
+}
+
+/// Emits `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let target = parse_target(input);
+    empty_impl("serde::Serialize", None, &target)
+}
+
+/// Emits `impl<'de> serde::Deserialize<'de> for T {}`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let target = parse_target(input);
+    empty_impl("serde::Deserialize", Some("'de"), &target)
+}
