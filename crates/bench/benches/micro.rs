@@ -221,6 +221,49 @@ fn randomizer(c: &mut Criterion) {
     group.finish();
 }
 
+/// The batched query-session path versus serial `fc_read` calls: 16
+/// queries over one placement group, half of them duplicates/reorderings
+/// (the repeat-heavy mix a production bitmap-index front end sees).
+fn batch_submit(c: &mut Criterion) {
+    use flash_cosmos::batch::QueryBatch;
+    use flash_cosmos::device::{FlashCosmosDevice, StoreHints};
+
+    let mut group = c.benchmark_group("batch");
+    group.sample_size(20);
+    let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+    let mut rng = StdRng::seed_from_u64(5);
+    let bits = 4096;
+    let ids: Vec<usize> = (0..8)
+        .map(|i| {
+            let v = BitVec::random(bits, &mut rng);
+            dev.fc_write(&format!("op{i}"), &v, StoreHints::and_group("g")).unwrap().id
+        })
+        .collect();
+    let queries: Vec<Expr> = (0..16)
+        .map(|q| match q % 4 {
+            0 => Expr::and_vars(ids.iter().copied()),
+            1 => Expr::and_vars(ids.iter().rev().copied()), // reordered dup
+            2 => Expr::and_vars(ids[..4].iter().copied()),
+            _ => Expr::and_vars(ids[q % 5..].iter().copied()),
+        })
+        .collect();
+    let batch: QueryBatch = queries.iter().cloned().collect();
+    let mut outs: Vec<BitVec> = (0..batch.len()).map(|_| BitVec::zeros(0)).collect();
+    group.bench_function("submit_16q_8op_4kib", |bench| {
+        bench.iter(|| dev.submit_into(std::hint::black_box(&batch), &mut outs).unwrap());
+    });
+    group.bench_function("serial_16q_8op_4kib", |bench| {
+        bench.iter(|| {
+            let mut senses = 0;
+            for q in &queries {
+                senses += dev.fc_read(std::hint::black_box(q)).unwrap().1.senses;
+            }
+            senses
+        });
+    });
+    group.finish();
+}
+
 fn pipeline_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline");
     group.sample_size(20);
@@ -245,6 +288,7 @@ criterion_group!(
     planner_compile,
     ecc_codec,
     randomizer,
+    batch_submit,
     pipeline_sim
 );
 criterion_main!(benches);

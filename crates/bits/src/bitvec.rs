@@ -535,6 +535,33 @@ impl BitVec {
         }
     }
 
+    /// ORs `src` into bits `start..start + src.len()` — the accumulation
+    /// counterpart of [`BitVec::copy_from`], used when several partial
+    /// results land in the same destination window (e.g. a batched query
+    /// assembling OR-shared sub-results in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn or_from(&mut self, start: usize, src: &Self) {
+        assert!(
+            start.checked_add(src.len).is_some_and(|end| end <= self.len),
+            "or {start}+{} out of range (len {})",
+            src.len,
+            self.len
+        );
+        if start.is_multiple_of(WORD_BITS) && src.len.is_multiple_of(WORD_BITS) {
+            let first = start / WORD_BITS;
+            for (dst, s) in self.words[first..first + src.words.len()].iter_mut().zip(&src.words) {
+                *dst |= s;
+            }
+            return;
+        }
+        for i in src.iter_ones() {
+            self.set(start + i, true);
+        }
+    }
+
     /// Iterator over bits as booleans.
     pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
         (0..self.len).map(move |i| self.get(i))

@@ -1,0 +1,743 @@
+//! The batched query-session API: plan, dedup, and schedule many
+//! expressions per device pass.
+//!
+//! Flash-Cosmos amortizes work *within* one expression — a single MWS
+//! sense evaluates tens of operands — but a production bulk-bitwise
+//! service (a bitmap index answering thousands of concurrent filters, an
+//! HDC classifier matching a query against every prototype) issues many
+//! expressions at once. [`QueryBatch`] collects them;
+//! [`FlashCosmosDevice::submit`] compiles the whole batch **jointly**:
+//!
+//! * **Canonical dedup** — queries that are the same Boolean function
+//!   after normalization (operand reordering, duplicated terms, XOR
+//!   negation parity) share one compiled plan and one set of senses.
+//! * **Shared-term extraction** — a top-level OR term appearing in
+//!   several queries is sensed once and OR-merged into every consumer on
+//!   the controller, when the joint plan needs fewer senses than the
+//!   per-query plans (the planner compares both and keeps the cheaper).
+//! * **Die-aware ordering** — per-stripe programs are scheduled die by
+//!   die, so the reported critical path reflects cross-die parallelism
+//!   while chip time stays the serial-equivalent sum.
+//!
+//! Results land in caller-provided buffers ([`submit_into`] — zero
+//! steady-state allocation) or freshly allocated vectors ([`submit`]),
+//! together with a [`BatchStats`] that reports the senses saved versus
+//! running every query through a serial [`FlashCosmosDevice::fc_read`].
+//!
+//! [`submit`]: FlashCosmosDevice::submit
+//! [`submit_into`]: FlashCosmosDevice::submit_into
+
+use std::cmp::Ordering;
+use std::collections::{HashMap, HashSet};
+
+use fc_bits::BitVec;
+use fc_nand::command::Command;
+use fc_ssd::device::DeviceError;
+use fc_ssd::topology::DieId;
+
+use crate::device::{FcError, FlashCosmosDevice};
+use crate::expr::{Expr, Literal, Nnf, OperandId};
+use crate::planner::{self, MwsProgram, PlacementMap, PlanError, PlannerCaps};
+
+/// Identifies one query inside a [`QueryBatch`] — the index of the
+/// matching entry in [`BatchResults::results`] / [`BatchStats::per_query`].
+pub type QueryId = usize;
+
+/// An ordered collection of bulk bitwise queries submitted as one unit.
+///
+/// Build it incrementally with [`QueryBatch::push`] (which accepts
+/// anything convertible to [`Expr`], including `OperandHandle`s), or
+/// collect an iterator of expressions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryBatch {
+    queries: Vec<Expr>,
+}
+
+impl QueryBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty batch with room for `n` queries.
+    pub fn with_capacity(n: usize) -> Self {
+        Self { queries: Vec::with_capacity(n) }
+    }
+
+    /// Adds a query and returns its id (position in the batch).
+    pub fn push(&mut self, expr: impl Into<Expr>) -> QueryId {
+        self.queries.push(expr.into());
+        self.queries.len() - 1
+    }
+
+    /// Number of queries collected.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the batch holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The collected queries, in submission order.
+    pub fn queries(&self) -> &[Expr] {
+        &self.queries
+    }
+}
+
+impl<E: Into<Expr>> Extend<E> for QueryBatch {
+    fn extend<I: IntoIterator<Item = E>>(&mut self, iter: I) {
+        self.queries.extend(iter.into_iter().map(Into::into));
+    }
+}
+
+impl<E: Into<Expr>> FromIterator<E> for QueryBatch {
+    fn from_iter<I: IntoIterator<Item = E>>(iter: I) -> Self {
+        Self { queries: iter.into_iter().map(Into::into).collect() }
+    }
+}
+
+/// Per-query share of a batch's execution cost. Costs of plan units
+/// shared by several queries are split evenly among the sharers, so the
+/// per-query values sum to the batch totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QueryStats {
+    /// Sensing operations attributed to this query (fractional when a
+    /// sense served several queries).
+    pub senses: f64,
+    /// Chip time attributed to this query, µs.
+    pub chip_time_us: f64,
+    /// NAND energy attributed to this query, µJ.
+    pub energy_uj: f64,
+}
+
+/// Execution statistics of one batch submission.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchStats {
+    /// Queries in the batch.
+    pub queries: usize,
+    /// Sensing operations actually executed across the whole batch.
+    pub senses: u64,
+    /// Sensing operations N serial `fc_read` calls would have executed.
+    pub serial_senses: u64,
+    /// Serial-equivalent chip time (sum over all commands), µs.
+    pub chip_time_us: f64,
+    /// Critical path under die parallelism: the busiest die's time, µs.
+    pub critical_path_us: f64,
+    /// Total NAND energy, µJ.
+    pub energy_uj: f64,
+    /// Queries answered by another query's pass (canonical duplicates).
+    pub deduped_queries: usize,
+    /// Shared OR terms extracted into their own single-sense plan units.
+    pub shared_units: usize,
+    /// Cost split per query, indexed by [`QueryId`].
+    pub per_query: Vec<QueryStats>,
+}
+
+impl BatchStats {
+    /// Senses the joint plan avoided versus serial execution.
+    pub fn senses_saved(&self) -> u64 {
+        self.serial_senses.saturating_sub(self.senses)
+    }
+}
+
+/// Results of [`FlashCosmosDevice::submit`]: one vector per query, in
+/// submission order, plus the batch statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchResults {
+    /// Per-query result vectors, indexed by [`QueryId`].
+    pub results: Vec<BitVec>,
+    /// Batch execution statistics.
+    pub stats: BatchStats,
+}
+
+/// One schedulable piece of the joint plan: an expression evaluated by a
+/// single compiled program per stripe, feeding one or more queries.
+struct Unit {
+    nnf: Nnf,
+    ids: Vec<OperandId>,
+    pages: usize,
+    consumers: Vec<QueryId>,
+    shared: bool,
+}
+
+impl FlashCosmosDevice {
+    /// Executes a batch of queries in one jointly planned device pass and
+    /// returns per-query result vectors plus [`BatchStats`].
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`FlashCosmosDevice::fc_read`] would on the offending
+    /// query: unknown operands, operand size mismatches *within* a query,
+    /// planner rejections, or chip errors. Queries of different vector
+    /// lengths may share a batch.
+    pub fn submit(&mut self, batch: &QueryBatch) -> Result<BatchResults, FcError> {
+        let mut results: Vec<BitVec> = (0..batch.len()).map(|_| BitVec::zeros(0)).collect();
+        let stats = self.submit_into(batch, &mut results)?;
+        Ok(BatchResults { results, stats })
+    }
+
+    /// Like [`FlashCosmosDevice::submit`], but writes each query's result
+    /// into the caller's buffers (`outs[i]` receives query `i`, resized in
+    /// place) — the zero-copy output mode for callers that recycle
+    /// vectors across submissions.
+    ///
+    /// # Errors
+    ///
+    /// [`FcError::OutputSlots`] when `outs.len() != batch.len()`, plus
+    /// everything [`FlashCosmosDevice::submit`] can return.
+    pub fn submit_into(
+        &mut self,
+        batch: &QueryBatch,
+        outs: &mut [BitVec],
+    ) -> Result<BatchStats, FcError> {
+        if outs.len() != batch.len() {
+            return Err(FcError::OutputSlots { got: outs.len(), expected: batch.len() });
+        }
+        let n = batch.len();
+        let mut stats = BatchStats {
+            queries: n,
+            per_query: vec![QueryStats::default(); n],
+            ..BatchStats::default()
+        };
+        if n == 0 {
+            return Ok(stats);
+        }
+
+        // Validate every query and capture its geometry.
+        let mut q_bits = vec![0usize; n];
+        let mut q_pages = vec![0usize; n];
+        let mut q_nnf: Vec<Nnf> = Vec::with_capacity(n);
+        for (qi, expr) in batch.queries().iter().enumerate() {
+            let ids: Vec<OperandId> = expr.operands().into_iter().collect();
+            let first = *ids.first().ok_or(FcError::SizeMismatch)?;
+            let bits = self.record(first)?.bits;
+            let pages = self.record(first)?.lpns.len();
+            for &id in &ids {
+                let r = self.record(id)?;
+                if r.bits != bits || r.lpns.len() != pages {
+                    return Err(FcError::SizeMismatch);
+                }
+            }
+            q_bits[qi] = bits;
+            q_pages[qi] = pages;
+            q_nnf.push(expr.to_nnf());
+        }
+
+        // Canonical dedup: queries with the same normal form share a plan.
+        let mut key_index: HashMap<Nnf, usize> = HashMap::new();
+        let mut uniques: Vec<(Nnf, Vec<QueryId>)> = Vec::new();
+        for (qi, nnf) in q_nnf.iter().enumerate() {
+            let key = canonicalize(nnf);
+            match key_index.get(&key) {
+                Some(&u) => uniques[u].1.push(qi),
+                None => {
+                    key_index.insert(key, uniques.len());
+                    uniques.push((nnf.clone(), vec![qi]));
+                }
+            }
+        }
+        stats.deduped_queries = n - uniques.len();
+
+        let caps = PlannerCaps {
+            max_inter_blocks: self.ssd.config().max_inter_blocks,
+            wls_per_block: self.ssd.config().wls_per_block,
+        };
+
+        // Candidate plans: per-unique-query units, and (when top-level OR
+        // terms recur across queries) a decomposed plan that senses each
+        // shared term once. Keep whichever needs fewer senses.
+        let plan_a = self.whole_query_units(&uniques, &q_pages)?;
+        let units = match self.shared_term_units(&uniques, &q_pages, &plan_a) {
+            Some(plan_b) => {
+                let a = self.estimate_senses(&plan_a, caps);
+                let b = self.estimate_senses(&plan_b, caps);
+                match (a, b) {
+                    (Ok(a), Ok(b)) if b < a => plan_b,
+                    _ => plan_a,
+                }
+            }
+            None => plan_a,
+        };
+        stats.shared_units = units.iter().filter(|u| u.shared).count();
+        let decomposed = stats.shared_units > 0;
+
+        // What serial execution would have cost (the paper's headline
+        // metric). With the whole-query plan the executed unit programs
+        // ARE the serial programs, so the cost falls out of the execution
+        // loop below for free; only a decomposed plan needs the unique
+        // queries compiled standalone.
+        if decomposed {
+            for (nnf, consumers) in &uniques {
+                let ids: Vec<OperandId> = nnf.operands().into_iter().collect();
+                let mut senses = 0u64;
+                for slot in 0..q_pages[consumers[0]] {
+                    let (program, _) = self.stripe_program(nnf, &ids, slot, caps)?;
+                    senses += program.sense_count() as u64;
+                }
+                stats.serial_senses += senses * consumers.len() as u64;
+            }
+        }
+
+        // Compile every (unit, stripe) pair and order the work die-major,
+        // so each die's command queue is contiguous and the critical path
+        // reflects cross-die parallelism.
+        let mut execs: Vec<(DieId, usize, usize, MwsProgram)> = Vec::new();
+        for (ui, unit) in units.iter().enumerate() {
+            for slot in 0..unit.pages {
+                let (program, die) = self.stripe_program(&unit.nnf, &unit.ids, slot, caps)?;
+                if !decomposed {
+                    // Whole-query plan: each unique program executes once
+                    // but a serial run would repeat it per duplicate.
+                    stats.serial_senses +=
+                        program.sense_count() as u64 * unit.consumers.len() as u64;
+                }
+                execs.push((die, slot, ui, program));
+            }
+        }
+        execs.sort_by_key(|e| (e.0, e.1, e.2));
+
+        let page_bits = self.ssd.config().page_bits();
+        for (qi, out) in outs.iter_mut().enumerate() {
+            out.reset(q_pages[qi] * page_bits, false);
+        }
+
+        let mut die_time: HashMap<DieId, f64> = HashMap::new();
+        for (die, slot, ui, program) in execs {
+            let chip = self.ssd.chip_mut(die);
+            let mut latency = 0.0;
+            let mut energy = 0.0;
+            for cmd in &program.commands {
+                let out = chip.execute(cmd.clone()).map_err(DeviceError::Nand)?;
+                latency += out.latency_us;
+                energy += out.energy_uj;
+            }
+            let mut page = chip
+                .execute(Command::ReadOut { plane: program.plane })
+                .map_err(DeviceError::Nand)?
+                .into_page()
+                .expect("read-out streams the cache latch");
+            if program.controller_not {
+                page.not_assign();
+            }
+            let senses = program.sense_count() as u64;
+            stats.senses += senses;
+            stats.chip_time_us += latency;
+            stats.energy_uj += energy;
+            *die_time.entry(die).or_insert(0.0) += latency;
+            let unit = &units[ui];
+            let share = 1.0 / unit.consumers.len() as f64;
+            for &qi in &unit.consumers {
+                // Outputs start zeroed, so OR-accumulation doubles as the
+                // plain copy for single-unit queries.
+                outs[qi].or_from(slot * page_bits, &page);
+                let qs = &mut stats.per_query[qi];
+                qs.senses += senses as f64 * share;
+                qs.chip_time_us += latency * share;
+                qs.energy_uj += energy * share;
+            }
+        }
+        stats.critical_path_us = die_time.values().fold(0.0, |a, &b| a.max(b));
+        for (qi, out) in outs.iter_mut().enumerate() {
+            out.resize(q_bits[qi], false);
+        }
+        Ok(stats)
+    }
+
+    /// Plan A: one unit per unique query, compiled exactly as a serial
+    /// `fc_read` would compile it.
+    fn whole_query_units(
+        &self,
+        uniques: &[(Nnf, Vec<QueryId>)],
+        q_pages: &[usize],
+    ) -> Result<Vec<Unit>, FcError> {
+        uniques
+            .iter()
+            .map(|(nnf, consumers)| {
+                Ok(Unit {
+                    nnf: nnf.clone(),
+                    ids: nnf.operands().into_iter().collect(),
+                    pages: q_pages[consumers[0]],
+                    consumers: consumers.clone(),
+                    shared: false,
+                })
+            })
+            .collect()
+    }
+
+    /// Plan B: top-level OR terms recurring across unique queries become
+    /// their own single plan units (sensed once, OR-merged into every
+    /// consumer by the controller); each query keeps a residual unit for
+    /// its unshared terms. Returns `None` when no term is shared.
+    fn shared_term_units(
+        &self,
+        uniques: &[(Nnf, Vec<QueryId>)],
+        q_pages: &[usize],
+        plan_a: &[Unit],
+    ) -> Option<Vec<Unit>> {
+        // Count, per canonical term, the unique queries containing it.
+        let mut term_index: HashMap<Nnf, usize> = HashMap::new();
+        let mut terms: Vec<(Nnf, Vec<usize>)> = Vec::new();
+        for (u, (nnf, _)) in uniques.iter().enumerate() {
+            let Nnf::Or(children) = nnf else { continue };
+            let mut local: HashSet<Nnf> = HashSet::new();
+            for child in children {
+                let key = canonicalize(child);
+                if !local.insert(key.clone()) {
+                    continue;
+                }
+                match term_index.get(&key) {
+                    Some(&t) => terms[t].1.push(u),
+                    None => {
+                        term_index.insert(key.clone(), terms.len());
+                        terms.push((child.clone(), vec![u]));
+                    }
+                }
+            }
+        }
+        let shared: Vec<&(Nnf, Vec<usize>)> =
+            terms.iter().filter(|(_, us)| us.len() >= 2).collect();
+        if shared.is_empty() {
+            return None;
+        }
+        let shared_keys: HashSet<Nnf> = shared.iter().map(|(rep, _)| canonicalize(rep)).collect();
+
+        let mut units = Vec::new();
+        for (rep, uqs) in &shared {
+            let mut consumers: Vec<QueryId> = Vec::new();
+            for &u in uqs {
+                consumers.extend(&uniques[u].1);
+            }
+            consumers.sort_unstable();
+            consumers.dedup();
+            units.push(Unit {
+                nnf: rep.clone(),
+                ids: rep.operands().into_iter().collect(),
+                pages: q_pages[consumers[0]],
+                consumers,
+                shared: true,
+            });
+        }
+        for (u, (nnf, consumers)) in uniques.iter().enumerate() {
+            let Nnf::Or(children) = nnf else {
+                units.push(Unit {
+                    nnf: plan_a[u].nnf.clone(),
+                    ids: plan_a[u].ids.clone(),
+                    pages: plan_a[u].pages,
+                    consumers: consumers.clone(),
+                    shared: false,
+                });
+                continue;
+            };
+            // Residual: this query's unshared terms, canonically deduped.
+            let mut local: HashSet<Nnf> = HashSet::new();
+            let residual: Vec<Nnf> = children
+                .iter()
+                .filter(|c| {
+                    let key = canonicalize(c);
+                    !shared_keys.contains(&key) && local.insert(key)
+                })
+                .cloned()
+                .collect();
+            if residual.is_empty() {
+                continue;
+            }
+            let nnf = if residual.len() == 1 {
+                residual.into_iter().next().expect("non-empty")
+            } else {
+                Nnf::Or(residual)
+            };
+            units.push(Unit {
+                nnf: nnf.clone(),
+                ids: nnf.operands().into_iter().collect(),
+                pages: q_pages[consumers[0]],
+                consumers: consumers.clone(),
+                shared: false,
+            });
+        }
+        Some(units)
+    }
+
+    /// Total senses a plan would execute, projected from stripe 0 (stripe
+    /// structure is identical across slots: placement groups fill each
+    /// slot the same way).
+    fn estimate_senses(&self, units: &[Unit], caps: PlannerCaps) -> Result<u64, FcError> {
+        let mut total = 0u64;
+        for unit in units {
+            let (program, _) = self.stripe_program(&unit.nnf, &unit.ids, 0, caps)?;
+            total += program.sense_count() as u64 * unit.pages as u64;
+        }
+        Ok(total)
+    }
+
+    /// Builds one stripe's placement map from the FTL and compiles the
+    /// unit's program, checking that every operand lives on one die.
+    fn stripe_program(
+        &self,
+        nnf: &Nnf,
+        ids: &[OperandId],
+        slot: usize,
+        caps: PlannerCaps,
+    ) -> Result<(MwsProgram, DieId), FcError> {
+        let mut map = PlacementMap::new();
+        let mut die: Option<DieId> = None;
+        for &id in ids {
+            let lpn = self.record(id)?.lpns[slot];
+            let (d, wl) = self.ssd.locate(lpn).expect("written operands are always mapped");
+            let inverted =
+                self.ssd.ftl().meta(lpn).expect("written operands carry metadata").inverted;
+            map.insert(id, wl, inverted);
+            match die {
+                None => die = Some(d),
+                Some(d0) if d0 != d => return Err(FcError::Plan(PlanError::PlaneMismatch)),
+                _ => {}
+            }
+        }
+        let program = planner::compile(nnf, &map, caps)?;
+        Ok((program, die.expect("at least one operand")))
+    }
+}
+
+/// Canonical form used as the dedup/sharing key. Key equality implies
+/// semantic equality: AND/OR children are sorted and deduplicated
+/// (commutativity + idempotence), XOR is commutative, and literal-literal
+/// XOR folds its negations into one parity bit (`!a ^ b == a ^ !b`).
+/// The *original* NNF is what gets compiled — the canonical form never
+/// reaches the planner.
+pub(crate) fn canonicalize(nnf: &Nnf) -> Nnf {
+    match nnf {
+        Nnf::Literal(_) => nnf.clone(),
+        Nnf::And(cs) => canonical_nary(cs, Nnf::And),
+        Nnf::Or(cs) => canonical_nary(cs, Nnf::Or),
+        Nnf::Xor(a, b) => {
+            let ca = canonicalize(a);
+            let cb = canonicalize(b);
+            if let (Nnf::Literal(la), Nnf::Literal(lb)) = (&ca, &cb) {
+                let parity = la.negated ^ lb.negated;
+                let (lo, hi) = (la.id.min(lb.id), la.id.max(lb.id));
+                return Nnf::Xor(
+                    Box::new(Nnf::Literal(Literal { id: lo, negated: false })),
+                    Box::new(Nnf::Literal(Literal { id: hi, negated: parity })),
+                );
+            }
+            if nnf_cmp(&ca, &cb) == Ordering::Greater {
+                Nnf::Xor(Box::new(cb), Box::new(ca))
+            } else {
+                Nnf::Xor(Box::new(ca), Box::new(cb))
+            }
+        }
+    }
+}
+
+fn canonical_nary(children: &[Nnf], build: fn(Vec<Nnf>) -> Nnf) -> Nnf {
+    let mut canon: Vec<Nnf> = children.iter().map(canonicalize).collect();
+    canon.sort_by(nnf_cmp);
+    canon.dedup();
+    if canon.len() == 1 {
+        canon.pop().expect("non-empty")
+    } else {
+        build(canon)
+    }
+}
+
+/// Total order over NNF trees (for canonical sorting); consistent with
+/// equality.
+fn nnf_cmp(a: &Nnf, b: &Nnf) -> Ordering {
+    fn rank(n: &Nnf) -> u8 {
+        match n {
+            Nnf::Literal(_) => 0,
+            Nnf::And(_) => 1,
+            Nnf::Or(_) => 2,
+            Nnf::Xor(_, _) => 3,
+        }
+    }
+    match (a, b) {
+        (Nnf::Literal(x), Nnf::Literal(y)) => (x.id, x.negated).cmp(&(y.id, y.negated)),
+        (Nnf::And(x), Nnf::And(y)) | (Nnf::Or(x), Nnf::Or(y)) => {
+            for (cx, cy) in x.iter().zip(y.iter()) {
+                let c = nnf_cmp(cx, cy);
+                if c != Ordering::Equal {
+                    return c;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        (Nnf::Xor(xa, xb), Nnf::Xor(ya, yb)) => nnf_cmp(xa, ya).then_with(|| nnf_cmp(xb, yb)),
+        _ => rank(a).cmp(&rank(b)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::StoreHints;
+    use fc_ssd::SsdConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn device() -> FlashCosmosDevice {
+        FlashCosmosDevice::new(SsdConfig::tiny_test())
+    }
+
+    fn vectors(n: usize, bits: usize, seed: u64) -> Vec<BitVec> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| BitVec::random(bits, &mut rng)).collect()
+    }
+
+    fn store_group(dev: &mut FlashCosmosDevice, vs: &[BitVec], group: &str) -> Vec<OperandId> {
+        vs.iter()
+            .enumerate()
+            .map(|(i, v)| {
+                dev.fc_write(&format!("{group}-{i}"), v, StoreHints::and_group(group)).unwrap().id
+            })
+            .collect()
+    }
+
+    #[test]
+    fn canonical_key_identifies_reordered_queries() {
+        let a = Expr::and_vars([0, 1, 2]).to_nnf();
+        let b = Expr::and_vars([2, 0, 1]).to_nnf();
+        assert_eq!(canonicalize(&a), canonicalize(&b));
+        let c = Expr::and_vars([0, 1]).to_nnf();
+        assert_ne!(canonicalize(&a), canonicalize(&c));
+        // Duplicate terms collapse (idempotence)...
+        let d = Expr::and_vars([0, 1, 2, 2, 0]).to_nnf();
+        assert_eq!(canonicalize(&a), canonicalize(&d));
+        // ...and XOR negation parity folds onto one side.
+        let x = Expr::xor(Expr::not(Expr::var(3)), Expr::var(1)).to_nnf();
+        let y = Expr::xor(Expr::var(1), Expr::not(Expr::var(3))).to_nnf();
+        assert_eq!(canonicalize(&x), canonicalize(&y));
+        let z = Expr::xor(Expr::var(1), Expr::var(3)).to_nnf();
+        assert_ne!(canonicalize(&x), canonicalize(&z));
+    }
+
+    #[test]
+    fn batch_of_duplicate_queries_senses_once() {
+        let mut dev = device();
+        let vs = vectors(5, 700, 1);
+        let ids = store_group(&mut dev, &vs, "g");
+        let mut batch = QueryBatch::new();
+        batch.push(Expr::and_vars(ids.iter().copied()));
+        batch.push(Expr::and_vars(ids.iter().rev().copied()));
+        batch.push(Expr::and_vars(ids.iter().copied()));
+        let BatchResults { results, stats } = dev.submit(&batch).unwrap();
+        let expect = vs.iter().skip(1).fold(vs[0].clone(), |a, v| a.and(v));
+        for r in &results {
+            assert_eq!(r, &expect);
+        }
+        // 3 stripes of 700 bits at 256-bit pages, one MWS each — once,
+        // not three times.
+        assert_eq!(stats.senses, 3);
+        assert_eq!(stats.serial_senses, 9);
+        assert_eq!(stats.senses_saved(), 6);
+        assert_eq!(stats.deduped_queries, 2);
+        // Amortized attribution: each query pays a third of each sense.
+        let total: f64 = stats.per_query.iter().map(|q| q.senses).sum();
+        assert!((total - stats.senses as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heterogeneous_sizes_share_a_batch() {
+        let mut dev = device();
+        let long = vectors(2, 600, 2);
+        let short = vectors(2, 100, 3);
+        let la = store_group(&mut dev, &long, "long");
+        let sa = store_group(&mut dev, &short, "short");
+        let mut batch = QueryBatch::new();
+        batch.push(Expr::and_vars(la.iter().copied()));
+        batch.push(Expr::or_vars(sa.iter().copied()));
+        let BatchResults { results, .. } = dev.submit(&batch).unwrap();
+        assert_eq!(results[0], long[0].and(&long[1]));
+        assert_eq!(results[0].len(), 600);
+        assert_eq!(results[1], short[0].or(&short[1]));
+        assert_eq!(results[1].len(), 100);
+    }
+
+    #[test]
+    fn shared_or_term_is_sensed_once_when_cheaper() {
+        // A 12-operand AND term (2 senses on 8-WL blocks) shared by two
+        // queries, each OR-ing in its own extra operand. Serial: each
+        // query senses the big term itself (2) plus its own literal (1)
+        // → 6 total. Joint: big term once (2) + two residual literals
+        // (1 + 1) → 4.
+        let mut dev = device();
+        let big = vectors(12, 256, 4);
+        let extras = vectors(2, 256, 5);
+        let big_ids = store_group(&mut dev, &big, "big");
+        let e0 = store_group(&mut dev, &extras[..1], "extra0")[0];
+        let e1 = store_group(&mut dev, &extras[1..], "extra1")[0];
+        let term = Expr::and_vars(big_ids.iter().copied());
+        let q0 = Expr::or(vec![term.clone(), Expr::var(e0)]);
+        let q1 = Expr::or(vec![term.clone(), Expr::var(e1)]);
+        let (serial0, s0) = dev.fc_read(&q0).unwrap();
+        let (serial1, s1) = dev.fc_read(&q1).unwrap();
+        let mut batch = QueryBatch::new();
+        batch.push(q0);
+        batch.push(q1);
+        let BatchResults { results, stats } = dev.submit(&batch).unwrap();
+        assert_eq!(results[0], serial0);
+        assert_eq!(results[1], serial1);
+        assert_eq!(stats.serial_senses, s0.senses + s1.senses);
+        assert_eq!(stats.shared_units, 1);
+        assert!(
+            stats.senses < stats.serial_senses,
+            "shared term must save senses: {} vs {}",
+            stats.senses,
+            stats.serial_senses
+        );
+    }
+
+    #[test]
+    fn sharing_is_rejected_when_it_would_cost_extra_senses() {
+        // Two 2-term OR queries over single-block operands share one
+        // term, but each whole query is a single inter-block MWS (1
+        // sense). Decomposing would need 3 senses for 2 queries — the
+        // planner must keep the 2-sense serial plan.
+        let mut dev = device();
+        let vs = vectors(3, 256, 6);
+        let a = store_group(&mut dev, &vs[..1], "ga")[0];
+        let b = store_group(&mut dev, &vs[1..2], "gb")[0];
+        let c = store_group(&mut dev, &vs[2..], "gc")[0];
+        let mut batch = QueryBatch::new();
+        batch.push(Expr::or_vars([a, b]));
+        batch.push(Expr::or_vars([a, c]));
+        let BatchResults { results, stats } = dev.submit(&batch).unwrap();
+        assert_eq!(results[0], vs[0].or(&vs[1]));
+        assert_eq!(results[1], vs[0].or(&vs[2]));
+        assert_eq!(stats.shared_units, 0, "extraction must not fire at a loss");
+        assert_eq!(stats.senses, stats.serial_senses);
+    }
+
+    #[test]
+    fn empty_batch_and_output_slot_mismatch() {
+        let mut dev = device();
+        let r = dev.submit(&QueryBatch::new()).unwrap();
+        assert!(r.results.is_empty());
+        assert_eq!(r.stats.senses, 0);
+        let vs = vectors(1, 64, 7);
+        let id = store_group(&mut dev, &vs, "g")[0];
+        let mut batch = QueryBatch::new();
+        batch.push(Expr::var(id));
+        let mut outs: Vec<BitVec> = Vec::new();
+        assert!(matches!(
+            dev.submit_into(&batch, &mut outs).unwrap_err(),
+            FcError::OutputSlots { got: 0, expected: 1 }
+        ));
+    }
+
+    #[test]
+    fn submit_into_recycles_buffers() {
+        let mut dev = device();
+        let vs = vectors(2, 300, 8);
+        let ids = store_group(&mut dev, &vs, "g");
+        let mut batch = QueryBatch::new();
+        batch.push(Expr::and_vars(ids.iter().copied()));
+        let mut outs = vec![BitVec::ones(9999)];
+        dev.submit_into(&batch, &mut outs).unwrap();
+        assert_eq!(outs[0], vs[0].and(&vs[1]));
+        // Second submission reuses the (now correctly sized) buffer.
+        dev.submit_into(&batch, &mut outs).unwrap();
+        assert_eq!(outs[0], vs[0].and(&vs[1]));
+    }
+}

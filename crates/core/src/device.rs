@@ -20,7 +20,7 @@ use fc_ssd::SsdConfig;
 
 use crate::expr::{Expr, OperandId};
 use crate::parabit;
-use crate::planner::{self, PlacementMap, PlanError, PlannerCaps};
+use crate::planner::{PlacementMap, PlanError};
 
 /// Handle to a stored operand vector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -52,7 +52,10 @@ impl StoreHints {
     }
 }
 
-/// Errors from the device API.
+/// The unified error of the device API: every failure of the `fc_write` /
+/// `fc_read` / `submit` surface is an `FcError`, wrapping the SSD, chip
+/// and planner error types with full [`std::error::Error::source`]
+/// chains.
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum FcError {
@@ -66,6 +69,13 @@ pub enum FcError {
     UnknownOperand(OperandId),
     /// An operand name was written twice.
     DuplicateName(String),
+    /// A batched submission supplied the wrong number of output buffers.
+    OutputSlots {
+        /// Buffers supplied.
+        got: usize,
+        /// Queries in the batch.
+        expected: usize,
+    },
 }
 
 impl std::fmt::Display for FcError {
@@ -76,11 +86,22 @@ impl std::fmt::Display for FcError {
             FcError::SizeMismatch => write!(f, "operand vectors have different lengths"),
             FcError::UnknownOperand(id) => write!(f, "unknown operand v{id}"),
             FcError::DuplicateName(n) => write!(f, "operand name {n:?} already stored"),
+            FcError::OutputSlots { got, expected } => {
+                write!(f, "batch of {expected} queries given {got} output buffers")
+            }
         }
     }
 }
 
-impl std::error::Error for FcError {}
+impl std::error::Error for FcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FcError::Device(e) => Some(e),
+            FcError::Plan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<DeviceError> for FcError {
     fn from(e: DeviceError) -> Self {
@@ -109,15 +130,15 @@ pub struct ReadStats {
 }
 
 #[derive(Debug, Clone)]
-struct OperandRecord {
-    bits: usize,
-    lpns: Vec<u64>,
+pub(crate) struct OperandRecord {
+    pub(crate) bits: usize,
+    pub(crate) lpns: Vec<u64>,
     group_index: u64,
 }
 
 /// The Flash-Cosmos-enabled SSD.
 pub struct FlashCosmosDevice {
-    ssd: SsdDevice,
+    pub(crate) ssd: SsdDevice,
     operands: Vec<OperandRecord>,
     names: HashMap<String, OperandId>,
     groups: HashMap<String, u64>,
@@ -230,12 +251,37 @@ impl FlashCosmosDevice {
     /// Executes a bulk bitwise expression in-flash with Flash-Cosmos and
     /// returns the result vector plus execution statistics.
     ///
+    /// This is a thin wrapper over the batched
+    /// [`submit`](Self::submit) path with a single-query batch; callers
+    /// with several queries in flight should batch them so the planner
+    /// can amortize senses across them.
+    ///
     /// # Errors
     ///
     /// Fails if operands mismatch, the planner rejects the layout, or a
     /// chip op fails.
     pub fn fc_read(&mut self, expr: &Expr) -> Result<(BitVec, ReadStats), FcError> {
-        self.run(expr, CompileKind::FlashCosmos)
+        let mut result = BitVec::zeros(0);
+        let stats = self.fc_read_into(expr, &mut result)?;
+        Ok((result, stats))
+    }
+
+    /// Zero-copy variant of [`Self::fc_read`]: writes the result into
+    /// `out` (resized in place), reusing its allocation across calls.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::fc_read`].
+    pub fn fc_read_into(&mut self, expr: &Expr, out: &mut BitVec) -> Result<ReadStats, FcError> {
+        let mut batch = crate::batch::QueryBatch::new();
+        batch.push(expr.clone());
+        let stats = self.submit_into(&batch, std::slice::from_mut(out))?;
+        Ok(ReadStats {
+            senses: stats.senses,
+            chip_time_us: stats.chip_time_us,
+            critical_path_us: stats.critical_path_us,
+            energy_uj: stats.energy_uj,
+        })
     }
 
     /// Executes the expression with the ParaBit baseline (serial
@@ -245,10 +291,13 @@ impl FlashCosmosDevice {
     ///
     /// Same as [`Self::fc_read`].
     pub fn parabit_read(&mut self, expr: &Expr) -> Result<(BitVec, ReadStats), FcError> {
-        self.run(expr, CompileKind::ParaBit)
+        self.run_serial(expr)
     }
 
-    fn run(&mut self, expr: &Expr, kind: CompileKind) -> Result<(BitVec, ReadStats), FcError> {
+    /// The pre-batch serial path, kept for the ParaBit baseline (whose
+    /// whole point is serial sensing — batching it would misrepresent
+    /// the technique being compared against).
+    fn run_serial(&mut self, expr: &Expr) -> Result<(BitVec, ReadStats), FcError> {
         let ids: Vec<OperandId> = expr.operands().into_iter().collect();
         let first = *ids.first().ok_or(FcError::SizeMismatch)?;
         let bits = self.record(first)?.bits;
@@ -260,10 +309,6 @@ impl FlashCosmosDevice {
             }
         }
         let nnf = expr.to_nnf();
-        let caps = PlannerCaps {
-            max_inter_blocks: self.ssd.config().max_inter_blocks,
-            wls_per_block: self.ssd.config().wls_per_block,
-        };
         let page_bits = self.ssd.config().page_bits();
         let mut result = BitVec::zeros(pages * page_bits);
         let mut stats = ReadStats::default();
@@ -279,10 +324,7 @@ impl FlashCosmosDevice {
                 map.insert(id, wl, inverted);
                 die = Some(d);
             }
-            let program = match kind {
-                CompileKind::FlashCosmos => planner::compile(&nnf, &map, caps)?,
-                CompileKind::ParaBit => parabit::compile(&nnf, &map)?,
-            };
+            let program = parabit::compile(&nnf, &map)?;
             let die = die.expect("at least one operand");
             let chip = self.ssd.chip_mut(die);
             let mut stripe_latency = 0.0;
@@ -305,7 +347,7 @@ impl FlashCosmosDevice {
         Ok((result.slice(0, bits), stats))
     }
 
-    fn record(&self, id: OperandId) -> Result<&OperandRecord, FcError> {
+    pub(crate) fn record(&self, id: OperandId) -> Result<&OperandRecord, FcError> {
         self.operands.get(id).ok_or(FcError::UnknownOperand(id))
     }
 
@@ -351,10 +393,52 @@ impl FlashCosmosDevice {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum CompileKind {
-    FlashCosmos,
-    ParaBit,
+/// `OperandHandle`s convert straight into leaf expressions, so handles
+/// compose with the `&`/`|`/`^`/`!` operator sugar: `ha & hb | !hc`.
+impl From<OperandHandle> for Expr {
+    fn from(h: OperandHandle) -> Expr {
+        Expr::var(h.id)
+    }
+}
+
+macro_rules! handle_binop {
+    ($trait:ident, $method:ident) => {
+        impl std::ops::$trait for OperandHandle {
+            type Output = Expr;
+
+            fn $method(self, rhs: OperandHandle) -> Expr {
+                std::ops::$trait::$method(Expr::from(self), Expr::from(rhs))
+            }
+        }
+
+        impl std::ops::$trait<Expr> for OperandHandle {
+            type Output = Expr;
+
+            fn $method(self, rhs: Expr) -> Expr {
+                std::ops::$trait::$method(Expr::from(self), rhs)
+            }
+        }
+
+        impl std::ops::$trait<OperandHandle> for Expr {
+            type Output = Expr;
+
+            fn $method(self, rhs: OperandHandle) -> Expr {
+                std::ops::$trait::$method(self, Expr::from(rhs))
+            }
+        }
+    };
+}
+
+handle_binop!(BitAnd, bitand);
+handle_binop!(BitOr, bitor);
+handle_binop!(BitXor, bitxor);
+
+impl std::ops::Not for OperandHandle {
+    type Output = Expr;
+
+    fn not(self) -> Expr {
+        !Expr::from(self)
+    }
 }
 
 #[cfg(test)]
@@ -571,6 +655,43 @@ mod tests {
         let expect = vs[0].or(&vs[1]).or(&vs[2]);
         assert_eq!(result, expect);
         assert_eq!(stats.senses, 1, "inverted co-located OR is one inverse MWS");
+    }
+
+    #[test]
+    fn handle_operators_and_read_into() {
+        let mut dev = device();
+        let vs = vectors(3, 300, 30);
+        let a = dev.fc_write("a", &vs[0], StoreHints::and_group("g")).unwrap();
+        let b = dev.fc_write("b", &vs[1], StoreHints::and_group("g")).unwrap();
+        let c = dev.fc_write("c", &vs[2], StoreHints::and_group("h")).unwrap();
+        // Handles compose with operator sugar straight into expressions.
+        let expr = a & b | c;
+        let (result, _) = dev.fc_read(&expr).unwrap();
+        let expect = vs[0].and(&vs[1]).or(&vs[2]);
+        assert_eq!(result, expect);
+        // Zero-copy output mode reuses the caller's buffer.
+        let mut out = BitVec::zeros(0);
+        let stats = dev.fc_read_into(&expr, &mut out).unwrap();
+        assert_eq!(out, expect);
+        assert!(stats.senses > 0);
+        let (x, _) = dev.fc_read(&(a ^ b)).unwrap();
+        assert_eq!(x, vs[0].xor(&vs[1]));
+        let (n, _) = dev.fc_read(&!a).unwrap();
+        assert_eq!(n, vs[0].not());
+    }
+
+    #[test]
+    fn fc_error_sources_chain() {
+        use std::error::Error;
+        let mut dev = device();
+        let v = BitVec::zeros(64);
+        dev.fc_write("a", &v, StoreHints::and_group("g")).unwrap();
+        let plan_err = FcError::Plan(PlanError::NoPlacement(3));
+        assert!(plan_err.source().is_some(), "planner errors expose a source");
+        assert!(plan_err.source().unwrap().to_string().contains("v3"));
+        let bare = dev.fc_read(&Expr::var(99)).unwrap_err();
+        assert!(matches!(bare, FcError::UnknownOperand(99)));
+        assert!(bare.source().is_none());
     }
 
     #[test]

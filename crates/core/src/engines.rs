@@ -131,7 +131,29 @@ impl Engines {
 
     /// Evaluates one platform on one workload shape.
     pub fn evaluate(&self, platform: Platform, shape: &WorkloadShape) -> PlatformReport {
-        let (jobs, host, isp_bytes) = self.build(platform, shape);
+        self.evaluate_batch(platform, std::slice::from_ref(shape))
+    }
+
+    /// Evaluates one platform on a whole batch of workload shapes in a
+    /// single pipeline run — the cost-model counterpart of the device's
+    /// `submit`: per-die job lists are concatenated and host work merged,
+    /// so the batch pays the pipeline fill/drain once instead of once per
+    /// workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shapes` is empty.
+    pub fn evaluate_batch(&self, platform: Platform, shapes: &[WorkloadShape]) -> PlatformReport {
+        assert!(!shapes.is_empty(), "a batch needs at least one workload shape");
+        let mut jobs: Vec<Vec<SenseJob>> = Vec::new();
+        let mut host = HostWork::default();
+        let mut isp_bytes = 0u64;
+        for shape in shapes {
+            let (shape_jobs, shape_host, shape_isp) = self.build(platform, shape);
+            fc_ssd::pipeline::append_die_jobs(&mut jobs, shape_jobs);
+            host.merge(&shape_host);
+            isp_bytes += shape_isp;
+        }
         let model = PipelineModel::new(self.config.clone());
         let mut report = model.run(&jobs, host);
         if isp_bytes > 0 {
@@ -370,6 +392,38 @@ mod tests {
         let s = engines.speedups_over_osp(&bmi_shape(6));
         let isp = s.iter().find(|(p, _)| *p == Platform::Isp).unwrap().1;
         assert!(isp > 1.05 && isp < 2.0, "ISP speedup {isp} (paper ~1.28)");
+    }
+
+    #[test]
+    fn batched_evaluation_amortizes_pipeline_overheads() {
+        let engines = Engines::paper();
+        let shapes: Vec<WorkloadShape> = [3u64, 6, 12].iter().map(|&m| bmi_shape(m)).collect();
+        for platform in Platform::ALL {
+            let merged = engines.evaluate_batch(platform, &shapes);
+            let serial: f64 = shapes.iter().map(|s| engines.evaluate(platform, s).time_us()).sum();
+            let batched = merged.time_us();
+            assert!(
+                batched <= serial * 1.0001,
+                "{platform}: batched {batched} µs must not exceed serial {serial} µs"
+            );
+            // Energy is workload-determined, not schedule-determined.
+            let serial_energy: f64 =
+                shapes.iter().map(|s| engines.evaluate(platform, s).energy_j()).sum();
+            let e = merged.energy_j();
+            assert!(
+                (e - serial_energy).abs() / serial_energy < 0.01,
+                "{platform}: batched energy {e} vs serial {serial_energy}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_shape_batch_matches_evaluate() {
+        let engines = Engines::paper();
+        let shape = bmi_shape(6);
+        let a = engines.evaluate(Platform::FlashCosmos, &shape);
+        let b = engines.evaluate_batch(Platform::FlashCosmos, std::slice::from_ref(&shape));
+        assert_eq!(a.report.makespan_us, b.report.makespan_us);
     }
 
     #[test]

@@ -170,6 +170,64 @@ impl Expr {
     }
 }
 
+/// `a & b` builds a flattened n-ary [`Expr::And`] — together with
+/// [`BitOr`](std::ops::BitOr), [`BitXor`](std::ops::BitXor) and
+/// [`Not`](std::ops::Not) this gives expressions their natural spelling:
+/// `(a & b) | !c`.
+impl std::ops::BitAnd for Expr {
+    type Output = Expr;
+
+    fn bitand(self, rhs: Expr) -> Expr {
+        let mut children = match self {
+            Expr::And(es) => es,
+            other => vec![other],
+        };
+        match rhs {
+            Expr::And(es) => children.extend(es),
+            other => children.push(other),
+        }
+        Expr::And(children)
+    }
+}
+
+/// `a | b` builds a flattened n-ary [`Expr::Or`].
+impl std::ops::BitOr for Expr {
+    type Output = Expr;
+
+    fn bitor(self, rhs: Expr) -> Expr {
+        let mut children = match self {
+            Expr::Or(es) => es,
+            other => vec![other],
+        };
+        match rhs {
+            Expr::Or(es) => children.extend(es),
+            other => children.push(other),
+        }
+        Expr::Or(children)
+    }
+}
+
+/// `a ^ b` is [`Expr::xor`] (binary, like the chip's XOR logic).
+impl std::ops::BitXor for Expr {
+    type Output = Expr;
+
+    fn bitxor(self, rhs: Expr) -> Expr {
+        Expr::xor(self, rhs)
+    }
+}
+
+/// `!a` is [`Expr::not`], collapsing double negation.
+impl std::ops::Not for Expr {
+    type Output = Expr;
+
+    fn not(self) -> Expr {
+        match self {
+            Expr::Not(inner) => *inner,
+            other => Expr::Not(Box::new(other)),
+        }
+    }
+}
+
 impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -226,6 +284,30 @@ pub enum Nnf {
 }
 
 impl Nnf {
+    /// All operand ids referenced by the normalized expression, ascending.
+    pub fn operands(&self) -> BTreeSet<OperandId> {
+        let mut out = BTreeSet::new();
+        self.collect_operands(&mut out);
+        out
+    }
+
+    fn collect_operands(&self, out: &mut BTreeSet<OperandId>) {
+        match self {
+            Nnf::Literal(l) => {
+                out.insert(l.id);
+            }
+            Nnf::And(cs) | Nnf::Or(cs) => {
+                for c in cs {
+                    c.collect_operands(out);
+                }
+            }
+            Nnf::Xor(a, b) => {
+                a.collect_operands(out);
+                b.collect_operands(out);
+            }
+        }
+    }
+
     /// Evaluates the NNF (used by property tests to check normalization
     /// preserves semantics).
     pub fn eval(&self, lookup: &impl Fn(OperandId) -> BitVec) -> BitVec {
@@ -413,6 +495,27 @@ mod tests {
     fn single_child_connectives_collapse() {
         assert_eq!(Expr::and(vec![Expr::var(7)]), Expr::var(7));
         assert_eq!(Expr::or(vec![Expr::var(7)]), Expr::var(7));
+    }
+
+    #[test]
+    fn operator_overloads_build_flattened_trees() {
+        let t = table(4, 128, 10);
+        let lookup = |i: usize| t[i].clone();
+        let e = (Expr::var(0) & Expr::var(1) & Expr::var(2)) | !Expr::var(3);
+        assert_eq!(
+            e,
+            Expr::or(vec![Expr::and_vars([0, 1, 2]), Expr::not(Expr::var(3))]),
+            "& and | flatten into the n-ary constructors"
+        );
+        assert_eq!(e.eval(&lookup), t[0].and(&t[1]).and(&t[2]).or(&t[3].not()));
+        assert_eq!((Expr::var(0) ^ Expr::var(1)).eval(&lookup), t[0].xor(&t[1]));
+        assert_eq!(!!Expr::var(2), Expr::var(2), "double negation collapses");
+    }
+
+    #[test]
+    fn nnf_operand_collection() {
+        let e = Expr::nor(vec![Expr::var(5), Expr::and_vars([1, 3])]);
+        assert_eq!(e.to_nnf().operands().into_iter().collect::<Vec<_>>(), vec![1, 3, 5]);
     }
 
     #[test]

@@ -16,23 +16,33 @@
 //!
 //! This crate provides the paper's contribution end to end:
 //!
-//! * [`expr`] — bitwise expressions over stored operand vectors.
+//! * [`expr`] — bitwise expressions over stored operand vectors, with
+//!   `&`/`|`/`^`/`!` operator sugar on expressions and operand handles.
 //! * [`planner`] — compiles expressions to MWS command programs under
 //!   the chip's latch-circuit rules (§6.1/Fig. 16).
 //! * [`parabit`] — the ParaBit baseline compiler (serial sensing).
 //! * [`device`] — the `fc_write`/`fc_read` interface (§6.3) over the
 //!   functional SSD.
+//! * [`batch`] — the query-session API: a [`QueryBatch`] of many
+//!   expressions submitted as one jointly planned device pass, with
+//!   cross-query dedup, shared-term extraction and per-query cost
+//!   attribution ([`BatchStats`]).
 //! * [`engines`] — the four evaluated platforms (OSP/ISP/PB/FC) as
-//!   pipeline-model job builders (Figs. 17/18).
+//!   pipeline-model job builders (Figs. 17/18), including batched
+//!   multi-workload evaluation.
 //! * [`reliability`] — the §5 characterization harness (Figs. 8, 11–14,
 //!   zero-error validation).
 //! * [`timeline`] — the Fig. 7 OSP/ISP/IFP timeline scenario.
 //!
-//! ## Quickstart
+//! ## Quickstart: a batched query session
+//!
+//! Store operand vectors once, then submit whole batches of queries —
+//! the planner dedups common work across queries and reports how many
+//! sensing operations the joint plan saved versus serial execution:
 //!
 //! ```
 //! use flash_cosmos::device::{FlashCosmosDevice, StoreHints};
-//! use flash_cosmos::expr::Expr;
+//! use flash_cosmos::batch::QueryBatch;
 //! use fc_ssd::SsdConfig;
 //! use fc_bits::BitVec;
 //!
@@ -43,14 +53,30 @@
 //! let ha = dev.fc_write("a", &a, StoreHints::and_group("g")).unwrap();
 //! let hb = dev.fc_write("b", &b, StoreHints::and_group("g")).unwrap();
 //! let hc = dev.fc_write("c", &c, StoreHints::and_group("g")).unwrap();
-//! let (result, stats) = dev
-//!     .fc_read(&Expr::and_vars([ha.id, hb.id, hc.id]))
-//!     .unwrap();
-//! assert_eq!(result, a.and(&b).and(&c));
-//! // One sensing operation per plane-stripe, not one per operand.
-//! assert_eq!(stats.senses, 4);
+//!
+//! // Handles compose with operator sugar; a batch collects many queries.
+//! let mut batch = QueryBatch::new();
+//! let q_all = batch.push(ha & hb & hc);
+//! let q_ab = batch.push(ha & hb);
+//! let q_dup = batch.push(hc & hb & ha); // same function as q_all
+//!
+//! let out = dev.submit(&batch).unwrap();
+//! assert_eq!(out.results[q_all], a.and(&b).and(&c));
+//! assert_eq!(out.results[q_ab], a.and(&b));
+//! assert_eq!(out.results[q_dup], out.results[q_all]);
+//! // The duplicate was answered by the first query's pass: 2 queries'
+//! // worth of senses for 3 queries.
+//! assert_eq!(out.stats.deduped_queries, 1);
+//! assert!(out.stats.senses < out.stats.serial_senses);
 //! ```
+//!
+//! One-off queries keep the original single-expression entry point
+//! ([`FlashCosmosDevice::fc_read`], now a thin wrapper over a one-query
+//! batch), and [`FlashCosmosDevice::fc_read_into`] /
+//! [`FlashCosmosDevice::submit_into`] write results into caller-owned
+//! buffers for allocation-free steady state.
 
+pub mod batch;
 pub mod device;
 pub mod engines;
 pub mod expr;
@@ -61,7 +87,8 @@ pub mod planner;
 pub mod reliability;
 pub mod timeline;
 
-pub use device::{FlashCosmosDevice, OperandHandle, ReadStats, StoreHints};
+pub use batch::{BatchResults, BatchStats, QueryBatch, QueryId, QueryStats};
+pub use device::{FcError, FlashCosmosDevice, OperandHandle, ReadStats, StoreHints};
 pub use engines::{Engines, Platform, PlatformReport, WorkloadShape};
 pub use expr::{Expr, Nnf, OperandId};
 pub use placement::{suggest_hints, LayoutAdvice};

@@ -33,8 +33,8 @@ pub fn majority3(a: OperandId, b: OperandId, c: OperandId) -> Expr {
 /// The chip's XOR logic is binary, so this compiles as two XOR programs
 /// when executed (the planner handles literal-literal XOR; ternary
 /// parity is evaluated as `(a ^ b) ^ c` by [`crate::expr::Expr::eval`]
-/// and requires two `fc_read` passes in-flash — see
-/// [`full_adder_in_flash`] in the tests for the staged pattern).
+/// and requires two `fc_read` passes in-flash — see the
+/// `full_adder_in_flash` test for the staged pattern).
 pub fn parity3(a: OperandId, b: OperandId, c: OperandId) -> Expr {
     Expr::xor(Expr::xor(Expr::var(a), Expr::var(b)), Expr::var(c))
 }

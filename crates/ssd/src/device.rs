@@ -67,7 +67,15 @@ impl std::fmt::Display for DeviceError {
     }
 }
 
-impl std::error::Error for DeviceError {}
+impl std::error::Error for DeviceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeviceError::Nand(e) => Some(e),
+            DeviceError::Ftl(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<NandError> for DeviceError {
     fn from(e: NandError) -> Self {

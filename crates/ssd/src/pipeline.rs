@@ -79,6 +79,53 @@ pub struct HostWork {
     pub dram_pj_per_byte: f64,
 }
 
+impl HostWork {
+    /// Folds another host workload into this one, for batched pipeline
+    /// runs that execute several workloads' job lists back to back.
+    ///
+    /// Byte counts add; the merged throughput preserves total CPU time
+    /// (byte-weighted harmonic combination), and the merged energy rate
+    /// preserves total energy (byte-weighted average), so a merged run
+    /// models the same host work as running the parts separately.
+    pub fn merge(&mut self, other: &HostWork) {
+        let total = self.cpu_bytes + other.cpu_bytes;
+        if total > 0 {
+            let time = |w: &HostWork| {
+                if w.cpu_gbps > 0.0 {
+                    w.cpu_bytes as f64 / w.cpu_gbps
+                } else {
+                    0.0
+                }
+            };
+            let total_time = time(self) + time(other);
+            self.cpu_gbps = if total_time > 0.0 { total as f64 / total_time } else { 0.0 };
+            self.cpu_pj_per_byte = (self.cpu_bytes as f64 * self.cpu_pj_per_byte
+                + other.cpu_bytes as f64 * other.cpu_pj_per_byte)
+                / total as f64;
+        }
+        self.cpu_bytes = total;
+        let dram_total = self.dram_bytes + other.dram_bytes;
+        if dram_total > 0 {
+            self.dram_pj_per_byte = (self.dram_bytes as f64 * self.dram_pj_per_byte
+                + other.dram_bytes as f64 * other.dram_pj_per_byte)
+                / dram_total as f64;
+        }
+        self.dram_bytes = dram_total;
+    }
+}
+
+/// Appends one run's per-die job lists onto an accumulated batch, so a
+/// single pipeline run executes many workloads back to back. Runs with
+/// different die counts compose (missing dies simply contribute no jobs).
+pub fn append_die_jobs(batch: &mut Vec<Vec<SenseJob>>, jobs: Vec<Vec<SenseJob>>) {
+    if batch.len() < jobs.len() {
+        batch.resize(jobs.len(), Vec::new());
+    }
+    for (acc, die_jobs) in batch.iter_mut().zip(jobs) {
+        acc.extend(die_jobs);
+    }
+}
+
 /// A per-die trace entry (used to print Fig. 7-style timelines).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TraceEvent {
@@ -382,6 +429,50 @@ pub fn sequential_write_gbps(config: &SsdConfig, tprog_us: f64, _bits_per_cell: 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn host_work_merge_preserves_time_and_energy() {
+        let mut a = HostWork {
+            cpu_bytes: 1000,
+            cpu_gbps: 10.0,
+            cpu_pj_per_byte: 2.0,
+            dram_bytes: 500,
+            dram_pj_per_byte: 4.0,
+        };
+        let b = HostWork {
+            cpu_bytes: 3000,
+            cpu_gbps: 30.0,
+            cpu_pj_per_byte: 6.0,
+            dram_bytes: 1500,
+            dram_pj_per_byte: 8.0,
+        };
+        let time_a = a.cpu_bytes as f64 / a.cpu_gbps;
+        let time_b = b.cpu_bytes as f64 / b.cpu_gbps;
+        let energy =
+            a.cpu_bytes as f64 * a.cpu_pj_per_byte + b.cpu_bytes as f64 * b.cpu_pj_per_byte;
+        let dram_energy =
+            a.dram_bytes as f64 * a.dram_pj_per_byte + b.dram_bytes as f64 * b.dram_pj_per_byte;
+        a.merge(&b);
+        assert_eq!(a.cpu_bytes, 4000);
+        assert!((a.cpu_bytes as f64 / a.cpu_gbps - (time_a + time_b)).abs() < 1e-9);
+        assert!((a.cpu_bytes as f64 * a.cpu_pj_per_byte - energy).abs() < 1e-9);
+        assert!((a.dram_bytes as f64 * a.dram_pj_per_byte - dram_energy).abs() < 1e-9);
+        // Merging empty work is a no-op.
+        let before = a;
+        a.merge(&HostWork::default());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn append_die_jobs_concatenates_per_die() {
+        let job = SenseJob::sense_only(1.0, 1.0);
+        let mut batch: Vec<Vec<SenseJob>> = vec![vec![job; 2], vec![job; 1]];
+        append_die_jobs(&mut batch, vec![vec![job; 1], vec![job; 3], vec![job; 2]]);
+        assert_eq!(batch.len(), 3, "batch widens to the larger die count");
+        assert_eq!(batch[0].len(), 3);
+        assert_eq!(batch[1].len(), 4);
+        assert_eq!(batch[2].len(), 2);
+    }
 
     /// Builds the Fig. 7 job lists: 3 operands × 1 MiB striped over all
     /// planes → one 32 KiB multi-plane read per die per operand.

@@ -19,6 +19,12 @@ pub fn days_for_months(months: u32) -> u32 {
     (months * 365) / 12
 }
 
+/// The Fig. 17a / 18a month sweep as one batch of shapes, for
+/// [`flash_cosmos::Engines::evaluate_batch`].
+pub fn paper_shapes(months: &[u32]) -> Vec<WorkloadShape> {
+    months.iter().map(|&m| paper_shape(m)).collect()
+}
+
 /// Paper-scale cost shape for Fig. 17a / 18a.
 pub fn paper_shape(months: u32) -> WorkloadShape {
     WorkloadShape {

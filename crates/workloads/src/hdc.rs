@@ -112,7 +112,15 @@ pub fn classify(query: &BitVec, prototypes: &[BitVec]) -> usize {
 
 /// Binds two hypervectors (feature ⊗ value): XOR.
 pub fn bind_expr(a: usize, b: usize) -> Expr {
-    Expr::xor(Expr::var(a), Expr::var(b))
+    Expr::var(a) ^ Expr::var(b)
+}
+
+/// One similarity query per stored class prototype (XNOR against the
+/// query hypervector), as a batch — classification matches the query
+/// against *every* prototype, which is exactly the many-expressions-one
+/// -pass shape the batched device API amortizes.
+pub fn similarity_batch(query: usize, prototypes: &[usize]) -> flash_cosmos::QueryBatch {
+    prototypes.iter().map(|&p| Expr::xnor(Expr::var(query), Expr::var(p))).collect()
 }
 
 #[cfg(test)]

@@ -16,6 +16,12 @@ pub const PAPER_PIXELS: u64 = 800 * 600;
 /// Colors per segmentation (§7).
 pub const PAPER_COLORS: u64 = 4;
 
+/// The Fig. 17b / 18b image-count sweep as one batch of shapes, for
+/// [`flash_cosmos::Engines::evaluate_batch`].
+pub fn paper_shapes(images: &[u64]) -> Vec<WorkloadShape> {
+    images.iter().map(|&i| paper_shape(i)).collect()
+}
+
 /// Paper-scale cost shape for Fig. 17b / 18b (`images` = the paper's
 /// `I`, swept 10,000..200,000).
 pub fn paper_shape(images: u64) -> WorkloadShape {
@@ -32,7 +38,7 @@ pub fn paper_shape(images: u64) -> WorkloadShape {
 /// A miniature functional IMS instance: `images` synthetic images of
 /// `width × height` pixels, 4 colors. The generator synthesizes per-pixel
 /// YUV values and derives the three binary masks by thresholding around
-/// the color prototypes — the pre-processing of §7's reference [135].
+/// the color prototypes — the pre-processing of §7's reference \[135\].
 pub fn mini(images: usize, width: usize, height: usize, seed: u64) -> FunctionalInstance {
     let mut rng = StdRng::seed_from_u64(seed);
     let colors = PAPER_COLORS as usize;

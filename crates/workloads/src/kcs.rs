@@ -21,6 +21,12 @@ pub const PAPER_VERTICES: u64 = 32_000_000;
 /// Cliques in the paper's input (§7: 1,024).
 pub const PAPER_CLIQUES: u64 = 1_024;
 
+/// The full Fig. 17c / 18c sweep as one batch of shapes, for
+/// [`flash_cosmos::Engines::evaluate_batch`].
+pub fn paper_shapes(ks: &[u32]) -> Vec<WorkloadShape> {
+    ks.iter().map(|&k| paper_shape(k)).collect()
+}
+
 /// Paper-scale cost shape for Fig. 17c / 18c (`k` swept 8..64).
 pub fn paper_shape(k: u32) -> WorkloadShape {
     WorkloadShape {
@@ -96,7 +102,7 @@ pub fn mini(vertices: usize, k: usize, cliques: usize, seed: u64) -> FunctionalI
         let expected = common.or(&clique_vec);
         queries.push(Query {
             label: format!("star of clique {c} (k={k})"),
-            expr: Expr::or(vec![Expr::and_vars(base..base + k), Expr::var(base + k)]),
+            expr: Expr::and_vars(base..base + k) | Expr::var(base + k),
             expected,
         });
     }

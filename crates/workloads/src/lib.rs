@@ -31,6 +31,7 @@ pub mod ims;
 pub mod kcs;
 
 use fc_bits::BitVec;
+use flash_cosmos::batch::{BatchStats, QueryBatch};
 use flash_cosmos::device::{FcError, FlashCosmosDevice, StoreHints};
 use flash_cosmos::expr::Expr;
 pub use flash_cosmos::WorkloadShape;
@@ -84,21 +85,36 @@ impl FunctionalInstance {
         Ok(())
     }
 
-    /// Runs every query through `fc_read` and checks it against ground
-    /// truth, returning total sensing operations.
+    /// All queries as one [`QueryBatch`], in query order.
+    pub fn batch(&self) -> QueryBatch {
+        self.queries.iter().map(|q| q.expr.clone()).collect()
+    }
+
+    /// Runs every query through the batched Flash-Cosmos path and checks
+    /// each result against ground truth, returning total sensing
+    /// operations.
     ///
     /// # Errors
     ///
     /// Propagates device errors; result mismatches panic (they indicate a
     /// simulator bug, not an operational failure).
     pub fn run_flash_cosmos(&self, dev: &mut FlashCosmosDevice) -> Result<u64, FcError> {
-        let mut senses = 0;
-        for q in &self.queries {
-            let (result, stats) = dev.fc_read(&q.expr)?;
-            assert_eq!(result, q.expected, "{}: {}", self.name, q.label);
-            senses += stats.senses;
+        Ok(self.run_batch(dev)?.senses)
+    }
+
+    /// Submits the whole workload as one jointly planned batch, checks
+    /// every result against ground truth, and returns the full
+    /// [`BatchStats`] (senses saved versus serial, per-query cost split).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors; result mismatches panic.
+    pub fn run_batch(&self, dev: &mut FlashCosmosDevice) -> Result<BatchStats, FcError> {
+        let out = dev.submit(&self.batch())?;
+        for (q, result) in self.queries.iter().zip(&out.results) {
+            assert_eq!(result, &q.expected, "{}: {}", self.name, q.label);
         }
-        Ok(senses)
+        Ok(out.stats)
     }
 
     /// Same but through the ParaBit baseline.
@@ -136,5 +152,18 @@ mod tests {
             let pb = instance.run_parabit(&mut dev).unwrap();
             assert!(fc <= pb, "{}: FC senses {fc} must not exceed PB {pb}", instance.name);
         }
+    }
+
+    #[test]
+    fn batch_stats_cover_every_query() {
+        let instance = kcs::mini(48, 3, 2, 0xC2);
+        let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+        instance.load(&mut dev).unwrap();
+        let stats = instance.run_batch(&mut dev).unwrap();
+        assert_eq!(stats.queries, instance.queries.len());
+        assert_eq!(stats.per_query.len(), instance.queries.len());
+        assert!(stats.senses <= stats.serial_senses);
+        let attributed: f64 = stats.per_query.iter().map(|q| q.senses).sum();
+        assert!((attributed - stats.senses as f64).abs() < 1e-9);
     }
 }

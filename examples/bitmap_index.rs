@@ -10,7 +10,7 @@
 use fc_ssd::SsdConfig;
 use fc_workloads::bmi;
 use flash_cosmos::engines::{Engines, Platform};
-use flash_cosmos::FlashCosmosDevice;
+use flash_cosmos::{Expr, FlashCosmosDevice, QueryBatch};
 
 fn main() {
     // --- functional mini instance --------------------------------------
@@ -20,16 +20,34 @@ fn main() {
     let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
     instance.load(&mut dev).expect("load daily vectors");
 
+    // A realistic index session: several dashboards ask overlapping
+    // streak questions at once — submit them as one batch. Reordered and
+    // repeated conjunctions dedup to a single pass each.
     let query = &instance.queries[0];
-    let (result, stats) = dev.fc_read(&query.expr).expect("in-flash AND");
-    assert_eq!(result, query.expected);
-    let active = bmi::count_active(&result);
-    println!("BMI mini: {users} users × {days} days");
-    println!("  users active every day : {active}");
-    println!("  Flash-Cosmos senses    : {}", stats.senses);
+    let last_week = Expr::and_vars((days as usize - 7)..days as usize);
+    let last_week_reordered = Expr::and_vars(((days as usize - 7)..days as usize).rev());
+    let mut batch = QueryBatch::new();
+    batch.push(query.expr.clone());
+    batch.push(last_week.clone());
+    batch.push(last_week_reordered); // same filter, different spelling
+    batch.push(query.expr.clone()); // dashboard refresh → duplicate
+    let out = dev.submit(&batch).expect("in-flash AND batch");
+    assert_eq!(out.results[0], query.expected);
+    assert_eq!(out.results[1], out.results[2]);
+
+    println!("BMI mini: {users} users × {days} days, {} queries batched", out.stats.queries);
+    println!("  users active every day : {}", bmi::count_active(&out.results[0]));
+    println!("  users active last week : {}", bmi::count_active(&out.results[1]));
+    println!(
+        "  Flash-Cosmos senses    : {} ({} if serial, {} saved, {} dups)",
+        out.stats.senses,
+        out.stats.serial_senses,
+        out.stats.senses_saved(),
+        out.stats.deduped_queries
+    );
 
     let (_, pb_stats) = dev.parabit_read(&query.expr).expect("ParaBit AND");
-    println!("  ParaBit senses         : {}", pb_stats.senses);
+    println!("  ParaBit senses (1 qry) : {}", pb_stats.senses);
 
     // --- paper-scale projection (Fig. 17a / 18a) -----------------------
     let engines = Engines::paper();

@@ -12,7 +12,7 @@
 use fc_bits::BitVec;
 use fc_ssd::SsdConfig;
 use fc_workloads::hdc;
-use flash_cosmos::{ops, Expr, FlashCosmosDevice, StoreHints};
+use flash_cosmos::{Expr, FlashCosmosDevice, StoreHints};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -22,21 +22,23 @@ fn main() {
     let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
     instance.load(&mut dev).expect("store example hypervectors");
 
-    // Stage 1: bundle each class in-flash (majority over its examples).
+    // Stage 1: bundle every class in-flash in ONE batched submission
+    // (majority over each class's examples).
     println!("HDC: {classes} classes × {examples} examples × {dims}-bit hypervectors");
+    let out = dev.submit(&instance.batch()).expect("in-flash majority bundles");
     let mut prototypes = Vec::new();
-    let mut total_senses = 0;
-    for (c, q) in instance.queries.iter().enumerate() {
-        let (bundle, stats) = dev.fc_read(&q.expr).expect("in-flash majority bundle");
+    for (c, (q, bundle)) in instance.queries.iter().zip(out.results).enumerate() {
         assert_eq!(bundle, q.expected);
-        total_senses += stats.senses;
-        println!("  class {c}: bundled with {} senses", stats.senses);
+        println!(
+            "  class {c}: bundled with {:.1} senses (amortized)",
+            out.stats.per_query[c].senses
+        );
         // Store the prototype back for the matching stage.
         dev.fc_write(&format!("proto{c}"), &bundle, StoreHints::and_group(&format!("p{c}")))
             .expect("store prototype");
         prototypes.push(bundle);
     }
-    println!("  total bundling senses: {total_senses}");
+    println!("  total bundling senses: {}", out.stats.senses);
 
     // Stage 2: classify noisy queries by in-flash XNOR + host popcount.
     let mut rng = StdRng::seed_from_u64(0x9E0);
@@ -50,13 +52,17 @@ fn main() {
             .expect("store query");
         let qid = dev.operand(&format!("query{t}")).unwrap().id;
 
+        // One batched submission matches the query against EVERY class
+        // prototype (in-flash XNOR; host-side popcount per result).
+        let pids: Vec<usize> =
+            (0..classes).map(|c| dev.operand(&format!("proto{c}")).unwrap().id).collect();
+        let sims =
+            dev.submit(&hdc::similarity_batch(qid, &pids)).expect("in-flash XNOR similarity batch");
+        // First-max tie-breaking (lowest class index wins a tie), like
+        // fc_workloads::hdc::classify.
         let mut best = (0usize, 0usize);
-        for c in 0..classes {
-            let pid = dev.operand(&format!("proto{c}")).unwrap().id;
-            // In-flash XNOR: 1 where query and prototype agree.
-            let (agreement, _) =
-                dev.fc_read(&ops::equality(qid, pid)).expect("in-flash XNOR similarity");
-            let score = agreement.count_ones(); // host-side popcount
+        for (c, agreement) in sims.results.iter().enumerate() {
+            let score = agreement.count_ones();
             if score > best.1 {
                 best = (c, score);
             }

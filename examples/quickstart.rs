@@ -1,11 +1,12 @@
-//! Quickstart: store operand vectors on a Flash-Cosmos SSD and combine
-//! them with a single multi-wordline sensing operation.
+//! Quickstart: store operand vectors on a Flash-Cosmos SSD, then submit
+//! a whole batch of bulk bitwise queries as one jointly planned device
+//! pass.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use fc_bits::BitVec;
 use fc_ssd::SsdConfig;
-use flash_cosmos::{Expr, FlashCosmosDevice, StoreHints};
+use flash_cosmos::{Expr, FlashCosmosDevice, QueryBatch, StoreHints};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -15,40 +16,66 @@ fn main() {
     let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
     let mut rng = StdRng::seed_from_u64(1);
 
-    // Ten operand vectors destined for a bulk AND: store them in the same
+    // Ten operand vectors destined for bulk ANDs: store them in the same
     // placement group so each plane keeps them in one block, stacked on
     // consecutive wordlines of the same NAND strings.
     let bits = 4096;
     let operands: Vec<BitVec> =
         (0..10).map(|_| BitVec::random_with_density(bits, 0.9, &mut rng)).collect();
-    let mut ids = Vec::new();
-    for (i, v) in operands.iter().enumerate() {
-        let handle = dev
-            .fc_write(&format!("vec{i}"), v, StoreHints::and_group("demo"))
-            .expect("store operand");
-        ids.push(handle.id);
-    }
+    let handles: Vec<_> = operands
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            dev.fc_write(&format!("vec{i}"), v, StoreHints::and_group("demo"))
+                .expect("store operand")
+        })
+        .collect();
 
-    // One fc_read → intra-block MWS: all ten operands sensed at once.
-    let expr = Expr::and_vars(ids.iter().copied());
-    let (result, fc) = dev.fc_read(&expr).expect("in-flash AND");
+    // A query session: several filters over the same group, including a
+    // repeat of the first (production batches are full of repeats).
+    // Handles compose with `&`/`|`/`!` operator sugar.
+    let all = Expr::and_vars(handles.iter().map(|h| h.id));
+    let mut batch = QueryBatch::new();
+    batch.push(all.clone());
+    batch.push(handles[0] & handles[1] & handles[2]);
+    batch.push(Expr::and_vars(handles[3..].iter().map(|h| h.id)));
+    batch.push(all.clone()); // duplicate — answered by the first pass
+
+    // One submit → the planner dedups across queries, executes one MWS
+    // pass per needed stripe program, and splits the cost per query.
+    let out = dev.submit(&batch).expect("in-flash batch");
 
     // Ground truth on the host.
     let expected = operands.iter().skip(1).fold(operands[0].clone(), |a, v| a.and(v));
-    assert_eq!(result, expected, "in-flash result must be bit-exact");
+    assert_eq!(out.results[0], expected, "in-flash result must be bit-exact");
+    assert_eq!(out.results[3], expected, "the duplicate sees the same result");
 
     // The same computation with the ParaBit baseline: one sense per
     // operand instead of one per stripe.
-    let (pb_result, pb) = dev.parabit_read(&expr).expect("ParaBit AND");
+    let (pb_result, pb) = dev.parabit_read(&all).expect("ParaBit AND");
     assert_eq!(pb_result, expected);
 
-    println!("bulk AND of {} operands × {} bits", operands.len(), bits);
-    println!("  result ones          : {}", result.count_ones());
-    println!("  Flash-Cosmos senses  : {:>5} ({:.1} µs on-chip)", fc.senses, fc.chip_time_us);
-    println!("  ParaBit senses       : {:>5} ({:.1} µs on-chip)", pb.senses, pb.chip_time_us);
+    println!("batched bulk ANDs over {} operands × {bits} bits", operands.len());
+    println!("  queries submitted      : {}", out.stats.queries);
+    println!("  senses executed        : {}", out.stats.senses);
+    println!("  senses if run serially : {}", out.stats.serial_senses);
     println!(
-        "  sensing reduction    : {:.1}× fewer senses, {:.1}× less chip time",
-        pb.senses as f64 / fc.senses as f64,
-        pb.chip_time_us / fc.chip_time_us
+        "  saved by the joint plan: {} ({} duplicate queries)",
+        out.stats.senses_saved(),
+        out.stats.deduped_queries
+    );
+    println!(
+        "  chip time {:.1} µs (critical path {:.1} µs across dies)",
+        out.stats.chip_time_us, out.stats.critical_path_us
+    );
+    for (qi, q) in out.stats.per_query.iter().enumerate() {
+        println!(
+            "    query {qi}: {:.2} senses, {:.2} µs, {:.2} µJ (amortized share)",
+            q.senses, q.chip_time_us, q.energy_uj
+        );
+    }
+    println!(
+        "  ParaBit, single query  : {:>5} senses ({:.1} µs on-chip)",
+        pb.senses, pb.chip_time_us
     );
 }

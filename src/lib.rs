@@ -10,8 +10,17 @@
 //! | [`fc_nand`] | the NAND chip simulator (V_TH physics, MWS, ESP, latches, command set) |
 //! | [`fc_ssd`] | SSD-scale simulation (channels, FTL, BCH ECC, pipeline timing, energy) |
 //! | [`fc_host`] | host CPU/DRAM models (the OSP baseline) |
-//! | [`flash_cosmos`] | the paper's contribution: planner, device API, platforms, characterization |
-//! | [`fc_workloads`] | BMI / IMS / KCS generators with ground truth |
+//! | [`flash_cosmos`] | the paper's contribution: planner, batched query-session device API, platforms, characterization |
+//! | [`fc_workloads`] | BMI / IMS / KCS / HDC generators with ground truth, batch-ready |
+//!
+//! The device-facing entry point is the batched query-session API:
+//! collect expressions in a [`flash_cosmos::QueryBatch`], call
+//! [`submit`](flash_cosmos::FlashCosmosDevice::submit), and read the
+//! per-query results plus a [`flash_cosmos::BatchStats`] reporting the
+//! senses the joint plan saved versus serial execution. Single
+//! expressions still go through
+//! [`fc_read`](flash_cosmos::FlashCosmosDevice::fc_read), now a thin
+//! one-query wrapper over the same path.
 
 pub use fc_bits;
 pub use fc_host;
@@ -31,11 +40,17 @@ mod tests {
     #[test]
     fn demo_device_is_usable() {
         use fc_bits::BitVec;
-        use flash_cosmos::{Expr, StoreHints};
+        use flash_cosmos::{QueryBatch, StoreHints};
         let mut dev = super::demo_device();
         let v = BitVec::ones(64);
-        let h = dev.fc_write("x", &v, StoreHints::and_group("g")).unwrap();
-        let (out, _) = dev.fc_read(&Expr::var(h.id)).unwrap();
-        assert_eq!(out, v);
+        let w = BitVec::zeros(64);
+        let hv = dev.fc_write("x", &v, StoreHints::and_group("g")).unwrap();
+        let hw = dev.fc_write("y", &w, StoreHints::and_group("g")).unwrap();
+        let mut batch = QueryBatch::new();
+        let and = batch.push(hv & hw);
+        let or = batch.push(hv | hw);
+        let out = dev.submit(&batch).unwrap();
+        assert_eq!(out.results[and], w);
+        assert_eq!(out.results[or], v);
     }
 }

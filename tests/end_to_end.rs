@@ -1,6 +1,8 @@
 //! End-to-end integration: full workload instances flow through the
-//! Flash-Cosmos device (FTL placement → planner → chip MWS → result
-//! assembly) and match host ground truth, on both FC and ParaBit paths.
+//! Flash-Cosmos device (FTL placement → batched planner → chip MWS →
+//! result assembly) and match host ground truth, on both FC and ParaBit
+//! paths. Flash-Cosmos runs go through the `submit` query-session API
+//! (one jointly planned batch per instance); ParaBit stays serial.
 
 use fc_ssd::SsdConfig;
 use fc_workloads::{bmi, ims, kcs};
@@ -38,6 +40,31 @@ fn kcs_instance_end_to_end() {
     // Per stripe per clique: FC fuses AND(k)+OR into one sense; PB needs
     // k+1 senses.
     assert_eq!(pb, 5 * fc, "k=4 plus clique vector → 5× senses for PB");
+}
+
+#[test]
+fn kcs_batch_stats_match_serial_plan() {
+    // The three clique queries are all distinct, so the joint plan
+    // matches the serial plan sense for sense — BatchStats must say so.
+    let instance = kcs::mini(64, 4, 3, 0xE2E5);
+    let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+    instance.load(&mut dev).unwrap();
+    let stats = instance.run_batch(&mut dev).unwrap();
+    assert_eq!(stats.queries, 3);
+    assert_eq!(stats.senses, stats.serial_senses, "distinct queries share nothing");
+    assert_eq!(stats.deduped_queries, 0);
+    assert!(stats.critical_path_us <= stats.chip_time_us);
+    // A duplicated query list, on the other hand, halves the senses.
+    let mut batch = instance.batch();
+    batch.extend(instance.queries.iter().map(|q| q.expr.clone()));
+    let out = dev.submit(&batch).unwrap();
+    assert_eq!(out.stats.deduped_queries, 3);
+    assert_eq!(out.stats.senses, stats.senses, "duplicates ride the original passes");
+    assert_eq!(out.stats.serial_senses, 2 * stats.serial_senses);
+    for (qi, q) in instance.queries.iter().enumerate() {
+        assert_eq!(out.results[qi], q.expected);
+        assert_eq!(out.results[qi + 3], q.expected);
+    }
 }
 
 #[test]
