@@ -264,6 +264,64 @@ fn batch_submit(c: &mut Criterion) {
     group.finish();
 }
 
+/// Die-aware placement: 16 single-stripe queries over 16 independent
+/// placement groups spread across the tiny geometry's 4 dies, versus the
+/// same workload pinned to die 0 (the pre-fix serialization). Wall time
+/// measures the simulator; the modeled device win is the critical path,
+/// printed once per run (busiest die vs all-on-die-0).
+fn batch_submit_multi_die(c: &mut Criterion) {
+    use flash_cosmos::batch::QueryBatch;
+    use flash_cosmos::device::{FlashCosmosDevice, StoreHints};
+
+    fn setup(die: Option<usize>) -> (FlashCosmosDevice, QueryBatch) {
+        let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+        let mut rng = StdRng::seed_from_u64(7);
+        let bits = dev.config().page_bits();
+        let mut batch = QueryBatch::new();
+        for g in 0..16 {
+            let mut hints = StoreHints::and_group(&format!("g{g}"));
+            if let Some(d) = die {
+                hints = hints.with_die(d);
+            }
+            let ids: Vec<usize> = (0..2)
+                .map(|i| {
+                    let v = BitVec::random(bits, &mut rng);
+                    dev.fc_write(&format!("g{g}-{i}"), &v, hints.clone()).unwrap().id
+                })
+                .collect();
+            batch.push(Expr::and_vars(ids));
+        }
+        (dev, batch)
+    }
+
+    let mut group = c.benchmark_group("batch");
+    group.sample_size(20);
+    let (mut spread_dev, spread_batch) = setup(None);
+    let (mut pinned_dev, pinned_batch) = setup(Some(0));
+    let spread = spread_dev.submit(&spread_batch).unwrap().stats;
+    let pinned = pinned_dev.submit(&pinned_batch).unwrap().stats;
+    println!(
+        "batch/submit_16q_multi_die: critical path {:.1} µs on {} dies \
+         (die-0-serialized baseline {:.1} µs, {:.1}x)",
+        spread.critical_path_us,
+        spread.dies_used,
+        pinned.critical_path_us,
+        pinned.critical_path_us / spread.critical_path_us
+    );
+    let mut outs: Vec<BitVec> = (0..spread_batch.len()).map(|_| BitVec::zeros(0)).collect();
+    group.bench_function("submit_16q_multi_die", |bench| {
+        bench.iter(|| {
+            spread_dev.submit_into(std::hint::black_box(&spread_batch), &mut outs).unwrap()
+        });
+    });
+    group.bench_function("submit_16q_die0_pinned", |bench| {
+        bench.iter(|| {
+            pinned_dev.submit_into(std::hint::black_box(&pinned_batch), &mut outs).unwrap()
+        });
+    });
+    group.finish();
+}
+
 fn pipeline_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline");
     group.sample_size(20);
@@ -289,6 +347,7 @@ criterion_group!(
     ecc_codec,
     randomizer,
     batch_submit,
+    batch_submit_multi_die,
     pipeline_sim
 );
 criterion_main!(benches);

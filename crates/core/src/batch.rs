@@ -15,9 +15,15 @@
 //!   several queries is sensed once and OR-merged into every consumer on
 //!   the controller, when the joint plan needs fewer senses than the
 //!   per-query plans (the planner compares both and keeps the cheaper).
+//! * **Cross-die execution** — a unit whose operands live on several
+//!   dies (die-aware placement spreads distinct groups on purpose) is
+//!   split into per-die sub-programs ([`crate::crossdie`]); the partial
+//!   pages AND/OR/XOR-merge in the controller, so spanning queries
+//!   execute instead of failing with `PlaneMismatch`.
 //! * **Die-aware ordering** — per-stripe programs are scheduled die by
 //!   die, so the reported critical path reflects cross-die parallelism
-//!   while chip time stays the serial-equivalent sum.
+//!   ([`BatchStats::critical_path_us`] is the busiest die's time) while
+//!   chip time stays the serial-equivalent sum.
 //!
 //! Results land in caller-provided buffers ([`submit_into`] — zero
 //! steady-state allocation) or freshly allocated vectors ([`submit`]),
@@ -35,9 +41,10 @@ use fc_nand::command::Command;
 use fc_ssd::device::DeviceError;
 use fc_ssd::topology::DieId;
 
+use crate::crossdie::{self, ExecPlan, Leaf, MergeTree};
 use crate::device::{FcError, FlashCosmosDevice};
 use crate::expr::{Expr, Literal, Nnf, OperandId};
-use crate::planner::{self, MwsProgram, PlacementMap, PlanError, PlannerCaps};
+use crate::planner::{self, PlannerCaps};
 
 /// Identifies one query inside a [`QueryBatch`] — the index of the
 /// matching entry in [`BatchResults::results`] / [`BatchStats::per_query`].
@@ -131,6 +138,10 @@ pub struct BatchStats {
     pub deduped_queries: usize,
     /// Shared OR terms extracted into their own single-sense plan units.
     pub shared_units: usize,
+    /// Distinct dies that executed sensing work — >1 means the batch
+    /// genuinely exploited die-level parallelism (and `critical_path_us`
+    /// sits below `chip_time_us`).
+    pub dies_used: usize,
     /// Cost split per query, indexed by [`QueryId`].
     pub per_query: Vec<QueryStats>,
 }
@@ -264,39 +275,57 @@ impl FlashCosmosDevice {
         let decomposed = stats.shared_units > 0;
 
         // What serial execution would have cost (the paper's headline
-        // metric). With the whole-query plan the executed unit programs
-        // ARE the serial programs, so the cost falls out of the execution
-        // loop below for free; only a decomposed plan needs the unique
-        // queries compiled standalone.
+        // metric). With the whole-query plan the executed unit plans ARE
+        // the serial plans, so the cost falls out of the compile loop
+        // below for free; only a decomposed plan needs the unique queries
+        // compiled standalone.
         if decomposed {
             for (nnf, consumers) in &uniques {
                 let ids: Vec<OperandId> = nnf.operands().into_iter().collect();
                 let mut senses = 0u64;
                 for slot in 0..q_pages[consumers[0]] {
-                    let (program, _) = self.stripe_program(nnf, &ids, slot, caps)?;
-                    senses += program.sense_count() as u64;
+                    let plan = self.stripe_plan(nnf, &ids, slot, caps)?;
+                    senses += plan.sense_count() as u64;
                 }
                 stats.serial_senses += senses * consumers.len() as u64;
             }
         }
 
-        // Compile every (unit, stripe) pair and order the work die-major,
-        // so each die's command queue is contiguous and the critical path
-        // reflects cross-die parallelism.
-        let mut execs: Vec<(DieId, usize, usize, MwsProgram)> = Vec::new();
+        // Compile every (unit, stripe) pair into a cross-die plan. The
+        // plan's leaves (one per plane touched) go into one global
+        // execution list ordered die-major — each die's command queue is
+        // contiguous and the critical path reflects cross-die parallelism
+        // — while the merge recipes remember how the controller combines
+        // partial pages of units that span dies.
+        let mut leaves: Vec<Leaf> = Vec::new();
+        let mut leaf_meta: Vec<(usize, usize)> = Vec::new(); // (ui, slot) per leaf
+        let mut direct: Vec<bool> = Vec::new(); // leaf streams straight to outputs
+        let mut merges: Vec<(usize, usize, MergeTree)> = Vec::new();
         for (ui, unit) in units.iter().enumerate() {
             for slot in 0..unit.pages {
-                let (program, die) = self.stripe_program(&unit.nnf, &unit.ids, slot, caps)?;
+                let plan = self.stripe_plan(&unit.nnf, &unit.ids, slot, caps)?;
                 if !decomposed {
-                    // Whole-query plan: each unique program executes once
-                    // but a serial run would repeat it per duplicate.
-                    stats.serial_senses +=
-                        program.sense_count() as u64 * unit.consumers.len() as u64;
+                    // Whole-query plan: each unique plan executes once but
+                    // a serial run would repeat it per duplicate.
+                    stats.serial_senses += plan.sense_count() as u64 * unit.consumers.len() as u64;
                 }
-                execs.push((die, slot, ui, program));
+                let tree = plan.flatten(&mut leaves);
+                leaf_meta.resize(leaves.len(), (ui, slot));
+                // Single-leaf plans (the common co-planar case) stream
+                // their page straight into the consumers' outputs at
+                // execution time; only genuinely spanning plans buffer
+                // partials for the controller merge.
+                if let MergeTree::Leaf(i) = tree {
+                    direct.resize(leaves.len(), false);
+                    direct[i] = true;
+                } else {
+                    merges.push((ui, slot, tree));
+                }
             }
         }
-        execs.sort_by_key(|e| (e.0, e.1, e.2));
+        direct.resize(leaves.len(), false);
+        let mut order: Vec<usize> = (0..leaves.len()).collect();
+        order.sort_by_key(|&i| (leaves[i].plane.die, leaf_meta[i].1, leaf_meta[i].0, i));
 
         let page_bits = self.ssd.config().page_bits();
         for (qi, out) in outs.iter_mut().enumerate() {
@@ -304,41 +333,61 @@ impl FlashCosmosDevice {
         }
 
         let mut die_time: HashMap<DieId, f64> = HashMap::new();
-        for (die, slot, ui, program) in execs {
-            let chip = self.ssd.chip_mut(die);
+        let mut pages: Vec<Option<BitVec>> = vec![None; leaves.len()];
+        for i in order {
+            let leaf = &leaves[i];
+            let (ui, _) = leaf_meta[i];
+            let chip = self.ssd.chip_mut(leaf.plane.die);
             let mut latency = 0.0;
             let mut energy = 0.0;
-            for cmd in &program.commands {
+            for cmd in &leaf.program.commands {
                 let out = chip.execute(cmd.clone()).map_err(DeviceError::Nand)?;
                 latency += out.latency_us;
                 energy += out.energy_uj;
             }
             let mut page = chip
-                .execute(Command::ReadOut { plane: program.plane })
+                .execute(Command::ReadOut { plane: leaf.program.plane })
                 .map_err(DeviceError::Nand)?
                 .into_page()
                 .expect("read-out streams the cache latch");
-            if program.controller_not {
+            if leaf.program.controller_not {
                 page.not_assign();
             }
-            let senses = program.sense_count() as u64;
+            let senses = leaf.program.sense_count() as u64;
             stats.senses += senses;
             stats.chip_time_us += latency;
             stats.energy_uj += energy;
-            *die_time.entry(die).or_insert(0.0) += latency;
+            *die_time.entry(leaf.plane.die).or_insert(0.0) += latency;
             let unit = &units[ui];
             let share = 1.0 / unit.consumers.len() as f64;
             for &qi in &unit.consumers {
-                // Outputs start zeroed, so OR-accumulation doubles as the
-                // plain copy for single-unit queries.
-                outs[qi].or_from(slot * page_bits, &page);
                 let qs = &mut stats.per_query[qi];
                 qs.senses += senses as f64 * share;
                 qs.chip_time_us += latency * share;
                 qs.energy_uj += energy * share;
             }
+            if direct[i] {
+                // Outputs start zeroed, so OR-accumulation doubles as the
+                // plain copy for single-unit queries.
+                let slot = leaf_meta[i].1;
+                for &qi in &unit.consumers {
+                    outs[qi].or_from(slot * page_bits, &page);
+                }
+            } else {
+                pages[i] = Some(page);
+            }
         }
         stats.critical_path_us = die_time.values().fold(0.0, |a, &b| a.max(b));
+        stats.dies_used = die_time.len();
+
+        // Merge each spanning unit-stripe's buffered partial pages and
+        // accumulate into the consumers' outputs.
+        for (ui, slot, tree) in merges {
+            let page = crossdie::eval_merge(&tree, &mut pages);
+            for &qi in &units[ui].consumers {
+                outs[qi].or_from(slot * page_bits, &page);
+            }
+        }
         for (qi, out) in outs.iter_mut().enumerate() {
             out.resize(q_bits[qi], false);
         }
@@ -465,37 +514,28 @@ impl FlashCosmosDevice {
     fn estimate_senses(&self, units: &[Unit], caps: PlannerCaps) -> Result<u64, FcError> {
         let mut total = 0u64;
         for unit in units {
-            let (program, _) = self.stripe_program(&unit.nnf, &unit.ids, 0, caps)?;
-            total += program.sense_count() as u64 * unit.pages as u64;
+            let plan = self.stripe_plan(&unit.nnf, &unit.ids, 0, caps)?;
+            total += plan.sense_count() as u64 * unit.pages as u64;
         }
         Ok(total)
     }
 
-    /// Builds one stripe's placement map from the FTL and compiles the
-    /// unit's program, checking that every operand lives on one die.
-    fn stripe_program(
+    /// Builds one stripe's placement from the FTL and compiles the unit
+    /// into a cross-die execution plan: a single program when every
+    /// operand shares a plane, per-plane programs plus a controller merge
+    /// when the unit spans dies.
+    fn stripe_plan(
         &self,
         nnf: &Nnf,
         ids: &[OperandId],
         slot: usize,
         caps: PlannerCaps,
-    ) -> Result<(MwsProgram, DieId), FcError> {
-        let mut map = PlacementMap::new();
-        let mut die: Option<DieId> = None;
-        for &id in ids {
-            let lpn = self.record(id)?.lpns[slot];
-            let (d, wl) = self.ssd.locate(lpn).expect("written operands are always mapped");
-            let inverted =
-                self.ssd.ftl().meta(lpn).expect("written operands carry metadata").inverted;
-            map.insert(id, wl, inverted);
-            match die {
-                None => die = Some(d),
-                Some(d0) if d0 != d => return Err(FcError::Plan(PlanError::PlaneMismatch)),
-                _ => {}
-            }
-        }
-        let program = planner::compile(nnf, &map, caps)?;
-        Ok((program, die.expect("at least one operand")))
+    ) -> Result<ExecPlan, FcError> {
+        let map = self.stripe_map(ids, slot)?;
+        crossdie::compile_spanning(nnf, &|id| self.operand_plane(id, slot), &mut |sub| {
+            planner::compile(sub, &map, caps)
+        })
+        .map_err(FcError::Plan)
     }
 }
 
@@ -690,15 +730,21 @@ mod tests {
 
     #[test]
     fn sharing_is_rejected_when_it_would_cost_extra_senses() {
-        // Two 2-term OR queries over single-block operands share one
-        // term, but each whole query is a single inter-block MWS (1
-        // sense). Decomposing would need 3 senses for 2 queries — the
-        // planner must keep the 2-sense serial plan.
+        // Two 2-term OR queries over single-block operands (colocated on
+        // one plane so the whole query fuses) share one term, but each
+        // whole query is a single inter-block MWS (1 sense). Decomposing
+        // would need 3 senses for 2 queries — the planner must keep the
+        // 2-sense serial plan.
         let mut dev = device();
         let vs = vectors(3, 256, 6);
-        let a = store_group(&mut dev, &vs[..1], "ga")[0];
-        let b = store_group(&mut dev, &vs[1..2], "gb")[0];
-        let c = store_group(&mut dev, &vs[2..], "gc")[0];
+        let colocated = |dev: &mut FlashCosmosDevice, i: usize, g: &str| {
+            dev.fc_write(&format!("{g}-0"), &vs[i], StoreHints::and_group(g).colocated("fuse"))
+                .unwrap()
+                .id
+        };
+        let a = colocated(&mut dev, 0, "ga");
+        let b = colocated(&mut dev, 1, "gb");
+        let c = colocated(&mut dev, 2, "gc");
         let mut batch = QueryBatch::new();
         batch.push(Expr::or_vars([a, b]));
         batch.push(Expr::or_vars([a, c]));

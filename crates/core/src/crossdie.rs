@@ -1,0 +1,383 @@
+//! Cross-die execution plans: splitting one query over the planes its
+//! operands live on.
+//!
+//! Die-aware placement (this crate's `device` module) spreads distinct
+//! placement groups across dies so independent queries execute in
+//! parallel. The price: a single query whose operands span planes can no
+//! longer compile to one MWS program — a latch bank is per-plane, so the
+//! planner's [`PlanError::PlaneMismatch`] used to be a hard error. This
+//! module turns that error into a *planned* cross-die execution:
+//!
+//! * the normalized expression is partitioned by plane — children of a
+//!   top-level AND/OR that share a plane compile **together** (keeping
+//!   every intra-plane MWS fusion the planner can find), children that
+//!   themselves span planes recurse;
+//! * each single-plane piece becomes a [`Leaf`] holding an ordinary
+//!   [`MwsProgram`] for that plane's chip;
+//! * the controller combines the partial result pages per the
+//!   [`MergeTree`] (AND/OR/XOR — the same operator that joined the
+//!   pieces in the expression).
+//!
+//! Leaves on different dies sense concurrently, so a split query's
+//! critical path is the busiest die, not the sum — exactly the
+//! plane/die-level parallelism §7–§8 of the paper builds its throughput
+//! on. The splitter is compiler-agnostic: the Flash-Cosmos planner and
+//! the ParaBit baseline compiler both plug in as the leaf compiler, so
+//! the baseline stops silently executing cross-die operands on one chip.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use fc_bits::BitVec;
+use fc_ssd::topology::PlaneId;
+
+use crate::expr::{Nnf, OperandId};
+use crate::planner::{MwsProgram, PlanError};
+
+/// How the controller combines partial result pages of a split query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeOp {
+    /// Bitwise AND of the partials.
+    And,
+    /// Bitwise OR of the partials.
+    Or,
+    /// Bitwise XOR of the partials (exactly two).
+    Xor,
+}
+
+/// One single-plane piece of a spanning plan: a compiled program plus the
+/// SSD-level plane (die + in-die plane) it runs on.
+#[derive(Debug, Clone)]
+pub struct Leaf {
+    /// The plane whose chip executes the program.
+    pub plane: PlaneId,
+    /// The compiled single-plane program.
+    pub program: MwsProgram,
+}
+
+/// A compiled execution plan for one expression stripe: either a single
+/// chip program (all operands co-planar) or a controller merge over
+/// sub-plans.
+#[derive(Debug, Clone)]
+pub enum ExecPlan {
+    /// Runs entirely on one plane.
+    Chip(Leaf),
+    /// Controller-side combination of concurrently executable parts.
+    Merge {
+        /// Combining operator.
+        op: MergeOp,
+        /// Sub-plans (each a chip program or a nested merge).
+        parts: Vec<ExecPlan>,
+    },
+}
+
+/// Merge recipe over a flattened leaf list: leaves are referenced by
+/// their index in the [`ExecPlan::flatten`] output (pre-order).
+#[derive(Debug, Clone)]
+pub enum MergeTree {
+    /// The executed page of leaf `i`.
+    Leaf(usize),
+    /// Combine the children's pages with the operator.
+    Node(MergeOp, Vec<MergeTree>),
+}
+
+impl ExecPlan {
+    /// Total sensing operations across all leaves — the paper's headline
+    /// cost metric, unchanged by splitting.
+    pub fn sense_count(&self) -> usize {
+        match self {
+            ExecPlan::Chip(leaf) => leaf.program.sense_count(),
+            ExecPlan::Merge { parts, .. } => parts.iter().map(ExecPlan::sense_count).sum(),
+        }
+    }
+
+    /// Distinct dies the plan touches.
+    pub fn die_count(&self) -> usize {
+        let mut dies = BTreeSet::new();
+        self.collect_dies(&mut dies);
+        dies.len()
+    }
+
+    fn collect_dies(&self, dies: &mut BTreeSet<fc_ssd::topology::DieId>) {
+        match self {
+            ExecPlan::Chip(leaf) => {
+                dies.insert(leaf.plane.die);
+            }
+            ExecPlan::Merge { parts, .. } => {
+                for p in parts {
+                    p.collect_dies(dies);
+                }
+            }
+        }
+    }
+
+    /// Decomposes the plan into its leaves (appended to `leaves` in
+    /// pre-order) and the merge recipe referencing them by index.
+    pub fn flatten(self, leaves: &mut Vec<Leaf>) -> MergeTree {
+        match self {
+            ExecPlan::Chip(leaf) => {
+                leaves.push(leaf);
+                MergeTree::Leaf(leaves.len() - 1)
+            }
+            ExecPlan::Merge { op, parts } => {
+                MergeTree::Node(op, parts.into_iter().map(|p| p.flatten(leaves)).collect())
+            }
+        }
+    }
+}
+
+/// Combines executed leaf pages per the merge recipe. Each leaf page is
+/// consumed exactly once (`pages[i]` is taken, not cloned).
+///
+/// # Panics
+///
+/// Panics if a referenced page is missing or already consumed — the
+/// recipe and the page list must come from the same [`ExecPlan`].
+pub fn eval_merge(tree: &MergeTree, pages: &mut [Option<BitVec>]) -> BitVec {
+    match tree {
+        MergeTree::Leaf(i) => pages[*i].take().expect("each leaf page is consumed exactly once"),
+        MergeTree::Node(op, parts) => {
+            let mut acc = eval_merge(&parts[0], pages);
+            for part in &parts[1..] {
+                let page = eval_merge(part, pages);
+                match op {
+                    MergeOp::And => acc.and_assign(&page),
+                    MergeOp::Or => acc.or_assign(&page),
+                    MergeOp::Xor => acc.xor_assign(&page),
+                }
+            }
+            acc
+        }
+    }
+}
+
+/// Compiles `nnf` into an [`ExecPlan`], splitting across planes where the
+/// operand placement requires it. `plane_of` resolves every operand to
+/// the SSD-level plane its stripe page lives on (`None` for unplaced
+/// operands); `leaf_compile` lowers a single-plane sub-expression to a
+/// chip program (the Flash-Cosmos planner or the ParaBit compiler).
+///
+/// # Errors
+///
+/// [`PlanError::NoPlacement`] for operands `plane_of` cannot resolve, and
+/// whatever `leaf_compile` reports for a piece it cannot lower. XOR below
+/// the top level cannot span planes (mirroring the single-plane planner,
+/// which rejects nested XOR outright).
+pub fn compile_spanning<P, F>(
+    nnf: &Nnf,
+    plane_of: &P,
+    leaf_compile: &mut F,
+) -> Result<ExecPlan, PlanError>
+where
+    P: Fn(OperandId) -> Option<PlaneId>,
+    F: FnMut(&Nnf) -> Result<MwsProgram, PlanError>,
+{
+    build(nnf, plane_of, leaf_compile, true)
+}
+
+/// Collects the distinct planes an expression's operands live on into
+/// `span` (a small vector with linear dedup — expressions touch a
+/// handful of planes, and this path runs once per plan node, so it
+/// stays allocation-light on the hot single-plane case).
+fn collect_span<P>(nnf: &Nnf, plane_of: &P, span: &mut Vec<PlaneId>) -> Result<(), PlanError>
+where
+    P: Fn(OperandId) -> Option<PlaneId>,
+{
+    match nnf {
+        Nnf::Literal(l) => {
+            let p = plane_of(l.id).ok_or(PlanError::NoPlacement(l.id))?;
+            if !span.contains(&p) {
+                span.push(p);
+            }
+        }
+        Nnf::And(cs) | Nnf::Or(cs) => {
+            for c in cs {
+                collect_span(c, plane_of, span)?;
+            }
+        }
+        Nnf::Xor(a, b) => {
+            collect_span(a, plane_of, span)?;
+            collect_span(b, plane_of, span)?;
+        }
+    }
+    Ok(())
+}
+
+fn build<P, F>(
+    nnf: &Nnf,
+    plane_of: &P,
+    leaf_compile: &mut F,
+    top: bool,
+) -> Result<ExecPlan, PlanError>
+where
+    P: Fn(OperandId) -> Option<PlaneId>,
+    F: FnMut(&Nnf) -> Result<MwsProgram, PlanError>,
+{
+    let mut span = Vec::with_capacity(2);
+    collect_span(nnf, plane_of, &mut span)?;
+    if span.len() <= 1 {
+        let plane = span
+            .first()
+            .copied()
+            .unwrap_or(PlaneId { die: fc_ssd::topology::DieId::new(0, 0), plane: 0 });
+        return Ok(ExecPlan::Chip(Leaf { plane, program: leaf_compile(nnf)? }));
+    }
+    match nnf {
+        Nnf::Literal(_) => unreachable!("a literal lives on exactly one plane"),
+        Nnf::And(cs) => build_nary(cs, MergeOp::And, plane_of, leaf_compile),
+        Nnf::Or(cs) => build_nary(cs, MergeOp::Or, plane_of, leaf_compile),
+        Nnf::Xor(a, b) => {
+            if !top {
+                return Err(PlanError::Unplannable(
+                    "XOR below the top level cannot span planes".to_string(),
+                ));
+            }
+            // The chip XOR logic combines two latches once, so only
+            // literal sides are expressible — same rule as the planner.
+            if !matches!((a.as_ref(), b.as_ref()), (Nnf::Literal(_), Nnf::Literal(_))) {
+                return Err(PlanError::UnsupportedXor);
+            }
+            let parts = vec![
+                build(a, plane_of, leaf_compile, false)?,
+                build(b, plane_of, leaf_compile, false)?,
+            ];
+            Ok(ExecPlan::Merge { op: MergeOp::Xor, parts })
+        }
+    }
+}
+
+/// Splits an n-ary AND/OR: children sharing a plane compile together (so
+/// intra-plane MWS fusion survives), spanning children recurse.
+fn build_nary<P, F>(
+    children: &[Nnf],
+    op: MergeOp,
+    plane_of: &P,
+    leaf_compile: &mut F,
+) -> Result<ExecPlan, PlanError>
+where
+    P: Fn(OperandId) -> Option<PlaneId>,
+    F: FnMut(&Nnf) -> Result<MwsProgram, PlanError>,
+{
+    let mut buckets: BTreeMap<PlaneId, Vec<Nnf>> = BTreeMap::new();
+    let mut parts = Vec::new();
+    let mut span = Vec::with_capacity(2);
+    for child in children {
+        span.clear();
+        collect_span(child, plane_of, &mut span)?;
+        if let [plane] = span[..] {
+            buckets.entry(plane).or_default().push(child.clone());
+        } else {
+            parts.push(build(child, plane_of, leaf_compile, false)?);
+        }
+    }
+    for (plane, mut bucket) in buckets {
+        let sub = if bucket.len() == 1 {
+            bucket.pop().expect("non-empty bucket")
+        } else {
+            match op {
+                MergeOp::And => Nnf::And(bucket),
+                MergeOp::Or => Nnf::Or(bucket),
+                MergeOp::Xor => unreachable!("XOR is not n-ary"),
+            }
+        };
+        parts.push(ExecPlan::Chip(Leaf { plane, program: leaf_compile(&sub)? }));
+    }
+    Ok(ExecPlan::Merge { op, parts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::planner::{self, PlacementMap, PlannerCaps};
+    use fc_nand::geometry::WlAddr;
+    use fc_ssd::topology::DieId;
+
+    fn caps() -> PlannerCaps {
+        PlannerCaps { max_inter_blocks: 4, wls_per_block: 8 }
+    }
+
+    /// Places operand `i` on (die i/2, in-die plane 0), block i, wl 0.
+    fn layout(n: usize) -> (PlacementMap, std::collections::HashMap<OperandId, PlaneId>) {
+        let mut map = PlacementMap::new();
+        let mut planes = std::collections::HashMap::new();
+        for i in 0..n {
+            map.insert(i, WlAddr::new(0, i as u32, 0), false);
+            planes.insert(i, PlaneId { die: DieId::new(0, (i / 2) as u32), plane: 0 });
+        }
+        (map, planes)
+    }
+
+    #[test]
+    fn co_planar_expression_stays_one_program() {
+        let (map, _) = layout(4);
+        let planes: std::collections::HashMap<OperandId, PlaneId> =
+            (0..4).map(|i| (i, PlaneId { die: DieId::new(0, 0), plane: 0 })).collect();
+        let nnf = Expr::or_vars(0..4).to_nnf();
+        let plan = compile_spanning(&nnf, &|id| planes.get(&id).copied(), &mut |sub| {
+            planner::compile(sub, &map, caps())
+        })
+        .unwrap();
+        assert!(matches!(plan, ExecPlan::Chip(_)));
+        assert_eq!(plan.sense_count(), 1, "Eq. 1 fusion survives");
+        assert_eq!(plan.die_count(), 1);
+    }
+
+    #[test]
+    fn spanning_and_splits_per_plane_and_merges() {
+        // 4 operands over 2 dies: one leaf per die, AND-merged.
+        let (map, planes) = layout(4);
+        let nnf = Expr::and_vars(0..4).to_nnf();
+        let plan = compile_spanning(&nnf, &|id| planes.get(&id).copied(), &mut |sub| {
+            planner::compile(sub, &map, caps())
+        })
+        .unwrap();
+        assert_eq!(plan.die_count(), 2);
+        let ExecPlan::Merge { op: MergeOp::And, ref parts } = plan else {
+            panic!("expected an AND merge, got {plan:?}");
+        };
+        assert_eq!(parts.len(), 2);
+        let mut leaves = Vec::new();
+        let tree = plan.flatten(&mut leaves);
+        assert_eq!(leaves.len(), 2);
+        assert!(matches!(tree, MergeTree::Node(MergeOp::And, _)));
+    }
+
+    #[test]
+    fn eval_merge_combines_partials() {
+        let a = BitVec::from_fn(8, |i| i % 2 == 0);
+        let b = BitVec::from_fn(8, |i| i < 4);
+        let tree = MergeTree::Node(MergeOp::And, vec![MergeTree::Leaf(0), MergeTree::Leaf(1)]);
+        let mut pages = vec![Some(a.clone()), Some(b.clone())];
+        assert_eq!(eval_merge(&tree, &mut pages), a.and(&b));
+        let tree = MergeTree::Node(MergeOp::Xor, vec![MergeTree::Leaf(0), MergeTree::Leaf(1)]);
+        let mut pages = vec![Some(a.clone()), Some(b.clone())];
+        assert_eq!(eval_merge(&tree, &mut pages), a.xor(&b));
+    }
+
+    #[test]
+    fn nested_xor_across_planes_is_rejected() {
+        let (map, planes) = layout(4);
+        let nnf = Expr::or(vec![
+            Expr::xor(Expr::var(0), Expr::var(2)), // spans dies 0 and 1
+            Expr::var(3),
+        ])
+        .to_nnf();
+        let err = compile_spanning(&nnf, &|id| planes.get(&id).copied(), &mut |sub| {
+            planner::compile(sub, &map, caps())
+        })
+        .unwrap_err();
+        assert!(matches!(err, PlanError::Unplannable(_)));
+    }
+
+    #[test]
+    fn missing_placement_is_reported() {
+        let (map, mut planes) = layout(3);
+        planes.remove(&1);
+        let nnf = Expr::and_vars(0..3).to_nnf();
+        let err = compile_spanning(&nnf, &|id| planes.get(&id).copied(), &mut |sub| {
+            planner::compile(sub, &map, caps())
+        })
+        .unwrap_err();
+        assert_eq!(err, PlanError::NoPlacement(1));
+    }
+}

@@ -10,14 +10,38 @@
 //!   the owning chips, and assembles the result vector.
 //! * [`FlashCosmosDevice::parabit_read`] runs the same expression through
 //!   the ParaBit baseline compiler for comparison.
+//!
+//! ## Die-aware placement
+//!
+//! Distinct placement groups spread across **dies**: each group's block
+//! is pinned to a base plane chosen die-first by block pressure (least
+//! loaded, rotating across dies on ties), and a multi-page operand's
+//! stripe slots rotate across dies so one vector's stripes sense in
+//! parallel. Within a group the co-residency invariant holds — every
+//! operand of a (group, stripe-slot) pair shares one block, overflow
+//! blocks stay on the group's plane — so intra-block MWS still combines
+//! any subset in one sense. Two escape hatches on [`StoreHints`]:
+//!
+//! * [`StoreHints::colocated`] names a *plane-colocation domain* — groups
+//!   sharing a domain land on the same plane so the planner can fuse
+//!   them into inter-block MWS commands (Eq. 1 / Fig. 16);
+//! * [`StoreHints::with_die`] pins a group to one die (all stripe slots
+//!   stay on that die, rotating its planes).
+//!
+//! A query whose operands end up on several dies still executes: the
+//! batch compiler splits it into per-die programs and merges the partial
+//! pages in the controller (see [`crate::crossdie`]).
 
 use std::collections::HashMap;
 
 use fc_bits::BitVec;
 use fc_nand::command::Command;
-use fc_ssd::device::{DeviceError, SsdDevice, WriteOptions};
+use fc_ssd::device::{wl_addr, DeviceError, SsdDevice, WriteOptions};
+use fc_ssd::ftl::GroupKey;
+use fc_ssd::topology::{DieId, PlaneId};
 use fc_ssd::SsdConfig;
 
+use crate::crossdie;
 use crate::expr::{Expr, OperandId};
 use crate::parabit;
 use crate::planner::{PlacementMap, PlanError};
@@ -38,17 +62,42 @@ pub struct StoreHints {
     /// Store the inverse of the data (turns OR over the group into a
     /// single intra-block inverse MWS, §6.1).
     pub inverted: bool,
+    /// Explicit die affinity (flat die index): the group's blocks stay on
+    /// this die across all stripe slots. `None` (default) lets the device
+    /// spread groups across dies.
+    pub die: Option<usize>,
+    /// Plane-colocation domain: groups naming the same domain share a
+    /// plane (and its stripe rotation), so inter-block MWS can fuse
+    /// across their blocks — use it for groups one expression combines
+    /// (Eq. 1 / Fig. 16). `None` (default) spreads groups across dies.
+    pub colocate: Option<String>,
 }
 
 impl StoreHints {
     /// Operands that will be AND-ed together.
     pub fn and_group(name: &str) -> Self {
-        Self { group: name.to_string(), inverted: false }
+        Self { group: name.to_string(), inverted: false, die: None, colocate: None }
     }
 
     /// Operands that will be OR-ed together (stored inverted, §6.1).
     pub fn or_group(name: &str) -> Self {
-        Self { group: name.to_string(), inverted: true }
+        Self { group: name.to_string(), inverted: true, die: None, colocate: None }
+    }
+
+    /// Pins the placement group to one die (all stripe slots stay on it).
+    #[must_use]
+    pub fn with_die(mut self, die: usize) -> Self {
+        self.die = Some(die);
+        self
+    }
+
+    /// Joins a plane-colocation domain so this group can fuse with the
+    /// domain's other groups in one inter-block MWS. If the domain was
+    /// created by an earlier write, its plane (and any die pin) wins.
+    #[must_use]
+    pub fn colocated(mut self, domain: &str) -> Self {
+        self.colocate = Some(domain.to_string());
+        self
     }
 }
 
@@ -67,6 +116,15 @@ pub enum FcError {
     SizeMismatch,
     /// The expression references an unknown operand id.
     UnknownOperand(OperandId),
+    /// An operation named an operand that was never written.
+    UnknownName(String),
+    /// A store hint pinned a die the SSD does not have.
+    DieOutOfRange {
+        /// The requested flat die index.
+        die: usize,
+        /// Dies in the SSD.
+        dies: usize,
+    },
     /// An operand name was written twice.
     DuplicateName(String),
     /// A batched submission supplied the wrong number of output buffers.
@@ -85,6 +143,10 @@ impl std::fmt::Display for FcError {
             FcError::Plan(e) => write!(f, "planner: {e}"),
             FcError::SizeMismatch => write!(f, "operand vectors have different lengths"),
             FcError::UnknownOperand(id) => write!(f, "unknown operand v{id}"),
+            FcError::UnknownName(n) => write!(f, "no operand named {n:?}"),
+            FcError::DieOutOfRange { die, dies } => {
+                write!(f, "die affinity {die} out of range (SSD has {dies} dies)")
+            }
             FcError::DuplicateName(n) => write!(f, "operand name {n:?} already stored"),
             FcError::OutputSlots { got, expected } => {
                 write!(f, "batch of {expected} queries given {got} output buffers")
@@ -123,7 +185,8 @@ pub struct ReadStats {
     /// Sum of chip op latencies across stripes, µs (stripes execute on
     /// different planes in parallel; this is the serial-equivalent cost).
     pub chip_time_us: f64,
-    /// Critical path: the largest per-stripe latency, µs.
+    /// Critical path under die parallelism: the busiest die's total
+    /// latency, µs.
     pub critical_path_us: f64,
     /// NAND energy, µJ.
     pub energy_uj: f64,
@@ -133,7 +196,22 @@ pub struct ReadStats {
 pub(crate) struct OperandRecord {
     pub(crate) bits: usize,
     pub(crate) lpns: Vec<u64>,
+    /// Plane of each stripe page (slot-indexed) — cached from the FTL so
+    /// the die splitter resolves placement with an array lookup on the
+    /// hot compile path.
+    pub(crate) planes: Vec<PlaneId>,
+    /// Die of each stripe page (slot-indexed) — the placement layout,
+    /// surfaced so tests and benches can assert die spreading.
+    pub(crate) dies: Vec<DieId>,
     group_index: u64,
+}
+
+/// Where a placement group's blocks live: the base plane its stripe
+/// rotation starts from, and whether the caller pinned it to one die.
+#[derive(Debug, Clone, Copy)]
+struct GroupPlace {
+    base_plane: usize,
+    pinned_die: Option<usize>,
 }
 
 /// The Flash-Cosmos-enabled SSD.
@@ -143,6 +221,13 @@ pub struct FlashCosmosDevice {
     names: HashMap<String, OperandId>,
     groups: HashMap<String, u64>,
     group_fill: HashMap<(u64, u64), u64>,
+    /// Base plane per placement group (by group index).
+    group_place: HashMap<u64, GroupPlace>,
+    /// Base plane per colocation domain (groups in a domain share it).
+    domain_place: HashMap<String, GroupPlace>,
+    /// Round-robin die cursor breaking block-pressure ties, so fresh
+    /// groups spread across dies instead of piling onto die 0.
+    die_cursor: usize,
     next_lpn: u64,
 }
 
@@ -183,6 +268,9 @@ impl FlashCosmosDevice {
             names: HashMap::new(),
             groups: HashMap::new(),
             group_fill: HashMap::new(),
+            group_place: HashMap::new(),
+            domain_place: HashMap::new(),
+            die_cursor: 0,
             next_lpn: 0,
         }
     }
@@ -202,6 +290,89 @@ impl FlashCosmosDevice {
         self.names.get(name).map(|&id| OperandHandle { id })
     }
 
+    /// Resolves (creating on first sight) the index and plane placement
+    /// of the named placement group. New groups spread across dies; a
+    /// colocation domain or die pin on the hints overrides the spread.
+    ///
+    /// Die pins are validated *before* anything is cached, so a rejected
+    /// hint never poisons the group or its colocation domain.
+    fn group_placement(&mut self, hints: &StoreHints) -> Result<(u64, GroupPlace), FcError> {
+        if let Some(d) = hints.die {
+            let dies = self.ssd.config().total_dies();
+            if d >= dies {
+                return Err(FcError::DieOutOfRange { die: d, dies });
+            }
+        }
+        let next_index = self.groups.len() as u64;
+        let group_index = *self.groups.entry(hints.group.clone()).or_insert(next_index);
+        if let Some(place) = self.group_place.get(&group_index) {
+            return Ok((group_index, *place));
+        }
+        let place = match &hints.colocate {
+            Some(domain) => match self.domain_place.get(domain) {
+                Some(p) => *p,
+                None => {
+                    let p = GroupPlace {
+                        base_plane: self.choose_plane(hints.die),
+                        pinned_die: hints.die,
+                    };
+                    self.domain_place.insert(domain.clone(), p);
+                    p
+                }
+            },
+            None => GroupPlace { base_plane: self.choose_plane(hints.die), pinned_die: hints.die },
+        };
+        self.group_place.insert(group_index, place);
+        Ok((group_index, place))
+    }
+
+    /// Picks the base plane for a fresh group: the least-loaded plane (by
+    /// FTL block pressure), visiting dies round-robin from the cursor so
+    /// pressure ties spread across dies rather than filling die 0. A die
+    /// pin (validated by [`Self::group_placement`]) restricts the choice
+    /// to that die's planes.
+    fn choose_plane(&mut self, die: Option<usize>) -> usize {
+        let ppd = self.ssd.config().planes_per_die;
+        let n_dies = self.ssd.config().total_dies();
+        let pressures = self.ssd.ftl().plane_pressures();
+        if let Some(d) = die {
+            return (0..ppd)
+                .map(|p| d * ppd + p)
+                .min_by_key(|&plane| (pressures[plane], plane))
+                .expect("a die has at least one plane");
+        }
+        let planes = n_dies * ppd;
+        let mut best: Option<(u32, usize, usize)> = None;
+        for k in 0..planes {
+            // Die-fastest enumeration: visit one plane of every die
+            // before revisiting a die, starting at the cursor.
+            let d = (self.die_cursor + k % n_dies) % n_dies;
+            let pid = k / n_dies;
+            let plane = d * ppd + pid;
+            if best.is_none_or(|(bp, bk, _)| (pressures[plane], k) < (bp, bk)) {
+                best = Some((pressures[plane], k, plane));
+            }
+        }
+        let (_, _, plane) = best.expect("an SSD has at least one plane");
+        self.die_cursor = (plane / ppd + 1) % n_dies;
+        plane
+    }
+
+    /// The plane a group's stripe slot lives on. Unpinned groups rotate
+    /// dies slot by slot (one vector's stripes sense in parallel); pinned
+    /// groups rotate the pinned die's planes instead.
+    fn plane_for_slot(&self, place: GroupPlace, slot: u64) -> usize {
+        let ppd = self.ssd.config().planes_per_die;
+        let n_dies = self.ssd.config().total_dies();
+        let base_die = place.base_plane / ppd;
+        let base_pid = place.base_plane % ppd;
+        if place.pinned_die.is_some() {
+            base_die * ppd + (base_pid + slot as usize) % ppd
+        } else {
+            (base_die + slot as usize) % n_dies * ppd + base_pid
+        }
+    }
+
     /// Stores an operand vector for in-flash computation.
     ///
     /// # Errors
@@ -216,21 +387,23 @@ impl FlashCosmosDevice {
         if self.names.contains_key(name) {
             return Err(FcError::DuplicateName(name.to_string()));
         }
-        let next_index = self.groups.len() as u64;
-        let group_index = *self.groups.entry(hints.group.clone()).or_insert(next_index);
+        let (group_index, place) = self.group_placement(&hints)?;
         let page_bits = self.ssd.config().page_bits();
         let pages = data.len().div_ceil(page_bits).max(1);
         let mut lpns = Vec::with_capacity(pages);
+        let mut planes = Vec::with_capacity(pages);
+        let mut dies = Vec::with_capacity(pages);
         for slot in 0..pages as u64 {
             // One FTL group per (named group, stripe slot, overflow id):
-            // the low bits keep the plane rotating with the slot, the
-            // overflow id moves to a fresh block once a block's wordlines
-            // are exhausted (>48 operands per group).
+            // the overflow id moves to a fresh block — on the same plane,
+            // preserving co-residency — once a block's wordlines are
+            // exhausted (> `wls_per_block` operands per group).
             let fill = self.group_fill.entry((group_index, slot)).or_insert(0);
             let wls = self.ssd.config().wls_per_block as u64;
             let overflow = *fill / wls;
             *fill += 1;
-            let ftl_group = (group_index << 32) | (overflow << 24) | slot;
+            let key = GroupKey { group: group_index, slot, overflow };
+            let plane = self.plane_for_slot(place, slot);
             let start = (slot as usize) * page_bits;
             let len = page_bits.min(data.len().saturating_sub(start));
             let mut page = BitVec::zeros(page_bits);
@@ -239,11 +412,17 @@ impl FlashCosmosDevice {
             }
             let lpn = self.next_lpn;
             self.next_lpn += 1;
-            self.ssd.write(lpn, &page, WriteOptions::flash_cosmos(ftl_group, hints.inverted))?;
+            let ppa = self.ssd.write(
+                lpn,
+                &page,
+                WriteOptions::flash_cosmos(key, Some(plane), hints.inverted),
+            )?;
             lpns.push(lpn);
+            planes.push(ppa.plane);
+            dies.push(ppa.plane.die);
         }
         let id = self.operands.len();
-        self.operands.push(OperandRecord { bits: data.len(), lpns, group_index });
+        self.operands.push(OperandRecord { bits: data.len(), lpns, planes, dies, group_index });
         self.names.insert(name.to_string(), id);
         Ok(OperandHandle { id })
     }
@@ -296,7 +475,10 @@ impl FlashCosmosDevice {
 
     /// The pre-batch serial path, kept for the ParaBit baseline (whose
     /// whole point is serial sensing — batching it would misrepresent
-    /// the technique being compared against).
+    /// the technique being compared against). Operands spanning dies run
+    /// through the same die-split machinery as the batch path: per-die
+    /// programs plus a controller merge, instead of silently executing
+    /// every stripe on the last operand's chip.
     fn run_serial(&mut self, expr: &Expr) -> Result<(BitVec, ReadStats), FcError> {
         let ids: Vec<OperandId> = expr.operands().into_iter().collect();
         let first = *ids.first().ok_or(FcError::SizeMismatch)?;
@@ -312,39 +494,66 @@ impl FlashCosmosDevice {
         let page_bits = self.ssd.config().page_bits();
         let mut result = BitVec::zeros(pages * page_bits);
         let mut stats = ReadStats::default();
+        let mut die_time: HashMap<DieId, f64> = HashMap::new();
         for slot in 0..pages {
-            // Build this stripe's placement map from the FTL.
-            let mut map = PlacementMap::new();
-            let mut die = None;
-            for &id in &ids {
-                let lpn = self.record(id)?.lpns[slot];
-                let (d, wl) = self.ssd.locate(lpn).expect("written operands are always mapped");
-                let inverted =
-                    self.ssd.ftl().meta(lpn).expect("written operands carry metadata").inverted;
-                map.insert(id, wl, inverted);
-                die = Some(d);
+            let map = self.stripe_map(&ids, slot)?;
+            let plan =
+                crossdie::compile_spanning(&nnf, &|id| self.operand_plane(id, slot), &mut |sub| {
+                    parabit::compile(sub, &map)
+                })?;
+            let mut leaves = Vec::new();
+            let tree = plan.flatten(&mut leaves);
+            let mut partials: Vec<Option<BitVec>> = Vec::with_capacity(leaves.len());
+            for leaf in &leaves {
+                let chip = self.ssd.chip_mut(leaf.plane.die);
+                let mut latency = 0.0;
+                for cmd in &leaf.program.commands {
+                    let out = chip.execute(cmd.clone()).map_err(DeviceError::Nand)?;
+                    latency += out.latency_us;
+                    stats.energy_uj += out.energy_uj;
+                }
+                let mut page = chip
+                    .execute(Command::ReadOut { plane: leaf.program.plane })
+                    .map_err(DeviceError::Nand)?
+                    .into_page()
+                    .expect("read-out streams the cache latch");
+                if leaf.program.controller_not {
+                    page.not_assign();
+                }
+                stats.senses += leaf.program.sense_count() as u64;
+                stats.chip_time_us += latency;
+                *die_time.entry(leaf.plane.die).or_insert(0.0) += latency;
+                partials.push(Some(page));
             }
-            let program = parabit::compile(&nnf, &map)?;
-            let die = die.expect("at least one operand");
-            let chip = self.ssd.chip_mut(die);
-            let mut stripe_latency = 0.0;
-            for cmd in &program.commands {
-                let out = chip.execute(cmd.clone()).map_err(DeviceError::Nand)?;
-                stripe_latency += out.latency_us;
-                stats.energy_uj += out.energy_uj;
-            }
-            let page = chip
-                .execute(Command::ReadOut { plane: program.plane })
-                .map_err(DeviceError::Nand)?
-                .into_page()
-                .expect("read-out streams the cache latch");
-            let page = if program.controller_not { page.not() } else { page };
+            let page = crossdie::eval_merge(&tree, &mut partials);
             result.copy_from(slot * page_bits, &page);
-            stats.senses += program.sense_count() as u64;
-            stats.chip_time_us += stripe_latency;
-            stats.critical_path_us = stats.critical_path_us.max(stripe_latency);
         }
+        stats.critical_path_us = die_time.values().fold(0.0, |a, &b| a.max(b));
         Ok((result.slice(0, bits), stats))
+    }
+
+    /// Builds one stripe's placement map (wordlines + polarity) from the
+    /// FTL.
+    pub(crate) fn stripe_map(
+        &self,
+        ids: &[OperandId],
+        slot: usize,
+    ) -> Result<PlacementMap, FcError> {
+        let mut map = PlacementMap::new();
+        for &id in ids {
+            let lpn = self.record(id)?.lpns[slot];
+            let ppa = self.ssd.ftl().translate(lpn).expect("written operands are always mapped");
+            let inverted =
+                self.ssd.ftl().meta(lpn).expect("written operands carry metadata").inverted;
+            map.insert(id, wl_addr(ppa), inverted);
+        }
+        Ok(map)
+    }
+
+    /// The plane an operand's stripe page lives on (the die splitter's
+    /// placement oracle).
+    pub(crate) fn operand_plane(&self, id: OperandId, slot: usize) -> Option<PlaneId> {
+        self.operands.get(id).and_then(|r| r.planes.get(slot)).copied()
     }
 
     pub(crate) fn record(&self, id: OperandId) -> Result<&OperandRecord, FcError> {
@@ -356,6 +565,13 @@ impl FlashCosmosDevice {
         self.operands.get(id).map(|r| r.group_index)
     }
 
+    /// The die of every stripe page of an operand (slot-indexed) — the
+    /// placement layout, for asserting die-aware spreading in tests and
+    /// benches.
+    pub fn operand_dies(&self, id: OperandId) -> Option<&[DieId]> {
+        self.operands.get(id).map(|r| r.dies.as_slice())
+    }
+
     /// Migrates a stored operand to new placement hints — the §10
     /// background gathering: operands written at different times (or with
     /// the wrong polarity) move into a shared block so a later `fc_read`
@@ -364,31 +580,36 @@ impl FlashCosmosDevice {
     ///
     /// # Errors
     ///
-    /// Fails on unknown names or SSD migration errors.
+    /// Fails on unknown names ([`FcError::UnknownName`]) or SSD migration
+    /// errors.
     pub fn migrate_operand(&mut self, name: &str, hints: StoreHints) -> Result<u64, FcError> {
-        let id = *self
-            .names
-            .get(name)
-            .ok_or_else(|| FcError::DuplicateName(format!("unknown operand {name:?}")))?;
-        let next_index = self.groups.len() as u64;
-        let group_index = *self.groups.entry(hints.group.clone()).or_insert(next_index);
+        let id = *self.names.get(name).ok_or_else(|| FcError::UnknownName(name.to_string()))?;
+        let (group_index, place) = self.group_placement(&hints)?;
         let wls = self.ssd.config().wls_per_block as u64;
         let lpns = self.operands[id].lpns.clone();
         let mut copybacks = 0;
+        let mut planes = Vec::with_capacity(lpns.len());
+        let mut dies = Vec::with_capacity(lpns.len());
         for (slot, &lpn) in lpns.iter().enumerate() {
             let fill = self.group_fill.entry((group_index, slot as u64)).or_insert(0);
             let overflow = *fill / wls;
             *fill += 1;
-            let ftl_group = (group_index << 32) | (overflow << 24) | slot as u64;
+            let key = GroupKey { group: group_index, slot: slot as u64, overflow };
+            let plane = self.plane_for_slot(place, slot as u64);
             let meta = fc_ssd::ftl::PageMeta::flash_cosmos(hints.inverted);
             let used_copyback = self.ssd.migrate(
                 lpn,
-                fc_ssd::ftl::PlacementHint::Grouped { group: ftl_group },
+                fc_ssd::ftl::PlacementHint::Grouped { group: key, plane: Some(plane) },
                 meta,
             )?;
             copybacks += u64::from(used_copyback);
+            let ppa = self.ssd.ftl().translate(lpn).expect("migrated pages stay mapped");
+            planes.push(ppa.plane);
+            dies.push(ppa.plane.die);
         }
         self.operands[id].group_index = group_index;
+        self.operands[id].planes = planes;
+        self.operands[id].dies = dies;
         Ok(copybacks)
     }
 }
@@ -511,6 +732,37 @@ mod tests {
 
     #[test]
     fn kcs_shape_single_sense() {
+        // Colocating the two groups on one plane keeps the paper's §7
+        // observation: AND ∥ OR fuse into one inter-block MWS.
+        let mut dev = device();
+        let vs = vectors(4, 256, 4);
+        let mut ids = Vec::new();
+        for (i, v) in vs.iter().take(3).enumerate() {
+            let hints = StoreHints::and_group("verts").colocated("kcs");
+            ids.push(dev.fc_write(&format!("v{i}"), v, hints).unwrap().id);
+        }
+        let clique = dev
+            .fc_write("clique", &vs[3], StoreHints::and_group("clique").colocated("kcs"))
+            .unwrap()
+            .id;
+        assert_eq!(
+            dev.operand_dies(ids[0]),
+            dev.operand_dies(clique),
+            "colocated groups share a plane (hence a die)"
+        );
+        let expr = Expr::or(vec![Expr::and_vars(ids.clone()), Expr::var(clique)]);
+        let (result, stats) = dev.fc_read(&expr).unwrap();
+        let expect = vs[0].and(&vs[1]).and(&vs[2]).or(&vs[3]);
+        assert_eq!(result, expect);
+        assert_eq!(stats.senses, 1, "AND + OR fused into one inter-block MWS");
+    }
+
+    #[test]
+    fn uncolocated_groups_spread_and_still_answer_cross_die() {
+        // Without a colocation domain the two groups land on different
+        // dies; the query still answers exactly via the die-split path
+        // (one sense per die, OR-merged in the controller) instead of
+        // returning `PlanError::PlaneMismatch`.
         let mut dev = device();
         let vs = vectors(4, 256, 4);
         let mut ids = Vec::new();
@@ -518,11 +770,69 @@ mod tests {
             ids.push(dev.fc_write(&format!("v{i}"), v, StoreHints::and_group("verts")).unwrap().id);
         }
         let clique = dev.fc_write("clique", &vs[3], StoreHints::and_group("clique")).unwrap().id;
+        assert_ne!(
+            dev.operand_dies(ids[0]),
+            dev.operand_dies(clique),
+            "distinct groups must spread across dies"
+        );
         let expr = Expr::or(vec![Expr::and_vars(ids.clone()), Expr::var(clique)]);
         let (result, stats) = dev.fc_read(&expr).unwrap();
         let expect = vs[0].and(&vs[1]).and(&vs[2]).or(&vs[3]);
-        assert_eq!(result, expect);
-        assert_eq!(stats.senses, 1, "AND + OR fused into one inter-block MWS");
+        assert_eq!(result, expect, "cross-die split must stay bit-exact");
+        assert_eq!(stats.senses, 2, "one sense per die");
+        assert!(
+            stats.critical_path_us < stats.chip_time_us,
+            "two dies sense concurrently: critical {} vs chip {}",
+            stats.critical_path_us,
+            stats.chip_time_us
+        );
+    }
+
+    #[test]
+    fn die_pin_keeps_all_stripes_on_one_die() {
+        let mut dev = device();
+        let vs = vectors(2, 1200, 40); // 5 stripes at 256-bit pages
+        let a = dev.fc_write("a", &vs[0], StoreHints::and_group("g").with_die(2)).unwrap();
+        let b = dev.fc_write("b", &vs[1], StoreHints::and_group("g").with_die(2)).unwrap();
+        let cfg = SsdConfig::tiny_test();
+        for h in [a, b] {
+            let dies = dev.operand_dies(h.id).unwrap();
+            assert_eq!(dies.len(), 5);
+            assert!(dies.iter().all(|d| d.flat(&cfg) == 2), "pinned to die 2: {dies:?}");
+        }
+        let (result, _) = dev.fc_read(&(a & b)).unwrap();
+        assert_eq!(result, vs[0].and(&vs[1]));
+    }
+
+    #[test]
+    fn invalid_die_pin_is_rejected_without_poisoning_the_group() {
+        let mut dev = device();
+        let vs = vectors(1, 256, 42);
+        let err = dev.fc_write("a", &vs[0], StoreHints::and_group("g").with_die(99)).unwrap_err();
+        assert!(matches!(err, FcError::DieOutOfRange { die: 99, dies: 4 }), "got {err:?}");
+        let err = dev
+            .fc_write("b", &vs[0], StoreHints::and_group("h").with_die(4).colocated("dom"))
+            .unwrap_err();
+        assert!(matches!(err, FcError::DieOutOfRange { die: 4, dies: 4 }));
+        // The rejected hints must not have cached a bad placement: the
+        // same group and domain work fine with valid hints afterwards.
+        dev.fc_write("a", &vs[0], StoreHints::and_group("g")).unwrap();
+        dev.fc_write("b", &vs[0], StoreHints::and_group("h").colocated("dom")).unwrap();
+    }
+
+    #[test]
+    fn unpinned_stripes_rotate_across_dies() {
+        let mut dev = device();
+        let v = vectors(1, 1200, 41).remove(0); // 5 stripes
+        let h = dev.fc_write("a", &v, StoreHints::and_group("g")).unwrap();
+        let cfg = SsdConfig::tiny_test();
+        let dies: Vec<usize> =
+            dev.operand_dies(h.id).unwrap().iter().map(|d| d.flat(&cfg)).collect();
+        let distinct: std::collections::HashSet<usize> = dies.iter().copied().collect();
+        assert_eq!(distinct.len(), 4, "stripes cover all 4 dies: {dies:?}");
+        let (result, stats) = dev.fc_read(&Expr::var(h.id)).unwrap();
+        assert_eq!(result, v);
+        assert!(stats.critical_path_us < stats.chip_time_us, "stripes sense in parallel");
     }
 
     #[test]
@@ -632,6 +942,21 @@ mod tests {
         assert_eq!(result, expect, "migration must preserve data");
         assert_eq!(after.senses, 1, "gathered: single intra-block MWS");
         assert!(copybacks > 0, "same-polarity moves use copyback");
+    }
+
+    #[test]
+    fn migrating_an_unknown_name_reports_unknown_name() {
+        let mut dev = device();
+        let err = dev.migrate_operand("nonexistent", StoreHints::and_group("g")).unwrap_err();
+        match err {
+            FcError::UnknownName(n) => assert_eq!(n, "nonexistent"),
+            other => panic!("expected UnknownName, got {other:?}"),
+        }
+        // Regression: this used to surface as a bogus DuplicateName.
+        assert!(!matches!(
+            dev.migrate_operand("nope", StoreHints::and_group("g")).unwrap_err(),
+            FcError::DuplicateName(_)
+        ));
     }
 
     #[test]

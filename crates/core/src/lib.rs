@@ -27,12 +27,29 @@
 //!   expressions submitted as one jointly planned device pass, with
 //!   cross-query dedup, shared-term extraction and per-query cost
 //!   attribution ([`BatchStats`]).
+//! * [`crossdie`] — cross-die execution plans: a query whose operands
+//!   span planes splits into per-plane programs merged by the
+//!   controller, so die-aware placement (see [`device`]) never turns
+//!   into a `PlaneMismatch` error.
 //! * [`engines`] — the four evaluated platforms (OSP/ISP/PB/FC) as
 //!   pipeline-model job builders (Figs. 17/18), including batched
 //!   multi-workload evaluation.
 //! * [`reliability`] — the §5 characterization harness (Figs. 8, 11–14,
 //!   zero-error validation).
 //! * [`timeline`] — the Fig. 7 OSP/ISP/IFP timeline scenario.
+//!
+//! ## Die-aware placement
+//!
+//! Distinct placement groups spread across the SSD's dies (least-loaded
+//! plane, die-rotating), so a batch of independent queries senses on
+//! many dies concurrently — [`BatchStats::dies_used`] reports the spread
+//! and [`BatchStats::critical_path_us`] is the busiest die's time, not
+//! the serial sum. Groups one expression combines should share a plane
+//! for MWS fusion: name a colocation domain with
+//! [`StoreHints::colocated`](device::StoreHints::colocated) (the
+//! [`suggest_hints`] advisor emits one per expression automatically), or
+//! pin a group to a die with
+//! [`StoreHints::with_die`](device::StoreHints::with_die).
 //!
 //! ## Quickstart: a batched query session
 //!
@@ -77,6 +94,7 @@
 //! buffers for allocation-free steady state.
 
 pub mod batch;
+pub mod crossdie;
 pub mod device;
 pub mod engines;
 pub mod expr;

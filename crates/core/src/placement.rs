@@ -13,11 +13,22 @@
 //!   **inverted** (a single inverse intra-block MWS computes the OR);
 //! * OR across AND-groups (the Eq. 1 / KCS shape) → each child in its
 //!   own group so the groups land in different blocks.
+//!
+//! The advisor plans against the same [`PlannerCaps`] the planner
+//! enforces (power cap on fused blocks, string length for chunking), so
+//! its estimates track what the device will actually execute. Every
+//! group it emits carries the same **plane-colocation domain**
+//! ([`crate::device::StoreHints::colocate`]): one expression's groups
+//! must share a plane for the planner's inter-block fusion and S-latch
+//! accumulation to apply, while *different* expressions (different
+//! domains) spread across dies under the device's die-aware placement.
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 use crate::device::StoreHints;
 use crate::expr::{Expr, Nnf, OperandId};
+use crate::planner::PlannerCaps;
 
 /// Advisory result: hints per operand plus the sensing-cost estimate the
 /// planner will achieve under them.
@@ -37,13 +48,20 @@ impl LayoutAdvice {
     }
 }
 
-/// Derives storage hints for `expr` given the chip's string length.
+/// Derives storage hints for `expr` under the device's planner caps
+/// (string length for chunking, power cap for OR fusion).
 ///
 /// Operands appearing several times adopt the first role encountered;
 /// re-storing data per-expression (or copying via `migrate`) is the
 /// §10 answer when one layout cannot serve two access patterns.
-pub fn suggest_hints(expr: &Expr, wls_per_block: usize) -> LayoutAdvice {
-    let mut advisor = Advisor { hints: HashMap::new(), group_counter: 0, wls_per_block };
+pub fn suggest_hints(expr: &Expr, caps: PlannerCaps) -> LayoutAdvice {
+    // One colocation domain per expression (derived from its structure):
+    // this expression's groups share a plane so they can fuse, distinct
+    // expressions' groups spread across dies.
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    expr.hash(&mut hasher);
+    let domain = format!("fuse-{:016x}", hasher.finish());
+    let mut advisor = Advisor { hints: HashMap::new(), group_counter: 0, caps, domain };
     let nnf = expr.to_nnf();
     let senses = advisor.walk_top(&nnf);
     LayoutAdvice { hints: advisor.hints, estimated_senses: senses }
@@ -52,7 +70,8 @@ pub fn suggest_hints(expr: &Expr, wls_per_block: usize) -> LayoutAdvice {
 struct Advisor {
     hints: HashMap<OperandId, StoreHints>,
     group_counter: usize,
-    wls_per_block: usize,
+    caps: PlannerCaps,
+    domain: String,
 }
 
 impl Advisor {
@@ -61,7 +80,13 @@ impl Advisor {
         format!("{prefix}-{}", self.group_counter)
     }
 
-    fn assign(&mut self, id: OperandId, hints: StoreHints) {
+    fn assign(&mut self, id: OperandId, group: &str, inverted: bool) {
+        let hints = StoreHints {
+            group: group.to_string(),
+            inverted,
+            die: None,
+            colocate: Some(self.domain.clone()),
+        };
         self.hints.entry(id).or_insert(hints);
     }
 
@@ -72,10 +97,10 @@ impl Advisor {
         // Positive literals: chunk at the string length.
         let positives: Vec<OperandId> =
             ids.iter().zip(negated).filter(|(_, &n)| !n).map(|(&i, _)| i).collect();
-        for chunk in positives.chunks(self.wls_per_block) {
+        for chunk in positives.chunks(self.caps.wls_per_block) {
             let group = self.fresh_group("and");
             for &id in chunk {
-                self.assign(id, StoreHints::and_group(&group));
+                self.assign(id, &group, false);
             }
             senses += 1;
         }
@@ -83,10 +108,10 @@ impl Advisor {
         // literal's value — they then join a positive chunk.
         let negatives: Vec<OperandId> =
             ids.iter().zip(negated).filter(|(_, &n)| n).map(|(&i, _)| i).collect();
-        for chunk in negatives.chunks(self.wls_per_block) {
+        for chunk in negatives.chunks(self.caps.wls_per_block) {
             let group = self.fresh_group("nand");
             for &id in chunk {
-                self.assign(id, StoreHints { group: group.clone(), inverted: true });
+                self.assign(id, &group, true);
             }
             senses += 1;
         }
@@ -99,7 +124,7 @@ impl Advisor {
                 let group = self.fresh_group("lit");
                 // A negated top-level literal reads via the chip inverse
                 // mode; no need to store inverted.
-                self.assign(l.id, StoreHints::and_group(&group));
+                self.assign(l.id, &group, false);
                 1
             }
             Nnf::And(children) => {
@@ -112,20 +137,19 @@ impl Advisor {
             }
             Nnf::Or(children) => {
                 // Eq. 1 shape: each child gets its own block-group; the
-                // planner fuses up to `cap` of them per command. Estimate
-                // conservatively at one command per 4 children.
+                // planner fuses up to the power cap of them per command.
                 let mut groups = 0;
                 for child in children {
                     groups += self.walk_or_child(child);
                 }
-                groups.div_ceil(4).max(1)
+                groups.div_ceil(self.caps.max_inter_blocks).max(1)
             }
             Nnf::Xor(a, b) => {
                 let mut senses = 0;
                 for side in [a.as_ref(), b.as_ref()] {
                     if let Nnf::Literal(l) = side {
                         let group = self.fresh_group("xor");
-                        self.assign(l.id, StoreHints::and_group(&group));
+                        self.assign(l.id, &group, false);
                         senses += 1;
                     }
                 }
@@ -146,17 +170,14 @@ impl Advisor {
                         // Stored-inverted positives become raw-complement;
                         // negated literals are stored as-is (their raw
                         // page is already the complement of the literal).
-                        self.assign(
-                            l.id,
-                            StoreHints { group: group.clone(), inverted: !l.negated },
-                        );
+                        self.assign(l.id, &group, !l.negated);
                     }
                 }
                 1
             }
             Nnf::Literal(l) => {
                 let group = self.fresh_group("lit");
-                self.assign(l.id, StoreHints::and_group(&group));
+                self.assign(l.id, &group, false);
                 1
             }
             _ => 1,
@@ -169,14 +190,14 @@ impl Advisor {
         match child {
             Nnf::Literal(l) => {
                 let group = self.fresh_group("orc");
-                self.assign(l.id, StoreHints { group, inverted: l.negated });
+                self.assign(l.id, &group, l.negated);
                 1
             }
             Nnf::And(lits) => {
                 let group = self.fresh_group("orc-and");
                 for lit in lits {
                     if let Nnf::Literal(l) = lit {
-                        self.assign(l.id, StoreHints { group: group.clone(), inverted: l.negated });
+                        self.assign(l.id, &group, l.negated);
                     }
                 }
                 1
@@ -211,11 +232,18 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
+    fn tiny_caps() -> PlannerCaps {
+        PlannerCaps::for_config(&SsdConfig::tiny_test())
+    }
+
     /// Stores operands per the advice and checks fc_read achieves the
     /// estimated sensing count and an exact result.
     fn validate(expr: &Expr, n_operands: usize, seed: u64) -> (u64, usize) {
-        let cfg = SsdConfig::tiny_test();
-        let advice = suggest_hints(expr, cfg.wls_per_block);
+        validate_on(expr, n_operands, seed, SsdConfig::tiny_test())
+    }
+
+    fn validate_on(expr: &Expr, n_operands: usize, seed: u64, cfg: SsdConfig) -> (u64, usize) {
+        let advice = suggest_hints(expr, PlannerCaps::for_config(&cfg));
         let mut dev = FlashCosmosDevice::new(cfg.clone());
         let mut rng = StdRng::seed_from_u64(seed);
         let vectors: Vec<BitVec> =
@@ -240,8 +268,7 @@ mod tests {
     #[test]
     fn or_advice_stores_inverted() {
         let expr = Expr::or_vars(0..5);
-        let cfg = SsdConfig::tiny_test();
-        let advice = suggest_hints(&expr, cfg.wls_per_block);
+        let advice = suggest_hints(&expr, tiny_caps());
         // Top-level OR of literals → each its own group (Eq. 1 targets),
         // capped fusion estimate: ceil(5/4) = 2.
         assert_eq!(advice.estimated_senses, 2);
@@ -250,10 +277,40 @@ mod tests {
     }
 
     #[test]
+    fn or_advice_tracks_a_non_default_power_cap() {
+        // The estimate must follow `PlannerCaps::max_inter_blocks`, not a
+        // hard-coded 4: at cap 2, OR-ing 5 blocks takes ceil(5/2) = 3
+        // chunked commands — and the device at that cap achieves exactly
+        // that.
+        let mut cfg = SsdConfig::tiny_test();
+        cfg.max_inter_blocks = 2;
+        let expr = Expr::or_vars(0..5);
+        let advice = suggest_hints(&expr, PlannerCaps::for_config(&cfg));
+        assert_eq!(advice.estimated_senses, 3);
+        let (senses, estimate) = validate_on(&expr, 5, 2, cfg);
+        assert_eq!(senses, 3);
+        assert_eq!(estimate, 3);
+    }
+
+    #[test]
+    fn advice_colocates_one_expression_on_one_plane() {
+        // All groups of one expression share a colocation domain (they
+        // must share a plane to fuse); a different expression gets a
+        // different domain so its groups spread to other dies.
+        let a = Expr::or(vec![Expr::and_vars(0..3), Expr::var(3)]);
+        let b = Expr::or(vec![Expr::and_vars(4..7), Expr::var(7)]);
+        let advice_a = suggest_hints(&a, tiny_caps());
+        let advice_b = suggest_hints(&b, tiny_caps());
+        let dom = |advice: &LayoutAdvice, id: usize| advice.hints_for(id).colocate.unwrap();
+        assert_eq!(dom(&advice_a, 0), dom(&advice_a, 3), "one expr, one domain");
+        assert_ne!(dom(&advice_a, 0), dom(&advice_b, 4), "distinct exprs spread");
+    }
+
+    #[test]
     fn and_of_or_groups_uses_inverse_storage() {
         // (v0|v1) & (v2|v3) & v4 — the Fig. 16 family.
         let expr = Expr::and(vec![Expr::or_vars([0, 1]), Expr::or_vars([2, 3]), Expr::var(4)]);
-        let advice = suggest_hints(&expr, 8);
+        let advice = suggest_hints(&expr, tiny_caps());
         assert!(advice.hints_for(0).inverted && advice.hints_for(1).inverted);
         assert!(advice.hints_for(2).inverted && advice.hints_for(3).inverted);
         assert!(!advice.hints_for(4).inverted);
@@ -267,10 +324,15 @@ mod tests {
     #[test]
     fn kcs_advice_separates_clique_vector() {
         let expr = Expr::or(vec![Expr::and_vars(0..4), Expr::var(4)]);
-        let advice = suggest_hints(&expr, 8);
+        let advice = suggest_hints(&expr, tiny_caps());
         let adj_group = advice.hints_for(0).group.clone();
         assert_eq!(advice.hints_for(3).group, adj_group, "adjacency vectors co-locate");
         assert_ne!(advice.hints_for(4).group, adj_group, "clique vector in its own block");
+        assert_eq!(
+            advice.hints_for(0).colocate,
+            advice.hints_for(4).colocate,
+            "…but on the same plane, so AND ∥ OR fuse"
+        );
         let (senses, _) = validate(&expr, 5, 4);
         assert_eq!(senses, 1, "AND ∥ OR fused");
     }
@@ -278,7 +340,7 @@ mod tests {
     #[test]
     fn negated_conjuncts_store_inverted() {
         let expr = Expr::and(vec![Expr::var(0), Expr::not(Expr::var(1)), Expr::not(Expr::var(2))]);
-        let advice = suggest_hints(&expr, 8);
+        let advice = suggest_hints(&expr, tiny_caps());
         assert!(!advice.hints_for(0).inverted);
         assert!(advice.hints_for(1).inverted && advice.hints_for(2).inverted);
         let (senses, _) = validate(&expr, 3, 5);
@@ -289,7 +351,7 @@ mod tests {
     #[test]
     fn chunking_respects_string_length() {
         let expr = Expr::and_vars(0..20);
-        let advice = suggest_hints(&expr, 8);
+        let advice = suggest_hints(&expr, tiny_caps());
         let groups: std::collections::HashSet<String> =
             (0..20).map(|i| advice.hints_for(i).group).collect();
         assert_eq!(groups.len(), 3, "20 operands over 8-WL strings → 3 groups");

@@ -100,6 +100,14 @@ impl Default for PlannerCaps {
     }
 }
 
+impl PlannerCaps {
+    /// The caps of a concrete SSD configuration — the single source the
+    /// advisor, batch compiler and planner all plan against.
+    pub fn for_config(config: &fc_ssd::SsdConfig) -> Self {
+        Self { max_inter_blocks: config.max_inter_blocks, wls_per_block: config.wls_per_block }
+    }
+}
+
 /// Planner failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]

@@ -501,11 +501,11 @@ impl NandChip {
     }
 
     fn exec_copyback(&mut self, from: WlAddr, to: WlAddr) -> Result<CmdOutput, NandError> {
+        // Copyback is die-internal: the page register bridges the planes,
+        // so source and destination may differ in plane (but never leave
+        // the chip — cross-die moves go through the controller).
         self.config.geometry.validate_wl(from)?;
         self.config.geometry.validate_wl(to)?;
-        if from.plane != to.plane {
-            return Err(NandError::PlaneMismatch);
-        }
         let src = self
             .page_state(from)
             .ok_or(NandError::ReadOfUnwrittenPage {
@@ -1008,6 +1008,16 @@ mod tests {
         let blk = BlockAddr::new(0, 11);
         let pages = write_pages(&mut chip, blk, 1, 1200);
         let dst = BlockAddr::new(0, 12).wordline(0);
+        chip.execute(Command::Copyback { from: blk.wordline(0), to: dst }).unwrap();
+        assert_eq!(chip.page_raw(dst).unwrap(), &pages[0]);
+    }
+
+    #[test]
+    fn copyback_crosses_planes_within_the_die() {
+        let mut chip = NandChip::new(ChipConfig::tiny_test());
+        let blk = BlockAddr::new(0, 3);
+        let pages = write_pages(&mut chip, blk, 1, 1201);
+        let dst = BlockAddr::new(1, 3).wordline(2);
         chip.execute(Command::Copyback { from: blk.wordline(0), to: dst }).unwrap();
         assert_eq!(chip.page_raw(dst).unwrap(), &pages[0]);
     }

@@ -104,9 +104,13 @@ impl WriteOptions {
         Self { placement: PlacementHint::Striped, meta: PageMeta::conventional() }
     }
 
-    /// The Flash-Cosmos computation path: grouped, ESP, raw bits.
-    pub fn flash_cosmos(group: u64, inverted: bool) -> Self {
-        Self { placement: PlacementHint::Grouped { group }, meta: PageMeta::flash_cosmos(inverted) }
+    /// The Flash-Cosmos computation path: grouped, ESP, raw bits. `plane`
+    /// pins the group's block to a flat plane (`None` = least-loaded).
+    pub fn flash_cosmos(group: crate::ftl::GroupKey, plane: Option<usize>, inverted: bool) -> Self {
+        Self {
+            placement: PlacementHint::Grouped { group, plane },
+            meta: PageMeta::flash_cosmos(inverted),
+        }
     }
 }
 
@@ -310,7 +314,7 @@ impl SsdDevice {
     /// block").
     ///
     /// Uses the chip's **copyback** (§2.1 footnote 3 — no off-chip
-    /// transfer) when the source and destination share a plane and the
+    /// transfer) when the source and destination share a die and the
     /// storage metadata is unchanged; otherwise falls back to a full
     /// read-rewrite through the controller. Returns whether copyback was
     /// used.
@@ -325,14 +329,28 @@ impl SsdDevice {
         meta: PageMeta,
     ) -> Result<bool, DeviceError> {
         let old_meta = self.ftl.meta(lpn).ok_or(DeviceError::NotMapped(lpn))?;
+        let old_ppa = self.ftl.translate(lpn).ok_or(DeviceError::NotMapped(lpn))?;
         let compatible = old_meta == meta;
-        // Read the logical payload before remapping (the rewrite path
-        // needs it; reading after remap would chase the new address).
-        let payload = if compatible { None } else { Some(self.read(lpn)?) };
+        // Copyback is die-internal, so predict the destination die before
+        // remapping: cross-die moves (and metadata changes) must read the
+        // logical payload first — reading after remap would chase the new
+        // address.
+        let target_plane = match placement {
+            PlacementHint::Grouped { group, plane } => self.ftl.group_plane(group, plane),
+            PlacementHint::Striped => self.ftl.next_striped_plane(),
+        };
+        let same_die = crate::topology::PlaneId::from_flat(target_plane, &self.config).die
+            == old_ppa.plane.die;
+        // Randomized pages can never copyback: the scrambler keystream is
+        // address-dependent, so raw bits moved to a new wordline would
+        // descramble with the wrong keystream on read.
+        let use_copyback = compatible && same_die && !meta.randomized;
+        let payload = if use_copyback { None } else { Some(self.read(lpn)?) };
         let (old, new) = self.ftl.remap(lpn, placement, meta)?;
         let old_addr = wl_addr(old);
         let new_addr = wl_addr(new);
-        if compatible && old.plane.die == new.plane.die && old.plane.plane == new.plane.plane {
+        if use_copyback {
+            debug_assert_eq!(old.plane.die, new.plane.die, "peeked die must match allocation");
             let die = old.plane.die;
             self.chips[die.flat(&self.config)]
                 .execute(Command::Copyback { from: old_addr, to: new_addr })?;
@@ -384,7 +402,12 @@ mod tests {
     fn flash_cosmos_roundtrip_with_inversion() {
         let mut dev = device();
         let data = payload(&dev, false, 2);
-        dev.write(20, &data, WriteOptions::flash_cosmos(0, true)).unwrap();
+        dev.write(
+            20,
+            &data,
+            WriteOptions::flash_cosmos(crate::ftl::GroupKey::new(0, 0), None, true),
+        )
+        .unwrap();
         // Stored raw bits are the inverse; logical read restores.
         let (die, addr) = dev.locate(20).unwrap();
         assert_eq!(dev.chip(die).page_raw(addr).unwrap(), &data.not());
@@ -432,12 +455,45 @@ mod tests {
         let mut dev = device();
         for i in 0..4 {
             let data = payload(&dev, false, 10 + i);
-            dev.write(i, &data, WriteOptions::flash_cosmos(7, false)).unwrap();
+            dev.write(
+                i,
+                &data,
+                WriteOptions::flash_cosmos(crate::ftl::GroupKey::new(7, 0), None, false),
+            )
+            .unwrap();
         }
         let locs: Vec<_> = (0..4).map(|i| dev.locate(i).unwrap()).collect();
         assert!(locs.iter().all(|(d, a)| *d == locs[0].0 && a.block == locs[0].1.block));
         let wls: Vec<u32> = locs.iter().map(|(_, a)| a.wl).collect();
         assert_eq!(wls, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn striped_migration_uses_copyback_on_the_same_die() {
+        let mut dev = device();
+        // Striped raw pages (no randomization — address-dependent
+        // keystreams forbid copyback for scrambled data).
+        let raw =
+            WriteOptions { placement: PlacementHint::Striped, meta: PageMeta::flash_cosmos(false) };
+        let data: Vec<BitVec> = (0..8).map(|i| payload(&dev, false, 50 + i)).collect();
+        for (i, d) in data.iter().enumerate() {
+            dev.write(i as u64, d, raw).unwrap();
+        }
+        // lpn 0 sits on plane 0 and the stripe cursor has wrapped back to
+        // plane 0: a compatible striped migration stays on the die →
+        // copyback.
+        assert!(dev.migrate(0, PlacementHint::Striped, PageMeta::flash_cosmos(false)).unwrap());
+        assert_eq!(dev.read(0).unwrap(), data[0]);
+        // lpn 4 sits on plane 4 (die 2) but the cursor now points at
+        // plane 1 (die 0): cross-die → controller rewrite.
+        assert!(!dev.migrate(4, PlacementHint::Striped, PageMeta::flash_cosmos(false)).unwrap());
+        assert_eq!(dev.read(4).unwrap(), data[4]);
+        // Conventional (randomized) pages always rewrite, even die-local:
+        // the raw bits only descramble at their original address.
+        let conv = payload(&dev, true, 60);
+        dev.write(100, &conv, WriteOptions::conventional()).unwrap();
+        assert!(!dev.migrate(100, PlacementHint::Striped, PageMeta::conventional()).unwrap());
+        assert_eq!(dev.read(100).unwrap(), conv, "randomized rewrite must re-scramble");
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //!   block* of a given plane, consecutive wordlines (operands that will be
 //!   combined by intra-block MWS; "the application decides which operands
 //!   to be stored in the same block to minimize the number of MWS
-//!   operations", §6.3).
+//!   operations", §6.3). The caller picks the plane explicitly (the
+//!   device layer spreads placement groups across dies); with no explicit
+//!   affinity the FTL falls back to the least-loaded plane, tracked via
+//!   per-plane block pressure, so allocation never piles onto plane 0.
 
 use std::collections::HashMap;
 
@@ -52,6 +55,38 @@ impl PageMeta {
     }
 }
 
+/// Identity of one co-residency group: the pages that must share a block
+/// so intra-block MWS can combine them in one sense.
+///
+/// A structured key rather than bit-packing: the earlier encoding
+/// (`(group << 32) | (overflow << 24) | slot`) silently merged unrelated
+/// groups once `overflow` exceeded 8 bits and — worse — erased the
+/// `group` bits under the FTL's `group % planes` plane choice, so every
+/// group landed on the plane of its stripe slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GroupKey {
+    /// Application-level placement-group index.
+    pub group: u64,
+    /// Stripe slot within the group's operand vectors.
+    pub slot: u64,
+    /// Overflow block ordinal (a group whose wordlines exhaust one block
+    /// continues in a fresh block with the next overflow id).
+    pub overflow: u64,
+}
+
+impl GroupKey {
+    /// A key with no overflow (the common, first-block case).
+    pub fn new(group: u64, slot: u64) -> Self {
+        Self { group, slot, overflow: 0 }
+    }
+}
+
+impl std::fmt::Display for GroupKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "g{}/s{}/o{}", self.group, self.slot, self.overflow)
+    }
+}
+
 /// Where the FTL should place a page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PlacementHint {
@@ -62,7 +97,11 @@ pub enum PlacementHint {
     /// combined with a single intra-block MWS.
     Grouped {
         /// Group identity (e.g. one operand set of one plane-stripe).
-        group: u64,
+        group: GroupKey,
+        /// Flat plane the group's block should live on. `None` lets the
+        /// FTL pick the least-loaded plane; callers that schedule work
+        /// across dies (the Flash-Cosmos device) pass an explicit plane.
+        plane: Option<usize>,
     },
 }
 
@@ -79,9 +118,16 @@ pub enum FtlError {
     /// must split operand sets across groups; §6.1 covers combining them).
     GroupFull {
         /// The group that overflowed.
-        group: u64,
+        group: GroupKey,
         /// Block capacity in wordlines.
         capacity: usize,
+    },
+    /// A grouped allocation named a plane the SSD does not have.
+    PlaneOutOfRange {
+        /// The requested flat plane index.
+        plane: usize,
+        /// Planes in the SSD.
+        planes: usize,
     },
     /// The logical page has no mapping (migration of unwritten pages).
     NotMapped(u64),
@@ -94,6 +140,9 @@ impl std::fmt::Display for FtlError {
             FtlError::OutOfSpace => write!(f, "no free wordlines left in the placement domain"),
             FtlError::GroupFull { group, capacity } => {
                 write!(f, "group {group} exceeds one block ({capacity} wordlines)")
+            }
+            FtlError::PlaneOutOfRange { plane, planes } => {
+                write!(f, "plane affinity {plane} out of range (SSD has {planes} planes)")
             }
             FtlError::NotMapped(lpn) => write!(f, "logical page {lpn} is not mapped"),
         }
@@ -122,7 +171,7 @@ pub struct Ftl {
     /// Striped-allocation cursor: (plane, open block, next wordline).
     stripe_cursor: usize,
     stripe_open: Vec<Option<(u32, u32)>>,
-    groups: HashMap<u64, GroupCursor>,
+    groups: HashMap<GroupKey, GroupCursor>,
     config: SsdConfig,
 }
 
@@ -181,7 +230,7 @@ impl Ftl {
         }
         let ppa = match hint {
             PlacementHint::Striped => self.allocate_striped()?,
-            PlacementHint::Grouped { group } => self.allocate_grouped(group)?,
+            PlacementHint::Grouped { group, plane } => self.allocate_grouped(group, plane)?,
         };
         self.map.insert(lpn, ppa);
         self.meta.insert(lpn, meta);
@@ -226,20 +275,59 @@ impl Ftl {
         let old = self.map.get(&lpn).copied().ok_or(FtlError::NotMapped(lpn))?;
         let new = match hint {
             PlacementHint::Striped => self.allocate_striped()?,
-            PlacementHint::Grouped { group } => self.allocate_grouped(group)?,
+            PlacementHint::Grouped { group, plane } => self.allocate_grouped(group, plane)?,
         };
         self.map.insert(lpn, new);
         self.meta.insert(lpn, meta);
         Ok((old, new))
     }
 
-    fn allocate_grouped(&mut self, group: u64) -> Result<Ppa, FtlError> {
+    /// Blocks already allocated per flat plane — the block pressure the
+    /// device layer consults to spread placement groups across dies.
+    pub fn plane_pressures(&self) -> &[u32] {
+        &self.next_block
+    }
+
+    /// The plane with the fewest allocated blocks (lowest index on ties)
+    /// — the default placement domain for grouped allocations without an
+    /// explicit plane affinity.
+    pub fn least_loaded_plane(&self) -> usize {
+        self.next_block
+            .iter()
+            .enumerate()
+            .min_by_key(|&(plane, &pressure)| (pressure, plane))
+            .map(|(plane, _)| plane)
+            .expect("an SSD has at least one plane")
+    }
+
+    /// The flat plane the next striped allocation would land on, without
+    /// allocating (the round-robin cursor's position).
+    pub fn next_striped_plane(&self) -> usize {
+        self.stripe_cursor
+    }
+
+    /// The flat plane a grouped allocation with this key and affinity
+    /// would land on, without allocating — existing groups answer from
+    /// their cursor, fresh groups from the affinity (or the least-loaded
+    /// default). Lets the device decide copyback-vs-rewrite before it
+    /// commits the remap.
+    pub fn group_plane(&self, group: GroupKey, plane: Option<usize>) -> usize {
+        match self.groups.get(&group) {
+            Some(c) => c.plane,
+            None => plane.unwrap_or_else(|| self.least_loaded_plane()),
+        }
+    }
+
+    fn allocate_grouped(&mut self, group: GroupKey, plane: Option<usize>) -> Result<Ppa, FtlError> {
         let cursor = match self.groups.get(&group).copied() {
             Some(c) => c,
             None => {
-                // New groups rotate across planes by group id so different
-                // plane-stripes spread naturally.
-                let plane = (group % self.planes as u64) as usize;
+                if let Some(p) = plane {
+                    if p >= self.planes {
+                        return Err(FtlError::PlaneOutOfRange { plane: p, planes: self.planes });
+                    }
+                }
+                let plane = plane.unwrap_or_else(|| self.least_loaded_plane());
                 let block = self.take_block(plane)?;
                 GroupCursor { plane, block, next_wl: 0 }
             }
@@ -281,6 +369,10 @@ mod tests {
         assert_eq!(distinct.len(), 8);
     }
 
+    fn grouped(group: GroupKey, plane: Option<usize>) -> PlacementHint {
+        PlacementHint::Grouped { group, plane }
+    }
+
     #[test]
     fn grouped_allocation_shares_one_block() {
         let mut f = ftl();
@@ -288,7 +380,7 @@ mod tests {
             .map(|i| {
                 f.allocate(
                     100 + i,
-                    PlacementHint::Grouped { group: 42 },
+                    grouped(GroupKey::new(42, 0), None),
                     PageMeta::flash_cosmos(false),
                 )
                 .unwrap()
@@ -305,29 +397,82 @@ mod tests {
     #[test]
     fn group_overflow_is_reported() {
         let mut f = ftl();
+        let key = GroupKey::new(1, 0);
         for i in 0..8 {
-            f.allocate(i, PlacementHint::Grouped { group: 1 }, PageMeta::flash_cosmos(false))
-                .unwrap();
+            f.allocate(i, grouped(key, None), PageMeta::flash_cosmos(false)).unwrap();
         }
-        let err = f
-            .allocate(99, PlacementHint::Grouped { group: 1 }, PageMeta::flash_cosmos(false))
-            .unwrap_err();
-        assert_eq!(err, FtlError::GroupFull { group: 1, capacity: 8 });
+        let err = f.allocate(99, grouped(key, None), PageMeta::flash_cosmos(false)).unwrap_err();
+        assert_eq!(err, FtlError::GroupFull { group: key, capacity: 8 });
     }
 
     #[test]
     fn distinct_groups_get_distinct_blocks() {
         let mut f = ftl();
         let a = f
-            .allocate(1, PlacementHint::Grouped { group: 8 }, PageMeta::flash_cosmos(false))
+            .allocate(1, grouped(GroupKey::new(8, 0), Some(3)), PageMeta::flash_cosmos(false))
             .unwrap();
         let b = f
-            .allocate(2, PlacementHint::Grouped { group: 16 }, PageMeta::flash_cosmos(true))
+            .allocate(2, grouped(GroupKey::new(16, 0), Some(3)), PageMeta::flash_cosmos(true))
             .unwrap();
-        // Groups 8 and 16 both map to plane 0 (mod 8) but different blocks.
+        // Same plane affinity, but the groups still get distinct blocks.
         assert_eq!(a.plane, b.plane);
+        assert_eq!(a.plane.flat(&SsdConfig::tiny_test()), 3);
         assert_ne!(a.block, b.block);
         assert!(f.meta(2).unwrap().inverted);
+    }
+
+    #[test]
+    fn plane_affinity_is_honored_and_validated() {
+        let mut f = ftl();
+        for plane in [7usize, 0, 5] {
+            let ppa = f
+                .allocate(
+                    plane as u64,
+                    grouped(GroupKey::new(plane as u64, 0), Some(plane)),
+                    PageMeta::flash_cosmos(false),
+                )
+                .unwrap();
+            assert_eq!(ppa.plane.flat(&SsdConfig::tiny_test()), plane);
+        }
+        let err = f
+            .allocate(99, grouped(GroupKey::new(99, 0), Some(8)), PageMeta::flash_cosmos(false))
+            .unwrap_err();
+        assert_eq!(err, FtlError::PlaneOutOfRange { plane: 8, planes: 8 });
+    }
+
+    #[test]
+    fn default_affinity_spreads_by_block_pressure() {
+        // With no explicit plane, each new group lands on the least-loaded
+        // plane — 8 groups cover all 8 planes instead of piling onto one.
+        let mut f = ftl();
+        let planes: std::collections::HashSet<usize> = (0..8u64)
+            .map(|g| {
+                f.allocate(g, grouped(GroupKey::new(g, 0), None), PageMeta::flash_cosmos(false))
+                    .unwrap()
+                    .plane
+                    .flat(&SsdConfig::tiny_test())
+            })
+            .collect();
+        assert_eq!(planes.len(), 8, "least-loaded default must spread groups");
+        assert!(f.plane_pressures().iter().all(|&p| p == 1));
+    }
+
+    #[test]
+    fn structured_keys_do_not_collide_across_overflow() {
+        // Regression for the packed-u64 encoding: after 256 block
+        // overflows, `(g << 32) | (ovf << 24) | slot` bled the overflow
+        // id into the group bits, so (g=0, ovf=256) collided with
+        // (g=1, ovf=0) — two unrelated groups silently merged into one
+        // block. The struct key keeps them distinct.
+        let mut f = ftl();
+        let a = GroupKey { group: 0, slot: 0, overflow: 256 };
+        let b = GroupKey { group: 1, slot: 0, overflow: 0 };
+        let pa = f.allocate(1, grouped(a, Some(0)), PageMeta::flash_cosmos(false)).unwrap();
+        let pb = f.allocate(2, grouped(b, Some(0)), PageMeta::flash_cosmos(false)).unwrap();
+        assert_ne!(pa.block, pb.block, "colliding packed keys silently merged groups");
+        // And the old encoding really did collide:
+        let packed = |g: u64, ovf: u64, slot: u64| (g << 32) | (ovf << 24) | slot;
+        assert_eq!(packed(0, 256, 0), packed(1, 0, 0));
     }
 
     #[test]
@@ -349,7 +494,7 @@ mod tests {
     fn metadata_is_recorded() {
         let mut f = ftl();
         f.allocate(1, PlacementHint::Striped, PageMeta::conventional()).unwrap();
-        f.allocate(2, PlacementHint::Grouped { group: 0 }, PageMeta::flash_cosmos(true)).unwrap();
+        f.allocate(2, grouped(GroupKey::new(0, 0), None), PageMeta::flash_cosmos(true)).unwrap();
         let conv = f.meta(1).unwrap();
         assert!(conv.randomized && conv.ecc && !conv.inverted);
         assert_eq!(conv.scheme, ProgramScheme::Slc);
@@ -362,14 +507,13 @@ mod tests {
     fn exhaustion_reports_out_of_space() {
         let cfg = SsdConfig::tiny_test();
         let mut f = Ftl::new(&cfg);
-        // Fill plane 0 completely with groups (16 blocks × 8 WLs), planes
-        // count = 8 so groups ≡ 0 mod 8 land on plane 0.
+        // Fill plane 0 completely with pinned groups (16 blocks × 8 WLs).
         let mut lpn = 0;
         for g in 0..16u64 {
             for _ in 0..8 {
                 f.allocate(
                     lpn,
-                    PlacementHint::Grouped { group: g * 8 },
+                    grouped(GroupKey::new(g, 0), Some(0)),
                     PageMeta::flash_cosmos(false),
                 )
                 .unwrap();
@@ -377,7 +521,7 @@ mod tests {
             }
         }
         let err = f
-            .allocate(lpn, PlacementHint::Grouped { group: 128 * 8 }, PageMeta::flash_cosmos(false))
+            .allocate(lpn, grouped(GroupKey::new(128, 0), Some(0)), PageMeta::flash_cosmos(false))
             .unwrap_err();
         assert_eq!(err, FtlError::OutOfSpace);
     }

@@ -75,23 +75,27 @@ pub fn mini(vertices: usize, k: usize, cliques: usize, seed: u64) -> FunctionalI
 
     // Operands: one adjacency vector per clique member (grouped per
     // clique for intra-block MWS), plus one clique vector per clique in
-    // its own block (so AND ∥ OR fuse into one inter-block MWS).
+    // its own block *on the same plane* (colocation domain) so AND ∥ OR
+    // fuse into one inter-block MWS. Distinct cliques get distinct
+    // domains, so the device spreads them across dies and a batch of
+    // clique queries senses in parallel.
     let mut operands = Vec::new();
     let mut queries = Vec::new();
     for (c, members) in clique_members.iter().enumerate() {
         let base = operands.len();
+        let domain = format!("kcs-{c}");
         for (j, &m) in members.iter().enumerate() {
             operands.push(StoredOperand {
                 name: format!("clique{c}-adj{j}"),
                 data: adjacency[m].clone(),
-                hints: StoreHints::and_group(&format!("kcs-adj-{c}")),
+                hints: StoreHints::and_group(&format!("kcs-adj-{c}")).colocated(&domain),
             });
         }
         let clique_vec = BitVec::from_fn(vertices, |v| members.contains(&v));
         operands.push(StoredOperand {
             name: format!("clique{c}-members"),
             data: clique_vec.clone(),
-            hints: StoreHints::and_group(&format!("kcs-clique-{c}")),
+            hints: StoreHints::and_group(&format!("kcs-clique-{c}")).colocated(&domain),
         });
 
         // Ground truth: vertices adjacent to every member, plus members.

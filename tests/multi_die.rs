@@ -1,0 +1,269 @@
+//! Die-aware placement and cross-die execution, end to end: distinct
+//! placement groups spread across dies, a batch of independent queries
+//! senses on several dies concurrently (critical path < chip time), and
+//! a query whose operands span dies still answers bit-exactly via the
+//! controller merge instead of failing with `PlaneMismatch`.
+
+use fc_bits::BitVec;
+use fc_ssd::SsdConfig;
+use flash_cosmos::{Expr, FlashCosmosDevice, QueryBatch, StoreHints};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn device() -> FlashCosmosDevice {
+    FlashCosmosDevice::new(SsdConfig::tiny_test())
+}
+
+/// Stores `groups` placement groups of `per_group` single-stripe vectors
+/// each; returns (per-group operand ids, the vectors).
+fn store_spread(
+    dev: &mut FlashCosmosDevice,
+    groups: usize,
+    per_group: usize,
+    die: Option<usize>,
+    rng: &mut StdRng,
+) -> (Vec<Vec<usize>>, Vec<Vec<BitVec>>) {
+    let bits = dev.config().page_bits(); // single stripe
+    let mut ids = Vec::new();
+    let mut data = Vec::new();
+    for g in 0..groups {
+        let mut hints = StoreHints::and_group(&format!("g{g}"));
+        if let Some(d) = die {
+            hints = hints.with_die(d);
+        }
+        let vs: Vec<BitVec> = (0..per_group).map(|_| BitVec::random(bits, rng)).collect();
+        let gids: Vec<usize> = vs
+            .iter()
+            .enumerate()
+            .map(|(i, v)| dev.fc_write(&format!("g{g}-{i}"), v, hints.clone()).unwrap().id)
+            .collect();
+        ids.push(gids);
+        data.push(vs);
+    }
+    (ids, data)
+}
+
+/// The ISSUE acceptance criterion: a single-stripe batch of ≥8
+/// independent queries on the tiny geometry (8 planes, 4 dies) executes
+/// across ≥2 dies with `critical_path_us < chip_time_us`, bit-exactly.
+#[test]
+fn single_stripe_batch_spans_dies() {
+    let mut dev = device();
+    let mut rng = StdRng::seed_from_u64(0xD1E5);
+    let (ids, data) = store_spread(&mut dev, 8, 2, None, &mut rng);
+
+    let batch: QueryBatch = ids.iter().map(|g| Expr::and_vars(g.iter().copied())).collect();
+    assert!(batch.len() >= 8);
+    let out = dev.submit(&batch).unwrap();
+
+    for (g, vs) in data.iter().enumerate() {
+        assert_eq!(out.results[g], vs[0].and(&vs[1]), "query {g} must be bit-exact");
+    }
+    assert!(out.stats.dies_used >= 2, "work must span dies, used {}", out.stats.dies_used);
+    assert_eq!(out.stats.dies_used, 4, "8 groups on tiny cover all 4 dies");
+    assert!(
+        out.stats.critical_path_us < out.stats.chip_time_us,
+        "die parallelism must shorten the critical path: {} vs {}",
+        out.stats.critical_path_us,
+        out.stats.chip_time_us
+    );
+}
+
+/// The die-0-serialized baseline (every group pinned to die 0) is ≥2×
+/// slower on the critical path than die-aware placement for the same
+/// 8-query batch — the bug this PR fixes made *every* batch behave like
+/// the pinned one.
+#[test]
+fn die_aware_critical_path_beats_die0_serialization() {
+    let run = |die: Option<usize>| {
+        let mut dev = device();
+        let mut rng = StdRng::seed_from_u64(0xD1E6);
+        let (ids, data) = store_spread(&mut dev, 8, 2, die, &mut rng);
+        let batch: QueryBatch = ids.iter().map(|g| Expr::and_vars(g.iter().copied())).collect();
+        let out = dev.submit(&batch).unwrap();
+        for (g, vs) in data.iter().enumerate() {
+            assert_eq!(out.results[g], vs[0].and(&vs[1]));
+        }
+        out.stats
+    };
+    let spread = run(None);
+    let pinned = run(Some(0));
+    assert_eq!(pinned.dies_used, 1, "pinned baseline serializes on die 0");
+    assert_eq!(spread.senses, pinned.senses, "placement must not change sense counts");
+    assert!(
+        pinned.critical_path_us >= 2.0 * spread.critical_path_us,
+        "die-aware placement must be ≥2× better on critical path: {} vs {}",
+        spread.critical_path_us,
+        pinned.critical_path_us
+    );
+}
+
+/// A query whose operands live on different dies returns the correct
+/// result (per-die programs + controller merge) for every operator
+/// shape, instead of `PlanError::PlaneMismatch`.
+#[test]
+fn cross_die_queries_answer_exactly() {
+    let mut dev = device();
+    let mut rng = StdRng::seed_from_u64(0xC0DE);
+    let bits = 700; // 3 stripes
+    let a = BitVec::random(bits, &mut rng);
+    let b = BitVec::random(bits, &mut rng);
+    let ha = dev.fc_write("a", &a, StoreHints::and_group("ga")).unwrap();
+    let hb = dev.fc_write("b", &b, StoreHints::and_group("gb")).unwrap();
+    assert_ne!(
+        dev.operand_dies(ha.id).unwrap()[0],
+        dev.operand_dies(hb.id).unwrap()[0],
+        "distinct groups land on distinct dies"
+    );
+    let cases: Vec<(Expr, BitVec)> = vec![
+        (ha & hb, a.and(&b)),
+        (ha | hb, a.or(&b)),
+        (ha ^ hb, a.xor(&b)),
+        (!(ha & hb), a.and(&b).not()),
+        (!(ha | hb), a.or(&b).not()),
+        (Expr::xnor(ha.into(), hb.into()), a.xor(&b).not()),
+    ];
+    for (expr, expect) in cases {
+        let (result, stats) = dev.fc_read(&expr).unwrap();
+        assert_eq!(result, expect, "cross-die {expr:?} diverged");
+        assert!(stats.senses >= 2, "at least one sense per die");
+    }
+}
+
+/// The ParaBit baseline used to keep only the *last* operand's die and
+/// silently execute all stripes on one chip — wrong data, no error. It
+/// now reuses the die-split machinery and must match ground truth.
+#[test]
+fn parabit_cross_die_regression() {
+    let mut dev = device();
+    let mut rng = StdRng::seed_from_u64(0xBA5E);
+    let bits = dev.config().page_bits();
+    let vs: Vec<BitVec> = (0..4).map(|_| BitVec::random(bits, &mut rng)).collect();
+    // Two groups of two → two dies.
+    let ids: Vec<usize> = vs
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let g = if i < 2 { "left" } else { "right" };
+            dev.fc_write(&format!("op{i}"), v, StoreHints::and_group(g)).unwrap().id
+        })
+        .collect();
+    assert_ne!(
+        dev.operand_dies(ids[0]).unwrap()[0],
+        dev.operand_dies(ids[2]).unwrap()[0],
+        "operands must sit on two dies for the regression to bite"
+    );
+    let and_expr = Expr::and_vars(ids.iter().copied());
+    let (pb, pb_stats) = dev.parabit_read(&and_expr).unwrap();
+    let expect = vs.iter().skip(1).fold(vs[0].clone(), |acc, v| acc.and(v));
+    assert_eq!(pb, expect, "ParaBit must not silently mis-execute cross-die operands");
+    assert_eq!(pb_stats.senses, 4, "ParaBit still senses every operand once");
+    assert!(pb_stats.critical_path_us < pb_stats.chip_time_us, "two dies sense concurrently");
+
+    let or_expr = Expr::or(vec![Expr::and_vars(ids[..2].iter().copied()), Expr::var(ids[2])]);
+    let (pb, _) = dev.parabit_read(&or_expr).unwrap();
+    assert_eq!(pb, vs[0].and(&vs[1]).or(&vs[2]));
+}
+
+/// Migrating operands into a shared group gathers them from several dies
+/// onto one plane (die-internal moves via copyback where possible), and
+/// an `fc_read` after migration is back to a single sense.
+#[test]
+fn migration_regathers_across_dies() {
+    let mut dev = device();
+    let mut rng = StdRng::seed_from_u64(0x6A7);
+    let bits = dev.config().page_bits();
+    let vs: Vec<BitVec> = (0..3).map(|_| BitVec::random(bits, &mut rng)).collect();
+    let ids: Vec<usize> = vs
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            dev.fc_write(&format!("op{i}"), v, StoreHints::and_group(&format!("s{i}"))).unwrap().id
+        })
+        .collect();
+    let expr = Expr::and_vars(ids.iter().copied());
+    let (before, before_stats) = dev.fc_read(&expr).unwrap();
+    assert_eq!(before_stats.senses, 3, "three dies, one sense each");
+    for i in 0..3 {
+        dev.migrate_operand(&format!("op{i}"), StoreHints::and_group("gathered")).unwrap();
+    }
+    let dies: Vec<_> = ids.iter().map(|&id| dev.operand_dies(id).unwrap()[0]).collect();
+    assert!(dies.windows(2).all(|w| w[0] == w[1]), "gathered onto one die: {dies:?}");
+    let (after, after_stats) = dev.fc_read(&expr).unwrap();
+    assert_eq!(after, before);
+    assert_eq!(after_stats.senses, 1, "gathered: single intra-block MWS");
+}
+
+/// Builds a random expression over per-operand singleton groups (so
+/// operands scatter across dies as widely as possible).
+fn random_expr(rng: &mut StdRng, ids: &[usize], depth: usize) -> Expr {
+    let leaf = |rng: &mut StdRng| Expr::var(ids[rng.gen_range(0..ids.len())]);
+    if depth == 0 {
+        return leaf(rng);
+    }
+    match rng.gen_range(0..6) {
+        0 | 1 => {
+            let k = rng.gen_range(2..=ids.len().min(4));
+            let start = rng.gen_range(0..=ids.len() - k);
+            let children: Vec<Expr> = ids[start..start + k].iter().map(|&i| Expr::var(i)).collect();
+            if rng.gen_bool(0.5) {
+                Expr::and(children)
+            } else {
+                Expr::or(children)
+            }
+        }
+        2 => Expr::or(vec![random_expr(rng, ids, depth - 1), random_expr(rng, ids, depth - 1)]),
+        3 => Expr::and(vec![random_expr(rng, ids, depth - 1), random_expr(rng, ids, depth - 1)]),
+        4 => Expr::not(random_expr(rng, ids, depth - 1)),
+        _ => leaf(rng),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Die-aware placement preserves batch ≡ serial ≡ ground-truth
+    /// equivalence for random expressions over die-scattered operands.
+    #[test]
+    fn die_aware_batch_matches_serial(seed in any::<u64>()) {
+        let mut dev = device();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bits = 300; // 2 stripes
+        let vectors: Vec<BitVec> = (0..6).map(|_| BitVec::random(bits, &mut rng)).collect();
+        // Every operand in its own group: maximal die scatter.
+        let ids: Vec<usize> = vectors
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                dev.fc_write(&format!("v{i}"), v, StoreHints::and_group(&format!("solo{i}")))
+                    .unwrap()
+                    .id
+            })
+            .collect();
+
+        let mut queries = Vec::new();
+        let mut serial_results = Vec::new();
+        let mut serial_senses = 0;
+        while queries.len() < 6 {
+            let e = random_expr(&mut rng, &ids, 2);
+            match dev.fc_read(&e) {
+                Ok((r, s)) => {
+                    let lookup = |i: usize| vectors[i].clone();
+                    prop_assert_eq!(&r, &e.eval(&lookup), "serial diverged from eval on {}", e);
+                    queries.push(e);
+                    serial_results.push(r);
+                    serial_senses += s.senses;
+                }
+                Err(_) => continue, // layout-dependent rejection: fine
+            }
+        }
+        let batch: QueryBatch = queries.iter().cloned().collect();
+        let out = dev.submit(&batch).unwrap();
+        for (qi, serial) in serial_results.iter().enumerate() {
+            prop_assert_eq!(&out.results[qi], serial, "query {} diverged from serial", qi);
+        }
+        prop_assert_eq!(out.stats.serial_senses, serial_senses);
+        prop_assert!(out.stats.senses <= serial_senses);
+    }
+}
