@@ -322,13 +322,155 @@ fn batch_submit_multi_die(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cross-batch result caching: the same 16-query batch re-submitted with
+/// a warm cache versus a cold-cache device. The modeled win (senses) is
+/// printed once; the measured win is the wall-time ratio of the two
+/// benches (the acceptance bar is ≥5× on both).
+fn batch_resubmit_cached(c: &mut Criterion) {
+    use flash_cosmos::batch::QueryBatch;
+    use flash_cosmos::device::{FlashCosmosDevice, StoreHints};
+
+    fn setup(cached: bool) -> (FlashCosmosDevice, QueryBatch) {
+        let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+        if !cached {
+            dev.set_result_cache_capacity(0);
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let ids: Vec<usize> = (0..8)
+            .map(|i| {
+                let v = BitVec::random(4096, &mut rng);
+                dev.fc_write(&format!("op{i}"), &v, StoreHints::and_group("g")).unwrap().id
+            })
+            .collect();
+        let batch: QueryBatch = (0..16)
+            .map(|q| match q % 4 {
+                0 => Expr::and_vars(ids.iter().copied()),
+                1 => Expr::and_vars(ids.iter().rev().copied()),
+                2 => Expr::and_vars(ids[..4].iter().copied()),
+                _ => Expr::and_vars(ids[q % 5..].iter().copied()),
+            })
+            .collect();
+        (dev, batch)
+    }
+
+    let mut group = c.benchmark_group("batch");
+    group.sample_size(20);
+    let (mut warm_dev, batch) = setup(true);
+    let (mut cold_dev, _) = setup(false);
+    let cold = cold_dev.submit(&batch).unwrap();
+    warm_dev.submit(&batch).unwrap(); // populate the cache
+    let warm = warm_dev.submit(&batch).unwrap();
+    assert_eq!(warm.results, cold.results, "cache replay must be bit-exact vs cold-cache device");
+    println!(
+        "batch/resubmit_cached: warm {} senses vs cold {} senses \
+         ({} units replayed from cache)",
+        warm.stats.senses, cold.stats.senses, warm.stats.cached_units
+    );
+    let mut outs: Vec<BitVec> = (0..batch.len()).map(|_| BitVec::zeros(0)).collect();
+    group.bench_function("resubmit_cached", |bench| {
+        bench.iter(|| warm_dev.submit_into(std::hint::black_box(&batch), &mut outs).unwrap());
+    });
+    group.bench_function("resubmit_cold", |bench| {
+        bench.iter(|| cold_dev.submit_into(std::hint::black_box(&batch), &mut outs).unwrap());
+    });
+    group.finish();
+}
+
+/// Async ticketed submission: two batches pinned to disjoint die pairs,
+/// queued and drained in one overlapped pass, versus two serial submits.
+/// The modeled overlap win is printed once; the benches time the
+/// simulator's drain loop.
+fn batch_async_overlap(c: &mut Criterion) {
+    use flash_cosmos::batch::QueryBatch;
+    use flash_cosmos::device::{FlashCosmosDevice, StoreHints};
+
+    fn setup() -> (FlashCosmosDevice, Vec<QueryBatch>) {
+        let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+        dev.set_result_cache_capacity(0); // measure execution, not replay
+        let mut rng = StdRng::seed_from_u64(9);
+        let bits = dev.config().page_bits();
+        let mut batches = Vec::new();
+        for (b, dies) in [(0usize, [0usize, 1]), (1, [2, 3])] {
+            let mut batch = QueryBatch::new();
+            for g in 0..4 {
+                let hints = StoreHints::and_group(&format!("t{b}g{g}")).with_die(dies[g % 2]);
+                let ids: Vec<usize> = (0..2)
+                    .map(|i| {
+                        let v = BitVec::random(bits, &mut rng);
+                        dev.fc_write(&format!("t{b}g{g}-{i}"), &v, hints.clone()).unwrap().id
+                    })
+                    .collect();
+                batch.push(Expr::and_vars(ids));
+            }
+            batches.push(batch);
+        }
+        (dev, batches)
+    }
+
+    let mut group = c.benchmark_group("batch");
+    group.sample_size(20);
+    let (mut dev, batches) = setup();
+    let t0 = dev.submit_async(&batches[0]).unwrap();
+    let t1 = dev.submit_async(&batches[1]).unwrap();
+    let drained = dev.drain().unwrap();
+    t0.wait(&mut dev).unwrap();
+    t1.wait(&mut dev).unwrap();
+    println!(
+        "batch/submit_async_overlap: combined critical path {:.1} µs vs {:.1} µs \
+         for two serial submits ({:.1} µs saved, {} dies)",
+        drained.combined_critical_path_us,
+        drained.serial_critical_path_us,
+        drained.overlap_saved_us(),
+        drained.dies_used
+    );
+    group.bench_function("submit_async_overlap", |bench| {
+        bench.iter(|| {
+            let t0 = dev.submit_async(std::hint::black_box(&batches[0])).unwrap();
+            let t1 = dev.submit_async(std::hint::black_box(&batches[1])).unwrap();
+            dev.drain().unwrap();
+            (dev.wait(t0).unwrap(), dev.wait(t1).unwrap())
+        });
+    });
+    group.bench_function("submit_serial_pair", |bench| {
+        bench.iter(|| {
+            (
+                dev.submit(std::hint::black_box(&batches[0])).unwrap(),
+                dev.submit(std::hint::black_box(&batches[1])).unwrap(),
+            )
+        });
+    });
+    group.finish();
+}
+
+/// The word-parallel BCH encoder against the retained bit-serial oracle,
+/// on the production (1023, 943) t=8 code.
+fn ecc_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ecc");
+    group.sample_size(20);
+    let codec = PageCodec::new(EccConfig::production());
+    let code = codec.code();
+    let mut rng = StdRng::seed_from_u64(11);
+    let payload = BitVec::random(code.k(), &mut rng);
+    let mut cw = BitVec::zeros(code.n());
+    group.throughput(Throughput::Bytes((code.k() / 8) as u64));
+    group.bench_function("encode_wordwise_1023", |bench| {
+        let mut reg: Vec<u64> = Vec::new();
+        bench.iter(|| code.encode_into(std::hint::black_box(&payload), &mut cw, &mut reg));
+    });
+    group.bench_function("encode_bitserial_1023", |bench| {
+        let mut reg: Vec<bool> = Vec::new();
+        bench.iter(|| code.encode_into_serial(std::hint::black_box(&payload), &mut cw, &mut reg));
+    });
+    group.finish();
+}
+
 fn pipeline_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline");
     group.sample_size(20);
     let scenario = Fig7Scenario::default();
     group.bench_function("fig7_osp_64dies", |bench| {
         let model = PipelineModel::new(SsdConfig::fig7_example());
-        let jobs = scenario.jobs(Approach::Osp);
+        let jobs = scenario.jobs(Approach::Osp).expect("default scenario has 3 operands");
         let mut scratch = fc_ssd::pipeline::PipelineScratch::new();
         bench.iter(|| {
             model.run_with_scratch(std::hint::black_box(&jobs), HostWork::default(), &mut scratch)
@@ -345,9 +487,12 @@ criterion_group!(
     mws_error_injection,
     planner_compile,
     ecc_codec,
+    ecc_encode,
     randomizer,
     batch_submit,
     batch_submit_multi_die,
+    batch_resubmit_cached,
+    batch_async_overlap,
     pipeline_sim
 );
 criterion_main!(benches);

@@ -25,7 +25,7 @@ pub fn fig07_timeline() -> Vec<Table> {
     ];
     let mut timelines = Vec::new();
     for (approach, paper_us, paper_bn) in paper {
-        let report = scenario.run(approach);
+        let report = scenario.run(approach).expect("the default Fig. 7 scenario has 3 operands");
         summary.row(vec![
             approach.to_string(),
             fnum(report.makespan_us),

@@ -39,7 +39,7 @@ use std::collections::{HashMap, HashSet};
 use fc_bits::BitVec;
 use fc_nand::command::Command;
 use fc_ssd::device::DeviceError;
-use fc_ssd::topology::DieId;
+use fc_ssd::pipeline::DieQueues;
 
 use crate::crossdie::{self, ExecPlan, Leaf, MergeTree};
 use crate::device::{FcError, FlashCosmosDevice};
@@ -138,6 +138,13 @@ pub struct BatchStats {
     pub deduped_queries: usize,
     /// Shared OR terms extracted into their own single-sense plan units.
     pub shared_units: usize,
+    /// Plan units answered by the cross-batch result cache (no compile,
+    /// no sensing — see `flash_cosmos::session`).
+    pub cached_units: usize,
+    /// Sensing operations the cache hits avoided (what the joint plan
+    /// would have executed for those units on a cold cache). Counted in
+    /// `serial_senses` but not in `senses`.
+    pub cached_senses: u64,
     /// Distinct dies that executed sensing work — >1 means the batch
     /// genuinely exploited die-level parallelism (and `critical_path_us`
     /// sits below `chip_time_us`).
@@ -163,14 +170,85 @@ pub struct BatchResults {
     pub stats: BatchStats,
 }
 
+/// One canonically-distinct query of a batch: the first submitted form
+/// plus its canonical normal form (computed once, reused as the dedup,
+/// sharing and cache key) and every query id it answers.
+struct UniqueQuery {
+    nnf: Nnf,
+    canon: Nnf,
+    consumers: Vec<QueryId>,
+}
+
 /// One schedulable piece of the joint plan: an expression evaluated by a
-/// single compiled program per stripe, feeding one or more queries.
+/// single compiled program per stripe, feeding one or more queries. The
+/// canonical form rides along from dedup so the cache key never
+/// re-canonicalizes on the hot (warm-resubmit) path.
 struct Unit {
     nnf: Nnf,
+    canon: Nnf,
     ids: Vec<OperandId>,
     pages: usize,
     consumers: Vec<QueryId>,
     shared: bool,
+}
+
+/// How a planned unit obtains its result vector.
+pub(crate) enum UnitWork {
+    /// Served from the cross-batch result cache: the unit's full output
+    /// (snapshotted at compile time — valid as long as the operand
+    /// generations in the unit key hold) plus the senses a cold execution
+    /// would have cost.
+    Cached {
+        /// The memoized unit output (`pages × page_bits` bits).
+        result: BitVec,
+    },
+    /// Compiled per-plane programs to execute on the chips.
+    Execute {
+        /// All stripes' leaves, in flatten order (merge trees index into
+        /// this list).
+        leaves: Vec<Leaf>,
+        /// Stripe slot per leaf.
+        slots: Vec<usize>,
+        /// Whether the leaf's page *is* its stripe's result (single-plane
+        /// stripe) — streamed straight into the unit output.
+        direct: Vec<bool>,
+        /// Controller merges for stripes that span planes.
+        merges: Vec<(usize, MergeTree)>,
+        /// Total senses across the leaves.
+        senses: u64,
+    },
+}
+
+/// One planned unit of a compiled batch.
+pub(crate) struct PlannedUnit {
+    pages: usize,
+    consumers: Vec<QueryId>,
+    /// Result-cache key: epoch + canonical form + operand generations.
+    pub(crate) key: crate::session::CacheKey,
+    pub(crate) work: UnitWork,
+}
+
+/// A batch compiled against the current placement and cache state, ready
+/// to execute — immediately ([`FlashCosmosDevice::submit_into`]) or
+/// queued ([`FlashCosmosDevice::submit_async`]).
+pub(crate) struct CompiledBatch {
+    q_bits: Vec<usize>,
+    q_pages: Vec<usize>,
+    units: Vec<PlannedUnit>,
+    /// Stats fields known at compile time (dedup/sharing/cache/serial
+    /// counts); execution clones this and fills in the measured fields.
+    stats_seed: BatchStats,
+    /// Generation of every operand the batch references, plus the device
+    /// epoch — the staleness check for queued batches.
+    pub(crate) epoch: u64,
+    pub(crate) snapshot: Vec<(OperandId, u64)>,
+}
+
+impl CompiledBatch {
+    /// Queries in the source batch.
+    pub(crate) fn queries(&self) -> usize {
+        self.q_bits.len()
+    }
 }
 
 impl FlashCosmosDevice {
@@ -206,15 +284,24 @@ impl FlashCosmosDevice {
         if outs.len() != batch.len() {
             return Err(FcError::OutputSlots { got: outs.len(), expected: batch.len() });
         }
+        if batch.is_empty() {
+            return Ok(BatchStats::default());
+        }
+        let compiled = self.compile_batch(batch)?;
+        self.execute_compiled(&compiled, outs, None)
+    }
+
+    /// Compiles a batch against the current placement, dedup/sharing the
+    /// queries jointly and consulting the cross-batch result cache per
+    /// unit — the planning half of [`FlashCosmosDevice::submit_into`],
+    /// shared with the async submission path.
+    pub(crate) fn compile_batch(&mut self, batch: &QueryBatch) -> Result<CompiledBatch, FcError> {
         let n = batch.len();
         let mut stats = BatchStats {
             queries: n,
             per_query: vec![QueryStats::default(); n],
             ..BatchStats::default()
         };
-        if n == 0 {
-            return Ok(stats);
-        }
 
         // Validate every query and capture its geometry.
         let mut q_bits = vec![0usize; n];
@@ -237,15 +324,17 @@ impl FlashCosmosDevice {
         }
 
         // Canonical dedup: queries with the same normal form share a plan.
+        // The canonical forms are kept — they become the plan units' cache
+        // keys without being recomputed.
         let mut key_index: HashMap<Nnf, usize> = HashMap::new();
-        let mut uniques: Vec<(Nnf, Vec<QueryId>)> = Vec::new();
+        let mut uniques: Vec<UniqueQuery> = Vec::new();
         for (qi, nnf) in q_nnf.iter().enumerate() {
             let key = canonicalize(nnf);
             match key_index.get(&key) {
-                Some(&u) => uniques[u].1.push(qi),
+                Some(&u) => uniques[u].consumers.push(qi),
                 None => {
-                    key_index.insert(key, uniques.len());
-                    uniques.push((nnf.clone(), vec![qi]));
+                    key_index.insert(key.clone(), uniques.len());
+                    uniques.push(UniqueQuery { nnf: nnf.clone(), canon: key, consumers: vec![qi] });
                 }
             }
         }
@@ -280,63 +369,162 @@ impl FlashCosmosDevice {
         // below for free; only a decomposed plan needs the unique queries
         // compiled standalone.
         if decomposed {
-            for (nnf, consumers) in &uniques {
-                let ids: Vec<OperandId> = nnf.operands().into_iter().collect();
+            for uq in &uniques {
+                let ids: Vec<OperandId> = uq.nnf.operands().into_iter().collect();
                 let mut senses = 0u64;
-                for slot in 0..q_pages[consumers[0]] {
-                    let plan = self.stripe_plan(nnf, &ids, slot, caps)?;
+                for slot in 0..q_pages[uq.consumers[0]] {
+                    let plan = self.stripe_plan(&uq.nnf, &ids, slot, caps)?;
                     senses += plan.sense_count() as u64;
                 }
-                stats.serial_senses += senses * consumers.len() as u64;
+                stats.serial_senses += senses * uq.consumers.len() as u64;
             }
         }
 
-        // Compile every (unit, stripe) pair into a cross-die plan. The
-        // plan's leaves (one per plane touched) go into one global
-        // execution list ordered die-major — each die's command queue is
-        // contiguous and the critical path reflects cross-die parallelism
-        // — while the merge recipes remember how the controller combines
-        // partial pages of units that span dies.
-        let mut leaves: Vec<Leaf> = Vec::new();
-        let mut leaf_meta: Vec<(usize, usize)> = Vec::new(); // (ui, slot) per leaf
-        let mut direct: Vec<bool> = Vec::new(); // leaf streams straight to outputs
-        let mut merges: Vec<(usize, usize, MergeTree)> = Vec::new();
-        for (ui, unit) in units.iter().enumerate() {
+        // Compile every unit: a cache hit snapshots the memoized result
+        // (no plans compiled, no senses queued); a miss compiles each
+        // stripe into a cross-die plan whose leaves queue on their dies.
+        let epoch = self.epoch;
+        let mut snapshot: Vec<(OperandId, u64)> = Vec::new();
+        {
+            let mut seen: HashSet<OperandId> = HashSet::new();
+            for nnf in &q_nnf {
+                for id in nnf.operands() {
+                    if seen.insert(id) {
+                        snapshot.push((id, self.operand_generation(id)));
+                    }
+                }
+            }
+            snapshot.sort_unstable();
+        }
+        let mut planned: Vec<PlannedUnit> = Vec::with_capacity(units.len());
+        for unit in &units {
+            let gens: Vec<(OperandId, u64)> =
+                unit.ids.iter().map(|&id| (id, self.operand_generation(id))).collect();
+            let key: crate::session::CacheKey = (epoch, unit.canon.clone(), gens);
+            if let Some(entry) = self.session.cache.lookup(&key) {
+                stats.cached_units += 1;
+                stats.cached_senses += entry.senses;
+                if !decomposed {
+                    stats.serial_senses += entry.senses * unit.consumers.len() as u64;
+                }
+                planned.push(PlannedUnit {
+                    pages: unit.pages,
+                    consumers: unit.consumers.clone(),
+                    work: UnitWork::Cached { result: entry.result.clone() },
+                    key,
+                });
+                continue;
+            }
+            let mut leaves: Vec<Leaf> = Vec::new();
+            let mut slots: Vec<usize> = Vec::new();
+            let mut direct: Vec<bool> = Vec::new();
+            let mut merges: Vec<(usize, MergeTree)> = Vec::new();
+            let mut senses = 0u64;
             for slot in 0..unit.pages {
                 let plan = self.stripe_plan(&unit.nnf, &unit.ids, slot, caps)?;
-                if !decomposed {
-                    // Whole-query plan: each unique plan executes once but
-                    // a serial run would repeat it per duplicate.
-                    stats.serial_senses += plan.sense_count() as u64 * unit.consumers.len() as u64;
-                }
+                senses += plan.sense_count() as u64;
                 let tree = plan.flatten(&mut leaves);
-                leaf_meta.resize(leaves.len(), (ui, slot));
+                slots.resize(leaves.len(), slot);
+                direct.resize(leaves.len(), false);
                 // Single-leaf plans (the common co-planar case) stream
-                // their page straight into the consumers' outputs at
-                // execution time; only genuinely spanning plans buffer
-                // partials for the controller merge.
+                // their page straight into the unit output; only genuinely
+                // spanning plans buffer partials for the controller merge.
                 if let MergeTree::Leaf(i) = tree {
-                    direct.resize(leaves.len(), false);
                     direct[i] = true;
                 } else {
-                    merges.push((ui, slot, tree));
+                    merges.push((slot, tree));
                 }
             }
+            if !decomposed {
+                // Whole-query plan: each unique plan executes once but a
+                // serial run would repeat it per duplicate.
+                stats.serial_senses += senses * unit.consumers.len() as u64;
+            }
+            planned.push(PlannedUnit {
+                pages: unit.pages,
+                consumers: unit.consumers.clone(),
+                work: UnitWork::Execute { leaves, slots, direct, merges, senses },
+                key,
+            });
         }
-        direct.resize(leaves.len(), false);
-        let mut order: Vec<usize> = (0..leaves.len()).collect();
-        order.sort_by_key(|&i| (leaves[i].plane.die, leaf_meta[i].1, leaf_meta[i].0, i));
+        Ok(CompiledBatch { q_bits, q_pages, units: planned, stats_seed: stats, epoch, snapshot })
+    }
 
+    /// Re-consults the result cache for every still-executable unit of a
+    /// compiled batch. Async batches compile at `submit_async` time —
+    /// before earlier queued batches have executed — so a unit another
+    /// in-flight batch also computes misses at compile; by drain time the
+    /// earlier batch's execution has populated the cache and this swap
+    /// turns the duplicate work into a replay. Unit keys embed operand
+    /// generations, so a swapped-in entry is valid by construction (stale
+    /// batches are recompiled before this runs).
+    pub(crate) fn refresh_cache_hits(&mut self, compiled: &mut CompiledBatch) {
+        for unit in &mut compiled.units {
+            let UnitWork::Execute { senses, .. } = &unit.work else { continue };
+            let senses = *senses;
+            if let Some(entry) = self.session.cache.peek_hit(&unit.key) {
+                unit.work = UnitWork::Cached { result: entry.result.clone() };
+                compiled.stats_seed.cached_units += 1;
+                compiled.stats_seed.cached_senses += senses;
+            }
+        }
+    }
+
+    /// Executes a compiled batch on the chips: leaves run die-major (each
+    /// die's queue is contiguous), cached units replay their memoized
+    /// pages, fresh unit results populate the cache, and every unit
+    /// accumulates into its consumers' outputs. `combined`, when given,
+    /// receives this batch's per-die occupancy on top of whatever other
+    /// batches already queued — the drain path's overlap accounting.
+    pub(crate) fn execute_compiled(
+        &mut self,
+        compiled: &CompiledBatch,
+        outs: &mut [BitVec],
+        combined: Option<&mut DieQueues>,
+    ) -> Result<BatchStats, FcError> {
+        let mut stats = compiled.stats_seed.clone();
         let page_bits = self.ssd.config().page_bits();
-        for (qi, out) in outs.iter_mut().enumerate() {
-            out.reset(q_pages[qi] * page_bits, false);
-        }
+        let dies = self.ssd.config().total_dies();
 
-        let mut die_time: HashMap<DieId, f64> = HashMap::new();
-        let mut pages: Vec<Option<BitVec>> = vec![None; leaves.len()];
-        for i in order {
-            let leaf = &leaves[i];
-            let (ui, _) = leaf_meta[i];
+        // Global die-major execution order over all units' leaves.
+        let mut order: Vec<(usize, usize)> = Vec::new();
+        for (ui, unit) in compiled.units.iter().enumerate() {
+            if let UnitWork::Execute { leaves, slots, .. } = &unit.work {
+                order.extend((0..leaves.len()).map(|li| (ui, li)));
+                debug_assert_eq!(leaves.len(), slots.len());
+            }
+        }
+        order.sort_by_key(|&(ui, li)| {
+            let UnitWork::Execute { leaves, slots, .. } = &compiled.units[ui].work else {
+                unreachable!("order only holds executable units");
+            };
+            (leaves[li].plane.die, slots[li], ui, li)
+        });
+
+        let mut unit_outs: Vec<Option<BitVec>> = compiled
+            .units
+            .iter()
+            .map(|u| match &u.work {
+                UnitWork::Execute { .. } => Some(BitVec::zeros(u.pages * page_bits)),
+                UnitWork::Cached { .. } => None,
+            })
+            .collect();
+        let mut partials: Vec<Vec<Option<BitVec>>> = compiled
+            .units
+            .iter()
+            .map(|u| match &u.work {
+                UnitWork::Execute { leaves, .. } => vec![None; leaves.len()],
+                UnitWork::Cached { .. } => Vec::new(),
+            })
+            .collect();
+
+        let mut own = DieQueues::new(dies);
+        for (ui, li) in order {
+            let unit = &compiled.units[ui];
+            let UnitWork::Execute { leaves, slots, direct, .. } = &unit.work else {
+                unreachable!("order only holds executable units");
+            };
+            let leaf = &leaves[li];
             let chip = self.ssd.chip_mut(leaf.plane.die);
             let mut latency = 0.0;
             let mut energy = 0.0;
@@ -357,39 +545,73 @@ impl FlashCosmosDevice {
             stats.senses += senses;
             stats.chip_time_us += latency;
             stats.energy_uj += energy;
-            *die_time.entry(leaf.plane.die).or_insert(0.0) += latency;
-            let unit = &units[ui];
-            let share = 1.0 / unit.consumers.len() as f64;
-            for &qi in &unit.consumers {
-                let qs = &mut stats.per_query[qi];
-                qs.senses += senses as f64 * share;
-                qs.chip_time_us += latency * share;
-                qs.energy_uj += energy * share;
-            }
-            if direct[i] {
-                // Outputs start zeroed, so OR-accumulation doubles as the
-                // plain copy for single-unit queries.
-                let slot = leaf_meta[i].1;
+            own.push(leaf.plane.die.flat(self.ssd.config()), latency);
+            // Amortized attribution: a unit serving several queries splits
+            // its cost evenly. A consumer-less unit (nothing to attribute
+            // to) must not poison the stats with a division by zero.
+            debug_assert!(!unit.consumers.is_empty(), "plan units always feed ≥ 1 query");
+            if !unit.consumers.is_empty() {
+                let share = 1.0 / unit.consumers.len() as f64;
                 for &qi in &unit.consumers {
-                    outs[qi].or_from(slot * page_bits, &page);
+                    let qs = &mut stats.per_query[qi];
+                    qs.senses += senses as f64 * share;
+                    qs.chip_time_us += latency * share;
+                    qs.energy_uj += energy * share;
                 }
+            }
+            if direct[li] {
+                unit_outs[ui]
+                    .as_mut()
+                    .expect("executable units own an output buffer")
+                    .copy_from(slots[li] * page_bits, &page);
             } else {
-                pages[i] = Some(page);
+                partials[ui][li] = Some(page);
             }
         }
-        stats.critical_path_us = die_time.values().fold(0.0, |a, &b| a.max(b));
-        stats.dies_used = die_time.len();
+        stats.critical_path_us = own.busiest_us();
+        stats.dies_used = own.dies_busy();
+        if let Some(combined) = combined {
+            combined.merge(&own);
+        }
 
-        // Merge each spanning unit-stripe's buffered partial pages and
-        // accumulate into the consumers' outputs.
-        for (ui, slot, tree) in merges {
-            let page = crossdie::eval_merge(&tree, &mut pages);
-            for &qi in &units[ui].consumers {
-                outs[qi].or_from(slot * page_bits, &page);
+        // Merge each spanning unit-stripe's buffered partial pages into
+        // the unit output.
+        for (ui, unit) in compiled.units.iter().enumerate() {
+            let UnitWork::Execute { merges, .. } = &unit.work else { continue };
+            for (slot, tree) in merges {
+                let page = crossdie::eval_merge(tree, &mut partials[ui]);
+                unit_outs[ui]
+                    .as_mut()
+                    .expect("executable units own an output buffer")
+                    .copy_from(slot * page_bits, &page);
+            }
+        }
+
+        // Accumulate unit results into the consumers' outputs (outputs
+        // start zeroed, so OR doubles as the plain copy for single-unit
+        // queries) and memoize fresh results for future submits.
+        for (qi, out) in outs.iter_mut().enumerate() {
+            out.reset(compiled.q_pages[qi] * page_bits, false);
+        }
+        for (ui, unit) in compiled.units.iter().enumerate() {
+            let (result, fresh_senses) = match &unit.work {
+                UnitWork::Cached { result, .. } => (result, None),
+                UnitWork::Execute { senses, .. } => (
+                    unit_outs[ui].as_ref().expect("executable units own an output buffer"),
+                    Some(*senses),
+                ),
+            };
+            for &qi in &unit.consumers {
+                outs[qi].or_assign(result);
+            }
+            if let Some(senses) = fresh_senses {
+                if self.session.cache.enabled() {
+                    self.session.cache.insert(unit.key.clone(), result.clone(), senses);
+                }
             }
         }
         for (qi, out) in outs.iter_mut().enumerate() {
-            out.resize(q_bits[qi], false);
+            out.resize(compiled.q_bits[qi], false);
         }
         Ok(stats)
     }
@@ -398,17 +620,18 @@ impl FlashCosmosDevice {
     /// `fc_read` would compile it.
     fn whole_query_units(
         &self,
-        uniques: &[(Nnf, Vec<QueryId>)],
+        uniques: &[UniqueQuery],
         q_pages: &[usize],
     ) -> Result<Vec<Unit>, FcError> {
         uniques
             .iter()
-            .map(|(nnf, consumers)| {
+            .map(|uq| {
                 Ok(Unit {
-                    nnf: nnf.clone(),
-                    ids: nnf.operands().into_iter().collect(),
-                    pages: q_pages[consumers[0]],
-                    consumers: consumers.clone(),
+                    nnf: uq.nnf.clone(),
+                    canon: uq.canon.clone(),
+                    ids: uq.nnf.operands().into_iter().collect(),
+                    pages: q_pages[uq.consumers[0]],
+                    consumers: uq.consumers.clone(),
                     shared: false,
                 })
             })
@@ -421,15 +644,15 @@ impl FlashCosmosDevice {
     /// its unshared terms. Returns `None` when no term is shared.
     fn shared_term_units(
         &self,
-        uniques: &[(Nnf, Vec<QueryId>)],
+        uniques: &[UniqueQuery],
         q_pages: &[usize],
         plan_a: &[Unit],
     ) -> Option<Vec<Unit>> {
         // Count, per canonical term, the unique queries containing it.
         let mut term_index: HashMap<Nnf, usize> = HashMap::new();
-        let mut terms: Vec<(Nnf, Vec<usize>)> = Vec::new();
-        for (u, (nnf, _)) in uniques.iter().enumerate() {
-            let Nnf::Or(children) = nnf else { continue };
+        let mut terms: Vec<(Nnf, Nnf, Vec<usize>)> = Vec::new(); // (rep, canon, uniques)
+        for (u, uq) in uniques.iter().enumerate() {
+            let Nnf::Or(children) = &uq.nnf else { continue };
             let mut local: HashSet<Nnf> = HashSet::new();
             for child in children {
                 let key = canonicalize(child);
@@ -437,44 +660,46 @@ impl FlashCosmosDevice {
                     continue;
                 }
                 match term_index.get(&key) {
-                    Some(&t) => terms[t].1.push(u),
+                    Some(&t) => terms[t].2.push(u),
                     None => {
                         term_index.insert(key.clone(), terms.len());
-                        terms.push((child.clone(), vec![u]));
+                        terms.push((child.clone(), key, vec![u]));
                     }
                 }
             }
         }
-        let shared: Vec<&(Nnf, Vec<usize>)> =
-            terms.iter().filter(|(_, us)| us.len() >= 2).collect();
+        let shared: Vec<&(Nnf, Nnf, Vec<usize>)> =
+            terms.iter().filter(|(_, _, us)| us.len() >= 2).collect();
         if shared.is_empty() {
             return None;
         }
-        let shared_keys: HashSet<Nnf> = shared.iter().map(|(rep, _)| canonicalize(rep)).collect();
+        let shared_keys: HashSet<&Nnf> = shared.iter().map(|(_, canon, _)| canon).collect();
 
         let mut units = Vec::new();
-        for (rep, uqs) in &shared {
+        for (rep, canon, uqs) in &shared {
             let mut consumers: Vec<QueryId> = Vec::new();
             for &u in uqs {
-                consumers.extend(&uniques[u].1);
+                consumers.extend(&uniques[u].consumers);
             }
             consumers.sort_unstable();
             consumers.dedup();
             units.push(Unit {
                 nnf: rep.clone(),
+                canon: canon.clone(),
                 ids: rep.operands().into_iter().collect(),
                 pages: q_pages[consumers[0]],
                 consumers,
                 shared: true,
             });
         }
-        for (u, (nnf, consumers)) in uniques.iter().enumerate() {
-            let Nnf::Or(children) = nnf else {
+        for (u, uq) in uniques.iter().enumerate() {
+            let Nnf::Or(children) = &uq.nnf else {
                 units.push(Unit {
                     nnf: plan_a[u].nnf.clone(),
+                    canon: plan_a[u].canon.clone(),
                     ids: plan_a[u].ids.clone(),
                     pages: plan_a[u].pages,
-                    consumers: consumers.clone(),
+                    consumers: uq.consumers.clone(),
                     shared: false,
                 });
                 continue;
@@ -498,11 +723,12 @@ impl FlashCosmosDevice {
                 Nnf::Or(residual)
             };
             units.push(Unit {
-                nnf: nnf.clone(),
+                canon: canonicalize(&nnf),
                 ids: nnf.operands().into_iter().collect(),
-                pages: q_pages[consumers[0]],
-                consumers: consumers.clone(),
+                pages: q_pages[uq.consumers[0]],
+                consumers: uq.consumers.clone(),
                 shared: false,
+                nnf,
             });
         }
         Some(units)

@@ -134,6 +134,8 @@ pub enum FcError {
         /// Queries in the batch.
         expected: usize,
     },
+    /// A ticket was waited on twice (or belongs to another device).
+    UnknownTicket(u64),
 }
 
 impl std::fmt::Display for FcError {
@@ -150,6 +152,9 @@ impl std::fmt::Display for FcError {
             FcError::DuplicateName(n) => write!(f, "operand name {n:?} already stored"),
             FcError::OutputSlots { got, expected } => {
                 write!(f, "batch of {expected} queries given {got} output buffers")
+            }
+            FcError::UnknownTicket(seq) => {
+                write!(f, "ticket #{seq} has no queued or retired batch (already waited on?)")
             }
         }
     }
@@ -204,6 +209,12 @@ pub(crate) struct OperandRecord {
     /// surfaced so tests and benches can assert die spreading.
     pub(crate) dies: Vec<DieId>,
     group_index: u64,
+    /// Placement generation: bumped by every mutation of the operand's
+    /// data or placement (`fc_overwrite`, `migrate_operand`), so result-
+    /// cache entries and queued async work stamped with an older
+    /// generation can never be served stale (see
+    /// [`crate::session`]).
+    pub(crate) generation: u64,
 }
 
 /// Where a placement group's blocks live: the base plane its stripe
@@ -229,6 +240,19 @@ pub struct FlashCosmosDevice {
     /// groups spread across dies instead of piling onto die 0.
     die_cursor: usize,
     next_lpn: u64,
+    /// Async submission queues + cross-batch result cache (see
+    /// [`crate::session`]).
+    pub(crate) session: crate::session::Session,
+    /// Device epoch: bumped by any hazard the per-operand generations
+    /// cannot see (raw [`Self::ssd_mut`] access — reliability-mode
+    /// changes, fault injection, erases). Part of every result-cache key,
+    /// so an epoch bump structurally invalidates all cached results and
+    /// queued compiled work.
+    pub(crate) epoch: u64,
+    /// Monotonic source of placement generations — never reused, even
+    /// across operands, so a (operand, generation) pair identifies one
+    /// immutable snapshot of that operand's data and placement.
+    generation_counter: u64,
 }
 
 impl std::fmt::Debug for FlashCosmosDevice {
@@ -272,12 +296,44 @@ impl FlashCosmosDevice {
             domain_place: HashMap::new(),
             die_cursor: 0,
             next_lpn: 0,
+            session: crate::session::Session::default(),
+            epoch: 0,
+            generation_counter: 0,
         }
     }
 
-    /// The underlying SSD (inspection / fault injection in tests).
+    /// The underlying SSD, mutably (inspection / fault injection /
+    /// reliability-mode changes in tests and studies).
+    ///
+    /// Raw mutable access can change anything the result cache depends on
+    /// (retention age, block wear, even stored bits), so taking it bumps
+    /// the device epoch: every cached result and queued async compilation
+    /// is structurally invalidated — same hazard discipline as the
+    /// per-operand generations, applied to mutations the device cannot
+    /// itemize.
     pub fn ssd_mut(&mut self) -> &mut SsdDevice {
+        self.bump_epoch();
         &mut self.ssd
+    }
+
+    /// Bumps the device epoch, invalidating the result cache and any
+    /// compiled-but-not-drained async batches.
+    pub(crate) fn bump_epoch(&mut self) {
+        self.epoch += 1;
+        self.session.cache.clear();
+    }
+
+    /// The placement generation of an operand (0 for ids never written —
+    /// unknown operands fail query validation before generations matter).
+    pub(crate) fn operand_generation(&self, id: OperandId) -> u64 {
+        self.operands.get(id).map_or(0, |r| r.generation)
+    }
+
+    /// Stamps a fresh, never-reused generation on an operand after a data
+    /// or placement mutation.
+    fn bump_generation(&mut self, id: OperandId) {
+        self.generation_counter += 1;
+        self.operands[id].generation = self.generation_counter;
     }
 
     /// The SSD configuration.
@@ -422,8 +478,89 @@ impl FlashCosmosDevice {
             dies.push(ppa.plane.die);
         }
         let id = self.operands.len();
-        self.operands.push(OperandRecord { bits: data.len(), lpns, planes, dies, group_index });
+        self.generation_counter += 1;
+        self.operands.push(OperandRecord {
+            bits: data.len(),
+            lpns,
+            planes,
+            dies,
+            group_index,
+            generation: self.generation_counter,
+        });
         self.names.insert(name.to_string(), id);
+        Ok(OperandHandle { id })
+    }
+
+    /// Overwrites a stored operand's data in place (same name, same
+    /// handle, same placement group and polarity): the new pages are
+    /// written out-of-place into the group's blocks — flash cannot
+    /// program a wordline twice — and the old pages are trimmed.
+    ///
+    /// The operand's placement **generation** is bumped, so every result-
+    /// cache entry and queued async compilation that observed the old
+    /// data is structurally invalidated (see [`crate::session`]). Queries
+    /// submitted after the overwrite (and async batches drained after it)
+    /// observe the new data.
+    ///
+    /// # Errors
+    ///
+    /// [`FcError::UnknownName`] if the name was never written and
+    /// [`FcError::SizeMismatch`] if `data` is not the stored length
+    /// (in-place overwrite keeps the operand's geometry); plus SSD
+    /// allocation/programming errors.
+    pub fn fc_overwrite(&mut self, name: &str, data: &BitVec) -> Result<OperandHandle, FcError> {
+        let id = *self.names.get(name).ok_or_else(|| FcError::UnknownName(name.to_string()))?;
+        if data.len() != self.operands[id].bits {
+            return Err(FcError::SizeMismatch);
+        }
+        let group_index = self.operands[id].group_index;
+        let place = *self
+            .group_place
+            .get(&group_index)
+            .expect("stored operands always have a placed group");
+        let inverted = self
+            .ssd
+            .ftl()
+            .meta(self.operands[id].lpns[0])
+            .expect("written operands carry metadata")
+            .inverted;
+        let old_lpns = self.operands[id].lpns.clone();
+        let page_bits = self.ssd.config().page_bits();
+        let wls = self.ssd.config().wls_per_block as u64;
+        let mut lpns = Vec::with_capacity(old_lpns.len());
+        let mut planes = Vec::with_capacity(old_lpns.len());
+        let mut dies = Vec::with_capacity(old_lpns.len());
+        for slot in 0..old_lpns.len() as u64 {
+            let fill = self.group_fill.entry((group_index, slot)).or_insert(0);
+            let overflow = *fill / wls;
+            *fill += 1;
+            let key = GroupKey { group: group_index, slot, overflow };
+            let plane = self.plane_for_slot(place, slot);
+            let start = (slot as usize) * page_bits;
+            let len = page_bits.min(data.len().saturating_sub(start));
+            let mut page = BitVec::zeros(page_bits);
+            if len > 0 {
+                page.copy_from(0, &data.slice(start, len));
+            }
+            let lpn = self.next_lpn;
+            self.next_lpn += 1;
+            let ppa = self.ssd.write(
+                lpn,
+                &page,
+                WriteOptions::flash_cosmos(key, Some(plane), inverted),
+            )?;
+            lpns.push(lpn);
+            planes.push(ppa.plane);
+            dies.push(ppa.plane.die);
+        }
+        for &lpn in &old_lpns {
+            self.ssd.trim(lpn);
+        }
+        let rec = &mut self.operands[id];
+        rec.lpns = lpns;
+        rec.planes = planes;
+        rec.dies = dies;
+        self.bump_generation(id);
         Ok(OperandHandle { id })
     }
 
@@ -610,6 +747,11 @@ impl FlashCosmosDevice {
         self.operands[id].group_index = group_index;
         self.operands[id].planes = planes;
         self.operands[id].dies = dies;
+        // Placement moved (even though the data did not): conservatively
+        // retire every cached result and compiled program that referenced
+        // the old wordlines — the same hazard class as the poisoned
+        // placement cache, fixed structurally via generation stamping.
+        self.bump_generation(id);
         Ok(copybacks)
     }
 }
@@ -994,11 +1136,13 @@ mod tests {
         let (result, _) = dev.fc_read(&expr).unwrap();
         let expect = vs[0].and(&vs[1]).or(&vs[2]);
         assert_eq!(result, expect);
-        // Zero-copy output mode reuses the caller's buffer.
+        // Zero-copy output mode reuses the caller's buffer — and the
+        // repeated expression is answered by the cross-batch result cache
+        // (no senses), bit-identically.
         let mut out = BitVec::zeros(0);
         let stats = dev.fc_read_into(&expr, &mut out).unwrap();
         assert_eq!(out, expect);
-        assert!(stats.senses > 0);
+        assert_eq!(stats.senses, 0, "identical re-read is a cache hit");
         let (x, _) = dev.fc_read(&(a ^ b)).unwrap();
         assert_eq!(x, vs[0].xor(&vs[1]));
         let (n, _) = dev.fc_read(&!a).unwrap();

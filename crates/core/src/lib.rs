@@ -27,6 +27,15 @@
 //!   expressions submitted as one jointly planned device pass, with
 //!   cross-query dedup, shared-term extraction and per-query cost
 //!   attribution ([`BatchStats`]).
+//! * [`session`] — queue-first submission on top of the batch API:
+//!   [`FlashCosmosDevice::submit_async`] compiles batches into per-die
+//!   work queues and returns a [`Ticket`]; [`FlashCosmosDevice::drain`]
+//!   retires everything queued in one pass whose modeled critical path
+//!   overlaps batches on idle dies ([`DrainStats`]); and a cross-batch
+//!   **result cache** keyed by canonical form + per-operand *placement
+//!   generations* replays repeated units without sensing — overwrites
+//!   ([`FlashCosmosDevice::fc_overwrite`]), migrations and raw-SSD access
+//!   bump the stamps, so stale results are structurally unservable.
 //! * [`crossdie`] — cross-die execution plans: a query whose operands
 //!   span planes splits into per-plane programs merged by the
 //!   controller, so die-aware placement (see [`device`]) never turns
@@ -103,6 +112,7 @@ pub mod parabit;
 pub mod placement;
 pub mod planner;
 pub mod reliability;
+pub mod session;
 pub mod timeline;
 
 pub use batch::{BatchResults, BatchStats, QueryBatch, QueryId, QueryStats};
@@ -111,3 +121,4 @@ pub use engines::{Engines, Platform, PlatformReport, WorkloadShape};
 pub use expr::{Expr, Nnf, OperandId};
 pub use placement::{suggest_hints, LayoutAdvice};
 pub use planner::{MwsProgram, PlacementMap, PlanError, PlannerCaps};
+pub use session::{CacheStats, DrainStats, Session, Ticket};

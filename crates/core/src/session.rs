@@ -1,0 +1,555 @@
+//! Queue-first submission and the generation-stamped cross-batch result
+//! cache: the device's async session layer.
+//!
+//! The batch API (PR 2) amortizes work *within* one submission; a
+//! production front end has several batches in flight and repeats
+//! predicates across them. This module adds both halves:
+//!
+//! * **Async ticketed submission** —
+//!   [`FlashCosmosDevice::submit_async`] compiles a batch into per-die
+//!   program queues *without executing anything* and returns a
+//!   [`Ticket`]. [`FlashCosmosDevice::drain`] retires everything queued
+//!   in one pass; [`Ticket::wait`] drains (if needed) and hands back that
+//!   batch's [`BatchResults`]. Dies execute their queues independently,
+//!   so two in-flight batches interleave on idle dies: the combined
+//!   modeled critical path ([`DrainStats::combined_critical_path_us`],
+//!   busiest die of the summed [`DieQueues`] occupancy) sits at or below
+//!   the sum of the batches' standalone critical paths
+//!   ([`DrainStats::serial_critical_path_us`]) — strictly below whenever
+//!   the batches' busy dies differ.
+//! * **Cross-batch result cache** — every plan unit is keyed by
+//!   `(epoch, canonical NNF, [(operand, generation)])` and its result
+//!   vector memoized at execution. A later submit (sync or async) whose
+//!   unit key matches replays the memoized pages: zero senses, zero chip
+//!   time, bit-identical output.
+//!
+//! ## Why stale results are structurally impossible
+//!
+//! The cache key never compares data — it compares *generations*. Every
+//! mutation that could change what a compiled program senses bumps a
+//! stamp the key includes:
+//!
+//! | hazard | stamp bumped |
+//! |---|---|
+//! | [`FlashCosmosDevice::fc_overwrite`] (name overwrite) | that operand's generation |
+//! | [`FlashCosmosDevice::migrate_operand`] (placement move) | that operand's generation |
+//! | raw [`FlashCosmosDevice::ssd_mut`] access (reliability-mode changes, wear/fault injection, erases) | the device epoch |
+//!
+//! A generation is drawn from a monotonic counter and never reused, so a
+//! key identifies one immutable snapshot of its operands; an old entry
+//! simply can never match again (PR 3's poisoned-placement-cache bug was
+//! this same hazard class — here the invalidation is designed in, not
+//! patched on). Queued async batches carry the same snapshot: at drain
+//! time a batch whose snapshot no longer matches is **recompiled**
+//! against current placement, so async queries always observe drain-time
+//! data — identical to what a synchronous submit at drain time would
+//! return.
+//!
+//! ```
+//! use flash_cosmos::device::{FlashCosmosDevice, StoreHints};
+//! use flash_cosmos::batch::QueryBatch;
+//! use fc_ssd::SsdConfig;
+//! use fc_bits::BitVec;
+//!
+//! let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+//! let a = dev.fc_write("a", &BitVec::ones(64), StoreHints::and_group("g")).unwrap();
+//! let b = dev.fc_write("b", &BitVec::zeros(64), StoreHints::and_group("g")).unwrap();
+//! let mut batch = QueryBatch::new();
+//! batch.push(a & b);
+//!
+//! // Queue two batches, then retire them in one overlapped pass.
+//! let t1 = dev.submit_async(&batch).unwrap();
+//! let t2 = dev.submit_async(&batch).unwrap();
+//! let drained = dev.drain().unwrap();
+//! assert_eq!(drained.batches, 2);
+//! let r1 = t1.wait(&mut dev).unwrap();
+//! let r2 = t2.wait(&mut dev).unwrap();
+//! assert_eq!(r1.results, r2.results);
+//! // The second batch re-used the first one's cached unit: no senses.
+//! assert_eq!(r2.stats.senses, 0);
+//! assert_eq!(r2.stats.cached_units, 1);
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+
+use fc_bits::BitVec;
+use fc_ssd::pipeline::{overlap_report, DieQueues};
+
+use crate::batch::{BatchResults, CompiledBatch, QueryBatch};
+use crate::device::{FcError, FlashCosmosDevice};
+use crate::expr::{Nnf, OperandId};
+
+/// Result-cache key: device epoch, canonical normal form, and the
+/// placement generation of every referenced operand (ascending by id).
+/// Key equality implies the memoized result is bit-identical to what a
+/// fresh execution would produce.
+pub(crate) type CacheKey = (u64, Nnf, Vec<(OperandId, u64)>);
+
+/// One memoized unit result.
+pub(crate) struct CacheEntry {
+    /// The unit's full output vector (`pages × page_bits` bits).
+    pub(crate) result: BitVec,
+    /// Senses a cold execution of the unit runs (serial-cost accounting
+    /// for hits).
+    pub(crate) senses: u64,
+}
+
+/// Observable cache counters (see [`Session::cache_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries currently held.
+    pub entries: usize,
+    /// Maximum entries (0 = caching disabled).
+    pub capacity: usize,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed (and usually led to an insert).
+    pub misses: u64,
+    /// Entries dropped to respect the capacity bound.
+    pub evictions: u64,
+}
+
+/// The generation-stamped result cache. Bounded; inserts evict the oldest
+/// entry (insertion order) once the capacity is reached. Invalidation is
+/// purely structural — stale keys can never match — so eviction is only
+/// a memory bound, never a correctness mechanism.
+pub(crate) struct ResultCache {
+    entries: HashMap<CacheKey, CacheEntry>,
+    order: VecDeque<CacheKey>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Default bound on memoized unit results.
+const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+impl Default for ResultCache {
+    fn default() -> Self {
+        Self {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: DEFAULT_CACHE_CAPACITY,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+}
+
+impl ResultCache {
+    /// Whether inserts can possibly be served later — callers skip the
+    /// result/key clones feeding [`ResultCache::insert`] when disabled.
+    pub(crate) fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    pub(crate) fn lookup(&mut self, key: &CacheKey) -> Option<&CacheEntry> {
+        match self.entries.get(key) {
+            Some(entry) => {
+                self.hits += 1;
+                Some(entry)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    pub(crate) fn insert(&mut self, key: CacheKey, result: BitVec, senses: u64) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.insert(key.clone(), CacheEntry { result, senses }).is_none() {
+            self.order.push_back(key);
+        }
+        while self.entries.len() > self.capacity {
+            let oldest = self.order.pop_front().expect("order tracks every entry");
+            self.entries.remove(&oldest);
+            self.evictions += 1;
+        }
+    }
+
+    /// Like [`ResultCache::lookup`] but for re-checking a unit that
+    /// already missed (and was counted) at compile time: a hit is
+    /// counted, a still-miss is not double-counted.
+    pub(crate) fn peek_hit(&mut self, key: &CacheKey) -> Option<&CacheEntry> {
+        let entry = self.entries.get(key);
+        if entry.is_some() {
+            self.hits += 1;
+        }
+        entry
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+    }
+
+    pub(crate) fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        while self.entries.len() > self.capacity {
+            let oldest = self.order.pop_front().expect("order tracks every entry");
+            self.entries.remove(&oldest);
+            self.evictions += 1;
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.entries.len(),
+            capacity: self.capacity,
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
+    }
+}
+
+/// A batch queued by [`FlashCosmosDevice::submit_async`], waiting for a
+/// drain.
+pub(crate) struct PendingBatch {
+    seq: u64,
+    /// The source queries, kept so a stale compilation can be redone
+    /// against drain-time placement.
+    source: QueryBatch,
+    compiled: CompiledBatch,
+}
+
+/// Handle to one async-submitted batch. Obtained from
+/// [`FlashCosmosDevice::submit_async`]; redeem it with [`Ticket::wait`]
+/// (or [`FlashCosmosDevice::wait`]) exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ticket {
+    seq: u64,
+}
+
+impl Ticket {
+    /// The ticket's sequence number (diagnostics / logging).
+    pub fn id(&self) -> u64 {
+        self.seq
+    }
+
+    /// Retires this batch and returns its results, draining the device's
+    /// queues first if it is still in flight.
+    ///
+    /// # Errors
+    ///
+    /// [`FcError::UnknownTicket`] when waited on twice, plus anything
+    /// [`FlashCosmosDevice::drain`] can return.
+    pub fn wait(self, dev: &mut FlashCosmosDevice) -> Result<BatchResults, FcError> {
+        dev.wait(self)
+    }
+}
+
+/// Statistics of one [`FlashCosmosDevice::drain`] pass over every queued
+/// batch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DrainStats {
+    /// Batches retired by this drain.
+    pub batches: usize,
+    /// Sensing operations executed across all retired batches.
+    pub senses: u64,
+    /// Modeled critical path of the combined per-die queues, µs: dies run
+    /// their queues concurrently, so this is the busiest die's total
+    /// across *all* drained batches.
+    pub combined_critical_path_us: f64,
+    /// Sum of the batches' standalone critical paths, µs — what
+    /// back-to-back synchronous submits would report.
+    pub serial_critical_path_us: f64,
+    /// Distinct dies that executed sensing work during the drain.
+    pub dies_used: usize,
+}
+
+impl DrainStats {
+    /// Critical-path time the die-overlap saved versus serial submission,
+    /// µs (≥ 0).
+    pub fn overlap_saved_us(&self) -> f64 {
+        (self.serial_critical_path_us - self.combined_critical_path_us).max(0.0)
+    }
+}
+
+/// The device's session state: in-flight async batches, retired results
+/// awaiting their [`Ticket::wait`], and the cross-batch result cache.
+/// Accessible read-only through [`FlashCosmosDevice::session`].
+#[derive(Default)]
+pub struct Session {
+    pub(crate) cache: ResultCache,
+    pending: Vec<PendingBatch>,
+    retired: HashMap<u64, BatchResults>,
+    next_seq: u64,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("in_flight", &self.pending.len())
+            .field("retired", &self.retired.len())
+            .field("cache", &self.cache.stats())
+            .finish()
+    }
+}
+
+impl Session {
+    /// Batches queued by `submit_async` and not yet drained.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Drained batches whose ticket has not been waited on yet.
+    pub fn retired(&self) -> usize {
+        self.retired.len()
+    }
+
+    /// Result-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+impl FlashCosmosDevice {
+    /// Queues a batch for execution without blocking: the batch is
+    /// compiled (joint dedup/sharing, cache consultation, per-die program
+    /// queues) but **no chip executes anything** until
+    /// [`FlashCosmosDevice::drain`] or [`Ticket::wait`]. Batches queued
+    /// together retire in one pass, interleaving on idle dies — see
+    /// [`crate::session`] for the overlap model and the staleness rules.
+    ///
+    /// # Errors
+    ///
+    /// Compile-time failures only (unknown operands, size mismatches,
+    /// planner rejections) — the same set [`FlashCosmosDevice::submit`]
+    /// reports before executing.
+    pub fn submit_async(&mut self, batch: &QueryBatch) -> Result<Ticket, FcError> {
+        let compiled = self.compile_batch(batch)?;
+        let seq = self.session.next_seq;
+        self.session.next_seq += 1;
+        self.session.pending.push(PendingBatch { seq, source: batch.clone(), compiled });
+        Ok(Ticket { seq })
+    }
+
+    /// Retires every queued batch in one pass and reports the die-overlap
+    /// win. Results park in the session until their ticket is waited on —
+    /// clients that drain without waiting should periodically call
+    /// [`FlashCosmosDevice::discard_retired`], or the parked results
+    /// accumulate.
+    ///
+    /// A queued batch whose operand generations (or the device epoch)
+    /// changed since submission is recompiled against current placement
+    /// first, so drained queries always observe drain-time data — a
+    /// queued program can never sense through a stale wordline map.
+    ///
+    /// # Errors
+    ///
+    /// Compile or chip failures of any queued batch; queued batches not
+    /// yet executed when the error surfaced are dropped (their tickets
+    /// report [`FcError::UnknownTicket`]).
+    pub fn drain(&mut self) -> Result<DrainStats, FcError> {
+        let pending = std::mem::take(&mut self.session.pending);
+        if pending.is_empty() {
+            return Ok(DrainStats::default());
+        }
+        let dies = self.ssd.config().total_dies();
+        let mut per_batch: Vec<DieQueues> = Vec::with_capacity(pending.len());
+        let mut combined = DieQueues::new(dies);
+        let mut stats = DrainStats { batches: pending.len(), ..DrainStats::default() };
+        for mut pb in pending {
+            let stale = pb.compiled.epoch != self.epoch
+                || pb.compiled.snapshot.iter().any(|&(id, gen)| self.operand_generation(id) != gen);
+            if stale {
+                pb.compiled = self.compile_batch(&pb.source)?;
+            } else {
+                // Earlier batches in this drain may have populated the
+                // cache since this batch compiled — replay their results
+                // instead of re-sensing.
+                self.refresh_cache_hits(&mut pb.compiled);
+            }
+            let mut outs: Vec<BitVec> =
+                (0..pb.compiled.queries()).map(|_| BitVec::zeros(0)).collect();
+            let mut own = DieQueues::new(dies);
+            let batch_stats = self.execute_compiled(&pb.compiled, &mut outs, Some(&mut own))?;
+            stats.senses += batch_stats.senses;
+            combined.merge(&own);
+            per_batch.push(own);
+            self.session.retired.insert(pb.seq, BatchResults { results: outs, stats: batch_stats });
+        }
+        let overlap = overlap_report(&per_batch);
+        stats.combined_critical_path_us = overlap.combined_critical_us;
+        stats.serial_critical_path_us = overlap.serial_critical_us;
+        stats.dies_used = combined.dies_busy();
+        Ok(stats)
+    }
+
+    /// Drops every drained-but-unwaited result, releasing their memory.
+    /// Their tickets subsequently report [`FcError::UnknownTicket`].
+    ///
+    /// Retired results are held until their ticket is waited on
+    /// ([`Session::retired`] counts them), so a fire-and-forget client
+    /// that drains without waiting must call this periodically — there is
+    /// no implicit bound, because silently dropping results a ticket
+    /// still references would turn a memory policy into a correctness
+    /// surprise.
+    pub fn discard_retired(&mut self) -> usize {
+        let dropped = self.session.retired.len();
+        self.session.retired.clear();
+        dropped
+    }
+
+    /// Retires one async batch: drains the queues if the ticket is still
+    /// in flight, then hands back its [`BatchResults`]. Each ticket can
+    /// be waited on once.
+    ///
+    /// # Errors
+    ///
+    /// [`FcError::UnknownTicket`] for an already-waited (or foreign)
+    /// ticket, plus anything [`FlashCosmosDevice::drain`] can return.
+    pub fn wait(&mut self, ticket: Ticket) -> Result<BatchResults, FcError> {
+        if !self.session.retired.contains_key(&ticket.seq)
+            && self.session.pending.iter().any(|p| p.seq == ticket.seq)
+        {
+            self.drain()?;
+        }
+        self.session.retired.remove(&ticket.seq).ok_or(FcError::UnknownTicket(ticket.seq))
+    }
+
+    /// Read-only view of the session state (in-flight batches, cache
+    /// counters).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Bounds the result cache to `capacity` memoized unit results
+    /// (evicting oldest-first down to the bound). `0` disables caching —
+    /// the cold-cache reference configuration the soundness tests compare
+    /// against.
+    pub fn set_result_cache_capacity(&mut self, capacity: usize) {
+        self.session.cache.set_capacity(capacity);
+    }
+
+    /// Drops every memoized result (counters survive).
+    pub fn clear_result_cache(&mut self) {
+        self.session.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::StoreHints;
+    use crate::expr::Expr;
+    use fc_ssd::SsdConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn device() -> FlashCosmosDevice {
+        FlashCosmosDevice::new(SsdConfig::tiny_test())
+    }
+
+    fn write_group(dev: &mut FlashCosmosDevice, group: &str, n: usize, seed: u64) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let v = BitVec::random(dev.config().page_bits(), &mut rng);
+                dev.fc_write(&format!("{group}-{i}"), &v, StoreHints::and_group(group)).unwrap().id
+            })
+            .collect()
+    }
+
+    #[test]
+    fn submit_async_defers_execution_until_drain() {
+        let mut dev = device();
+        let ids = write_group(&mut dev, "g", 3, 1);
+        let mut batch = QueryBatch::new();
+        batch.push(Expr::and_vars(ids.iter().copied()));
+        let (expect, _) = dev.fc_read(&Expr::and_vars(ids.iter().copied())).unwrap();
+        dev.clear_result_cache();
+
+        let ticket = dev.submit_async(&batch).unwrap();
+        assert_eq!(dev.session().in_flight(), 1, "queued, not executed");
+        let drained = dev.drain().unwrap();
+        assert_eq!(drained.batches, 1);
+        assert!(drained.senses > 0);
+        assert_eq!(dev.session().in_flight(), 0);
+        let results = ticket.wait(&mut dev).unwrap();
+        assert_eq!(results.results[0], expect);
+        // Double-wait is a proper error, not a panic or a stale result.
+        assert!(matches!(dev.wait(ticket).unwrap_err(), FcError::UnknownTicket(_)));
+    }
+
+    #[test]
+    fn wait_drains_implicitly_and_empty_drain_is_cheap() {
+        let mut dev = device();
+        let ids = write_group(&mut dev, "g", 2, 2);
+        let mut batch = QueryBatch::new();
+        batch.push(Expr::and_vars(ids.iter().copied()));
+        let ticket = dev.submit_async(&batch).unwrap();
+        let results = dev.wait(ticket).unwrap();
+        assert_eq!(results.results.len(), 1);
+        let drained = dev.drain().unwrap();
+        assert_eq!(drained, DrainStats::default(), "nothing left to drain");
+    }
+
+    #[test]
+    fn discard_retired_frees_unwaited_results() {
+        let mut dev = device();
+        let ids = write_group(&mut dev, "g", 2, 9);
+        let mut batch = QueryBatch::new();
+        batch.push(Expr::and_vars(ids.iter().copied()));
+        // Fire-and-forget: drain without waiting parks the results...
+        let t1 = dev.submit_async(&batch).unwrap();
+        dev.drain().unwrap();
+        let t2 = dev.submit_async(&batch).unwrap();
+        dev.drain().unwrap();
+        assert_eq!(dev.session().retired(), 2);
+        // ...until the client discards them; their tickets then error.
+        assert_eq!(dev.discard_retired(), 2);
+        assert_eq!(dev.session().retired(), 0);
+        assert!(matches!(dev.wait(t1).unwrap_err(), FcError::UnknownTicket(_)));
+        assert!(matches!(t2.wait(&mut dev).unwrap_err(), FcError::UnknownTicket(_)));
+    }
+
+    #[test]
+    fn cache_entries_evict_oldest_first_and_capacity_zero_disables() {
+        let mut dev = device();
+        let ids = write_group(&mut dev, "g", 4, 3);
+        dev.set_result_cache_capacity(2);
+        for &id in &ids {
+            dev.fc_read(&Expr::var(id)).unwrap();
+        }
+        let stats = dev.session().cache_stats();
+        assert_eq!(stats.entries, 2, "capacity bound holds");
+        assert_eq!(stats.evictions, 2);
+        // The two youngest entries survived.
+        let (_, s) = dev.fc_read(&Expr::var(ids[3])).unwrap();
+        assert_eq!(s.senses, 0, "young entry still cached");
+        let (_, s) = dev.fc_read(&Expr::var(ids[0])).unwrap();
+        assert!(s.senses > 0, "oldest entry was evicted");
+        dev.set_result_cache_capacity(0);
+        assert_eq!(dev.session().cache_stats().entries, 0);
+        let (_, s) = dev.fc_read(&Expr::var(ids[3])).unwrap();
+        assert!(s.senses > 0, "capacity 0 disables caching");
+        let (_, s) = dev.fc_read(&Expr::var(ids[3])).unwrap();
+        assert!(s.senses > 0, "still disabled on the re-read");
+    }
+
+    #[test]
+    fn ssd_mut_access_bumps_the_epoch_and_clears_the_cache() {
+        let mut dev = device();
+        let ids = write_group(&mut dev, "g", 2, 4);
+        let expr = Expr::and_vars(ids.iter().copied());
+        let (first, s1) = dev.fc_read(&expr).unwrap();
+        assert!(s1.senses > 0);
+        let (second, s2) = dev.fc_read(&expr).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(s2.senses, 0, "warm cache");
+        // A raw-SSD mutation (here: retention aging) cannot be itemized,
+        // so it must invalidate everything.
+        dev.ssd_mut().set_retention_months(6.0);
+        assert_eq!(dev.session().cache_stats().entries, 0);
+        let (third, s3) = dev.fc_read(&expr).unwrap();
+        assert_eq!(first, third, "ESP keeps results exact under aging");
+        assert!(s3.senses > 0, "epoch bump forced a fresh execution");
+    }
+}

@@ -41,9 +41,46 @@ impl Default for Fig7Scenario {
     }
 }
 
+/// Errors building a [`Fig7Scenario`] job list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TimelineError {
+    /// The scenario needs at least two operand vectors: bulk bitwise OR
+    /// is binary at minimum, and with fewer operands the ISP/IFP job
+    /// lists degenerate (0 operands used to underflow and panic; 1
+    /// operand silently modeled a result-transfer pass with nothing to
+    /// combine).
+    TooFewOperands {
+        /// Operand count supplied.
+        operands: usize,
+    },
+}
+
+impl std::fmt::Display for TimelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TimelineError::TooFewOperands { operands } => {
+                write!(f, "Fig. 7 scenario needs at least 2 operand vectors, got {operands}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TimelineError {}
+
 impl Fig7Scenario {
     /// Builds the per-die job list for one approach.
-    pub fn jobs(&self, approach: Approach) -> Vec<Vec<SenseJob>> {
+    ///
+    /// # Errors
+    ///
+    /// [`TimelineError::TooFewOperands`] when `operands < 2` — the
+    /// scenario combines operand vectors, so a 0-operand list used to
+    /// underflow (and panic) and a 1-operand list silently emitted a
+    /// transfer-only pass that misrepresented every approach.
+    pub fn jobs(&self, approach: Approach) -> Result<Vec<Vec<SenseJob>>, TimelineError> {
+        if self.operands < 2 {
+            return Err(TimelineError::TooFewOperands { operands: self.operands });
+        }
         let cfg = &self.config;
         let chunk = (cfg.page_bytes * cfg.planes_per_die) as u64;
         let per_die: Vec<SenseJob> = match approach {
@@ -69,20 +106,28 @@ impl Fig7Scenario {
                 v
             }
         };
-        vec![per_die; cfg.total_dies()]
+        Ok(vec![per_die; cfg.total_dies()])
     }
 
     /// Runs one approach with tracing (for timeline rendering).
-    pub fn run(&self, approach: Approach) -> ExecutionReport {
-        PipelineModel::new(self.config.clone())
-            .run_traced(&self.jobs(approach), HostWork::default())
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Fig7Scenario::jobs`].
+    pub fn run(&self, approach: Approach) -> Result<ExecutionReport, TimelineError> {
+        Ok(PipelineModel::new(self.config.clone())
+            .run_traced(&self.jobs(approach)?, HostWork::default()))
     }
 
     /// Runs all three approaches.
-    pub fn run_all(&self) -> Vec<(Approach, ExecutionReport)> {
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Fig7Scenario::jobs`].
+    pub fn run_all(&self) -> Result<Vec<(Approach, ExecutionReport)>, TimelineError> {
         [Approach::Osp, Approach::Isp, Approach::Ifp]
             .into_iter()
-            .map(|a| (a, self.run(a)))
+            .map(|a| Ok((a, self.run(a)?)))
             .collect()
     }
 }
@@ -133,9 +178,30 @@ mod tests {
     use super::*;
 
     #[test]
+    fn too_few_operands_is_a_proper_error() {
+        // Regression: `operands: 0` used to underflow `self.operands - 1`
+        // and panic; `operands: 1` silently built a job list with nothing
+        // to combine. Both now report `TooFewOperands` for every
+        // approach and every entry point.
+        for operands in [0usize, 1] {
+            let s = Fig7Scenario { operands, ..Fig7Scenario::default() };
+            for a in [Approach::Osp, Approach::Isp, Approach::Ifp] {
+                assert_eq!(s.jobs(a).unwrap_err(), TimelineError::TooFewOperands { operands });
+                assert_eq!(s.run(a).unwrap_err(), TimelineError::TooFewOperands { operands });
+            }
+            assert!(s.run_all().is_err());
+        }
+        // The error formats usefully and the minimum valid count works.
+        let err = TimelineError::TooFewOperands { operands: 1 };
+        assert!(err.to_string().contains("at least 2"));
+        let s = Fig7Scenario { operands: 2, ..Fig7Scenario::default() };
+        assert!(s.run_all().is_ok());
+    }
+
+    #[test]
     fn fig7_numbers() {
         let s = Fig7Scenario::default();
-        let all = s.run_all();
+        let all = s.run_all().unwrap();
         let t = |a: Approach| all.iter().find(|(x, _)| *x == a).unwrap().1.makespan_us;
         // Paper: OSP 471 µs, ISP 431 µs, IFP 335 µs.
         assert!((t(Approach::Osp) - 471.0).abs() < 30.0, "OSP {}", t(Approach::Osp));
@@ -146,15 +212,15 @@ mod tests {
     #[test]
     fn fig7_bottlenecks() {
         let s = Fig7Scenario::default();
-        assert_eq!(s.run(Approach::Osp).bottleneck(), Stage::Ext);
-        assert_eq!(s.run(Approach::Isp).bottleneck(), Stage::Dma);
-        assert_eq!(s.run(Approach::Ifp).bottleneck(), Stage::Sense);
+        assert_eq!(s.run(Approach::Osp).unwrap().bottleneck(), Stage::Ext);
+        assert_eq!(s.run(Approach::Isp).unwrap().bottleneck(), Stage::Dma);
+        assert_eq!(s.run(Approach::Ifp).unwrap().bottleneck(), Stage::Sense);
     }
 
     #[test]
     fn timeline_renders_all_stages() {
         let s = Fig7Scenario::default();
-        let r = s.run(Approach::Osp);
+        let r = s.run(Approach::Osp).unwrap();
         let text = render_channel_timeline(&r, &s.config, 72);
         assert!(text.contains('S') && text.contains('D') && text.contains('E'));
         assert!(text.lines().count() >= 3 * s.config.dies_per_channel);

@@ -292,6 +292,14 @@ impl SsdDevice {
         self.ftl.translate(lpn).map(|ppa| (ppa.plane.die, wl_addr(ppa)))
     }
 
+    /// Unmaps a logical page (trim): out-of-place overwrites retire the
+    /// superseded page's mapping. The physical wordline keeps its stale
+    /// bits until a (future) garbage collector erases the block — exactly
+    /// like a real drive. Returns the freed physical address, if any.
+    pub fn trim(&mut self, lpn: u64) -> Option<Ppa> {
+        self.ftl.trim(lpn)
+    }
+
     /// Assembles the raw stored page for a logical payload: optional
     /// inversion (§6.1), optional ECC, padding to the physical page size.
     /// (The returned page is owned by the chip afterwards; only the

@@ -79,7 +79,7 @@ pub enum PageDecode {
 pub struct EccScratch {
     payload: BitVec,
     codeword: BitVec,
-    reg: Vec<bool>,
+    reg: Vec<u64>,
 }
 
 impl EccScratch {

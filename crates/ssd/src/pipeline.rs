@@ -126,6 +126,107 @@ pub fn append_die_jobs(batch: &mut Vec<Vec<SenseJob>>, jobs: Vec<Vec<SenseJob>>)
     }
 }
 
+/// Per-die occupancy of queued sense work: how much latency each die has
+/// accumulated in its work queue.
+///
+/// The async submission path (`flash_cosmos::session`) compiles each
+/// batch into per-die command queues; this tracker models their timeline.
+/// Dies execute their queues independently and concurrently, so the
+/// completion time of everything queued is the **busiest** die
+/// ([`DieQueues::busiest_us`]), not the sum — two batches whose busy dies
+/// differ overlap on the idle ones, and [`overlap_report`] quantifies the
+/// win versus executing the batches back to back.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DieQueues {
+    busy_us: Vec<f64>,
+}
+
+impl DieQueues {
+    /// An empty tracker for `dies` dies (it also grows on demand).
+    pub fn new(dies: usize) -> Self {
+        Self { busy_us: vec![0.0; dies] }
+    }
+
+    /// Queues `latency_us` of work on a die (flat index).
+    pub fn push(&mut self, die: usize, latency_us: f64) {
+        if die >= self.busy_us.len() {
+            self.busy_us.resize(die + 1, 0.0);
+        }
+        self.busy_us[die] += latency_us;
+    }
+
+    /// Folds another tracker's queues into this one (per-die sums) — the
+    /// combined occupancy of several batches draining together.
+    pub fn merge(&mut self, other: &DieQueues) {
+        if self.busy_us.len() < other.busy_us.len() {
+            self.busy_us.resize(other.busy_us.len(), 0.0);
+        }
+        for (acc, &b) in self.busy_us.iter_mut().zip(&other.busy_us) {
+            *acc += b;
+        }
+    }
+
+    /// The busiest die's total queued latency, µs — the modeled critical
+    /// path of draining every queue concurrently.
+    pub fn busiest_us(&self) -> f64 {
+        self.busy_us.iter().fold(0.0, |a, &b| a.max(b))
+    }
+
+    /// Total queued latency across all dies, µs (the serial-equivalent
+    /// chip time).
+    pub fn total_us(&self) -> f64 {
+        self.busy_us.iter().sum()
+    }
+
+    /// Number of dies with non-empty queues.
+    pub fn dies_busy(&self) -> usize {
+        self.busy_us.iter().filter(|&&b| b > 0.0).count()
+    }
+
+    /// Per-die occupancy, µs, indexed by flat die id.
+    pub fn occupancy_us(&self) -> &[f64] {
+        &self.busy_us
+    }
+
+    /// Empties every queue.
+    pub fn clear(&mut self) {
+        self.busy_us.iter_mut().for_each(|b| *b = 0.0);
+    }
+}
+
+/// How much die-level overlap saves when several batches drain together
+/// instead of executing back to back.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OverlapReport {
+    /// Critical path of the combined per-die queues (busiest die of the
+    /// element-wise sum), µs.
+    pub combined_critical_us: f64,
+    /// Sum of each batch's standalone critical path (busiest die per
+    /// batch), µs — what serial submission would cost.
+    pub serial_critical_us: f64,
+}
+
+impl OverlapReport {
+    /// Critical-path time saved by overlapping, µs (≥ 0).
+    pub fn saved_us(&self) -> f64 {
+        (self.serial_critical_us - self.combined_critical_us).max(0.0)
+    }
+}
+
+/// Computes the overlap of several batches' die queues: batches interleave
+/// on idle dies, so the combined critical path is the busiest die of the
+/// summed occupancy — at most (and usually below) the sum of per-batch
+/// critical paths.
+pub fn overlap_report(batches: &[DieQueues]) -> OverlapReport {
+    let mut combined = DieQueues::default();
+    let mut serial = 0.0;
+    for b in batches {
+        combined.merge(b);
+        serial += b.busiest_us();
+    }
+    OverlapReport { combined_critical_us: combined.busiest_us(), serial_critical_us: serial }
+}
+
 /// A per-die trace entry (used to print Fig. 7-style timelines).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TraceEvent {
@@ -461,6 +562,42 @@ mod tests {
         let before = a;
         a.merge(&HostWork::default());
         assert_eq!(a, before);
+    }
+
+    #[test]
+    fn die_queues_track_occupancy_and_overlap() {
+        let mut a = DieQueues::new(4);
+        a.push(0, 30.0);
+        a.push(1, 10.0);
+        assert_eq!(a.busiest_us(), 30.0);
+        assert_eq!(a.total_us(), 40.0);
+        assert_eq!(a.dies_busy(), 2);
+        // A second batch busy on the dies the first left idle.
+        let mut b = DieQueues::new(4);
+        b.push(2, 25.0);
+        b.push(3, 5.0);
+        let report = overlap_report(&[a.clone(), b.clone()]);
+        assert_eq!(report.serial_critical_us, 55.0, "30 + 25 back to back");
+        assert_eq!(report.combined_critical_us, 30.0, "disjoint dies fully overlap");
+        assert_eq!(report.saved_us(), 25.0);
+        // Same-die contention degrades gracefully to the serial sum.
+        let report = overlap_report(&[a.clone(), a.clone()]);
+        assert_eq!(report.combined_critical_us, 60.0);
+        assert_eq!(report.serial_critical_us, 60.0);
+        assert_eq!(report.saved_us(), 0.0);
+        // merge grows to the wider tracker; clear empties.
+        let mut short = DieQueues::new(1);
+        short.push(0, 1.0);
+        short.merge(&b);
+        assert_eq!(short.occupancy_us().len(), 4);
+        assert_eq!(short.total_us(), 31.0);
+        short.clear();
+        assert_eq!(short.total_us(), 0.0);
+        // push past the allocated width grows on demand.
+        let mut grow = DieQueues::default();
+        grow.push(5, 2.0);
+        assert_eq!(grow.occupancy_us().len(), 6);
+        assert_eq!(grow.busiest_us(), 2.0);
     }
 
     #[test]

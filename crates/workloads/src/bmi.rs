@@ -69,6 +69,28 @@ pub fn mini(days: u32, users: usize, seed: u64) -> FunctionalInstance {
     FunctionalInstance { name: "BMI".to_string(), operands, queries }
 }
 
+/// A batch of month-window filters over the same daily vectors: query
+/// `m` ANDs the most recent `days_for_months(m)` daily operands (clamped
+/// to the stored history). This is the §7 sweep as one submission — and
+/// because a bitmap-index front end re-runs the same windows batch after
+/// batch, the device's cross-batch result cache answers repeated windows
+/// without re-sensing (only windows whose operands were overwritten since
+/// re-execute).
+///
+/// # Panics
+///
+/// Panics if `day_ids` is empty.
+pub fn month_filter_batch(day_ids: &[usize], months: &[u32]) -> flash_cosmos::QueryBatch {
+    assert!(!day_ids.is_empty(), "month filters need at least one daily vector");
+    months
+        .iter()
+        .map(|&m| {
+            let days = (days_for_months(m).max(1) as usize).min(day_ids.len());
+            Expr::and_vars(day_ids[day_ids.len() - days..].iter().copied())
+        })
+        .collect()
+}
+
 /// The query's final step: counting active users in the result vector.
 pub fn count_active(result: &BitVec) -> usize {
     result.count_ones()
@@ -132,5 +154,47 @@ mod tests {
     fn count_active_is_popcount() {
         let v = BitVec::from_fn(100, |i| i < 7);
         assert_eq!(count_active(&v), 7);
+    }
+
+    #[test]
+    fn month_filter_batch_windows_recent_days() {
+        let ids: Vec<usize> = (10..70).collect(); // 60 stored days
+        let batch = month_filter_batch(&ids, &[1, 2, 36]);
+        assert_eq!(batch.len(), 3);
+        // m=1 → 30 most recent days; m=2 → 60; m=36 clamps to history.
+        assert_eq!(batch.queries()[0], Expr::and_vars(40..70));
+        assert_eq!(batch.queries()[1], Expr::and_vars(10..70));
+        assert_eq!(batch.queries()[2], Expr::and_vars(10..70));
+    }
+
+    #[test]
+    fn repeated_month_sweeps_ride_the_result_cache() {
+        use fc_ssd::SsdConfig;
+        use flash_cosmos::device::FlashCosmosDevice;
+
+        let inst = mini(8, 256, 0xB141);
+        let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+        let ids: Vec<usize> = inst
+            .operands
+            .iter()
+            .map(|op| dev.fc_write(&op.name, &op.data, op.hints.clone()).unwrap().id)
+            .collect();
+        let batch = month_filter_batch(&ids, &[1, 2, 3]);
+        let cold = dev.submit(&batch).unwrap();
+        assert!(cold.stats.senses > 0);
+        let warm = dev.submit(&batch).unwrap();
+        assert_eq!(warm.stats.senses, 0, "the re-run sweep is answered from cache");
+        assert_eq!(warm.results, cold.results);
+        // A new day's data arrives (overwrite one day): only fresh work.
+        let replacement = BitVec::from_fn(256, |i| i % 3 == 0);
+        dev.fc_overwrite("day7", &replacement).unwrap();
+        let after = dev.submit(&batch).unwrap();
+        assert!(after.stats.senses > 0, "touched windows re-sense");
+        let manual = |days: std::ops::Range<usize>| {
+            days.map(|d| if d == 7 { replacement.clone() } else { inst.operands[d].data.clone() })
+                .reduce(|a, v| a.and(&v))
+                .unwrap()
+        };
+        assert_eq!(after.results[0], manual(0..8));
     }
 }

@@ -118,9 +118,43 @@ pub fn bind_expr(a: usize, b: usize) -> Expr {
 /// One similarity query per stored class prototype (XNOR against the
 /// query hypervector), as a batch — classification matches the query
 /// against *every* prototype, which is exactly the many-expressions-one
-/// -pass shape the batched device API amortizes.
+/// -pass shape the batched device API amortizes. Because the prototype
+/// terms are generation-stamped, re-classifying the *same* stored query
+/// vector replays every term from the cross-batch result cache, while
+/// overwriting the query operand (`fc_overwrite`) invalidates exactly
+/// those terms and re-senses.
 pub fn similarity_batch(query: usize, prototypes: &[usize]) -> flash_cosmos::QueryBatch {
     prototypes.iter().map(|&p| Expr::xnor(Expr::var(query), Expr::var(p))).collect()
+}
+
+/// Classifies the stored `query` hypervector against stored class
+/// prototypes entirely in-flash: one XNOR batch, host-side popcount
+/// argmax (the BMI-style bit-count step). Returns the winning class index
+/// and the batch statistics — repeated calls with an unchanged query
+/// operand are answered from the result cache without sensing.
+///
+/// # Errors
+///
+/// Propagates device failures ([`flash_cosmos::FcError`]).
+///
+/// # Panics
+///
+/// Panics if `prototypes` is empty.
+pub fn classify_in_flash(
+    dev: &mut flash_cosmos::FlashCosmosDevice,
+    query: usize,
+    prototypes: &[usize],
+) -> Result<(usize, flash_cosmos::BatchStats), flash_cosmos::FcError> {
+    assert!(!prototypes.is_empty(), "need at least one class prototype");
+    let out = dev.submit(&similarity_batch(query, prototypes))?;
+    let best = out
+        .results
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, agreement)| agreement.count_ones())
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    Ok((best, out.stats))
 }
 
 #[cfg(test)]
@@ -175,6 +209,47 @@ mod tests {
     #[should_panic(expected = "odd example count")]
     fn even_examples_panic() {
         mini(1, 4, 64, 1);
+    }
+
+    #[test]
+    fn in_flash_classification_reuses_cached_prototype_terms() {
+        use fc_ssd::SsdConfig;
+        use flash_cosmos::device::{FlashCosmosDevice, StoreHints};
+
+        let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+        let mut rng = StdRng::seed_from_u64(0x4DC2);
+        let dims = 512;
+        let protos: Vec<BitVec> = (0..4).map(|_| BitVec::random(dims, &mut rng)).collect();
+        let proto_ids: Vec<usize> = protos
+            .iter()
+            .enumerate()
+            .map(|(c, p)| {
+                dev.fc_write(&format!("proto{c}"), p, StoreHints::and_group(&format!("p{c}")))
+                    .unwrap()
+                    .id
+            })
+            .collect();
+        let mut query = protos[2].clone();
+        query.flip_random_bits(60, &mut rng);
+        let qid = dev.fc_write("query", &query, StoreHints::and_group("q")).unwrap().id;
+
+        let (class, cold) = classify_in_flash(&mut dev, qid, &proto_ids).unwrap();
+        assert_eq!(class, 2, "in-flash classification matches host similarity");
+        assert_eq!(class, classify(&query, &protos));
+        assert!(cold.senses > 0);
+        // Same stored query → every XNOR term replays from the cache.
+        let (again, warm) = classify_in_flash(&mut dev, qid, &proto_ids).unwrap();
+        assert_eq!(again, 2);
+        assert_eq!(warm.senses, 0, "re-classification is cache-served");
+        assert_eq!(warm.cached_units, 4);
+        // A new query hypervector overwrites the operand: the stamped
+        // terms invalidate and the classification re-senses.
+        let mut query2 = protos[0].clone();
+        query2.flip_random_bits(60, &mut rng);
+        dev.fc_overwrite("query", &query2).unwrap();
+        let (class2, fresh) = classify_in_flash(&mut dev, qid, &proto_ids).unwrap();
+        assert_eq!(class2, 0);
+        assert!(fresh.senses > 0, "overwritten query cannot ride stale cache entries");
     }
 
     #[test]

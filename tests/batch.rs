@@ -40,6 +40,10 @@ fn store_group(
 #[test]
 fn same_group_and_batch_beats_serial_senses() {
     let mut dev = device();
+    // This test measures the joint *planner* against a genuinely serial
+    // reference, so the cross-batch result cache (which would answer the
+    // repeated fc_reads for free) is disabled.
+    dev.set_result_cache_capacity(0);
     let mut rng = StdRng::seed_from_u64(0xBA7C);
     let ids = store_group(&mut dev, 6, 700, "g", false, &mut rng);
 
@@ -81,6 +85,29 @@ fn same_group_and_batch_beats_serial_senses() {
     assert_eq!(out.stats.senses_saved(), serial_senses - out.stats.senses);
     assert_eq!(out.stats.deduped_queries, 3);
     assert!(out.stats.critical_path_us <= out.stats.chip_time_us);
+    assert_stats_finite(&out.stats);
+}
+
+/// Every aggregate and per-query stat must be finite — the amortization
+/// split divides by the consumer count, which must never reach zero (a
+/// unit with no consumers would otherwise yield `inf` shares).
+fn assert_stats_finite(stats: &flash_cosmos::BatchStats) {
+    assert!(stats.chip_time_us.is_finite());
+    assert!(stats.critical_path_us.is_finite());
+    assert!(stats.energy_uj.is_finite());
+    let mut senses = 0.0;
+    for (qi, q) in stats.per_query.iter().enumerate() {
+        assert!(q.senses.is_finite(), "query {qi} senses not finite: {}", q.senses);
+        assert!(q.chip_time_us.is_finite(), "query {qi} time not finite: {}", q.chip_time_us);
+        assert!(q.energy_uj.is_finite(), "query {qi} energy not finite: {}", q.energy_uj);
+        senses += q.senses;
+    }
+    // The per-query split must also re-sum to the executed totals.
+    assert!(
+        (senses - stats.senses as f64).abs() < 1e-9,
+        "per-query senses {senses} must sum to {}",
+        stats.senses
+    );
 }
 
 /// Builds a random plannable expression over the stored operand table.
@@ -123,6 +150,9 @@ proptest! {
     #[test]
     fn shuffled_batch_matches_serial(seed in any::<u64>()) {
         let mut dev = device();
+        // Serial-reference test: keep the result cache out of the picture
+        // (it would answer repeated fc_reads without sensing).
+        dev.set_result_cache_capacity(0);
         let mut rng = StdRng::seed_from_u64(seed);
         let and_ids = store_group(&mut dev, 5, 300, "ands", false, &mut rng);
         let or_ids = store_group(&mut dev, 4, 300, "ors", true, &mut rng);
@@ -164,6 +194,9 @@ proptest! {
         prop_assert_eq!(out.stats.serial_senses, serial_senses);
         prop_assert!(out.stats.senses <= serial_senses,
             "joint plan must never cost extra senses: {} vs {}", out.stats.senses, serial_senses);
+        let finite = out.stats.per_query.iter()
+            .all(|q| q.senses.is_finite() && q.chip_time_us.is_finite() && q.energy_uj.is_finite());
+        prop_assert!(finite, "per-query stats must stay finite");
     }
 }
 

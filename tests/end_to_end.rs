@@ -48,6 +48,9 @@ fn kcs_batch_stats_match_serial_plan() {
     // matches the serial plan sense for sense — BatchStats must say so.
     let instance = kcs::mini(64, 4, 3, 0xE2E5);
     let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+    // In-batch dedup is under test here, so the cross-batch result cache
+    // (which would answer the second submit without sensing) is disabled.
+    dev.set_result_cache_capacity(0);
     instance.load(&mut dev).unwrap();
     let stats = instance.run_batch(&mut dev).unwrap();
     assert_eq!(stats.queries, 3);

@@ -228,6 +228,9 @@ proptest! {
     #[test]
     fn die_aware_batch_matches_serial(seed in any::<u64>()) {
         let mut dev = device();
+        // Serial-reference test: disable the result cache so repeated
+        // random expressions really re-sense on the serial path.
+        dev.set_result_cache_capacity(0);
         let mut rng = StdRng::seed_from_u64(seed);
         let bits = 300; // 2 stripes
         let vectors: Vec<BitVec> = (0..6).map(|_| BitVec::random(bits, &mut rng)).collect();

@@ -30,6 +30,10 @@ pub struct Criterion {
     measurement: Duration,
     warm_up: Duration,
     default_sample_size: usize,
+    /// Smoke mode: run each benchmark exactly once, skipping warm-up and
+    /// sampling — CI uses it to prove every bench still builds *and runs*
+    /// without paying for measurements.
+    smoke: bool,
 }
 
 impl Default for Criterion {
@@ -38,10 +42,12 @@ impl Default for Criterion {
         // harness=false binaries; accept the flags we understand, treat the
         // first free-standing word as a substring filter, ignore the rest.
         let mut filter = None;
+        let mut smoke = std::env::var_os("CRITERION_SMOKE").is_some_and(|v| v != "0");
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--bench" | "--test" | "--nocapture" => {}
+                "--smoke" => smoke = true,
                 "--save-baseline" | "--baseline" | "--load-baseline" => {
                     let _ = args.next();
                 }
@@ -55,6 +61,7 @@ impl Default for Criterion {
             measurement: Duration::from_millis(400),
             warm_up: Duration::from_millis(80),
             default_sample_size: 20,
+            smoke,
         }
     }
 }
@@ -158,9 +165,14 @@ impl BenchmarkGroup<'_> {
             measurement: self.criterion.measurement,
             samples: self.sample_size.unwrap_or(self.criterion.default_sample_size),
             ns_per_iter: None,
+            smoke: self.criterion.smoke,
         };
         f(&mut bencher);
-        report(&full, bencher.ns_per_iter, self.throughput);
+        if self.criterion.smoke {
+            println!("{full:<44} smoke: ran 1 iteration");
+        } else {
+            report(&full, bencher.ns_per_iter, self.throughput);
+        }
         self
     }
 
@@ -185,11 +197,17 @@ pub struct Bencher {
     measurement: Duration,
     samples: usize,
     ns_per_iter: Option<f64>,
+    smoke: bool,
 }
 
 impl Bencher {
     /// Measures `f`, storing the median per-iteration time.
     pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        if self.smoke {
+            // Smoke mode: prove the payload runs, skip all measurement.
+            std::hint::black_box(f());
+            return;
+        }
         // Warm-up: run until the warm-up budget elapses, counting iters to
         // calibrate the batch size.
         let start = Instant::now();
