@@ -464,6 +464,178 @@ fn ecc_encode(c: &mut Criterion) {
     group.finish();
 }
 
+/// Maintenance convergence: a skewed co-query workload on the
+/// adversarial scattered layout (every operand its own block, die
+/// spread). The hot set is queried until the affinity tracker marks it,
+/// maintenance regroups it inside a drain's slack budget, and the warm
+/// query drops from a cross-plane merge tree to one intra-block MWS.
+/// The modeled convergence (senses before/after, budget respected) is
+/// printed once; the benches time the warm submit on each layout.
+fn maintenance_regroup(c: &mut Criterion) {
+    use fc_workloads::skew::CoQueryWorkload;
+    use flash_cosmos::batch::QueryBatch;
+
+    let mut group = c.benchmark_group("maintenance");
+    group.sample_size(20);
+
+    let setup = || {
+        let mut w =
+            CoQueryWorkload::scattered(SsdConfig::tiny_test(), 16, 8, 4, 1.1, 0xA11).unwrap();
+        let mut batch = QueryBatch::new();
+        batch.push(w.expr(0));
+        let cold = w.dev.submit(&batch).unwrap();
+        (w, batch, cold)
+    };
+
+    // Scattered device: maintenance never runs.
+    let (mut scattered, batch, cold) = setup();
+    // Converged device: heat → plan → drain (migrations fill the slack).
+    let (mut converged, _, _) = setup();
+    converged.dev.submit(&batch).unwrap();
+    converged.dev.schedule_maintenance();
+    converged.dev.submit_async(&batch).unwrap();
+    let drained = converged.dev.drain().unwrap();
+    let warm = converged.dev.submit(&batch).unwrap();
+    assert_eq!(warm.results, cold.results, "regrouping must preserve results");
+    assert!(
+        warm.stats.senses * 2 <= cold.stats.senses,
+        "acceptance: ≥2× sense drop ({} vs {})",
+        warm.stats.senses,
+        cold.stats.senses
+    );
+    assert!(drained.maintenance.critical_path_us <= drained.maintenance.budget_us);
+    println!(
+        "maintenance/regroup_converge: hot-set senses {} scattered -> {} regrouped \
+         ({:.1}x); {} migrations filled {:.0} µs of idle-die slack \
+         (critical path {:.0} µs within budget {:.0} µs)",
+        cold.stats.senses,
+        warm.stats.senses,
+        cold.stats.senses as f64 / warm.stats.senses as f64,
+        drained.maintenance.jobs_executed,
+        drained.maintenance.fill_time_us,
+        drained.maintenance.critical_path_us,
+        drained.maintenance.budget_us,
+    );
+    let mut outs: Vec<BitVec> = (0..batch.len()).map(|_| BitVec::zeros(0)).collect();
+    // Clear both caches each iteration is too heavy; instead disable
+    // caching so the benches time the execution paths themselves.
+    scattered.dev.set_result_cache_capacity(0);
+    converged.dev.set_result_cache_capacity(0);
+    group.bench_function("regroup_converge", |bench| {
+        bench.iter(|| converged.dev.submit_into(std::hint::black_box(&batch), &mut outs).unwrap());
+    });
+    group.bench_function("regroup_scattered", |bench| {
+        bench.iter(|| scattered.dev.submit_into(std::hint::black_box(&batch), &mut outs).unwrap());
+    });
+    group.finish();
+}
+
+/// Cache admission under Zipf-skewed resubmission at equal capacity:
+/// cost-aware retention versus FIFO. The modeled hit rates are printed
+/// once (the acceptance bar is cost-aware strictly higher); the benches
+/// time the steady-state stream under each policy.
+fn cache_policy_zipf(c: &mut Criterion) {
+    use fc_workloads::skew::CoQueryWorkload;
+    use flash_cosmos::{CostAwareAdmission, FifoAdmission};
+
+    let mut group = c.benchmark_group("cache");
+    group.sample_size(10);
+
+    let run = |fifo: bool| {
+        let mut w =
+            CoQueryWorkload::scattered(SsdConfig::tiny_test(), 16, 32, 2, 1.1, 0x21F).unwrap();
+        w.dev.set_result_cache_capacity(8);
+        if fifo {
+            w.dev.set_cache_admission(Box::new(FifoAdmission));
+        } else {
+            w.dev.set_cache_admission(Box::new(CostAwareAdmission));
+        }
+        let mut rng = StdRng::seed_from_u64(0x5EED);
+        let mut outs = vec![BitVec::zeros(0)];
+        for _ in 0..400 {
+            let (batch, _) = w.zipf_batch(1, &mut rng);
+            w.dev.submit_into(&batch, &mut outs).unwrap();
+        }
+        let s = w.dev.session().cache_stats();
+        (w, s.hits as f64 / (s.hits + s.misses) as f64)
+    };
+    let (mut fifo_w, fifo_rate) = run(true);
+    let (mut cost_w, cost_rate) = run(false);
+    assert!(cost_rate > fifo_rate, "cost-aware must win: {cost_rate:.3} vs {fifo_rate:.3}");
+    println!(
+        "cache/zipf_resubmit: hit rate {:.1}% cost-aware vs {:.1}% FIFO \
+         (capacity 8, 32 query sets, θ=1.1)",
+        cost_rate * 100.0,
+        fifo_rate * 100.0
+    );
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    let mut outs = vec![BitVec::zeros(0)];
+    group.bench_function("zipf_cost_aware", |bench| {
+        bench.iter(|| {
+            let (batch, _) = cost_w.zipf_batch(1, &mut rng);
+            cost_w.dev.submit_into(std::hint::black_box(&batch), &mut outs).unwrap()
+        });
+    });
+    group.bench_function("zipf_fifo", |bench| {
+        bench.iter(|| {
+            let (batch, _) = fifo_w.zipf_batch(1, &mut rng);
+            fifo_w.dev.submit_into(std::hint::black_box(&batch), &mut outs).unwrap()
+        });
+    });
+    group.finish();
+}
+
+/// The word-parallel ISPP pulse kernel against its scalar oracle, on a
+/// physics-mode 4 KiB page (half the cells programmed).
+fn ispp_program(c: &mut Criterion) {
+    use fc_nand::ispp::{self, IsppConfig};
+
+    let mut group = c.benchmark_group("ispp");
+    group.sample_size(10);
+    let bits = 4 * 1024 * 8;
+    let targets: Vec<bool> = (0..bits).map(|i| i % 2 == 0).collect();
+    let page = BitVec::from_bools(&targets);
+    group.bench_function("esp_4kib_wordwise", |bench| {
+        let mut rng = StdRng::seed_from_u64(21);
+        bench.iter(|| ispp::program_esp(std::hint::black_box(&targets), 2.0, &mut rng));
+    });
+    group.bench_function("esp_4kib_serial", |bench| {
+        let mut rng = StdRng::seed_from_u64(21);
+        bench.iter(|| ispp::program_esp_serial(std::hint::black_box(&targets), 2.0, &mut rng));
+    });
+    group.bench_function("esp_4kib_packed_page", |bench| {
+        let mut rng = StdRng::seed_from_u64(21);
+        bench.iter(|| {
+            ispp::program_page(
+                std::hint::black_box(&page),
+                fc_nand::ispp::ProgramScheme::esp_default(),
+                &mut rng,
+            )
+        });
+    });
+    group.bench_function("slc_4kib_wordwise", |bench| {
+        let mut rng = StdRng::seed_from_u64(22);
+        bench.iter(|| {
+            ispp::program_slc_like(
+                std::hint::black_box(&targets),
+                IsppConfig::slc_default(),
+                &mut rng,
+            )
+        });
+    });
+    group.bench_function("slc_4kib_serial", |bench| {
+        let mut rng = StdRng::seed_from_u64(22);
+        bench.iter(|| {
+            ispp::program_slc_like_serial(
+                std::hint::black_box(&targets),
+                IsppConfig::slc_default(),
+                &mut rng,
+            )
+        });
+    });
+    group.finish();
+}
+
 fn pipeline_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline");
     group.sample_size(20);
@@ -493,6 +665,9 @@ criterion_group!(
     batch_submit_multi_die,
     batch_resubmit_cached,
     batch_async_overlap,
+    maintenance_regroup,
+    cache_policy_zipf,
+    ispp_program,
     pipeline_sim
 );
 criterion_main!(benches);

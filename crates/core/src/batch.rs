@@ -294,8 +294,27 @@ impl FlashCosmosDevice {
     /// Compiles a batch against the current placement, dedup/sharing the
     /// queries jointly and consulting the cross-batch result cache per
     /// unit — the planning half of [`FlashCosmosDevice::submit_into`],
-    /// shared with the async submission path.
+    /// shared with the async submission path. Records each unit's
+    /// operand set with the maintenance affinity tracker — one
+    /// observation per *submission*, so the drain-time recompile of a
+    /// stale async batch uses [`Self::recompile_batch`] instead (the
+    /// client queried once, no matter how often the batch recompiles).
     pub(crate) fn compile_batch(&mut self, batch: &QueryBatch) -> Result<CompiledBatch, FcError> {
+        self.compile_batch_inner(batch, true)
+    }
+
+    /// [`Self::compile_batch`] for drain-time recompilation of a stale
+    /// queued batch: identical plan, but the affinity tracker is not fed
+    /// a second time.
+    pub(crate) fn recompile_batch(&mut self, batch: &QueryBatch) -> Result<CompiledBatch, FcError> {
+        self.compile_batch_inner(batch, false)
+    }
+
+    fn compile_batch_inner(
+        &mut self,
+        batch: &QueryBatch,
+        record_affinity: bool,
+    ) -> Result<CompiledBatch, FcError> {
         let n = batch.len();
         let mut stats = BatchStats {
             queries: n,
@@ -361,24 +380,16 @@ impl FlashCosmosDevice {
             None => plan_a,
         };
         stats.shared_units = units.iter().filter(|u| u.shared).count();
-        let decomposed = stats.shared_units > 0;
 
-        // What serial execution would have cost (the paper's headline
-        // metric). With the whole-query plan the executed unit plans ARE
-        // the serial plans, so the cost falls out of the compile loop
-        // below for free; only a decomposed plan needs the unique queries
-        // compiled standalone.
-        if decomposed {
-            for uq in &uniques {
-                let ids: Vec<OperandId> = uq.nnf.operands().into_iter().collect();
-                let mut senses = 0u64;
-                for slot in 0..q_pages[uq.consumers[0]] {
-                    let plan = self.stripe_plan(&uq.nnf, &ids, slot, caps)?;
-                    senses += plan.sense_count() as u64;
-                }
-                stats.serial_senses += senses * uq.consumers.len() as u64;
-            }
-        }
+        // Standalone cost per exact expression form, seeded by the unit
+        // compiles below and topped up on demand — the serial-reference
+        // accounting (`serial_senses`) prices each query's *own* form,
+        // because a canonical duplicate with a different written form
+        // (reordered or repeated literals) can compile to a different
+        // sense count than its class representative. (Found by the
+        // pinned-seed proptest replay: the old representative × count
+        // accounting drifted from an actual serial loop.)
+        let mut form_cost: HashMap<Nnf, u64> = HashMap::new();
 
         // Compile every unit: a cache hit snapshots the memoized result
         // (no plans compiled, no senses queued); a miss compiles each
@@ -401,16 +412,26 @@ impl FlashCosmosDevice {
             let gens: Vec<(OperandId, u64)> =
                 unit.ids.iter().map(|&id| (id, self.operand_generation(id))).collect();
             let key: crate::session::CacheKey = (epoch, unit.canon.clone(), gens);
-            if let Some(entry) = self.session.cache.lookup(&key) {
+            let cached = self.session.cache.lookup(&key).map(|e| (e.result.clone(), e.senses));
+            if let Some((result, senses)) = cached {
                 stats.cached_units += 1;
-                stats.cached_senses += entry.senses;
-                if !decomposed {
-                    stats.serial_senses += entry.senses * unit.consumers.len() as u64;
+                stats.cached_senses += senses;
+                form_cost.entry(unit.nnf.clone()).or_insert(senses);
+                // The maintenance layer's observation stream: this set
+                // was fused again (served from cache this time).
+                if record_affinity {
+                    self.session.affinity.record(
+                        &unit.ids,
+                        senses,
+                        unit.pages as u64,
+                        unit.consumers.len() as u64,
+                        true,
+                    );
                 }
                 planned.push(PlannedUnit {
                     pages: unit.pages,
                     consumers: unit.consumers.clone(),
-                    work: UnitWork::Cached { result: entry.result.clone() },
+                    work: UnitWork::Cached { result },
                     key,
                 });
                 continue;
@@ -435,10 +456,15 @@ impl FlashCosmosDevice {
                     merges.push((slot, tree));
                 }
             }
-            if !decomposed {
-                // Whole-query plan: each unique plan executes once but a
-                // serial run would repeat it per duplicate.
-                stats.serial_senses += senses * unit.consumers.len() as u64;
+            form_cost.entry(unit.nnf.clone()).or_insert(senses);
+            if record_affinity {
+                self.session.affinity.record(
+                    &unit.ids,
+                    senses,
+                    unit.pages as u64,
+                    unit.consumers.len() as u64,
+                    false,
+                );
             }
             planned.push(PlannedUnit {
                 pages: unit.pages,
@@ -446,6 +472,28 @@ impl FlashCosmosDevice {
                 work: UnitWork::Execute { leaves, slots, direct, merges, senses },
                 key,
             });
+        }
+        // Serial reference (the paper's headline metric): what N
+        // back-to-back `fc_read`s would sense — each query priced at its
+        // own form's standalone cost. Whole-query units seeded the map
+        // above with exact executed counts, so only forms the joint plan
+        // never compiled verbatim (decomposed terms, reordered
+        // duplicates) cost anything here: one stripe-0 compile each,
+        // projected across slots (stripe structure is slot-invariant —
+        // placement groups fill every slot the same way, the same
+        // assumption `estimate_senses` plans by).
+        for (qi, nnf) in q_nnf.iter().enumerate() {
+            let cost = match form_cost.get(nnf) {
+                Some(&c) => c,
+                None => {
+                    let ids: Vec<OperandId> = nnf.operands().into_iter().collect();
+                    let senses = self.stripe_plan(nnf, &ids, 0, caps)?.sense_count() as u64
+                        * q_pages[qi] as u64;
+                    form_cost.insert(nnf.clone(), senses);
+                    senses
+                }
+            };
+            stats.serial_senses += cost;
         }
         Ok(CompiledBatch { q_bits, q_pages, units: planned, stats_seed: stats, epoch, snapshot })
     }

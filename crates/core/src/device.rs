@@ -43,6 +43,9 @@ use fc_ssd::SsdConfig;
 
 use crate::crossdie;
 use crate::expr::{Expr, OperandId};
+use crate::maintenance::{
+    MaintenanceConfig, PlacementPolicy, PlacementQuery, RegroupPolicy, SpreadPlacement,
+};
 use crate::parabit;
 use crate::planner::{PlacementMap, PlanError};
 
@@ -199,6 +202,8 @@ pub struct ReadStats {
 
 #[derive(Debug, Clone)]
 pub(crate) struct OperandRecord {
+    /// The registered name (maintenance jobs migrate by name).
+    pub(crate) name: String,
     pub(crate) bits: usize,
     pub(crate) lpns: Vec<u64>,
     /// Plane of each stripe page (slot-indexed) — cached from the FTL so
@@ -208,7 +213,7 @@ pub(crate) struct OperandRecord {
     /// Die of each stripe page (slot-indexed) — the placement layout,
     /// surfaced so tests and benches can assert die spreading.
     pub(crate) dies: Vec<DieId>,
-    group_index: u64,
+    pub(crate) group_index: u64,
     /// Placement generation: bumped by every mutation of the operand's
     /// data or placement (`fc_overwrite`, `migrate_operand`), so result-
     /// cache entries and queued async work stamped with an older
@@ -228,7 +233,7 @@ struct GroupPlace {
 /// The Flash-Cosmos-enabled SSD.
 pub struct FlashCosmosDevice {
     pub(crate) ssd: SsdDevice,
-    operands: Vec<OperandRecord>,
+    pub(crate) operands: Vec<OperandRecord>,
     names: HashMap<String, OperandId>,
     groups: HashMap<String, u64>,
     group_fill: HashMap<(u64, u64), u64>,
@@ -236,9 +241,14 @@ pub struct FlashCosmosDevice {
     group_place: HashMap<u64, GroupPlace>,
     /// Base plane per colocation domain (groups in a domain share it).
     domain_place: HashMap<String, GroupPlace>,
-    /// Round-robin die cursor breaking block-pressure ties, so fresh
-    /// groups spread across dies instead of piling onto die 0.
-    die_cursor: usize,
+    /// Where fresh placement groups land (see [`crate::maintenance`]):
+    /// the default [`SpreadPlacement`] rotates pressure ties across dies,
+    /// [`crate::maintenance::WearAwarePlacement`] levels P/E wear.
+    placement_policy: Box<dyn PlacementPolicy>,
+    /// Which hot co-queried operand sets the maintenance planner gathers.
+    pub(crate) regroup_policy: Box<dyn RegroupPolicy>,
+    /// Maintenance tuning (heat thresholds, slack budget).
+    pub(crate) maintenance_cfg: MaintenanceConfig,
     next_lpn: u64,
     /// Async submission queues + cross-batch result cache (see
     /// [`crate::session`]).
@@ -294,7 +304,9 @@ impl FlashCosmosDevice {
             group_fill: HashMap::new(),
             group_place: HashMap::new(),
             domain_place: HashMap::new(),
-            die_cursor: 0,
+            placement_policy: Box::new(SpreadPlacement::new()),
+            regroup_policy: Box::new(crate::maintenance::HotSetRegrouper),
+            maintenance_cfg: MaintenanceConfig::default(),
             next_lpn: 0,
             session: crate::session::Session::default(),
             epoch: 0,
@@ -382,36 +394,69 @@ impl FlashCosmosDevice {
         Ok((group_index, place))
     }
 
-    /// Picks the base plane for a fresh group: the least-loaded plane (by
-    /// FTL block pressure), visiting dies round-robin from the cursor so
-    /// pressure ties spread across dies rather than filling die 0. A die
-    /// pin (validated by [`Self::group_placement`]) restricts the choice
-    /// to that die's planes.
+    /// Picks the base plane for a fresh group by consulting the installed
+    /// [`PlacementPolicy`] with a snapshot of the FTL's block pressures
+    /// and the chips' per-block wear. A die pin (validated by
+    /// [`Self::group_placement`]) restricts the choice to that die's
+    /// planes.
     fn choose_plane(&mut self, die: Option<usize>) -> usize {
-        let ppd = self.ssd.config().planes_per_die;
-        let n_dies = self.ssd.config().total_dies();
-        let pressures = self.ssd.ftl().plane_pressures();
-        if let Some(d) = die {
-            return (0..ppd)
-                .map(|p| d * ppd + p)
-                .min_by_key(|&plane| (pressures[plane], plane))
-                .expect("a die has at least one plane");
+        let query = self.placement_query(self.placement_policy.needs_wear());
+        self.placement_policy.choose_plane(&query, die)
+    }
+
+    /// Snapshots the placement facts policies decide from: per-plane
+    /// block pressure, plus summed per-block P/E cycles when asked
+    /// (`with_wear`) — the wear scan touches every block's counter, so
+    /// callers whose policy ignores wear skip it.
+    pub(crate) fn placement_query(&self, with_wear: bool) -> PlacementQuery {
+        let cfg = self.ssd.config();
+        PlacementQuery {
+            pressures: self.ssd.ftl().plane_pressures().to_vec(),
+            wear: if with_wear { self.plane_wear() } else { vec![0; cfg.total_planes()] },
+            planes_per_die: cfg.planes_per_die,
+            dies: cfg.total_dies(),
         }
-        let planes = n_dies * ppd;
-        let mut best: Option<(u32, usize, usize)> = None;
-        for k in 0..planes {
-            // Die-fastest enumeration: visit one plane of every die
-            // before revisiting a die, starting at the cursor.
-            let d = (self.die_cursor + k % n_dies) % n_dies;
-            let pid = k / n_dies;
-            let plane = d * ppd + pid;
-            if best.is_none_or(|(bp, bk, _)| (pressures[plane], k) < (bp, bk)) {
-                best = Some((pressures[plane], k, plane));
-            }
-        }
-        let (_, _, plane) = best.expect("an SSD has at least one plane");
-        self.die_cursor = (plane / ppd + 1) % n_dies;
-        plane
+    }
+
+    /// Summed per-block P/E-cycle counts per flat plane — the wear signal
+    /// [`crate::maintenance::WearAwarePlacement`] and the regrouping
+    /// planner's target-die selection consume.
+    pub fn plane_wear(&self) -> Vec<u64> {
+        let cfg = self.ssd.config();
+        (0..cfg.total_planes())
+            .map(|plane| {
+                let pid = PlaneId::from_flat(plane, cfg);
+                let chip = self.ssd.chip(pid.die);
+                (0..cfg.blocks_per_plane as u32)
+                    .map(|b| {
+                        chip.block_pec(fc_nand::geometry::BlockAddr::new(pid.plane, b))
+                            .map_or(0, u64::from)
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Installs a placement policy for fresh groups and colocation
+    /// domains (existing placements are unaffected). See
+    /// [`crate::maintenance`] for the provided policies.
+    pub fn set_placement_policy(&mut self, policy: Box<dyn PlacementPolicy>) {
+        self.placement_policy = policy;
+    }
+
+    /// Installs a regrouping policy for the maintenance planner.
+    pub fn set_regroup_policy(&mut self, policy: Box<dyn RegroupPolicy>) {
+        self.regroup_policy = policy;
+    }
+
+    /// Replaces the maintenance tuning (heat thresholds, slack budget).
+    pub fn set_maintenance_config(&mut self, cfg: MaintenanceConfig) {
+        self.maintenance_cfg = cfg;
+    }
+
+    /// The current maintenance tuning.
+    pub fn maintenance_config(&self) -> &MaintenanceConfig {
+        &self.maintenance_cfg
     }
 
     /// The plane a group's stripe slot lives on. Unpinned groups rotate
@@ -480,6 +525,7 @@ impl FlashCosmosDevice {
         let id = self.operands.len();
         self.generation_counter += 1;
         self.operands.push(OperandRecord {
+            name: name.to_string(),
             bits: data.len(),
             lpns,
             planes,
@@ -700,6 +746,33 @@ impl FlashCosmosDevice {
     /// The placement-group index an operand landed in (for tests).
     pub fn group_index_of(&self, id: OperandId) -> Option<u64> {
         self.operands.get(id).map(|r| r.group_index)
+    }
+
+    /// The name an operand was registered under.
+    pub fn operand_name(&self, id: OperandId) -> Option<&str> {
+        self.operands.get(id).map(|r| r.name.as_str())
+    }
+
+    /// The index of a placement group by name, if any write or migration
+    /// created it.
+    pub(crate) fn group_index_by_name(&self, group: &str) -> Option<u64> {
+        self.groups.get(group).copied()
+    }
+
+    /// The die a named placement group's base plane sits on, if the
+    /// group has been placed. Replanned gather jobs must target this die
+    /// — the FTL joins the cached group placement, wherever today's
+    /// least-worn die is.
+    pub(crate) fn group_base_die(&self, group: &str) -> Option<usize> {
+        let index = self.groups.get(group)?;
+        self.group_place.get(index).map(|p| p.base_plane / self.ssd.config().planes_per_die)
+    }
+
+    /// Whether an operand's pages are stored inverted (§6.1 polarity) —
+    /// the maintenance planner only gathers polarity-uniform sets.
+    pub(crate) fn operand_inverted(&self, id: OperandId) -> Option<bool> {
+        let rec = self.operands.get(id)?;
+        self.ssd.ftl().meta(*rec.lpns.first()?).map(|m| m.inverted)
     }
 
     /// The die of every stripe page of an operand (slot-indexed) — the

@@ -36,6 +36,16 @@
 //!   generations* replays repeated units without sensing — overwrites
 //!   ([`FlashCosmosDevice::fc_overwrite`]), migrations and raw-SSD access
 //!   bump the stamps, so stale results are structurally unservable.
+//! * [`maintenance`] — the policy-driven maintenance layer: an affinity
+//!   tracker records which operand sets get fused together (and what
+//!   they cost), a pluggable regrouping policy turns hot scattered sets
+//!   into migration jobs with wear-aware target selection, and a
+//!   background executor fills the jobs into
+//!   [`drain`](FlashCosmosDevice::drain)'s idle-die slack
+//!   under a critical-path budget. The same policy split provides
+//!   pluggable placement ([`SpreadPlacement`] / [`WearAwarePlacement`])
+//!   and result-cache admission ([`CostAwareAdmission`] — the default,
+//!   hit-frequency × senses-saved — vs [`FifoAdmission`]).
 //! * [`crossdie`] — cross-die execution plans: a query whose operands
 //!   span planes splits into per-plane programs merged by the
 //!   controller, so die-aware placement (see [`device`]) never turns
@@ -107,6 +117,7 @@ pub mod crossdie;
 pub mod device;
 pub mod engines;
 pub mod expr;
+pub mod maintenance;
 pub mod ops;
 pub mod parabit;
 pub mod placement;
@@ -119,6 +130,11 @@ pub use batch::{BatchResults, BatchStats, QueryBatch, QueryId, QueryStats};
 pub use device::{FcError, FlashCosmosDevice, OperandHandle, ReadStats, StoreHints};
 pub use engines::{Engines, Platform, PlatformReport, WorkloadShape};
 pub use expr::{Expr, Nnf, OperandId};
+pub use maintenance::{
+    AffinityTracker, CacheAdmission, CostAwareAdmission, FifoAdmission, HotSetRegrouper,
+    MaintenanceConfig, MaintenanceStats, PlacementPolicy, RegroupPolicy, SpreadPlacement,
+    WearAwarePlacement,
+};
 pub use placement::{suggest_hints, LayoutAdvice};
 pub use planner::{MwsProgram, PlacementMap, PlanError, PlannerCaps};
 pub use session::{CacheStats, DrainStats, Session, Ticket};

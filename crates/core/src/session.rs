@@ -78,6 +78,10 @@ use fc_ssd::pipeline::{overlap_report, DieQueues};
 use crate::batch::{BatchResults, CompiledBatch, QueryBatch};
 use crate::device::{FcError, FlashCosmosDevice};
 use crate::expr::{Nnf, OperandId};
+use crate::maintenance::{
+    AffinityTracker, CacheAdmission, CacheEntryInfo, CostAwareAdmission, MaintenanceStats,
+    RegroupJob, RetiredJob,
+};
 
 /// Result-cache key: device epoch, canonical normal form, and the
 /// placement generation of every referenced operand (ascending by id).
@@ -92,6 +96,23 @@ pub(crate) struct CacheEntry {
     /// Senses a cold execution of the unit runs (serial-cost accounting
     /// for hits).
     pub(crate) senses: u64,
+    /// Lookups this entry has served (feeds the cost-aware admission
+    /// score and the affinity tracker).
+    hits: u64,
+    /// Insertion sequence (monotonic; ties in admission scores degrade to
+    /// FIFO on it).
+    seq: u64,
+}
+
+impl CacheEntry {
+    fn info(&self) -> CacheEntryInfo {
+        CacheEntryInfo {
+            hits: self.hits,
+            senses: self.senses,
+            seq: self.seq,
+            bits: self.result.len(),
+        }
+    }
 }
 
 /// Observable cache counters (see [`Session::cache_stats`]).
@@ -107,19 +128,31 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries dropped to respect the capacity bound.
     pub evictions: u64,
+    /// Inserts the admission policy refused (the fresh entry scored below
+    /// every resident entry — only a non-FIFO policy ever refuses).
+    pub rejections: u64,
 }
 
-/// The generation-stamped result cache. Bounded; inserts evict the oldest
-/// entry (insertion order) once the capacity is reached. Invalidation is
-/// purely structural — stale keys can never match — so eviction is only
-/// a memory bound, never a correctness mechanism.
+/// The generation-stamped result cache. Bounded; when full, the
+/// installed [`CacheAdmission`] policy picks the eviction victim (lowest
+/// score, oldest on ties) and may refuse the insert outright (cost-aware
+/// admission). Invalidation is purely structural — stale keys can never
+/// match — so eviction is only a memory bound, never a correctness
+/// mechanism.
 pub(crate) struct ResultCache {
     entries: HashMap<CacheKey, CacheEntry>,
-    order: VecDeque<CacheKey>,
     capacity: usize,
+    policy: Box<dyn CacheAdmission>,
+    next_seq: u64,
+    /// New-key insert attempts since creation; every
+    /// [`ResultCache::decay_window`] of them halves all hit counts so
+    /// frequency scores age (an LFU score without decay would let a
+    /// once-hot entry squat forever after the working set shifts).
+    attempts: u64,
     hits: u64,
     misses: u64,
     evictions: u64,
+    rejections: u64,
 }
 
 /// Default bound on memoized unit results.
@@ -129,11 +162,14 @@ impl Default for ResultCache {
     fn default() -> Self {
         Self {
             entries: HashMap::new(),
-            order: VecDeque::new(),
             capacity: DEFAULT_CACHE_CAPACITY,
+            policy: Box::new(CostAwareAdmission),
+            next_seq: 0,
+            attempts: 0,
             hits: 0,
             misses: 0,
             evictions: 0,
+            rejections: 0,
         }
     }
 }
@@ -146,8 +182,9 @@ impl ResultCache {
     }
 
     pub(crate) fn lookup(&mut self, key: &CacheKey) -> Option<&CacheEntry> {
-        match self.entries.get(key) {
+        match self.entries.get_mut(key) {
             Some(entry) => {
+                entry.hits += 1;
                 self.hits += 1;
                 Some(entry)
             }
@@ -158,43 +195,93 @@ impl ResultCache {
         }
     }
 
+    /// New-key insert attempts between hit-count halvings: two cache
+    /// turnovers' worth, so scores reflect roughly the last few
+    /// working-set generations.
+    fn decay_window(&self) -> u64 {
+        (self.capacity as u64 * 2).max(8)
+    }
+
+    /// The resident entry with the lowest `(score, seq)` — the next
+    /// eviction victim under the installed policy.
+    fn victim(&self) -> Option<(&CacheKey, CacheEntryInfo)> {
+        self.entries.iter().map(|(k, e)| (k, e.info())).min_by(|(_, a), (_, b)| {
+            self.policy.score(a).total_cmp(&self.policy.score(b)).then_with(|| a.seq.cmp(&b.seq))
+        })
+    }
+
+    /// Evicts down to `bound` entries via the policy's victim choice.
+    fn evict_to(&mut self, bound: usize) {
+        while self.entries.len() > bound {
+            let key = self.victim().map(|(k, _)| k.clone()).expect("non-empty while over bound");
+            self.entries.remove(&key);
+            self.evictions += 1;
+        }
+    }
+
     pub(crate) fn insert(&mut self, key: CacheKey, result: BitVec, senses: u64) {
         if self.capacity == 0 {
             return;
         }
-        if self.entries.insert(key.clone(), CacheEntry { result, senses }).is_none() {
-            self.order.push_back(key);
+        if let Some(existing) = self.entries.get_mut(&key) {
+            // Same key re-inserted (e.g. capacity was toggled): refresh
+            // the payload, keep the entry's history.
+            existing.result = result;
+            existing.senses = senses;
+            return;
         }
-        while self.entries.len() > self.capacity {
-            let oldest = self.order.pop_front().expect("order tracks every entry");
-            self.entries.remove(&oldest);
+        // Frequency aging: halve every resident's hit count once per
+        // decay window of new-key insert attempts, so hit-frequency
+        // scores measure the *recent* past — a once-hot entry decays to
+        // evictable after the working set shifts, while genuinely hot
+        // entries re-earn their hits between halvings.
+        self.attempts += 1;
+        if self.attempts.is_multiple_of(self.decay_window()) {
+            for entry in self.entries.values_mut() {
+                entry.hits /= 2;
+            }
+        }
+        let fresh = CacheEntryInfo { hits: 0, senses, seq: self.next_seq, bits: result.len() };
+        if self.entries.len() >= self.capacity {
+            let Some((victim_key, victim)) = self.victim().map(|(k, i)| (k.clone(), i)) else {
+                return; // capacity 0 handled above; len >= capacity >= 1
+            };
+            if !self.policy.admit(&fresh, &victim) {
+                self.rejections += 1;
+                return;
+            }
+            self.entries.remove(&victim_key);
             self.evictions += 1;
         }
+        self.entries.insert(key, CacheEntry { result, senses, hits: 0, seq: self.next_seq });
+        self.next_seq += 1;
     }
 
     /// Like [`ResultCache::lookup`] but for re-checking a unit that
     /// already missed (and was counted) at compile time: a hit is
     /// counted, a still-miss is not double-counted.
     pub(crate) fn peek_hit(&mut self, key: &CacheKey) -> Option<&CacheEntry> {
-        let entry = self.entries.get(key);
-        if entry.is_some() {
-            self.hits += 1;
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                entry.hits += 1;
+                self.hits += 1;
+                Some(entry)
+            }
+            None => None,
         }
-        entry
     }
 
     pub(crate) fn clear(&mut self) {
         self.entries.clear();
-        self.order.clear();
     }
 
     pub(crate) fn set_capacity(&mut self, capacity: usize) {
         self.capacity = capacity;
-        while self.entries.len() > self.capacity {
-            let oldest = self.order.pop_front().expect("order tracks every entry");
-            self.entries.remove(&oldest);
-            self.evictions += 1;
-        }
+        self.evict_to(capacity);
+    }
+
+    pub(crate) fn set_policy(&mut self, policy: Box<dyn CacheAdmission>) {
+        self.policy = policy;
     }
 
     fn stats(&self) -> CacheStats {
@@ -204,6 +291,7 @@ impl ResultCache {
             hits: self.hits,
             misses: self.misses,
             evictions: self.evictions,
+            rejections: self.rejections,
         }
     }
 }
@@ -261,6 +349,10 @@ pub struct DrainStats {
     pub serial_critical_path_us: f64,
     /// Distinct dies that executed sensing work during the drain.
     pub dies_used: usize,
+    /// Background-maintenance work this drain filled into the idle-die
+    /// slack (see [`crate::maintenance`]): migrations executed within the
+    /// critical-path budget, deferred jobs, retirements.
+    pub maintenance: MaintenanceStats,
 }
 
 impl DrainStats {
@@ -272,14 +364,24 @@ impl DrainStats {
 }
 
 /// The device's session state: in-flight async batches, retired results
-/// awaiting their [`Ticket::wait`], and the cross-batch result cache.
-/// Accessible read-only through [`FlashCosmosDevice::session`].
+/// awaiting their [`Ticket::wait`], the cross-batch result cache, and
+/// the maintenance layer's observations and work queue. Accessible
+/// read-only through [`FlashCosmosDevice::session`].
 #[derive(Default)]
 pub struct Session {
     pub(crate) cache: ResultCache,
     pending: Vec<PendingBatch>,
     retired: HashMap<u64, BatchResults>,
     next_seq: u64,
+    /// Which operand sets get fused together, and what they cost — the
+    /// regrouping planner's input (fed by every batch compile).
+    pub(crate) affinity: AffinityTracker,
+    /// Planned-but-not-executed migration jobs, FIFO.
+    pub(crate) jobs: VecDeque<RegroupJob>,
+    /// Bounded log of jobs dropped on generation mismatch.
+    pub(crate) retired_jobs: VecDeque<RetiredJob>,
+    /// Total jobs ever retired (the log itself is bounded).
+    pub(crate) jobs_retired_total: u64,
 }
 
 impl std::fmt::Debug for Session {
@@ -288,6 +390,8 @@ impl std::fmt::Debug for Session {
             .field("in_flight", &self.pending.len())
             .field("retired", &self.retired.len())
             .field("cache", &self.cache.stats())
+            .field("tracked_sets", &self.affinity.len())
+            .field("pending_jobs", &self.jobs.len())
             .finish()
     }
 }
@@ -306,6 +410,31 @@ impl Session {
     /// Result-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// The affinity tracker's view of co-fused operand sets.
+    pub fn affinity(&self) -> &AffinityTracker {
+        &self.affinity
+    }
+
+    /// Planned migration jobs not yet executed.
+    pub fn pending_maintenance(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// The bounded log of retired (generation-mismatched) migration jobs,
+    /// oldest first. Retirements beyond
+    /// [`MaintenanceConfig::retired_log_capacity`] drop the oldest log
+    /// entry; [`Session::jobs_retired_total`] still counts them.
+    ///
+    /// [`MaintenanceConfig::retired_log_capacity`]: crate::maintenance::MaintenanceConfig::retired_log_capacity
+    pub fn retired_jobs(&self) -> impl Iterator<Item = &RetiredJob> {
+        self.retired_jobs.iter()
+    }
+
+    /// Total migration jobs ever retired on generation mismatch.
+    pub fn jobs_retired_total(&self) -> u64 {
+        self.jobs_retired_total
     }
 }
 
@@ -348,7 +477,7 @@ impl FlashCosmosDevice {
     /// report [`FcError::UnknownTicket`]).
     pub fn drain(&mut self) -> Result<DrainStats, FcError> {
         let pending = std::mem::take(&mut self.session.pending);
-        if pending.is_empty() {
+        if pending.is_empty() && self.session.jobs.is_empty() {
             return Ok(DrainStats::default());
         }
         let dies = self.ssd.config().total_dies();
@@ -359,7 +488,10 @@ impl FlashCosmosDevice {
             let stale = pb.compiled.epoch != self.epoch
                 || pb.compiled.snapshot.iter().any(|&(id, gen)| self.operand_generation(id) != gen);
             if stale {
-                pb.compiled = self.compile_batch(&pb.source)?;
+                // Recompile against drain-time placement — without
+                // re-feeding the affinity tracker (one submission is one
+                // observation, however often it recompiles).
+                pb.compiled = self.recompile_batch(&pb.source)?;
             } else {
                 // Earlier batches in this drain may have populated the
                 // cache since this batch compiled — replay their results
@@ -379,6 +511,14 @@ impl FlashCosmosDevice {
         stats.combined_critical_path_us = overlap.combined_critical_us;
         stats.serial_critical_path_us = overlap.serial_critical_us;
         stats.dies_used = combined.dies_busy();
+        // Queued maintenance rides the drain: migration jobs fill the
+        // per-die idle slack up to the configured critical-path budget
+        // (what doesn't fit stays queued for the next pass).
+        if !self.session.jobs.is_empty() {
+            let budget = (overlap.combined_critical_us * self.maintenance_cfg.slack_factor)
+                .max(self.maintenance_cfg.slack_floor_us);
+            stats.maintenance = self.execute_maintenance(&mut combined, budget)?;
+        }
         Ok(stats)
     }
 
@@ -421,9 +561,9 @@ impl FlashCosmosDevice {
     }
 
     /// Bounds the result cache to `capacity` memoized unit results
-    /// (evicting oldest-first down to the bound). `0` disables caching —
-    /// the cold-cache reference configuration the soundness tests compare
-    /// against.
+    /// (evicting the admission policy's victims down to the bound). `0`
+    /// disables caching — the cold-cache reference configuration the
+    /// soundness tests compare against.
     pub fn set_result_cache_capacity(&mut self, capacity: usize) {
         self.session.cache.set_capacity(capacity);
     }
@@ -431,6 +571,16 @@ impl FlashCosmosDevice {
     /// Drops every memoized result (counters survive).
     pub fn clear_result_cache(&mut self) {
         self.session.cache.clear();
+    }
+
+    /// Installs a result-cache admission/eviction policy (see
+    /// [`crate::maintenance`]): [`CostAwareAdmission`] (the default)
+    /// retains by hit frequency × senses saved,
+    /// [`crate::maintenance::FifoAdmission`] restores the oldest-first
+    /// bound. Resident entries keep their history; only future victim
+    /// choices change.
+    pub fn set_cache_admission(&mut self, policy: Box<dyn CacheAdmission>) {
+        self.session.cache.set_policy(policy);
     }
 }
 

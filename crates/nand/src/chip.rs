@@ -439,15 +439,9 @@ impl NandChip {
         let stored = if randomize { self.randomizer.randomize(addr, &data) } else { data };
 
         let vth = if matches!(self.config.fidelity, Fidelity::Physics) {
-            // SLC encoding: bit 1 = erased, bit 0 = programmed.
-            let targets: Vec<bool> = stored.iter().collect();
-            let outcome = match scheme {
-                ProgramScheme::Esp { ratio } => ispp::program_esp(&targets, ratio, &mut self.rng),
-                _ => {
-                    ispp::program_slc_like(&targets, ispp::IsppConfig::slc_default(), &mut self.rng)
-                }
-            };
-            Some(outcome.vth)
+            // SLC encoding: bit 1 = erased, bit 0 = programmed. The
+            // packed page feeds the word-parallel ISPP engine directly.
+            Some(ispp::program_page(&stored, scheme, &mut self.rng).vth)
         } else {
             None
         };

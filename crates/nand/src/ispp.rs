@@ -12,12 +12,13 @@
 //! and a **smaller `ΔV_ISPP`**, trading latency for margin (Fig. 10a:
 //! "Only in ESP").
 
+use fc_bits::BitVec;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::calib::timing;
 use crate::geometry::CellMode;
-use crate::vth::{sample_standard_normal, VthLayout, ERASED};
+use crate::vth::{NormalSampler, VthLayout, ERASED};
 
 /// How a page is programmed. This choice drives latency, capacity and
 /// reliability everywhere in the stack.
@@ -136,8 +137,121 @@ pub struct IsppOutcome {
     pub pulses: u32,
 }
 
+/// Packs the cells that must be programmed (SLC encoding: bit 1 = stay
+/// erased, bit 0 = program) into 64-lane mask words.
+fn program_mask(targets: &[bool]) -> Vec<u64> {
+    let mut mask = vec![0u64; targets.len().div_ceil(64)];
+    for (i, &stay_erased) in targets.iter().enumerate() {
+        if !stay_erased {
+            mask[i / 64] |= 1 << (i % 64);
+        }
+    }
+    mask
+}
+
+/// Samples every cell's starting (erased) level, cell-major — shared by
+/// the word-parallel kernel and the scalar oracle so their RNG streams
+/// stay aligned.
+fn erased_levels<R: Rng + ?Sized>(cells: usize, rng: &mut R) -> Vec<f64> {
+    let sampler = NormalSampler::get();
+    (0..cells).map(|_| ERASED.mean_v + ERASED.sigma_v * sampler.sample(rng)).collect()
+}
+
+/// The word-parallel pulse engine: applies ISPP rounds to every cell
+/// whose lane is set in `program` until all reach `cfg.vtgt` (or the
+/// pulse cap). Per round, lanes update 64-at-a-time off the packed
+/// active mask — finished words (and all stay-erased lanes) are skipped
+/// with one comparison — and the verify step folds into the update (the
+/// mask bit is recomputed from the fresh V_TH in place). Draw order is
+/// pulse-major (round by round, ascending cell), which the scalar oracle
+/// mirrors exactly.
+///
+/// Returns the number of rounds any cell consumed.
+fn pulse_rounds<R: Rng + ?Sized>(
+    vth: &mut [f64],
+    program: &[u64],
+    cfg: IsppConfig,
+    rng: &mut R,
+) -> u32 {
+    let sampler = NormalSampler::get();
+    // Active = programmed lanes still below target.
+    let mut active: Vec<u64> = program.to_vec();
+    for (w, word) in active.iter_mut().enumerate() {
+        let mut m = *word;
+        let mut keep = 0u64;
+        while m != 0 {
+            let b = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if vth[w * 64 + b] < cfg.vtgt {
+                keep |= 1 << b;
+            }
+        }
+        *word = keep;
+    }
+    let mut rounds = 0u32;
+    while rounds < cfg.max_pulses {
+        let mut any = false;
+        for (w, word) in active.iter_mut().enumerate() {
+            let mut m = *word;
+            if m == 0 {
+                continue;
+            }
+            any = true;
+            let base = w * 64;
+            let mut next = 0u64;
+            while m != 0 {
+                let b = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let v = &mut vth[base + b];
+                *v += cfg.delta_v + cfg.pulse_noise_v * sampler.sample(rng);
+                if *v < cfg.vtgt {
+                    next |= 1 << b;
+                }
+            }
+            *word = next;
+        }
+        if !any {
+            break;
+        }
+        rounds += 1;
+    }
+    rounds
+}
+
+/// The scalar pulse engine — the bit-exact oracle for `pulse_rounds`.
+/// Identical semantics and RNG draw order (pulse-major, ascending cell),
+/// expressed cell-by-cell with no packing; kept for the equivalence
+/// tests and as the readable specification.
+fn pulse_rounds_serial<R: Rng + ?Sized>(
+    vth: &mut [f64],
+    targets: &[bool],
+    cfg: IsppConfig,
+    rng: &mut R,
+) -> u32 {
+    let sampler = NormalSampler::get();
+    let mut active: Vec<bool> =
+        targets.iter().zip(vth.iter()).map(|(&stay, &v)| !stay && v < cfg.vtgt).collect();
+    let mut rounds = 0u32;
+    while rounds < cfg.max_pulses {
+        let mut any = false;
+        for (i, on) in active.iter_mut().enumerate() {
+            if !*on {
+                continue;
+            }
+            any = true;
+            vth[i] += cfg.delta_v + cfg.pulse_noise_v * sampler.sample(rng);
+            *on = vth[i] < cfg.vtgt;
+        }
+        if !any {
+            break;
+        }
+        rounds += 1;
+    }
+    rounds
+}
+
 /// Programs cells to `targets` (true = leave erased, false = program, SLC
-/// encoding) by simulating the ISPP pulse train cell-by-cell.
+/// encoding) through the word-parallel ISPP engine (`pulse_rounds`).
 ///
 /// Returns the final V_TH of each cell and the pulse count. Cells left
 /// erased are sampled from the erased distribution.
@@ -146,50 +260,82 @@ pub fn program_slc_like<R: Rng + ?Sized>(
     cfg: IsppConfig,
     rng: &mut R,
 ) -> IsppOutcome {
-    let mut vth = Vec::with_capacity(targets.len());
-    let mut max_pulses = 0u32;
-    for &stay_erased in targets {
-        if stay_erased {
-            vth.push(ERASED.sample(rng));
-            continue;
+    let mut vth = erased_levels(targets.len(), rng);
+    let pulses = pulse_rounds(&mut vth, &program_mask(targets), cfg, rng);
+    IsppOutcome { vth, pulses }
+}
+
+/// Scalar oracle for [`program_slc_like`]: bit-exact (same RNG stream,
+/// same output) but cell-by-cell.
+pub fn program_slc_like_serial<R: Rng + ?Sized>(
+    targets: &[bool],
+    cfg: IsppConfig,
+    rng: &mut R,
+) -> IsppOutcome {
+    let mut vth = erased_levels(targets.len(), rng);
+    let pulses = pulse_rounds_serial(&mut vth, targets, cfg, rng);
+    IsppOutcome { vth, pulses }
+}
+
+/// The single train-composition the mask-level entry points share: the
+/// coarse SLC train, plus the ESP refinement train when the scheme asks
+/// for one — so the bool-slice and packed-page paths cannot drift apart.
+fn program_masked<R: Rng + ?Sized>(
+    program: &[u64],
+    cells: usize,
+    scheme: ProgramScheme,
+    rng: &mut R,
+) -> IsppOutcome {
+    let mut vth = erased_levels(cells, rng);
+    let mut pulses = pulse_rounds(&mut vth, program, IsppConfig::slc_default(), rng);
+    if let ProgramScheme::Esp { ratio } = scheme {
+        if ratio > 1.0 {
+            pulses += pulse_rounds(&mut vth, program, IsppConfig::esp_refinement(ratio), rng);
         }
-        // Cell starts from a fresh erased level and is pulsed until the
-        // verify step sees it at/above V_TGT.
-        let mut v = ERASED.sample(rng);
-        let mut pulses = 0u32;
-        while v < cfg.vtgt && pulses < cfg.max_pulses {
-            v += cfg.delta_v + cfg.pulse_noise_v * sample_standard_normal(rng);
-            pulses += 1;
-        }
-        max_pulses = max_pulses.max(pulses);
-        vth.push(v);
     }
-    IsppOutcome { vth, pulses: max_pulses }
+    IsppOutcome { vth, pulses }
 }
 
 /// Programs cells with full ESP: the regular SLC pulse train followed by
-/// the refinement train with raised `V_TGT` and reduced `ΔV_ISPP`.
+/// the refinement train with raised `V_TGT` and reduced `ΔV_ISPP`, both
+/// through the word-parallel engine.
 pub fn program_esp<R: Rng + ?Sized>(targets: &[bool], ratio: f64, rng: &mut R) -> IsppOutcome {
-    let coarse = IsppConfig::slc_default();
-    let refine = IsppConfig::esp_refinement(ratio);
-    let mut out = program_slc_like(targets, coarse, rng);
+    program_masked(&program_mask(targets), targets.len(), ProgramScheme::Esp { ratio }, rng)
+}
+
+/// Scalar oracle for [`program_esp`].
+pub fn program_esp_serial<R: Rng + ?Sized>(
+    targets: &[bool],
+    ratio: f64,
+    rng: &mut R,
+) -> IsppOutcome {
+    let mut out = program_slc_like_serial(targets, IsppConfig::slc_default(), rng);
     if ratio <= 1.0 {
         return out;
     }
-    let mut extra = 0u32;
-    for (v, &stay_erased) in out.vth.iter_mut().zip(targets) {
-        if stay_erased {
-            continue;
-        }
-        let mut pulses = 0u32;
-        while *v < refine.vtgt && pulses < refine.max_pulses {
-            *v += refine.delta_v + refine.pulse_noise_v * sample_standard_normal(rng);
-            pulses += 1;
-        }
-        extra = extra.max(pulses);
-    }
-    out.pulses += extra;
+    let refine = IsppConfig::esp_refinement(ratio);
+    out.pulses += pulse_rounds_serial(&mut out.vth, targets, refine, rng);
     out
+}
+
+/// Programs a stored page straight off its packed words (bit 1 = stay
+/// erased): the physics-mode program path's entry point, word-parallel
+/// end to end with no `Vec<bool>` materialization.
+pub fn program_page<R: Rng + ?Sized>(
+    page: &BitVec,
+    scheme: ProgramScheme,
+    rng: &mut R,
+) -> IsppOutcome {
+    // The packed page *is* the stay-erased mask; programming wants its
+    // complement, trimmed to the page length.
+    let cells = page.len();
+    let mut program: Vec<u64> = page.words().iter().map(|w| !w).collect();
+    if !cells.is_multiple_of(64) {
+        if let Some(last) = program.last_mut() {
+            *last &= (1u64 << (cells % 64)) - 1;
+        }
+    }
+    program_masked(&program, cells, scheme, rng)
 }
 
 /// Empirical width (standard deviation) of the programmed distribution.
@@ -276,6 +422,54 @@ mod tests {
         let b = IsppConfig::esp_refinement(2.0);
         assert!(b.delta_v < a.delta_v);
         assert!(b.vtgt > a.vtgt);
+    }
+
+    #[test]
+    fn word_parallel_kernel_matches_scalar_oracle_bit_exactly() {
+        // Same seed, same draw order: the packed 64-lane kernel and the
+        // cell-by-cell oracle must produce identical V_TH vectors and
+        // pulse counts — for coarse SLC, full ESP, and awkward lengths
+        // (partial last word, all-erased, all-programmed).
+        for (n, seed) in [(4096usize, 1u64), (1000, 2), (63, 3), (64, 4), (65, 5), (1, 6)] {
+            let targets = half_programmed(n);
+            let mut a = StdRng::seed_from_u64(seed);
+            let mut b = StdRng::seed_from_u64(seed);
+            let fast = program_slc_like(&targets, IsppConfig::slc_default(), &mut a);
+            let slow = program_slc_like_serial(&targets, IsppConfig::slc_default(), &mut b);
+            assert_eq!(fast, slow, "SLC kernel diverged at n={n}");
+            let mut a = StdRng::seed_from_u64(seed ^ 0xE5);
+            let mut b = StdRng::seed_from_u64(seed ^ 0xE5);
+            let fast = program_esp(&targets, 2.0, &mut a);
+            let slow = program_esp_serial(&targets, 2.0, &mut b);
+            assert_eq!(fast, slow, "ESP kernel diverged at n={n}");
+        }
+        for targets in [vec![true; 130], vec![false; 130]] {
+            let mut a = StdRng::seed_from_u64(9);
+            let mut b = StdRng::seed_from_u64(9);
+            assert_eq!(
+                program_esp(&targets, 2.0, &mut a),
+                program_esp_serial(&targets, 2.0, &mut b),
+            );
+        }
+    }
+
+    #[test]
+    fn packed_page_entry_matches_bool_kernel() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let page = BitVec::random(1000, &mut rng);
+        let targets: Vec<bool> = page.iter().collect();
+        let mut a = StdRng::seed_from_u64(12);
+        let mut b = StdRng::seed_from_u64(12);
+        let packed = program_page(&page, ProgramScheme::esp_default(), &mut a);
+        let ratio = timing::T_ESP_US / timing::T_PROG_SLC_US;
+        let bools = program_esp(&targets, ratio, &mut b);
+        assert_eq!(packed, bools, "packed entry must match the bool-slice kernel");
+        // Non-ESP schemes run the coarse train only.
+        let mut a = StdRng::seed_from_u64(13);
+        let mut b = StdRng::seed_from_u64(13);
+        let packed = program_page(&page, ProgramScheme::Slc, &mut a);
+        let bools = program_slc_like(&targets, IsppConfig::slc_default(), &mut b);
+        assert_eq!(packed, bools);
     }
 
     #[test]

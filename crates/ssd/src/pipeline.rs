@@ -139,12 +139,16 @@ pub fn append_die_jobs(batch: &mut Vec<Vec<SenseJob>>, jobs: Vec<Vec<SenseJob>>)
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DieQueues {
     busy_us: Vec<f64>,
+    /// Total fill-in (background/maintenance) latency accepted via
+    /// [`DieQueues::try_fill`], µs. Included in `busy_us` as well — this
+    /// is the attribution split, not extra time.
+    filled_us: f64,
 }
 
 impl DieQueues {
     /// An empty tracker for `dies` dies (it also grows on demand).
     pub fn new(dies: usize) -> Self {
-        Self { busy_us: vec![0.0; dies] }
+        Self { busy_us: vec![0.0; dies], filled_us: 0.0 }
     }
 
     /// Queues `latency_us` of work on a die (flat index).
@@ -164,6 +168,44 @@ impl DieQueues {
         for (acc, &b) in self.busy_us.iter_mut().zip(&other.busy_us) {
             *acc += b;
         }
+        self.filled_us += other.filled_us;
+    }
+
+    /// Idle time left on a die before its queue reaches `budget_us` —
+    /// the slack a background task can fill without pushing the drain's
+    /// critical path past the budget.
+    pub fn slack_us(&self, die: usize, budget_us: f64) -> f64 {
+        (budget_us - self.busy_us.get(die).copied().unwrap_or(0.0)).max(0.0)
+    }
+
+    /// Attempts to schedule fill-in work — `(die, latency_us)` pieces that
+    /// must all run — into the queues' idle slack. All-or-nothing: the
+    /// work is accepted (and queued) only when **every** touched die stays
+    /// at or below `budget_us` afterwards, so accepted fill-in can never
+    /// extend the critical path beyond the budget. Returns whether the
+    /// work was accepted.
+    pub fn try_fill(&mut self, work: &[(usize, f64)], budget_us: f64) -> bool {
+        // Aggregate per-die first: two pieces on one die must jointly fit.
+        let mut needed: Vec<(usize, f64)> = Vec::with_capacity(work.len());
+        for &(die, us) in work {
+            match needed.iter_mut().find(|(d, _)| *d == die) {
+                Some((_, acc)) => *acc += us,
+                None => needed.push((die, us)),
+            }
+        }
+        if needed.iter().any(|&(die, us)| us > self.slack_us(die, budget_us)) {
+            return false;
+        }
+        for &(die, us) in &needed {
+            self.push(die, us);
+            self.filled_us += us;
+        }
+        true
+    }
+
+    /// Total fill-in latency accepted by [`DieQueues::try_fill`], µs.
+    pub fn filled_us(&self) -> f64 {
+        self.filled_us
     }
 
     /// The busiest die's total queued latency, µs — the modeled critical
@@ -191,6 +233,7 @@ impl DieQueues {
     /// Empties every queue.
     pub fn clear(&mut self) {
         self.busy_us.iter_mut().for_each(|b| *b = 0.0);
+        self.filled_us = 0.0;
     }
 }
 
@@ -598,6 +641,40 @@ mod tests {
         grow.push(5, 2.0);
         assert_eq!(grow.occupancy_us().len(), 6);
         assert_eq!(grow.busiest_us(), 2.0);
+    }
+
+    #[test]
+    fn fill_in_work_respects_the_budget() {
+        let mut q = DieQueues::new(4);
+        q.push(0, 80.0);
+        q.push(1, 20.0);
+        // Slack against a 100 µs budget: 20 on die 0, 80 on die 1, full
+        // budget on the idle dies.
+        assert_eq!(q.slack_us(0, 100.0), 20.0);
+        assert_eq!(q.slack_us(1, 100.0), 80.0);
+        assert_eq!(q.slack_us(3, 100.0), 100.0);
+        assert_eq!(q.slack_us(9, 100.0), 100.0, "out-of-range dies are idle");
+        // A two-die job that fits goes in; the occupancy reflects it.
+        assert!(q.try_fill(&[(1, 30.0), (2, 50.0)], 100.0));
+        assert_eq!(q.occupancy_us()[1], 50.0);
+        assert_eq!(q.occupancy_us()[2], 50.0);
+        assert_eq!(q.filled_us(), 80.0);
+        // All-or-nothing: one overfull die rejects the whole job, and the
+        // fitting piece must not have been applied.
+        assert!(!q.try_fill(&[(3, 10.0), (0, 30.0)], 100.0));
+        assert_eq!(q.occupancy_us()[3], 0.0, "rejected job left no residue");
+        assert_eq!(q.filled_us(), 80.0);
+        // Two pieces on one die must jointly fit, not just individually.
+        assert!(!q.try_fill(&[(3, 60.0), (3, 60.0)], 100.0));
+        assert!(q.try_fill(&[(3, 60.0), (3, 40.0)], 100.0));
+        assert_eq!(q.busiest_us(), 100.0, "fill-in never exceeds the budget");
+        // merge carries the fill-in attribution along.
+        let mut other = DieQueues::new(4);
+        other.try_fill(&[(0, 5.0)], 100.0);
+        q.merge(&other);
+        assert_eq!(q.filled_us(), 185.0);
+        q.clear();
+        assert_eq!(q.filled_us(), 0.0);
     }
 
     #[test]

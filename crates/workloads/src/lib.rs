@@ -15,6 +15,11 @@
 //! hyper-dimensional computing — exercises the derived-operation layer
 //! (bind/bundle/similarity over binary hypervectors).
 //!
+//! [`skew`] adds the *traffic shape* the maintenance layer cares about:
+//! Zipf-skewed re-query streams over scattered co-query sets, used to
+//! demonstrate hot-operand regrouping convergence and cost-aware cache
+//! admission (`flash_cosmos::maintenance`).
+//!
 //! Each workload exposes two granularities:
 //!
 //! * a **functional instance** (`*::mini`) with real bit vectors small
@@ -29,6 +34,7 @@ pub mod bmi;
 pub mod hdc;
 pub mod ims;
 pub mod kcs;
+pub mod skew;
 
 use fc_bits::BitVec;
 use flash_cosmos::batch::{BatchStats, QueryBatch};

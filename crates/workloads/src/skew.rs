@@ -1,0 +1,195 @@
+//! Skewed re-query workloads: the traffic shapes that exercise the
+//! maintenance layer (`flash_cosmos::maintenance`).
+//!
+//! A production bulk-bitwise front end does not draw its predicates
+//! uniformly — a few hot filter combinations dominate (bitmap-index
+//! dashboards refresh the same month windows, HDC classifiers re-match
+//! the same prototypes). Two generators model that:
+//!
+//! * [`ZipfSampler`] — a Zipf(θ) rank sampler (inverse-CDF over the
+//!   finite harmonic distribution), used to draw *which* query a client
+//!   submits next.
+//! * [`CoQueryWorkload`] — a device pre-loaded with operands scattered
+//!   into singleton placement groups (the adversarial cold layout: every
+//!   operand in its own block, spread across dies) plus a population of
+//!   co-query sets ranked by popularity. Warm traffic drawn from it
+//!   keeps hitting the same hot sets, which is exactly the signal the
+//!   affinity tracker and the cost-aware cache policy consume.
+
+use fc_bits::BitVec;
+use fc_ssd::SsdConfig;
+use flash_cosmos::batch::QueryBatch;
+use flash_cosmos::device::{FcError, FlashCosmosDevice, StoreHints};
+use flash_cosmos::expr::Expr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Finite Zipf(θ) sampler over ranks `0..n`: rank `r` is drawn with
+/// probability proportional to `1 / (r + 1)^θ`. θ = 0 is uniform; the
+/// classic web-traffic skew sits near θ ≈ 1.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the inverse-CDF table for `n` ranks at skew `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero or `theta` is negative/non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(theta >= 0.0 && theta.is_finite(), "skew must be finite and non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Ranks in the distribution.
+    pub fn ranks(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws one rank (0 = most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// A device whose operands were written *scattered* (one singleton
+/// placement group each) plus a popularity-ranked population of AND
+/// co-query sets over them.
+pub struct CoQueryWorkload {
+    /// The pre-loaded device.
+    pub dev: FlashCosmosDevice,
+    /// Ground-truth operand data, by operand id.
+    pub data: Vec<BitVec>,
+    /// The query population: operand-id sets, most popular first.
+    pub sets: Vec<Vec<usize>>,
+    zipf: ZipfSampler,
+}
+
+impl CoQueryWorkload {
+    /// Builds the scattered layout: `operands` page-sized vectors, each
+    /// in its own placement group (own block, die-spread), and `sets`
+    /// co-query sets of `set_size` distinct operands ranked by Zipf
+    /// popularity at skew `theta`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device write failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `set_size` exceeds `operands` or either is zero.
+    pub fn scattered(
+        config: SsdConfig,
+        operands: usize,
+        sets: usize,
+        set_size: usize,
+        theta: f64,
+        seed: u64,
+    ) -> Result<Self, FcError> {
+        assert!(set_size > 0 && set_size <= operands, "set size must fit the operand pool");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut dev = FlashCosmosDevice::new(config);
+        let bits = dev.config().page_bits();
+        let mut data = Vec::with_capacity(operands);
+        for i in 0..operands {
+            let v = BitVec::random(bits, &mut rng);
+            dev.fc_write(&format!("op{i}"), &v, StoreHints::and_group(&format!("solo{i}")))?;
+            data.push(v);
+        }
+        let set_list = (0..sets)
+            .map(|_| {
+                // Distinct members via partial Fisher–Yates over the pool.
+                let mut pool: Vec<usize> = (0..operands).collect();
+                (0..set_size)
+                    .map(|k| {
+                        let j = rng.gen_range(k..pool.len());
+                        pool.swap(k, j);
+                        pool[k]
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(Self { dev, data, sets: set_list, zipf: ZipfSampler::new(sets, theta) })
+    }
+
+    /// The AND expression of one query set.
+    pub fn expr(&self, rank: usize) -> Expr {
+        Expr::and_vars(self.sets[rank].iter().copied())
+    }
+
+    /// Ground truth for one query set.
+    pub fn expected(&self, rank: usize) -> BitVec {
+        let ids = &self.sets[rank];
+        ids[1..].iter().fold(self.data[ids[0]].clone(), |acc, &i| acc.and(&self.data[i]))
+    }
+
+    /// Draws a batch of `len` queries with Zipf-distributed popularity
+    /// (hot sets recur), returning the batch and the drawn ranks.
+    pub fn zipf_batch<R: Rng + ?Sized>(&self, len: usize, rng: &mut R) -> (QueryBatch, Vec<usize>) {
+        let ranks: Vec<usize> = (0..len).map(|_| self.zipf.sample(rng)).collect();
+        (ranks.iter().map(|&r| self.expr(r)).collect(), ranks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_skews_towards_low_ranks_and_uniform_is_flat() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let skewed = ZipfSampler::new(16, 1.1);
+        let mut counts = vec![0usize; 16];
+        for _ in 0..4000 {
+            counts[skewed.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[8] * 3, "rank 0 dominates: {counts:?}");
+        assert!(counts.iter().sum::<usize>() == 4000);
+        let uniform = ZipfSampler::new(4, 0.0);
+        let mut counts = vec![0usize; 4];
+        for _ in 0..4000 {
+            counts[uniform.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..=1300).contains(&c), "θ=0 is uniform: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn scattered_workload_answers_exactly_and_costs_one_sense_per_operand() {
+        let mut w = CoQueryWorkload::scattered(SsdConfig::tiny_test(), 8, 4, 3, 1.0, 7).unwrap();
+        for rank in 0..w.sets.len() {
+            let expr = w.expr(rank);
+            let (result, stats) = w.dev.fc_read(&expr).unwrap();
+            assert_eq!(result, w.expected(rank), "set {rank}");
+            assert_eq!(
+                stats.senses,
+                w.sets[rank].len() as u64,
+                "scattered singleton groups cost one sense per operand"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_batches_draw_from_the_population() {
+        let w = CoQueryWorkload::scattered(SsdConfig::tiny_test(), 6, 3, 2, 1.0, 9).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let (batch, ranks) = w.zipf_batch(10, &mut rng);
+        assert_eq!(batch.len(), 10);
+        assert!(ranks.iter().all(|&r| r < 3));
+    }
+}

@@ -1,0 +1,687 @@
+//! The maintenance layer end to end: hot-operand regrouping converging a
+//! scattered layout to single-sense units inside drain's slack budget,
+//! wear-aware placement, cost-aware cache admission beating FIFO under
+//! Zipf skew, and the generation-mismatch retirement contract.
+
+use fc_bits::BitVec;
+use fc_ssd::SsdConfig;
+use fc_workloads::skew::CoQueryWorkload;
+use flash_cosmos::{
+    CostAwareAdmission, Expr, FifoAdmission, FlashCosmosDevice, MaintenanceConfig, QueryBatch,
+    StoreHints, WearAwarePlacement,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn device() -> FlashCosmosDevice {
+    FlashCosmosDevice::new(SsdConfig::tiny_test())
+}
+
+/// Writes `n` page-sized operands, each scattered into its own singleton
+/// group, and returns ids + data.
+fn scattered_operands(
+    dev: &mut FlashCosmosDevice,
+    n: usize,
+    rng: &mut StdRng,
+) -> (Vec<usize>, Vec<BitVec>) {
+    let bits = dev.config().page_bits();
+    let mut ids = Vec::new();
+    let mut data = Vec::new();
+    for i in 0..n {
+        let v = BitVec::random(bits, rng);
+        ids.push(
+            dev.fc_write(&format!("op{i}"), &v, StoreHints::and_group(&format!("solo{i}")))
+                .unwrap()
+                .id,
+        );
+        data.push(v);
+    }
+    (ids, data)
+}
+
+/// ISSUE acceptance: on a skewed co-query workload, maintenance migrates
+/// the hot set during `drain()`'s idle-die slack — without exceeding the
+/// critical-path budget — and the warm-path modeled senses for the hot
+/// query drop ≥ 2× versus the scattered layout.
+#[test]
+fn regrouping_converges_within_the_drain_slack_budget() {
+    let mut w = CoQueryWorkload::scattered(SsdConfig::tiny_test(), 12, 6, 4, 1.1, 0xC0).unwrap();
+    let hot = w.expr(0);
+    let expected = w.expected(0);
+    let mut batch = QueryBatch::new();
+    batch.push(hot.clone());
+
+    // Cold, scattered: one sense per operand-block.
+    let cold = w.dev.submit(&batch).unwrap();
+    assert_eq!(cold.results[0], expected);
+    assert_eq!(cold.stats.senses, 4, "scattered layout senses every block");
+
+    // Heat the set past the co-fuse threshold, then plan.
+    w.dev.submit(&batch).unwrap();
+    let queued = w.dev.schedule_maintenance();
+    assert_eq!(queued, 4, "one migration job per hot-set operand");
+    assert_eq!(w.dev.session().pending_maintenance(), 4);
+
+    // The jobs ride the next drain, filling idle-die slack.
+    let ticket = w.dev.submit_async(&batch).unwrap();
+    let drained = w.dev.drain().unwrap();
+    let m = drained.maintenance;
+    assert_eq!(m.jobs_executed, 4, "all jobs fit the default slack floor");
+    assert_eq!(m.jobs_deferred, 0);
+    assert_eq!(m.jobs_retired, 0);
+    assert_eq!(m.pages_moved, 4);
+    assert!(m.fill_time_us > 0.0);
+    assert!(
+        m.critical_path_us <= m.budget_us + 1e-9,
+        "fill-in must respect the budget: {} vs {}",
+        m.critical_path_us,
+        m.budget_us
+    );
+    let results = ticket.wait(&mut w.dev).unwrap();
+    assert_eq!(results.results[0], expected, "drained query still bit-exact");
+
+    // Warm path: the first post-migration submit cannot be served by the
+    // cache (generations moved), so its stats are the regrouped cost.
+    let warm = w.dev.submit(&batch).unwrap();
+    assert_eq!(warm.results[0], expected, "migration preserves data");
+    assert_eq!(warm.stats.senses, 1, "gathered set is one intra-block MWS");
+    assert!(
+        warm.stats.senses * 2 <= cold.stats.senses,
+        "≥2× sense drop: warm {} vs cold {}",
+        warm.stats.senses,
+        cold.stats.senses
+    );
+    // And the gathered operands now share one placement group.
+    let hot_ids = &w.sets[0];
+    let g = w.dev.group_index_of(hot_ids[0]);
+    assert!(hot_ids.iter().all(|&id| w.dev.group_index_of(id) == g));
+}
+
+/// A starved budget defers jobs instead of blowing the critical path;
+/// a later pass (or an unbudgeted `run_maintenance`) finishes the queue.
+#[test]
+fn jobs_that_miss_the_budget_defer_to_the_next_pass() {
+    let mut rng = StdRng::seed_from_u64(0xB4D);
+    let mut dev = device();
+    let (ids, _) = scattered_operands(&mut dev, 4, &mut rng);
+    let mut batch = QueryBatch::new();
+    batch.push(Expr::and_vars(ids.iter().copied()));
+    dev.submit(&batch).unwrap();
+    dev.submit(&batch).unwrap();
+    // A budget too small for even one page move (tR + tESP ≈ 425 µs).
+    dev.set_maintenance_config(MaintenanceConfig {
+        slack_factor: 1.0,
+        slack_floor_us: 100.0,
+        ..MaintenanceConfig::default()
+    });
+    assert_eq!(dev.schedule_maintenance(), 4);
+    dev.submit_async(&batch).unwrap();
+    let drained = dev.drain().unwrap();
+    assert_eq!(drained.maintenance.jobs_executed, 0, "nothing fits 100 µs");
+    assert_eq!(drained.maintenance.jobs_deferred, 4);
+    assert_eq!(dev.session().pending_maintenance(), 4);
+    // An idle drain with a restored budget finishes the queue.
+    dev.set_maintenance_config(MaintenanceConfig::default());
+    let drained = dev.drain().unwrap();
+    assert_eq!(drained.batches, 0, "idle drain: maintenance only");
+    assert_eq!(drained.maintenance.jobs_executed, 4);
+    assert!(drained.maintenance.critical_path_us <= drained.maintenance.budget_us);
+    assert_eq!(dev.session().pending_maintenance(), 0);
+    let after = dev.submit(&batch).unwrap();
+    assert_eq!(after.stats.senses, 1);
+}
+
+/// ISSUE satellite: a regroup job whose source operand was overwritten
+/// between planning and execution is retired (generation mismatch), not
+/// applied — and the retirement re-arms the set for replanning.
+#[test]
+fn overwritten_operand_retires_its_job_instead_of_migrating() {
+    let mut rng = StdRng::seed_from_u64(0x0F);
+    let mut dev = device();
+    let (ids, mut data) = scattered_operands(&mut dev, 3, &mut rng);
+    let mut batch = QueryBatch::new();
+    batch.push(Expr::and_vars(ids.iter().copied()));
+    dev.submit(&batch).unwrap();
+    dev.submit(&batch).unwrap();
+    assert_eq!(dev.schedule_maintenance(), 3);
+
+    // Overwrite op1 *after* planning, *before* execution.
+    let replacement = BitVec::random(dev.config().page_bits(), &mut rng);
+    dev.fc_overwrite("op1", &replacement).unwrap();
+    data[1] = replacement;
+
+    let stats = dev.run_maintenance().unwrap();
+    assert_eq!(stats.jobs_retired, 1, "the overwritten operand's job must drop");
+    assert_eq!(stats.jobs_executed, 2, "its siblings still gather");
+    let retired: Vec<_> = dev.session().retired_jobs().collect();
+    assert_eq!(retired.len(), 1);
+    assert_eq!(retired[0].operand, ids[1]);
+    assert!(retired[0].found_generation > retired[0].expected_generation);
+    assert_eq!(dev.session().jobs_retired_total(), 1);
+    // The un-migrated operand stayed in its original group...
+    assert_ne!(dev.group_index_of(ids[1]), dev.group_index_of(ids[0]));
+    // ...and the query stays bit-exact on the overwritten data.
+    let out = dev.submit(&batch).unwrap();
+    assert_eq!(out.results[0], data[0].and(&data[1]).and(&data[2]));
+
+    // The retirement re-armed the set: a later pass finishes the gather
+    // (the replanned set now includes the overwritten operand's new
+    // generation) and converges to a single sense.
+    dev.submit(&batch).unwrap();
+    let second = dev.run_maintenance().unwrap();
+    assert!(second.jobs_executed >= 1, "re-armed set gathers the straggler");
+    let converged = dev.submit(&batch).unwrap();
+    assert_eq!(converged.results[0], data[0].and(&data[1]).and(&data[2]));
+    assert_eq!(converged.stats.senses, 1, "fully gathered after the second pass");
+}
+
+/// The retired-job log is bounded by `retired_log_capacity` while the
+/// total counter keeps counting.
+#[test]
+fn retired_job_log_is_bounded() {
+    let mut rng = StdRng::seed_from_u64(0x10);
+    let mut dev = device();
+    dev.set_maintenance_config(MaintenanceConfig {
+        retired_log_capacity: 2,
+        ..MaintenanceConfig::default()
+    });
+    let (ids, _) = scattered_operands(&mut dev, 4, &mut rng);
+    let mut batch = QueryBatch::new();
+    batch.push(Expr::and_vars(ids.iter().copied()));
+    dev.submit(&batch).unwrap();
+    dev.submit(&batch).unwrap();
+    assert_eq!(dev.schedule_maintenance(), 4);
+    // Invalidate every job before execution.
+    let bits = dev.config().page_bits();
+    for i in 0..4 {
+        let v = BitVec::random(bits, &mut rng);
+        dev.fc_overwrite(&format!("op{i}"), &v).unwrap();
+    }
+    let stats = dev.run_maintenance().unwrap();
+    assert_eq!(stats.jobs_retired, 4);
+    assert_eq!(dev.session().jobs_retired_total(), 4, "the counter sees all retirements");
+    assert_eq!(dev.session().retired_jobs().count(), 2, "the log keeps only the newest 2");
+    let names: Vec<&str> = dev.session().retired_jobs().map(|r| r.name.as_str()).collect();
+    assert_eq!(names, ["op2", "op3"], "oldest entries dropped first");
+}
+
+/// ISSUE acceptance: at equal capacity, the cost-aware admission policy
+/// beats FIFO on a Zipf-skewed resubmit stream (strictly higher hit
+/// rate), with FIFO still selectable through the policy trait.
+#[test]
+fn cost_aware_cache_beats_fifo_under_zipf_skew() {
+    const SETS: usize = 32;
+    const CAPACITY: usize = 8;
+    const STREAM: usize = 400;
+
+    let run = |fifo: bool| -> (f64, Vec<BitVec>) {
+        let mut w =
+            CoQueryWorkload::scattered(SsdConfig::tiny_test(), 16, SETS, 2, 1.1, 0x21F).unwrap();
+        w.dev.set_result_cache_capacity(CAPACITY);
+        if fifo {
+            w.dev.set_cache_admission(Box::new(FifoAdmission));
+        } else {
+            w.dev.set_cache_admission(Box::new(CostAwareAdmission));
+        }
+        // Identical Zipf rank stream for both policies.
+        let mut rng = StdRng::seed_from_u64(0x5EED);
+        let mut results = Vec::new();
+        for _ in 0..STREAM {
+            let (batch, ranks) = w.zipf_batch(1, &mut rng);
+            let out = w.dev.submit(&batch).unwrap();
+            assert_eq!(out.results[0], w.expected(ranks[0]), "cached replay stays exact");
+            results.push(out.results[0].clone());
+        }
+        let stats = w.dev.session().cache_stats();
+        assert_eq!(stats.capacity, CAPACITY);
+        ((stats.hits as f64) / (stats.hits + stats.misses) as f64, results)
+    };
+
+    let (fifo_rate, fifo_results) = run(true);
+    let (cost_rate, cost_results) = run(false);
+    assert_eq!(fifo_results, cost_results, "policy choice never changes results");
+    assert!(
+        cost_rate > fifo_rate,
+        "cost-aware must beat FIFO at equal capacity: {cost_rate:.3} vs {fifo_rate:.3}"
+    );
+    assert!(
+        cost_rate >= fifo_rate + 0.1,
+        "the win should be substantial: {cost_rate:.3} vs {fifo_rate:.3}"
+    );
+}
+
+/// FIFO stays selectable and behaves as documented: strict insertion
+/// order, hits notwithstanding.
+#[test]
+fn fifo_policy_ignores_heat_when_selected() {
+    let mut rng = StdRng::seed_from_u64(0x11);
+    let mut dev = device();
+    dev.set_cache_admission(Box::new(FifoAdmission));
+    dev.set_result_cache_capacity(2);
+    let (ids, _) = scattered_operands(&mut dev, 3, &mut rng);
+    dev.fc_read(&Expr::var(ids[0])).unwrap();
+    dev.fc_read(&Expr::var(ids[1])).unwrap();
+    // Heat entry 0 hard; FIFO still evicts it first.
+    for _ in 0..5 {
+        let (_, s) = dev.fc_read(&Expr::var(ids[0])).unwrap();
+        assert_eq!(s.senses, 0);
+    }
+    dev.fc_read(&Expr::var(ids[2])).unwrap(); // evicts ids[0] (oldest)
+    let (_, s) = dev.fc_read(&Expr::var(ids[0])).unwrap();
+    assert!(s.senses > 0, "FIFO evicted the hot-but-oldest entry");
+
+    // The cost-aware policy under the same sequence protects the hot
+    // entry instead.
+    let mut dev = device();
+    dev.set_result_cache_capacity(2);
+    let mut rng = StdRng::seed_from_u64(0x11);
+    let (ids, _) = scattered_operands(&mut dev, 3, &mut rng);
+    dev.fc_read(&Expr::var(ids[0])).unwrap();
+    dev.fc_read(&Expr::var(ids[1])).unwrap();
+    for _ in 0..5 {
+        dev.fc_read(&Expr::var(ids[0])).unwrap();
+    }
+    dev.fc_read(&Expr::var(ids[2])).unwrap(); // evicts cold ids[1]
+    let (_, s) = dev.fc_read(&Expr::var(ids[0])).unwrap();
+    assert_eq!(s.senses, 0, "cost-aware kept the hot entry");
+    assert!(dev.session().cache_stats().rejections <= 1);
+}
+
+/// Wear-aware placement steers fresh groups — and the regrouping
+/// planner's target die — away from cycled planes.
+#[test]
+fn wear_aware_placement_and_regroup_target_avoid_worn_dies() {
+    let mut rng = StdRng::seed_from_u64(0x12);
+    let mut dev = device();
+    let cfg = SsdConfig::tiny_test();
+    // Age every block on dies 0..3 heavily; die 3 stays fresh.
+    for die in 0..3 {
+        for plane in 0..cfg.planes_per_die as u32 {
+            for block in 0..cfg.blocks_per_plane as u32 {
+                let d = fc_ssd::topology::DieId::from_flat(die, &cfg);
+                dev.ssd_mut()
+                    .chip_mut(d)
+                    .cycle_block(fc_nand::geometry::BlockAddr::new(plane, block), 5_000)
+                    .unwrap();
+            }
+        }
+    }
+    let wear = dev.plane_wear();
+    assert!(wear[0] > 0 && wear[6] == 0 && wear[7] == 0, "wear map reflects cycling: {wear:?}");
+
+    dev.set_placement_policy(Box::new(WearAwarePlacement::new()));
+    let bits = dev.config().page_bits();
+    for g in 0..4 {
+        let v = BitVec::random(bits, &mut rng);
+        let h =
+            dev.fc_write(&format!("w{g}"), &v, StoreHints::and_group(&format!("g{g}"))).unwrap();
+        let dies = dev.operand_dies(h.id).unwrap();
+        assert!(
+            dies.iter().all(|d| d.flat(&cfg) == 3),
+            "wear-aware placement must pick the fresh die, got {dies:?}"
+        );
+    }
+
+    // The regrouping planner picks the same fresh die as migration target.
+    let (ids, _) = scattered_operands(&mut dev, 3, &mut rng);
+    let mut batch = QueryBatch::new();
+    batch.push(Expr::and_vars(ids.iter().copied()));
+    dev.submit(&batch).unwrap();
+    dev.submit(&batch).unwrap();
+    assert!(dev.schedule_maintenance() >= 1);
+    dev.run_maintenance().unwrap();
+    for &id in &ids {
+        let dies = dev.operand_dies(id).unwrap();
+        assert!(dies.iter().all(|d| d.flat(&cfg) == 3), "gather target is the least-worn die");
+    }
+}
+
+/// A stale async batch recompiled at drain must not re-feed the
+/// affinity tracker: one submission is one observation, so a single
+/// queued query never crosses the default co-fuse threshold just
+/// because an overwrite forced its recompilation.
+#[test]
+fn drain_time_recompile_does_not_double_count_affinity() {
+    let mut rng = StdRng::seed_from_u64(0x2C);
+    let mut dev = device();
+    let (ids, _) = scattered_operands(&mut dev, 3, &mut rng);
+    let mut batch = QueryBatch::new();
+    batch.push(Expr::and_vars(ids.iter().copied()));
+    let ticket = dev.submit_async(&batch).unwrap();
+    // Overwrite a member: the queued compilation goes stale and drain
+    // recompiles it.
+    let v = BitVec::random(dev.config().page_bits(), &mut rng);
+    dev.fc_overwrite("op0", &v).unwrap();
+    dev.drain().unwrap();
+    ticket.wait(&mut dev).unwrap();
+    let entry = dev.session().affinity().entry(&ids).unwrap();
+    assert_eq!(entry.fused, 1, "one submission = one observation, recompile or not");
+    assert_eq!(dev.schedule_maintenance(), 0, "a once-queried set is not hot");
+}
+
+/// The per-pass job cap applies at set granularity: a second hot set
+/// that would overshoot the cap waits for the next pass (and a set is
+/// never split).
+#[test]
+fn job_cap_defers_whole_sets_to_the_next_pass() {
+    let mut rng = StdRng::seed_from_u64(0x2D);
+    let mut dev = device();
+    dev.set_maintenance_config(MaintenanceConfig {
+        max_jobs_per_pass: 4,
+        ..MaintenanceConfig::default()
+    });
+    let (ids, _) = scattered_operands(&mut dev, 6, &mut rng);
+    let mut batch = QueryBatch::new();
+    batch.push(Expr::and_vars(ids[..3].iter().copied()));
+    batch.push(Expr::and_vars(ids[3..].iter().copied()));
+    dev.submit(&batch).unwrap();
+    dev.submit(&batch).unwrap();
+    // Two hot 3-operand sets against a cap of 4: exactly one set plans
+    // per pass — a set is never split, and the second set (which would
+    // overshoot the cap) waits for the next pass.
+    assert_eq!(dev.schedule_maintenance(), 3, "second set would overshoot the cap");
+    assert_eq!(dev.session().pending_maintenance(), 3);
+    assert_eq!(dev.schedule_maintenance(), 3, "next pass picks up the deferred set");
+    assert_eq!(dev.session().pending_maintenance(), 6);
+    dev.run_maintenance().unwrap();
+    let warm = dev.submit(&batch).unwrap();
+    assert_eq!(warm.stats.senses, 2, "both sets gathered in the end");
+}
+
+/// Two disjoint hot sets planned in one pass gather onto *different*
+/// dies — the target choice accounts for jobs already queued, so the
+/// pass does not pile every gather group onto one snapshot's least-worn
+/// die and recreate the single-die serialization PR 3 removed.
+#[test]
+fn distinct_hot_sets_spread_their_gather_targets_across_dies() {
+    let mut rng = StdRng::seed_from_u64(0x32);
+    let mut dev = device();
+    let cfg = SsdConfig::tiny_test();
+    let (ids, _) = scattered_operands(&mut dev, 4, &mut rng);
+    let mut batch = QueryBatch::new();
+    batch.push(Expr::and_vars(ids[..2].iter().copied()));
+    batch.push(Expr::and_vars(ids[2..].iter().copied()));
+    dev.submit(&batch).unwrap();
+    dev.submit(&batch).unwrap();
+    assert_eq!(dev.schedule_maintenance(), 4, "both sets plan in one pass");
+    dev.run_maintenance().unwrap();
+    let die_a = dev.operand_dies(ids[0]).unwrap()[0].flat(&cfg);
+    let die_b = dev.operand_dies(ids[2]).unwrap()[0].flat(&cfg);
+    assert_eq!(dev.operand_dies(ids[1]).unwrap()[0].flat(&cfg), die_a);
+    assert_eq!(dev.operand_dies(ids[3]).unwrap()[0].flat(&cfg), die_b);
+    assert_ne!(die_a, die_b, "disjoint gather groups must not share one die");
+    let warm = dev.submit(&batch).unwrap();
+    assert_eq!(warm.stats.senses, 2, "each set one sense");
+    assert_eq!(warm.stats.dies_used, 2, "the sets sense on different dies concurrently");
+}
+
+/// An oversized job (more pages than any drain budget can swallow) is
+/// skipped over, not a head-of-line blocker: unrelated jobs behind it
+/// still execute, and the big job waits for a foreground pass.
+#[test]
+fn an_oversized_job_defers_without_wedging_the_queue() {
+    let mut rng = StdRng::seed_from_u64(0x31);
+    let mut dev = device();
+    let bits = dev.config().page_bits();
+    // One huge operand pair (16 stripes → 16 × tESP ≈ 6.4 ms on the
+    // target die, over the 5 ms floor) plus a small scattered pair.
+    let big: Vec<BitVec> = (0..2).map(|_| BitVec::random(bits * 16, &mut rng)).collect();
+    for (i, v) in big.iter().enumerate() {
+        dev.fc_write(&format!("big{i}"), v, StoreHints::and_group(&format!("bigsolo{i}"))).unwrap();
+    }
+    let (small_ids, _) = scattered_operands(&mut dev, 2, &mut rng);
+    let mut heat = QueryBatch::new();
+    heat.push(Expr::and_vars([0usize, 1]));
+    heat.push(Expr::and_vars(small_ids.iter().copied()));
+    dev.submit(&heat).unwrap();
+    dev.submit(&heat).unwrap();
+    assert_eq!(dev.schedule_maintenance(), 4, "both sets plan (big first: hotter ids order)");
+    // Drain under the default budget: the big set's jobs cannot fit, the
+    // small set's jobs behind them still must.
+    let drained = dev.drain().unwrap();
+    assert!(drained.maintenance.jobs_executed >= 2, "small jobs passed the blocked big ones");
+    assert!(drained.maintenance.jobs_deferred >= 1, "big jobs wait, still queued");
+    assert!(drained.maintenance.critical_path_us <= drained.maintenance.budget_us + 1e-9);
+    let mut small_batch = QueryBatch::new();
+    small_batch.push(Expr::and_vars(small_ids.iter().copied()));
+    assert_eq!(dev.submit(&small_batch).unwrap().stats.senses, 1, "small set gathered");
+    // The foreground pass (no budget) finishes the big set.
+    let fg = dev.run_maintenance().unwrap();
+    assert!(fg.jobs_executed >= 1);
+    assert_eq!(dev.session().pending_maintenance(), 0);
+    let mut big_batch = QueryBatch::new();
+    big_batch.push(Expr::and_vars([0usize, 1]));
+    let out = dev.submit(&big_batch).unwrap();
+    assert_eq!(out.results[0], big[0].and(&big[1]));
+    assert_eq!(out.stats.senses, 16, "big set gathered: one sense per stripe");
+}
+
+/// A set that re-scatters — an overlapping hot set migrated one of its
+/// members away — becomes plannable again (the planner tracks actual
+/// placement, not a once-planned ledger).
+#[test]
+fn a_regathered_member_stolen_by_an_overlapping_set_is_regathered_again() {
+    let mut rng = StdRng::seed_from_u64(0x2F);
+    let mut dev = device();
+    let (ids, data) = scattered_operands(&mut dev, 3, &mut rng);
+    let s1 = Expr::and_vars([ids[0], ids[1]]);
+    let s2 = Expr::and_vars([ids[1], ids[2]]);
+    // Submits twice (co-fuse heat) and returns the *first* submit's
+    // senses — migrations bump generations, so the first post-migration
+    // submit is never cache-served and reports the layout's true cost.
+    let heat = |dev: &mut FlashCosmosDevice, e: &Expr| {
+        let mut b = QueryBatch::new();
+        b.push(e.clone());
+        let first = dev.submit(&b).unwrap().stats.senses;
+        dev.submit(&b).unwrap();
+        first
+    };
+    // Gather S1 = {0, 1}.
+    heat(&mut dev, &s1);
+    dev.run_maintenance().unwrap();
+    assert_eq!(heat(&mut dev, &s1), 1, "S1 gathered");
+    let s1_group = dev.group_index_of(ids[0]);
+    // Gather S2 = {1, 2}: steals operand 1 from S1's block.
+    heat(&mut dev, &s2);
+    let stats = dev.run_maintenance().unwrap();
+    assert!(stats.jobs_executed >= 1);
+    assert_ne!(dev.group_index_of(ids[1]), s1_group, "operand 1 moved out of S1's group");
+    // S1 is scattered again; re-observing it must replan and regather.
+    let scattered_again = heat(&mut dev, &s1);
+    assert!(scattered_again > 1, "S1 re-scattered after the steal");
+    let stats = dev.run_maintenance().unwrap();
+    assert!(stats.jobs_executed >= 1, "re-scattered set must be plannable again");
+    let mut b = QueryBatch::new();
+    b.push(s1);
+    let warm = dev.submit(&b).unwrap();
+    assert_eq!(warm.results[0], data[0].and(&data[1]));
+    assert_eq!(warm.stats.senses, 1, "S1 regathered to a single sense");
+}
+
+/// A replan after a partial pass (one job retired) targets the die the
+/// gather group actually sits on — not whatever die is least worn at
+/// replan time — so the modeled fill-in cost lands on the die that
+/// really executes the program.
+#[test]
+fn replanned_stragglers_target_the_existing_gather_die() {
+    let mut rng = StdRng::seed_from_u64(0x30);
+    let cfg = SsdConfig::tiny_test();
+    let mut dev = device();
+    let (ids, _) = scattered_operands(&mut dev, 3, &mut rng);
+    let mut batch = QueryBatch::new();
+    batch.push(Expr::and_vars(ids.iter().copied()));
+    dev.submit(&batch).unwrap();
+    dev.submit(&batch).unwrap();
+    assert_eq!(dev.schedule_maintenance(), 3);
+    // Retire op2's job, so the first pass gathers only op0/op1.
+    let v = BitVec::random(dev.config().page_bits(), &mut rng);
+    dev.fc_overwrite("op2", &v).unwrap();
+    let first = dev.run_maintenance().unwrap();
+    assert_eq!((first.jobs_executed, first.jobs_retired), (2, 1));
+    let gather_die = dev.operand_dies(ids[0]).unwrap()[0];
+    assert_eq!(dev.operand_dies(ids[1]).unwrap()[0], gather_die);
+    // Make every *other* die more attractive by wear: age the gather die
+    // heavily, so a naive replan would pick a different target.
+    for plane in 0..cfg.planes_per_die as u32 {
+        for block in 0..cfg.blocks_per_plane as u32 {
+            dev.ssd_mut()
+                .chip_mut(gather_die)
+                .cycle_block(fc_nand::geometry::BlockAddr::new(plane, block), 9_000)
+                .unwrap();
+        }
+    }
+    // Re-observe the set (still scattered: op2 sits outside) and replan.
+    dev.submit(&batch).unwrap();
+    dev.submit(&batch).unwrap();
+    assert!(dev.schedule_maintenance() >= 1, "straggler replans");
+    let second = dev.run_maintenance().unwrap();
+    assert!(second.jobs_executed >= 1);
+    assert_eq!(
+        dev.operand_dies(ids[2]).unwrap()[0],
+        gather_die,
+        "straggler must join the group's actual die, worn or not"
+    );
+    let warm = dev.submit(&batch).unwrap();
+    assert_eq!(warm.stats.senses, 1, "fully gathered despite the wear shift");
+}
+
+/// Cost-aware admission adapts to a working-set shift: refused inserts
+/// age the weakest resident, so the new population wears the stale-hot
+/// entries out instead of being locked out forever.
+#[test]
+fn cost_aware_cache_adapts_after_a_working_set_shift() {
+    let mut rng = StdRng::seed_from_u64(0x2E);
+    let mut dev = device();
+    dev.set_result_cache_capacity(2);
+    let (ids, _) = scattered_operands(&mut dev, 6, &mut rng);
+    // Phase 1: two entries become hot (several hits each).
+    for _ in 0..4 {
+        dev.fc_read(&Expr::var(ids[0])).unwrap();
+        dev.fc_read(&Expr::var(ids[1])).unwrap();
+    }
+    // Phase 2: the workload shifts to a new pair, re-queried repeatedly.
+    for _ in 0..12 {
+        dev.fc_read(&Expr::var(ids[2])).unwrap();
+        dev.fc_read(&Expr::var(ids[3])).unwrap();
+    }
+    let (_, s2) = dev.fc_read(&Expr::var(ids[2])).unwrap();
+    let (_, s3) = dev.fc_read(&Expr::var(ids[3])).unwrap();
+    assert_eq!(s2.senses + s3.senses, 0, "the new working set eventually resides");
+    assert!(dev.session().cache_stats().rejections > 0, "the shift was resisted, then won");
+}
+
+/// Operations the interleaving proptest can apply.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Submit,
+    SubmitAsync,
+    Maintain,
+    Overwrite(usize),
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// ISSUE satellite: interleaving `submit` / `submit_async` /
+    /// `run_maintenance` / `fc_overwrite` never changes any query result
+    /// — every result matches a cold-cache, no-maintenance reference
+    /// device and ground-truth evaluation, so background migrations are
+    /// invisible to queries and invalidated cache entries are never
+    /// served.
+    #[test]
+    fn background_maintenance_never_changes_results(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut maint = device();
+        let mut cold = device();
+        cold.set_result_cache_capacity(0);
+
+        let bits = maint.config().page_bits();
+        let mut truth: Vec<BitVec> = Vec::new();
+        for i in 0..5usize {
+            let v = BitVec::random(bits, &mut rng);
+            let hints = StoreHints::and_group(&format!("solo{i}"));
+            maint.fc_write(&format!("op{i}"), &v, hints.clone()).unwrap();
+            cold.fc_write(&format!("op{i}"), &v, hints).unwrap();
+            truth.push(v);
+        }
+        let ids: Vec<usize> = (0..5).collect();
+        // Aggressive maintenance so migrations actually interleave.
+        maint.set_maintenance_config(MaintenanceConfig {
+            min_cofuse: 1,
+            scatter_ratio: 1.0,
+            ..MaintenanceConfig::default()
+        });
+
+        let random_batch = |rng: &mut StdRng| -> QueryBatch {
+            (0..rng.gen_range(1usize..=3))
+                .map(|_| {
+                    let k = rng.gen_range(2usize..=3);
+                    let start = rng.gen_range(0..=ids.len() - k);
+                    let slice = ids[start..start + k].iter().copied();
+                    match rng.gen_range(0..3) {
+                        0 => Expr::and_vars(slice),
+                        1 => Expr::or_vars(slice),
+                        _ => Expr::xor(Expr::var(ids[start]), Expr::var(ids[start + 1])),
+                    }
+                })
+                .collect()
+        };
+
+        let mut in_flight: Vec<(flash_cosmos::Ticket, QueryBatch)> = Vec::new();
+        for _ in 0..12 {
+            let op = match rng.gen_range(0..6) {
+                0 | 1 => Op::Submit,
+                2 => Op::SubmitAsync,
+                3 => Op::Maintain,
+                _ => Op::Overwrite(rng.gen_range(0..5)),
+            };
+            match op {
+                Op::Submit => {
+                    let batch = random_batch(&mut rng);
+                    let a = maint.submit(&batch).map_err(|e| TestCaseError::fail(e.to_string()))?;
+                    let b = cold.submit(&batch).map_err(|e| TestCaseError::fail(e.to_string()))?;
+                    prop_assert_eq!(&a.results, &b.results,
+                        "maintained device diverged from the reference");
+                    for (qi, q) in batch.queries().iter().enumerate() {
+                        let lookup = |i: usize| truth[i].clone();
+                        prop_assert_eq!(&a.results[qi], &q.eval(&lookup),
+                            "query {} diverged from ground truth", qi);
+                    }
+                }
+                Op::SubmitAsync => {
+                    let batch = random_batch(&mut rng);
+                    let ticket = maint.submit_async(&batch)
+                        .map_err(|e| TestCaseError::fail(e.to_string()))?;
+                    in_flight.push((ticket, batch));
+                }
+                Op::Maintain => {
+                    // Plans against current heat and migrates immediately —
+                    // possibly while async batches are in flight (they must
+                    // recompile at drain).
+                    maint.run_maintenance().map_err(|e| TestCaseError::fail(e.to_string()))?;
+                }
+                Op::Overwrite(i) => {
+                    let v = BitVec::random(bits, &mut rng);
+                    maint.fc_overwrite(&format!("op{i}"), &v)
+                        .map_err(|e| TestCaseError::fail(e.to_string()))?;
+                    cold.fc_overwrite(&format!("op{i}"), &v)
+                        .map_err(|e| TestCaseError::fail(e.to_string()))?;
+                    truth[i] = v;
+                }
+            }
+        }
+        maint.drain().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        for (ticket, batch) in in_flight.drain(..) {
+            let got = maint.wait(ticket).map_err(|e| TestCaseError::fail(e.to_string()))?;
+            let reference = cold.submit(&batch).map_err(|e| TestCaseError::fail(e.to_string()))?;
+            prop_assert_eq!(&got.results, &reference.results,
+                "async batch diverged from the reference");
+            for (qi, q) in batch.queries().iter().enumerate() {
+                let lookup = |i: usize| truth[i].clone();
+                prop_assert_eq!(&got.results[qi], &q.eval(&lookup),
+                    "async query {} diverged from ground truth", qi);
+            }
+        }
+    }
+}

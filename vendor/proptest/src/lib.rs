@@ -10,7 +10,10 @@
 //! Semantics differ from real proptest in one deliberate way: failing
 //! cases are **not shrunk** — the harness reports the first failing sample
 //! as-is. Sampling is deterministic (fixed seed per test function), so
-//! failures reproduce across runs.
+//! failures reproduce across runs; the failure message prints the seed,
+//! and setting `PROPTEST_SEED=<u64>` overrides every test function's
+//! seed for replay (CI pins one so its proptest runs are reproducible
+//! verbatim).
 
 use std::rc::Rc;
 
@@ -489,9 +492,39 @@ macro_rules! prop_assert_ne {
     }};
 }
 
+/// Resolves the RNG seed for one proptest function: the `PROPTEST_SEED`
+/// environment variable when set (replay mode — every proptest function
+/// in the run uses it, so a failure reproduces with
+/// `PROPTEST_SEED=<seed> cargo test <name>`), otherwise a deterministic
+/// per-function default derived from the function name.
+#[doc(hidden)]
+pub fn __resolve_seed(fn_name: &str) -> u64 {
+    __resolve_seed_with(fn_name, std::env::var("PROPTEST_SEED").ok().as_deref())
+}
+
+/// Pure core of [`__resolve_seed`]: the env override, when present, wins
+/// for every function; otherwise the seed derives from the function
+/// name. Factored out so it is testable without touching process env
+/// (mutating env in a test races the parallel test threads reading it).
+#[doc(hidden)]
+pub fn __resolve_seed_with(fn_name: &str, env_override: Option<&str>) -> u64 {
+    if let Some(var) = env_override {
+        match var.trim().parse::<u64>() {
+            Ok(seed) => return seed,
+            Err(_) => panic!("PROPTEST_SEED must be a u64, got {var:?}"),
+        }
+    }
+    let mut seed: u64 = 0x9E37_79B9;
+    for b in fn_name.bytes() {
+        seed = seed.wrapping_mul(31).wrapping_add(b as u64);
+    }
+    seed
+}
+
 /// Declares property tests. Each function body runs `config.cases` times
 /// with freshly sampled arguments; the first failing sample is reported
-/// without shrinking.
+/// without shrinking, together with the seed that reproduces it
+/// (re-run with `PROPTEST_SEED=<seed>`).
 #[macro_export]
 macro_rules! proptest {
     (
@@ -521,11 +554,9 @@ macro_rules! __proptest_fns {
         $(#[$meta])*
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $cfg;
-            // Deterministic per-function seed: failures reproduce.
-            let mut seed: u64 = 0x9E37_79B9;
-            for b in stringify!($name).bytes() {
-                seed = seed.wrapping_mul(31).wrapping_add(b as u64);
-            }
+            // Deterministic per-function seed (failures reproduce), or
+            // the PROPTEST_SEED override for replaying a failure.
+            let seed: u64 = $crate::__resolve_seed(stringify!($name));
             let mut rng: $crate::test_runner::TestRng =
                 <$crate::test_runner::TestRng as $crate::__SeedableRng>::seed_from_u64(seed);
             for case in 0..config.cases {
@@ -536,7 +567,8 @@ macro_rules! __proptest_fns {
                     Ok(()) => {}
                     Err($crate::test_runner::TestCaseError::Reject(_)) => {}
                     Err(e) => panic!(
-                        "proptest `{}` failed at case #{case}: {e}",
+                        "proptest `{}` failed at case #{case} (seed {seed}; replay with \
+                         PROPTEST_SEED={seed}): {e}",
                         stringify!($name),
                     ),
                 }
@@ -578,6 +610,22 @@ mod tests {
         ]) {
             prop_assert!(v == 0 || v == 2 || v == 4 || v == 6 || v == 10 || v == 11);
         }
+    }
+
+    #[test]
+    fn seed_resolution_prefers_the_env_override() {
+        // Default: deterministic per-name (distinct names, distinct
+        // seeds; same name, same seed). Exercised through the pure core
+        // so the test neither mutates process env (racy under parallel
+        // test threads) nor depends on whether PROPTEST_SEED is set for
+        // this run.
+        let a = crate::__resolve_seed_with("alpha", None);
+        assert_eq!(a, crate::__resolve_seed_with("alpha", None));
+        assert_ne!(a, crate::__resolve_seed_with("beta", None));
+        // Override: the value wins for every function name; surrounding
+        // whitespace is tolerated.
+        assert_eq!(crate::__resolve_seed_with("alpha", Some("12345")), 12345);
+        assert_eq!(crate::__resolve_seed_with("beta", Some(" 12345\n")), 12345);
     }
 
     #[test]
