@@ -585,6 +585,87 @@ fn cache_policy_zipf(c: &mut Criterion) {
     group.finish();
 }
 
+/// The recovery tiers (see `flash_cosmos::recovery`): shifted-Vref
+/// ladder reads at the paper's aged corner, a parity rebuild of a stuck
+/// block under a 4 KiB operand, and a scrub pass in drain slack. The
+/// rebuild and scrub benches rebuild the device per iteration (blocks
+/// are never reused, so a fault cannot be injected twice into one
+/// device) — their numbers include the setup and are comparative only.
+fn recovery_tiers(c: &mut Criterion) {
+    use criterion::BatchSize;
+    use flash_cosmos::device::{FlashCosmosDevice, StoreHints};
+    use flash_cosmos::FaultPlan;
+
+    let mut group = c.benchmark_group("recovery");
+    group.sample_size(10);
+
+    // Ladder reads: at 48 months retention on 15k-cycle blocks nearly
+    // every nominal read escalates into the retry ladder, so this times
+    // the full escalate-and-recover path. Results are deliberately
+    // ignored: ladder-exhausted reads cost the same traversal.
+    let mut dev = FlashCosmosDevice::new_physics(SsdConfig::tiny_test());
+    dev.ssd_mut().set_ecc(EccConfig::durable());
+    let mut rng = StdRng::seed_from_u64(0x4E7);
+    let data = BitVec::random(2000, &mut rng);
+    dev.store_durable("log", &data).unwrap();
+    dev.inject_faults(&FaultPlan::new().retention(48.0).age("log", 15_000)).unwrap();
+    let pages = data.len().div_ceil(dev.ssd_mut().logical_page_bits(true)) as u64;
+    let mut lpn = 0u64;
+    group.bench_function("read_retry_ladder", |bench| {
+        bench.iter(|| {
+            let r = dev.ssd_mut().read(std::hint::black_box(lpn)).ok();
+            lpn = (lpn + 1) % pages;
+            r
+        });
+    });
+
+    // 4 KiB of operand data as 8 co-grouped operands (the AND-group
+    // layout stacks one wordline per operand per block); the stuck block
+    // silently corrupts one page of each, all rebuilt from parity.
+    group.bench_function("parity_rebuild_4kib", |bench| {
+        bench.iter_batched(
+            || {
+                let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+                dev.enable_parity();
+                let mut rng = StdRng::seed_from_u64(0x9B);
+                for i in 0..8 {
+                    let data = BitVec::random(512 * 8, &mut rng);
+                    dev.fc_write(&format!("op{i}"), &data, StoreHints::and_group("g")).unwrap();
+                }
+                dev
+            },
+            |mut dev| {
+                let report = dev.inject_faults(&FaultPlan::new().stuck_block("op0", 0)).unwrap();
+                assert_eq!(report.lost_pages, 0, "stuck block within parity budget");
+                report.rebuilt_pages
+            },
+            BatchSize::PerIteration,
+        );
+    });
+
+    group.bench_function("scrub_pass_slack", |bench| {
+        bench.iter_batched(
+            || {
+                let mut dev = FlashCosmosDevice::new_physics(SsdConfig::tiny_test());
+                dev.ssd_mut().set_ecc(EccConfig::durable());
+                let mut rng = StdRng::seed_from_u64(0x5C);
+                let data = BitVec::random(1000, &mut rng);
+                dev.store_durable("log", &data).unwrap();
+                dev.inject_faults(&FaultPlan::new().retention(48.0).age("log", 15_000)).unwrap();
+                dev
+            },
+            |mut dev| {
+                // One drain schedules the aged candidates and refreshes
+                // them within the idle-die slack budget.
+                let drained = dev.drain().unwrap();
+                drained.maintenance.pages_scrubbed
+            },
+            BatchSize::PerIteration,
+        );
+    });
+    group.finish();
+}
+
 /// The word-parallel ISPP pulse kernel against its scalar oracle, on a
 /// physics-mode 4 KiB page (half the cells programmed).
 fn ispp_program(c: &mut Criterion) {
@@ -667,6 +748,7 @@ criterion_group!(
     batch_async_overlap,
     maintenance_regroup,
     cache_policy_zipf,
+    recovery_tiers,
     ispp_program,
     pipeline_sim
 );

@@ -164,10 +164,29 @@ impl BatchStats {
 /// submission order, plus the batch statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchResults {
-    /// Per-query result vectors, indexed by [`QueryId`].
+    /// Per-query result vectors, indexed by [`QueryId`]. Failed queries
+    /// (listed in [`BatchResults::failures`]) hold empty vectors.
     pub results: Vec<BitVec>,
     /// Batch execution statistics.
     pub stats: BatchStats,
+    /// Queries that could not be answered (per-query failure isolation:
+    /// the rest of the batch executed normally). Empty on full success.
+    pub failures: Vec<QueryFailure>,
+}
+
+/// One query of a batch that could not be answered: a page it depends on
+/// stayed unreadable after every recovery tier. The same facts surface
+/// as [`FcError::QueryFailed`] on the fail-fast paths
+/// ([`FlashCosmosDevice::submit_into`] / [`FlashCosmosDevice::fc_read`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryFailure {
+    /// The failed query.
+    pub query: QueryId,
+    /// The logical page that stayed unreadable.
+    pub lpn: u64,
+    /// Recovery tiers attempted before giving up (1 = retry ladder,
+    /// 2 = + parity rebuild).
+    pub tiers_tried: u32,
 }
 
 /// One canonically-distinct query of a batch: the first submitted form
@@ -261,10 +280,19 @@ impl FlashCosmosDevice {
     /// query: unknown operands, operand size mismatches *within* a query,
     /// planner rejections, or chip errors. Queries of different vector
     /// lengths may share a batch.
+    ///
+    /// A query that depends on a page the recovery layer lost (unreadable
+    /// after read-retry *and* parity rebuild) does **not** fail the
+    /// batch: it is reported in [`BatchResults::failures`] with an empty
+    /// result vector, while every other query completes normally.
     pub fn submit(&mut self, batch: &QueryBatch) -> Result<BatchResults, FcError> {
         let mut results: Vec<BitVec> = (0..batch.len()).map(|_| BitVec::zeros(0)).collect();
-        let stats = self.submit_into(batch, &mut results)?;
-        Ok(BatchResults { results, stats })
+        if batch.is_empty() {
+            return Ok(BatchResults { results, stats: BatchStats::default(), failures: vec![] });
+        }
+        let compiled = self.compile_batch(batch)?;
+        let (stats, failures) = self.execute_compiled(&compiled, &mut results, None)?;
+        Ok(BatchResults { results, stats, failures })
     }
 
     /// Like [`FlashCosmosDevice::submit`], but writes each query's result
@@ -275,7 +303,10 @@ impl FlashCosmosDevice {
     /// # Errors
     ///
     /// [`FcError::OutputSlots`] when `outs.len() != batch.len()`, plus
-    /// everything [`FlashCosmosDevice::submit`] can return.
+    /// everything [`FlashCosmosDevice::submit`] can return. Unlike
+    /// [`FlashCosmosDevice::submit`], this path fails fast: the first
+    /// query touching a lost page surfaces as [`FcError::QueryFailed`]
+    /// (use [`FlashCosmosDevice::submit`] for partial results).
     pub fn submit_into(
         &mut self,
         batch: &QueryBatch,
@@ -288,7 +319,15 @@ impl FlashCosmosDevice {
             return Ok(BatchStats::default());
         }
         let compiled = self.compile_batch(batch)?;
-        self.execute_compiled(&compiled, outs, None)
+        let (stats, failures) = self.execute_compiled(&compiled, outs, None)?;
+        if let Some(f) = failures.first() {
+            return Err(FcError::QueryFailed {
+                query: f.query,
+                lpn: f.lpn,
+                tiers_tried: f.tiers_tried,
+            });
+        }
+        Ok(stats)
     }
 
     /// Compiles a batch against the current placement, dedup/sharing the
@@ -529,14 +568,46 @@ impl FlashCosmosDevice {
         compiled: &CompiledBatch,
         outs: &mut [BitVec],
         combined: Option<&mut DieQueues>,
-    ) -> Result<BatchStats, FcError> {
+    ) -> Result<(BatchStats, Vec<QueryFailure>), FcError> {
         let mut stats = compiled.stats_seed.clone();
         let page_bits = self.ssd.config().page_bits();
         let dies = self.ssd.config().total_dies();
 
+        // Per-query failure isolation: a unit that would read a page the
+        // recovery layer recorded as lost (unreadable after the retry
+        // ladder *and* parity rebuild) cannot produce a correct answer.
+        // Its consumer queries fail individually; every other unit of the
+        // batch executes normally.
+        let mut unit_failed: Vec<Option<u64>> = vec![None; compiled.units.len()];
+        if self.lost_page_count() > 0 {
+            for (ui, unit) in compiled.units.iter().enumerate() {
+                'ids: for &(id, _) in &unit.key.2 {
+                    for &lpn in &self.operands[id].lpns {
+                        if self.is_lost_page(lpn) {
+                            unit_failed[ui] = Some(lpn);
+                            break 'ids;
+                        }
+                    }
+                }
+            }
+        }
+        let mut failures: Vec<QueryFailure> = Vec::new();
+        for (ui, unit) in compiled.units.iter().enumerate() {
+            if let Some(lpn) = unit_failed[ui] {
+                for &qi in &unit.consumers {
+                    failures.push(QueryFailure { query: qi, lpn, tiers_tried: 2 });
+                }
+            }
+        }
+        failures.sort_by_key(|f| f.query);
+        failures.dedup_by_key(|f| f.query);
+
         // Global die-major execution order over all units' leaves.
         let mut order: Vec<(usize, usize)> = Vec::new();
         for (ui, unit) in compiled.units.iter().enumerate() {
+            if unit_failed[ui].is_some() {
+                continue;
+            }
             if let UnitWork::Execute { leaves, slots, .. } = &unit.work {
                 order.extend((0..leaves.len()).map(|li| (ui, li)));
                 debug_assert_eq!(leaves.len(), slots.len());
@@ -625,6 +696,9 @@ impl FlashCosmosDevice {
         // Merge each spanning unit-stripe's buffered partial pages into
         // the unit output.
         for (ui, unit) in compiled.units.iter().enumerate() {
+            if unit_failed[ui].is_some() {
+                continue;
+            }
             let UnitWork::Execute { merges, .. } = &unit.work else { continue };
             for (slot, tree) in merges {
                 let page = crossdie::eval_merge(tree, &mut partials[ui]);
@@ -642,6 +716,9 @@ impl FlashCosmosDevice {
             out.reset(compiled.q_pages[qi] * page_bits, false);
         }
         for (ui, unit) in compiled.units.iter().enumerate() {
+            if unit_failed[ui].is_some() {
+                continue;
+            }
             let (result, fresh_senses) = match &unit.work {
                 UnitWork::Cached { result, .. } => (result, None),
                 UnitWork::Execute { senses, .. } => (
@@ -661,7 +738,12 @@ impl FlashCosmosDevice {
         for (qi, out) in outs.iter_mut().enumerate() {
             out.resize(compiled.q_bits[qi], false);
         }
-        Ok(stats)
+        // A failed query must not look like an all-zeros answer: its
+        // output buffer is emptied instead.
+        for f in &failures {
+            outs[f.query].reset(0, false);
+        }
+        Ok((stats, failures))
     }
 
     /// Plan A: one unit per unique query, compiled exactly as a serial
@@ -935,7 +1017,7 @@ mod tests {
         batch.push(Expr::and_vars(ids.iter().copied()));
         batch.push(Expr::and_vars(ids.iter().rev().copied()));
         batch.push(Expr::and_vars(ids.iter().copied()));
-        let BatchResults { results, stats } = dev.submit(&batch).unwrap();
+        let BatchResults { results, stats, .. } = dev.submit(&batch).unwrap();
         let expect = vs.iter().skip(1).fold(vs[0].clone(), |a, v| a.and(v));
         for r in &results {
             assert_eq!(r, &expect);
@@ -989,7 +1071,7 @@ mod tests {
         let mut batch = QueryBatch::new();
         batch.push(q0);
         batch.push(q1);
-        let BatchResults { results, stats } = dev.submit(&batch).unwrap();
+        let BatchResults { results, stats, .. } = dev.submit(&batch).unwrap();
         assert_eq!(results[0], serial0);
         assert_eq!(results[1], serial1);
         assert_eq!(stats.serial_senses, s0.senses + s1.senses);
@@ -1022,7 +1104,7 @@ mod tests {
         let mut batch = QueryBatch::new();
         batch.push(Expr::or_vars([a, b]));
         batch.push(Expr::or_vars([a, c]));
-        let BatchResults { results, stats } = dev.submit(&batch).unwrap();
+        let BatchResults { results, stats, .. } = dev.submit(&batch).unwrap();
         assert_eq!(results[0], vs[0].or(&vs[1]));
         assert_eq!(results[1], vs[0].or(&vs[2]));
         assert_eq!(stats.shared_units, 0, "extraction must not fire at a loss");

@@ -139,6 +139,20 @@ pub enum FcError {
     },
     /// A ticket was waited on twice (or belongs to another device).
     UnknownTicket(u64),
+    /// One query of a batch could not be answered correctly: a page it
+    /// depends on stayed unreadable after every recovery tier. Other
+    /// queries of the same batch are unaffected (per-query failure
+    /// isolation; [`crate::batch::BatchResults::failures`] carries the
+    /// same facts for the partial-result path).
+    QueryFailed {
+        /// Index of the failed query within its batch.
+        query: usize,
+        /// The logical page that stayed unreadable.
+        lpn: u64,
+        /// Recovery tiers attempted before giving up (1 = retry ladder,
+        /// 2 = + parity rebuild).
+        tiers_tried: u32,
+    },
 }
 
 impl std::fmt::Display for FcError {
@@ -158,6 +172,13 @@ impl std::fmt::Display for FcError {
             }
             FcError::UnknownTicket(seq) => {
                 write!(f, "ticket #{seq} has no queued or retired batch (already waited on?)")
+            }
+            FcError::QueryFailed { query, lpn, tiers_tried } => {
+                write!(
+                    f,
+                    "query #{query} failed: logical page {lpn} unreadable after \
+                     {tiers_tried} recovery tier(s)"
+                )
             }
         }
     }
@@ -253,6 +274,9 @@ pub struct FlashCosmosDevice {
     /// Async submission queues + cross-batch result cache (see
     /// [`crate::session`]).
     pub(crate) session: crate::session::Session,
+    /// Reliability state: parity stripes, scrub queue, fault bookkeeping
+    /// and recovery counters (see [`crate::recovery`]).
+    pub(crate) recovery: crate::recovery::RecoveryState,
     /// Device epoch: bumped by any hazard the per-operand generations
     /// cannot see (raw [`Self::ssd_mut`] access — reliability-mode
     /// changes, fault injection, erases). Part of every result-cache key,
@@ -291,6 +315,14 @@ impl FlashCosmosDevice {
         Self::over(SsdDevice::new_noisy(config))
     }
 
+    /// Creates a device over physics-fidelity chips (per-cell threshold
+    /// voltages): aged pages genuinely fail the nominal sense level and
+    /// recover at shifted ones — the regime the recovery tiers (retry
+    /// ladder, parity rebuild, scrubbing) are exercised in.
+    pub fn new_physics(config: SsdConfig) -> Self {
+        Self::over(SsdDevice::new_physics(config))
+    }
+
     fn over(ssd: SsdDevice) -> Self {
         assert!(
             ssd.config().total_planes().is_power_of_two(),
@@ -309,6 +341,7 @@ impl FlashCosmosDevice {
             maintenance_cfg: MaintenanceConfig::default(),
             next_lpn: 0,
             session: crate::session::Session::default(),
+            recovery: crate::recovery::RecoveryState::default(),
             epoch: 0,
             generation_counter: 0,
         }
@@ -343,9 +376,18 @@ impl FlashCosmosDevice {
 
     /// Stamps a fresh, never-reused generation on an operand after a data
     /// or placement mutation.
-    fn bump_generation(&mut self, id: OperandId) {
+    pub(crate) fn bump_generation(&mut self, id: OperandId) {
         self.generation_counter += 1;
         self.operands[id].generation = self.generation_counter;
+    }
+
+    /// Allocates a fresh logical page number. Operand pages, durable
+    /// records, parity pages and rebuild rewrites all share one LPN
+    /// space, so recovery can reason about any page uniformly.
+    pub(crate) fn alloc_lpn(&mut self) -> u64 {
+        let lpn = self.next_lpn;
+        self.next_lpn += 1;
+        lpn
     }
 
     /// The SSD configuration.
@@ -534,6 +576,8 @@ impl FlashCosmosDevice {
             generation: self.generation_counter,
         });
         self.names.insert(name.to_string(), id);
+        let member_lpns = self.operands[id].lpns.clone();
+        self.parity_protect_lpns(&member_lpns)?;
         Ok(OperandHandle { id })
     }
 
@@ -599,14 +643,17 @@ impl FlashCosmosDevice {
             planes.push(ppa.plane);
             dies.push(ppa.plane.die);
         }
+        self.parity_unprotect_lpns(&old_lpns);
         for &lpn in &old_lpns {
             self.ssd.trim(lpn);
         }
+        let new_lpns = lpns.clone();
         let rec = &mut self.operands[id];
         rec.lpns = lpns;
         rec.planes = planes;
         rec.dies = dies;
         self.bump_generation(id);
+        self.parity_protect_lpns(&new_lpns)?;
         Ok(OperandHandle { id })
     }
 
@@ -825,6 +872,10 @@ impl FlashCosmosDevice {
         // the old wordlines — the same hazard class as the poisoned
         // placement cache, fixed structurally via generation stamping.
         self.bump_generation(id);
+        // Stripe geometry followed the pages: re-chunk the parity so the
+        // die-disjointness invariant holds on the new placement.
+        self.parity_unprotect_lpns(&lpns);
+        self.parity_protect_lpns(&lpns)?;
         Ok(copybacks)
     }
 }
@@ -1242,7 +1293,7 @@ mod tests {
         // enabled and worst-case aging, ESP-stored operands still produce
         // bit-exact results.
         let mut dev = FlashCosmosDevice::new_noisy(SsdConfig::tiny_test());
-        dev.ssd_mut().set_retention_months(12.0);
+        dev.inject_faults(&crate::recovery::FaultPlan::new().retention(12.0)).unwrap();
         let vs = vectors(4, 512, 9);
         let handles: Vec<OperandHandle> = vs
             .iter()

@@ -46,6 +46,15 @@
 //!   pluggable placement ([`SpreadPlacement`] / [`WearAwarePlacement`])
 //!   and result-cache admission ([`CostAwareAdmission`] — the default,
 //!   hit-frequency × senses-saved — vs [`FifoAdmission`]).
+//! * [`recovery`] — the reliability tiers over the physics model's real
+//!   bit errors: shifted-Vref read-retry (in the SSD device), cross-die
+//!   XOR parity stripes with out-of-place rebuild, policy-driven
+//!   retention scrubbing in drain's idle-die slack, and a deterministic
+//!   typed fault-injection harness ([`FaultPlan`]) whose itemized faults
+//!   bump only the touched operands' generations. [`DeviceHealth`]
+//!   snapshots which tiers fired; queries that touch a page no tier
+//!   could save fail individually ([`FcError::QueryFailed`]) while the
+//!   rest of their batch completes.
 //! * [`crossdie`] — cross-die execution plans: a query whose operands
 //!   span planes splits into per-plane programs merged by the
 //!   controller, so die-aware placement (see [`device`]) never turns
@@ -122,11 +131,12 @@ pub mod ops;
 pub mod parabit;
 pub mod placement;
 pub mod planner;
+pub mod recovery;
 pub mod reliability;
 pub mod session;
 pub mod timeline;
 
-pub use batch::{BatchResults, BatchStats, QueryBatch, QueryId, QueryStats};
+pub use batch::{BatchResults, BatchStats, QueryBatch, QueryFailure, QueryId, QueryStats};
 pub use device::{FcError, FlashCosmosDevice, OperandHandle, ReadStats, StoreHints};
 pub use engines::{Engines, Platform, PlatformReport, WorkloadShape};
 pub use expr::{Expr, Nnf, OperandId};
@@ -137,4 +147,7 @@ pub use maintenance::{
 };
 pub use placement::{suggest_hints, LayoutAdvice};
 pub use planner::{MwsProgram, PlacementMap, PlanError, PlannerCaps};
+pub use recovery::{
+    DeviceHealth, FaultPlan, FaultReport, MarginScrubber, ScrubCandidate, ScrubConfig, ScrubPolicy,
+};
 pub use session::{CacheStats, DrainStats, Session, Ticket};

@@ -570,6 +570,11 @@ pub struct MaintenanceStats {
     /// Busiest die after fill-in, µs (≤ `budget_us` whenever any budget
     /// was finite).
     pub critical_path_us: f64,
+    /// Aged pages refreshed by the retention scrubber during this drain
+    /// (see [`crate::recovery`]); scrubbing shares the slack budget.
+    pub pages_scrubbed: u64,
+    /// Scrub jobs left queued because they did not fit the slack budget.
+    pub scrubs_deferred: usize,
 }
 
 impl crate::device::FlashCosmosDevice {

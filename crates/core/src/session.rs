@@ -82,6 +82,7 @@ use crate::maintenance::{
     AffinityTracker, CacheAdmission, CacheEntryInfo, CostAwareAdmission, MaintenanceStats,
     RegroupJob, RetiredJob,
 };
+use crate::recovery::DeviceHealth;
 
 /// Result-cache key: device epoch, canonical normal form, and the
 /// placement generation of every referenced operand (ascending by id).
@@ -351,8 +352,13 @@ pub struct DrainStats {
     pub dies_used: usize,
     /// Background-maintenance work this drain filled into the idle-die
     /// slack (see [`crate::maintenance`]): migrations executed within the
-    /// critical-path budget, deferred jobs, retirements.
+    /// critical-path budget, deferred jobs, retirements — plus retention
+    /// scrubbing (see [`crate::recovery`]), which shares the same budget.
     pub maintenance: MaintenanceStats,
+    /// Device-wide reliability counters snapshotted at the end of this
+    /// drain (cumulative since device creation, not per-drain deltas).
+    /// An empty drain returns [`DrainStats::default`] without snapshotting.
+    pub health: DeviceHealth,
 }
 
 impl DrainStats {
@@ -477,7 +483,13 @@ impl FlashCosmosDevice {
     /// report [`FcError::UnknownTicket`]).
     pub fn drain(&mut self) -> Result<DrainStats, FcError> {
         let pending = std::mem::take(&mut self.session.pending);
-        if pending.is_empty() && self.session.jobs.is_empty() {
+        // Retention scrubbing rides the drain like regroup maintenance
+        // does: candidates whose modeled worst-grade RBER approaches the
+        // ECC margin queue up here and execute in the idle-die slack
+        // below. (Under the functional error model nothing ever
+        // qualifies, so this is free for error-free workloads.)
+        self.schedule_scrub();
+        if pending.is_empty() && self.session.jobs.is_empty() && self.pending_scrub() == 0 {
             return Ok(DrainStats::default());
         }
         let dies = self.ssd.config().total_dies();
@@ -501,24 +513,39 @@ impl FlashCosmosDevice {
             let mut outs: Vec<BitVec> =
                 (0..pb.compiled.queries()).map(|_| BitVec::zeros(0)).collect();
             let mut own = DieQueues::new(dies);
-            let batch_stats = self.execute_compiled(&pb.compiled, &mut outs, Some(&mut own))?;
+            let (batch_stats, failures) =
+                self.execute_compiled(&pb.compiled, &mut outs, Some(&mut own))?;
             stats.senses += batch_stats.senses;
             combined.merge(&own);
             per_batch.push(own);
-            self.session.retired.insert(pb.seq, BatchResults { results: outs, stats: batch_stats });
+            // Per-query failure isolation carries through the async path:
+            // the ticket's results report which queries were unanswerable
+            // while the rest of the batch retired normally.
+            self.session
+                .retired
+                .insert(pb.seq, BatchResults { results: outs, stats: batch_stats, failures });
         }
         let overlap = overlap_report(&per_batch);
         stats.combined_critical_path_us = overlap.combined_critical_us;
         stats.serial_critical_path_us = overlap.serial_critical_us;
         stats.dies_used = combined.dies_busy();
-        // Queued maintenance rides the drain: migration jobs fill the
-        // per-die idle slack up to the configured critical-path budget
-        // (what doesn't fit stays queued for the next pass).
-        if !self.session.jobs.is_empty() {
+        // Queued maintenance and scrubbing ride the drain: migration and
+        // scrub jobs fill the per-die idle slack up to the configured
+        // critical-path budget (what doesn't fit stays queued for the
+        // next pass).
+        if !self.session.jobs.is_empty() || self.pending_scrub() > 0 {
             let budget = (overlap.combined_critical_us * self.maintenance_cfg.slack_factor)
                 .max(self.maintenance_cfg.slack_floor_us);
-            stats.maintenance = self.execute_maintenance(&mut combined, budget)?;
+            if !self.session.jobs.is_empty() {
+                stats.maintenance = self.execute_maintenance(&mut combined, budget)?;
+            }
+            if self.pending_scrub() > 0 {
+                let (scrubbed, deferred) = self.execute_scrub(&mut combined, budget)?;
+                stats.maintenance.pages_scrubbed = scrubbed;
+                stats.maintenance.scrubs_deferred = deferred;
+            }
         }
+        stats.health = self.health();
         Ok(stats)
     }
 

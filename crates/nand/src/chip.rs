@@ -37,16 +37,35 @@ pub struct PageState {
     pub vth: Option<Vec<f64>>,
 }
 
+/// Grown per-block stuck-at columns: a block whose strings developed a
+/// permanent defect after fabrication (the grown-defect class real
+/// drives track in a bad-block/defect list). Any sense touching the
+/// block reads the stuck value on the masked columns regardless of the
+/// stored data — the stored bits themselves are unharmed, which is
+/// exactly why unprotected (raw, ECC-less) pages corrupt silently and
+/// need cross-die parity to recover.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StuckColumns {
+    /// Columns forced to the stuck value.
+    pub mask: BitVec,
+    /// The value each masked column reads as (zero outside the mask).
+    pub value: BitVec,
+}
+
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Block {
     pages: Vec<Option<PageState>>,
     pec: u32,
     reads_since_program: u64,
+    /// Grown stuck-at columns, if the block has failed (fault injection /
+    /// grown defects). `None` for healthy blocks.
+    #[serde(default)]
+    stuck: Option<StuckColumns>,
 }
 
 impl Block {
     fn new(wls: usize) -> Self {
-        Self { pages: vec![None; wls], pec: 0, reads_since_program: 0 }
+        Self { pages: vec![None; wls], pec: 0, reads_since_program: 0, stuck: None }
     }
 }
 
@@ -270,6 +289,91 @@ impl NandChip {
         Ok(())
     }
 
+    /// Reads since a block's last program/erase — the read-disturb state
+    /// the retry ladder and scrub policy condition on.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an out-of-range address.
+    pub fn block_reads_since_program(&self, block: BlockAddr) -> Result<u64, NandError> {
+        self.config.geometry.validate_block(block)?;
+        Ok(self.planes[block.plane as usize].blocks[block.block as usize].reads_since_program)
+    }
+
+    /// Adds `reads` to a block's reads-since-program counter without
+    /// issuing the senses — the fault-injection path for read-disturb
+    /// conditioning (issuing tens of thousands of real reads would also
+    /// perturb the RNG streams seeded tests depend on).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an out-of-range address.
+    pub fn add_block_reads(&mut self, block: BlockAddr, reads: u64) -> Result<(), NandError> {
+        self.config.geometry.validate_block(block)?;
+        let b = &mut self.planes[block.plane as usize].blocks[block.block as usize];
+        b.reads_since_program = b.reads_since_program.saturating_add(reads);
+        Ok(())
+    }
+
+    /// Marks a block's columns as stuck-at (grown defect / fault
+    /// injection): every later sense of the block reads `value` on the
+    /// `mask` columns instead of the stored data. Stored bits are
+    /// untouched — the defect lives in the sensing path, like real grown
+    /// defects do.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an out-of-range address or masks that do not
+    /// match the page size.
+    pub fn set_block_stuck(
+        &mut self,
+        block: BlockAddr,
+        mask: BitVec,
+        value: BitVec,
+    ) -> Result<(), NandError> {
+        self.config.geometry.validate_block(block)?;
+        let expected = self.config.geometry.page_bits();
+        if mask.len() != expected || value.len() != expected {
+            return Err(NandError::PageSizeMismatch { got: mask.len(), expected });
+        }
+        let stuck = StuckColumns { value: value.and(&mask), mask };
+        self.planes[block.plane as usize].blocks[block.block as usize].stuck = Some(stuck);
+        Ok(())
+    }
+
+    /// The grown stuck-column state of a block, if it has been marked
+    /// failed.
+    pub fn block_stuck(&self, block: BlockAddr) -> Option<&StuckColumns> {
+        self.config.geometry.validate_block(block).ok()?;
+        self.planes[block.plane as usize].blocks[block.block as usize].stuck.as_ref()
+    }
+
+    /// Senses one wordline at a recalibrated read reference voltage —
+    /// nominal `V_REF` plus `vref_offset_v` volts — the read-retry
+    /// primitive (sense-level shifting is a standard SET-FEATURE knob on
+    /// commodity chips; see [`crate::sense::retry_ladder`] for how the
+    /// stress model picks the offsets). An offset of 0.0 is exactly a
+    /// regular read.
+    ///
+    /// # Errors
+    ///
+    /// Same errors as a regular [`Command::Read`].
+    pub fn read_shifted(
+        &mut self,
+        addr: WlAddr,
+        vref_offset_v: f64,
+    ) -> Result<CmdOutput, NandError> {
+        let out = self.exec_mws(
+            IscmFlags::single_read(),
+            &[MwsTarget::new(addr.block(), &[addr.wl])],
+            false,
+            vref_offset_v,
+        )?;
+        self.stats.busy_us += out.latency_us;
+        self.stats.energy_uj += out.energy_uj;
+        Ok(out)
+    }
+
     /// Raw stored bits of a page, if programmed. Post-randomization if the
     /// page was scrambled; no error injection (this is the ground truth).
     pub fn page_raw(&self, addr: WlAddr) -> Option<&BitVec> {
@@ -380,13 +484,13 @@ impl NandChip {
                 } else {
                     IscmFlags::single_read()
                 };
-                self.exec_mws(flags, &[MwsTarget::new(addr.block(), &[addr.wl])], false)?
+                self.exec_mws(flags, &[MwsTarget::new(addr.block(), &[addr.wl])], false, 0.0)?
             }
-            Command::Mws { flags, targets } => self.exec_mws(flags, &targets, false)?,
+            Command::Mws { flags, targets } => self.exec_mws(flags, &targets, false, 0.0)?,
             Command::EraseVerify { block } => {
                 self.config.geometry.validate_block(block)?;
                 let n = self.config.geometry.wls_per_block.min(64);
-                self.exec_mws(IscmFlags::single_read(), &[MwsTarget::all_wls(block, n)], true)?
+                self.exec_mws(IscmFlags::single_read(), &[MwsTarget::all_wls(block, n)], true, 0.0)?
             }
             Command::Program { addr, data, scheme, randomize } => {
                 self.exec_program(addr, data, scheme, randomize)?
@@ -514,6 +618,7 @@ impl NandChip {
             IscmFlags::single_read(),
             &[MwsTarget::new(from.block(), &[from.wl])],
             false,
+            0.0,
         )?;
         let data = read.page.clone().expect("read produces a page");
         let prog = self.exec_program(to, data, src.scheme, false)?;
@@ -547,15 +652,19 @@ impl NandChip {
         Ok(CmdOutput::latch_only())
     }
 
-    /// Core sensing path shared by `Read`, `Mws` and `EraseVerify`.
+    /// Core sensing path shared by `Read`, `Mws`, `EraseVerify` and
+    /// [`NandChip::read_shifted`].
     ///
     /// `allow_unwritten` treats unwritten wordlines as fully erased
     /// (all-ones) instead of erroring — needed by erase-verify.
+    /// `vref_offset` shifts the read reference voltage from the nominal
+    /// level (0.0 everywhere except read-retry).
     fn exec_mws(
         &mut self,
         flags: IscmFlags,
         targets: &[MwsTarget],
         allow_unwritten: bool,
+        vref_offset: f64,
     ) -> Result<CmdOutput, NandError> {
         if targets.is_empty() || targets.iter().any(|t| t.pbm == 0) {
             return Err(NandError::EmptyMwsTarget);
@@ -603,6 +712,7 @@ impl NandChip {
                     allow_unwritten,
                     config,
                     *retention_months,
+                    vref_offset,
                     rng,
                     stats,
                     corrupt,
@@ -680,6 +790,7 @@ fn sense_block_and_into(
     allow_unwritten: bool,
     config: &ChipConfig,
     retention_months: f64,
+    vref_offset: f64,
     rng: &mut StdRng,
     stats: &mut ChipStats,
     corrupt: &mut BitVec,
@@ -709,7 +820,35 @@ fn sense_block_and_into(
                 if inject_errors {
                     let (scheme, randomized) =
                         page.map_or((ProgramScheme::Slc, false), |p| (p.scheme, p.randomized));
-                    let n = config.rber.sample_errors(scheme, randomized, stress, page_bits, rng);
+                    let n = if vref_offset == 0.0 {
+                        config.rber.sample_errors(scheme, randomized, stress, page_bits, rng)
+                    } else {
+                        // Retry read at a shifted sense level: scale the
+                        // nominal RBER by the Gaussian-tail model's ratio
+                        // between the shifted and nominal levels, so a
+                        // well-chosen offset genuinely reduces the error
+                        // probability (that is the whole point of retry).
+                        let nominal_rber = config.rber.rber(scheme, randomized, stress);
+                        let vref = scheme.read_vref();
+                        let base =
+                            sense::shifted_read_rber(scheme, stress, &config.stress_model, vref);
+                        let shifted = sense::shifted_read_rber(
+                            scheme,
+                            stress,
+                            &config.stress_model,
+                            vref + vref_offset,
+                        );
+                        let factor = if base > 0.0 && base.is_finite() && shifted.is_finite() {
+                            shifted / base
+                        } else {
+                            1.0
+                        };
+                        crate::rber::sample_binomial(
+                            page_bits,
+                            (nominal_rber * factor).min(1.0),
+                            rng,
+                        )
+                    };
                     stats.injected_errors += n as u64;
                     if n > 0 {
                         match page {
@@ -739,6 +878,7 @@ fn sense_block_and_into(
             if vref == f64::NEG_INFINITY {
                 vref = crate::vth::SLC_VREF;
             }
+            vref += vref_offset;
             // Pass 2: stress-shift each population in the reusable buffer
             // (stored V_TH vectors are never cloned) and fold its packed
             // threshold comparison into the accumulator.
@@ -758,6 +898,12 @@ fn sense_block_and_into(
                 out.and_le_threshold(stress_buf, vref);
             }
         }
+    }
+    // Grown per-block defects: the masked columns read their stuck value
+    // no matter what the strings held.
+    if let Some(stuck) = &block_ref.stuck {
+        out.and_not_assign(&stuck.mask);
+        out.or_assign(&stuck.value);
     }
     Ok(())
 }
@@ -1207,6 +1353,77 @@ mod tests {
         let mut chip = NandChip::new(ChipConfig::tiny_test());
         let profiled = chip.profile_faulty_columns(BlockAddr::new(1, 15), 3).unwrap();
         assert!(profiled.is_all_zeros());
+    }
+
+    #[test]
+    fn stuck_block_corrupts_senses_until_masked() {
+        let mut chip = NandChip::new(ChipConfig::tiny_test());
+        let blk = BlockAddr::new(0, 2);
+        let pages = write_pages(&mut chip, blk, 2, 1700);
+        let bits = chip.config().geometry.page_bits();
+        let mut mask = BitVec::zeros(bits);
+        let mut value = BitVec::zeros(bits);
+        for col in [3usize, 17, 40] {
+            mask.set(col, true);
+        }
+        value.set(3, true); // column 3 stuck-at-1, 17 and 40 stuck-at-0
+        chip.set_block_stuck(blk, mask.clone(), value.clone()).unwrap();
+        let out = chip
+            .execute(Command::Mws {
+                flags: IscmFlags::single_read(),
+                targets: vec![MwsTarget::new(blk, &[0, 1])],
+            })
+            .unwrap();
+        let expect = pages[0].and(&pages[1]);
+        let sensed = out.into_page().unwrap();
+        let keep = mask.not();
+        assert_eq!(sensed.and(&keep), expect.and(&keep), "healthy columns stay exact");
+        assert_eq!(sensed.and(&mask), value, "masked columns read the stuck value");
+        // The defect is per block: a neighbour is unaffected.
+        let other = BlockAddr::new(0, 3);
+        let clean = write_pages(&mut chip, other, 1, 1710);
+        let out = chip.execute(Command::Read { addr: other.wordline(0), inverse: false }).unwrap();
+        assert_eq!(out.page().unwrap(), &clean[0]);
+    }
+
+    #[test]
+    fn shifted_read_beats_nominal_on_aged_blocks() {
+        let mut cfg = ChipConfig::tiny_noisy();
+        cfg.geometry.page_bytes = 4096;
+        let mut chip = NandChip::new(cfg);
+        let blk = BlockAddr::new(0, 0);
+        let data = BitVec::ones(chip.config().geometry.page_bits());
+        chip.execute(Command::Program {
+            addr: blk.wordline(0),
+            data: data.clone(),
+            scheme: ProgramScheme::Slc,
+            randomize: false,
+        })
+        .unwrap();
+        chip.cycle_block(blk, 10_000).unwrap();
+        chip.set_retention_months(12.0);
+        let stress = StressState {
+            pec: chip.block_pec(blk).unwrap(),
+            retention_months: 12.0,
+            reads_since_program: chip.block_reads_since_program(blk).unwrap(),
+        };
+        let ladder =
+            sense::retry_ladder(ProgramScheme::Slc, stress, &chip.config().stress_model, 6);
+        let best = ladder[0];
+        let mut nominal_errors = 0usize;
+        let mut shifted_errors = 0usize;
+        for _ in 0..20 {
+            let out =
+                chip.execute(Command::Read { addr: blk.wordline(0), inverse: false }).unwrap();
+            nominal_errors += out.page().unwrap().hamming_distance(&data);
+            let out = chip.read_shifted(blk.wordline(0), best).unwrap();
+            shifted_errors += out.page().unwrap().hamming_distance(&data);
+        }
+        assert!(nominal_errors > 0, "aged block must show raw errors at the nominal level");
+        assert!(
+            shifted_errors < nominal_errors,
+            "retry level must reduce errors: {shifted_errors} vs {nominal_errors}"
+        );
     }
 
     #[test]

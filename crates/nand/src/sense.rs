@@ -17,6 +17,9 @@ use fc_bits::BitVec;
 
 use crate::calib::mws_latency as cal;
 use crate::calib::timing;
+use crate::ispp::ProgramScheme;
+use crate::stress::{StressModel, StressState};
+use crate::vth::VthState;
 
 /// Latency factor `tMWS / tR` for intra-block MWS over `n_wls`
 /// simultaneously read wordlines (Fig. 12).
@@ -128,6 +131,97 @@ pub fn combine_blocks_or_into(out: &mut BitVec, per_block: &[BitVec]) {
     }
 }
 
+/// Predicted single-bit misread probability when a page programmed with
+/// `scheme` is sensed at `vref` under the block's stress conditions —
+/// the read-retry calibration model (MCFlash-style sense-level shifting).
+///
+/// Both distributions are shifted the way [`StressModel::apply`] shifts
+/// the physics-mode populations: retention pulls the programmed state
+/// *down* (mean loss ∝ stored charge, tail spread ∝ √wear·√log-time) and
+/// read disturb pushes the erased state *up* (erased cells carry the
+/// full disturb weight). Assuming balanced stored data, the misread
+/// probability is the average of the two Gaussian tails across `vref` —
+/// which is exactly what a retry controller minimizes when it picks a
+/// shifted sense level.
+pub fn shifted_read_rber(
+    scheme: ProgramScheme,
+    stress: StressState,
+    model: &StressModel,
+    vref: f64,
+) -> f64 {
+    let layout = scheme.layout();
+    let erased = layout.states[0];
+    let programmed = *layout.states.last().expect("layouts always carry states");
+    let charge = programmed.mean_v - erased.mean_v;
+    let ln_t = (1.0 + stress.retention_months.max(0.0) / model.retention_t0_months).ln();
+    let sigma_ret = model.retention_sigma_v
+        * model.wear_factor(stress.pec).sqrt()
+        * (ln_t.max(0.0) / 13f64.ln()).sqrt();
+    let shifted_programmed = VthState::new(
+        programmed.mean_v - model.retention_shift_mean(charge, stress),
+        (programmed.sigma_v * programmed.sigma_v + sigma_ret * sigma_ret).sqrt(),
+    );
+    // Erased cells sit far from V_PASS, so they take the disturb bump at
+    // the erased-cell weight (charge ≈ 0 → weight 1/2 in the stress
+    // sweep's `(2 - charge) / 4` ramp).
+    let disturb = 0.5 * model.disturb_shift_mean(stress.reads_since_program);
+    let shifted_erased = VthState::new(erased.mean_v + disturb, erased.sigma_v);
+    0.5 * (shifted_erased.prob_above(vref) + shifted_programmed.prob_below(vref))
+}
+
+/// Builds a read-retry ladder for a page that failed to decode at the
+/// nominal sense level: up to `budget` Vref *offsets* (volts, relative
+/// to the scheme's nominal `V_REF`), best predicted candidate first.
+///
+/// Candidates come from the stress model's shift means — retention loss
+/// moved the programmed distribution down, so offsets track it downward
+/// (−½·shift, −shift, −1½·shift); read disturb moved the erased
+/// distribution up, so offsets also probe upward (+½·bump, +bump) — plus
+/// a small fixed sweep for blocks whose stress state underestimates the
+/// real damage. The candidates are deduplicated and ranked by
+/// [`shifted_read_rber`], so the first retry is always the model's best
+/// guess and later retries widen the search.
+pub fn retry_ladder(
+    scheme: ProgramScheme,
+    stress: StressState,
+    model: &StressModel,
+    budget: usize,
+) -> Vec<f64> {
+    if budget == 0 {
+        return Vec::new();
+    }
+    let layout = scheme.layout();
+    let charge =
+        layout.states.last().expect("layouts always carry states").mean_v - layout.states[0].mean_v;
+    let retention = model.retention_shift_mean(charge, stress);
+    let disturb = model.disturb_shift_mean(stress.reads_since_program);
+    let mut candidates: Vec<f64> = Vec::new();
+    if retention > 0.0 {
+        candidates.extend([-0.5 * retention, -retention, -1.5 * retention]);
+    }
+    if disturb > 0.0 {
+        candidates.extend([0.5 * disturb, disturb]);
+    }
+    candidates.extend([-0.1, 0.1, -0.2, 0.2]);
+    let nominal = scheme.read_vref();
+    let mut ladder: Vec<f64> = Vec::with_capacity(candidates.len());
+    for c in candidates {
+        if ladder.iter().all(|&o| (o - c).abs() > 1e-6) {
+            ladder.push(c);
+        }
+    }
+    ladder.sort_by(|&a, &b| {
+        shifted_read_rber(scheme, stress, model, nominal + a).total_cmp(&shifted_read_rber(
+            scheme,
+            stress,
+            model,
+            nominal + b,
+        ))
+    });
+    ladder.truncate(budget);
+    ladder
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,5 +294,52 @@ mod tests {
     #[should_panic(expected = "at least one wordline")]
     fn zero_wordlines_panics() {
         intra_latency_factor(0);
+    }
+
+    #[test]
+    fn shifted_rber_improves_at_the_retry_offset_under_retention() {
+        // A retention-aged block moved its programmed distribution down;
+        // sensing lower must beat the nominal level.
+        let model = StressModel::default();
+        let stress = StressState { pec: 10_000, retention_months: 12.0, reads_since_program: 0 };
+        let nominal = ProgramScheme::Slc.read_vref();
+        let at_nominal = shifted_read_rber(ProgramScheme::Slc, stress, &model, nominal);
+        let charge = 4.0; // SLC: programmed 2.0 − erased −2.0
+        let shift = model.retention_shift_mean(charge, stress);
+        let at_retry = shifted_read_rber(ProgramScheme::Slc, stress, &model, nominal - 0.5 * shift);
+        assert!(at_nominal > 0.0, "aged SLC must predict errors");
+        assert!(
+            at_retry < at_nominal,
+            "retry level must predict fewer: {at_retry} vs {at_nominal}"
+        );
+    }
+
+    #[test]
+    fn retry_ladder_is_ranked_deduped_and_budgeted() {
+        let model = StressModel::default();
+        let stress = StressState { pec: 10_000, retention_months: 12.0, reads_since_program: 50 };
+        let ladder = retry_ladder(ProgramScheme::Slc, stress, &model, 4);
+        assert_eq!(ladder.len(), 4, "budget bounds the ladder");
+        let nominal = ProgramScheme::Slc.read_vref();
+        let rbers: Vec<f64> = ladder
+            .iter()
+            .map(|&o| shifted_read_rber(ProgramScheme::Slc, stress, &model, nominal + o))
+            .collect();
+        assert!(rbers.windows(2).all(|w| w[0] <= w[1]), "best candidate first: {rbers:?}");
+        for (i, &a) in ladder.iter().enumerate() {
+            for &b in &ladder[i + 1..] {
+                assert!((a - b).abs() > 1e-6, "duplicate offsets in {ladder:?}");
+            }
+        }
+        // Retention dominates the aged case: the top offsets sense lower.
+        assert!(ladder[0] < 0.0, "aged block retries downward first: {ladder:?}");
+        assert!(retry_ladder(ProgramScheme::Slc, stress, &model, 0).is_empty());
+    }
+
+    #[test]
+    fn fresh_block_ladder_falls_back_to_the_fixed_sweep() {
+        let model = StressModel::default();
+        let ladder = retry_ladder(ProgramScheme::esp_default(), StressState::fresh(), &model, 8);
+        assert_eq!(ladder.len(), 4, "no stress shifts → only the fixed sweep");
     }
 }

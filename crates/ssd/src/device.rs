@@ -114,6 +114,24 @@ impl WriteOptions {
     }
 }
 
+/// Read-path health counters: how hard the device is working to return
+/// correct data. Snapshot via [`SsdDevice::health`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadHealth {
+    /// Logical page reads served.
+    pub reads: u64,
+    /// Bits the ECC decoder corrected (nominal and retry reads).
+    pub bits_corrected: u64,
+    /// Re-senses issued at shifted Vref levels after a nominal-level
+    /// decode failure.
+    pub retry_reads: u64,
+    /// Reads that failed at the nominal level but decoded at some retry
+    /// level.
+    pub retry_recoveries: u64,
+    /// Reads that stayed uncorrectable after the whole retry ladder.
+    pub uncorrectable: u64,
+}
+
 /// The functional SSD.
 pub struct SsdDevice {
     config: SsdConfig,
@@ -127,6 +145,9 @@ pub struct SsdDevice {
     /// Reusable staging buffer for the stored-page prefix handed to the
     /// decoder.
     stored_buf: BitVec,
+    /// Maximum shifted-Vref re-senses after a nominal decode failure.
+    read_retry_budget: usize,
+    health: ReadHealth,
 }
 
 impl std::fmt::Debug for SsdDevice {
@@ -148,6 +169,14 @@ impl SsdDevice {
     /// Builds a device with error-injecting chips (reliability studies).
     pub fn new_noisy(config: SsdConfig) -> Self {
         Self::with_fidelity(config, Fidelity::Functional { inject_errors: true })
+    }
+
+    /// Builds a device with physics-fidelity chips: per-cell threshold
+    /// voltages with retention/wear/disturb shifts, so aged pages
+    /// genuinely fail at the nominal sense level and recover at shifted
+    /// ones (the regime the read-retry ladder is for).
+    pub fn new_physics(config: SsdConfig) -> Self {
+        Self::with_fidelity(config, Fidelity::Physics)
     }
 
     fn with_fidelity(config: SsdConfig, fidelity: Fidelity) -> Self {
@@ -172,7 +201,32 @@ impl SsdDevice {
             energy: EnergyMeter::new(),
             ecc_scratch: EccScratch::new(),
             stored_buf: BitVec::default(),
+            read_retry_budget: 6,
+            health: ReadHealth::default(),
         }
+    }
+
+    /// Read-path health counters since construction.
+    pub fn health(&self) -> ReadHealth {
+        self.health
+    }
+
+    /// The maximum number of shifted-Vref retry senses per failed read.
+    pub fn read_retry_budget(&self) -> usize {
+        self.read_retry_budget
+    }
+
+    /// Reconfigures the retry budget (0 disables tier-1 recovery).
+    pub fn set_read_retry_budget(&mut self, budget: usize) {
+        self.read_retry_budget = budget;
+    }
+
+    /// Swaps the page ECC code. Changes
+    /// [`logical_page_bits`](Self::logical_page_bits), so it must happen
+    /// before the first ECC-protected write — pages already stored under
+    /// the old code will no longer decode.
+    pub fn set_ecc(&mut self, config: EccConfig) {
+        self.codec = PageCodec::new(config);
     }
 
     /// The SSD configuration.
@@ -183,6 +237,14 @@ impl SsdDevice {
     /// The FTL (read access for placement inspection).
     pub fn ftl(&self) -> &Ftl {
         &self.ftl
+    }
+
+    /// The ECC correction margin as a fraction: `t / n` of the current
+    /// page code — the raw bit-error rate at which a codeword's error
+    /// budget is exhausted *in expectation*. Scrub policies compare a
+    /// block's modeled RBER against a fraction of this margin.
+    pub fn ecc_correction_margin(&self) -> f64 {
+        self.codec.code().t() as f64 / self.codec.code().n() as f64
     }
 
     /// Payload bits per logical page, given whether ECC is in use. With
@@ -254,37 +316,90 @@ impl SsdDevice {
     /// Reads a logical page back, undoing randomization, ECC and
     /// inversion as recorded in its metadata.
     ///
+    /// When the nominal-level sense fails to decode, the device walks a
+    /// **read-retry ladder**: it re-senses at shifted Vref offsets picked
+    /// from the block's stress state (retention pulls programmed cells
+    /// down, disturb pushes erased cells up — `fc_nand::sense::retry_ladder`
+    /// ranks the compensating offsets), up to
+    /// [`read_retry_budget`](Self::read_retry_budget) attempts.
+    ///
     /// # Errors
     ///
-    /// Fails on unmapped pages, chip errors, or uncorrectable ECC
-    /// failures.
+    /// Fails on unmapped pages, chip errors, or ECC failures that stay
+    /// uncorrectable after the whole retry ladder.
     pub fn read(&mut self, lpn: u64) -> Result<BitVec, DeviceError> {
         let ppa = self.ftl.translate(lpn).ok_or(DeviceError::NotMapped(lpn))?;
         let meta = self.ftl.meta(lpn).expect("mapped pages always carry metadata");
         let addr = wl_addr(ppa);
-        let die = ppa.plane.die;
-        let chip = &mut self.chips[die.flat(&self.config)];
-        let raw = chip
+        let flat = ppa.plane.die.flat(&self.config);
+        self.health.reads += 1;
+        let raw = self.chips[flat]
             .execute(Command::Read { addr, inverse: false })?
             .into_page()
             .expect("read produces a page");
         self.energy.add_channel_bytes(self.config.page_bytes as u64);
-        let descrambled =
-            if meta.randomized { chip.randomizer().derandomize(addr, &raw) } else { raw };
-        let payload_bits = self.logical_page_bits(meta.ecc);
-        let decoded = if meta.ecc {
-            let n = self.codec.code().n();
-            let words = payload_bits / self.codec.code().k();
-            descrambled.slice_into(0, words * n, &mut self.stored_buf);
-            match self.codec.decode_page_with(&self.stored_buf, payload_bits, &mut self.ecc_scratch)
-            {
-                PageDecode::Corrected { data, .. } => data,
-                PageDecode::Uncorrectable => return Err(DeviceError::Uncorrectable { lpn }),
-            }
-        } else {
-            descrambled
+        if let Some(decoded) = self.decode_stored(flat, addr, meta, raw) {
+            return Ok(if meta.inverted { decoded.not() } else { decoded });
+        }
+        // Tier-1 recovery: shifted-Vref re-senses ranked by the block's
+        // modeled stress.
+        let block = addr.block();
+        let chip = &self.chips[flat];
+        let stress = fc_nand::stress::StressState {
+            pec: chip.block_pec(block)?,
+            retention_months: chip.retention_months(),
+            reads_since_program: chip.block_reads_since_program(block)?,
         };
-        Ok(if meta.inverted { decoded.not() } else { decoded })
+        let ladder = fc_nand::sense::retry_ladder(
+            meta.scheme,
+            stress,
+            &chip.config().stress_model,
+            self.read_retry_budget,
+        );
+        for offset in ladder {
+            self.health.retry_reads += 1;
+            let raw = self.chips[flat]
+                .read_shifted(addr, offset)?
+                .into_page()
+                .expect("read produces a page");
+            self.energy.add_channel_bytes(self.config.page_bytes as u64);
+            if let Some(decoded) = self.decode_stored(flat, addr, meta, raw) {
+                self.health.retry_recoveries += 1;
+                return Ok(if meta.inverted { decoded.not() } else { decoded });
+            }
+        }
+        self.health.uncorrectable += 1;
+        Err(DeviceError::Uncorrectable { lpn })
+    }
+
+    /// Descrambles and (when ECC-protected) decodes one raw sensed page.
+    /// `None` means the codeword was uncorrectable at this sense level.
+    fn decode_stored(
+        &mut self,
+        die_flat: usize,
+        addr: WlAddr,
+        meta: PageMeta,
+        raw: BitVec,
+    ) -> Option<BitVec> {
+        let descrambled = if meta.randomized {
+            self.chips[die_flat].randomizer().derandomize(addr, &raw)
+        } else {
+            raw
+        };
+        if !meta.ecc {
+            return Some(descrambled);
+        }
+        let payload_bits = self.logical_page_bits(true);
+        let n = self.codec.code().n();
+        let words = payload_bits / self.codec.code().k();
+        descrambled.slice_into(0, words * n, &mut self.stored_buf);
+        match self.codec.decode_page_with(&self.stored_buf, payload_bits, &mut self.ecc_scratch) {
+            PageDecode::Corrected { data, corrected } => {
+                self.health.bits_corrected += corrected as u64;
+                Some(data)
+            }
+            PageDecode::Uncorrectable => None,
+        }
     }
 
     /// The physical wordline address of a logical page, if mapped.
@@ -443,6 +558,56 @@ mod tests {
         for _ in 0..20 {
             assert_eq!(dev.read(1).unwrap(), data, "ECC must absorb injected errors");
         }
+    }
+
+    /// The stress point the retry tests run at: heavy enough that the
+    /// nominal sense level fails decode on a meaningful fraction of
+    /// reads, paired with the deep `durable` code so those failures are
+    /// *detected* (≥ 8 errors in a 63-bit codeword) rather than
+    /// miscorrected.
+    fn aged_physics_device(seed: u64) -> (SsdDevice, BitVec) {
+        let mut dev = SsdDevice::new_physics(SsdConfig::tiny_test());
+        dev.set_ecc(crate::ecc::EccConfig::durable());
+        let data = payload(&dev, true, seed);
+        dev.write(5, &data, WriteOptions::conventional()).unwrap();
+        let (die, addr) = dev.locate(5).unwrap();
+        dev.chip_mut(die).cycle_block(addr.block(), 15_000).unwrap();
+        dev.set_retention_months(48.0);
+        (dev, data)
+    }
+
+    #[test]
+    fn retry_ladder_recovers_aged_physics_reads() {
+        // Physics fidelity at heavy stress: retention drags programmed
+        // cells toward the nominal Vref, so some reads fail the nominal
+        // decode. The shifted-Vref ladder must recover every one of them.
+        let (mut dev, data) = aged_physics_device(7);
+        for _ in 0..200 {
+            assert_eq!(dev.read(5).unwrap(), data, "ladder must keep reads bit-exact");
+        }
+        let h = dev.health();
+        assert_eq!(h.reads, 200);
+        assert!(h.retry_reads > 0, "this stress level must trip nominal decodes");
+        assert!(h.retry_recoveries > 0, "retries must actually recover");
+        assert_eq!(h.uncorrectable, 0);
+        assert!(h.bits_corrected > 0, "ECC corrects residual errors at the retry level");
+    }
+
+    #[test]
+    fn zero_retry_budget_surfaces_uncorrectable() {
+        let (mut dev, data) = aged_physics_device(8);
+        dev.set_read_retry_budget(0);
+        let mut failures = 0;
+        for _ in 0..200 {
+            match dev.read(5) {
+                Ok(got) => assert_eq!(got, data),
+                Err(DeviceError::Uncorrectable { lpn: 5 }) => failures += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(failures > 0, "without retries this stress must surface failures");
+        assert_eq!(dev.health().uncorrectable as usize, failures);
+        assert_eq!(dev.health().retry_reads, 0);
     }
 
     #[test]

@@ -41,6 +41,17 @@ impl EccConfig {
     pub fn production() -> Self {
         Self { m: 10, t: 8 }
     }
+
+    /// A deep-correction small code: GF(2^6), n = 63, t = 7. Trades rate
+    /// for margin: decode failures need ≥ 8 errors in one 63-bit
+    /// codeword, and a miscorrection additionally needs that pattern to
+    /// land within distance 7 of a *different* codeword — so the
+    /// detected-failure regime (what read-retry recovers) and the silent
+    /// miscorrection regime are far apart, unlike `t = 3` where they
+    /// overlap. The storage tier for data that must survive heavy aging.
+    pub fn durable() -> Self {
+        Self { m: 6, t: 7 }
+    }
 }
 
 /// Splits pages into BCH codewords and back.

@@ -208,6 +208,13 @@ impl Ftl {
         self.meta.get(&lpn).copied()
     }
 
+    /// Iterates over every mapped logical page with its physical address
+    /// and metadata, in no particular order — the walk that scrubbing and
+    /// grown-defect discovery run over.
+    pub fn iter_mapped(&self) -> impl Iterator<Item = (u64, Ppa, PageMeta)> + '_ {
+        self.map.iter().map(move |(&lpn, &ppa)| (lpn, ppa, self.meta[&lpn]))
+    }
+
     /// Unmaps a logical page (trim). Returns the freed physical address.
     pub fn trim(&mut self, lpn: u64) -> Option<Ppa> {
         self.meta.remove(&lpn);

@@ -24,7 +24,10 @@
 //!   lists into end-to-end makespan + energy (regenerates Fig. 7 and
 //!   drives Figs. 17/18).
 //! * [`device`] — a functional SSD: NAND chips + FTL + ECC + randomizer
-//!   behind a logical-page API.
+//!   behind a logical-page API, with a shifted-Vref read-retry ladder on
+//!   ECC failure.
+//! * [`parity`] — RAIN-style cross-die XOR parity stripes: the outer
+//!   redundancy layer that rebuilds pages the retry ladder cannot save.
 
 pub mod config;
 pub mod device;
@@ -32,6 +35,7 @@ pub mod ecc;
 pub mod energy;
 pub mod ftl;
 pub mod isp;
+pub mod parity;
 pub mod pipeline;
 pub mod sim;
 pub mod topology;

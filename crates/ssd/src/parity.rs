@@ -1,0 +1,195 @@
+//! RAIN-style cross-die XOR parity stripes (tier-2 recovery).
+//!
+//! Commercial SSDs back their per-page ECC with an outer redundancy
+//! layer — Micron's RAIN, Sandisk/Toshiba die-failure protection — that
+//! XORs a stripe of data pages into one parity page stored on a die
+//! *disjoint* from every member. When a page stays uncorrectable after
+//! the read-retry ladder (or a grown defect takes out a whole block or
+//! die), the lost page is rebuilt as the XOR of its surviving stripe
+//! peers and the parity page.
+//!
+//! This module is the mechanism only: stripe membership bookkeeping
+//! ([`StripeMap`]) and the XOR algebra ([`xor_fold`], [`rebuild_member`]).
+//! Policy — when stripes are created, where the parity page is placed,
+//! when a rebuild fires — lives in the `flash_cosmos` core crate, which
+//! owns placement and the result-cache invalidation rules.
+//!
+//! Parity is computed over **logical payloads**, not raw stored bits:
+//! members of one stripe may be stored inverted or not (§6.1), and the
+//! logical domain is the one in which XOR commutes with every storage
+//! transform the device applies.
+
+use std::collections::HashMap;
+
+use fc_bits::BitVec;
+
+/// One parity stripe: the member (data) pages and the parity page that
+/// covers them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParityStripe {
+    /// Logical pages protected by this stripe.
+    pub members: Vec<u64>,
+    /// Logical page holding the XOR of all members.
+    pub parity_lpn: u64,
+}
+
+/// Stripe membership index: stripe id → stripe, plus reverse maps from
+/// member and parity pages back to their stripe.
+#[derive(Debug, Clone, Default)]
+pub struct StripeMap {
+    stripes: HashMap<u64, ParityStripe>,
+    by_member: HashMap<u64, u64>,
+    by_parity: HashMap<u64, u64>,
+}
+
+impl StripeMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stripes tracked.
+    pub fn len(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Whether no stripes are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.stripes.is_empty()
+    }
+
+    /// Registers (or replaces) a stripe. Member and parity pages of a
+    /// replaced stripe are unindexed first, so re-registering after an
+    /// overwrite never leaves stale reverse entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `members` is empty or contains `parity_lpn` — a stripe
+    /// whose parity covers itself cannot be rebuilt.
+    pub fn insert(&mut self, stripe_id: u64, members: Vec<u64>, parity_lpn: u64) {
+        assert!(!members.is_empty(), "a stripe must protect at least one page");
+        assert!(!members.contains(&parity_lpn), "parity page cannot be its own member");
+        self.remove(stripe_id);
+        for &m in &members {
+            self.by_member.insert(m, stripe_id);
+        }
+        self.by_parity.insert(parity_lpn, stripe_id);
+        self.stripes.insert(stripe_id, ParityStripe { members, parity_lpn });
+    }
+
+    /// Drops a stripe and its reverse indices. Returns the stripe, if it
+    /// existed.
+    pub fn remove(&mut self, stripe_id: u64) -> Option<ParityStripe> {
+        let stripe = self.stripes.remove(&stripe_id)?;
+        for m in &stripe.members {
+            self.by_member.remove(m);
+        }
+        self.by_parity.remove(&stripe.parity_lpn);
+        Some(stripe)
+    }
+
+    /// The stripe with this id.
+    pub fn stripe(&self, stripe_id: u64) -> Option<&ParityStripe> {
+        self.stripes.get(&stripe_id)
+    }
+
+    /// The stripe protecting this data page.
+    pub fn stripe_of_member(&self, lpn: u64) -> Option<(u64, &ParityStripe)> {
+        let id = *self.by_member.get(&lpn)?;
+        Some((id, &self.stripes[&id]))
+    }
+
+    /// The stripe whose parity page this is.
+    pub fn stripe_of_parity(&self, lpn: u64) -> Option<(u64, &ParityStripe)> {
+        let id = *self.by_parity.get(&lpn)?;
+        Some((id, &self.stripes[&id]))
+    }
+
+    /// Iterates over `(stripe_id, stripe)` in no particular order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &ParityStripe)> {
+        self.stripes.iter().map(|(&id, s)| (id, s))
+    }
+}
+
+/// XOR-folds logical pages into a parity page.
+///
+/// # Panics
+///
+/// Panics when `pages` is empty or lengths differ.
+pub fn xor_fold<'a, I>(pages: I) -> BitVec
+where
+    I: IntoIterator<Item = &'a BitVec>,
+{
+    let mut it = pages.into_iter();
+    let first = it.next().expect("parity needs at least one page");
+    it.fold(first.clone(), |acc, p| acc.xor(p))
+}
+
+/// Rebuilds one lost member from its surviving peers and the parity
+/// page: `lost = parity ⊕ (⊕ peers)`. The caller passes the peers
+/// (every member *except* the lost one) and the parity payload.
+pub fn rebuild_member<'a, I>(peers: I, parity: &BitVec) -> BitVec
+where
+    I: IntoIterator<Item = &'a BitVec>,
+{
+    peers.into_iter().fold(parity.clone(), |acc, p| acc.xor(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pages(n: usize, bits: usize, seed: u64) -> Vec<BitVec> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| BitVec::random(bits, &mut rng)).collect()
+    }
+
+    #[test]
+    fn xor_rebuild_recovers_any_member() {
+        let data = pages(5, 256, 0xA11);
+        let parity = xor_fold(&data);
+        for lost in 0..data.len() {
+            let peers: Vec<&BitVec> =
+                data.iter().enumerate().filter(|&(i, _)| i != lost).map(|(_, p)| p).collect();
+            assert_eq!(rebuild_member(peers, &parity), data[lost], "member {lost}");
+        }
+    }
+
+    #[test]
+    fn single_member_stripe_parity_is_a_mirror() {
+        let data = pages(1, 64, 0xB0);
+        let parity = xor_fold(&data);
+        assert_eq!(parity, data[0]);
+        assert_eq!(rebuild_member(std::iter::empty(), &parity), data[0]);
+    }
+
+    #[test]
+    fn stripe_map_indexes_members_and_parity() {
+        let mut map = StripeMap::new();
+        map.insert(7, vec![10, 11, 12], 99);
+        assert_eq!(map.len(), 1);
+        let (id, s) = map.stripe_of_member(11).unwrap();
+        assert_eq!((id, s.parity_lpn), (7, 99));
+        let (id, _) = map.stripe_of_parity(99).unwrap();
+        assert_eq!(id, 7);
+        assert!(map.stripe_of_member(99).is_none(), "parity is not a member");
+        // Replacing the stripe drops the old reverse entries.
+        map.insert(7, vec![20, 21], 98);
+        assert!(map.stripe_of_member(10).is_none());
+        assert!(map.stripe_of_parity(99).is_none());
+        assert_eq!(map.stripe_of_member(20).unwrap().0, 7);
+        // Removal clears everything.
+        let s = map.remove(7).unwrap();
+        assert_eq!(s.members, vec![20, 21]);
+        assert!(map.is_empty());
+        assert!(map.stripe_of_member(20).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "parity page cannot be its own member")]
+    fn self_covering_parity_is_rejected() {
+        StripeMap::new().insert(0, vec![1, 2], 2);
+    }
+}
