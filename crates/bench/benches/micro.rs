@@ -732,6 +732,140 @@ fn pipeline_sim(c: &mut Criterion) {
     group.finish();
 }
 
+/// Threshold-K sensing: one dynamic threshold sense per stripe versus
+/// the OR-of-C(n,k)-ANDs expansion versus reading every operand back and
+/// counting on the host. The modeled sense counts are printed once (the
+/// acceptance bar: threshold strictly fewer senses than expansion); the
+/// benches measure the simulator wall time of each strategy.
+fn mlsense_threshold(c: &mut Criterion) {
+    use flash_cosmos::device::{FlashCosmosDevice, StoreHints};
+
+    // 9 co-located single-bit operands, majority threshold (k = 5).
+    const N: usize = 9;
+    const K: usize = 5;
+    let config = SsdConfig { wls_per_block: 16, ..SsdConfig::tiny_test() };
+    let bits = 4096;
+    let mut dev = FlashCosmosDevice::new(config);
+    dev.set_result_cache_capacity(0);
+    let mut rng = StdRng::seed_from_u64(9);
+    let ids: Vec<usize> = (0..N)
+        .map(|i| {
+            let v = BitVec::random(bits, &mut rng);
+            dev.fc_write(&format!("op{i}"), &v, StoreHints::and_group("g")).unwrap().id
+        })
+        .collect();
+
+    // All C(9,5) = 126 AND-combinations, OR'd: the fallback the planner
+    // would use on a substrate without dynamic threshold sensing.
+    let mut combos: Vec<Expr> = Vec::new();
+    let mut pick = [0usize; K];
+    fn rec(ids: &[usize], pick: &mut [usize; K], start: usize, depth: usize, out: &mut Vec<Expr>) {
+        if depth == K {
+            out.push(Expr::and_vars(pick.iter().map(|&i| ids[i])));
+            return;
+        }
+        for i in start..ids.len() {
+            pick[depth] = i;
+            rec(ids, pick, i + 1, depth + 1, out);
+        }
+    }
+    rec(&ids, &mut pick, 0, 0, &mut combos);
+    let threshold = Expr::threshold_vars(K, ids.iter().copied());
+    let expansion = Expr::or(combos);
+
+    let direct = dev.fc_read(&threshold).unwrap().1;
+    let expanded = dev.fc_read(&expansion).unwrap().1;
+    let host: u64 = ids.iter().map(|&id| dev.fc_read(&Expr::var(id)).unwrap().1.senses).sum();
+    println!(
+        "mlsense/threshold9_k5: {} senses single-sense vs {} expanded vs {} host-popcount reads",
+        direct.senses, expanded.senses, host
+    );
+    assert!(
+        direct.senses < expanded.senses,
+        "threshold-K must cost strictly fewer senses than its expansion"
+    );
+
+    let mut group = c.benchmark_group("mlsense");
+    group.sample_size(10);
+    group.bench_function("threshold9_k5_single_sense", |bench| {
+        bench.iter(|| dev.fc_read(std::hint::black_box(&threshold)).unwrap().1.senses);
+    });
+    group.bench_function("threshold9_k5_or_expansion", |bench| {
+        bench.iter(|| dev.fc_read(std::hint::black_box(&expansion)).unwrap().1.senses);
+    });
+    group.bench_function("threshold9_k5_host_popcount", |bench| {
+        bench.iter(|| {
+            let pages: Vec<BitVec> =
+                ids.iter().map(|&id| dev.fc_read(&Expr::var(id)).unwrap().0).collect();
+            let mut out = BitVec::zeros(bits);
+            for b in 0..bits {
+                let count = pages.iter().filter(|p| p.get(b)).count();
+                out.set(b, count >= K);
+            }
+            out
+        });
+    });
+    group.finish();
+}
+
+/// MLC versus SLC storage for the same 6 operands: MLC packs them into
+/// half the wordlines (density) but answers queries through per-page
+/// controller decode at 1–2 senses per logical page, while the SLC copy
+/// keeps single-sense intra-block MWS (latency). The modeled trade is
+/// printed once; the benches time an AND over all 6 on each encoding.
+fn mlsense_density(c: &mut Criterion) {
+    use flash_cosmos::device::{FlashCosmosDevice, StoreHints};
+
+    const N: usize = 6;
+    let bits = 4096;
+    let mut rng = StdRng::seed_from_u64(11);
+    let vectors: Vec<BitVec> = (0..N).map(|_| BitVec::random(bits, &mut rng)).collect();
+
+    let mut slc = FlashCosmosDevice::new(SsdConfig::tiny_test());
+    slc.set_result_cache_capacity(0);
+    let slc_ids: Vec<usize> = vectors
+        .iter()
+        .enumerate()
+        .map(|(i, v)| slc.fc_write(&format!("s{i}"), v, StoreHints::and_group("g")).unwrap().id)
+        .collect();
+
+    let mut mlc = FlashCosmosDevice::new(SsdConfig::tiny_test());
+    mlc.set_result_cache_capacity(0);
+    let mut mlc_ids: Vec<usize> = Vec::new();
+    for pair in 0..N / 2 {
+        let handles = mlc
+            .fc_write_ml(
+                &[&format!("m{pair}a"), &format!("m{pair}b")],
+                &[&vectors[2 * pair], &vectors[2 * pair + 1]],
+                StoreHints::and_group(&format!("p{pair}")),
+            )
+            .unwrap();
+        mlc_ids.extend(handles.iter().map(|h| h.id));
+    }
+
+    let slc_query = Expr::and_vars(slc_ids.iter().copied());
+    let mlc_query = Expr::and_vars(mlc_ids.iter().copied());
+    let slc_stats = slc.fc_read(&slc_query).unwrap().1;
+    let mlc_stats = mlc.fc_read(&mlc_query).unwrap().1;
+    println!(
+        "mlsense/density6: MLC packs {N} operands into {} wordlines per stripe (SLC: {N}) \
+         at {} vs {} senses for the AND",
+        N / 2,
+        mlc_stats.senses,
+        slc_stats.senses
+    );
+
+    let mut group = c.benchmark_group("mlsense");
+    group.sample_size(10);
+    group.bench_function("and6_slc", |bench| {
+        bench.iter(|| slc.fc_read(std::hint::black_box(&slc_query)).unwrap().1.senses);
+    });
+    group.bench_function("and6_mlc_packed", |bench| {
+        bench.iter(|| mlc.fc_read(std::hint::black_box(&mlc_query)).unwrap().1.senses);
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bitvec_ops,
@@ -750,6 +884,8 @@ criterion_group!(
     cache_policy_zipf,
     recovery_tiers,
     ispp_program,
-    pipeline_sim
+    pipeline_sim,
+    mlsense_threshold,
+    mlsense_density
 );
 criterion_main!(benches);

@@ -221,6 +221,21 @@ pub(crate) enum UnitWork {
         /// The memoized unit output (`pages × page_bits` bits).
         result: BitVec,
     },
+    /// Controller evaluation: the unit touches a multi-level operand
+    /// ([`FlashCosmosDevice::fc_write_ml`]), whose pages are Gray-coded
+    /// cell levels rather than raw SLC bits — no MWS sense can combine
+    /// them, so the controller reads every operand page (2–4 senses per
+    /// MLC/TLC page) and evaluates the expression itself. This is the
+    /// density side of the §6.3 trade, priced honestly against in-flash
+    /// sensing.
+    Controller {
+        /// The unit expression, evaluated per stripe over the read pages.
+        nnf: Nnf,
+        /// The operands to read.
+        ids: Vec<OperandId>,
+        /// Total senses the page reads cost across all stripes.
+        senses: u64,
+    },
     /// Compiled per-plane programs to execute on the chips.
     Execute {
         /// All stripes' leaves, in flatten order (merge trees index into
@@ -475,6 +490,33 @@ impl FlashCosmosDevice {
                 });
                 continue;
             }
+            // Units touching a multi-level operand bypass the planner:
+            // their pages cannot join an MWS sense (see
+            // [`UnitWork::Controller`]).
+            if unit.ids.iter().any(|&id| self.operands.get(id).is_some_and(|r| r.ml)) {
+                let senses = self.controller_senses(&unit.ids)?;
+                form_cost.entry(unit.nnf.clone()).or_insert(senses);
+                if record_affinity {
+                    self.session.affinity.record(
+                        &unit.ids,
+                        senses,
+                        unit.pages as u64,
+                        unit.consumers.len() as u64,
+                        false,
+                    );
+                }
+                planned.push(PlannedUnit {
+                    pages: unit.pages,
+                    consumers: unit.consumers.clone(),
+                    work: UnitWork::Controller {
+                        nnf: unit.nnf.clone(),
+                        ids: unit.ids.clone(),
+                        senses,
+                    },
+                    key,
+                });
+                continue;
+            }
             let mut leaves: Vec<Leaf> = Vec::new();
             let mut slots: Vec<usize> = Vec::new();
             let mut direct: Vec<bool> = Vec::new();
@@ -526,8 +568,13 @@ impl FlashCosmosDevice {
                 Some(&c) => c,
                 None => {
                     let ids: Vec<OperandId> = nnf.operands().into_iter().collect();
-                    let senses = self.stripe_plan(nnf, &ids, 0, caps)?.sense_count() as u64
-                        * q_pages[qi] as u64;
+                    let senses =
+                        if ids.iter().any(|&id| self.operands.get(id).is_some_and(|r| r.ml)) {
+                            self.controller_senses(&ids)?
+                        } else {
+                            self.stripe_plan(nnf, &ids, 0, caps)?.sense_count() as u64
+                                * q_pages[qi] as u64
+                        };
                     form_cost.insert(nnf.clone(), senses);
                     senses
                 }
@@ -624,7 +671,9 @@ impl FlashCosmosDevice {
             .units
             .iter()
             .map(|u| match &u.work {
-                UnitWork::Execute { .. } => Some(BitVec::zeros(u.pages * page_bits)),
+                UnitWork::Execute { .. } | UnitWork::Controller { .. } => {
+                    Some(BitVec::zeros(u.pages * page_bits))
+                }
                 UnitWork::Cached { .. } => None,
             })
             .collect();
@@ -633,7 +682,7 @@ impl FlashCosmosDevice {
             .iter()
             .map(|u| match &u.work {
                 UnitWork::Execute { leaves, .. } => vec![None; leaves.len()],
-                UnitWork::Cached { .. } => Vec::new(),
+                UnitWork::Cached { .. } | UnitWork::Controller { .. } => Vec::new(),
             })
             .collect();
 
@@ -687,6 +736,55 @@ impl FlashCosmosDevice {
                 partials[ui][li] = Some(page);
             }
         }
+        // Controller units: read every operand page (the full multi-level
+        // page-read cost) and evaluate the expression in the controller.
+        for (ui, unit) in compiled.units.iter().enumerate() {
+            if unit_failed[ui].is_some() {
+                continue;
+            }
+            let UnitWork::Controller { nnf, ids, senses } = &unit.work else { continue };
+            let mut latency_total = 0.0;
+            let mut env: HashMap<OperandId, BitVec> = HashMap::new();
+            for slot in 0..unit.pages {
+                env.clear();
+                for &id in ids {
+                    let (lpn, die_flat, page_senses) = {
+                        let rec = &self.operands[id];
+                        let lpn = rec.lpns[slot];
+                        let meta =
+                            self.ssd.ftl().meta(lpn).expect("written operands carry metadata");
+                        let mode = meta.scheme.cell_mode();
+                        let s = if mode.bits_per_cell() > 1 {
+                            fc_nand::mlsense::senses_for_page(mode, meta.ml_page as usize)
+                        } else {
+                            1
+                        };
+                        (lpn, rec.dies[slot].flat(self.ssd.config()), s)
+                    };
+                    let page = self.ssd.read(lpn)?;
+                    let us = page_senses as f64 * fc_nand::calib::timing::T_R_SLC_US;
+                    own.push(die_flat, us);
+                    latency_total += us;
+                    env.insert(id, page);
+                }
+                let page = eval_nnf_page(nnf, &env);
+                unit_outs[ui]
+                    .as_mut()
+                    .expect("controller units own an output buffer")
+                    .copy_from(slot * page_bits, &page);
+            }
+            stats.senses += *senses;
+            stats.chip_time_us += latency_total;
+            debug_assert!(!unit.consumers.is_empty(), "plan units always feed ≥ 1 query");
+            if !unit.consumers.is_empty() {
+                let share = 1.0 / unit.consumers.len() as f64;
+                for &qi in &unit.consumers {
+                    let qs = &mut stats.per_query[qi];
+                    qs.senses += *senses as f64 * share;
+                    qs.chip_time_us += latency_total * share;
+                }
+            }
+        }
         stats.critical_path_us = own.busiest_us();
         stats.dies_used = own.dies_busy();
         if let Some(combined) = combined {
@@ -721,7 +819,7 @@ impl FlashCosmosDevice {
             }
             let (result, fresh_senses) = match &unit.work {
                 UnitWork::Cached { result, .. } => (result, None),
-                UnitWork::Execute { senses, .. } => (
+                UnitWork::Execute { senses, .. } | UnitWork::Controller { senses, .. } => (
                     unit_outs[ui].as_ref().expect("executable units own an output buffer"),
                     Some(*senses),
                 ),
@@ -744,6 +842,26 @@ impl FlashCosmosDevice {
             outs[f.query].reset(0, false);
         }
         Ok((stats, failures))
+    }
+
+    /// Senses a controller evaluation costs: every operand page is read
+    /// once, at its real page-read price (1 sense for SLC/ESP pages, 2–4
+    /// for MLC/TLC logical pages).
+    fn controller_senses(&self, ids: &[OperandId]) -> Result<u64, FcError> {
+        let mut senses = 0u64;
+        for &id in ids {
+            let rec = self.record(id)?;
+            for &lpn in &rec.lpns {
+                let meta = self.ssd.ftl().meta(lpn).expect("written operands carry metadata");
+                let mode = meta.scheme.cell_mode();
+                senses += if mode.bits_per_cell() > 1 {
+                    fc_nand::mlsense::senses_for_page(mode, meta.ml_page as usize) as u64
+                } else {
+                    1
+                };
+            }
+        }
+        Ok(senses)
     }
 
     /// Plan A: one unit per unique query, compiled exactly as a serial
@@ -901,6 +1019,45 @@ impl FlashCosmosDevice {
 /// XOR folds its negations into one parity bit (`!a ^ b == a ^ !b`).
 /// The *original* NNF is what gets compiled — the canonical form never
 /// reaches the planner.
+/// Controller-side evaluation of one stripe page over already-read
+/// operand pages (`env` maps operand id → its logical page bits).
+fn eval_nnf_page(nnf: &Nnf, env: &HashMap<OperandId, BitVec>) -> BitVec {
+    match nnf {
+        Nnf::Literal(l) => {
+            let p = env.get(&l.id).expect("unit env holds every operand page");
+            if l.negated {
+                p.not()
+            } else {
+                p.clone()
+            }
+        }
+        Nnf::And(cs) => {
+            let mut acc = eval_nnf_page(&cs[0], env);
+            for c in &cs[1..] {
+                acc.and_assign(&eval_nnf_page(c, env));
+            }
+            acc
+        }
+        Nnf::Or(cs) => {
+            let mut acc = eval_nnf_page(&cs[0], env);
+            for c in &cs[1..] {
+                acc.or_assign(&eval_nnf_page(c, env));
+            }
+            acc
+        }
+        Nnf::Xor(a, b) => {
+            let mut acc = eval_nnf_page(a, env);
+            acc.xor_assign(&eval_nnf_page(b, env));
+            acc
+        }
+        Nnf::Threshold { k, children } => {
+            let pages: Vec<BitVec> = children.iter().map(|c| eval_nnf_page(c, env)).collect();
+            let refs: Vec<&BitVec> = pages.iter().collect();
+            fc_nand::mlsense::threshold_ge_serial(&refs, *k)
+        }
+    }
+}
+
 pub(crate) fn canonicalize(nnf: &Nnf) -> Nnf {
     match nnf {
         Nnf::Literal(_) => nnf.clone(),
@@ -922,6 +1079,15 @@ pub(crate) fn canonicalize(nnf: &Nnf) -> Nnf {
             } else {
                 Nnf::Xor(Box::new(ca), Box::new(cb))
             }
+        }
+        // Votes commute, so children sort — but they do NOT dedup: a
+        // child appearing twice casts two votes (TH2(a,a,b) ≡ a, not
+        // TH2(a,b)). Degenerate k never appears here (`to_nnf` collapses
+        // k = 1 to OR and k = n to AND before batching).
+        Nnf::Threshold { k, children } => {
+            let mut canon: Vec<Nnf> = children.iter().map(canonicalize).collect();
+            canon.sort_by(nnf_cmp);
+            Nnf::Threshold { k: *k, children: canon }
         }
     }
 }
@@ -946,6 +1112,7 @@ fn nnf_cmp(a: &Nnf, b: &Nnf) -> Ordering {
             Nnf::And(_) => 1,
             Nnf::Or(_) => 2,
             Nnf::Xor(_, _) => 3,
+            Nnf::Threshold { .. } => 4,
         }
     }
     match (a, b) {
@@ -960,6 +1127,17 @@ fn nnf_cmp(a: &Nnf, b: &Nnf) -> Ordering {
             x.len().cmp(&y.len())
         }
         (Nnf::Xor(xa, xb), Nnf::Xor(ya, yb)) => nnf_cmp(xa, ya).then_with(|| nnf_cmp(xb, yb)),
+        (Nnf::Threshold { k: ka, children: xa }, Nnf::Threshold { k: kb, children: xb }) => {
+            ka.cmp(kb).then_with(|| {
+                for (cx, cy) in xa.iter().zip(xb.iter()) {
+                    let c = nnf_cmp(cx, cy);
+                    if c != Ordering::Equal {
+                        return c;
+                    }
+                }
+                xa.len().cmp(&xb.len())
+            })
+        }
         _ => rank(a).cmp(&rank(b)),
     }
 }

@@ -189,7 +189,7 @@ where
                 span.push(p);
             }
         }
-        Nnf::And(cs) | Nnf::Or(cs) => {
+        Nnf::And(cs) | Nnf::Or(cs) | Nnf::Threshold { children: cs, .. } => {
             for c in cs {
                 collect_span(c, plane_of, span)?;
             }
@@ -241,6 +241,14 @@ where
                 build(b, plane_of, leaf_compile, false)?,
             ];
             Ok(ExecPlan::Merge { op: MergeOp::Xor, parts })
+        }
+        Nnf::Threshold { .. } => {
+            // A vote spanning planes cannot be combined with the Boolean
+            // merge ops (it would need partial *counts*), so fall back to
+            // the exact OR-of-combinations expansion and split that —
+            // more senses, never a silently wrong page.
+            let expanded = crate::planner::expand_thresholds(nnf)?;
+            build(&expanded, plane_of, leaf_compile, top)
         }
     }
 }
@@ -367,6 +375,20 @@ mod tests {
         })
         .unwrap_err();
         assert!(matches!(err, PlanError::Unplannable(_)));
+    }
+
+    #[test]
+    fn spanning_threshold_expands_and_merges_exactly() {
+        // TH2 over operands on two dies: no Boolean merge op carries
+        // partial counts, so the splitter must expand the vote first.
+        let (map, planes) = layout(4);
+        let nnf = Expr::threshold_vars(2, 0..4).to_nnf();
+        let plan = compile_spanning(&nnf, &|id| planes.get(&id).copied(), &mut |sub| {
+            planner::compile(sub, &map, caps())
+        })
+        .unwrap();
+        assert_eq!(plan.die_count(), 2);
+        assert!(matches!(plan, ExecPlan::Merge { op: MergeOp::Or, .. }));
     }
 
     #[test]

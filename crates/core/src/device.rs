@@ -36,6 +36,8 @@ use std::collections::HashMap;
 
 use fc_bits::BitVec;
 use fc_nand::command::Command;
+use fc_nand::error::NandError;
+use fc_nand::ispp::ProgramScheme;
 use fc_ssd::device::{wl_addr, DeviceError, SsdDevice, WriteOptions};
 use fc_ssd::ftl::GroupKey;
 use fc_ssd::topology::{DieId, PlaneId};
@@ -57,7 +59,7 @@ pub struct OperandHandle {
 }
 
 /// How to store an operand (the application-level choices of §6.3).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StoreHints {
     /// Placement group: operands sharing a group land in the same blocks,
     /// stripe by stripe, so intra-block MWS can combine them.
@@ -74,17 +76,25 @@ pub struct StoreHints {
     /// across their blocks — use it for groups one expression combines
     /// (Eq. 1 / Fig. 16). `None` (default) spreads groups across dies.
     pub colocate: Option<String>,
+    /// Programming scheme override. `None` (default) keeps the ESP
+    /// computation path. A single-bit scheme ([`ProgramScheme::Slc`] /
+    /// [`ProgramScheme::Esp`]) trades program latency against V_TH margin
+    /// per operand; multi-bit schemes ([`ProgramScheme::Mlc`] /
+    /// [`ProgramScheme::Tlc`]) are only valid through
+    /// [`FlashCosmosDevice::fc_write_ml`], which packs 2–3 operands per
+    /// physical page.
+    pub scheme: Option<ProgramScheme>,
 }
 
 impl StoreHints {
     /// Operands that will be AND-ed together.
     pub fn and_group(name: &str) -> Self {
-        Self { group: name.to_string(), inverted: false, die: None, colocate: None }
+        Self { group: name.to_string(), inverted: false, die: None, colocate: None, scheme: None }
     }
 
     /// Operands that will be OR-ed together (stored inverted, §6.1).
     pub fn or_group(name: &str) -> Self {
-        Self { group: name.to_string(), inverted: true, die: None, colocate: None }
+        Self { group: name.to_string(), inverted: true, die: None, colocate: None, scheme: None }
     }
 
     /// Pins the placement group to one die (all stripe slots stay on it).
@@ -100,6 +110,14 @@ impl StoreHints {
     #[must_use]
     pub fn colocated(mut self, domain: &str) -> Self {
         self.colocate = Some(domain.to_string());
+        self
+    }
+
+    /// Overrides the programming scheme (density/latency/margin choice,
+    /// §6.3 — see [`StoreHints::scheme`]).
+    #[must_use]
+    pub fn with_scheme(mut self, scheme: ProgramScheme) -> Self {
+        self.scheme = Some(scheme);
         self
     }
 }
@@ -241,6 +259,11 @@ pub(crate) struct OperandRecord {
     /// generation can never be served stale (see
     /// [`crate::session`]).
     pub(crate) generation: u64,
+    /// Multi-level operand ([`FlashCosmosDevice::fc_write_ml`]): its pages
+    /// are Gray-coded cell levels, not raw SLC bits, so it cannot join an
+    /// MWS sense, be overwritten in place, or migrate — queries touching
+    /// it read pages through the controller.
+    pub(crate) ml: bool,
 }
 
 /// Where a placement group's blocks live: the base plane its stripe
@@ -530,6 +553,11 @@ impl FlashCosmosDevice {
         if self.names.contains_key(name) {
             return Err(FcError::DuplicateName(name.to_string()));
         }
+        if hints.scheme.is_some_and(|s| s.cell_mode().bits_per_cell() > 1) {
+            return Err(FcError::Device(DeviceError::Nand(NandError::InvalidMlsense(
+                "multi-bit schemes pack several operands per page; use fc_write_ml".to_string(),
+            ))));
+        }
         let (group_index, place) = self.group_placement(&hints)?;
         let page_bits = self.ssd.config().page_bits();
         let pages = data.len().div_ceil(page_bits).max(1);
@@ -555,11 +583,11 @@ impl FlashCosmosDevice {
             }
             let lpn = self.next_lpn;
             self.next_lpn += 1;
-            let ppa = self.ssd.write(
-                lpn,
-                &page,
-                WriteOptions::flash_cosmos(key, Some(plane), hints.inverted),
-            )?;
+            let mut opts = WriteOptions::flash_cosmos(key, Some(plane), hints.inverted);
+            if let Some(scheme) = hints.scheme {
+                opts.meta.scheme = scheme;
+            }
+            let ppa = self.ssd.write(lpn, &page, opts)?;
             lpns.push(lpn);
             planes.push(ppa.plane);
             dies.push(ppa.plane.die);
@@ -574,11 +602,122 @@ impl FlashCosmosDevice {
             dies,
             group_index,
             generation: self.generation_counter,
+            ml: false,
         });
         self.names.insert(name.to_string(), id);
         let member_lpns = self.operands[id].lpns.clone();
         self.parity_protect_lpns(&member_lpns)?;
         Ok(OperandHandle { id })
+    }
+
+    /// Stores 2–3 operand vectors **multi-level**: each stripe slot packs
+    /// all of them onto one physical wordline as MLC/TLC cell levels
+    /// (`names[b]` on Gray-code page `b`), so the group costs one
+    /// wordline where SLC storage costs two or three — the §6.3 density
+    /// choice, surfaced per operand set.
+    ///
+    /// The trade: ML operands are **storage, not compute** — their pages
+    /// are cell levels, not raw SLC bits, so an expression touching them
+    /// reads the pages through the controller (2–4 senses per MLC/TLC
+    /// page read) and evaluates there instead of fusing into an MWS
+    /// sense. They also cannot be overwritten in place or migrated, and
+    /// are not parity-protected (cross-die parity rebuilds raw SLC
+    /// stripes).
+    ///
+    /// `hints.scheme` picks the density ([`ProgramScheme::Mlc`] for 2
+    /// operands, [`ProgramScheme::Tlc`] for 3); `None` infers it from
+    /// `names.len()`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate names, operand-count/scheme mismatches
+    /// ([`NandError::InvalidMlsense`]), size mismatches between the
+    /// vectors, or SSD errors.
+    pub fn fc_write_ml(
+        &mut self,
+        names: &[&str],
+        datas: &[&BitVec],
+        hints: StoreHints,
+    ) -> Result<Vec<OperandHandle>, FcError> {
+        let scheme = hints.scheme.unwrap_or(match names.len() {
+            2 => ProgramScheme::Mlc,
+            _ => ProgramScheme::Tlc,
+        });
+        let bpc = scheme.cell_mode().bits_per_cell() as usize;
+        if bpc < 2 || names.len() != bpc || datas.len() != bpc {
+            return Err(FcError::Device(DeviceError::Nand(NandError::InvalidMlsense(format!(
+                "multi-level write needs a multi-bit scheme with exactly bits-per-cell \
+                 operands (scheme {scheme:?}, {} names, {} vectors)",
+                names.len(),
+                datas.len()
+            )))));
+        }
+        for name in names {
+            if self.names.contains_key(*name) {
+                return Err(FcError::DuplicateName((*name).to_string()));
+            }
+        }
+        let bits = datas[0].len();
+        if datas.iter().any(|d| d.len() != bits) {
+            return Err(FcError::SizeMismatch);
+        }
+        let (group_index, place) = self.group_placement(&hints)?;
+        let page_bits = self.ssd.config().page_bits();
+        let pages = bits.div_ceil(page_bits).max(1);
+        let mut lpns: Vec<Vec<u64>> = vec![Vec::with_capacity(pages); bpc];
+        let mut planes = Vec::with_capacity(pages);
+        let mut dies = Vec::with_capacity(pages);
+        for slot in 0..pages as u64 {
+            let fill = self.group_fill.entry((group_index, slot)).or_insert(0);
+            let wls = self.ssd.config().wls_per_block as u64;
+            let overflow = *fill / wls;
+            *fill += 1;
+            let key = GroupKey { group: group_index, slot, overflow };
+            let plane = self.plane_for_slot(place, slot);
+            let start = (slot as usize) * page_bits;
+            let len = page_bits.min(bits.saturating_sub(start));
+            let mut slot_lpns = Vec::with_capacity(bpc);
+            let mut slot_pages = Vec::with_capacity(bpc);
+            for data in datas {
+                let mut page = BitVec::zeros(page_bits);
+                if len > 0 {
+                    page.copy_from(0, &data.slice(start, len));
+                }
+                slot_lpns.push(self.next_lpn);
+                self.next_lpn += 1;
+                slot_pages.push(page);
+            }
+            let ppa = self.ssd.write_ml(
+                &slot_lpns,
+                &slot_pages,
+                fc_ssd::ftl::PlacementHint::Grouped { group: key, plane: Some(plane) },
+                scheme,
+                hints.inverted,
+            )?;
+            for (b, &lpn) in slot_lpns.iter().enumerate() {
+                lpns[b].push(lpn);
+            }
+            planes.push(ppa.plane);
+            dies.push(ppa.plane.die);
+        }
+        let mut handles = Vec::with_capacity(bpc);
+        for (name, operand_lpns) in names.iter().zip(lpns) {
+            let id = self.operands.len();
+            self.generation_counter += 1;
+            self.operands.push(OperandRecord {
+                name: (*name).to_string(),
+                bits,
+                lpns: operand_lpns,
+                planes: planes.clone(),
+                dies: dies.clone(),
+                group_index,
+                generation: self.generation_counter,
+                ml: true,
+            });
+            self.names.insert((*name).to_string(), id);
+            handles.push(OperandHandle { id });
+        }
+        Ok(handles)
     }
 
     /// Overwrites a stored operand's data in place (same name, same
@@ -600,6 +739,13 @@ impl FlashCosmosDevice {
     /// allocation/programming errors.
     pub fn fc_overwrite(&mut self, name: &str, data: &BitVec) -> Result<OperandHandle, FcError> {
         let id = *self.names.get(name).ok_or_else(|| FcError::UnknownName(name.to_string()))?;
+        if self.operands[id].ml {
+            return Err(FcError::Device(DeviceError::Nand(NandError::InvalidMlsense(
+                "multi-level operands share a wordline with their aliases and cannot be \
+                 overwritten in place; rewrite the whole operand group"
+                    .to_string(),
+            ))));
+        }
         if data.len() != self.operands[id].bits {
             return Err(FcError::SizeMismatch);
         }
@@ -841,6 +987,11 @@ impl FlashCosmosDevice {
     /// errors.
     pub fn migrate_operand(&mut self, name: &str, hints: StoreHints) -> Result<u64, FcError> {
         let id = *self.names.get(name).ok_or_else(|| FcError::UnknownName(name.to_string()))?;
+        if self.operands[id].ml {
+            return Err(FcError::Device(DeviceError::Nand(NandError::InvalidMlsense(
+                "multi-level operands cannot migrate; rewrite the operand group".to_string(),
+            ))));
+        }
         let (group_index, place) = self.group_placement(&hints)?;
         let wls = self.ssd.config().wls_per_block as u64;
         let lpns = self.operands[id].lpns.clone();
@@ -976,6 +1127,70 @@ mod tests {
         let expect = vs.iter().skip(1).fold(vs[0].clone(), |a, v| a.or(v));
         assert_eq!(result, expect);
         assert_eq!(stats.senses, 2, "2 stripes, one inverse MWS each");
+    }
+
+    #[test]
+    fn ml_operands_pack_one_wordline_and_answer_via_controller() {
+        let mut dev = device();
+        let vs = vectors(3, 700, 21);
+        let refs: Vec<&BitVec> = vs.iter().collect();
+        let handles = dev.fc_write_ml(&["a", "b", "c"], &refs, StoreHints::and_group("g")).unwrap();
+        assert_eq!(handles.len(), 3);
+        // All three operands share the physical wordlines (TLC density:
+        // one WL per stripe where SLC would burn three).
+        let dies_a = dev.operand_dies(handles[0].id).unwrap().to_vec();
+        assert_eq!(dev.operand_dies(handles[1].id).unwrap(), &dies_a[..]);
+        let lpn_a = dev.operands[handles[0].id].lpns[0];
+        let lpn_c = dev.operands[handles[2].id].lpns[0];
+        assert_eq!(dev.ssd.ftl().translate(lpn_a), dev.ssd.ftl().translate(lpn_c));
+        // Expressions over ML operands evaluate in the controller,
+        // bit-exactly, at the real multi-level page-read cost.
+        let expr = Expr::and(vec![
+            Expr::var(handles[0].id),
+            Expr::or(vec![Expr::var(handles[1].id), Expr::not(Expr::var(handles[2].id))]),
+        ]);
+        let (result, stats) = dev.fc_read(&expr).unwrap();
+        let expect = vs[0].and(&vs[1].or(&vs[2].not()));
+        assert_eq!(result, expect);
+        // 3 stripes × (TLC pages 0/1/2 cost 4+2+1 senses) = 21.
+        assert_eq!(stats.senses, 21);
+    }
+
+    #[test]
+    fn ml_operands_reject_in_place_mutation() {
+        let mut dev = device();
+        let vs = vectors(2, 256, 22);
+        let refs: Vec<&BitVec> = vs.iter().collect();
+        dev.fc_write_ml(&["a", "b"], &refs, StoreHints::and_group("g")).unwrap();
+        assert!(matches!(
+            dev.fc_overwrite("a", &vs[1]).unwrap_err(),
+            FcError::Device(DeviceError::Nand(NandError::InvalidMlsense(_)))
+        ));
+        assert!(matches!(
+            dev.migrate_operand("b", StoreHints::and_group("h")).unwrap_err(),
+            FcError::Device(DeviceError::Nand(NandError::InvalidMlsense(_)))
+        ));
+        // Single-operand writes refuse multi-bit schemes up front.
+        assert!(matches!(
+            dev.fc_write("c", &vs[0], StoreHints::and_group("g").with_scheme(ProgramScheme::Mlc))
+                .unwrap_err(),
+            FcError::Device(DeviceError::Nand(NandError::InvalidMlsense(_)))
+        ));
+    }
+
+    #[test]
+    fn ml_and_slc_operands_mix_in_one_query() {
+        let mut dev = device();
+        let vs = vectors(3, 300, 23);
+        let ml = dev
+            .fc_write_ml(&["m0", "m1"], &[&vs[0], &vs[1]], StoreHints::and_group("mlg"))
+            .unwrap();
+        let s = dev.fc_write("s", &vs[2], StoreHints::and_group("slc")).unwrap();
+        let expr = Expr::and(vec![Expr::var(ml[0].id), Expr::var(ml[1].id), Expr::var(s.id)]);
+        let (result, stats) = dev.fc_read(&expr).unwrap();
+        assert_eq!(result, vs[0].and(&vs[1]).and(&vs[2]));
+        // 2 stripes × (MLC pages 0/1 cost 1+2 senses, SLC costs 1).
+        assert_eq!(stats.senses, 8);
     }
 
     #[test]

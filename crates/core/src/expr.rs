@@ -22,13 +22,32 @@ pub enum Expr {
     Operand(OperandId),
     /// Bitwise complement.
     Not(Box<Expr>),
-    /// Bitwise AND over two or more sub-expressions.
+    /// Bitwise AND over at least one sub-expression ([`Expr::and`]
+    /// returns a single sub-expression unchanged, so constructor-built
+    /// trees always hold two or more here).
     And(Vec<Expr>),
-    /// Bitwise OR over two or more sub-expressions.
+    /// Bitwise OR over at least one sub-expression (same contract as
+    /// [`Expr::And`]: [`Expr::or`] collapses the one-child case).
     Or(Vec<Expr>),
     /// Bitwise XOR of exactly two sub-expressions (the chip's XOR logic
     /// is binary, §6.1).
     Xor(Box<Expr>, Box<Expr>),
+    /// Position-wise threshold vote: bit `i` of the result is 1 iff at
+    /// least `k` of the children have bit `i` set (the mlsense dynamic-
+    /// sensing primitive; MCFlash-style "≥ K of the activated cells").
+    /// [`Expr::threshold`] collapses `k = 1` to OR and `k = n` to AND,
+    /// so constructor-built trees hold `1 < k < n` here.
+    Threshold {
+        /// Minimum number of children that must be 1 at a bit position.
+        k: usize,
+        /// The voting sub-expressions (at least two).
+        children: Vec<Expr>,
+    },
+    /// Position-wise majority vote over the children — equivalent to
+    /// [`Expr::Threshold`] at `k = ⌈n/2⌉` (and normalized to exactly
+    /// that threshold by [`Expr::to_nnf`]), kept first-class so HDC-style
+    /// bundling reads as what it is.
+    Majority(Vec<Expr>),
 }
 
 impl Expr {
@@ -43,11 +62,12 @@ impl Expr {
         Expr::Not(Box::new(e))
     }
 
-    /// Bitwise AND of the given sub-expressions.
+    /// Bitwise AND of the given sub-expressions. A single sub-expression
+    /// is returned unchanged (AND of one thing is that thing).
     ///
     /// # Panics
     ///
-    /// Panics if fewer than one sub-expression is supplied.
+    /// Panics if `es` is empty.
     pub fn and(es: Vec<Expr>) -> Self {
         assert!(!es.is_empty(), "AND needs at least one sub-expression");
         if es.len() == 1 {
@@ -56,17 +76,74 @@ impl Expr {
         Expr::And(es)
     }
 
-    /// Bitwise OR of the given sub-expressions.
+    /// Bitwise OR of the given sub-expressions. A single sub-expression
+    /// is returned unchanged (OR of one thing is that thing).
     ///
     /// # Panics
     ///
-    /// Panics if fewer than one sub-expression is supplied.
+    /// Panics if `es` is empty.
     pub fn or(es: Vec<Expr>) -> Self {
         assert!(!es.is_empty(), "OR needs at least one sub-expression");
         if es.len() == 1 {
             return es.into_iter().next().unwrap();
         }
         Expr::Or(es)
+    }
+
+    /// Position-wise threshold vote: at least `k` of `es` are 1. Follows
+    /// the same degenerate-case contract as [`Expr::and`]/[`Expr::or`]:
+    /// `k = 1` collapses to OR, `k = n` to AND (and a single
+    /// sub-expression is therefore returned unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `es` is empty, `k` is zero, or `k` exceeds the number of
+    /// sub-expressions.
+    pub fn threshold(k: usize, es: Vec<Expr>) -> Self {
+        assert!(!es.is_empty(), "threshold needs at least one sub-expression");
+        assert!(k >= 1, "threshold k must be at least 1");
+        assert!(k <= es.len(), "threshold k={k} exceeds the {} sub-expressions", es.len());
+        if k == 1 {
+            Expr::or(es)
+        } else if k == es.len() {
+            Expr::and(es)
+        } else {
+            Expr::Threshold { k, children: es }
+        }
+    }
+
+    /// Position-wise threshold over operand ids.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Expr::threshold`].
+    pub fn threshold_vars<I: IntoIterator<Item = OperandId>>(k: usize, ids: I) -> Self {
+        Expr::threshold(k, ids.into_iter().map(Expr::var).collect())
+    }
+
+    /// Position-wise majority vote (threshold at `⌈n/2⌉`, the HDC
+    /// bundling operation). Degenerate cases collapse like
+    /// [`Expr::threshold`]: one sub-expression is returned unchanged and
+    /// two become an OR (`⌈2/2⌉ = 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `es` is empty.
+    pub fn majority(es: Vec<Expr>) -> Self {
+        assert!(!es.is_empty(), "majority needs at least one sub-expression");
+        if es.len() <= 2 {
+            return Expr::threshold(es.len().div_ceil(2), es);
+        }
+        Expr::Majority(es)
+    }
+
+    /// Position-wise majority over operand ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` is empty.
+    pub fn majority_vars<I: IntoIterator<Item = OperandId>>(ids: I) -> Self {
+        Expr::majority(ids.into_iter().map(Expr::var).collect())
     }
 
     /// Bitwise AND over operand ids (the common multi-operand case).
@@ -112,7 +189,10 @@ impl Expr {
                 out.insert(*id);
             }
             Expr::Not(e) => e.collect_operands(out),
-            Expr::And(es) | Expr::Or(es) => {
+            Expr::And(es)
+            | Expr::Or(es)
+            | Expr::Threshold { children: es, .. }
+            | Expr::Majority(es) => {
                 for e in es {
                     e.collect_operands(out);
                 }
@@ -148,6 +228,13 @@ impl Expr {
                 acc
             }
             Expr::Xor(a, b) => a.eval(lookup).xor(&b.eval(lookup)),
+            Expr::Threshold { k, children } => {
+                threshold_eval(*k, children.iter().map(|c| c.eval(lookup)).collect())
+            }
+            Expr::Majority(children) => threshold_eval(
+                children.len().div_ceil(2),
+                children.iter().map(|c| c.eval(lookup)).collect(),
+            ),
         }
     }
 
@@ -164,7 +251,10 @@ impl Expr {
         match self {
             Expr::Operand(_) => 1,
             Expr::Not(e) => e.operand_refs(),
-            Expr::And(es) | Expr::Or(es) => es.iter().map(Expr::operand_refs).sum(),
+            Expr::And(es)
+            | Expr::Or(es)
+            | Expr::Threshold { children: es, .. }
+            | Expr::Majority(es) => es.iter().map(Expr::operand_refs).sum(),
             Expr::Xor(a, b) => a.operand_refs() + b.operand_refs(),
         }
     }
@@ -236,8 +326,24 @@ impl fmt::Display for Expr {
             Expr::And(es) => write_joined(f, es, " & "),
             Expr::Or(es) => write_joined(f, es, " | "),
             Expr::Xor(a, b) => write!(f, "({a} ^ {b})"),
+            Expr::Threshold { k, children } => {
+                write!(f, "TH{k}")?;
+                write_joined(f, children, ", ")
+            }
+            Expr::Majority(children) => {
+                write!(f, "MAJ")?;
+                write_joined(f, children, ", ")
+            }
         }
     }
+}
+
+/// Ground-truth per-position vote: bit `i` of the result is 1 iff at
+/// least `k` of `votes` have bit `i` set. Deliberately scalar — the
+/// word-parallel bit-sliced counter lives in `fc_nand::mlsense` and is
+/// property-tested against exactly this.
+fn threshold_eval(k: usize, votes: Vec<BitVec>) -> BitVec {
+    BitVec::from_fn(votes[0].len(), |i| votes.iter().filter(|v| v.get(i)).count() >= k)
 }
 
 fn write_joined(f: &mut fmt::Formatter<'_>, es: &[Expr], sep: &str) -> fmt::Result {
@@ -281,6 +387,18 @@ pub enum Nnf {
     Or(Vec<Nnf>),
     /// XOR of two children (negation hoisted onto the left child).
     Xor(Box<Nnf>, Box<Nnf>),
+    /// Threshold vote over three or more children with `1 < k < n`
+    /// (degenerate thresholds collapse to [`Nnf::Or`]/[`Nnf::And`]
+    /// during normalization; `Expr::Majority` normalizes to a threshold
+    /// at `k = ⌈n/2⌉`). Negation commutes through the vote as
+    /// `NOT THkₙ(c…) = TH(n−k+1)ₙ(!c…)`, so no `Not` node is needed.
+    Threshold {
+        /// Minimum number of children that must be 1 at a bit position.
+        k: usize,
+        /// The voting children (multiplicity is semantic: a child
+        /// appearing twice casts two votes, so no dedup happens here).
+        children: Vec<Nnf>,
+    },
 }
 
 impl Nnf {
@@ -296,7 +414,7 @@ impl Nnf {
             Nnf::Literal(l) => {
                 out.insert(l.id);
             }
-            Nnf::And(cs) | Nnf::Or(cs) => {
+            Nnf::And(cs) | Nnf::Or(cs) | Nnf::Threshold { children: cs, .. } => {
                 for c in cs {
                     c.collect_operands(out);
                 }
@@ -335,6 +453,9 @@ impl Nnf {
                 acc
             }
             Nnf::Xor(a, b) => a.eval(lookup).xor(&b.eval(lookup)),
+            Nnf::Threshold { k, children } => {
+                threshold_eval(*k, children.iter().map(|c| c.eval(lookup)).collect())
+            }
         }
     }
 }
@@ -365,10 +486,30 @@ fn nnf_of(e: &Expr, negate: bool) -> Nnf {
             let right = nnf_of(b, false);
             Nnf::Xor(Box::new(left), Box::new(right))
         }
+        Expr::Threshold { k, children } => nnf_threshold(*k, children, negate),
+        Expr::Majority(children) => nnf_threshold(children.len().div_ceil(2), children, negate),
     }
 }
 
-fn flatten_and(children: Vec<Nnf>) -> Nnf {
+/// Normalizes a threshold node, pushing negation through the vote:
+/// fewer than `k` ones means at least `n − k + 1` zeros, so
+/// `NOT THkₙ(c…) = TH(n−k+1)ₙ(!c…)`. The (possibly flipped) threshold
+/// then collapses to OR at `k = 1` and AND at `k = n`, keeping
+/// [`Nnf::Threshold`] strictly between the degenerate forms.
+fn nnf_threshold(k: usize, children: &[Expr], negate: bool) -> Nnf {
+    let n = children.len();
+    let k = if negate { n - k + 1 } else { k };
+    let cs: Vec<Nnf> = children.iter().map(|c| nnf_of(c, negate)).collect();
+    if k == 1 {
+        flatten_or(cs)
+    } else if k == n {
+        flatten_and(cs)
+    } else {
+        Nnf::Threshold { k, children: cs }
+    }
+}
+
+pub(crate) fn flatten_and(children: Vec<Nnf>) -> Nnf {
     let mut flat = Vec::with_capacity(children.len());
     for c in children {
         match c {
@@ -383,7 +524,7 @@ fn flatten_and(children: Vec<Nnf>) -> Nnf {
     }
 }
 
-fn flatten_or(children: Vec<Nnf>) -> Nnf {
+pub(crate) fn flatten_or(children: Vec<Nnf>) -> Nnf {
     let mut flat = Vec::with_capacity(children.len());
     for c in children {
         match c {
@@ -523,5 +664,142 @@ mod tests {
         let e = Expr::or(vec![Expr::and_vars([0, 1]), Expr::not(Expr::var(2))]);
         assert_eq!(e.to_string(), "((v0 & v1) | !v2)");
         assert_eq!(Literal { id: 4, negated: true }.to_string(), "!v4");
+        assert_eq!(Expr::threshold_vars(2, [0, 1, 2]).to_string(), "TH2(v0, v1, v2)");
+        assert_eq!(Expr::majority_vars([0, 1, 2]).to_string(), "MAJ(v0, v1, v2)");
+    }
+
+    #[test]
+    fn threshold_eval_counts_votes() {
+        let t = table(5, 512, 20);
+        let lookup = |i: usize| t[i].clone();
+        for k in 1..=5 {
+            let e = Expr::threshold_vars(k, 0..5);
+            let got = e.eval(&lookup);
+            for i in 0..512 {
+                let votes = (0..5).filter(|&j| t[j].get(i)).count();
+                assert_eq!(got.get(i), votes >= k, "k={k} bit {i} ({votes} votes)");
+            }
+        }
+    }
+
+    #[test]
+    fn majority_is_threshold_at_half() {
+        let t = table(9, 256, 21);
+        let lookup = |i: usize| t[i].clone();
+        let maj = Expr::majority_vars(0..9);
+        assert_eq!(maj.eval(&lookup), Expr::threshold_vars(5, 0..9).eval(&lookup));
+        assert_eq!(maj.to_nnf(), Expr::threshold_vars(5, 0..9).to_nnf());
+    }
+
+    #[test]
+    fn threshold_degenerate_cases_collapse() {
+        assert_eq!(Expr::threshold_vars(1, [0, 1, 2]), Expr::or_vars([0, 1, 2]));
+        assert_eq!(Expr::threshold_vars(3, [0, 1, 2]), Expr::and_vars([0, 1, 2]));
+        assert_eq!(Expr::threshold_vars(1, [4]), Expr::var(4));
+        assert_eq!(Expr::majority_vars([4]), Expr::var(4));
+        assert_eq!(Expr::majority_vars([0, 1]), Expr::or_vars([0, 1]));
+    }
+
+    #[test]
+    fn threshold_nnf_duality_preserves_semantics() {
+        let t = table(7, 512, 22);
+        let lookup = |i: usize| t[i].clone();
+        let exprs = vec![
+            Expr::not(Expr::threshold_vars(3, 0..7)),
+            Expr::not(Expr::majority_vars(0..5)),
+            Expr::threshold(2, vec![Expr::not(Expr::var(0)), Expr::and_vars([1, 2]), Expr::var(3)]),
+            Expr::not(Expr::threshold(
+                2,
+                vec![Expr::var(0), Expr::not(Expr::majority_vars(1..6)), Expr::var(6)],
+            )),
+            // NOT TH2₃ flips to TH2₃ over negated children (n−k+1 = 2).
+            Expr::nor(vec![Expr::threshold_vars(2, 0..3), Expr::var(4)]),
+        ];
+        for e in exprs {
+            assert_eq!(e.to_nnf().eval(&lookup), e.eval(&lookup), "expr {e}");
+        }
+    }
+
+    #[test]
+    fn threshold_nnf_duality_flips_k() {
+        // NOT TH4₅ = TH2₅ over negated literals.
+        match Expr::not(Expr::threshold_vars(4, 0..5)).to_nnf() {
+            Nnf::Threshold { k, children } => {
+                assert_eq!(k, 2);
+                assert_eq!(children.len(), 5);
+                assert!(children
+                    .iter()
+                    .all(|c| matches!(c, Nnf::Literal(Literal { negated: true, .. }))));
+            }
+            other => panic!("expected Threshold, got {other:?}"),
+        }
+        // A hand-built degenerate threshold (bypassing the constructor)
+        // still collapses during normalization: NOT TH1₃ flips to
+        // k' = n − 1 + 1 = 3 = n, i.e. AND over negated literals.
+        let raw = Expr::Not(Box::new(Expr::Threshold {
+            k: 1,
+            children: vec![Expr::var(0), Expr::var(1), Expr::var(2)],
+        }));
+        match raw.to_nnf() {
+            Nnf::And(cs) => assert_eq!(cs.len(), 3),
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn threshold_multiplicity_counts_votes() {
+        // The same operand twice casts two votes: TH2(v0, v0, v1) = v0 | (v0 & v1) = v0.
+        let t = table(2, 256, 23);
+        let lookup = |i: usize| t[i].clone();
+        let e = Expr::threshold(2, vec![Expr::var(0), Expr::var(0), Expr::var(1)]);
+        assert_eq!(e.eval(&lookup), t[0]);
+        assert_eq!(e.to_nnf().eval(&lookup), t[0]);
+    }
+
+    #[test]
+    fn threshold_operand_collection() {
+        let e = Expr::threshold(2, vec![Expr::var(5), Expr::not(Expr::var(1)), Expr::var(3)]);
+        assert_eq!(e.operands().into_iter().collect::<Vec<_>>(), vec![1, 3, 5]);
+        assert_eq!(e.operand_refs(), 3);
+        assert_eq!(e.to_nnf().operands().into_iter().collect::<Vec<_>>(), vec![1, 3, 5]);
+        let m = Expr::majority_vars([0, 2, 2]);
+        assert_eq!(m.operands().into_iter().collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(m.operand_refs(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "AND needs at least one")]
+    fn empty_and_panics() {
+        let _ = Expr::and(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "OR needs at least one")]
+    fn empty_or_panics() {
+        let _ = Expr::or(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold needs at least one")]
+    fn empty_threshold_panics() {
+        let _ = Expr::threshold(1, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_threshold_panics() {
+        let _ = Expr::threshold_vars(0, [0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 2 sub-expressions")]
+    fn oversized_k_threshold_panics() {
+        let _ = Expr::threshold_vars(3, [0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "majority needs at least one")]
+    fn empty_majority_panics() {
+        let _ = Expr::majority(vec![]);
     }
 }

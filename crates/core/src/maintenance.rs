@@ -623,6 +623,12 @@ impl crate::device::FlashCosmosDevice {
             }) {
                 continue;
             }
+            // Multi-level operands cannot migrate (their wordlines back
+            // several aliased pages), so a set containing one is not
+            // gatherable.
+            if set.ids.iter().any(|&id| self.operands.get(id).is_none_or(|r| r.ml)) {
+                continue;
+            }
             // Gathering requires polarity-uniform, still-registered
             // operands (an AND set stores raw pages, an OR set inverses;
             // a mixed block cannot single-sense either way).
@@ -651,6 +657,7 @@ impl crate::device::FlashCosmosDevice {
                     inverted,
                     die: Some(target_die),
                     colocate: Some(domain.clone()),
+                    scheme: None,
                 };
                 set_jobs.push(RegroupJob {
                     name: rec.name.clone(),

@@ -74,6 +74,17 @@ pub fn sense_cost(nnf: &Nnf) -> usize {
         Nnf::Literal(_) => 1,
         Nnf::And(cs) | Nnf::Or(cs) => cs.iter().map(sense_cost).sum(),
         Nnf::Xor(a, b) => sense_cost(a) + sense_cost(b),
+        Nnf::Threshold { k, children } => {
+            // ParaBit has no vote counter, so it must execute the exact
+            // OR-of-C(n,k)-ANDs expansion serially; each child is sensed
+            // once per size-k combination it belongs to, i.e. C(n−1, k−1)
+            // times (saturating — the cost is astronomical either way).
+            let per_combo = crate::planner::binomial(children.len() - 1, k - 1);
+            children
+                .iter()
+                .map(sense_cost)
+                .fold(0usize, |acc, c| acc.saturating_add(c.saturating_mul(per_combo)))
+        }
     }
 }
 

@@ -86,6 +86,7 @@ impl Advisor {
             inverted,
             die: None,
             colocate: Some(self.domain.clone()),
+            scheme: None,
         };
         self.hints.entry(id).or_insert(hints);
     }
@@ -154,6 +155,20 @@ impl Advisor {
                     }
                 }
                 senses.max(2)
+            }
+            Nnf::Threshold { children, .. } => {
+                // A vote wants all operands on co-located wordlines of ONE
+                // block with uniform raw polarity: negated votes store
+                // inverted so every raw page equals its literal's value,
+                // and the planner's dynamic threshold sense answers the
+                // whole vote in a single command.
+                let group = self.fresh_group("vote");
+                for c in children {
+                    if let Nnf::Literal(l) = c {
+                        self.assign(l.id, &group, l.negated);
+                    }
+                }
+                1
             }
         }
     }
@@ -358,6 +373,39 @@ mod tests {
         assert_eq!(advice.estimated_senses, 3);
         let (senses, _) = validate(&expr, 20, 6);
         assert_eq!(senses, 3);
+    }
+
+    #[test]
+    fn threshold_advice_yields_one_dynamic_sense() {
+        // TH3 over 6 vectors: advisor co-locates the vote in one group,
+        // the planner answers it with a single ThresholdMws per stripe.
+        let expr = Expr::threshold_vars(3, 0..6);
+        let advice = suggest_hints(&expr, tiny_caps());
+        let g = advice.hints_for(0).group.clone();
+        assert!((1..6).all(|i| advice.hints_for(i).group == g), "one vote, one block");
+        assert_eq!(advice.estimated_senses, 1);
+        let (senses, _) = validate(&expr, 6, 8);
+        assert_eq!(senses, 1, "the dynamic sense answers the vote in one command");
+    }
+
+    #[test]
+    fn majority_advice_is_exact_in_flash() {
+        let expr = Expr::majority_vars(0..7);
+        let (senses, estimate) = validate(&expr, 7, 9);
+        assert_eq!(senses, 1);
+        assert_eq!(estimate, 1);
+    }
+
+    #[test]
+    fn threshold_with_negated_votes_stores_them_inverted() {
+        // TH2(v0, !v1, v2): the negated vote stores inverted so the raw
+        // polarity stays uniform and the single sense still applies.
+        let expr = Expr::threshold(2, vec![Expr::var(0), Expr::not(Expr::var(1)), Expr::var(2)]);
+        let advice = suggest_hints(&expr, tiny_caps());
+        assert!(!advice.hints_for(0).inverted);
+        assert!(advice.hints_for(1).inverted);
+        let (senses, _) = validate(&expr, 3, 10);
+        assert_eq!(senses, 1);
     }
 
     #[test]

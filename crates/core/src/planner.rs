@@ -41,7 +41,7 @@ use fc_nand::geometry::{BlockAddr, WlAddr};
 use fc_nand::sense;
 use serde::{Deserialize, Serialize};
 
-use crate::expr::{Literal, Nnf, OperandId};
+use crate::expr::{flatten_and, flatten_or, Literal, Nnf, OperandId};
 
 /// Where one operand's page lives on the plane, and how it was stored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -173,7 +173,10 @@ impl MwsProgram {
     /// Number of sensing operations (MWS commands) in the program — the
     /// paper's headline cost metric.
     pub fn sense_count(&self) -> usize {
-        self.commands.iter().filter(|c| matches!(c, Command::Mws { .. })).count()
+        self.commands
+            .iter()
+            .filter(|c| matches!(c, Command::Mws { .. } | Command::ThresholdMws { .. }))
+            .count()
     }
 
     /// Estimated chip latency of the program, µs, using the Fig. 12/13
@@ -185,6 +188,9 @@ impl MwsProgram {
                 Command::Mws { targets, .. } => {
                     let max_wls = targets.iter().map(MwsTarget::wl_count).max().unwrap_or(1);
                     sense::mws_latency_us(timing::T_R_SLC_US, max_wls, targets.len())
+                }
+                Command::ThresholdMws { target, .. } => {
+                    sense::mws_latency_us(timing::T_R_SLC_US, target.wl_count(), 1)
                 }
                 _ => 0.0,
             })
@@ -204,11 +210,29 @@ pub fn compile(
     placements: &PlacementMap,
     caps: PlannerCaps,
 ) -> Result<MwsProgram, PlanError> {
-    let mut planner = Planner { placements, caps, plane: None };
     // XOR programs have their own two-command + XorLatch shape.
     if let Nnf::Xor(a, b) = nnf {
+        let mut planner = Planner { placements, caps, plane: None };
         return planner.compile_xor(a, b);
     }
+    // Dynamic-sense lowering: a top-level threshold whose literals share
+    // one block with uniform raw polarity is a single `ThresholdMws`.
+    if let Nnf::Threshold { k, children } = nnf {
+        let mut planner = Planner { placements, caps, plane: None };
+        if let Some(p) = planner.try_compile_threshold(*k, children)? {
+            return Ok(p);
+        }
+    }
+    // Any threshold the dynamic sense cannot serve takes the exact
+    // OR-of-combinations expansion through the latch strategies.
+    let expanded;
+    let nnf = if contains_threshold(nnf) {
+        expanded = expand_thresholds(nnf)?;
+        &expanded
+    } else {
+        nnf
+    };
+    let mut planner = Planner { placements, caps, plane: None };
     match planner.compile_and_strategy(nnf) {
         Ok(p) => Ok(p),
         Err(first_err) => {
@@ -234,7 +258,101 @@ pub fn negate_nnf(nnf: &Nnf) -> Nnf {
         Nnf::And(cs) => Nnf::Or(cs.iter().map(negate_nnf).collect()),
         Nnf::Or(cs) => Nnf::And(cs.iter().map(negate_nnf).collect()),
         Nnf::Xor(a, b) => Nnf::Xor(Box::new(negate_nnf(a)), Box::new(b.as_ref().clone())),
+        // Fewer than k ones means at least n−k+1 zeros:
+        // NOT THkₙ(c…) = TH(n−k+1)ₙ(!c…). The NNF invariant 1 < k < n is
+        // preserved because k ↦ n−k+1 maps (1, n) onto itself.
+        Nnf::Threshold { k, children } => Nnf::Threshold {
+            k: children.len() - *k + 1,
+            children: children.iter().map(negate_nnf).collect(),
+        },
     }
+}
+
+/// Whether any threshold node remains in the tree.
+fn contains_threshold(nnf: &Nnf) -> bool {
+    match nnf {
+        Nnf::Literal(_) => false,
+        Nnf::And(cs) | Nnf::Or(cs) => cs.iter().any(contains_threshold),
+        Nnf::Xor(a, b) => contains_threshold(a) || contains_threshold(b),
+        Nnf::Threshold { .. } => true,
+    }
+}
+
+/// Cap on the number of AND terms one threshold may expand into,
+/// mirroring `ops::at_least_k_of`.
+const MAX_THRESHOLD_COMBOS: usize = 10_000;
+
+/// Rewrites every threshold node into its exact `OR` of `C(n, k)`
+/// size-`k` `AND` combinations so the latch strategies can lower it.
+///
+/// This is the fallback when the dynamic sense does not apply (mixed
+/// raw polarity, operands spread over blocks or planes, nested votes,
+/// repeated wordlines): it is exact — never silently approximate — but
+/// costs combinatorially more senses, which is precisely the gap the
+/// `ThresholdMws` primitive closes.
+pub(crate) fn expand_thresholds(nnf: &Nnf) -> Result<Nnf, PlanError> {
+    Ok(match nnf {
+        Nnf::Literal(l) => Nnf::Literal(*l),
+        Nnf::And(cs) => {
+            flatten_and(cs.iter().map(expand_thresholds).collect::<Result<Vec<_>, _>>()?)
+        }
+        Nnf::Or(cs) => flatten_or(cs.iter().map(expand_thresholds).collect::<Result<Vec<_>, _>>()?),
+        Nnf::Xor(a, b) => {
+            Nnf::Xor(Box::new(expand_thresholds(a)?), Box::new(expand_thresholds(b)?))
+        }
+        Nnf::Threshold { k, children } => {
+            let children: Vec<Nnf> =
+                children.iter().map(expand_thresholds).collect::<Result<Vec<_>, _>>()?;
+            let n = children.len();
+            if binomial(n, *k) > MAX_THRESHOLD_COMBOS {
+                return Err(PlanError::Unplannable(format!(
+                    "threshold C({n}, {k}) expansion exceeds {MAX_THRESHOLD_COMBOS} terms; \
+                     co-locate the operands in one block so the dynamic sense applies"
+                )));
+            }
+            let disjuncts: Vec<Nnf> = index_combinations(n, *k)
+                .into_iter()
+                .map(|combo| flatten_and(combo.into_iter().map(|i| children[i].clone()).collect()))
+                .collect();
+            flatten_or(disjuncts)
+        }
+    })
+}
+
+/// `C(n, k)`, saturating far above [`MAX_THRESHOLD_COMBOS`].
+pub(crate) fn binomial(n: usize, k: usize) -> usize {
+    let k = k.min(n - k);
+    let mut c: usize = 1;
+    for i in 0..k {
+        // Exact at each step: the running product of i+1 consecutive
+        // binomial factors is divisible by (i + 1).
+        c = c.saturating_mul(n - i) / (i + 1);
+        if c > 1_000_000 {
+            return usize::MAX;
+        }
+    }
+    c
+}
+
+/// All size-`k` index subsets of `0..n`, lexicographic.
+fn index_combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
+    fn rec(start: usize, n: usize, k: usize, stack: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if stack.len() == k {
+            out.push(stack.clone());
+            return;
+        }
+        for i in start..n {
+            if n - i < k - stack.len() {
+                break;
+            }
+            stack.push(i);
+            rec(i + 1, n, k, stack, out);
+            stack.pop();
+        }
+    }
+    let mut out = Vec::new();
+    rec(0, n, k, &mut Vec::with_capacity(k), &mut out);
+    out
 }
 
 /// A literal resolved against the data layout.
@@ -319,6 +437,16 @@ impl<'a> Planner<'a> {
                 Nnf::Xor(_, _) => {
                     return Err(PlanError::Unplannable(
                         "XOR may only appear at the top of an expression".to_string(),
+                    ))
+                }
+                // `compile` expands thresholds before strategy lowering;
+                // reject rather than answer wrong if one slips through a
+                // future call path.
+                Nnf::Threshold { .. } => {
+                    return Err(PlanError::Unplannable(
+                        "a threshold group must be expanded or dynamically sensed \
+                         before strategy lowering"
+                            .to_string(),
                     ))
                 }
             }
@@ -542,6 +670,55 @@ impl<'a> Planner<'a> {
             wls.push(r.wl.wl);
         }
         Ok(block.map(|b| MwsTarget::new(b, &wls)))
+    }
+
+    /// Single-sense threshold lowering (`mlsense`): when every vote is a
+    /// literal on a *distinct* wordline of **one** block and all votes
+    /// share the same raw polarity, one dynamic-reference `ThresholdMws`
+    /// answers the whole vote:
+    ///
+    /// * uniform raw-complement (`raw_positive == false`): a true vote is
+    ///   a programmed cell, so "≥ k of n true" is exactly the chip's
+    ///   "≥ k activated cells programmed" report — direct `k`.
+    /// * uniform raw-positive: a true vote is an *erased* cell;
+    ///   "≥ k erased" = NOT("≥ n−k+1 programmed"), so the chip senses at
+    ///   `k' = n−k+1` and the controller complements the page.
+    ///
+    /// Returns `Ok(None)` when the shape does not fit (mixed polarity,
+    /// multiple blocks, nested votes, repeated wordlines — a repeat would
+    /// silently collapse in the activation bitmap and lose a vote); the
+    /// caller then falls back to the exact OR-of-combinations expansion.
+    fn try_compile_threshold(
+        &mut self,
+        k: usize,
+        children: &[Nnf],
+    ) -> Result<Option<MwsProgram>, PlanError> {
+        let n = children.len();
+        let mut raws: Vec<RawLiteral> = Vec::with_capacity(n);
+        for c in children {
+            let Nnf::Literal(lit) = c else { return Ok(None) };
+            raws.push(self.resolve(*lit)?);
+        }
+        let raw_positive = raws[0].raw_positive;
+        if raws.iter().any(|r| r.raw_positive != raw_positive) {
+            return Ok(None);
+        }
+        let block = raws[0].wl.block();
+        if raws.iter().any(|r| r.wl.block() != block) {
+            return Ok(None);
+        }
+        let mut wls: Vec<u32> = raws.iter().map(|r| r.wl.wl).collect();
+        wls.sort_unstable();
+        if wls.windows(2).any(|w| w[0] == w[1]) {
+            return Ok(None);
+        }
+        if n > self.caps.wls_per_block {
+            return Ok(None);
+        }
+        let (chip_k, controller_not) = if raw_positive { (n - k + 1, true) } else { (k, false) };
+        let target = MwsTarget::new(block, &wls);
+        let commands = vec![Command::ThresholdMws { target, k: chip_k }];
+        Ok(Some(MwsProgram { commands, controller_not, plane: self.plane() }))
     }
 
     /// XOR program: C ← value(a); S ← value(b); C ← S XOR C.
@@ -886,6 +1063,140 @@ mod tests {
         m.insert(1, WlAddr::new(1, 0, 0), false);
         let e = Expr::and_vars(0..2);
         assert_eq!(compile(&e.to_nnf(), &m, caps()).unwrap_err(), PlanError::PlaneMismatch);
+    }
+
+    #[test]
+    fn threshold_of_colocated_raw_positive_literals_is_one_dynamic_sense() {
+        // Straight (non-inverted) storage: a true vote is an erased cell,
+        // so the chip counts the complement — k' = n−k+1, controller NOT.
+        let m = straight_placement(5, 0);
+        let e = Expr::threshold_vars(3, 0..5);
+        let p = compile(&e.to_nnf(), &m, caps()).unwrap();
+        assert_eq!(p.sense_count(), 1);
+        assert!(p.controller_not);
+        match &p.commands[0] {
+            Command::ThresholdMws { target, k } => {
+                assert_eq!(*k, 3, "k' = n − k + 1 = 5 − 3 + 1");
+                assert_eq!(target.wl_count(), 5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(p.estimated_latency_us() > 0.0);
+    }
+
+    #[test]
+    fn threshold_of_inverted_storage_senses_direct_k() {
+        // Operands stored inverted: a true vote is a programmed cell —
+        // the chip's report is the answer as-is.
+        let mut m = PlacementMap::new();
+        for i in 0..7 {
+            m.insert(i, WlAddr::new(0, 3, i as u32), true);
+        }
+        let e = Expr::threshold_vars(2, 0..7);
+        let p = compile(&e.to_nnf(), &m, caps()).unwrap();
+        assert_eq!(p.sense_count(), 1);
+        assert!(!p.controller_not);
+        match &p.commands[0] {
+            Command::ThresholdMws { target, k } => {
+                assert_eq!(*k, 2);
+                assert_eq!(target.wl_count(), 7);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn majority_lowers_through_threshold() {
+        let m = straight_placement(7, 0);
+        let e = Expr::majority_vars(0..7);
+        let p = compile(&e.to_nnf(), &m, caps()).unwrap();
+        assert_eq!(p.sense_count(), 1);
+        match &p.commands[0] {
+            Command::ThresholdMws { k, .. } => assert_eq!(*k, 4, "7 − ⌈7/2⌉ + 1"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn threshold_wider_than_the_string_expands() {
+        // 9 votes do not fit an 8-WL string: no single activation can
+        // cover the vote, so the expansion takes over (C(9, 5) ANDs).
+        let m = straight_placement(9, 0);
+        let e = Expr::majority_vars(0..9);
+        let p = compile(&e.to_nnf(), &m, caps()).unwrap();
+        assert!(p.sense_count() > 1);
+        assert!(!p.commands.iter().any(|c| matches!(c, Command::ThresholdMws { .. })));
+    }
+
+    #[test]
+    fn negated_threshold_flips_k_and_stays_one_sense() {
+        // NOT TH3₅(v…) = TH3₅(!v…); the negated literals over straight
+        // storage are raw-complement → direct chip k, no controller NOT.
+        let m = straight_placement(5, 0);
+        let e = Expr::not(Expr::threshold_vars(3, 0..5));
+        let p = compile(&e.to_nnf(), &m, caps()).unwrap();
+        assert_eq!(p.sense_count(), 1);
+        assert!(!p.controller_not);
+        match &p.commands[0] {
+            Command::ThresholdMws { k, .. } => assert_eq!(*k, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn threshold_with_mixed_polarity_expands_exactly() {
+        // Two operands stored inverted, three straight: no uniform raw
+        // polarity → the planner must fall back to the OR-of-C(n,k)-ANDs
+        // expansion rather than answer wrong. (Operands sit in distinct
+        // blocks so the expansion's inverse commands stay conflict-free.)
+        let mut m = PlacementMap::new();
+        for i in 0..3 {
+            m.insert(i, WlAddr::new(0, i as u32, 0), false);
+        }
+        m.insert(3, WlAddr::new(0, 3, 0), true);
+        m.insert(4, WlAddr::new(0, 4, 0), true);
+        let e = Expr::threshold_vars(4, 0..5);
+        let p = compile(&e.to_nnf(), &m, caps()).unwrap();
+        assert!(p.sense_count() > 1, "expansion costs more senses");
+        assert!(!p.commands.iter().any(|c| matches!(c, Command::ThresholdMws { .. })));
+    }
+
+    #[test]
+    fn threshold_spread_over_blocks_expands_exactly() {
+        let mut m = PlacementMap::new();
+        for i in 0..4 {
+            m.insert(i, WlAddr::new(0, i as u32, 0), false);
+        }
+        let e = Expr::threshold_vars(3, 0..4);
+        let p = compile(&e.to_nnf(), &m, caps()).unwrap();
+        assert!(p.sense_count() > 1);
+        assert!(!p.commands.iter().any(|c| matches!(c, Command::ThresholdMws { .. })));
+    }
+
+    #[test]
+    fn threshold_with_repeated_wordline_keeps_vote_multiplicity() {
+        // TH2(v0, v0, v1) ≡ v0: a repeated wordline would collapse in the
+        // activation bitmap, so the dynamic sense must refuse and the
+        // expansion (which keeps multiplicity) take over.
+        let m = straight_placement(2, 0);
+        let e = Expr::threshold(2, vec![Expr::var(0), Expr::var(0), Expr::var(1)]);
+        let p = compile(&e.to_nnf(), &m, caps()).unwrap();
+        assert!(!p.commands.iter().any(|c| matches!(c, Command::ThresholdMws { .. })));
+    }
+
+    #[test]
+    fn oversized_threshold_expansion_is_rejected() {
+        // C(20, 10) = 184,756 > 10,000 — and the operands span blocks so
+        // the dynamic sense cannot serve it either.
+        let mut m = PlacementMap::new();
+        for i in 0..20 {
+            m.insert(i, WlAddr::new(0, (i % 5) as u32, (i / 5) as u32), false);
+        }
+        let e = Expr::threshold_vars(10, 0..20);
+        match compile(&e.to_nnf(), &m, caps()) {
+            Err(PlanError::Unplannable(msg)) => assert!(msg.contains("expansion")),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

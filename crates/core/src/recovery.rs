@@ -219,6 +219,19 @@ impl FaultPlan {
     /// block holding pages of the named target (stored data is kept —
     /// this models a block that was heavily cycled before the data
     /// landed on it).
+    ///
+    /// **Wear stacks on shared blocks.** Each `age` entry cycles the
+    /// *physical blocks* of its target, so when several plan entries
+    /// resolve to the same block — two co-resident names (grouped
+    /// operands share blocks stripe-by-stripe; striped durable records
+    /// interleave into shared blocks), or the same name listed twice —
+    /// that block receives the **sum** of all the entries' cycles, not
+    /// the maximum. This is deliberate: the plan reads as a sequence of
+    /// physical conditioning steps, and a block that hosted two heavily
+    /// cycled tenants really did absorb both histories. Aging one name
+    /// of a co-resident set therefore ages its neighbors' blocks too;
+    /// budget the per-entry cycles for the whole set, or place targets
+    /// in distinct groups when independent wear is wanted.
     #[must_use]
     pub fn age(mut self, name: &str, cycles: u32) -> Self {
         self.ages.push((name.to_string(), cycles));

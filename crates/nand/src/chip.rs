@@ -18,6 +18,7 @@ use crate::error::NandError;
 use crate::geometry::{BlockAddr, WlAddr};
 use crate::ispp::{self, ProgramScheme};
 use crate::latch::LatchBank;
+use crate::mlsense;
 use crate::power;
 use crate::randomizer::Randomizer;
 use crate::sense;
@@ -35,6 +36,11 @@ pub struct PageState {
     /// Physics mode only: per-cell threshold voltages at program time.
     #[serde(skip)]
     pub vth: Option<Vec<f64>>,
+    /// Multi-level pages only: the per-cell V_TH level index each cell
+    /// was programmed to (`mlsense::encode_levels`). `None` for
+    /// single-bit (SLC/ESP) pages.
+    #[serde(default)]
+    pub levels: Option<Vec<u8>>,
 }
 
 /// Grown per-block stuck-at columns: a block whose strings developed a
@@ -159,6 +165,11 @@ pub struct SenseScratch {
     corrupt: BitVec,
     flip_idx: Vec<usize>,
     stress_buf: Vec<f64>,
+    /// Per-wordline vote pages of a threshold MWS (1 = programmed), an
+    /// arena like `per_block` — grown on demand, never shrunk.
+    votes: Vec<BitVec>,
+    /// The bit-sliced vote counter's working planes.
+    threshold: mlsense::ThresholdScratch,
 }
 
 impl SenseScratch {
@@ -487,6 +498,11 @@ impl NandChip {
                 self.exec_mws(flags, &[MwsTarget::new(addr.block(), &[addr.wl])], false, 0.0)?
             }
             Command::Mws { flags, targets } => self.exec_mws(flags, &targets, false, 0.0)?,
+            Command::ThresholdMws { target, k } => self.exec_threshold_mws(target, k)?,
+            Command::ProgramMl { addr, pages, scheme } => {
+                self.exec_program_ml(addr, pages, scheme)?
+            }
+            Command::ReadLevel { addr, level } => self.exec_read_level(addr, level)?,
             Command::EraseVerify { block } => {
                 self.config.geometry.validate_block(block)?;
                 let n = self.config.geometry.wls_per_block.min(64);
@@ -554,7 +570,7 @@ impl NandChip {
         let energy = power::program_energy_uj(latency);
         let block = &mut self.planes[addr.plane as usize].blocks[addr.block as usize];
         block.pages[addr.wl as usize] =
-            Some(PageState { data: stored, scheme, randomized: randomize, vth });
+            Some(PageState { data: stored, scheme, randomized: randomize, vth, levels: None });
         block.reads_since_program = 0;
 
         // Physics: programming disturbs the neighbouring wordlines
@@ -725,28 +741,7 @@ impl NandChip {
             let SenseScratch { per_block, sensed, .. } = &mut self.scratch;
             sense::combine_blocks_or_into(sensed, &per_block[..targets.len()]);
         }
-        let sensed = &mut self.scratch.sensed;
-        // Stuck-at columns read their stuck value regardless of the
-        // stored data (§5.1 footnote 9).
-        let plane_state = &self.planes[plane as usize];
-        if !plane_state.faulty_mask.is_all_zeros() {
-            sensed.and_not_assign(&plane_state.faulty_mask);
-            sensed.or_assign(&plane_state.faulty_stuck);
-        }
-
-        // Latch sequence per the ISCM flags.
-        let latches = &mut self.planes[plane as usize].latches;
-        if flags.init_s {
-            latches.init_s();
-        }
-        if flags.init_c {
-            latches.init_c();
-        }
-        latches.sense(sensed, flags.inverse);
-        if flags.transfer {
-            latches.transfer();
-        }
-        let page = flags.transfer.then(|| latches.c_latch().clone());
+        let page = self.overlay_and_latch(plane, flags);
 
         // Timing and power.
         let max_wls = targets.iter().map(MwsTarget::wl_count).max().unwrap_or(1);
@@ -770,6 +765,306 @@ impl NandChip {
         if targets.len() > 1 || max_wls > 1 {
             self.stats.mws_ops += 1;
         }
+        Ok(CmdOutput { latency_us: latency, energy_uj: energy, norm_power, page })
+    }
+
+    /// Shared sense tail: applies the plane's permanently faulty columns
+    /// to `scratch.sensed` (stuck columns read their stuck value
+    /// regardless of the stored data, §5.1 footnote 9), then drives the
+    /// latch sequence per the ISCM flags. Returns the C-latch snapshot
+    /// if the flags transfer.
+    fn overlay_and_latch(&mut self, plane: u32, flags: IscmFlags) -> Option<BitVec> {
+        let sensed = &mut self.scratch.sensed;
+        let plane_state = &self.planes[plane as usize];
+        if !plane_state.faulty_mask.is_all_zeros() {
+            sensed.and_not_assign(&plane_state.faulty_mask);
+            sensed.or_assign(&plane_state.faulty_stuck);
+        }
+        let latches = &mut self.planes[plane as usize].latches;
+        if flags.init_s {
+            latches.init_s();
+        }
+        if flags.init_c {
+            latches.init_c();
+        }
+        latches.sense(sensed, flags.inverse);
+        if flags.transfer {
+            latches.transfer();
+        }
+        flags.transfer.then(|| latches.c_latch().clone())
+    }
+
+    /// Dynamic-sensing threshold vote over one block's wordlines: bit `i`
+    /// of the result is 1 iff at least `k` of the activated cells on
+    /// bitline `i` are **programmed**. Functional mode counts exactly;
+    /// physics mode derives each wordline's vote from its stress-shifted
+    /// V_TH population (a cell votes when it fails to conduct at its
+    /// scheme's read reference), then counts with the word-parallel
+    /// bit-sliced kernel — `mlsense::threshold_ge_serial` is the scalar
+    /// oracle both modes are property-tested against.
+    fn exec_threshold_mws(&mut self, target: MwsTarget, k: usize) -> Result<CmdOutput, NandError> {
+        if target.pbm == 0 {
+            return Err(NandError::EmptyMwsTarget);
+        }
+        if k == 0 {
+            return Err(NandError::InvalidMlsense("threshold k must be at least 1".to_string()));
+        }
+        let geom = self.config.geometry;
+        geom.validate_block(target.block)?;
+        for wl in target.wls() {
+            geom.validate_wl(target.block.wordline(wl))?;
+            if self.page_state(target.block.wordline(wl)).is_none() {
+                return Err(NandError::ReadOfUnwrittenPage {
+                    plane: target.block.plane,
+                    block: target.block.block,
+                    wl,
+                });
+            }
+        }
+        let page_bits = geom.page_bits();
+        let plane = target.block.plane;
+        let n_wls = target.wl_count();
+
+        {
+            let Self { planes, rng, scratch, config, stats, retention_months, .. } = self;
+            let block_ref = &planes[plane as usize].blocks[target.block.block as usize];
+            let stress = StressState {
+                pec: block_ref.pec,
+                retention_months: *retention_months,
+                reads_since_program: block_ref.reads_since_program,
+            };
+            while scratch.votes.len() < n_wls {
+                scratch.votes.push(BitVec::default());
+            }
+            let SenseScratch { votes, flip_idx, stress_buf, .. } = scratch;
+            for (vote, wl) in votes.iter_mut().zip(target.wls()) {
+                let p = block_ref.pages[wl as usize].as_ref().expect("validated above");
+                match config.fidelity {
+                    Fidelity::Functional { inject_errors } => {
+                        // A programmed cell (stored 0) casts a vote.
+                        vote.assign_not_from(&p.data);
+                        if inject_errors {
+                            let n = config.rber.sample_errors(
+                                p.scheme,
+                                p.randomized,
+                                stress,
+                                page_bits,
+                                rng,
+                            );
+                            stats.injected_errors += n as u64;
+                            vote.flip_random_bits_with(n, rng, flip_idx);
+                        }
+                    }
+                    Fidelity::Physics => {
+                        stress_buf.clear();
+                        stress_buf.extend_from_slice(
+                            p.vth.as_ref().expect("physics mode stores V_TH populations"),
+                        );
+                        config.stress_model.apply(stress_buf, stress, rng);
+                        // Conduction sense at the scheme's reference,
+                        // inverted: a programmed cell blocks the string.
+                        vote.reset(page_bits, false);
+                        vote.fill_le_threshold(stress_buf, p.scheme.read_vref());
+                        vote.not_assign();
+                    }
+                }
+            }
+        }
+        {
+            let SenseScratch { votes, threshold, sensed, .. } = &mut self.scratch;
+            let refs: Vec<&BitVec> = votes[..n_wls].iter().collect();
+            mlsense::threshold_ge_into(&refs, k, threshold, sensed);
+        }
+        // Grown per-block defects overlay, as in any other sense.
+        {
+            let Self { planes, scratch, .. } = self;
+            let block_ref = &planes[plane as usize].blocks[target.block.block as usize];
+            if let Some(stuck) = &block_ref.stuck {
+                scratch.sensed.and_not_assign(&stuck.mask);
+                scratch.sensed.or_assign(&stuck.value);
+            }
+        }
+        let page = self.overlay_and_latch(plane, IscmFlags::single_read());
+
+        // One multi-WL activation, one sense — same latency/power shape
+        // as a single-block MWS over the same wordlines.
+        let latency = sense::mws_latency_us(timing::T_R_SLC_US, n_wls, 1);
+        let norm_power =
+            if n_wls > 1 { power::mws_power_norm(1) } else { power::read_power_norm() };
+        let energy = power::energy_uj(norm_power, latency);
+        let b = &mut self.planes[plane as usize].blocks[target.block.block as usize];
+        b.reads_since_program += 1;
+        self.stats.senses += 1;
+        if n_wls > 1 {
+            self.stats.mws_ops += 1;
+        }
+        Ok(CmdOutput { latency_us: latency, energy_uj: energy, norm_power, page })
+    }
+
+    /// Multi-level program: Gray-packs 2–3 logical pages cell-wise into
+    /// one physical wordline (`mlsense::encode_levels`). The stored
+    /// single-bit view is the *erased mask* (only a fully erased cell
+    /// conducts at the standard MWS reference), so ML pages degrade
+    /// gracefully under plain senses; physics mode samples each cell's
+    /// V_TH from its level's state distribution.
+    fn exec_program_ml(
+        &mut self,
+        addr: WlAddr,
+        pages: Vec<BitVec>,
+        scheme: ProgramScheme,
+    ) -> Result<CmdOutput, NandError> {
+        if scheme.is_single_bit() {
+            return Err(NandError::InvalidMlsense(format!(
+                "multi-level program needs an MLC/TLC scheme, got {scheme:?}"
+            )));
+        }
+        self.config.geometry.validate_wl(addr)?;
+        let expected = self.config.geometry.page_bits();
+        let mode = scheme.cell_mode();
+        if pages.len() != mode.bits_per_cell() as usize {
+            return Err(NandError::InvalidMlsense(format!(
+                "{mode} packs {} logical pages per cell, got {}",
+                mode.bits_per_cell(),
+                pages.len()
+            )));
+        }
+        for p in &pages {
+            if p.len() != expected {
+                return Err(NandError::PageSizeMismatch { got: p.len(), expected });
+            }
+        }
+        if self.page_state(addr).is_some() {
+            return Err(NandError::ProgramWithoutErase {
+                plane: addr.plane,
+                block: addr.block,
+                wl: addr.wl,
+            });
+        }
+        let levels = mlsense::encode_levels(&pages, mode);
+        let data = BitVec::from_fn(expected, |i| levels[i] == 0);
+        let vth = if matches!(self.config.fidelity, Fidelity::Physics) {
+            let layout = scheme.layout();
+            Some(
+                levels
+                    .iter()
+                    .map(|&l| layout.states[l as usize].sample(&mut self.rng))
+                    .collect::<Vec<f64>>(),
+            )
+        } else {
+            None
+        };
+
+        let latency = scheme.program_latency_us();
+        let energy = power::program_energy_uj(latency);
+        let block = &mut self.planes[addr.plane as usize].blocks[addr.block as usize];
+        block.pages[addr.wl as usize] =
+            Some(PageState { data, scheme, randomized: false, vth, levels: Some(levels) });
+        block.reads_since_program = 0;
+
+        if matches!(self.config.fidelity, Fidelity::Physics) {
+            let model = self.config.stress_model;
+            let wl = addr.wl as usize;
+            let block = &mut self.planes[addr.plane as usize].blocks[addr.block as usize];
+            for neighbour in [wl.checked_sub(1), Some(wl + 1)].into_iter().flatten() {
+                if let Some(Some(p)) = block.pages.get_mut(neighbour) {
+                    if let Some(vth) = p.vth.as_mut() {
+                        model.apply_interference(vth, &mut self.rng);
+                    }
+                }
+            }
+        }
+
+        self.stats.programs += 1;
+        Ok(CmdOutput {
+            latency_us: latency,
+            energy_uj: energy,
+            norm_power: power::program_power_norm(),
+            page: None,
+        })
+    }
+
+    /// Sense one wordline at an explicit level boundary: bit `i` is 1 iff
+    /// cell `i` conducts at the Vref between states `level` and
+    /// `level + 1`. The per-transition senses of
+    /// `mlsense::transition_levels` recover one logical page via
+    /// `mlsense::page_from_senses`. On a single-bit page the only
+    /// boundary (level 0) is exactly a regular read.
+    fn exec_read_level(&mut self, addr: WlAddr, level: u8) -> Result<CmdOutput, NandError> {
+        self.config.geometry.validate_wl(addr)?;
+        let page_bits = self.config.geometry.page_bits();
+        let state = self.page_state(addr).ok_or(NandError::ReadOfUnwrittenPage {
+            plane: addr.plane,
+            block: addr.block,
+            wl: addr.wl,
+        })?;
+        let mode = state.scheme.cell_mode();
+        if u32::from(level) + 1 >= mode.states() {
+            return Err(NandError::InvalidMlsense(format!(
+                "level boundary {level} out of range for {mode}"
+            )));
+        }
+        let plane = addr.plane;
+        {
+            let Self { planes, rng, scratch, config, stats, retention_months, .. } = self;
+            let block_ref = &planes[plane as usize].blocks[addr.block as usize];
+            let stress = StressState {
+                pec: block_ref.pec,
+                retention_months: *retention_months,
+                reads_since_program: block_ref.reads_since_program,
+            };
+            let p = block_ref.pages[addr.wl as usize].as_ref().expect("validated above");
+            let SenseScratch { sensed, flip_idx, stress_buf, .. } = scratch;
+            match config.fidelity {
+                Fidelity::Functional { inject_errors } => {
+                    match &p.levels {
+                        Some(levels) => {
+                            sensed.reset(page_bits, false);
+                            for (i, &l) in levels.iter().enumerate() {
+                                if l <= level {
+                                    sensed.set(i, true);
+                                }
+                            }
+                        }
+                        // Single-bit page: the lone boundary separates
+                        // erased (conducts, stored 1) from programmed.
+                        None => sensed.assign_from(&p.data),
+                    }
+                    if inject_errors {
+                        let n = config.rber.sample_errors(
+                            p.scheme,
+                            p.randomized,
+                            stress,
+                            page_bits,
+                            rng,
+                        );
+                        stats.injected_errors += n as u64;
+                        sensed.flip_random_bits_with(n, rng, flip_idx);
+                    }
+                }
+                Fidelity::Physics => {
+                    stress_buf.clear();
+                    stress_buf.extend_from_slice(
+                        p.vth.as_ref().expect("physics mode stores V_TH populations"),
+                    );
+                    config.stress_model.apply(stress_buf, stress, rng);
+                    let layout = p.scheme.layout();
+                    sensed.reset(page_bits, false);
+                    sensed.fill_le_threshold(stress_buf, layout.vrefs[level as usize]);
+                }
+            }
+            if let Some(stuck) = &block_ref.stuck {
+                scratch.sensed.and_not_assign(&stuck.mask);
+                scratch.sensed.or_assign(&stuck.value);
+            }
+        }
+        let page = self.overlay_and_latch(plane, IscmFlags::single_read());
+
+        let latency = timing::T_R_SLC_US;
+        let norm_power = power::read_power_norm();
+        let energy = power::energy_uj(norm_power, latency);
+        let b = &mut self.planes[plane as usize].blocks[addr.block as usize];
+        b.reads_since_program += 1;
+        self.stats.senses += 1;
         Ok(CmdOutput { latency_us: latency, energy_uj: energy, norm_power, page })
     }
 }
@@ -1424,6 +1719,188 @@ mod tests {
             shifted_errors < nominal_errors,
             "retry level must reduce errors: {shifted_errors} vs {nominal_errors}"
         );
+    }
+
+    #[test]
+    fn threshold_mws_counts_programmed_cells() {
+        let mut chip = NandChip::new(ChipConfig::tiny_test());
+        let blk = BlockAddr::new(0, 1);
+        let pages = write_pages(&mut chip, blk, 7, 3000);
+        let wls: Vec<u32> = (0..7).collect();
+        for k in 1..=8 {
+            let out = chip
+                .execute(Command::ThresholdMws { target: MwsTarget::new(blk, &wls), k })
+                .unwrap();
+            // Ground truth: a programmed cell stores 0, so count zeros.
+            let expect = BitVec::from_fn(pages[0].len(), |i| {
+                pages.iter().filter(|p| !p.get(i)).count() >= k
+            });
+            assert_eq!(out.page().unwrap(), &expect, "k={k}");
+        }
+        // k = 1 is the inverse of the intra-block AND (any programmed
+        // cell breaks the string), tying the new sense to the old one.
+        let th1 = chip
+            .execute(Command::ThresholdMws { target: MwsTarget::new(blk, &wls), k: 1 })
+            .unwrap();
+        let and = chip
+            .execute(Command::Mws {
+                flags: IscmFlags::single_read(),
+                targets: vec![MwsTarget::new(blk, &wls)],
+            })
+            .unwrap();
+        assert_eq!(th1.page().unwrap(), &and.page().unwrap().not());
+    }
+
+    #[test]
+    fn threshold_mws_physics_matches_scalar_oracle() {
+        let mut cfg = ChipConfig::tiny_test();
+        cfg.fidelity = crate::config::Fidelity::Physics;
+        let mut chip = NandChip::new(cfg);
+        let blk = BlockAddr::new(0, 0);
+        let pages = write_pages(&mut chip, blk, 5, 3100);
+        let wls: Vec<u32> = (0..5).collect();
+        // Fresh cells: the physics-mode vote pages equal the logical
+        // complements, so the result must be bit-exact vs the oracle.
+        let votes: Vec<BitVec> = pages.iter().map(BitVec::not).collect();
+        let refs: Vec<&BitVec> = votes.iter().collect();
+        for k in [1, 2, 3, 5] {
+            let out = chip
+                .execute(Command::ThresholdMws { target: MwsTarget::new(blk, &wls), k })
+                .unwrap();
+            assert_eq!(
+                out.page().unwrap(),
+                &mlsense::threshold_ge_serial(&refs, k),
+                "physics threshold k={k} vs scalar oracle"
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_mws_rejects_bad_requests() {
+        let mut chip = NandChip::new(ChipConfig::tiny_test());
+        let blk = BlockAddr::new(0, 0);
+        write_pages(&mut chip, blk, 2, 3200);
+        let err = chip
+            .execute(Command::ThresholdMws { target: MwsTarget { block: blk, pbm: 0 }, k: 1 })
+            .unwrap_err();
+        assert_eq!(err, NandError::EmptyMwsTarget);
+        let err = chip
+            .execute(Command::ThresholdMws { target: MwsTarget::new(blk, &[0, 1]), k: 0 })
+            .unwrap_err();
+        assert!(matches!(err, NandError::InvalidMlsense(_)));
+        let err = chip
+            .execute(Command::ThresholdMws { target: MwsTarget::new(blk, &[0, 5]), k: 1 })
+            .unwrap_err();
+        assert!(matches!(err, NandError::ReadOfUnwrittenPage { .. }));
+    }
+
+    #[test]
+    fn ml_program_and_read_level_round_trip() {
+        for fidelity in [crate::config::Fidelity::Functional { inject_errors: false }, {
+            crate::config::Fidelity::Physics
+        }] {
+            let mut cfg = ChipConfig::tiny_test();
+            cfg.fidelity = fidelity;
+            let mut chip = NandChip::new(cfg);
+            let bits = chip.config().geometry.page_bits();
+            for (wl, scheme) in [(0u32, ProgramScheme::Mlc), (1u32, ProgramScheme::Tlc)] {
+                let addr = WlAddr::new(0, 0, wl);
+                let mode = scheme.cell_mode();
+                let n_pages = mode.bits_per_cell() as usize;
+                let pages: Vec<BitVec> = (0..n_pages)
+                    .map(|i| {
+                        use rand::rngs::StdRng;
+                        let mut rng = StdRng::seed_from_u64(3300 + wl as u64 * 8 + i as u64);
+                        BitVec::random(bits, &mut rng)
+                    })
+                    .collect();
+                chip.execute(Command::ProgramMl { addr, pages: pages.clone(), scheme }).unwrap();
+                // Recover each logical page from its transition senses.
+                for (b, page) in pages.iter().enumerate() {
+                    let senses: Vec<BitVec> = mlsense::transition_levels(mode, b)
+                        .into_iter()
+                        .map(|level| {
+                            chip.execute(Command::ReadLevel { addr, level })
+                                .unwrap()
+                                .into_page()
+                                .expect("read level produces a page")
+                        })
+                        .collect();
+                    let decoded = mlsense::page_from_senses(&senses, mode, b);
+                    match fidelity {
+                        crate::config::Fidelity::Physics => {
+                            // Adjacent V_TH states genuinely overlap, so a
+                            // raw physics decode carries a small RBER —
+                            // bounded, not bit-exact (ECC's job upstream).
+                            let errs = decoded.hamming_distance(page);
+                            assert!(errs <= bits / 32, "{mode} page {b}: {errs} raw errors");
+                        }
+                        _ => assert_eq!(&decoded, page, "{fidelity:?} {mode} page {b}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn read_level_on_slc_page_is_a_regular_read() {
+        let mut chip = NandChip::new(ChipConfig::tiny_test());
+        let blk = BlockAddr::new(0, 0);
+        let pages = write_pages(&mut chip, blk, 1, 3400);
+        let out = chip.execute(Command::ReadLevel { addr: blk.wordline(0), level: 0 }).unwrap();
+        assert_eq!(out.page().unwrap(), &pages[0]);
+    }
+
+    #[test]
+    fn ml_program_rejects_bad_requests() {
+        let mut chip = NandChip::new(ChipConfig::tiny_test());
+        let bits = chip.config().geometry.page_bits();
+        let addr = WlAddr::new(0, 0, 0);
+        let err = chip
+            .execute(Command::ProgramMl {
+                addr,
+                pages: vec![BitVec::zeros(bits)],
+                scheme: ProgramScheme::Slc,
+            })
+            .unwrap_err();
+        assert!(matches!(err, NandError::InvalidMlsense(_)), "single-bit scheme rejected");
+        let err = chip
+            .execute(Command::ProgramMl {
+                addr,
+                pages: vec![BitVec::zeros(bits)],
+                scheme: ProgramScheme::Mlc,
+            })
+            .unwrap_err();
+        assert!(matches!(err, NandError::InvalidMlsense(_)), "wrong page count rejected");
+        // Level boundary out of range for the stored page's mode.
+        chip.execute(Command::ProgramMl {
+            addr,
+            pages: vec![BitVec::zeros(bits), BitVec::ones(bits)],
+            scheme: ProgramScheme::Mlc,
+        })
+        .unwrap();
+        let err = chip.execute(Command::ReadLevel { addr, level: 3 }).unwrap_err();
+        assert!(matches!(err, NandError::InvalidMlsense(_)));
+    }
+
+    #[test]
+    fn ml_pages_degrade_to_erased_mask_under_plain_mws() {
+        // An ML page under a regular sense conducts only where the cell
+        // is fully erased (level 0) — both logical bits 1.
+        let mut chip = NandChip::new(ChipConfig::tiny_test());
+        let addr = WlAddr::new(0, 0, 0);
+        let bits = chip.config().geometry.page_bits();
+        let lsb = page(&chip, 3500);
+        let msb = page(&chip, 3501);
+        chip.execute(Command::ProgramMl {
+            addr,
+            pages: vec![lsb.clone(), msb.clone()],
+            scheme: ProgramScheme::Mlc,
+        })
+        .unwrap();
+        let out = chip.execute(Command::Read { addr, inverse: false }).unwrap();
+        assert_eq!(out.page().unwrap(), &lsb.and(&msb));
+        assert_eq!(bits, out.page().unwrap().len());
     }
 
     #[test]

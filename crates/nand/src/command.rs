@@ -171,6 +171,42 @@ pub enum Command {
         /// One or more (block, PBM) targets, all in the same plane.
         targets: Vec<MwsTarget>,
     },
+    /// Dynamic-sensing threshold vote (the MCFlash-style `mlsense`
+    /// primitive): activate the target's wordlines like an intra-block
+    /// MWS, but sense at an intermediate reference so each bitline
+    /// reports "at least `k` of the activated cells are **programmed**"
+    /// instead of "all erased". A single-block, single-sense operation —
+    /// the cross-block generalization is the controller's job.
+    ThresholdMws {
+        /// The (block, PBM) group to activate — one block only.
+        target: MwsTarget,
+        /// Minimum number of programmed cells per bitline for a 1 result.
+        k: usize,
+    },
+    /// Program one physical wordline as a multi-level (MLC/TLC) cell
+    /// page: 2–3 logical pages are Gray-packed cell-wise into one V_TH
+    /// level per cell (`mlsense::encode_levels`). Never randomized — the
+    /// data feeds in-flash computation.
+    ProgramMl {
+        /// Destination wordline.
+        addr: WlAddr,
+        /// The logical pages, LSB page first (length must equal the
+        /// scheme's bits-per-cell).
+        pages: Vec<BitVec>,
+        /// Multi-level programming scheme (`Mlc` or `Tlc`).
+        scheme: ProgramScheme,
+    },
+    /// Read one wordline at an explicit level boundary: bit `i` of the
+    /// result is 1 iff cell `i`'s V_TH level is at or below `level` (a
+    /// conduction sense at the Vref between states `level` and
+    /// `level + 1`). The controller combines these per-transition senses
+    /// into a logical page (`mlsense::page_from_senses`).
+    ReadLevel {
+        /// Wordline to sense.
+        addr: WlAddr,
+        /// Level boundary index (`0..states − 1`).
+        level: u8,
+    },
     /// Inter-latch XOR (`C ← S XOR C`, Fig. 15).
     XorLatch {
         /// Plane whose latch bank to combine.

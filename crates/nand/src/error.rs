@@ -63,6 +63,11 @@ pub enum NandError {
     },
     /// A SET FEATURE parameter value was outside its legal range.
     InvalidFeature(String),
+    /// An `mlsense` command (threshold MWS, multi-level program, read
+    /// level) was malformed: bad vote threshold, wrong page count or
+    /// scheme for a multi-level program, or a level boundary outside the
+    /// cell mode's range.
+    InvalidMlsense(String),
 }
 
 impl fmt::Display for NandError {
@@ -89,6 +94,7 @@ impl fmt::Display for NandError {
                 write!(f, "read of unwritten page at plane {plane}, block {block}, wl {wl}")
             }
             NandError::InvalidFeature(msg) => write!(f, "invalid feature setting: {msg}"),
+            NandError::InvalidMlsense(msg) => write!(f, "invalid mlsense command: {msg}"),
         }
     }
 }
@@ -111,6 +117,7 @@ mod tests {
             NandError::MalformedFrame("oops".into()),
             NandError::ReadOfUnwrittenPage { plane: 0, block: 0, wl: 0 },
             NandError::InvalidFeature("bad".into()),
+            NandError::InvalidMlsense("bad".into()),
         ];
         for e in errors {
             let s = e.to_string();

@@ -63,6 +63,7 @@ pub mod error;
 pub mod geometry;
 pub mod ispp;
 pub mod latch;
+pub mod mlsense;
 pub mod power;
 pub mod randomizer;
 pub mod rber;

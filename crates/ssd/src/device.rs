@@ -19,7 +19,9 @@ use fc_nand::chip::NandChip;
 use fc_nand::command::Command;
 use fc_nand::config::{ChipConfig, Fidelity};
 use fc_nand::error::NandError;
-use fc_nand::geometry::WlAddr;
+use fc_nand::geometry::{CellMode, WlAddr};
+use fc_nand::ispp::ProgramScheme;
+use fc_nand::mlsense;
 
 use crate::config::SsdConfig;
 use crate::ecc::{EccConfig, EccScratch, PageCodec, PageDecode};
@@ -313,6 +315,87 @@ impl SsdDevice {
         Ok(ppa)
     }
 
+    /// Writes the 2–3 logical pages of one multi-level (`mlsense`)
+    /// wordline in a single program: `payloads[b]` becomes logical page
+    /// `b` of the cell's Gray code, mapped at `lpns[b]`. All pages share
+    /// the physical wordline — `lpns[1..]` alias `lpns[0]`'s mapping with
+    /// distinct [`PageMeta::ml_page`]. ML pages are raw (no ECC, no
+    /// randomization): they exist for in-flash computation density, and
+    /// the physics-fidelity decode deliberately carries the real
+    /// multi-level raw bit-error rate.
+    ///
+    /// # Errors
+    ///
+    /// Rejects single-bit schemes and page-count/size mismatches
+    /// ([`NandError::InvalidMlsense`] / [`DeviceError::PayloadSize`]);
+    /// otherwise fails like [`write`](Self::write).
+    pub fn write_ml(
+        &mut self,
+        lpns: &[u64],
+        payloads: &[BitVec],
+        placement: PlacementHint,
+        scheme: ProgramScheme,
+        inverted: bool,
+    ) -> Result<Ppa, DeviceError> {
+        let bits = scheme.cell_mode().bits_per_cell() as usize;
+        if bits < 2 || lpns.len() != bits || payloads.len() != bits {
+            return Err(DeviceError::Nand(NandError::InvalidMlsense(format!(
+                "multi-level write needs a multi-bit scheme with exactly bits-per-cell \
+                 pages (scheme {scheme:?}, {} lpns, {} payloads)",
+                lpns.len(),
+                payloads.len()
+            ))));
+        }
+        let expected = self.logical_page_bits(false);
+        for p in payloads {
+            if p.len() != expected {
+                return Err(DeviceError::PayloadSize { got: p.len(), expected });
+            }
+        }
+        let stored: Vec<BitVec> =
+            payloads.iter().map(|p| if inverted { p.not() } else { p.clone() }).collect();
+        let ppa =
+            self.ftl.allocate(lpns[0], placement, PageMeta::multi_level(scheme, 0, inverted))?;
+        for (b, &lpn) in lpns.iter().enumerate().skip(1) {
+            self.ftl.alias(lpn, lpns[0], PageMeta::multi_level(scheme, b as u8, inverted))?;
+        }
+        let addr = wl_addr(ppa);
+        let die = ppa.plane.die;
+        self.chips[die.flat(&self.config)].execute(Command::ProgramMl {
+            addr,
+            pages: stored,
+            scheme,
+        })?;
+        self.energy.add_channel_bytes(bits as u64 * self.config.page_bytes as u64);
+        Ok(ppa)
+    }
+
+    /// Reads one logical page of a multi-level wordline: one conduction
+    /// sense per Gray-code transition of that page (the real MLC/TLC
+    /// page-read cost), XOR-combined back into the logical page. ML pages
+    /// carry no ECC, so there is no retry ladder — single-bit storage owns
+    /// the reliability machinery.
+    fn read_ml(
+        &mut self,
+        flat: usize,
+        addr: WlAddr,
+        meta: PageMeta,
+        mode: CellMode,
+    ) -> Result<BitVec, DeviceError> {
+        let page = meta.ml_page as usize;
+        let mut senses = Vec::new();
+        for t in mlsense::transition_levels(mode, page) {
+            let raw = self.chips[flat]
+                .execute(Command::ReadLevel { addr, level: t })?
+                .into_page()
+                .expect("a level read produces a page");
+            senses.push(raw);
+        }
+        self.energy.add_channel_bytes(self.config.page_bytes as u64);
+        let decoded = mlsense::page_from_senses(&senses, mode, page);
+        Ok(if meta.inverted { decoded.not() } else { decoded })
+    }
+
     /// Reads a logical page back, undoing randomization, ECC and
     /// inversion as recorded in its metadata.
     ///
@@ -333,6 +416,10 @@ impl SsdDevice {
         let addr = wl_addr(ppa);
         let flat = ppa.plane.die.flat(&self.config);
         self.health.reads += 1;
+        let mode = meta.scheme.cell_mode();
+        if mode.bits_per_cell() > 1 {
+            return self.read_ml(flat, addr, meta, mode);
+        }
         let raw = self.chips[flat]
             .execute(Command::Read { addr, inverse: false })?
             .into_page()
@@ -453,6 +540,17 @@ impl SsdDevice {
     ) -> Result<bool, DeviceError> {
         let old_meta = self.ftl.meta(lpn).ok_or(DeviceError::NotMapped(lpn))?;
         let old_ppa = self.ftl.translate(lpn).ok_or(DeviceError::NotMapped(lpn))?;
+        if old_meta.scheme.cell_mode().bits_per_cell() > 1
+            || meta.scheme.cell_mode().bits_per_cell() > 1
+        {
+            // A multi-level wordline backs several aliased logical pages;
+            // moving one alias would strand the others (and a single-page
+            // rewrite cannot reconstruct the cell levels). Rewrite the
+            // whole operand group instead.
+            return Err(DeviceError::Nand(NandError::InvalidMlsense(
+                "multi-level pages cannot migrate; rewrite the operand group".to_string(),
+            )));
+        }
         let compatible = old_meta == meta;
         // Copyback is die-internal, so predict the destination die before
         // remapping: cross-die moves (and metadata changes) must read the
@@ -639,6 +737,59 @@ mod tests {
         assert!(locs.iter().all(|(d, a)| *d == locs[0].0 && a.block == locs[0].1.block));
         let wls: Vec<u32> = locs.iter().map(|(_, a)| a.wl).collect();
         assert_eq!(wls, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn mlc_roundtrip_reads_each_logical_page() {
+        let mut dev = device();
+        let pages: Vec<BitVec> = (0..2).map(|i| payload(&dev, false, 70 + i)).collect();
+        dev.write_ml(&[40, 41], &pages, PlacementHint::Striped, ProgramScheme::Mlc, false).unwrap();
+        // Both logical pages live on one physical wordline.
+        assert_eq!(dev.locate(40).unwrap(), dev.locate(41).unwrap());
+        assert_eq!(dev.read(40).unwrap(), pages[0]);
+        assert_eq!(dev.read(41).unwrap(), pages[1]);
+    }
+
+    #[test]
+    fn tlc_roundtrip_with_inversion() {
+        let mut dev = device();
+        let pages: Vec<BitVec> = (0..3).map(|i| payload(&dev, false, 80 + i)).collect();
+        dev.write_ml(&[50, 51, 52], &pages, PlacementHint::Striped, ProgramScheme::Tlc, true)
+            .unwrap();
+        for (i, p) in pages.iter().enumerate() {
+            assert_eq!(dev.read(50 + i as u64).unwrap(), *p, "TLC page {i} must round-trip");
+        }
+    }
+
+    #[test]
+    fn ml_write_validates_scheme_and_page_count() {
+        let mut dev = device();
+        let pages: Vec<BitVec> = (0..2).map(|i| payload(&dev, false, 90 + i)).collect();
+        // Single-bit schemes have no aliased pages.
+        let err = dev
+            .write_ml(&[1, 2], &pages, PlacementHint::Striped, ProgramScheme::Slc, false)
+            .unwrap_err();
+        assert!(matches!(err, DeviceError::Nand(NandError::InvalidMlsense(_))));
+        // Page count must match bits-per-cell.
+        let err = dev
+            .write_ml(&[1, 2], &pages, PlacementHint::Striped, ProgramScheme::Tlc, false)
+            .unwrap_err();
+        assert!(matches!(err, DeviceError::Nand(NandError::InvalidMlsense(_))));
+    }
+
+    #[test]
+    fn ml_pages_cannot_migrate() {
+        let mut dev = device();
+        let pages: Vec<BitVec> = (0..2).map(|i| payload(&dev, false, 95 + i)).collect();
+        dev.write_ml(&[60, 61], &pages, PlacementHint::Striped, ProgramScheme::Mlc, false).unwrap();
+        let err = dev
+            .migrate(
+                61,
+                PlacementHint::Striped,
+                PageMeta::multi_level(ProgramScheme::Mlc, 1, false),
+            )
+            .unwrap_err();
+        assert!(matches!(err, DeviceError::Nand(NandError::InvalidMlsense(_))));
     }
 
     #[test]

@@ -39,19 +39,44 @@ pub struct PageMeta {
     pub inverted: bool,
     /// Whether the stored bits are ECC-encoded.
     pub ecc: bool,
+    /// Which logical page of a multi-level cell this mapping reads
+    /// (`mlsense`): 0 = LSB (also the only page of single-bit storage),
+    /// 1 = CSB/MSB, 2 = TLC MSB. Several logical pages of one MLC/TLC
+    /// wordline alias the same physical address with distinct `ml_page`.
+    #[serde(default)]
+    pub ml_page: u8,
 }
 
 impl PageMeta {
     /// Metadata for the conventional storage path: regular SLC,
     /// randomized, ECC-protected, not inverted.
     pub fn conventional() -> Self {
-        Self { scheme: ProgramScheme::Slc, randomized: true, inverted: false, ecc: true }
+        Self {
+            scheme: ProgramScheme::Slc,
+            randomized: true,
+            inverted: false,
+            ecc: true,
+            ml_page: 0,
+        }
     }
 
     /// Metadata for the Flash-Cosmos computation path: ESP, raw bits
     /// (no randomization, no ECC).
     pub fn flash_cosmos(inverted: bool) -> Self {
-        Self { scheme: ProgramScheme::esp_default(), randomized: false, inverted, ecc: false }
+        Self {
+            scheme: ProgramScheme::esp_default(),
+            randomized: false,
+            inverted,
+            ecc: false,
+            ml_page: 0,
+        }
+    }
+
+    /// Metadata for one logical page of a multi-level (`mlsense`) cell:
+    /// raw bits, no randomization or ECC, read as page `ml_page` of the
+    /// wordline's Gray code.
+    pub fn multi_level(scheme: ProgramScheme, ml_page: u8, inverted: bool) -> Self {
+        Self { scheme, randomized: false, inverted, ecc: false, ml_page }
     }
 }
 
@@ -263,6 +288,24 @@ impl Ftl {
         self.stripe_open[plane] =
             if wl + 1 < self.wls_per_block { Some((block, wl + 1)) } else { None };
         Ok(Ppa { plane: PlaneId::from_flat(plane, &self.config), block, wl })
+    }
+
+    /// Maps `lpn` onto the physical page that already backs `to`
+    /// (`mlsense` aliasing: the 2–3 logical pages of one MLC/TLC wordline
+    /// share a physical address and differ only in [`PageMeta::ml_page`]).
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::AlreadyMapped`] if `lpn` is taken,
+    /// [`FtlError::NotMapped`] if `to` has no mapping.
+    pub fn alias(&mut self, lpn: u64, to: u64, meta: PageMeta) -> Result<Ppa, FtlError> {
+        if self.map.contains_key(&lpn) {
+            return Err(FtlError::AlreadyMapped(lpn));
+        }
+        let ppa = self.map.get(&to).copied().ok_or(FtlError::NotMapped(to))?;
+        self.map.insert(lpn, ppa);
+        self.meta.insert(lpn, meta);
+        Ok(ppa)
     }
 
     /// Re-places an already-mapped logical page under a new hint and
@@ -480,6 +523,28 @@ mod tests {
         // And the old encoding really did collide:
         let packed = |g: u64, ovf: u64, slot: u64| (g << 32) | (ovf << 24) | slot;
         assert_eq!(packed(0, 256, 0), packed(1, 0, 0));
+    }
+
+    #[test]
+    fn aliases_share_the_physical_page_with_distinct_ml_pages() {
+        let mut f = ftl();
+        let base = f
+            .allocate(
+                10,
+                grouped(GroupKey::new(5, 0), None),
+                PageMeta::multi_level(ProgramScheme::esp_default(), 0, false),
+            )
+            .unwrap();
+        let lsb_alias =
+            f.alias(11, 10, PageMeta::multi_level(ProgramScheme::esp_default(), 1, false)).unwrap();
+        assert_eq!(base, lsb_alias, "aliases resolve to the same physical page");
+        assert_eq!(f.meta(10).unwrap().ml_page, 0);
+        assert_eq!(f.meta(11).unwrap().ml_page, 1);
+        assert_eq!(f.alias(11, 10, PageMeta::conventional()), Err(FtlError::AlreadyMapped(11)));
+        assert_eq!(f.alias(12, 99, PageMeta::conventional()), Err(FtlError::NotMapped(99)));
+        // Trimming the alias leaves the base mapping intact.
+        assert_eq!(f.trim(11), Some(base));
+        assert_eq!(f.translate(10), Some(base));
     }
 
     #[test]

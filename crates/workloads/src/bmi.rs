@@ -2,7 +2,8 @@
 //! the past `m` months of days and counts the surviving users.
 
 use fc_bits::BitVec;
-use flash_cosmos::device::StoreHints;
+use flash_cosmos::batch::{BatchStats, QueryBatch};
+use flash_cosmos::device::{FcError, StoreHints};
 use flash_cosmos::expr::Expr;
 use flash_cosmos::WorkloadShape;
 use rand::rngs::StdRng;
@@ -96,6 +97,95 @@ pub fn count_active(result: &BitVec) -> usize {
     result.count_ones()
 }
 
+/// Users active on at least `k` of the stored days — the threshold-K
+/// relaxation of the all-days AND filter. With the daily vectors
+/// co-located in one `and_group`, every interior `k` (`1 < k < n`)
+/// lowers to a **single dynamic threshold sense per stripe**; `k = n`
+/// is the classic intra-block AND and `k = 1` the OR fallback.
+///
+/// # Errors
+///
+/// Propagates device failures ([`flash_cosmos::device::FcError`]).
+pub fn active_at_least(
+    dev: &mut flash_cosmos::FlashCosmosDevice,
+    day_ids: &[usize],
+    k: usize,
+) -> Result<(u64, flash_cosmos::ReadStats), flash_cosmos::FcError> {
+    let (v, stats) = dev.fc_read(&Expr::threshold_vars(k, day_ids.iter().copied()))?;
+    Ok((count_active(&v) as u64, stats))
+}
+
+/// Exact total activity — the number of (user, day) active pairs —
+/// computed entirely in-flash via the threshold staircase identity:
+///
+/// ```text
+/// Σ_u days_active(u) = Σ_{k=1..n} |TH_k(day vectors)|
+/// ```
+///
+/// (each user active on `d` days is counted by exactly the thresholds
+/// `k ≤ d`). One threshold query per `k`; the interior ones are one
+/// dynamic sense each.
+///
+/// # Errors
+///
+/// Propagates device failures ([`flash_cosmos::device::FcError`]).
+///
+/// # Panics
+///
+/// Panics if `day_ids` is empty.
+pub fn total_activity_in_flash(
+    dev: &mut flash_cosmos::FlashCosmosDevice,
+    day_ids: &[usize],
+) -> Result<(u64, BatchStats), FcError> {
+    assert!(!day_ids.is_empty(), "the staircase needs at least one daily vector");
+    let batch: QueryBatch =
+        (1..=day_ids.len()).map(|k| Expr::threshold_vars(k, day_ids.iter().copied())).collect();
+    let out = dev.submit(&batch)?;
+    Ok((out.results.iter().map(|r| count_active(r) as u64).sum(), out.stats))
+}
+
+/// Approximate total activity: probes the staircase `c_k = |TH_k|` at
+/// `probes` evenly spaced thresholds (always including `k = 1` and
+/// `k = n`) and integrates the rest by linear interpolation — `c_k` is
+/// monotone non-increasing in `k`, so the interpolation error is bounded
+/// by the staircase's curvature between probes. Senses scale with
+/// `probes`, not `n`.
+///
+/// # Errors
+///
+/// Propagates device failures ([`flash_cosmos::device::FcError`]).
+///
+/// # Panics
+///
+/// Panics if `probes < 2` or `day_ids.len() < 2`.
+pub fn estimate_total_activity(
+    dev: &mut flash_cosmos::FlashCosmosDevice,
+    day_ids: &[usize],
+    probes: usize,
+) -> Result<(u64, BatchStats), FcError> {
+    let n = day_ids.len();
+    assert!(probes >= 2, "interpolation needs at least the two endpoint probes");
+    assert!(n >= 2, "estimating over fewer than two days is just counting");
+    let mut ks: Vec<usize> = (0..probes).map(|i| 1 + i * (n - 1) / (probes - 1)).collect();
+    ks.dedup();
+    let batch: QueryBatch =
+        ks.iter().map(|&k| Expr::threshold_vars(k, day_ids.iter().copied())).collect();
+    let out = dev.submit(&batch)?;
+    let counts: Vec<f64> = out.results.iter().map(|r| count_active(r) as f64).collect();
+    let mut total = 0.0;
+    for w in 0..ks.len() - 1 {
+        let (ka, kb) = (ks[w], ks[w + 1]);
+        let (ca, cb) = (counts[w], counts[w + 1]);
+        let span = (kb - ka) as f64;
+        for k in ka..kb {
+            let t = (k - ka) as f64 / span;
+            total += ca + (cb - ca) * t;
+        }
+    }
+    total += counts[ks.len() - 1]; // the k = n term closes the staircase
+    Ok((total.round() as u64, out.stats))
+}
+
 /// Probability that the query result is bit-exact when each of `d`
 /// operands carries independent bit errors at `rber` — the §7 argument
 /// that BMI is error-intolerant ("Assuming a best-case RBER of 8.6×10⁻⁴
@@ -165,6 +255,59 @@ mod tests {
         assert_eq!(batch.queries()[0], Expr::and_vars(40..70));
         assert_eq!(batch.queries()[1], Expr::and_vars(10..70));
         assert_eq!(batch.queries()[2], Expr::and_vars(10..70));
+    }
+
+    #[test]
+    fn threshold_staircase_counts_activity_exactly() {
+        use fc_ssd::SsdConfig;
+        use flash_cosmos::device::FlashCosmosDevice;
+
+        let inst = mini(6, 256, 0xB142);
+        let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+        let ids: Vec<usize> = inst
+            .operands
+            .iter()
+            .map(|op| dev.fc_write(&op.name, &op.data, op.hints.clone()).unwrap().id)
+            .collect();
+        let host_total: u64 = inst.operands.iter().map(|op| op.data.count_ones() as u64).sum();
+        let (total, stats) = total_activity_in_flash(&mut dev, &ids).unwrap();
+        assert_eq!(total, host_total, "the staircase identity is exact");
+        // The interior thresholds (k = 2..5) are one dynamic sense each;
+        // only the k = 1 OR fallback senses per operand.
+        assert!(stats.senses < 6 + 4 + 1 + 1, "interior thresholds must single-sense");
+        // A single interior threshold is one sense (1 stripe here) —
+        // clear the result cache so the staircase run doesn't answer it.
+        dev.clear_result_cache();
+        let (_, one) = active_at_least(&mut dev, &ids, 3).unwrap();
+        assert_eq!(one.senses, 1);
+    }
+
+    #[test]
+    fn estimated_activity_tracks_the_exact_staircase() {
+        use fc_ssd::SsdConfig;
+        use flash_cosmos::device::FlashCosmosDevice;
+
+        let inst = mini(12, 256, 0xB143);
+        let mut dev = FlashCosmosDevice::new(
+            // 12 co-located daily vectors need 12 wordlines in a block.
+            SsdConfig { wls_per_block: 16, ..SsdConfig::tiny_test() },
+        );
+        let ids: Vec<usize> = inst
+            .operands
+            .iter()
+            .map(|op| dev.fc_write(&op.name, &op.data, op.hints.clone()).unwrap().id)
+            .collect();
+        let (exact, exact_stats) = total_activity_in_flash(&mut dev, &ids).unwrap();
+        dev.clear_result_cache();
+        let (approx, approx_stats) = estimate_total_activity(&mut dev, &ids, 5).unwrap();
+        let err = approx.abs_diff(exact) as f64 / exact as f64;
+        assert!(err < 0.05, "5-probe estimate off by {:.1}%", err * 100.0);
+        assert!(
+            approx_stats.senses < exact_stats.senses,
+            "probing must sense less than the full staircase ({} vs {})",
+            approx_stats.senses,
+            exact_stats.senses
+        );
     }
 
     #[test]

@@ -87,6 +87,38 @@ pub fn mini(classes: usize, examples: usize, dims: usize, seed: u64) -> Function
     FunctionalInstance { name: "HDC".to_string(), operands, queries }
 }
 
+/// Majority-bundles the stored example hypervectors of one class into a
+/// prototype with the **dynamic threshold sense**: the examples live on
+/// co-located wordlines of one block (store them with a shared
+/// [`StoreHints::and_group`]), so the planner lowers
+/// [`Expr::majority_vars`] to a single threshold-K multi-wordline sense
+/// per stripe instead of the `C(n, ⌈n/2⌉)` AND/OR expansion that caps
+/// [`mini`] at 7 examples — bundling 9, 11, or more examples becomes one
+/// modeled sense per stripe.
+///
+/// Returns the bundled prototype and the read statistics.
+///
+/// # Errors
+///
+/// Propagates device failures ([`flash_cosmos::FcError`]); in particular
+/// the plan falls back to the exact expansion (or fails) when the
+/// examples are not co-located in one block.
+///
+/// # Panics
+///
+/// Panics if `examples` is even or smaller than 3 (ties have no
+/// majority).
+pub fn bundle_in_flash(
+    dev: &mut flash_cosmos::FlashCosmosDevice,
+    examples: &[usize],
+) -> Result<(BitVec, flash_cosmos::ReadStats), flash_cosmos::FcError> {
+    assert!(
+        examples.len() >= 3 && examples.len() % 2 == 1,
+        "majority bundling needs an odd example count of at least 3"
+    );
+    dev.fc_read(&Expr::majority_vars(examples.iter().copied()))
+}
+
 /// Host-side similarity: Hamming agreement between a query hypervector
 /// and a bundled class prototype (higher = more similar). The in-flash
 /// form computes XNOR on-chip and pops the count on the host.
@@ -250,6 +282,60 @@ mod tests {
         let (class2, fresh) = classify_in_flash(&mut dev, qid, &proto_ids).unwrap();
         assert_eq!(class2, 0);
         assert!(fresh.senses > 0, "overwritten query cannot ride stale cache entries");
+    }
+
+    #[test]
+    fn bundling_nine_plus_examples_is_one_sense_per_stripe() {
+        use fc_ssd::SsdConfig;
+        use flash_cosmos::device::FlashCosmosDevice;
+
+        // 11 examples need 11 co-located wordlines: deepen the blocks
+        // beyond the tiny default of 8.
+        let config = SsdConfig { wls_per_block: 16, ..SsdConfig::tiny_test() };
+        let mut dev = FlashCosmosDevice::new(config);
+        let mut rng = StdRng::seed_from_u64(0x4DC3);
+        let dims = 700; // 3 stripes of the 256-bit tiny page
+        let classes = 3;
+        let examples = 11;
+        let mut prototypes = Vec::new();
+        let mut queries = Vec::new();
+        let mut bundled = Vec::new();
+        for class in 0..classes {
+            let prototype = BitVec::random(dims, &mut rng);
+            let mut ids = Vec::new();
+            let mut vecs = Vec::new();
+            for e in 0..examples {
+                let mut v = prototype.clone();
+                v.flip_random_bits(dims / 10, &mut rng);
+                let h = dev
+                    .fc_write(
+                        &format!("c{class}e{e}"),
+                        &v,
+                        StoreHints::and_group(&format!("hdc{class}")),
+                    )
+                    .unwrap();
+                ids.push(h.id);
+                vecs.push(v);
+            }
+            let (bundle, stats) = bundle_in_flash(&mut dev, &ids).unwrap();
+            // Bit-exact against the host majority vote.
+            let threshold = examples / 2 + 1;
+            let expect =
+                BitVec::from_fn(dims, |i| vecs.iter().filter(|v| v.get(i)).count() >= threshold);
+            assert_eq!(bundle, expect, "class {class} bundle must be bit-exact");
+            // One dynamic threshold sense per stripe — not C(11, 6) = 462
+            // expansion senses.
+            assert_eq!(stats.senses, 3, "class {class}: one sense per stripe");
+            let mut query = prototype.clone();
+            query.flip_random_bits(dims / 8, &mut rng);
+            prototypes.push(prototype);
+            queries.push(query);
+            bundled.push(bundle);
+        }
+        // The in-flash bundles classify noisy queries like host bundles.
+        for (class, query) in queries.iter().enumerate() {
+            assert_eq!(classify(query, &bundled), class, "query {class}");
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //!   (up to ~110 GB) exist only as cost-model parameters, exactly as in
 //!   the paper's simulator-based evaluation.
 
+pub mod bloom;
 pub mod bmi;
 pub mod hdc;
 pub mod ims;

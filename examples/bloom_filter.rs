@@ -1,0 +1,64 @@
+//! Partitioned Bloom-filter membership screened in flash.
+//!
+//! Builds an H-hash partitioned Bloom filter over a fixed candidate set,
+//! loads its per-hash indicator vectors into one co-located group, and
+//! screens every candidate at once: `k = H` is exact Bloom membership
+//! (one intra-block AND sense per stripe), `k = H − 1` keeps answering
+//! every true member after a partition is lost — a single dynamic
+//! threshold sense per stripe instead of re-probing anything.
+//!
+//! Run with: `cargo run --example bloom_filter`
+
+use fc_bits::BitVec;
+use fc_ssd::SsdConfig;
+use fc_workloads::bloom::{contains_batch, BloomFilter};
+use flash_cosmos::FlashCosmosDevice;
+
+fn main() {
+    // A block cache screening 600 candidate object ids through a 4-hash
+    // filter; 250 of them (plus unrelated traffic) have been inserted.
+    let candidates: Vec<u64> = (0..600).map(|j| 10_000 + j * 13).collect();
+    let mut filter = BloomFilter::new(4, 4096, &candidates);
+    let inserted: Vec<u64> = candidates.iter().step_by(2).copied().take(250).collect();
+    for &key in &inserted {
+        filter.insert(key);
+    }
+    for noise in 0..2_000u64 {
+        filter.insert(9_000_000 + noise * 31);
+    }
+
+    let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+    let ids = filter.load(&mut dev, "bloom").expect("load indicator vectors");
+
+    // Exact membership: AND of all four probes, for all 600 candidates.
+    let (members, stats) = contains_batch(&mut dev, &ids, 4).expect("membership screen");
+    let hits = (0..candidates.len()).filter(|&j| members.get(j)).count();
+    let false_pos = (0..candidates.len())
+        .filter(|&j| members.get(j) && !inserted.contains(&candidates[j]))
+        .count();
+    println!("Bloom screen: {} candidates, 4 hashes, k = 4 (exact)", candidates.len());
+    println!(
+        "  members reported : {hits} ({} inserted, {false_pos} false positives)",
+        inserted.len()
+    );
+    println!("  senses           : {} (independent of candidate count)", stats.senses);
+    assert!(
+        inserted.iter().all(|&key| filter.contains(key)),
+        "Bloom filters never produce false negatives"
+    );
+
+    // Lose a partition: the exact screen under-reports, the k = H − 1
+    // threshold keeps every true member — still one sense per stripe.
+    dev.fc_overwrite("bloom-h1", &BitVec::zeros(candidates.len())).expect("zero partition 1");
+    let (exact, _) = contains_batch(&mut dev, &ids, 4).expect("exact screen, degraded");
+    let (relaxed, stats) = contains_batch(&mut dev, &ids, 3).expect("threshold screen");
+    let lost =
+        (0..candidates.len()).filter(|&j| filter.contains(candidates[j]) && !exact.get(j)).count();
+    let kept =
+        (0..candidates.len()).filter(|&j| filter.contains(candidates[j]) && relaxed.get(j)).count();
+    let total = (0..candidates.len()).filter(|&j| filter.contains(candidates[j])).count();
+    println!("\nafter losing partition 1:");
+    println!("  exact (k=4) drops   : {lost} of {total} members");
+    println!("  relaxed (k=3) keeps : {kept} of {total} members, {} senses", stats.senses);
+    assert_eq!(kept, total, "threshold-(H-1) must keep every member");
+}

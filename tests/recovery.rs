@@ -258,3 +258,52 @@ proptest! {
         prop_assert_eq!(got, expect);
     }
 }
+
+/// Pins the documented stacking contract of [`FaultPlan::age`]: entries
+/// resolve to *physical blocks*, so co-resident names (and repeated
+/// names) sum their cycles on every shared block instead of taking the
+/// maximum or segregating per name.
+#[test]
+fn age_entries_stack_cycles_on_shared_blocks() {
+    use fc_nand::geometry::BlockAddr;
+    use fc_ssd::topology::DieId;
+
+    let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+    let mut rng = StdRng::seed_from_u64(0xA6E5);
+    // One stripe each, same group: "a" and "b" share one physical block.
+    let a = BitVec::random(256, &mut rng);
+    let b = BitVec::random(256, &mut rng);
+    dev.fc_write("a", &a, StoreHints::and_group("g")).unwrap();
+    dev.fc_write("b", &b, StoreHints::and_group("g")).unwrap();
+
+    let config = SsdConfig::tiny_test();
+    let pec_map = |dev: &mut FlashCosmosDevice| -> Vec<u32> {
+        let mut out = Vec::new();
+        for die in 0..config.total_dies() {
+            let chip = dev.ssd_mut().chip(DieId::from_flat(die, &config));
+            for plane in 0..config.planes_per_die {
+                for block in 0..config.blocks_per_plane {
+                    out.push(chip.block_pec(BlockAddr::new(plane as u32, block as u32)).unwrap());
+                }
+            }
+        }
+        out
+    };
+
+    let before = pec_map(&mut dev);
+    let report =
+        dev.inject_faults(&FaultPlan::new().age("a", 500).age("b", 700).age("a", 300)).unwrap();
+    assert_eq!(report.touched_operands, vec![0, 1]);
+    let after = pec_map(&mut dev);
+
+    let deltas: Vec<u32> =
+        before.iter().zip(&after).map(|(b, a)| a - b).filter(|&d| d != 0).collect();
+    assert_eq!(
+        deltas,
+        vec![500 + 700 + 300],
+        "co-resident age entries must stack additively on the one shared block"
+    );
+    // The stored data itself is untouched by pure wear conditioning.
+    let (got, _) = dev.fc_read(&Expr::var(0)).unwrap();
+    assert_eq!(got, a);
+}
