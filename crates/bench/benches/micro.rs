@@ -866,6 +866,97 @@ fn mlsense_density(c: &mut Criterion) {
     group.finish();
 }
 
+/// ISSUE 8 acceptance: pass-1 plan linting stays under 5% of the batch
+/// compile it guards. `audit/compile_16q` times a full 16-query compile
+/// (result cache disabled so nothing short-circuits); `plan_lint_16q`
+/// times the lint over the same precompiled plan. Benches build in
+/// release, so the debug-only enforcement hooks are compiled out of the
+/// compile path — the two numbers are independent. The measured ratio
+/// is printed once alongside the benches.
+fn audit_plan_lint(c: &mut Criterion) {
+    use flash_cosmos::batch::QueryBatch;
+    use flash_cosmos::device::{FlashCosmosDevice, StoreHints};
+
+    let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+    dev.set_result_cache_capacity(0);
+    let mut rng = StdRng::seed_from_u64(8);
+    let ids: Vec<usize> = (0..8)
+        .map(|i| {
+            let v = BitVec::random(4096, &mut rng);
+            dev.fc_write(&format!("op{i}"), &v, StoreHints::and_group("g")).unwrap().id
+        })
+        .collect();
+    let jds: Vec<usize> = (0..4)
+        .map(|i| {
+            let v = BitVec::random(4096, &mut rng);
+            dev.fc_write(&format!("hp{i}"), &v, StoreHints::and_group("h")).unwrap().id
+        })
+        .collect();
+    // A representative analytics batch: conjunctive and disjunctive
+    // filters, negations, majority votes, nested or-of-ands, and
+    // cross-group ANDs (which compile to spanning stripes + cross-die
+    // merges) — the shapes the planner actually canonicalizes, dedups,
+    // and lowers — rather than sixteen flat ANDs over one id-set.
+    let batch: QueryBatch = (0..16)
+        .map(|q| match q % 8 {
+            0 => Expr::and_vars(ids.iter().copied()),
+            1 => Expr::or_vars(ids.iter().rev().copied()),
+            2 => Expr::threshold_vars(3, ids[..5].iter().copied()),
+            3 => Expr::majority_vars(ids[..7].iter().copied()),
+            4 => Expr::and_vars(ids[..3].iter().copied().chain(jds[..2].iter().copied())),
+            5 => Expr::not(Expr::and_vars(ids[1..6].iter().copied())),
+            6 => Expr::or(vec![
+                Expr::and_vars(ids[..3].iter().copied()),
+                Expr::and_vars(ids[3..6].iter().copied()),
+                Expr::and(vec![Expr::var(ids[6]), Expr::not(Expr::var(ids[7]))]),
+            ]),
+            _ => Expr::and_vars(jds.iter().copied().chain(ids[q % 5..].iter().copied())),
+        })
+        .collect();
+    let probe = dev.compile_probe(&batch).unwrap();
+    assert!(dev.lint_probe(&probe).is_empty(), "the bench plan must be healthy");
+
+    // Paired measurement, best of three passes after warmup: the ratio
+    // is the acceptance criterion (< 5%), so keep it noise-resistant.
+    const ITERS: u32 = 200;
+    for _ in 0..20 {
+        std::hint::black_box(dev.compile_probe(&batch).unwrap());
+        std::hint::black_box(dev.lint_probe(&probe));
+    }
+    let mut compile_t = std::time::Duration::MAX;
+    let mut lint_t = std::time::Duration::MAX;
+    for _ in 0..3 {
+        let start = std::time::Instant::now();
+        for _ in 0..ITERS {
+            std::hint::black_box(dev.compile_probe(&batch).unwrap());
+        }
+        compile_t = compile_t.min(start.elapsed());
+        let start = std::time::Instant::now();
+        for _ in 0..ITERS {
+            std::hint::black_box(dev.lint_probe(&probe));
+        }
+        lint_t = lint_t.min(start.elapsed());
+    }
+    println!(
+        "audit/plan_lint_16q: lint {:?} vs compile {:?} per {ITERS} iters ({:.2}% overhead)",
+        lint_t,
+        compile_t,
+        100.0 * lint_t.as_secs_f64() / compile_t.as_secs_f64().max(f64::EPSILON)
+    );
+
+    let mut group = c.benchmark_group("audit");
+    group.sample_size(20);
+    group.bench_function("compile_16q", |bench| {
+        bench.iter(|| {
+            std::hint::black_box(dev.compile_probe(std::hint::black_box(&batch))).unwrap()
+        });
+    });
+    group.bench_function("plan_lint_16q", |bench| {
+        bench.iter(|| std::hint::black_box(dev.lint_probe(std::hint::black_box(&probe))));
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bitvec_ops,
@@ -886,6 +977,7 @@ criterion_group!(
     ispp_program,
     pipeline_sim,
     mlsense_threshold,
-    mlsense_density
+    mlsense_density,
+    audit_plan_lint
 );
 criterion_main!(benches);

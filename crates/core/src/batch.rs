@@ -255,8 +255,12 @@ pub(crate) enum UnitWork {
 
 /// One planned unit of a compiled batch.
 pub(crate) struct PlannedUnit {
-    pages: usize,
-    consumers: Vec<QueryId>,
+    pub(crate) pages: usize,
+    pub(crate) consumers: Vec<QueryId>,
+    /// The unit expression as compiled (the plan lint re-derives the
+    /// cross-die and threshold-lowering contracts from it — see
+    /// [`crate::audit`]).
+    pub(crate) nnf: Nnf,
     /// Result-cache key: epoch + canonical form + operand generations.
     pub(crate) key: crate::session::CacheKey,
     pub(crate) work: UnitWork,
@@ -266,12 +270,12 @@ pub(crate) struct PlannedUnit {
 /// to execute — immediately ([`FlashCosmosDevice::submit_into`]) or
 /// queued ([`FlashCosmosDevice::submit_async`]).
 pub(crate) struct CompiledBatch {
-    q_bits: Vec<usize>,
-    q_pages: Vec<usize>,
-    units: Vec<PlannedUnit>,
+    pub(crate) q_bits: Vec<usize>,
+    pub(crate) q_pages: Vec<usize>,
+    pub(crate) units: Vec<PlannedUnit>,
     /// Stats fields known at compile time (dedup/sharing/cache/serial
     /// counts); execution clones this and fills in the measured fields.
-    stats_seed: BatchStats,
+    pub(crate) stats_seed: BatchStats,
     /// Generation of every operand the batch references, plus the device
     /// epoch — the staleness check for queued batches.
     pub(crate) epoch: u64,
@@ -485,6 +489,7 @@ impl FlashCosmosDevice {
                 planned.push(PlannedUnit {
                     pages: unit.pages,
                     consumers: unit.consumers.clone(),
+                    nnf: unit.nnf.clone(),
                     work: UnitWork::Cached { result },
                     key,
                 });
@@ -508,6 +513,7 @@ impl FlashCosmosDevice {
                 planned.push(PlannedUnit {
                     pages: unit.pages,
                     consumers: unit.consumers.clone(),
+                    nnf: unit.nnf.clone(),
                     work: UnitWork::Controller {
                         nnf: unit.nnf.clone(),
                         ids: unit.ids.clone(),
@@ -550,6 +556,7 @@ impl FlashCosmosDevice {
             planned.push(PlannedUnit {
                 pages: unit.pages,
                 consumers: unit.consumers.clone(),
+                nnf: unit.nnf.clone(),
                 work: UnitWork::Execute { leaves, slots, direct, merges, senses },
                 key,
             });
@@ -581,7 +588,14 @@ impl FlashCosmosDevice {
             };
             stats.serial_senses += cost;
         }
-        Ok(CompiledBatch { q_bits, q_pages, units: planned, stats_seed: stats, epoch, snapshot })
+        let compiled =
+            CompiledBatch { q_bits, q_pages, units: planned, stats_seed: stats, epoch, snapshot };
+        // Pass 1 of the static analyzer: lint the plan IR before any chip
+        // is touched (debug builds only — release keeps the hot compile
+        // path unchanged; see `crate::audit`).
+        #[cfg(debug_assertions)]
+        crate::audit::enforce_plan(self, &compiled);
+        Ok(compiled)
     }
 
     /// Re-consults the result cache for every still-executable unit of a

@@ -72,6 +72,10 @@ pub enum ExecPlan {
 
 /// Merge recipe over a flattened leaf list: leaves are referenced by
 /// their index in the [`ExecPlan::flatten`] output (pre-order).
+///
+/// The plan lint's `FC002` (see `LINTS.md`) holds every spanning
+/// stripe to exactly one recipe consuming exactly its leaves, once
+/// each — partial or double consumption merges wrong bits silently.
 #[derive(Debug, Clone)]
 pub enum MergeTree {
     /// The executed page of leaf `i`.

@@ -269,9 +269,9 @@ pub(crate) struct OperandRecord {
 /// Where a placement group's blocks live: the base plane its stripe
 /// rotation starts from, and whether the caller pinned it to one die.
 #[derive(Debug, Clone, Copy)]
-struct GroupPlace {
-    base_plane: usize,
-    pinned_die: Option<usize>,
+pub(crate) struct GroupPlace {
+    pub(crate) base_plane: usize,
+    pub(crate) pinned_die: Option<usize>,
 }
 
 /// The Flash-Cosmos-enabled SSD.
@@ -279,12 +279,12 @@ pub struct FlashCosmosDevice {
     pub(crate) ssd: SsdDevice,
     pub(crate) operands: Vec<OperandRecord>,
     names: HashMap<String, OperandId>,
-    groups: HashMap<String, u64>,
+    pub(crate) groups: HashMap<String, u64>,
     group_fill: HashMap<(u64, u64), u64>,
     /// Base plane per placement group (by group index).
-    group_place: HashMap<u64, GroupPlace>,
+    pub(crate) group_place: HashMap<u64, GroupPlace>,
     /// Base plane per colocation domain (groups in a domain share it).
-    domain_place: HashMap<String, GroupPlace>,
+    pub(crate) domain_place: HashMap<String, GroupPlace>,
     /// Where fresh placement groups land (see [`crate::maintenance`]):
     /// the default [`SpreadPlacement`] rotates pressure ties across dies,
     /// [`crate::maintenance::WearAwarePlacement`] levels P/E wear.
@@ -293,7 +293,10 @@ pub struct FlashCosmosDevice {
     pub(crate) regroup_policy: Box<dyn RegroupPolicy>,
     /// Maintenance tuning (heat thresholds, slack budget).
     pub(crate) maintenance_cfg: MaintenanceConfig,
-    next_lpn: u64,
+    /// Ruleset of the static analyzer (see [`crate::audit`]): what the
+    /// debug-build plan-lint and device-audit hooks do per lint code.
+    pub(crate) audit_cfg: crate::audit::AuditConfig,
+    pub(crate) next_lpn: u64,
     /// Async submission queues + cross-batch result cache (see
     /// [`crate::session`]).
     pub(crate) session: crate::session::Session,
@@ -362,6 +365,7 @@ impl FlashCosmosDevice {
             placement_policy: Box::new(SpreadPlacement::new()),
             regroup_policy: Box::new(crate::maintenance::HotSetRegrouper),
             maintenance_cfg: MaintenanceConfig::default(),
+            audit_cfg: crate::audit::AuditConfig::default(),
             next_lpn: 0,
             session: crate::session::Session::default(),
             recovery: crate::recovery::RecoveryState::default(),
@@ -519,6 +523,18 @@ impl FlashCosmosDevice {
         self.maintenance_cfg = cfg;
     }
 
+    /// Replaces the static analyzer's ruleset (see [`crate::audit`]):
+    /// the default mode and any per-code overrides the debug-build
+    /// plan-lint and device-audit hooks apply.
+    pub fn set_audit_config(&mut self, cfg: crate::audit::AuditConfig) {
+        self.audit_cfg = cfg;
+    }
+
+    /// The static analyzer's current ruleset.
+    pub fn audit_config(&self) -> &crate::audit::AuditConfig {
+        &self.audit_cfg
+    }
+
     /// The current maintenance tuning.
     pub fn maintenance_config(&self) -> &MaintenanceConfig {
         &self.maintenance_cfg
@@ -620,9 +636,23 @@ impl FlashCosmosDevice {
     /// are cell levels, not raw SLC bits, so an expression touching them
     /// reads the pages through the controller (2–4 senses per MLC/TLC
     /// page read) and evaluates there instead of fusing into an MWS
-    /// sense. They also cannot be overwritten in place or migrated, and
-    /// are not parity-protected (cross-die parity rebuilds raw SLC
-    /// stripes).
+    /// sense. They also cannot be overwritten in place or migrated.
+    ///
+    /// ## Protection contract
+    ///
+    /// Multi-level pages sit **outside every recovery tier beyond the
+    /// read-retry ladder**: they join no cross-die parity stripe (parity
+    /// rebuilds XOR raw SLC payloads, which an ML page does not have) and
+    /// the retention scrubber skips them (a refresh would have to rewrite
+    /// the whole Gray-packed wordline, invalidating the co-stored
+    /// aliases). A lost ML page is therefore unrecoverable: every query
+    /// touching it fails with [`FcError::QueryFailed`]. Callers choosing
+    /// the density side of the §6.3 trade accept this exposure for the
+    /// packed operands; keep anything that must survive die loss in
+    /// SLC/ESP storage (`fc_write`) with parity enabled. When parity is
+    /// enabled and ML operands exist, [`FlashCosmosDevice::audit`]
+    /// reports the gap as the warn-level finding `FC104` — an honest
+    /// flag, not an error, because the gap is this documented contract.
     ///
     /// `hints.scheme` picks the density ([`ProgramScheme::Mlc`] for 2
     /// operands, [`ProgramScheme::Tlc`] for 3); `None` infers it from

@@ -121,6 +121,7 @@
 //! [`FlashCosmosDevice::submit_into`] write results into caller-owned
 //! buffers for allocation-free steady state.
 
+pub mod audit;
 pub mod batch;
 pub mod crossdie;
 pub mod device;
@@ -136,6 +137,7 @@ pub mod reliability;
 pub mod session;
 pub mod timeline;
 
+pub use audit::{AuditConfig, AuditMode, Finding, LintCode, Severity};
 pub use batch::{BatchResults, BatchStats, QueryBatch, QueryFailure, QueryId, QueryStats};
 pub use device::{FcError, FlashCosmosDevice, OperandHandle, ReadStats, StoreHints};
 pub use engines::{Engines, Platform, PlatformReport, WorkloadShape};

@@ -513,6 +513,11 @@ impl Default for MaintenanceConfig {
 
 /// One planned migration: move `operand` into the gather group described
 /// by `hints`, provided its placement generation still matches.
+///
+/// Queued jobs are audited by `FC106` (see `LINTS.md`): the operand id
+/// and name must describe the same live record, `expected_generation`
+/// must not exceed the table's (snapshots of the past, never the
+/// future), and `target_die` must exist.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RegroupJob {
     /// The operand's registered name (what `migrate_operand` takes).

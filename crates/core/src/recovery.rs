@@ -497,6 +497,38 @@ impl FlashCosmosDevice {
         Ok(lpn)
     }
 
+    /// Refresh target plane for a parity-stripe page: the least-pressure
+    /// healthy plane on a die disjoint from the rest of the page's
+    /// stripe, so retention refreshes preserve the die-disjointness that
+    /// rebuild correctness (and the device audit's `FC102`) rests on.
+    /// `None` for pages outside every stripe — those refresh through the
+    /// ordinary striped round-robin.
+    fn stripe_refresh_plane(&self, lpn: u64) -> Option<usize> {
+        let cfg = self.ssd.config();
+        let avoid: HashSet<usize> =
+            if let Some((_, stripe)) = self.recovery.stripes.stripe_of_member(lpn) {
+                stripe
+                    .members
+                    .iter()
+                    .filter(|&&m| m != lpn)
+                    .copied()
+                    .chain(std::iter::once(stripe.parity_lpn))
+                    .filter_map(|l| self.ssd.ftl().translate(l))
+                    .map(|p| p.plane.die.flat(cfg))
+                    .collect()
+            } else if let Some((_, stripe)) = self.recovery.stripes.stripe_of_parity(lpn) {
+                stripe
+                    .members
+                    .iter()
+                    .filter_map(|&m| self.ssd.ftl().translate(m))
+                    .map(|p| p.plane.die.flat(cfg))
+                    .collect()
+            } else {
+                return None;
+            };
+        Some(self.healthy_plane(&avoid))
+    }
+
     /// Least-pressure plane whose die is healthy and (when possible) not
     /// in `avoid` — the fallback ladder keeps recovery making progress
     /// even when disjointness cannot be honored.
@@ -986,14 +1018,32 @@ impl FlashCosmosDevice {
             let Some(ppa) = self.ssd.ftl().translate(job.lpn) else { continue };
             let meta = self.ssd.ftl().meta(job.lpn).expect("mapped pages carry metadata");
             let src = ppa.plane.die.flat(self.ssd.config());
-            let tgt = self.ssd.ftl().next_striped_plane() / ppd;
+            let stripe_plane = self.stripe_refresh_plane(job.lpn);
+            let tgt = stripe_plane.unwrap_or_else(|| self.ssd.ftl().next_striped_plane()) / ppd;
             let work: Vec<(usize, f64)> =
                 if src == tgt { vec![(src, tr + tprog)] } else { vec![(src, tr), (tgt, tprog)] };
             if !queues.try_fill(&work, budget_us) {
                 deferred.push(job);
                 continue;
             }
-            match self.ssd.migrate(job.lpn, PlacementHint::Striped, meta) {
+            let hint = match stripe_plane {
+                Some(plane) => {
+                    let wls = self.ssd.config().wls_per_block as u64;
+                    let fill = self.recovery.rebuild_fill.entry(plane).or_insert(0);
+                    let overflow = *fill / wls;
+                    *fill += 1;
+                    PlacementHint::Grouped {
+                        group: GroupKey {
+                            group: REBUILD_GROUP_BASE + plane as u64,
+                            slot: 0,
+                            overflow,
+                        },
+                        plane: Some(plane),
+                    }
+                }
+                None => PlacementHint::Striped,
+            };
+            match self.ssd.migrate(job.lpn, hint, meta) {
                 Ok(_) => {}
                 Err(DeviceError::Uncorrectable { .. }) => {
                     if self.rebuild_lpn(job.lpn).is_err() {

@@ -276,6 +276,13 @@ impl ResultCache {
         self.entries.clear();
     }
 
+    /// Resident keys, in no particular order (the device audit
+    /// cross-checks every cached generation against the operand table —
+    /// see `crate::audit`).
+    pub(crate) fn keys(&self) -> impl Iterator<Item = &CacheKey> {
+        self.entries.keys()
+    }
+
     pub(crate) fn set_capacity(&mut self, capacity: usize) {
         self.capacity = capacity;
         self.evict_to(capacity);
@@ -546,6 +553,11 @@ impl FlashCosmosDevice {
             }
         }
         stats.health = self.health();
+        // Pass 2 of the static analyzer: cross-check the whole device
+        // metadata after the drain mutated it (debug builds only — see
+        // `crate::audit`).
+        #[cfg(debug_assertions)]
+        crate::audit::enforce_device(self);
         Ok(stats)
     }
 

@@ -241,6 +241,17 @@ impl SsdDevice {
         &self.ftl
     }
 
+    /// Mutable FTL access for the `flash_cosmos::audit` mutation harness
+    /// **only**: it deliberately bypasses the epoch-bump discipline of the
+    /// core device's `ssd_mut()` chokepoint so seeded corruptions land
+    /// without structurally invalidating the state under test. Never use
+    /// it to mutate a live device — `fc-xtask lint-mutators` flags any
+    /// reference outside the audit allowlist.
+    #[doc(hidden)]
+    pub fn ftl_mut_for_audit(&mut self) -> &mut Ftl {
+        &mut self.ftl
+    }
+
     /// The ECC correction margin as a fraction: `t / n` of the current
     /// page code — the raw bit-error rate at which a codeword's error
     /// budget is exhausted *in expectation*. Scrub policies compare a

@@ -189,8 +189,10 @@ pub struct Ftl {
     planes: usize,
     wls_per_block: u32,
     blocks_per_plane: u32,
-    map: HashMap<u64, Ppa>,
-    meta: HashMap<u64, PageMeta>,
+    /// One entry per mapped logical page: its physical address and
+    /// metadata live together, so translation+metadata reads and the
+    /// full-device walks ([`Ftl::iter_mapped`]) cost one lookup, not two.
+    map: HashMap<u64, (Ppa, PageMeta)>,
     /// Next free block per plane (blocks are allocated whole).
     next_block: Vec<u32>,
     /// Striped-allocation cursor: (plane, open block, next wordline).
@@ -209,7 +211,6 @@ impl Ftl {
             wls_per_block: config.wls_per_block as u32,
             blocks_per_plane: config.blocks_per_plane as u32,
             map: HashMap::new(),
-            meta: HashMap::new(),
             next_block: vec![0; planes],
             stripe_cursor: 0,
             stripe_open: vec![None; planes],
@@ -225,25 +226,24 @@ impl Ftl {
 
     /// Looks up a logical page's physical address.
     pub fn translate(&self, lpn: u64) -> Option<Ppa> {
-        self.map.get(&lpn).copied()
+        self.map.get(&lpn).map(|&(ppa, _)| ppa)
     }
 
     /// Looks up a logical page's metadata.
     pub fn meta(&self, lpn: u64) -> Option<PageMeta> {
-        self.meta.get(&lpn).copied()
+        self.map.get(&lpn).map(|&(_, meta)| meta)
     }
 
     /// Iterates over every mapped logical page with its physical address
-    /// and metadata, in no particular order — the walk that scrubbing and
-    /// grown-defect discovery run over.
+    /// and metadata, in no particular order — the walk that scrubbing,
+    /// grown-defect discovery, and the `fc_audit` residency pass run over.
     pub fn iter_mapped(&self) -> impl Iterator<Item = (u64, Ppa, PageMeta)> + '_ {
-        self.map.iter().map(move |(&lpn, &ppa)| (lpn, ppa, self.meta[&lpn]))
+        self.map.iter().map(|(&lpn, &(ppa, meta))| (lpn, ppa, meta))
     }
 
     /// Unmaps a logical page (trim). Returns the freed physical address.
     pub fn trim(&mut self, lpn: u64) -> Option<Ppa> {
-        self.meta.remove(&lpn);
-        self.map.remove(&lpn)
+        self.map.remove(&lpn).map(|(ppa, _)| ppa)
     }
 
     /// Allocates a physical page for `lpn` and records its metadata.
@@ -264,8 +264,7 @@ impl Ftl {
             PlacementHint::Striped => self.allocate_striped()?,
             PlacementHint::Grouped { group, plane } => self.allocate_grouped(group, plane)?,
         };
-        self.map.insert(lpn, ppa);
-        self.meta.insert(lpn, meta);
+        self.map.insert(lpn, (ppa, meta));
         Ok(ppa)
     }
 
@@ -302,9 +301,8 @@ impl Ftl {
         if self.map.contains_key(&lpn) {
             return Err(FtlError::AlreadyMapped(lpn));
         }
-        let ppa = self.map.get(&to).copied().ok_or(FtlError::NotMapped(to))?;
-        self.map.insert(lpn, ppa);
-        self.meta.insert(lpn, meta);
+        let ppa = self.map.get(&to).map(|&(p, _)| p).ok_or(FtlError::NotMapped(to))?;
+        self.map.insert(lpn, (ppa, meta));
         Ok(ppa)
     }
 
@@ -322,13 +320,12 @@ impl Ftl {
         hint: PlacementHint,
         meta: PageMeta,
     ) -> Result<(Ppa, Ppa), FtlError> {
-        let old = self.map.get(&lpn).copied().ok_or(FtlError::NotMapped(lpn))?;
+        let old = self.map.get(&lpn).map(|&(p, _)| p).ok_or(FtlError::NotMapped(lpn))?;
         let new = match hint {
             PlacementHint::Striped => self.allocate_striped()?,
             PlacementHint::Grouped { group, plane } => self.allocate_grouped(group, plane)?,
         };
-        self.map.insert(lpn, new);
-        self.meta.insert(lpn, meta);
+        self.map.insert(lpn, (new, meta));
         Ok((old, new))
     }
 

@@ -25,6 +25,10 @@ use fc_bits::BitVec;
 
 /// One parity stripe: the member (data) pages and the parity page that
 /// covers them.
+///
+/// The device audit's `FC102`/`FC103` (see `LINTS.md` at the repo
+/// root) hold stripes to single membership, die-disjoint placement
+/// while healthy dies suffice, and full coverage of FC data pages.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParityStripe {
     /// Logical pages protected by this stripe.

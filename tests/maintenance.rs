@@ -8,7 +8,7 @@ use fc_ssd::SsdConfig;
 use fc_workloads::skew::CoQueryWorkload;
 use flash_cosmos::{
     CostAwareAdmission, Expr, FifoAdmission, FlashCosmosDevice, MaintenanceConfig, QueryBatch,
-    StoreHints, WearAwarePlacement,
+    Severity, StoreHints, WearAwarePlacement,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -16,6 +16,15 @@ use rand::{Rng, SeedableRng};
 
 fn device() -> FlashCosmosDevice {
     FlashCosmosDevice::new(SsdConfig::tiny_test())
+}
+
+/// The `fc_audit` device pass stays error-free after every interleaving
+/// step (warn-level coverage findings are allowed in mixed scenarios).
+fn assert_audit_clean(dev: &FlashCosmosDevice) -> Result<(), TestCaseError> {
+    let errors: Vec<_> =
+        dev.audit().into_iter().filter(|f| f.severity == Severity::Error).collect();
+    prop_assert!(errors.is_empty(), "device audit found errors: {errors:?}");
+    Ok(())
 }
 
 /// Writes `n` page-sized operands, each scattered into its own singleton
@@ -670,8 +679,10 @@ proptest! {
                     truth[i] = v;
                 }
             }
+            assert_audit_clean(&maint)?;
         }
         maint.drain().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        assert_audit_clean(&maint)?;
         for (ticket, batch) in in_flight.drain(..) {
             let got = maint.wait(ticket).map_err(|e| TestCaseError::fail(e.to_string()))?;
             let reference = cold.submit(&batch).map_err(|e| TestCaseError::fail(e.to_string()))?;

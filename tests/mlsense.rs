@@ -13,12 +13,21 @@
 use fc_bits::BitVec;
 use fc_nand::ispp::ProgramScheme;
 use fc_ssd::SsdConfig;
-use flash_cosmos::{Expr, FlashCosmosDevice, QueryBatch, StoreHints};
+use flash_cosmos::{Expr, FlashCosmosDevice, QueryBatch, Severity, StoreHints};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const BITS: usize = 300; // two 256-bit stripes per operand
+
+/// The `fc_audit` device pass stays error-free after every step of the
+/// scenario (warn-level coverage findings are allowed in mixed ones).
+fn assert_audit_clean(dev: &FlashCosmosDevice) -> Result<(), TestCaseError> {
+    let errors: Vec<_> =
+        dev.audit().into_iter().filter(|f| f.severity == Severity::Error).collect();
+    prop_assert!(errors.is_empty(), "device audit found errors: {errors:?}");
+    Ok(())
+}
 
 /// Deterministic Fisher–Yates driven by the scenario RNG.
 fn shuffle<T>(items: &mut [T], rng: &mut StdRng) {
@@ -121,6 +130,7 @@ fn threshold_scenario(seed: u64, n_slc: usize, k_sel: usize) -> Result<(), TestC
             dev.fc_overwrite(&format!("s{victim}"), &fresh).unwrap();
             vectors[victim] = fresh;
         }
+        assert_audit_clean(&dev)?;
     }
     Ok(())
 }

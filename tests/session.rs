@@ -7,13 +7,22 @@ use std::time::Instant;
 
 use fc_bits::BitVec;
 use fc_ssd::SsdConfig;
-use flash_cosmos::{Expr, FcError, FlashCosmosDevice, QueryBatch, StoreHints};
+use flash_cosmos::{Expr, FcError, FlashCosmosDevice, QueryBatch, Severity, StoreHints};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn device() -> FlashCosmosDevice {
     FlashCosmosDevice::new(SsdConfig::tiny_test())
+}
+
+/// The `fc_audit` device pass stays error-free after every interleaving
+/// step (warn-level coverage findings are allowed in mixed scenarios).
+fn assert_audit_clean(dev: &FlashCosmosDevice) -> Result<(), TestCaseError> {
+    let errors: Vec<_> =
+        dev.audit().into_iter().filter(|f| f.severity == Severity::Error).collect();
+    prop_assert!(errors.is_empty(), "device audit found errors: {errors:?}");
+    Ok(())
 }
 
 /// Stores `n` random page-sized vectors in one AND group (optionally die
@@ -372,7 +381,9 @@ proptest! {
                         .map_err(|e| TestCaseError::fail(e.to_string()))?;
                 }
             }
+            assert_audit_clean(&cached)?;
         }
         drain_and_compare(&mut cached, &mut cold, &mut in_flight, &truth)?;
+        assert_audit_clean(&cached)?;
     }
 }
