@@ -230,7 +230,7 @@ fn batch_submit(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("batch");
     group.sample_size(20);
-    let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+    let dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
     let mut rng = StdRng::seed_from_u64(5);
     let bits = 4096;
     let ids: Vec<usize> = (0..8)
@@ -274,7 +274,7 @@ fn batch_submit_multi_die(c: &mut Criterion) {
     use flash_cosmos::device::{FlashCosmosDevice, StoreHints};
 
     fn setup(die: Option<usize>) -> (FlashCosmosDevice, QueryBatch) {
-        let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+        let dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
         let mut rng = StdRng::seed_from_u64(7);
         let bits = dev.config().page_bits();
         let mut batch = QueryBatch::new();
@@ -296,8 +296,8 @@ fn batch_submit_multi_die(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("batch");
     group.sample_size(20);
-    let (mut spread_dev, spread_batch) = setup(None);
-    let (mut pinned_dev, pinned_batch) = setup(Some(0));
+    let (spread_dev, spread_batch) = setup(None);
+    let (pinned_dev, pinned_batch) = setup(Some(0));
     let spread = spread_dev.submit(&spread_batch).unwrap().stats;
     let pinned = pinned_dev.submit(&pinned_batch).unwrap().stats;
     println!(
@@ -331,7 +331,7 @@ fn batch_resubmit_cached(c: &mut Criterion) {
     use flash_cosmos::device::{FlashCosmosDevice, StoreHints};
 
     fn setup(cached: bool) -> (FlashCosmosDevice, QueryBatch) {
-        let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+        let dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
         if !cached {
             dev.set_result_cache_capacity(0);
         }
@@ -355,8 +355,8 @@ fn batch_resubmit_cached(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("batch");
     group.sample_size(20);
-    let (mut warm_dev, batch) = setup(true);
-    let (mut cold_dev, _) = setup(false);
+    let (warm_dev, batch) = setup(true);
+    let (cold_dev, _) = setup(false);
     let cold = cold_dev.submit(&batch).unwrap();
     warm_dev.submit(&batch).unwrap(); // populate the cache
     let warm = warm_dev.submit(&batch).unwrap();
@@ -385,7 +385,7 @@ fn batch_async_overlap(c: &mut Criterion) {
     use flash_cosmos::device::{FlashCosmosDevice, StoreHints};
 
     fn setup() -> (FlashCosmosDevice, Vec<QueryBatch>) {
-        let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+        let dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
         dev.set_result_cache_capacity(0); // measure execution, not replay
         let mut rng = StdRng::seed_from_u64(9);
         let bits = dev.config().page_bits();
@@ -409,12 +409,12 @@ fn batch_async_overlap(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("batch");
     group.sample_size(20);
-    let (mut dev, batches) = setup();
+    let (dev, batches) = setup();
     let t0 = dev.submit_async(&batches[0]).unwrap();
     let t1 = dev.submit_async(&batches[1]).unwrap();
     let drained = dev.drain().unwrap();
-    t0.wait(&mut dev).unwrap();
-    t1.wait(&mut dev).unwrap();
+    t0.wait(&dev).unwrap();
+    t1.wait(&dev).unwrap();
     println!(
         "batch/submit_async_overlap: combined critical path {:.1} µs vs {:.1} µs \
          for two serial submits ({:.1} µs saved, {} dies)",
@@ -479,8 +479,7 @@ fn maintenance_regroup(c: &mut Criterion) {
     group.sample_size(20);
 
     let setup = || {
-        let mut w =
-            CoQueryWorkload::scattered(SsdConfig::tiny_test(), 16, 8, 4, 1.1, 0xA11).unwrap();
+        let w = CoQueryWorkload::scattered(SsdConfig::tiny_test(), 16, 8, 4, 1.1, 0xA11).unwrap();
         let mut batch = QueryBatch::new();
         batch.push(w.expr(0));
         let cold = w.dev.submit(&batch).unwrap();
@@ -488,9 +487,9 @@ fn maintenance_regroup(c: &mut Criterion) {
     };
 
     // Scattered device: maintenance never runs.
-    let (mut scattered, batch, cold) = setup();
+    let (scattered, batch, cold) = setup();
     // Converged device: heat → plan → drain (migrations fill the slack).
-    let (mut converged, _, _) = setup();
+    let (converged, _, _) = setup();
     converged.dev.submit(&batch).unwrap();
     converged.dev.schedule_maintenance();
     converged.dev.submit_async(&batch).unwrap();
@@ -542,8 +541,7 @@ fn cache_policy_zipf(c: &mut Criterion) {
     group.sample_size(10);
 
     let run = |fifo: bool| {
-        let mut w =
-            CoQueryWorkload::scattered(SsdConfig::tiny_test(), 16, 32, 2, 1.1, 0x21F).unwrap();
+        let w = CoQueryWorkload::scattered(SsdConfig::tiny_test(), 16, 32, 2, 1.1, 0x21F).unwrap();
         w.dev.set_result_cache_capacity(8);
         if fifo {
             w.dev.set_cache_admission(Box::new(FifoAdmission));
@@ -559,8 +557,8 @@ fn cache_policy_zipf(c: &mut Criterion) {
         let s = w.dev.session().cache_stats();
         (w, s.hits as f64 / (s.hits + s.misses) as f64)
     };
-    let (mut fifo_w, fifo_rate) = run(true);
-    let (mut cost_w, cost_rate) = run(false);
+    let (fifo_w, fifo_rate) = run(true);
+    let (cost_w, cost_rate) = run(false);
     assert!(cost_rate > fifo_rate, "cost-aware must win: {cost_rate:.3} vs {fifo_rate:.3}");
     println!(
         "cache/zipf_resubmit: hit rate {:.1}% cost-aware vs {:.1}% FIFO \
@@ -634,7 +632,7 @@ fn recovery_tiers(c: &mut Criterion) {
                 }
                 dev
             },
-            |mut dev| {
+            |dev| {
                 let report = dev.inject_faults(&FaultPlan::new().stuck_block("op0", 0)).unwrap();
                 assert_eq!(report.lost_pages, 0, "stuck block within parity budget");
                 report.rebuilt_pages
@@ -654,7 +652,7 @@ fn recovery_tiers(c: &mut Criterion) {
                 dev.inject_faults(&FaultPlan::new().retention(48.0).age("log", 15_000)).unwrap();
                 dev
             },
-            |mut dev| {
+            |dev| {
                 // One drain schedules the aged candidates and refreshes
                 // them within the idle-die slack budget.
                 let drained = dev.drain().unwrap();
@@ -745,7 +743,7 @@ fn mlsense_threshold(c: &mut Criterion) {
     const K: usize = 5;
     let config = SsdConfig { wls_per_block: 16, ..SsdConfig::tiny_test() };
     let bits = 4096;
-    let mut dev = FlashCosmosDevice::new(config);
+    let dev = FlashCosmosDevice::new(config);
     dev.set_result_cache_capacity(0);
     let mut rng = StdRng::seed_from_u64(9);
     let ids: Vec<usize> = (0..N)
@@ -821,7 +819,7 @@ fn mlsense_density(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(11);
     let vectors: Vec<BitVec> = (0..N).map(|_| BitVec::random(bits, &mut rng)).collect();
 
-    let mut slc = FlashCosmosDevice::new(SsdConfig::tiny_test());
+    let slc = FlashCosmosDevice::new(SsdConfig::tiny_test());
     slc.set_result_cache_capacity(0);
     let slc_ids: Vec<usize> = vectors
         .iter()
@@ -829,7 +827,7 @@ fn mlsense_density(c: &mut Criterion) {
         .map(|(i, v)| slc.fc_write(&format!("s{i}"), v, StoreHints::and_group("g")).unwrap().id)
         .collect();
 
-    let mut mlc = FlashCosmosDevice::new(SsdConfig::tiny_test());
+    let mlc = FlashCosmosDevice::new(SsdConfig::tiny_test());
     mlc.set_result_cache_capacity(0);
     let mut mlc_ids: Vec<usize> = Vec::new();
     for pair in 0..N / 2 {
@@ -877,7 +875,7 @@ fn audit_plan_lint(c: &mut Criterion) {
     use flash_cosmos::batch::QueryBatch;
     use flash_cosmos::device::{FlashCosmosDevice, StoreHints};
 
-    let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+    let dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
     dev.set_result_cache_capacity(0);
     let mut rng = StdRng::seed_from_u64(8);
     let ids: Vec<usize> = (0..8)

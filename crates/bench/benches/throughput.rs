@@ -1,0 +1,151 @@
+//! Sustained multi-threaded serving throughput: N worker threads drive
+//! Zipf-skewed AND co-query traffic (`fc_workloads::skew`) at one shared
+//! `Arc<FlashCosmosDevice>` through the bounded async session —
+//! `submit_async` with drain-and-retry on `FcError::Overloaded`, then
+//! `wait` — and the bench reports queries/second per worker count plus
+//! the p50/p99 *modeled* batch latency (per-batch die-parallel critical
+//! path, µs) of the exact same traffic.
+//!
+//! Each worker paces its loop by **emulated device dwell**: after a
+//! batch's results return, the worker parks for the batch's modeled
+//! critical path before issuing its next request, the way a host thread
+//! on a real Flash-Cosmos SSD would spend that wall time waiting on the
+//! device. Served wall time is therefore software serving cost plus
+//! modeled device time — and scaling across workers measures exactly
+//! what the concurrent serving core is for: overlapping many in-flight
+//! batches' device dwell (and, on multi-core hosts, the software path
+//! too). A serving layer that serialized submit→drain→wait behind one
+//! exclusive lock would show no scaling here regardless of core count.
+//!
+//! The result cache is disabled and maintenance regrouping is
+//! effectively off (`min_cofuse = u64::MAX`), so every batch pays the
+//! full compile + simulated-sensing cost: the numbers measure the
+//! serving core's scaling, not cache recurrence on the hot ranks.
+
+use std::sync::Arc;
+use std::sync::Mutex;
+use std::thread;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fc_ssd::SsdConfig;
+use fc_workloads::skew::CoQueryWorkload;
+use flash_cosmos::{FcError, FlashCosmosDevice, QueryBatch};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const OPERANDS: usize = 32;
+const SETS: usize = 64;
+const SET_SIZE: usize = 4;
+const THETA: f64 = 1.1;
+/// Batches served per epoch, split evenly across the workers.
+const BATCHES: usize = 32;
+const QUERIES_PER_BATCH: usize = 4;
+const SEED: u64 = 0x05EE_D707;
+
+/// The multi-die serving config: the tiny functional geometry widened
+/// to 8 channels × 4 dies (32 dies), so scattered operands land on
+/// mostly disjoint dies and concurrent batches overlap in the device
+/// model. Small pages keep the simulator's software cost per batch well
+/// under the modeled device time the workers emulate.
+fn serving_config() -> SsdConfig {
+    let mut cfg = SsdConfig::tiny_test();
+    cfg.channels = 8;
+    cfg.dies_per_channel = 4;
+    cfg
+}
+
+/// The pre-loaded shared device plus each worker's pre-drawn batch
+/// sequence (drawn once, outside the timed region, so every epoch and
+/// every worker count serves identical traffic per worker slot).
+struct Serving {
+    dev: Arc<FlashCosmosDevice>,
+    per_worker: Vec<Vec<QueryBatch>>,
+}
+
+fn setup(workers: usize) -> Serving {
+    let wl = CoQueryWorkload::scattered(serving_config(), OPERANDS, SETS, SET_SIZE, THETA, SEED)
+        .expect("workload setup");
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0xD1E5);
+    let share = BATCHES / workers;
+    let per_worker = (0..workers)
+        .map(|_| (0..share).map(|_| wl.zipf_batch(QUERIES_PER_BATCH, &mut rng).0).collect())
+        .collect();
+
+    let mut dev = wl.dev;
+    dev.set_result_cache_capacity(0);
+    let mut mc = dev.maintenance_config();
+    mc.min_cofuse = u64::MAX;
+    dev.set_maintenance_config(mc);
+    Serving { dev: Arc::new(dev), per_worker }
+}
+
+/// Serves one epoch: every worker submits its batch sequence in program
+/// order (drain-and-retry on backpressure), waits each ticket, then
+/// parks for the batch's modeled critical path (the emulated device
+/// dwell). Returns all modeled latencies; wall time is what the harness
+/// measures around the call.
+fn serve_epoch(serving: &Serving) -> Vec<f64> {
+    let lat = Mutex::new(Vec::with_capacity(BATCHES));
+    thread::scope(|scope| {
+        for batches in &serving.per_worker {
+            let dev = Arc::clone(&serving.dev);
+            let lat = &lat;
+            scope.spawn(move || {
+                let mut own = Vec::with_capacity(batches.len());
+                for batch in batches {
+                    let ticket = loop {
+                        match dev.submit_async(batch) {
+                            Ok(t) => break t,
+                            Err(FcError::Overloaded { .. }) => {
+                                dev.drain().expect("drain under load");
+                            }
+                            Err(e) => panic!("submit_async: {e}"),
+                        }
+                    };
+                    let results = ticket.wait(&dev).expect("wait");
+                    assert!(results.failures.is_empty());
+                    let dwell_us = results.stats.critical_path_us;
+                    own.push(dwell_us);
+                    thread::sleep(Duration::from_micros(dwell_us as u64));
+                }
+                lat.lock().unwrap().extend(own);
+            });
+        }
+    });
+    lat.into_inner().unwrap()
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn zipf_serving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((BATCHES * QUERIES_PER_BATCH) as u64));
+    for workers in [1usize, 2, 4, 8] {
+        let serving = setup(workers);
+        // Modeled latency distribution of this worker count's traffic
+        // (identical every epoch — the schedule is pinned), printed once
+        // so the ROADMAP baselines can quote p50/p99 next to the rate.
+        let mut lats = serve_epoch(&serving);
+        lats.sort_by(|a, b| a.total_cmp(b));
+        println!(
+            "throughput/zipf_serving/{workers}: modeled batch latency p50 {:.1} µs, p99 {:.1} µs \
+             ({} batches × {} queries)",
+            percentile(&lats, 0.50),
+            percentile(&lats, 0.99),
+            BATCHES,
+            QUERIES_PER_BATCH,
+        );
+        group.bench_with_input(BenchmarkId::new("zipf_serving", workers), &workers, |bench, _| {
+            bench.iter(|| std::hint::black_box(serve_epoch(&serving)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, zipf_serving);
+criterion_main!(benches);

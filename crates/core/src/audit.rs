@@ -48,7 +48,7 @@ use fc_ssd::topology::{PlaneId, Ppa};
 
 use crate::batch::{CompiledBatch, PlannedUnit, QueryBatch, UnitWork};
 use crate::crossdie::MergeTree;
-use crate::device::{FcError, FlashCosmosDevice, StoreHints};
+use crate::device::{DeviceCore, FcError, FlashCosmosDevice, StoreHints};
 use crate::expr::{Nnf, OperandId};
 use crate::maintenance::RegroupJob;
 use crate::recovery::ScrubJob;
@@ -251,7 +251,7 @@ fn sort_findings(findings: &mut [Finding]) {
 /// Applies the device's ruleset to pass-1 findings over a freshly
 /// compiled batch: panic on denied errors, print the rest.
 #[cfg(debug_assertions)]
-pub(crate) fn enforce_plan(dev: &FlashCosmosDevice, compiled: &CompiledBatch) {
+pub(crate) fn enforce_plan(dev: &DeviceCore, compiled: &CompiledBatch) {
     if !dev.audit_cfg.armed() {
         return;
     }
@@ -260,7 +260,7 @@ pub(crate) fn enforce_plan(dev: &FlashCosmosDevice, compiled: &CompiledBatch) {
 
 /// Applies the device's ruleset to pass-2 findings after a drain.
 #[cfg(debug_assertions)]
-pub(crate) fn enforce_device(dev: &FlashCosmosDevice) {
+pub(crate) fn enforce_device(dev: &DeviceCore) {
     if !dev.audit_cfg.armed() {
         return;
     }
@@ -449,7 +449,7 @@ impl UnitScratch {
 /// Operand LPNs are dense (the device hands them out from a counter),
 /// so the reverse `lpn -> (operand, slot)` table is a flat array and
 /// the whole resolution is one hash-free sweep over the mapped pages.
-fn batch_residency(dev: &FlashCosmosDevice, compiled: &CompiledBatch) -> ResidencyMap {
+fn batch_residency(dev: &DeviceCore, compiled: &CompiledBatch) -> ResidencyMap {
     let cfg = dev.ssd.config();
     let wpb = cfg.wls_per_block;
     let mut page_of: Vec<Option<(OperandId, usize)>> = vec![None; dev.next_lpn as usize];
@@ -480,7 +480,7 @@ fn batch_residency(dev: &FlashCosmosDevice, compiled: &CompiledBatch) -> Residen
 /// Lints a compiled batch against the device's operand table and FTL
 /// without executing anything. Findings come back sorted by
 /// `(code, location)`.
-pub(crate) fn lint_plan(dev: &FlashCosmosDevice, compiled: &CompiledBatch) -> Vec<Finding> {
+pub(crate) fn lint_plan(dev: &DeviceCore, compiled: &CompiledBatch) -> Vec<Finding> {
     let mut out = Vec::new();
     let n = compiled.queries();
 
@@ -555,7 +555,7 @@ pub(crate) fn lint_plan(dev: &FlashCosmosDevice, compiled: &CompiledBatch) -> Ve
 
 #[allow(clippy::too_many_arguments)]
 fn lint_unit(
-    dev: &FlashCosmosDevice,
+    dev: &DeviceCore,
     compiled: &CompiledBatch,
     residency: &ResidencyMap,
     ui: usize,
@@ -1164,13 +1164,13 @@ fn tree_leaves(tree: &MergeTree, out: &mut Vec<usize>) {
 // Pass 2 — device audit (FC101–FC107).
 // ---------------------------------------------------------------------------
 
-impl FlashCosmosDevice {
+impl DeviceCore {
     /// Cross-checks whole-device metadata — FTL aliasing, parity-stripe
     /// integrity and coverage, result-cache generations, queued-job
     /// stamps, placement/wear bookkeeping — and returns the findings,
     /// sorted by `(code, location)`. Inspects only; never executes or
-    /// mutates. Wired in automatically after every
-    /// [`drain`](Self::drain) in debug builds (see [`crate::audit`]).
+    /// mutates. Wired in automatically after every drain in debug
+    /// builds (see [`crate::audit`]).
     pub fn audit(&self) -> Vec<Finding> {
         let mut out = Vec::new();
         self.audit_ftl_aliasing(&mut out);
@@ -1365,7 +1365,8 @@ impl FlashCosmosDevice {
     /// FC105 — no result-cache entry references a stale epoch or a
     /// generation newer than the operand table.
     fn audit_cache_generations(&self, out: &mut Vec<Finding>) {
-        for key in self.session.cache.keys() {
+        let keys: Vec<crate::session::CacheKey> = self.session.cache().keys().cloned().collect();
+        for key in &keys {
             if key.0 != self.epoch {
                 out.push(finding(
                     LintCode::Fc105,
@@ -1402,7 +1403,8 @@ impl FlashCosmosDevice {
     /// allocated pages.
     fn audit_job_stamps(&self, out: &mut Vec<Finding>) {
         let total_dies = self.ssd.config().total_dies();
-        for (ji, job) in self.session.jobs.iter().enumerate() {
+        let jobs: Vec<RegroupJob> = self.session.jobs().iter().cloned().collect();
+        for (ji, job) in jobs.iter().enumerate() {
             let loc = format!("maintenance job {ji}");
             match self.operands.get(job.operand) {
                 None => out.push(finding(
@@ -1645,12 +1647,12 @@ pub enum DeviceMutation {
     SwapOperandPlane,
 }
 
-impl FlashCosmosDevice {
+impl DeviceCore {
     /// Compiles a batch into a [`PlanProbe`] for the mutation harness
     /// (and the plan-lint benchmarks). Uses the recompile path, so the
     /// maintenance affinity tracker is not fed.
     #[doc(hidden)]
-    pub fn compile_probe(&mut self, batch: &QueryBatch) -> Result<PlanProbe, FcError> {
+    pub fn compile_probe(&self, batch: &QueryBatch) -> Result<PlanProbe, FcError> {
         Ok(PlanProbe { compiled: self.recompile_batch(batch)? })
     }
 
@@ -1800,12 +1802,12 @@ impl FlashCosmosDevice {
                     Nnf::Literal(crate::expr::Literal { id: 0, negated: false }),
                     vec![(0usize, forged)],
                 );
-                self.session.cache.insert(key, BitVec::zeros(8), 1);
+                self.session.cache().insert(key, BitVec::zeros(8), 1);
                 true
             }
             DeviceMutation::DeadJob => {
                 let dead = self.operands.len() + 41;
-                self.session.jobs.push_back(RegroupJob {
+                self.session.jobs().push_back(RegroupJob {
                     name: "audit-dead-job".to_string(),
                     operand: dead,
                     hints: StoreHints::and_group("audit-dead-job"),
@@ -1830,5 +1832,50 @@ impl FlashCosmosDevice {
                 true
             }
         }
+    }
+}
+
+impl FlashCosmosDevice {
+    /// Cross-checks whole-device metadata — FTL aliasing, parity-stripe
+    /// integrity and coverage, result-cache generations, queued-job
+    /// stamps, placement/wear bookkeeping — and returns the findings,
+    /// sorted by `(code, location)`. Inspects only; never executes or
+    /// mutates. Runs under the shared device lock (the automatic
+    /// post-drain hook instead audits under the exclusive lock — a
+    /// snapshot no concurrent drain can shear).
+    pub fn audit(&self) -> Vec<Finding> {
+        self.core().audit()
+    }
+
+    /// Compiles a batch into a [`PlanProbe`] for the mutation harness
+    /// (and the plan-lint benchmarks). Uses the recompile path, so the
+    /// maintenance affinity tracker is not fed.
+    #[doc(hidden)]
+    pub fn compile_probe(&self, batch: &QueryBatch) -> Result<PlanProbe, FcError> {
+        self.core().compile_probe(batch)
+    }
+
+    /// Runs pass 1 over a probe without enforcement.
+    #[doc(hidden)]
+    pub fn lint_probe(&self, probe: &PlanProbe) -> Vec<Finding> {
+        self.core().lint_probe(probe)
+    }
+
+    /// Applies one seeded corruption to a probe. Returns `false` when
+    /// the probe holds nothing the mutation applies to (e.g. no merge
+    /// to drop) — the harness treats that as a test-setup error.
+    #[doc(hidden)]
+    pub fn corrupt_probe(&self, probe: &mut PlanProbe, mutation: PlanMutation) -> bool {
+        self.core().corrupt_probe(probe, mutation)
+    }
+
+    /// Applies one seeded corruption to the live device state,
+    /// deliberately bypassing the epoch/generation chokepoints (that is
+    /// the point: the audit must catch what the chokepoints would have
+    /// prevented). Returns `false` when the device holds nothing the
+    /// mutation applies to.
+    #[doc(hidden)]
+    pub fn corrupt_for_audit(&mut self, mutation: DeviceMutation) -> bool {
+        self.core_mut().corrupt_for_audit(mutation)
     }
 }

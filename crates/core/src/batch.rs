@@ -42,7 +42,7 @@ use fc_ssd::device::DeviceError;
 use fc_ssd::pipeline::DieQueues;
 
 use crate::crossdie::{self, ExecPlan, Leaf, MergeTree};
-use crate::device::{FcError, FlashCosmosDevice};
+use crate::device::{DeviceCore, FcError, FlashCosmosDevice};
 use crate::expr::{Expr, Literal, Nnf, OperandId};
 use crate::planner::{self, PlannerCaps};
 
@@ -289,13 +289,13 @@ impl CompiledBatch {
     }
 }
 
-impl FlashCosmosDevice {
+impl DeviceCore {
     /// Executes a batch of queries in one jointly planned device pass and
     /// returns per-query result vectors plus [`BatchStats`].
     ///
     /// # Errors
     ///
-    /// Fails like [`FlashCosmosDevice::fc_read`] would on the offending
+    /// Fails like `fc_read` would on the offending
     /// query: unknown operands, operand size mismatches *within* a query,
     /// planner rejections, or chip errors. Queries of different vector
     /// lengths may share a batch.
@@ -304,7 +304,7 @@ impl FlashCosmosDevice {
     /// after read-retry *and* parity rebuild) does **not** fail the
     /// batch: it is reported in [`BatchResults::failures`] with an empty
     /// result vector, while every other query completes normally.
-    pub fn submit(&mut self, batch: &QueryBatch) -> Result<BatchResults, FcError> {
+    pub(crate) fn submit(&self, batch: &QueryBatch) -> Result<BatchResults, FcError> {
         let mut results: Vec<BitVec> = (0..batch.len()).map(|_| BitVec::zeros(0)).collect();
         if batch.is_empty() {
             return Ok(BatchResults { results, stats: BatchStats::default(), failures: vec![] });
@@ -314,7 +314,7 @@ impl FlashCosmosDevice {
         Ok(BatchResults { results, stats, failures })
     }
 
-    /// Like [`FlashCosmosDevice::submit`], but writes each query's result
+    /// Like `submit`, but writes each query's result
     /// into the caller's buffers (`outs[i]` receives query `i`, resized in
     /// place) — the zero-copy output mode for callers that recycle
     /// vectors across submissions.
@@ -322,12 +322,12 @@ impl FlashCosmosDevice {
     /// # Errors
     ///
     /// [`FcError::OutputSlots`] when `outs.len() != batch.len()`, plus
-    /// everything [`FlashCosmosDevice::submit`] can return. Unlike
-    /// [`FlashCosmosDevice::submit`], this path fails fast: the first
+    /// everything `submit` can return. Unlike
+    /// `submit`, this path fails fast: the first
     /// query touching a lost page surfaces as [`FcError::QueryFailed`]
-    /// (use [`FlashCosmosDevice::submit`] for partial results).
-    pub fn submit_into(
-        &mut self,
+    /// (use `submit` for partial results).
+    pub(crate) fn submit_into(
+        &self,
         batch: &QueryBatch,
         outs: &mut [BitVec],
     ) -> Result<BatchStats, FcError> {
@@ -351,25 +351,25 @@ impl FlashCosmosDevice {
 
     /// Compiles a batch against the current placement, dedup/sharing the
     /// queries jointly and consulting the cross-batch result cache per
-    /// unit — the planning half of [`FlashCosmosDevice::submit_into`],
+    /// unit — the planning half of `submit_into`,
     /// shared with the async submission path. Records each unit's
     /// operand set with the maintenance affinity tracker — one
     /// observation per *submission*, so the drain-time recompile of a
     /// stale async batch uses [`Self::recompile_batch`] instead (the
     /// client queried once, no matter how often the batch recompiles).
-    pub(crate) fn compile_batch(&mut self, batch: &QueryBatch) -> Result<CompiledBatch, FcError> {
+    pub(crate) fn compile_batch(&self, batch: &QueryBatch) -> Result<CompiledBatch, FcError> {
         self.compile_batch_inner(batch, true)
     }
 
     /// [`Self::compile_batch`] for drain-time recompilation of a stale
     /// queued batch: identical plan, but the affinity tracker is not fed
     /// a second time.
-    pub(crate) fn recompile_batch(&mut self, batch: &QueryBatch) -> Result<CompiledBatch, FcError> {
+    pub(crate) fn recompile_batch(&self, batch: &QueryBatch) -> Result<CompiledBatch, FcError> {
         self.compile_batch_inner(batch, false)
     }
 
     fn compile_batch_inner(
-        &mut self,
+        &self,
         batch: &QueryBatch,
         record_affinity: bool,
     ) -> Result<CompiledBatch, FcError> {
@@ -470,7 +470,7 @@ impl FlashCosmosDevice {
             let gens: Vec<(OperandId, u64)> =
                 unit.ids.iter().map(|&id| (id, self.operand_generation(id))).collect();
             let key: crate::session::CacheKey = (epoch, unit.canon.clone(), gens);
-            let cached = self.session.cache.lookup(&key).map(|e| (e.result.clone(), e.senses));
+            let cached = self.session.cache().lookup(&key).map(|e| (e.result.clone(), e.senses));
             if let Some((result, senses)) = cached {
                 stats.cached_units += 1;
                 stats.cached_senses += senses;
@@ -478,7 +478,7 @@ impl FlashCosmosDevice {
                 // The maintenance layer's observation stream: this set
                 // was fused again (served from cache this time).
                 if record_affinity {
-                    self.session.affinity.record(
+                    self.session.affinity().record(
                         &unit.ids,
                         senses,
                         unit.pages as u64,
@@ -502,7 +502,7 @@ impl FlashCosmosDevice {
                 let senses = self.controller_senses(&unit.ids)?;
                 form_cost.entry(unit.nnf.clone()).or_insert(senses);
                 if record_affinity {
-                    self.session.affinity.record(
+                    self.session.affinity().record(
                         &unit.ids,
                         senses,
                         unit.pages as u64,
@@ -545,7 +545,7 @@ impl FlashCosmosDevice {
             }
             form_cost.entry(unit.nnf.clone()).or_insert(senses);
             if record_affinity {
-                self.session.affinity.record(
+                self.session.affinity().record(
                     &unit.ids,
                     senses,
                     unit.pages as u64,
@@ -606,12 +606,13 @@ impl FlashCosmosDevice {
     /// turns the duplicate work into a replay. Unit keys embed operand
     /// generations, so a swapped-in entry is valid by construction (stale
     /// batches are recompiled before this runs).
-    pub(crate) fn refresh_cache_hits(&mut self, compiled: &mut CompiledBatch) {
+    pub(crate) fn refresh_cache_hits(&self, compiled: &mut CompiledBatch) {
         for unit in &mut compiled.units {
             let UnitWork::Execute { senses, .. } = &unit.work else { continue };
             let senses = *senses;
-            if let Some(entry) = self.session.cache.peek_hit(&unit.key) {
-                unit.work = UnitWork::Cached { result: entry.result.clone() };
+            let hit = self.session.cache().peek_hit(&unit.key).map(|e| e.result.clone());
+            if let Some(result) = hit {
+                unit.work = UnitWork::Cached { result };
                 compiled.stats_seed.cached_units += 1;
                 compiled.stats_seed.cached_senses += senses;
             }
@@ -625,7 +626,7 @@ impl FlashCosmosDevice {
     /// receives this batch's per-die occupancy on top of whatever other
     /// batches already queued — the drain path's overlap accounting.
     pub(crate) fn execute_compiled(
-        &mut self,
+        &self,
         compiled: &CompiledBatch,
         outs: &mut [BitVec],
         combined: Option<&mut DieQueues>,
@@ -707,7 +708,7 @@ impl FlashCosmosDevice {
                 unreachable!("order only holds executable units");
             };
             let leaf = &leaves[li];
-            let chip = self.ssd.chip_mut(leaf.plane.die);
+            let mut chip = self.ssd.chip_exec(leaf.plane.die);
             let mut latency = 0.0;
             let mut energy = 0.0;
             for cmd in &leaf.program.commands {
@@ -842,8 +843,9 @@ impl FlashCosmosDevice {
                 outs[qi].or_assign(result);
             }
             if let Some(senses) = fresh_senses {
-                if self.session.cache.enabled() {
-                    self.session.cache.insert(unit.key.clone(), result.clone(), senses);
+                let mut cache = self.session.cache();
+                if cache.enabled() {
+                    cache.insert(unit.key.clone(), result.clone(), senses);
                 }
             }
         }
@@ -1024,6 +1026,48 @@ impl FlashCosmosDevice {
             planner::compile(sub, &map, caps)
         })
         .map_err(FcError::Plan)
+    }
+}
+
+impl FlashCosmosDevice {
+    /// Executes a batch of queries in one jointly planned device pass and
+    /// returns per-query result vectors plus [`BatchStats`]. Runs under
+    /// the shared device lock — concurrent submitters interleave on the
+    /// per-die chip mutexes.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`FlashCosmosDevice::fc_read`] would on the offending
+    /// query: unknown operands, operand size mismatches *within* a query,
+    /// planner rejections, or chip errors. Queries of different vector
+    /// lengths may share a batch.
+    ///
+    /// A query that depends on a page the recovery layer lost (unreadable
+    /// after read-retry *and* parity rebuild) does **not** fail the
+    /// batch: it is reported in [`BatchResults::failures`] with an empty
+    /// result vector, while every other query completes normally.
+    pub fn submit(&self, batch: &QueryBatch) -> Result<BatchResults, FcError> {
+        self.core().submit(batch)
+    }
+
+    /// Like [`FlashCosmosDevice::submit`], but writes each query's result
+    /// into the caller's buffers (`outs[i]` receives query `i`, resized in
+    /// place) — the zero-copy output mode for callers that recycle
+    /// vectors across submissions.
+    ///
+    /// # Errors
+    ///
+    /// [`FcError::OutputSlots`] when `outs.len() != batch.len()`, plus
+    /// everything [`FlashCosmosDevice::submit`] can return. Unlike
+    /// [`FlashCosmosDevice::submit`], this path fails fast: the first
+    /// query touching a lost page surfaces as [`FcError::QueryFailed`]
+    /// (use [`FlashCosmosDevice::submit`] for partial results).
+    pub fn submit_into(
+        &self,
+        batch: &QueryBatch,
+        outs: &mut [BitVec],
+    ) -> Result<BatchStats, FcError> {
+        self.core().submit_into(batch, outs)
     }
 }
 

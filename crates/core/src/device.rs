@@ -33,6 +33,7 @@
 //! pages in the controller (see [`crate::crossdie`]).
 
 use std::collections::HashMap;
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use fc_bits::BitVec;
 use fc_nand::command::Command;
@@ -40,6 +41,7 @@ use fc_nand::error::NandError;
 use fc_nand::ispp::ProgramScheme;
 use fc_ssd::device::{wl_addr, DeviceError, SsdDevice, WriteOptions};
 use fc_ssd::ftl::GroupKey;
+use fc_ssd::pipeline::{DieQueues, SharedDieQueues};
 use fc_ssd::topology::{DieId, PlaneId};
 use fc_ssd::SsdConfig;
 
@@ -157,6 +159,14 @@ pub enum FcError {
     },
     /// A ticket was waited on twice (or belongs to another device).
     UnknownTicket(u64),
+    /// The bounded async admission queue is full: the submitter is
+    /// outrunning the drain side. Back off and retry (or drain) — the
+    /// queue never grows without limit. See
+    /// [`FlashCosmosDevice::submit_async`]'s backpressure contract.
+    Overloaded {
+        /// Batches already queued (= the configured admission capacity).
+        queued: usize,
+    },
     /// One query of a batch could not be answered correctly: a page it
     /// depends on stayed unreadable after every recovery tier. Other
     /// queries of the same batch are unaffected (per-query failure
@@ -190,6 +200,12 @@ impl std::fmt::Display for FcError {
             }
             FcError::UnknownTicket(seq) => {
                 write!(f, "ticket #{seq} has no queued or retired batch (already waited on?)")
+            }
+            FcError::Overloaded { queued } => {
+                write!(
+                    f,
+                    "admission queue full ({queued} batches queued); drain or retry after backoff"
+                )
             }
             FcError::QueryFailed { query, lpn, tiers_tried } => {
                 write!(
@@ -274,8 +290,18 @@ pub(crate) struct GroupPlace {
     pub(crate) pinned_die: Option<usize>,
 }
 
-/// The Flash-Cosmos-enabled SSD.
-pub struct FlashCosmosDevice {
+/// The single-owner state of the Flash-Cosmos device: operand and
+/// placement tables, the functional SSD, the maintenance/audit/recovery
+/// configuration, and the epoch/generation counters.
+///
+/// Everything here is guarded by the `RwLock` inside
+/// [`FlashCosmosDevice`]: the hot serving path (batch compile + chip
+/// execution + drain phase A) runs under the **read** lock — chip-level
+/// mutual exclusion comes from the per-die locks inside [`SsdDevice`]
+/// and the session's own mutex shards — while structural mutations
+/// (writes, migrations, maintenance, scrubbing, fault injection, the
+/// device audit) take the **write** lock.
+pub(crate) struct DeviceCore {
     pub(crate) ssd: SsdDevice,
     pub(crate) operands: Vec<OperandRecord>,
     names: HashMap<String, OperandId>,
@@ -298,8 +324,13 @@ pub struct FlashCosmosDevice {
     pub(crate) audit_cfg: crate::audit::AuditConfig,
     pub(crate) next_lpn: u64,
     /// Async submission queues + cross-batch result cache (see
-    /// [`crate::session`]).
-    pub(crate) session: crate::session::Session,
+    /// [`crate::session`]). Shared with the [`FlashCosmosDevice`]
+    /// wrapper so tickets can park on the session's condvars without
+    /// holding the device lock.
+    pub(crate) session: Arc<crate::session::Session>,
+    /// Device-lifetime per-die occupancy, mutex-sharded per die so
+    /// concurrent drains account their queue time without a global lock.
+    pub(crate) die_load: SharedDieQueues,
     /// Reliability state: parity stripes, scrub queue, fault bookkeeping
     /// and recovery counters (see [`crate::recovery`]).
     pub(crate) recovery: crate::recovery::RecoveryState,
@@ -315,45 +346,22 @@ pub struct FlashCosmosDevice {
     generation_counter: u64,
 }
 
-impl std::fmt::Debug for FlashCosmosDevice {
+impl std::fmt::Debug for DeviceCore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FlashCosmosDevice")
+        f.debug_struct("DeviceCore")
             .field("operands", &self.operands.len())
             .field("config", self.ssd.config())
             .finish_non_exhaustive()
     }
 }
 
-impl FlashCosmosDevice {
-    /// Creates a device over a fresh functional SSD.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the plane count is not a power of two (the placement
-    /// group encoding relies on it).
-    pub fn new(config: SsdConfig) -> Self {
-        Self::over(SsdDevice::new(config))
-    }
-
-    /// Creates a device with error injection enabled (reliability
-    /// studies; ESP-stored operands still read back error-free).
-    pub fn new_noisy(config: SsdConfig) -> Self {
-        Self::over(SsdDevice::new_noisy(config))
-    }
-
-    /// Creates a device over physics-fidelity chips (per-cell threshold
-    /// voltages): aged pages genuinely fail the nominal sense level and
-    /// recover at shifted ones — the regime the recovery tiers (retry
-    /// ladder, parity rebuild, scrubbing) are exercised in.
-    pub fn new_physics(config: SsdConfig) -> Self {
-        Self::over(SsdDevice::new_physics(config))
-    }
-
+impl DeviceCore {
     fn over(ssd: SsdDevice) -> Self {
         assert!(
             ssd.config().total_planes().is_power_of_two(),
             "plane count must be a power of two"
         );
+        let dies = ssd.config().total_dies();
         Self {
             ssd,
             operands: Vec::new(),
@@ -367,7 +375,8 @@ impl FlashCosmosDevice {
             maintenance_cfg: MaintenanceConfig::default(),
             audit_cfg: crate::audit::AuditConfig::default(),
             next_lpn: 0,
-            session: crate::session::Session::default(),
+            session: Arc::new(crate::session::Session::default()),
+            die_load: SharedDieQueues::new(dies),
             recovery: crate::recovery::RecoveryState::default(),
             epoch: 0,
             generation_counter: 0,
@@ -392,7 +401,7 @@ impl FlashCosmosDevice {
     /// compiled-but-not-drained async batches.
     pub(crate) fn bump_epoch(&mut self) {
         self.epoch += 1;
-        self.session.cache.clear();
+        self.session.cache().clear();
     }
 
     /// The placement generation of an operand (0 for ids never written —
@@ -845,7 +854,7 @@ impl FlashCosmosDevice {
     ///
     /// Fails if operands mismatch, the planner rejects the layout, or a
     /// chip op fails.
-    pub fn fc_read(&mut self, expr: &Expr) -> Result<(BitVec, ReadStats), FcError> {
+    pub fn fc_read(&self, expr: &Expr) -> Result<(BitVec, ReadStats), FcError> {
         let mut result = BitVec::zeros(0);
         let stats = self.fc_read_into(expr, &mut result)?;
         Ok((result, stats))
@@ -857,7 +866,7 @@ impl FlashCosmosDevice {
     /// # Errors
     ///
     /// Same as [`Self::fc_read`].
-    pub fn fc_read_into(&mut self, expr: &Expr, out: &mut BitVec) -> Result<ReadStats, FcError> {
+    pub fn fc_read_into(&self, expr: &Expr, out: &mut BitVec) -> Result<ReadStats, FcError> {
         let mut batch = crate::batch::QueryBatch::new();
         batch.push(expr.clone());
         let stats = self.submit_into(&batch, std::slice::from_mut(out))?;
@@ -875,7 +884,7 @@ impl FlashCosmosDevice {
     /// # Errors
     ///
     /// Same as [`Self::fc_read`].
-    pub fn parabit_read(&mut self, expr: &Expr) -> Result<(BitVec, ReadStats), FcError> {
+    pub fn parabit_read(&self, expr: &Expr) -> Result<(BitVec, ReadStats), FcError> {
         self.run_serial(expr)
     }
 
@@ -885,7 +894,7 @@ impl FlashCosmosDevice {
     /// through the same die-split machinery as the batch path: per-die
     /// programs plus a controller merge, instead of silently executing
     /// every stripe on the last operand's chip.
-    fn run_serial(&mut self, expr: &Expr) -> Result<(BitVec, ReadStats), FcError> {
+    fn run_serial(&self, expr: &Expr) -> Result<(BitVec, ReadStats), FcError> {
         let ids: Vec<OperandId> = expr.operands().into_iter().collect();
         let first = *ids.first().ok_or(FcError::SizeMismatch)?;
         let bits = self.record(first)?.bits;
@@ -911,7 +920,7 @@ impl FlashCosmosDevice {
             let tree = plan.flatten(&mut leaves);
             let mut partials: Vec<Option<BitVec>> = Vec::with_capacity(leaves.len());
             for leaf in &leaves {
-                let chip = self.ssd.chip_mut(leaf.plane.die);
+                let mut chip = self.ssd.chip_exec(leaf.plane.die);
                 let mut latency = 0.0;
                 for cmd in &leaf.program.commands {
                     let out = chip.execute(cmd.clone()).map_err(DeviceError::Nand)?;
@@ -1061,6 +1070,288 @@ impl FlashCosmosDevice {
     }
 }
 
+/// The Flash-Cosmos-enabled SSD: a concurrency-safe handle over the
+/// device state.
+///
+/// The device is `Sync`: wrap it in an [`Arc`] and N OS threads can
+/// call [`Self::submit_async`] / [`Self::drain`] / [`Self::wait`] /
+/// [`Self::fc_read`] / [`Self::fc_overwrite`] concurrently. Internally
+/// the serving path (compile + chip execution + drain phase A) runs
+/// under a read lock — per-die chip mutexes, the FTL `RwLock` and the
+/// session's mutex shards provide the fine-grained exclusion — while
+/// structural mutations (writes, migrations, maintenance, scrubbing,
+/// fault injection, the debug-build device audit) take the write lock.
+///
+/// ## Lock order
+///
+/// Device `RwLock` → session shards (pending → executing, retired shard
+/// → executing) → FTL `RwLock` → per-die chip mutex → leaf mutexes
+/// (scratch, energy). The session's condvar waits in [`Self::wait`]
+/// happen **outside** the device lock, so parked waiters never starve a
+/// writer.
+///
+/// The single-threaded API is source-compatible: `&mut self` callers
+/// hit the same methods (a `&mut` coerces to `&`), and methods that
+/// genuinely require exclusivity ([`Self::ssd_mut`]) still take
+/// `&mut self`, bypassing the lock entirely via `get_mut`.
+pub struct FlashCosmosDevice {
+    /// Shared with [`DeviceCore`] so tickets park on the session's
+    /// condvars without holding `inner`.
+    pub(crate) session: Arc<crate::session::Session>,
+    inner: RwLock<DeviceCore>,
+    /// Immutable copy of the SSD geometry, readable without the lock.
+    config: SsdConfig,
+}
+
+impl std::fmt::Debug for FlashCosmosDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlashCosmosDevice")
+            .field("config", &self.config)
+            .field("session", &self.session)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FlashCosmosDevice {
+    /// Creates a device over a fresh functional SSD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plane count is not a power of two (the placement
+    /// group encoding relies on it).
+    pub fn new(config: SsdConfig) -> Self {
+        Self::wrap(DeviceCore::over(SsdDevice::new(config)))
+    }
+
+    /// Creates a device with error injection enabled (reliability
+    /// studies; ESP-stored operands still read back error-free).
+    pub fn new_noisy(config: SsdConfig) -> Self {
+        Self::wrap(DeviceCore::over(SsdDevice::new_noisy(config)))
+    }
+
+    /// Creates a device over physics-fidelity chips (per-cell threshold
+    /// voltages): aged pages genuinely fail the nominal sense level and
+    /// recover at shifted ones — the regime the recovery tiers (retry
+    /// ladder, parity rebuild, scrubbing) are exercised in.
+    pub fn new_physics(config: SsdConfig) -> Self {
+        Self::wrap(DeviceCore::over(SsdDevice::new_physics(config)))
+    }
+
+    fn wrap(core: DeviceCore) -> Self {
+        Self {
+            session: Arc::clone(&core.session),
+            config: core.config().clone(),
+            inner: RwLock::new(core),
+        }
+    }
+
+    /// Shared (read) access to the core — the hot serving path. A
+    /// poisoned lock is recovered: every invariant the core maintains
+    /// is re-checked by the audit pass, so a panicked writer cannot
+    /// silently corrupt readers.
+    pub(crate) fn core(&self) -> RwLockReadGuard<'_, DeviceCore> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Exclusive (write) access to the core — structural mutations.
+    pub(crate) fn core_write(&self) -> RwLockWriteGuard<'_, DeviceCore> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Lock-free exclusive access through `&mut self` (single-threaded
+    /// callers and in-crate tests poking fields directly).
+    pub(crate) fn core_mut(&mut self) -> &mut DeviceCore {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The underlying SSD, mutably (inspection / fault injection /
+    /// reliability-mode changes in tests and studies).
+    ///
+    /// Raw mutable access can change anything the result cache depends on
+    /// (retention age, block wear, even stored bits), so taking it bumps
+    /// the device epoch: every cached result and queued async compilation
+    /// is structurally invalidated — same hazard discipline as the
+    /// per-operand generations, applied to mutations the device cannot
+    /// itemize. Requires `&mut self`: raw SSD access is exclusive by
+    /// construction and never contends with the serving path.
+    pub fn ssd_mut(&mut self) -> &mut SsdDevice {
+        self.core_mut().ssd_mut()
+    }
+
+    /// The SSD configuration (lock-free: geometry never changes).
+    pub fn config(&self) -> &SsdConfig {
+        &self.config
+    }
+
+    /// Looks up an operand written earlier by name.
+    pub fn operand(&self, name: &str) -> Option<OperandHandle> {
+        self.core().operand(name)
+    }
+
+    /// Summed per-block P/E-cycle counts per flat plane — the wear signal
+    /// [`crate::maintenance::WearAwarePlacement`] and the regrouping
+    /// planner's target-die selection consume.
+    pub fn plane_wear(&self) -> Vec<u64> {
+        self.core().plane_wear()
+    }
+
+    /// Installs a placement policy for fresh groups and colocation
+    /// domains (existing placements are unaffected). See
+    /// [`crate::maintenance`] for the provided policies.
+    pub fn set_placement_policy(&mut self, policy: Box<dyn PlacementPolicy>) {
+        self.core_mut().set_placement_policy(policy);
+    }
+
+    /// Installs a regrouping policy for the maintenance planner.
+    pub fn set_regroup_policy(&mut self, policy: Box<dyn RegroupPolicy>) {
+        self.core_mut().set_regroup_policy(policy);
+    }
+
+    /// Replaces the maintenance tuning (heat thresholds, slack budget).
+    pub fn set_maintenance_config(&mut self, cfg: MaintenanceConfig) {
+        self.core_mut().set_maintenance_config(cfg);
+    }
+
+    /// Replaces the static analyzer's ruleset (see [`crate::audit`]):
+    /// the default mode and any per-code overrides the debug-build
+    /// plan-lint and device-audit hooks apply.
+    pub fn set_audit_config(&mut self, cfg: crate::audit::AuditConfig) {
+        self.core_mut().set_audit_config(cfg);
+    }
+
+    /// The static analyzer's current ruleset (a snapshot — the device
+    /// lock is not held once this returns).
+    pub fn audit_config(&self) -> crate::audit::AuditConfig {
+        self.core().audit_config().clone()
+    }
+
+    /// The current maintenance tuning (a snapshot).
+    pub fn maintenance_config(&self) -> MaintenanceConfig {
+        self.core().maintenance_config().clone()
+    }
+
+    /// Stores an operand vector for in-flash computation.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate names or SSD allocation/programming errors.
+    pub fn fc_write(
+        &self,
+        name: &str,
+        data: &BitVec,
+        hints: StoreHints,
+    ) -> Result<OperandHandle, FcError> {
+        self.core_write().fc_write(name, data, hints)
+    }
+
+    /// Stores 2–3 operand vectors **multi-level**: each stripe slot
+    /// packs all of them onto one physical wordline as MLC/TLC cell
+    /// levels — the §6.3 density choice. The trade: ML operands are
+    /// storage, not compute (queries touching them read pages through
+    /// the controller), they sit outside parity and scrubbing, and they
+    /// cannot be overwritten in place or migrated. When parity is
+    /// enabled and ML operands exist, [`Self::audit`] reports the
+    /// protection gap as the warn-level finding `FC104`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate names, operand-count/scheme mismatches,
+    /// size mismatches between the vectors, or SSD errors.
+    pub fn fc_write_ml(
+        &self,
+        names: &[&str],
+        datas: &[&BitVec],
+        hints: StoreHints,
+    ) -> Result<Vec<OperandHandle>, FcError> {
+        self.core_write().fc_write_ml(names, datas, hints)
+    }
+
+    /// Overwrites a stored operand's data in place (same name, same
+    /// handle, same placement group and polarity). Takes the device
+    /// write lock; the operand's placement generation is bumped, so
+    /// cached results and queued async compilations that observed the
+    /// old data are structurally invalidated — concurrent submitters
+    /// racing this overwrite observe either the old or the new data,
+    /// never a mix (see [`crate::session`]).
+    ///
+    /// # Errors
+    ///
+    /// [`FcError::UnknownName`], [`FcError::SizeMismatch`], plus SSD
+    /// allocation/programming errors.
+    pub fn fc_overwrite(&self, name: &str, data: &BitVec) -> Result<OperandHandle, FcError> {
+        self.core_write().fc_overwrite(name, data)
+    }
+
+    /// Executes a bulk bitwise expression in-flash with Flash-Cosmos and
+    /// returns the result vector plus execution statistics. Runs under
+    /// the shared (read) lock: concurrent readers proceed in parallel,
+    /// serialized only at the per-die chip mutexes and the result-cache
+    /// shard.
+    ///
+    /// # Errors
+    ///
+    /// Fails if operands mismatch, the planner rejects the layout, or a
+    /// chip op fails.
+    pub fn fc_read(&self, expr: &Expr) -> Result<(BitVec, ReadStats), FcError> {
+        self.core().fc_read(expr)
+    }
+
+    /// Zero-copy variant of [`Self::fc_read`]: writes the result into
+    /// `out` (resized in place), reusing its allocation across calls.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::fc_read`].
+    pub fn fc_read_into(&self, expr: &Expr, out: &mut BitVec) -> Result<ReadStats, FcError> {
+        self.core().fc_read_into(expr, out)
+    }
+
+    /// Executes the expression with the ParaBit baseline (serial
+    /// single-wordline senses).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::fc_read`].
+    pub fn parabit_read(&self, expr: &Expr) -> Result<(BitVec, ReadStats), FcError> {
+        self.core().parabit_read(expr)
+    }
+
+    /// Migrates a stored operand to new placement hints — the §10
+    /// background gathering. Returns how many pages moved via the
+    /// chip's copyback fast path (vs controller rewrite).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown names ([`FcError::UnknownName`]) or SSD migration
+    /// errors.
+    pub fn migrate_operand(&self, name: &str, hints: StoreHints) -> Result<u64, FcError> {
+        self.core_write().migrate_operand(name, hints)
+    }
+
+    /// The placement-group index an operand landed in (for tests).
+    pub fn group_index_of(&self, id: OperandId) -> Option<u64> {
+        self.core().group_index_of(id)
+    }
+
+    /// The name an operand was registered under.
+    pub fn operand_name(&self, id: OperandId) -> Option<String> {
+        self.core().operand_name(id).map(String::from)
+    }
+
+    /// The die of every stripe page of an operand (slot-indexed) — the
+    /// placement layout, for asserting die-aware spreading in tests and
+    /// benches.
+    pub fn operand_dies(&self, id: OperandId) -> Option<Vec<DieId>> {
+        self.core().operand_dies(id).map(<[DieId]>::to_vec)
+    }
+
+    /// Device-lifetime per-die occupancy accumulated by every drain, µs
+    /// by flat die id — the load-balance picture across the whole run.
+    pub fn die_occupancy(&self) -> DieQueues {
+        self.core().die_load.snapshot()
+    }
+}
+
 /// `OperandHandle`s convert straight into leaf expressions, so handles
 /// compose with the `&`/`|`/`^`/`!` operator sugar: `ha & hb | !hc`.
 impl From<OperandHandle> for Expr {
@@ -1126,7 +1417,7 @@ mod tests {
 
     #[test]
     fn multi_operand_and_in_one_sense_per_stripe() {
-        let mut dev = device();
+        let dev = device();
         // 5 operands, 3 pages each (tiny page = 256 bits).
         let vs = vectors(5, 700, 1);
         let handles: Vec<OperandHandle> = vs
@@ -1145,7 +1436,7 @@ mod tests {
 
     #[test]
     fn or_group_via_inverse_storage() {
-        let mut dev = device();
+        let dev = device();
         let vs = vectors(4, 300, 2);
         let handles: Vec<OperandHandle> = vs
             .iter()
@@ -1161,7 +1452,7 @@ mod tests {
 
     #[test]
     fn ml_operands_pack_one_wordline_and_answer_via_controller() {
-        let mut dev = device();
+        let dev = device();
         let vs = vectors(3, 700, 21);
         let refs: Vec<&BitVec> = vs.iter().collect();
         let handles = dev.fc_write_ml(&["a", "b", "c"], &refs, StoreHints::and_group("g")).unwrap();
@@ -1170,9 +1461,11 @@ mod tests {
         // one WL per stripe where SLC would burn three).
         let dies_a = dev.operand_dies(handles[0].id).unwrap().to_vec();
         assert_eq!(dev.operand_dies(handles[1].id).unwrap(), &dies_a[..]);
-        let lpn_a = dev.operands[handles[0].id].lpns[0];
-        let lpn_c = dev.operands[handles[2].id].lpns[0];
-        assert_eq!(dev.ssd.ftl().translate(lpn_a), dev.ssd.ftl().translate(lpn_c));
+        let core = dev.core();
+        let lpn_a = core.operands[handles[0].id].lpns[0];
+        let lpn_c = core.operands[handles[2].id].lpns[0];
+        assert_eq!(core.ssd.ftl().translate(lpn_a), core.ssd.ftl().translate(lpn_c));
+        drop(core);
         // Expressions over ML operands evaluate in the controller,
         // bit-exactly, at the real multi-level page-read cost.
         let expr = Expr::and(vec![
@@ -1188,7 +1481,7 @@ mod tests {
 
     #[test]
     fn ml_operands_reject_in_place_mutation() {
-        let mut dev = device();
+        let dev = device();
         let vs = vectors(2, 256, 22);
         let refs: Vec<&BitVec> = vs.iter().collect();
         dev.fc_write_ml(&["a", "b"], &refs, StoreHints::and_group("g")).unwrap();
@@ -1210,7 +1503,7 @@ mod tests {
 
     #[test]
     fn ml_and_slc_operands_mix_in_one_query() {
-        let mut dev = device();
+        let dev = device();
         let vs = vectors(3, 300, 23);
         let ml = dev
             .fc_write_ml(&["m0", "m1"], &[&vs[0], &vs[1]], StoreHints::and_group("mlg"))
@@ -1225,7 +1518,7 @@ mod tests {
 
     #[test]
     fn parabit_matches_fc_but_costs_more_senses() {
-        let mut dev = device();
+        let dev = device();
         let vs = vectors(6, 256, 3);
         let handles: Vec<OperandHandle> = vs
             .iter()
@@ -1245,7 +1538,7 @@ mod tests {
     fn kcs_shape_single_sense() {
         // Colocating the two groups on one plane keeps the paper's §7
         // observation: AND ∥ OR fuse into one inter-block MWS.
-        let mut dev = device();
+        let dev = device();
         let vs = vectors(4, 256, 4);
         let mut ids = Vec::new();
         for (i, v) in vs.iter().take(3).enumerate() {
@@ -1274,7 +1567,7 @@ mod tests {
         // dies; the query still answers exactly via the die-split path
         // (one sense per die, OR-merged in the controller) instead of
         // returning `PlanError::PlaneMismatch`.
-        let mut dev = device();
+        let dev = device();
         let vs = vectors(4, 256, 4);
         let mut ids = Vec::new();
         for (i, v) in vs.iter().take(3).enumerate() {
@@ -1301,7 +1594,7 @@ mod tests {
 
     #[test]
     fn die_pin_keeps_all_stripes_on_one_die() {
-        let mut dev = device();
+        let dev = device();
         let vs = vectors(2, 1200, 40); // 5 stripes at 256-bit pages
         let a = dev.fc_write("a", &vs[0], StoreHints::and_group("g").with_die(2)).unwrap();
         let b = dev.fc_write("b", &vs[1], StoreHints::and_group("g").with_die(2)).unwrap();
@@ -1317,7 +1610,7 @@ mod tests {
 
     #[test]
     fn invalid_die_pin_is_rejected_without_poisoning_the_group() {
-        let mut dev = device();
+        let dev = device();
         let vs = vectors(1, 256, 42);
         let err = dev.fc_write("a", &vs[0], StoreHints::and_group("g").with_die(99)).unwrap_err();
         assert!(matches!(err, FcError::DieOutOfRange { die: 99, dies: 4 }), "got {err:?}");
@@ -1333,7 +1626,7 @@ mod tests {
 
     #[test]
     fn unpinned_stripes_rotate_across_dies() {
-        let mut dev = device();
+        let dev = device();
         let v = vectors(1, 1200, 41).remove(0); // 5 stripes
         let h = dev.fc_write("a", &v, StoreHints::and_group("g")).unwrap();
         let cfg = SsdConfig::tiny_test();
@@ -1350,7 +1643,7 @@ mod tests {
     fn overflow_beyond_block_capacity_accumulates() {
         // tiny geometry: 8 wordlines per block; 12 operands overflow into
         // a second block and the planner AND-accumulates across them.
-        let mut dev = device();
+        let dev = device();
         let vs = vectors(12, 256, 5);
         let handles: Vec<OperandHandle> = vs
             .iter()
@@ -1366,7 +1659,7 @@ mod tests {
 
     #[test]
     fn xor_and_xnor_roundtrip() {
-        let mut dev = device();
+        let dev = device();
         let vs = vectors(2, 256, 6);
         let a = dev.fc_write("a", &vs[0], StoreHints::and_group("g")).unwrap().id;
         let b = dev.fc_write("b", &vs[1], StoreHints::and_group("g")).unwrap().id;
@@ -1378,7 +1671,7 @@ mod tests {
 
     #[test]
     fn nand_nor_not() {
-        let mut dev = device();
+        let dev = device();
         let vs = vectors(3, 256, 7);
         let ids: Vec<usize> = vs
             .iter()
@@ -1391,7 +1684,7 @@ mod tests {
         let (not, _) = dev.fc_read(&Expr::not(Expr::var(ids[0]))).unwrap();
         assert_eq!(not, vs[0].not());
         // NOR over operands in different groups (different blocks).
-        let mut dev2 = device();
+        let dev2 = device();
         let ids2: Vec<usize> = vs
             .iter()
             .enumerate()
@@ -1408,7 +1701,7 @@ mod tests {
 
     #[test]
     fn duplicate_names_and_size_mismatch_are_rejected() {
-        let mut dev = device();
+        let dev = device();
         let vs = vectors(2, 256, 8);
         dev.fc_write("a", &vs[0], StoreHints::and_group("g")).unwrap();
         assert!(matches!(
@@ -1429,7 +1722,7 @@ mod tests {
         // Operands written into separate groups (scattered blocks) need
         // one MWS per operand-block; migrating them into a shared group
         // restores the single-sense AND (§10).
-        let mut dev = device();
+        let dev = device();
         let vs = vectors(4, 256, 20);
         let ids: Vec<usize> = vs
             .iter()
@@ -1457,7 +1750,7 @@ mod tests {
 
     #[test]
     fn migrating_an_unknown_name_reports_unknown_name() {
-        let mut dev = device();
+        let dev = device();
         let err = dev.migrate_operand("nonexistent", StoreHints::and_group("g")).unwrap_err();
         match err {
             FcError::UnknownName(n) => assert_eq!(n, "nonexistent"),
@@ -1475,7 +1768,7 @@ mod tests {
         // AND-group → OR-group migration flips the stored polarity, so
         // the controller rewrite path runs (copyback would copy raw bits
         // with the wrong polarity).
-        let mut dev = device();
+        let dev = device();
         let vs = vectors(3, 256, 21);
         for (i, v) in vs.iter().enumerate() {
             dev.fc_write(&format!("op{i}"), v, StoreHints::and_group("flat")).unwrap();
@@ -1495,7 +1788,7 @@ mod tests {
 
     #[test]
     fn handle_operators_and_read_into() {
-        let mut dev = device();
+        let dev = device();
         let vs = vectors(3, 300, 30);
         let a = dev.fc_write("a", &vs[0], StoreHints::and_group("g")).unwrap();
         let b = dev.fc_write("b", &vs[1], StoreHints::and_group("g")).unwrap();
@@ -1521,7 +1814,7 @@ mod tests {
     #[test]
     fn fc_error_sources_chain() {
         use std::error::Error;
-        let mut dev = device();
+        let dev = device();
         let v = BitVec::zeros(64);
         dev.fc_write("a", &v, StoreHints::and_group("g")).unwrap();
         let plan_err = FcError::Plan(PlanError::NoPlacement(3));
@@ -1537,7 +1830,7 @@ mod tests {
         // The paper's reliability claim end-to-end: with error injection
         // enabled and worst-case aging, ESP-stored operands still produce
         // bit-exact results.
-        let mut dev = FlashCosmosDevice::new_noisy(SsdConfig::tiny_test());
+        let dev = FlashCosmosDevice::new_noisy(SsdConfig::tiny_test());
         dev.inject_faults(&crate::recovery::FaultPlan::new().retention(12.0)).unwrap();
         let vs = vectors(4, 512, 9);
         let handles: Vec<OperandHandle> = vs

@@ -153,3 +153,38 @@ pub use recovery::{
     DeviceHealth, FaultPlan, FaultReport, MarginScrubber, ScrubCandidate, ScrubConfig, ScrubPolicy,
 };
 pub use session::{CacheStats, DrainStats, Session, Ticket};
+
+/// Compile-time thread-safety contract for the concurrent serving core.
+///
+/// The shared device handle and everything that crosses a worker-thread
+/// boundary with it must stay [`Send`] + [`Sync`]: N OS threads hold one
+/// `Arc<FlashCosmosDevice>` and call `submit_async`/`drain`/`wait`
+/// concurrently. A future `Rc`/`RefCell`/raw-pointer regression anywhere
+/// in the state these types own must fail *this build*, not a stress
+/// test three PRs later.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    fn assert_sync<T: Sync>() {}
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    // The shared handle itself, bare and behind the Arc workers clone.
+    assert_send_sync::<FlashCosmosDevice>();
+    assert_send_sync::<std::sync::Arc<FlashCosmosDevice>>();
+    // The session (reachable through `FlashCosmosDevice::session` from
+    // any thread) and the ticket protocol's currency.
+    assert_send_sync::<Session>();
+    assert_send_sync::<Ticket>();
+    // Batch types cross the boundary in both directions: built on worker
+    // threads, results handed back through `wait`.
+    assert_send_sync::<QueryBatch>();
+    assert_send_sync::<BatchResults>();
+    assert_send_sync::<BatchStats>();
+    assert_send_sync::<DrainStats>();
+    assert_send_sync::<FcError>();
+    // Installable policies travel into the locked core.
+    assert_send::<Box<dyn PlacementPolicy>>();
+    assert_send::<Box<dyn RegroupPolicy>>();
+    assert_send::<Box<dyn CacheAdmission>>();
+    assert_send::<Box<dyn ScrubPolicy>>();
+    assert_sync::<Box<dyn ScrubPolicy>>();
+};

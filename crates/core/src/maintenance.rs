@@ -134,7 +134,7 @@ impl PlacementQuery {
 /// domain). The policy owns whatever cursor state it needs; the device
 /// consults it through
 /// [`set_placement_policy`](crate::device::FlashCosmosDevice::set_placement_policy).
-pub trait PlacementPolicy: std::fmt::Debug {
+pub trait PlacementPolicy: std::fmt::Debug + Send + Sync {
     /// Chooses a flat plane. `pinned_die`, when given, restricts the
     /// choice to that die's planes (the caller validated the index).
     fn choose_plane(&mut self, query: &PlacementQuery, pinned_die: Option<usize>) -> usize;
@@ -252,7 +252,7 @@ pub struct CacheEntryInfo {
 /// eviction victim; a fresh insert only displaces it when
 /// [`CacheAdmission::admit`] agrees. Select a policy with
 /// [`set_cache_admission`](crate::device::FlashCosmosDevice::set_cache_admission).
-pub trait CacheAdmission: std::fmt::Debug {
+pub trait CacheAdmission: std::fmt::Debug + Send + Sync {
     /// The entry's retention value; higher survives longer.
     fn score(&self, entry: &CacheEntryInfo) -> f64;
 
@@ -446,7 +446,7 @@ impl HotSet {
 
 /// Chooses which hot sets deserve gathering. Select a policy with
 /// [`set_regroup_policy`](crate::device::FlashCosmosDevice::set_regroup_policy).
-pub trait RegroupPolicy: std::fmt::Debug {
+pub trait RegroupPolicy: std::fmt::Debug + Send + Sync {
     /// Indices into `candidates` worth regrouping, most valuable first.
     fn select(&self, candidates: &[HotSet], cfg: &MaintenanceConfig) -> Vec<usize>;
 }
@@ -582,7 +582,7 @@ pub struct MaintenanceStats {
     pub scrubs_deferred: usize,
 }
 
-impl crate::device::FlashCosmosDevice {
+impl crate::device::DeviceCore {
     /// Plans regrouping work from the affinity tracker's observations:
     /// the installed [`RegroupPolicy`] selects hot scattered sets, and
     /// each becomes one [`RegroupJob`] per operand, gathering the set
@@ -596,7 +596,7 @@ impl crate::device::FlashCosmosDevice {
     /// becomes plannable again. Returns the number of jobs queued by
     /// this pass.
     pub fn schedule_maintenance(&mut self) -> usize {
-        let candidates = self.session.affinity.candidates();
+        let candidates = self.session.affinity().candidates();
         let picks = self.regroup_policy.select(&candidates, &self.maintenance_cfg);
         if picks.is_empty() {
             return 0;
@@ -608,14 +608,14 @@ impl crate::device::FlashCosmosDevice {
         // instead of all landing on one snapshot's least-worn die.
         let query = self.placement_query(true);
         let mut queued_on = vec![0u64; query.dies];
-        for job in &self.session.jobs {
+        for job in self.session.jobs().iter() {
             queued_on[job.target_die] += 1;
         }
         let mut queued = 0usize;
         for idx in picks {
             let set = &candidates[idx];
             let key = set.key();
-            if self.session.jobs.iter().any(|j| j.set_key == key) {
+            if self.session.jobs().iter().any(|j| j.set_key == key) {
                 continue; // already planned, still queued
             }
             // Already co-located (all operands share one group)? Nothing
@@ -690,10 +690,10 @@ impl crate::device::FlashCosmosDevice {
             // member) requires `min_cofuse` *fresh* co-queries, so
             // sustained conflicts migrate at most once per min_cofuse
             // queries instead of on every pass.
-            self.session.affinity.consume(&set.ids);
+            self.session.affinity().consume(&set.ids);
             queued_on[target_die] += set_jobs.len() as u64;
             queued += set_jobs.len();
-            self.session.jobs.extend(set_jobs);
+            self.session.jobs().extend(set_jobs);
             if queued >= self.maintenance_cfg.max_jobs_per_pass {
                 break;
             }
@@ -705,7 +705,7 @@ impl crate::device::FlashCosmosDevice {
     /// then executes **every** queued migration job immediately, with no
     /// critical-path budget — the foreground maintenance pass for tests,
     /// tools and explicit reorganization windows. Background operation
-    /// queues jobs instead and lets [`drain`](Self::drain) fill them into
+    /// queues jobs instead and lets the drain fill them into
     /// idle-die slack.
     ///
     /// # Errors
@@ -741,19 +741,24 @@ impl crate::device::FlashCosmosDevice {
         // `run_maintenance`.
         let mut deferred: std::collections::VecDeque<RegroupJob> =
             std::collections::VecDeque::new();
-        while let Some(job) = self.session.jobs.pop_front() {
+        loop {
+            // `let-else` drops the queue guard at the end of the
+            // statement — a `while let` would hold it across the whole
+            // body and deadlock on the re-lock below.
+            let Some(job) = self.session.jobs().pop_front() else { break };
             let found = self.operand_generation(job.operand);
             if found != job.expected_generation {
                 stats.jobs_retired += 1;
-                self.session.jobs_retired_total += 1;
-                self.session.retired_jobs.push_back(RetiredJob {
+                self.session.bump_jobs_retired();
+                let mut log = self.session.retired_log();
+                log.push_back(RetiredJob {
                     name: job.name,
                     operand: job.operand,
                     expected_generation: job.expected_generation,
                     found_generation: found,
                 });
-                while self.session.retired_jobs.len() > self.maintenance_cfg.retired_log_capacity {
-                    self.session.retired_jobs.pop_front();
+                while log.len() > self.maintenance_cfg.retired_log_capacity {
+                    log.pop_front();
                 }
                 continue;
             }
@@ -782,8 +787,9 @@ impl crate::device::FlashCosmosDevice {
                     // The failing job is consumed, but neither the
                     // skipped-over jobs nor the untouched remainder may
                     // be dropped with it.
+                    let mut jobs = self.session.jobs();
                     while let Some(j) = deferred.pop_back() {
-                        self.session.jobs.push_front(j);
+                        jobs.push_front(j);
                     }
                     return Err(e);
                 }
@@ -794,9 +800,34 @@ impl crate::device::FlashCosmosDevice {
             stats.fill_time_us += moved_us;
         }
         stats.jobs_deferred = deferred.len();
-        self.session.jobs = deferred;
+        *self.session.jobs() = deferred;
         stats.critical_path_us = queues.busiest_us();
         Ok(stats)
+    }
+}
+
+impl crate::device::FlashCosmosDevice {
+    /// Plans regrouping work from the affinity tracker's observations —
+    /// see the maintenance module docs for the policy. Takes the
+    /// exclusive device lock (planning reads placement and wear state
+    /// that must not shear under it).
+    pub fn schedule_maintenance(&self) -> usize {
+        self.core_write().schedule_maintenance()
+    }
+
+    /// Plans ([`Self::schedule_maintenance`]) and then executes
+    /// **every** queued migration job immediately, with no critical-path
+    /// budget — the foreground maintenance pass for tests, tools and
+    /// explicit reorganization windows. Background operation queues jobs
+    /// instead and lets [`Self::drain`] fill them into idle-die slack.
+    /// Runs under the exclusive device lock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates migration failures (the failing job is consumed; the
+    /// rest stay queued).
+    pub fn run_maintenance(&self) -> Result<MaintenanceStats, crate::device::FcError> {
+        self.core_write().run_maintenance()
     }
 }
 

@@ -192,7 +192,7 @@ mod tests {
     fn full_adder_in_flash() {
         use crate::device::{FlashCosmosDevice, StoreHints};
         use fc_ssd::SsdConfig;
-        let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+        let dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
         let t = table(3, 256, 6);
         for (i, v) in t.iter().enumerate() {
             dev.fc_write(&format!("in{i}"), v, StoreHints::and_group(&format!("g{i}"))).unwrap();

@@ -259,7 +259,7 @@ mod tests {
 
     fn validate_on(expr: &Expr, n_operands: usize, seed: u64, cfg: SsdConfig) -> (u64, usize) {
         let advice = suggest_hints(expr, PlannerCaps::for_config(&cfg));
-        let mut dev = FlashCosmosDevice::new(cfg.clone());
+        let dev = FlashCosmosDevice::new(cfg.clone());
         let mut rng = StdRng::seed_from_u64(seed);
         let vectors: Vec<BitVec> =
             (0..n_operands).map(|_| BitVec::random(cfg.page_bits(), &mut rng)).collect();

@@ -70,7 +70,7 @@ use fc_ssd::topology::{DieId, Ppa};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::device::{FcError, FlashCosmosDevice};
+use crate::device::{DeviceCore, FcError, FlashCosmosDevice};
 use crate::expr::OperandId;
 
 /// FTL group-index namespace for parity pages (one group per plane).
@@ -141,7 +141,7 @@ pub struct ScrubCandidate {
 
 /// Picks which scrub candidates to queue — same policy/mechanism split
 /// as [`crate::maintenance::RegroupPolicy`].
-pub trait ScrubPolicy: std::fmt::Debug {
+pub trait ScrubPolicy: std::fmt::Debug + Send + Sync {
     /// Returns the indices of `candidates` to queue, in scrub order.
     fn select(&self, candidates: &[ScrubCandidate], cfg: &ScrubConfig) -> Vec<usize>;
 }
@@ -337,7 +337,7 @@ impl Default for RecoveryState {
     }
 }
 
-impl FlashCosmosDevice {
+impl DeviceCore {
     /// Turns on cross-die parity protection for *subsequent* writes
     /// (`fc_write`, `fc_overwrite`, [`Self::store_durable`]): stored
     /// pages join XOR stripes whose members sit on pairwise-distinct
@@ -534,7 +534,8 @@ impl FlashCosmosDevice {
     /// even when disjointness cannot be honored.
     fn healthy_plane(&self, avoid: &HashSet<usize>) -> usize {
         let ppd = self.ssd.config().planes_per_die;
-        let pressures = self.ssd.ftl().plane_pressures();
+        let ftl = self.ssd.ftl();
+        let pressures = ftl.plane_pressures();
         let mut best: Option<(u32, usize)> = None;
         let mut healthy: Option<(u32, usize)> = None;
         let mut any: Option<(u32, usize)> = None;
@@ -949,8 +950,25 @@ impl FlashCosmosDevice {
     /// Raw ESP operand pages are skipped: their modeled RBER is exactly
     /// zero (§5.2) and their protection is the parity tier.
     pub fn schedule_scrub(&mut self) -> usize {
-        let margin = self.ssd.ecc_correction_margin();
         let cfg = self.recovery.scrub_cfg;
+        let candidates = self.scrub_candidates();
+        let picks = self.recovery.scrub_policy.select(&candidates, &cfg);
+        let mut queued_now = 0;
+        for i in picks {
+            if let Some(c) = candidates.get(i) {
+                self.recovery.scrub_queue.push_back(ScrubJob { lpn: c.lpn });
+                queued_now += 1;
+            }
+        }
+        queued_now
+    }
+
+    /// The read-only half of [`Self::schedule_scrub`]: every mapped ECC
+    /// page's worst-grade RBER prediction, minus pages already queued,
+    /// lost, stuck, on a failed die, or scrub-done at their current
+    /// stress fingerprint.
+    fn scrub_candidates(&self) -> Vec<ScrubCandidate> {
+        let margin = self.ssd.ecc_correction_margin();
         let queued: HashSet<u64> = self.recovery.scrub_queue.iter().map(|j| j.lpn).collect();
         let mut candidates: Vec<ScrubCandidate> = Vec::new();
         for (lpn, ppa, meta) in self.ssd.ftl().iter_mapped() {
@@ -983,15 +1001,18 @@ impl FlashCosmosDevice {
             );
             candidates.push(ScrubCandidate { lpn, die, predicted_rber: predicted, margin });
         }
-        let picks = self.recovery.scrub_policy.select(&candidates, &cfg);
-        let mut queued_now = 0;
-        for i in picks {
-            if let Some(c) = candidates.get(i) {
-                self.recovery.scrub_queue.push_back(ScrubJob { lpn: c.lpn });
-                queued_now += 1;
-            }
+        candidates
+    }
+
+    /// Whether a [`Self::schedule_scrub`] pass would queue anything
+    /// right now — the drain's read-locked phase asks this to decide if
+    /// the write-locked background tail is worth taking at all.
+    pub(crate) fn scrub_would_schedule(&self) -> bool {
+        let candidates = self.scrub_candidates();
+        if candidates.is_empty() {
+            return false;
         }
-        queued_now
+        !self.recovery.scrub_policy.select(&candidates, &self.recovery.scrub_cfg).is_empty()
     }
 
     /// Executes queued scrub jobs within a die-time budget: each refresh
@@ -1067,7 +1088,7 @@ impl FlashCosmosDevice {
 
     /// Schedules and runs a full scrub pass immediately (no budget) —
     /// the foreground entry point; background refreshes ride along with
-    /// [`drain`](Self::drain) instead. Returns pages refreshed.
+    /// the drain instead. Returns pages refreshed.
     ///
     /// # Errors
     ///
@@ -1086,6 +1107,130 @@ impl FlashCosmosDevice {
         let chip = self.ssd.chip(ppa.plane.die);
         let block = BlockAddr::new(ppa.plane.plane, ppa.block);
         Some((chip.block_pec(block).ok()?, chip.retention_months().to_bits()))
+    }
+}
+
+impl FlashCosmosDevice {
+    /// Turns on cross-die parity protection for *subsequent* writes
+    /// (`fc_write`, `fc_overwrite`, [`Self::store_durable`]): stored
+    /// pages join XOR stripes whose members sit on pairwise-distinct
+    /// dies, with the parity page on a die outside the stripe.
+    pub fn enable_parity(&mut self) {
+        self.core_mut().enable_parity();
+    }
+
+    /// Whether new writes are parity-protected.
+    pub fn parity_enabled(&self) -> bool {
+        self.core().parity_enabled()
+    }
+
+    /// Number of live parity stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.core().stripe_count()
+    }
+
+    /// Pages currently queued for a scrub refresh.
+    pub fn pending_scrub(&self) -> usize {
+        self.core().pending_scrub()
+    }
+
+    /// Pages that stayed unreadable after every recovery tier.
+    pub fn lost_page_count(&self) -> usize {
+        self.core().lost_page_count()
+    }
+
+    /// Replaces the scrub tuning.
+    pub fn set_scrub_config(&mut self, cfg: ScrubConfig) {
+        self.core_mut().set_scrub_config(cfg);
+    }
+
+    /// The current scrub tuning.
+    pub fn scrub_config(&self) -> ScrubConfig {
+        self.core().scrub_config()
+    }
+
+    /// Installs a scrub-selection policy (default: [`MarginScrubber`]).
+    pub fn set_scrub_policy(&mut self, policy: Box<dyn ScrubPolicy>) {
+        self.core_mut().set_scrub_policy(policy);
+    }
+
+    /// The device-wide reliability snapshot: SSD read-health counters
+    /// merged with the recovery counters.
+    pub fn health(&self) -> DeviceHealth {
+        self.core().health()
+    }
+
+    /// Stores a named durable record through the conventional path (SLC
+    /// with randomization and ECC, striped placement) — the data that
+    /// *needs* the recovery tiers, unlike ESP operand pages whose
+    /// modeled RBER is zero. Parity-protected when parity is enabled.
+    /// Takes the exclusive device lock.
+    ///
+    /// # Errors
+    ///
+    /// [`FcError::DuplicateName`] when the name is taken (by a durable
+    /// record or an operand), plus SSD write errors.
+    pub fn store_durable(&self, name: &str, data: &BitVec) -> Result<(), FcError> {
+        self.core_write().store_durable(name, data)
+    }
+
+    /// Reads a durable record back, escalating each page through the
+    /// recovery tiers: the SSD's built-in retry ladder first, then
+    /// parity rebuild on ladder exhaustion. Takes the exclusive device
+    /// lock (recovery escalation relocates pages).
+    ///
+    /// # Errors
+    ///
+    /// [`FcError::UnknownName`] for unknown records; a wrapped
+    /// [`DeviceError::Uncorrectable`] when a page stayed unreadable
+    /// after every tier (it is then recorded as lost).
+    pub fn read_durable(&self, name: &str) -> Result<BitVec, FcError> {
+        self.core_write().read_durable(name)
+    }
+
+    /// Replaces a durable record's contents (the new data may have a
+    /// different length). Old pages are unprotected and trimmed; the new
+    /// pages are parity-protected when parity is enabled. Takes the
+    /// exclusive device lock.
+    ///
+    /// # Errors
+    ///
+    /// [`FcError::UnknownName`] for unknown records, plus SSD write
+    /// errors.
+    pub fn overwrite_durable(&self, name: &str, data: &BitVec) -> Result<(), FcError> {
+        self.core_write().overwrite_durable(name, data)
+    }
+
+    /// Applies a [`FaultPlan`] — see the recovery module docs for the
+    /// fault model. Takes the exclusive device lock.
+    ///
+    /// # Errors
+    ///
+    /// [`FcError::UnknownName`] / [`FcError::DieOutOfRange`] from
+    /// validation (nothing mutated), or propagated device errors from
+    /// rebuild rewrites.
+    pub fn inject_faults(&self, plan: &FaultPlan) -> Result<FaultReport, FcError> {
+        self.core_write().inject_faults(plan)
+    }
+
+    /// Walks every mapped ECC page, predicts its worst-grade RBER from
+    /// the block's current stress state, and queues the pages the
+    /// installed [`ScrubPolicy`] selects. Returns how many were queued.
+    /// Takes the exclusive device lock.
+    pub fn schedule_scrub(&self) -> usize {
+        self.core_write().schedule_scrub()
+    }
+
+    /// Schedules and runs a full scrub pass immediately (no budget) —
+    /// the foreground entry point; background refreshes ride along with
+    /// [`FlashCosmosDevice::drain`] instead. Returns pages refreshed.
+    /// Takes the exclusive device lock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SSD rewrite errors.
+    pub fn run_scrub(&self) -> Result<u64, FcError> {
+        self.core_write().run_scrub()
     }
 }
 
@@ -1112,16 +1257,17 @@ mod tests {
         dev.fc_write("a", &data, StoreHints::and_group("g")).unwrap();
         assert!(dev.stripe_count() >= 2, "4 members with cap 3 split into ≥ 2 stripes");
         let cfg = SsdConfig::tiny_test();
-        for (_, stripe) in dev.recovery.stripes.iter() {
+        let core = dev.core();
+        for (_, stripe) in core.recovery.stripes.iter() {
             let member_dies: Vec<usize> = stripe
                 .members
                 .iter()
-                .map(|&m| dev.ssd.ftl().translate(m).unwrap().plane.die.flat(&cfg))
+                .map(|&m| core.ssd.ftl().translate(m).unwrap().plane.die.flat(&cfg))
                 .collect();
             let distinct: HashSet<usize> = member_dies.iter().copied().collect();
             assert_eq!(distinct.len(), member_dies.len(), "members share a die: {member_dies:?}");
             let parity_die =
-                dev.ssd.ftl().translate(stripe.parity_lpn).unwrap().plane.die.flat(&cfg);
+                core.ssd.ftl().translate(stripe.parity_lpn).unwrap().plane.die.flat(&cfg);
             assert!(
                 !distinct.contains(&parity_die),
                 "parity die {parity_die} collides with members {member_dies:?}"
@@ -1177,7 +1323,7 @@ mod tests {
 
     #[test]
     fn fault_plan_unknown_name_errors_without_mutating() {
-        let mut dev = device();
+        let dev = device();
         let mut rng = StdRng::seed_from_u64(4);
         let data = BitVec::random(256, &mut rng);
         dev.fc_write("a", &data, StoreHints::and_group("g")).unwrap();
@@ -1189,7 +1335,7 @@ mod tests {
         // Validation rejected the plans before the retention change: the
         // chips are untouched.
         let die0 = DieId::from_flat(0, dev.config());
-        assert_eq!(dev.ssd.chip(die0).retention_months(), 0.0);
+        assert_eq!(dev.core().ssd.chip(die0).retention_months(), 0.0);
     }
 
     #[test]
@@ -1206,7 +1352,7 @@ mod tests {
 
     #[test]
     fn durable_roundtrip_overwrite_and_unknown_name() {
-        let mut dev = device();
+        let dev = device();
         let mut rng = StdRng::seed_from_u64(5);
         let v1 = BitVec::random(1000, &mut rng);
         let v2 = BitVec::random(500, &mut rng);
@@ -1254,7 +1400,7 @@ mod tests {
         // of blowing the latency envelope.
         let budget = dev.config().tr_us + dev.config().tprog_slc_us;
         let mut queues = DieQueues::new(dev.config().total_dies());
-        let (scrubbed, deferred) = dev.execute_scrub(&mut queues, budget).unwrap();
+        let (scrubbed, deferred) = dev.core_mut().execute_scrub(&mut queues, budget).unwrap();
         assert!(deferred > 0, "oversized pass must defer: {scrubbed} scrubbed, {deferred} left");
         assert_eq!(scrubbed as usize + deferred, queued);
         assert_eq!(dev.pending_scrub(), deferred, "deferred jobs stay queued");
@@ -1265,17 +1411,17 @@ mod tests {
 
     #[test]
     fn retention_fault_bumps_epoch_and_itemized_faults_do_not() {
-        let mut dev = device();
+        let dev = device();
         let mut rng = StdRng::seed_from_u64(8);
         let data = BitVec::random(256, &mut rng);
         dev.fc_write("a", &data, StoreHints::and_group("g")).unwrap();
-        let epoch0 = dev.epoch;
+        let epoch0 = dev.core().epoch;
         let report = dev.inject_faults(&FaultPlan::new().age("a", 500).disturb("a", 1000)).unwrap();
-        assert_eq!(dev.epoch, epoch0, "itemized faults leave the epoch alone");
+        assert_eq!(dev.core().epoch, epoch0, "itemized faults leave the epoch alone");
         assert!(!report.epoch_bumped);
         assert_eq!(report.touched_operands, vec![0]);
         let report = dev.inject_faults(&FaultPlan::new().retention(24.0)).unwrap();
         assert!(report.epoch_bumped);
-        assert!(dev.epoch > epoch0);
+        assert!(dev.core().epoch > epoch0);
     }
 }

@@ -62,15 +62,18 @@
 //! let t2 = dev.submit_async(&batch).unwrap();
 //! let drained = dev.drain().unwrap();
 //! assert_eq!(drained.batches, 2);
-//! let r1 = t1.wait(&mut dev).unwrap();
-//! let r2 = t2.wait(&mut dev).unwrap();
+//! let r1 = t1.wait(&dev).unwrap();
+//! let r2 = t2.wait(&dev).unwrap();
 //! assert_eq!(r1.results, r2.results);
 //! // The second batch re-used the first one's cached unit: no senses.
 //! assert_eq!(r2.stats.senses, 0);
 //! assert_eq!(r2.stats.cached_units, 1);
 //! ```
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
 
 use fc_bits::BitVec;
 use fc_ssd::pipeline::{overlap_report, DieQueues};
@@ -304,6 +307,15 @@ impl ResultCache {
     }
 }
 
+/// Recovers a poisoned guard: the protected state stays consistent at
+/// mutation granularity (a panicked holder can leave partial *session*
+/// progress, but every invariant the audit checks lives in the device
+/// core under its own lock), so propagating the poison would only turn
+/// one panic into many.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// A batch queued by [`FlashCosmosDevice::submit_async`], waiting for a
 /// drain.
 pub(crate) struct PendingBatch {
@@ -329,13 +341,15 @@ impl Ticket {
     }
 
     /// Retires this batch and returns its results, draining the device's
-    /// queues first if it is still in flight.
+    /// queues first if it is still in flight. If another thread is
+    /// already draining the batch, this parks on the session's retire
+    /// condvar (without holding the device lock) until it lands.
     ///
     /// # Errors
     ///
     /// [`FcError::UnknownTicket`] when waited on twice, plus anything
     /// [`FlashCosmosDevice::drain`] can return.
-    pub fn wait(self, dev: &mut FlashCosmosDevice) -> Result<BatchResults, FcError> {
+    pub fn wait(self, dev: &FlashCosmosDevice) -> Result<BatchResults, FcError> {
         dev.wait(self)
     }
 }
@@ -376,78 +390,288 @@ impl DrainStats {
     }
 }
 
+/// One shard of the retired-results table: a slice of the ticket space
+/// (`seq % RETIRED_SHARDS`) with its own mutex and retire condvar, so
+/// waiters of different tickets park and wake independently.
+#[derive(Default)]
+struct RetiredShard {
+    map: Mutex<HashMap<u64, BatchResults>>,
+    /// Notified (under `map`) whenever a batch retires into this shard.
+    cv: Condvar,
+}
+
+/// Mutex shards of the retired-results table. Eight is plenty: the
+/// shard only arbitrates the brief insert/remove/park window, not
+/// execution.
+const RETIRED_SHARDS: usize = 8;
+
+/// Default bound on batches queued by `submit_async` and not yet
+/// claimed by a drain. See [`FlashCosmosDevice::submit_async`]'s
+/// backpressure contract.
+const DEFAULT_ADMISSION_CAPACITY: usize = 1024;
+
+/// How long a parked [`Ticket::wait`] sleeps between re-checks. A
+/// backstop only — every retire notifies the shard's condvar, so the
+/// timeout matters just for abandoned batches racing the park.
+const WAIT_RECHECK: Duration = Duration::from_millis(5);
+
 /// The device's session state: in-flight async batches, retired results
 /// awaiting their [`Ticket::wait`], the cross-batch result cache, and
 /// the maintenance layer's observations and work queue. Accessible
-/// read-only through [`FlashCosmosDevice::session`].
-#[derive(Default)]
+/// through [`FlashCosmosDevice::session`].
+///
+/// Every field is its own lock domain, so N threads serving traffic
+/// contend only where they genuinely share state:
+///
+/// | shard | guards | locked by |
+/// |---|---|---|
+/// | `pending` | admission queue | `submit_async`, drain claim, `wait` |
+/// | `executing` | claimed-but-not-retired seqs | drain claim/retire, `wait` |
+/// | `shards[k]` | retired results with `seq % 8 == k` | retire, `wait` |
+/// | `cache` | memoized unit results | batch compile/execute |
+/// | `affinity` | co-query observations | batch compile, planner |
+/// | `jobs` / `retired_jobs` | maintenance queue / log | drain phase B, planner |
+///
+/// Lock order within the session: `pending` → `executing`, and
+/// `shards[k].map` → `executing`. Nothing holds two of {cache,
+/// affinity, jobs} at once.
 pub struct Session {
-    pub(crate) cache: ResultCache,
-    pending: Vec<PendingBatch>,
-    retired: HashMap<u64, BatchResults>,
-    next_seq: u64,
+    cache: Mutex<ResultCache>,
     /// Which operand sets get fused together, and what they cost — the
     /// regrouping planner's input (fed by every batch compile).
-    pub(crate) affinity: AffinityTracker,
+    affinity: Mutex<AffinityTracker>,
+    pending: Mutex<Vec<PendingBatch>>,
+    /// Bound on `pending` — admission above it fails with
+    /// [`FcError::Overloaded`].
+    admission_capacity: AtomicUsize,
+    /// Seqs a drain has claimed but not yet retired (or abandoned):
+    /// `wait` parks on these instead of re-draining.
+    executing: Mutex<HashSet<u64>>,
+    shards: Vec<RetiredShard>,
+    next_seq: AtomicU64,
     /// Planned-but-not-executed migration jobs, FIFO.
-    pub(crate) jobs: VecDeque<RegroupJob>,
+    jobs: Mutex<VecDeque<RegroupJob>>,
     /// Bounded log of jobs dropped on generation mismatch.
-    pub(crate) retired_jobs: VecDeque<RetiredJob>,
+    retired_jobs: Mutex<VecDeque<RetiredJob>>,
     /// Total jobs ever retired (the log itself is bounded).
-    pub(crate) jobs_retired_total: u64,
+    jobs_retired_total: AtomicU64,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self {
+            cache: Mutex::new(ResultCache::default()),
+            affinity: Mutex::new(AffinityTracker::default()),
+            pending: Mutex::new(Vec::new()),
+            admission_capacity: AtomicUsize::new(DEFAULT_ADMISSION_CAPACITY),
+            executing: Mutex::new(HashSet::new()),
+            shards: (0..RETIRED_SHARDS).map(|_| RetiredShard::default()).collect(),
+            next_seq: AtomicU64::new(0),
+            jobs: Mutex::new(VecDeque::new()),
+            retired_jobs: Mutex::new(VecDeque::new()),
+            jobs_retired_total: AtomicU64::new(0),
+        }
+    }
 }
 
 impl std::fmt::Debug for Session {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Session")
-            .field("in_flight", &self.pending.len())
-            .field("retired", &self.retired.len())
-            .field("cache", &self.cache.stats())
-            .field("tracked_sets", &self.affinity.len())
-            .field("pending_jobs", &self.jobs.len())
+            .field("in_flight", &self.in_flight())
+            .field("retired", &self.retired())
+            .field("cache", &self.cache_stats())
+            .field("tracked_sets", &lock(&self.affinity).len())
+            .field("pending_jobs", &self.pending_maintenance())
             .finish()
     }
 }
 
 impl Session {
-    /// Batches queued by `submit_async` and not yet drained.
+    /// Batches queued by `submit_async` and not yet claimed by a drain.
     pub fn in_flight(&self) -> usize {
-        self.pending.len()
+        lock(&self.pending).len()
     }
 
     /// Drained batches whose ticket has not been waited on yet.
     pub fn retired(&self) -> usize {
-        self.retired.len()
+        self.shards.iter().map(|s| lock(&s.map).len()).sum()
     }
 
     /// Result-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        lock(&self.cache).stats()
     }
 
-    /// The affinity tracker's view of co-fused operand sets.
-    pub fn affinity(&self) -> &AffinityTracker {
-        &self.affinity
+    /// The affinity tracker's view of co-fused operand sets. Returns a
+    /// lock guard: drop it promptly — batch compilation records into the
+    /// tracker on the serving path.
+    pub fn affinity(&self) -> MutexGuard<'_, AffinityTracker> {
+        lock(&self.affinity)
     }
 
     /// Planned migration jobs not yet executed.
     pub fn pending_maintenance(&self) -> usize {
-        self.jobs.len()
+        lock(&self.jobs).len()
     }
 
     /// The bounded log of retired (generation-mismatched) migration jobs,
-    /// oldest first. Retirements beyond
+    /// oldest first (a snapshot — the log can grow concurrently).
+    /// Retirements beyond
     /// [`MaintenanceConfig::retired_log_capacity`] drop the oldest log
     /// entry; [`Session::jobs_retired_total`] still counts them.
     ///
     /// [`MaintenanceConfig::retired_log_capacity`]: crate::maintenance::MaintenanceConfig::retired_log_capacity
-    pub fn retired_jobs(&self) -> impl Iterator<Item = &RetiredJob> {
-        self.retired_jobs.iter()
+    pub fn retired_jobs(&self) -> impl Iterator<Item = RetiredJob> {
+        lock(&self.retired_jobs).iter().cloned().collect::<Vec<_>>().into_iter()
     }
 
     /// Total migration jobs ever retired on generation mismatch.
     pub fn jobs_retired_total(&self) -> u64 {
-        self.jobs_retired_total
+        self.jobs_retired_total.load(Ordering::Relaxed)
+    }
+
+    /// The result cache, locked.
+    pub(crate) fn cache(&self) -> MutexGuard<'_, ResultCache> {
+        lock(&self.cache)
+    }
+
+    /// The maintenance job queue, locked.
+    pub(crate) fn jobs(&self) -> MutexGuard<'_, VecDeque<RegroupJob>> {
+        lock(&self.jobs)
+    }
+
+    /// The retired-jobs log, locked.
+    pub(crate) fn retired_log(&self) -> MutexGuard<'_, VecDeque<RetiredJob>> {
+        lock(&self.retired_jobs)
+    }
+
+    /// Counts one generation-mismatched job retirement.
+    pub(crate) fn bump_jobs_retired(&self) {
+        self.jobs_retired_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn admission_capacity(&self) -> usize {
+        self.admission_capacity.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn set_admission_capacity(&self, capacity: usize) {
+        self.admission_capacity.store(capacity, Ordering::Relaxed);
+    }
+
+    fn shard(&self, seq: u64) -> &RetiredShard {
+        &self.shards[(seq % RETIRED_SHARDS as u64) as usize]
+    }
+
+    /// Admits a compiled batch into the pending queue, or refuses with
+    /// [`FcError::Overloaded`] when the queue is at capacity.
+    pub(crate) fn enqueue(
+        &self,
+        source: QueryBatch,
+        compiled: CompiledBatch,
+    ) -> Result<Ticket, FcError> {
+        let mut pending = lock(&self.pending);
+        if pending.len() >= self.admission_capacity() {
+            return Err(FcError::Overloaded { queued: pending.len() });
+        }
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        pending.push(PendingBatch { seq, source, compiled });
+        Ok(Ticket { seq })
+    }
+
+    /// Atomically moves the oldest pending batch into the executing set
+    /// and hands it to the calling drain. Waiters observing a seq in
+    /// `executing` park instead of re-draining.
+    ///
+    /// One batch at a time — not the whole queue — so drains racing
+    /// from several threads *partition* the backlog and execute it in
+    /// parallel instead of the first drain claiming everything while
+    /// the rest park. Each drain loops until this returns `None`, which
+    /// preserves the single-threaded contract (a drain retires every
+    /// queued batch, including ones submitted while it runs).
+    pub(crate) fn claim_next(&self) -> Option<PendingBatch> {
+        let mut pending = lock(&self.pending);
+        if pending.is_empty() {
+            return None;
+        }
+        let pb = pending.remove(0);
+        lock(&self.executing).insert(pb.seq); // order: pending → executing
+        Some(pb)
+    }
+
+    pub(crate) fn is_pending(&self, seq: u64) -> bool {
+        lock(&self.pending).iter().any(|p| p.seq == seq)
+    }
+
+    pub(crate) fn is_executing(&self, seq: u64) -> bool {
+        lock(&self.executing).contains(&seq)
+    }
+
+    /// Parks a claimed batch's results into its retired shard and wakes
+    /// the shard's waiters, then releases the executing claim.
+    pub(crate) fn retire(&self, seq: u64, results: BatchResults) {
+        let shard = self.shard(seq);
+        {
+            let mut map = lock(&shard.map);
+            map.insert(seq, results);
+            shard.cv.notify_all();
+        }
+        lock(&self.executing).remove(&seq); // order: shard → executing
+    }
+
+    /// Releases executing claims whose batches will never retire (a
+    /// drain hit an error mid-pass): their waiters wake and report
+    /// [`FcError::UnknownTicket`], mirroring the single-threaded
+    /// dropped-batch semantics.
+    pub(crate) fn abandon(&self, seqs: &[u64]) {
+        {
+            let mut executing = lock(&self.executing);
+            for seq in seqs {
+                executing.remove(seq);
+            }
+        }
+        for shard in &self.shards {
+            shard.cv.notify_all();
+        }
+    }
+
+    /// Removes and returns a retired batch's results, if present.
+    pub(crate) fn take_retired(&self, seq: u64) -> Option<BatchResults> {
+        lock(&self.shard(seq).map).remove(&seq)
+    }
+
+    /// Blocks until a currently-executing batch retires (returning its
+    /// results) or its claim is abandoned (returning `None`). The
+    /// executing check happens while holding the shard map lock — the
+    /// same lock a retire inserts under — so a retire between the map
+    /// miss and the park is impossible to miss: either the insert
+    /// happened before our map check (we see it) or the notify comes
+    /// after we atomically release the lock into the condvar wait.
+    pub(crate) fn wait_retired(&self, seq: u64) -> Option<BatchResults> {
+        let shard = self.shard(seq);
+        let mut map = lock(&shard.map);
+        loop {
+            if let Some(results) = map.remove(&seq) {
+                return Some(results);
+            }
+            if !lock(&self.executing).contains(&seq) {
+                return None;
+            }
+            map =
+                shard.cv.wait_timeout(map, WAIT_RECHECK).unwrap_or_else(PoisonError::into_inner).0;
+        }
+    }
+
+    /// Drops every retired-but-unwaited result across all shards.
+    pub(crate) fn discard_all_retired(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                let mut map = lock(&s.map);
+                let n = map.len();
+                map.clear();
+                n
+            })
+            .sum()
     }
 }
 
@@ -458,18 +682,35 @@ impl FlashCosmosDevice {
     /// [`FlashCosmosDevice::drain`] or [`Ticket::wait`]. Batches queued
     /// together retire in one pass, interleaving on idle dies — see
     /// [`crate::session`] for the overlap model and the staleness rules.
+    /// Runs under the shared device lock: N threads submit concurrently.
+    ///
+    /// ## Backpressure contract
+    ///
+    /// The admission queue is **bounded** (default 1024 batches; tune
+    /// with [`Self::set_admission_capacity`]). When submitters outrun
+    /// the drain side, admission fails fast with
+    /// [`FcError::Overloaded`] instead of queueing without limit — the
+    /// caller backs off, drains, or retries; memory never grows
+    /// unboundedly with offered load. `Overloaded` is a load signal,
+    /// not a failure: nothing about the device or the batch is wrong.
     ///
     /// # Errors
     ///
-    /// Compile-time failures only (unknown operands, size mismatches,
+    /// [`FcError::Overloaded`] when the admission queue is full, plus
+    /// compile-time failures (unknown operands, size mismatches,
     /// planner rejections) — the same set [`FlashCosmosDevice::submit`]
     /// reports before executing.
-    pub fn submit_async(&mut self, batch: &QueryBatch) -> Result<Ticket, FcError> {
-        let compiled = self.compile_batch(batch)?;
-        let seq = self.session.next_seq;
-        self.session.next_seq += 1;
-        self.session.pending.push(PendingBatch { seq, source: batch.clone(), compiled });
-        Ok(Ticket { seq })
+    pub fn submit_async(&self, batch: &QueryBatch) -> Result<Ticket, FcError> {
+        let compiled = self.core().compile_batch(batch)?;
+        self.session.enqueue(batch.clone(), compiled)
+    }
+
+    /// Bounds the async admission queue ([`Self::submit_async`]'s
+    /// backpressure threshold). Already-queued batches are never
+    /// dropped; a bound below the current depth just refuses new
+    /// admissions until the queue drains below it.
+    pub fn set_admission_capacity(&self, capacity: usize) {
+        self.session.set_admission_capacity(capacity);
     }
 
     /// Retires every queued batch in one pass and reports the die-overlap
@@ -483,81 +724,143 @@ impl FlashCosmosDevice {
     /// first, so drained queries always observe drain-time data — a
     /// queued program can never sense through a stale wordline map.
     ///
+    /// Concurrency: the claim-and-execute phase runs under the shared
+    /// (read) device lock, so drains from several threads proceed in
+    /// parallel — each claims whatever is pending at that instant, and
+    /// per-die chip mutexes arbitrate the sensing. Only the background
+    /// tail (maintenance jobs, scrubbing, the debug-build device audit)
+    /// takes the write lock, and only when there is such work.
+    ///
     /// # Errors
     ///
-    /// Compile or chip failures of any queued batch; queued batches not
-    /// yet executed when the error surfaced are dropped (their tickets
-    /// report [`FcError::UnknownTicket`]).
-    pub fn drain(&mut self) -> Result<DrainStats, FcError> {
-        let pending = std::mem::take(&mut self.session.pending);
-        // Retention scrubbing rides the drain like regroup maintenance
-        // does: candidates whose modeled worst-grade RBER approaches the
-        // ECC margin queue up here and execute in the idle-die slack
-        // below. (Under the functional error model nothing ever
-        // qualifies, so this is free for error-free workloads.)
-        self.schedule_scrub();
-        if pending.is_empty() && self.session.jobs.is_empty() && self.pending_scrub() == 0 {
-            return Ok(DrainStats::default());
-        }
-        let dies = self.ssd.config().total_dies();
-        let mut per_batch: Vec<DieQueues> = Vec::with_capacity(pending.len());
-        let mut combined = DieQueues::new(dies);
-        let mut stats = DrainStats { batches: pending.len(), ..DrainStats::default() };
-        for mut pb in pending {
-            let stale = pb.compiled.epoch != self.epoch
-                || pb.compiled.snapshot.iter().any(|&(id, gen)| self.operand_generation(id) != gen);
-            if stale {
-                // Recompile against drain-time placement — without
-                // re-feeding the affinity tracker (one submission is one
-                // observation, however often it recompiles).
-                pb.compiled = self.recompile_batch(&pb.source)?;
-            } else {
-                // Earlier batches in this drain may have populated the
-                // cache since this batch compiled — replay their results
-                // instead of re-sensing.
-                self.refresh_cache_hits(&mut pb.compiled);
+    /// Compile or chip failures of any queued batch; the failing batch
+    /// is dropped (its ticket reports [`FcError::UnknownTicket`]) while
+    /// batches still queued behind it stay pending for the next drain.
+    pub fn drain(&self) -> Result<DrainStats, FcError> {
+        let mut stats;
+        let mut combined;
+        let overlap_budget_us;
+        let scrub_scan_hit;
+        let scrub_backlog;
+        let mut executed_any = false;
+        {
+            let core = self.core();
+            // Retention scrubbing rides the drain like regroup
+            // maintenance does: candidates whose modeled worst-grade
+            // RBER approaches the ECC margin are scheduled and executed
+            // in the write-locked tail below. Phase A only *scans*
+            // (read-only) to learn whether that tail is needed. (Under
+            // the functional error model nothing ever qualifies, so
+            // this is free for error-free workloads.)
+            scrub_scan_hit = core.scrub_would_schedule();
+            scrub_backlog = core.pending_scrub() > 0;
+            if self.session.in_flight() == 0
+                && self.session.jobs().is_empty()
+                && !scrub_backlog
+                && !scrub_scan_hit
+            {
+                return Ok(DrainStats::default());
             }
-            let mut outs: Vec<BitVec> =
-                (0..pb.compiled.queries()).map(|_| BitVec::zeros(0)).collect();
-            let mut own = DieQueues::new(dies);
-            let (batch_stats, failures) =
-                self.execute_compiled(&pb.compiled, &mut outs, Some(&mut own))?;
-            stats.senses += batch_stats.senses;
-            combined.merge(&own);
-            per_batch.push(own);
-            // Per-query failure isolation carries through the async path:
-            // the ticket's results report which queries were unanswerable
-            // while the rest of the batch retired normally.
-            self.session
-                .retired
-                .insert(pb.seq, BatchResults { results: outs, stats: batch_stats, failures });
-        }
-        let overlap = overlap_report(&per_batch);
-        stats.combined_critical_path_us = overlap.combined_critical_us;
-        stats.serial_critical_path_us = overlap.serial_critical_us;
-        stats.dies_used = combined.dies_busy();
-        // Queued maintenance and scrubbing ride the drain: migration and
-        // scrub jobs fill the per-die idle slack up to the configured
-        // critical-path budget (what doesn't fit stays queued for the
-        // next pass).
-        if !self.session.jobs.is_empty() || self.pending_scrub() > 0 {
-            let budget = (overlap.combined_critical_us * self.maintenance_cfg.slack_factor)
-                .max(self.maintenance_cfg.slack_floor_us);
-            if !self.session.jobs.is_empty() {
-                stats.maintenance = self.execute_maintenance(&mut combined, budget)?;
+            let dies = core.ssd.config().total_dies();
+            let mut per_batch: Vec<DieQueues> = Vec::new();
+            combined = DieQueues::new(dies);
+            stats = DrainStats::default();
+            // Claim-execute-retire one batch at a time: concurrent
+            // drains each grab the next queued batch, so a backlog is
+            // served by every draining thread in parallel (per-die chip
+            // mutexes arbitrate the sensing) rather than by whichever
+            // drain got there first.
+            while let Some(mut pb) = self.session.claim_next() {
+                let step = (|| {
+                    let stale = pb.compiled.epoch != core.epoch
+                        || pb
+                            .compiled
+                            .snapshot
+                            .iter()
+                            .any(|&(id, gen)| core.operand_generation(id) != gen);
+                    if stale {
+                        // Recompile against drain-time placement —
+                        // without re-feeding the affinity tracker (one
+                        // submission is one observation, however often
+                        // it recompiles).
+                        pb.compiled = core.recompile_batch(&pb.source)?;
+                    } else {
+                        // Earlier batches in this drain may have
+                        // populated the cache since this batch compiled
+                        // — replay their results instead of re-sensing.
+                        core.refresh_cache_hits(&mut pb.compiled);
+                    }
+                    let mut outs: Vec<BitVec> =
+                        (0..pb.compiled.queries()).map(|_| BitVec::zeros(0)).collect();
+                    let mut own = DieQueues::new(dies);
+                    let (batch_stats, failures) =
+                        core.execute_compiled(&pb.compiled, &mut outs, Some(&mut own))?;
+                    Ok((outs, batch_stats, failures, own))
+                })();
+                match step {
+                    Ok((outs, batch_stats, failures, own)) => {
+                        stats.batches += 1;
+                        stats.senses += batch_stats.senses;
+                        combined.merge(&own);
+                        core.die_load.merge(&own);
+                        per_batch.push(own);
+                        executed_any = true;
+                        // Per-query failure isolation carries through
+                        // the async path: the ticket's results report
+                        // which queries were unanswerable while the
+                        // rest of the batch retired normally.
+                        self.session.retire(
+                            pb.seq,
+                            BatchResults { results: outs, stats: batch_stats, failures },
+                        );
+                    }
+                    Err(e) => {
+                        // The failed batch never retires; release its
+                        // claim so waiters wake and report UnknownTicket
+                        // instead of parking. Batches still pending stay
+                        // queued for the next drain.
+                        self.session.abandon(&[pb.seq]);
+                        return Err(e);
+                    }
+                }
             }
-            if self.pending_scrub() > 0 {
-                let (scrubbed, deferred) = self.execute_scrub(&mut combined, budget)?;
-                stats.maintenance.pages_scrubbed = scrubbed;
-                stats.maintenance.scrubs_deferred = deferred;
-            }
+            let overlap = overlap_report(&per_batch);
+            stats.combined_critical_path_us = overlap.combined_critical_us;
+            stats.serial_critical_path_us = overlap.serial_critical_us;
+            stats.dies_used = combined.dies_busy();
+            overlap_budget_us = overlap.combined_critical_us;
+            stats.health = core.health();
         }
-        stats.health = self.health();
-        // Pass 2 of the static analyzer: cross-check the whole device
-        // metadata after the drain mutated it (debug builds only — see
-        // `crate::audit`).
-        #[cfg(debug_assertions)]
-        crate::audit::enforce_device(self);
+        // Background tail: queued maintenance and scrubbing ride the
+        // drain — migration and scrub jobs fill the per-die idle slack
+        // up to the configured critical-path budget (what doesn't fit
+        // stays queued for the next pass). Structural mutation, so this
+        // takes the write lock; the debug-build device audit (pass 2 of
+        // the static analyzer) runs under the same exclusive guard — a
+        // consistent snapshot no concurrent drain can shear.
+        let needs_bg = !self.session.jobs().is_empty()
+            || scrub_scan_hit
+            || scrub_backlog
+            || (cfg!(debug_assertions) && executed_any);
+        if needs_bg {
+            let mut core = self.core_write();
+            core.schedule_scrub();
+            if !self.session.jobs().is_empty() || core.pending_scrub() > 0 {
+                let budget = (overlap_budget_us * core.maintenance_cfg.slack_factor)
+                    .max(core.maintenance_cfg.slack_floor_us);
+                if !self.session.jobs().is_empty() {
+                    stats.maintenance = core.execute_maintenance(&mut combined, budget)?;
+                }
+                if core.pending_scrub() > 0 {
+                    let (scrubbed, deferred) = core.execute_scrub(&mut combined, budget)?;
+                    stats.maintenance.pages_scrubbed = scrubbed;
+                    stats.maintenance.scrubs_deferred = deferred;
+                }
+                stats.health = core.health();
+            }
+            #[cfg(debug_assertions)]
+            crate::audit::enforce_device(&core);
+        }
         Ok(stats)
     }
 
@@ -570,31 +873,51 @@ impl FlashCosmosDevice {
     /// no implicit bound, because silently dropping results a ticket
     /// still references would turn a memory policy into a correctness
     /// surprise.
-    pub fn discard_retired(&mut self) -> usize {
-        let dropped = self.session.retired.len();
-        self.session.retired.clear();
-        dropped
+    pub fn discard_retired(&self) -> usize {
+        self.session.discard_all_retired()
     }
 
     /// Retires one async batch: drains the queues if the ticket is still
     /// in flight, then hands back its [`BatchResults`]. Each ticket can
     /// be waited on once.
     ///
+    /// If another thread has already claimed the ticket's batch, this
+    /// parks on the session's retire condvar — **without** holding the
+    /// device lock — until the batch lands (or its drain fails, in
+    /// which case the ticket reports [`FcError::UnknownTicket`]).
+    ///
     /// # Errors
     ///
     /// [`FcError::UnknownTicket`] for an already-waited (or foreign)
     /// ticket, plus anything [`FlashCosmosDevice::drain`] can return.
-    pub fn wait(&mut self, ticket: Ticket) -> Result<BatchResults, FcError> {
-        if !self.session.retired.contains_key(&ticket.seq)
-            && self.session.pending.iter().any(|p| p.seq == ticket.seq)
-        {
-            self.drain()?;
+    pub fn wait(&self, ticket: Ticket) -> Result<BatchResults, FcError> {
+        loop {
+            if let Some(results) = self.session.take_retired(ticket.seq) {
+                return Ok(results);
+            }
+            if self.session.is_pending(ticket.seq) {
+                self.drain()?;
+                continue;
+            }
+            if let Some(results) = self.session.wait_retired(ticket.seq) {
+                return Ok(results);
+            }
+            // Not retired, not pending, not executing. It may have
+            // hopped pending → executing → retired between our checks:
+            // one final sweep before declaring the ticket unknown.
+            if let Some(results) = self.session.take_retired(ticket.seq) {
+                return Ok(results);
+            }
+            if self.session.is_pending(ticket.seq) || self.session.is_executing(ticket.seq) {
+                continue;
+            }
+            return Err(FcError::UnknownTicket(ticket.seq));
         }
-        self.session.retired.remove(&ticket.seq).ok_or(FcError::UnknownTicket(ticket.seq))
     }
 
     /// Read-only view of the session state (in-flight batches, cache
-    /// counters).
+    /// counters). Does not take the device lock — the session carries
+    /// its own mutex shards.
     pub fn session(&self) -> &Session {
         &self.session
     }
@@ -603,13 +926,13 @@ impl FlashCosmosDevice {
     /// (evicting the admission policy's victims down to the bound). `0`
     /// disables caching — the cold-cache reference configuration the
     /// soundness tests compare against.
-    pub fn set_result_cache_capacity(&mut self, capacity: usize) {
-        self.session.cache.set_capacity(capacity);
+    pub fn set_result_cache_capacity(&self, capacity: usize) {
+        self.session.cache().set_capacity(capacity);
     }
 
     /// Drops every memoized result (counters survive).
-    pub fn clear_result_cache(&mut self) {
-        self.session.cache.clear();
+    pub fn clear_result_cache(&self) {
+        self.session.cache().clear();
     }
 
     /// Installs a result-cache admission/eviction policy (see
@@ -618,8 +941,8 @@ impl FlashCosmosDevice {
     /// [`crate::maintenance::FifoAdmission`] restores the oldest-first
     /// bound. Resident entries keep their history; only future victim
     /// choices change.
-    pub fn set_cache_admission(&mut self, policy: Box<dyn CacheAdmission>) {
-        self.session.cache.set_policy(policy);
+    pub fn set_cache_admission(&self, policy: Box<dyn CacheAdmission>) {
+        self.session.cache().set_policy(policy);
     }
 }
 
@@ -661,7 +984,7 @@ mod tests {
         assert_eq!(drained.batches, 1);
         assert!(drained.senses > 0);
         assert_eq!(dev.session().in_flight(), 0);
-        let results = ticket.wait(&mut dev).unwrap();
+        let results = ticket.wait(&dev).unwrap();
         assert_eq!(results.results[0], expect);
         // Double-wait is a proper error, not a panic or a stale result.
         assert!(matches!(dev.wait(ticket).unwrap_err(), FcError::UnknownTicket(_)));
@@ -696,7 +1019,7 @@ mod tests {
         assert_eq!(dev.discard_retired(), 2);
         assert_eq!(dev.session().retired(), 0);
         assert!(matches!(dev.wait(t1).unwrap_err(), FcError::UnknownTicket(_)));
-        assert!(matches!(t2.wait(&mut dev).unwrap_err(), FcError::UnknownTicket(_)));
+        assert!(matches!(t2.wait(&dev).unwrap_err(), FcError::UnknownTicket(_)));
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! physical page (the parity lives in what real drives call the spare
 //! area): see [`SsdDevice::logical_page_bits`].
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard};
+
 use fc_bits::BitVec;
 use fc_nand::chip::NandChip;
 use fc_nand::command::Command;
@@ -134,29 +137,90 @@ pub struct ReadHealth {
     pub uncorrectable: u64,
 }
 
+/// Atomic counterparts of [`ReadHealth`]: the read path bumps these
+/// under a shared reference, so concurrent drains never serialize on a
+/// statistics lock.
+#[derive(Debug, Default)]
+struct HealthCounters {
+    reads: AtomicU64,
+    bits_corrected: AtomicU64,
+    retry_reads: AtomicU64,
+    retry_recoveries: AtomicU64,
+    uncorrectable: AtomicU64,
+}
+
+impl HealthCounters {
+    fn snapshot(&self) -> ReadHealth {
+        ReadHealth {
+            reads: self.reads.load(Ordering::Relaxed),
+            bits_corrected: self.bits_corrected.load(Ordering::Relaxed),
+            retry_reads: self.retry_reads.load(Ordering::Relaxed),
+            retry_recoveries: self.retry_recoveries.load(Ordering::Relaxed),
+            uncorrectable: self.uncorrectable.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Reusable controller I/O buffers (ECC codec scratch plus the staging
+/// prefix handed to the decoder). One page encode/decode runs per I/O
+/// job, so the buffers persist across jobs instead of reallocating;
+/// they sit behind one mutex because only ECC-protected (conventional)
+/// pages touch them — the raw Flash-Cosmos hot path never takes it.
+#[derive(Debug, Default)]
+struct IoScratch {
+    ecc: EccScratch,
+    stored: BitVec,
+}
+
+/// Recovers the guard from a poisoned mutex: every critical section in
+/// this module is a short, self-contained update, so a panicking thread
+/// (e.g. an `fc_audit` Deny panic on the core layer above) cannot leave
+/// these structures half-written.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Read-only view of one die's chip, held under its per-die lock.
+/// Mutable access routes through [`SsdDevice::chip_exec`] (the
+/// execution engine) or [`SsdDevice::chip_mut`] (fault injection) so
+/// `fc-xtask lint-mutators` can police every raw mutation path.
+pub struct ChipRef<'a>(MutexGuard<'a, NandChip>);
+
+impl std::ops::Deref for ChipRef<'_> {
+    type Target = NandChip;
+
+    fn deref(&self) -> &NandChip {
+        &self.0
+    }
+}
+
 /// The functional SSD.
+///
+/// Interior-mutable: every I/O entry point takes `&self` so N threads
+/// can drive independent dies concurrently. Lock map — per-die chip
+/// mutexes (the parallelism grain), the FTL behind an `RwLock`
+/// (translation reads dominate; allocation/trim take the write side),
+/// controller scratch and the energy meter behind leaf mutexes, and
+/// read-health counters as atomics. Lock order: FTL before chip before
+/// {scratch, energy}; no code path acquires the FTL while holding a
+/// chip guard.
 pub struct SsdDevice {
     config: SsdConfig,
-    chips: Vec<NandChip>,
-    ftl: Ftl,
+    chips: Vec<Mutex<NandChip>>,
+    ftl: RwLock<Ftl>,
     codec: PageCodec,
-    energy: EnergyMeter,
-    /// Reusable ECC buffers: one page encode/decode runs per I/O job, so
-    /// the codec scratch persists across jobs instead of reallocating.
-    ecc_scratch: EccScratch,
-    /// Reusable staging buffer for the stored-page prefix handed to the
-    /// decoder.
-    stored_buf: BitVec,
+    energy: Mutex<EnergyMeter>,
+    scratch: Mutex<IoScratch>,
     /// Maximum shifted-Vref re-senses after a nominal decode failure.
     read_retry_budget: usize,
-    health: ReadHealth,
+    health: HealthCounters,
 }
 
 impl std::fmt::Debug for SsdDevice {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SsdDevice")
             .field("config", &self.config)
-            .field("mapped_pages", &self.ftl.mapped_pages())
+            .field("mapped_pages", &self.ftl().mapped_pages())
             .finish_non_exhaustive()
     }
 }
@@ -191,26 +255,25 @@ impl SsdDevice {
                     ..ChipConfig::paper()
                 }
                 .with_seed(0xD1E0 + i as u64);
-                NandChip::new(chip_config)
+                Mutex::new(NandChip::new(chip_config))
             })
             .collect();
-        let ftl = Ftl::new(&config);
+        let ftl = RwLock::new(Ftl::new(&config));
         Self {
             config,
             chips,
             ftl,
             codec: PageCodec::new(EccConfig::small()),
-            energy: EnergyMeter::new(),
-            ecc_scratch: EccScratch::new(),
-            stored_buf: BitVec::default(),
+            energy: Mutex::new(EnergyMeter::new()),
+            scratch: Mutex::new(IoScratch::default()),
             read_retry_budget: 6,
-            health: ReadHealth::default(),
+            health: HealthCounters::default(),
         }
     }
 
     /// Read-path health counters since construction.
     pub fn health(&self) -> ReadHealth {
-        self.health
+        self.health.snapshot()
     }
 
     /// The maximum number of shifted-Vref retry senses per failed read.
@@ -236,9 +299,16 @@ impl SsdDevice {
         &self.config
     }
 
-    /// The FTL (read access for placement inspection).
-    pub fn ftl(&self) -> &Ftl {
-        &self.ftl
+    /// The FTL (read access for placement inspection). Returns the read
+    /// guard; translation lookups under it run concurrently across
+    /// threads. Do not hold it across a call that allocates or trims.
+    pub fn ftl(&self) -> RwLockReadGuard<'_, Ftl> {
+        self.ftl.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The FTL write guard — allocation, trim and remap go through here.
+    fn ftl_mut(&self) -> std::sync::RwLockWriteGuard<'_, Ftl> {
+        self.ftl.write().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Mutable FTL access for the `flash_cosmos::audit` mutation harness
@@ -249,7 +319,7 @@ impl SsdDevice {
     /// reference outside the audit allowlist.
     #[doc(hidden)]
     pub fn ftl_mut_for_audit(&mut self) -> &mut Ftl {
-        &mut self.ftl
+        self.ftl.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// The ECC correction margin as a fraction: `t / n` of the current
@@ -273,28 +343,38 @@ impl SsdDevice {
         (page_bits / n) * k
     }
 
-    /// Chip of one die.
-    pub fn chip(&self, die: DieId) -> &NandChip {
-        &self.chips[die.flat(&self.config)]
+    /// Chip of one die (read-only view under the die's lock).
+    pub fn chip(&self, die: DieId) -> ChipRef<'_> {
+        ChipRef(lock(&self.chips[die.flat(&self.config)]))
     }
 
-    /// Mutable chip of one die (the Flash-Cosmos engine drives MWS
-    /// through this).
+    /// Exclusive chip guard of one die — the Flash-Cosmos execution
+    /// engine drives MWS programs through this. A lock-guarded mutation
+    /// chokepoint: `fc-xtask lint-mutators` flags references outside
+    /// the engine and the suites.
+    pub fn chip_exec(&self, die: DieId) -> MutexGuard<'_, NandChip> {
+        lock(&self.chips[die.flat(&self.config)])
+    }
+
+    /// Mutable chip of one die (fault injection and seeded corruption;
+    /// requires exclusive device access, so no lock is taken).
     pub fn chip_mut(&mut self, die: DieId) -> &mut NandChip {
-        &mut self.chips[die.flat(&self.config)]
+        let flat = die.flat(&self.config);
+        self.chips[flat].get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Sets the equivalent retention age on every chip.
     pub fn set_retention_months(&mut self, months: f64) {
         for c in &mut self.chips {
-            c.set_retention_months(months);
+            c.get_mut().unwrap_or_else(PoisonError::into_inner).set_retention_months(months);
         }
     }
 
     /// Aggregated NAND energy across chips plus device-level transfers,
     /// µJ.
     pub fn energy_uj(&self) -> f64 {
-        self.energy.total_uj() + self.chips.iter().map(|c| c.stats().energy_uj).sum::<f64>()
+        lock(&self.energy).total_uj()
+            + self.chips.iter().map(|c| lock(c).stats().energy_uj).sum::<f64>()
     }
 
     /// Writes a logical page.
@@ -303,7 +383,7 @@ impl SsdDevice {
     ///
     /// Fails on payload-size mismatch, FTL exhaustion, or chip errors.
     pub fn write(
-        &mut self,
+        &self,
         lpn: u64,
         payload: &BitVec,
         opts: WriteOptions,
@@ -313,16 +393,16 @@ impl SsdDevice {
             return Err(DeviceError::PayloadSize { got: payload.len(), expected });
         }
         let stored = self.build_stored(payload, opts.meta);
-        let ppa = self.ftl.allocate(lpn, opts.placement, opts.meta)?;
+        let ppa = self.ftl_mut().allocate(lpn, opts.placement, opts.meta)?;
         let addr = wl_addr(ppa);
         let die = ppa.plane.die;
-        self.chips[die.flat(&self.config)].execute(Command::Program {
+        self.chip_exec(die).execute(Command::Program {
             addr,
             data: stored,
             scheme: opts.meta.scheme,
             randomize: opts.meta.randomized,
         })?;
-        self.energy.add_channel_bytes(self.config.page_bytes as u64);
+        lock(&self.energy).add_channel_bytes(self.config.page_bytes as u64);
         Ok(ppa)
     }
 
@@ -341,7 +421,7 @@ impl SsdDevice {
     /// ([`NandError::InvalidMlsense`] / [`DeviceError::PayloadSize`]);
     /// otherwise fails like [`write`](Self::write).
     pub fn write_ml(
-        &mut self,
+        &self,
         lpns: &[u64],
         payloads: &[BitVec],
         placement: PlacementHint,
@@ -365,19 +445,19 @@ impl SsdDevice {
         }
         let stored: Vec<BitVec> =
             payloads.iter().map(|p| if inverted { p.not() } else { p.clone() }).collect();
-        let ppa =
-            self.ftl.allocate(lpns[0], placement, PageMeta::multi_level(scheme, 0, inverted))?;
-        for (b, &lpn) in lpns.iter().enumerate().skip(1) {
-            self.ftl.alias(lpn, lpns[0], PageMeta::multi_level(scheme, b as u8, inverted))?;
-        }
+        let ppa = {
+            let mut ftl = self.ftl_mut();
+            let ppa =
+                ftl.allocate(lpns[0], placement, PageMeta::multi_level(scheme, 0, inverted))?;
+            for (b, &lpn) in lpns.iter().enumerate().skip(1) {
+                ftl.alias(lpn, lpns[0], PageMeta::multi_level(scheme, b as u8, inverted))?;
+            }
+            ppa
+        };
         let addr = wl_addr(ppa);
         let die = ppa.plane.die;
-        self.chips[die.flat(&self.config)].execute(Command::ProgramMl {
-            addr,
-            pages: stored,
-            scheme,
-        })?;
-        self.energy.add_channel_bytes(bits as u64 * self.config.page_bytes as u64);
+        self.chip_exec(die).execute(Command::ProgramMl { addr, pages: stored, scheme })?;
+        lock(&self.energy).add_channel_bytes(bits as u64 * self.config.page_bytes as u64);
         Ok(ppa)
     }
 
@@ -387,8 +467,8 @@ impl SsdDevice {
     /// carry no ECC, so there is no retry ladder — single-bit storage owns
     /// the reliability machinery.
     fn read_ml(
-        &mut self,
-        flat: usize,
+        &self,
+        chip: &mut NandChip,
         addr: WlAddr,
         meta: PageMeta,
         mode: CellMode,
@@ -396,13 +476,13 @@ impl SsdDevice {
         let page = meta.ml_page as usize;
         let mut senses = Vec::new();
         for t in mlsense::transition_levels(mode, page) {
-            let raw = self.chips[flat]
+            let raw = chip
                 .execute(Command::ReadLevel { addr, level: t })?
                 .into_page()
                 .expect("a level read produces a page");
             senses.push(raw);
         }
-        self.energy.add_channel_bytes(self.config.page_bytes as u64);
+        lock(&self.energy).add_channel_bytes(self.config.page_bytes as u64);
         let decoded = mlsense::page_from_senses(&senses, mode, page);
         Ok(if meta.inverted { decoded.not() } else { decoded })
     }
@@ -421,28 +501,33 @@ impl SsdDevice {
     ///
     /// Fails on unmapped pages, chip errors, or ECC failures that stay
     /// uncorrectable after the whole retry ladder.
-    pub fn read(&mut self, lpn: u64) -> Result<BitVec, DeviceError> {
-        let ppa = self.ftl.translate(lpn).ok_or(DeviceError::NotMapped(lpn))?;
-        let meta = self.ftl.meta(lpn).expect("mapped pages always carry metadata");
+    pub fn read(&self, lpn: u64) -> Result<BitVec, DeviceError> {
+        let (ppa, meta) = {
+            let ftl = self.ftl();
+            let ppa = ftl.translate(lpn).ok_or(DeviceError::NotMapped(lpn))?;
+            (ppa, ftl.meta(lpn).expect("mapped pages always carry metadata"))
+        };
         let addr = wl_addr(ppa);
-        let flat = ppa.plane.die.flat(&self.config);
-        self.health.reads += 1;
+        self.health.reads.fetch_add(1, Ordering::Relaxed);
         let mode = meta.scheme.cell_mode();
+        // One chip guard for the whole read, retry ladder included: the
+        // stress state sampled for the ladder stays consistent with the
+        // senses it ranks.
+        let mut chip = self.chip_exec(ppa.plane.die);
         if mode.bits_per_cell() > 1 {
-            return self.read_ml(flat, addr, meta, mode);
+            return self.read_ml(&mut chip, addr, meta, mode);
         }
-        let raw = self.chips[flat]
+        let raw = chip
             .execute(Command::Read { addr, inverse: false })?
             .into_page()
             .expect("read produces a page");
-        self.energy.add_channel_bytes(self.config.page_bytes as u64);
-        if let Some(decoded) = self.decode_stored(flat, addr, meta, raw) {
+        lock(&self.energy).add_channel_bytes(self.config.page_bytes as u64);
+        if let Some(decoded) = self.decode_stored(&chip, addr, meta, raw) {
             return Ok(if meta.inverted { decoded.not() } else { decoded });
         }
         // Tier-1 recovery: shifted-Vref re-senses ranked by the block's
         // modeled stress.
         let block = addr.block();
-        let chip = &self.chips[flat];
         let stress = fc_nand::stress::StressState {
             pec: chip.block_pec(block)?,
             retention_months: chip.retention_months(),
@@ -455,45 +540,41 @@ impl SsdDevice {
             self.read_retry_budget,
         );
         for offset in ladder {
-            self.health.retry_reads += 1;
-            let raw = self.chips[flat]
-                .read_shifted(addr, offset)?
-                .into_page()
-                .expect("read produces a page");
-            self.energy.add_channel_bytes(self.config.page_bytes as u64);
-            if let Some(decoded) = self.decode_stored(flat, addr, meta, raw) {
-                self.health.retry_recoveries += 1;
+            self.health.retry_reads.fetch_add(1, Ordering::Relaxed);
+            let raw = chip.read_shifted(addr, offset)?.into_page().expect("read produces a page");
+            lock(&self.energy).add_channel_bytes(self.config.page_bytes as u64);
+            if let Some(decoded) = self.decode_stored(&chip, addr, meta, raw) {
+                self.health.retry_recoveries.fetch_add(1, Ordering::Relaxed);
                 return Ok(if meta.inverted { decoded.not() } else { decoded });
             }
         }
-        self.health.uncorrectable += 1;
+        self.health.uncorrectable.fetch_add(1, Ordering::Relaxed);
         Err(DeviceError::Uncorrectable { lpn })
     }
 
     /// Descrambles and (when ECC-protected) decodes one raw sensed page.
     /// `None` means the codeword was uncorrectable at this sense level.
     fn decode_stored(
-        &mut self,
-        die_flat: usize,
+        &self,
+        chip: &NandChip,
         addr: WlAddr,
         meta: PageMeta,
         raw: BitVec,
     ) -> Option<BitVec> {
-        let descrambled = if meta.randomized {
-            self.chips[die_flat].randomizer().derandomize(addr, &raw)
-        } else {
-            raw
-        };
+        let descrambled =
+            if meta.randomized { chip.randomizer().derandomize(addr, &raw) } else { raw };
         if !meta.ecc {
             return Some(descrambled);
         }
         let payload_bits = self.logical_page_bits(true);
         let n = self.codec.code().n();
         let words = payload_bits / self.codec.code().k();
-        descrambled.slice_into(0, words * n, &mut self.stored_buf);
-        match self.codec.decode_page_with(&self.stored_buf, payload_bits, &mut self.ecc_scratch) {
+        let mut scratch = lock(&self.scratch);
+        let IoScratch { ecc, stored } = &mut *scratch;
+        descrambled.slice_into(0, words * n, stored);
+        match self.codec.decode_page_with(stored, payload_bits, ecc) {
             PageDecode::Corrected { data, corrected } => {
-                self.health.bits_corrected += corrected as u64;
+                self.health.bits_corrected.fetch_add(corrected as u64, Ordering::Relaxed);
                 Some(data)
             }
             PageDecode::Uncorrectable => None,
@@ -502,27 +583,29 @@ impl SsdDevice {
 
     /// The physical wordline address of a logical page, if mapped.
     pub fn locate(&self, lpn: u64) -> Option<(DieId, WlAddr)> {
-        self.ftl.translate(lpn).map(|ppa| (ppa.plane.die, wl_addr(ppa)))
+        self.ftl().translate(lpn).map(|ppa| (ppa.plane.die, wl_addr(ppa)))
     }
 
     /// Unmaps a logical page (trim): out-of-place overwrites retire the
     /// superseded page's mapping. The physical wordline keeps its stale
     /// bits until a (future) garbage collector erases the block — exactly
     /// like a real drive. Returns the freed physical address, if any.
-    pub fn trim(&mut self, lpn: u64) -> Option<Ppa> {
-        self.ftl.trim(lpn)
+    pub fn trim(&self, lpn: u64) -> Option<Ppa> {
+        self.ftl_mut().trim(lpn)
     }
 
     /// Assembles the raw stored page for a logical payload: optional
     /// inversion (§6.1), optional ECC, padding to the physical page size.
     /// (The returned page is owned by the chip afterwards; only the
     /// intermediate codec buffers are reused.)
-    fn build_stored(&mut self, payload: &BitVec, meta: PageMeta) -> BitVec {
+    fn build_stored(&self, payload: &BitVec, meta: PageMeta) -> BitVec {
         let logical = if meta.inverted { payload.not() } else { payload.clone() };
         if meta.ecc {
-            self.codec.encode_page_into(&logical, &mut self.stored_buf, &mut self.ecc_scratch);
+            let mut scratch = lock(&self.scratch);
+            let IoScratch { ecc, stored } = &mut *scratch;
+            self.codec.encode_page_into(&logical, stored, ecc);
             let mut page = BitVec::zeros(self.config.page_bits());
-            page.copy_from(0, &self.stored_buf);
+            page.copy_from(0, stored);
             page
         } else {
             logical
@@ -544,13 +627,17 @@ impl SsdDevice {
     ///
     /// Fails on unmapped pages, placement exhaustion, or chip errors.
     pub fn migrate(
-        &mut self,
+        &self,
         lpn: u64,
         placement: PlacementHint,
         meta: PageMeta,
     ) -> Result<bool, DeviceError> {
-        let old_meta = self.ftl.meta(lpn).ok_or(DeviceError::NotMapped(lpn))?;
-        let old_ppa = self.ftl.translate(lpn).ok_or(DeviceError::NotMapped(lpn))?;
+        let (old_meta, old_ppa) = {
+            let ftl = self.ftl();
+            let meta = ftl.meta(lpn).ok_or(DeviceError::NotMapped(lpn))?;
+            let ppa = ftl.translate(lpn).ok_or(DeviceError::NotMapped(lpn))?;
+            (meta, ppa)
+        };
         if old_meta.scheme.cell_mode().bits_per_cell() > 1
             || meta.scheme.cell_mode().bits_per_cell() > 1
         {
@@ -567,9 +654,12 @@ impl SsdDevice {
         // remapping: cross-die moves (and metadata changes) must read the
         // logical payload first — reading after remap would chase the new
         // address.
-        let target_plane = match placement {
-            PlacementHint::Grouped { group, plane } => self.ftl.group_plane(group, plane),
-            PlacementHint::Striped => self.ftl.next_striped_plane(),
+        let target_plane = {
+            let ftl = self.ftl();
+            match placement {
+                PlacementHint::Grouped { group, plane } => ftl.group_plane(group, plane),
+                PlacementHint::Striped => ftl.next_striped_plane(),
+            }
         };
         let same_die = crate::topology::PlaneId::from_flat(target_plane, &self.config).die
             == old_ppa.plane.die;
@@ -578,25 +668,23 @@ impl SsdDevice {
         // descramble with the wrong keystream on read.
         let use_copyback = compatible && same_die && !meta.randomized;
         let payload = if use_copyback { None } else { Some(self.read(lpn)?) };
-        let (old, new) = self.ftl.remap(lpn, placement, meta)?;
+        let (old, new) = self.ftl_mut().remap(lpn, placement, meta)?;
         let old_addr = wl_addr(old);
         let new_addr = wl_addr(new);
         if use_copyback {
             debug_assert_eq!(old.plane.die, new.plane.die, "peeked die must match allocation");
-            let die = old.plane.die;
-            self.chips[die.flat(&self.config)]
+            self.chip_exec(old.plane.die)
                 .execute(Command::Copyback { from: old_addr, to: new_addr })?;
             return Ok(true);
         }
         let stored = self.build_stored(payload.as_ref().expect("read above"), meta);
-        let die = new.plane.die;
-        self.chips[die.flat(&self.config)].execute(Command::Program {
+        self.chip_exec(new.plane.die).execute(Command::Program {
             addr: new_addr,
             data: stored,
             scheme: meta.scheme,
             randomize: meta.randomized,
         })?;
-        self.energy.add_channel_bytes(2 * self.config.page_bytes as u64);
+        lock(&self.energy).add_channel_bytes(2 * self.config.page_bytes as u64);
         Ok(false)
     }
 }
@@ -624,7 +712,7 @@ mod tests {
 
     #[test]
     fn conventional_roundtrip() {
-        let mut dev = device();
+        let dev = device();
         let data = payload(&dev, true, 1);
         dev.write(10, &data, WriteOptions::conventional()).unwrap();
         assert_eq!(dev.read(10).unwrap(), data);
@@ -632,7 +720,7 @@ mod tests {
 
     #[test]
     fn flash_cosmos_roundtrip_with_inversion() {
-        let mut dev = device();
+        let dev = device();
         let data = payload(&dev, false, 2);
         dev.write(
             20,
@@ -690,7 +778,7 @@ mod tests {
         // Physics fidelity at heavy stress: retention drags programmed
         // cells toward the nominal Vref, so some reads fail the nominal
         // decode. The shifted-Vref ladder must recover every one of them.
-        let (mut dev, data) = aged_physics_device(7);
+        let (dev, data) = aged_physics_device(7);
         for _ in 0..200 {
             assert_eq!(dev.read(5).unwrap(), data, "ladder must keep reads bit-exact");
         }
@@ -721,20 +809,20 @@ mod tests {
 
     #[test]
     fn payload_size_is_validated() {
-        let mut dev = device();
+        let dev = device();
         let err = dev.write(1, &BitVec::zeros(7), WriteOptions::conventional()).unwrap_err();
         assert!(matches!(err, DeviceError::PayloadSize { got: 7, expected: 180 }));
     }
 
     #[test]
     fn unmapped_read_fails() {
-        let mut dev = device();
+        let dev = device();
         assert!(matches!(dev.read(99).unwrap_err(), DeviceError::NotMapped(99)));
     }
 
     #[test]
     fn grouped_writes_share_a_block() {
-        let mut dev = device();
+        let dev = device();
         for i in 0..4 {
             let data = payload(&dev, false, 10 + i);
             dev.write(
@@ -752,7 +840,7 @@ mod tests {
 
     #[test]
     fn mlc_roundtrip_reads_each_logical_page() {
-        let mut dev = device();
+        let dev = device();
         let pages: Vec<BitVec> = (0..2).map(|i| payload(&dev, false, 70 + i)).collect();
         dev.write_ml(&[40, 41], &pages, PlacementHint::Striped, ProgramScheme::Mlc, false).unwrap();
         // Both logical pages live on one physical wordline.
@@ -763,7 +851,7 @@ mod tests {
 
     #[test]
     fn tlc_roundtrip_with_inversion() {
-        let mut dev = device();
+        let dev = device();
         let pages: Vec<BitVec> = (0..3).map(|i| payload(&dev, false, 80 + i)).collect();
         dev.write_ml(&[50, 51, 52], &pages, PlacementHint::Striped, ProgramScheme::Tlc, true)
             .unwrap();
@@ -774,7 +862,7 @@ mod tests {
 
     #[test]
     fn ml_write_validates_scheme_and_page_count() {
-        let mut dev = device();
+        let dev = device();
         let pages: Vec<BitVec> = (0..2).map(|i| payload(&dev, false, 90 + i)).collect();
         // Single-bit schemes have no aliased pages.
         let err = dev
@@ -790,7 +878,7 @@ mod tests {
 
     #[test]
     fn ml_pages_cannot_migrate() {
-        let mut dev = device();
+        let dev = device();
         let pages: Vec<BitVec> = (0..2).map(|i| payload(&dev, false, 95 + i)).collect();
         dev.write_ml(&[60, 61], &pages, PlacementHint::Striped, ProgramScheme::Mlc, false).unwrap();
         let err = dev
@@ -805,7 +893,7 @@ mod tests {
 
     #[test]
     fn striped_migration_uses_copyback_on_the_same_die() {
-        let mut dev = device();
+        let dev = device();
         // Striped raw pages (no randomization — address-dependent
         // keystreams forbid copyback for scrambled data).
         let raw =
@@ -833,7 +921,7 @@ mod tests {
 
     #[test]
     fn energy_accumulates() {
-        let mut dev = device();
+        let dev = device();
         let before = dev.energy_uj();
         let data = payload(&dev, true, 4);
         dev.write(1, &data, WriteOptions::conventional()).unwrap();

@@ -237,6 +237,83 @@ impl DieQueues {
     }
 }
 
+/// Concurrent die-occupancy tracker: [`DieQueues`] split per die, one
+/// mutex shard per die, so N threads executing batches on *different*
+/// dies account their queue time without contending on one lock.
+///
+/// Each shard guards only its own die's accumulated busy time; there is
+/// no cross-shard invariant, so shards are locked one at a time and the
+/// lock order is trivially acyclic. [`SharedDieQueues::snapshot`]
+/// reassembles a plain [`DieQueues`] by visiting shards in die order —
+/// the result is a *consistent-enough* occupancy picture for reporting
+/// (concurrent pushes may land before or after the snapshot visits
+/// their die, exactly like a relaxed counter read).
+#[derive(Debug)]
+pub struct SharedDieQueues {
+    shards: Vec<std::sync::Mutex<DieShard>>,
+}
+
+#[derive(Debug, Default)]
+struct DieShard {
+    busy_us: f64,
+}
+
+impl SharedDieQueues {
+    /// An empty tracker with one shard per die.
+    pub fn new(dies: usize) -> Self {
+        Self { shards: (0..dies).map(|_| std::sync::Mutex::new(DieShard::default())).collect() }
+    }
+
+    fn shard(&self, die: usize) -> std::sync::MutexGuard<'_, DieShard> {
+        self.shards[die.min(self.shards.len().saturating_sub(1))]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Queues `latency_us` of work on a die (flat index). Out-of-range
+    /// dies fold into the last shard rather than growing — the shard
+    /// count is fixed at construction so no resize lock is needed.
+    pub fn push(&self, die: usize, latency_us: f64) {
+        if self.shards.is_empty() {
+            return;
+        }
+        self.shard(die).busy_us += latency_us;
+    }
+
+    /// Folds a per-batch [`DieQueues`] into the shared shards, one die
+    /// at a time (no global lock): the per-die occupancy accumulated by
+    /// one drain joins the device-lifetime totals. Fill-in attribution
+    /// stays per-drain (in drain-stats reporting); the shared tracker
+    /// keeps raw busy time only.
+    pub fn merge(&self, other: &DieQueues) {
+        if self.shards.is_empty() {
+            return;
+        }
+        for (die, &us) in other.occupancy_us().iter().enumerate() {
+            if us > 0.0 {
+                self.shard(die).busy_us += us;
+            }
+        }
+    }
+
+    /// Reassembles a plain [`DieQueues`] from the shards for reporting.
+    pub fn snapshot(&self) -> DieQueues {
+        let mut out = DieQueues::new(self.shards.len());
+        for (die, shard) in self.shards.iter().enumerate() {
+            let guard = shard.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            out.push(die, guard.busy_us);
+        }
+        out
+    }
+
+    /// Empties every shard.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().unwrap_or_else(std::sync::PoisonError::into_inner).busy_us = 0.0;
+        }
+    }
+}
+
 /// How much die-level overlap saves when several batches drain together
 /// instead of executing back to back.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]

@@ -316,7 +316,7 @@ mod tests {
         use flash_cosmos::device::FlashCosmosDevice;
 
         let inst = mini(8, 256, 0xB141);
-        let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+        let dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
         let ids: Vec<usize> = inst
             .operands
             .iter()

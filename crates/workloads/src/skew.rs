@@ -102,7 +102,7 @@ impl CoQueryWorkload {
     ) -> Result<Self, FcError> {
         assert!(set_size > 0 && set_size <= operands, "set size must fit the operand pool");
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut dev = FlashCosmosDevice::new(config);
+        let dev = FlashCosmosDevice::new(config);
         let bits = dev.config().page_bits();
         let mut data = Vec::with_capacity(operands);
         for i in 0..operands {
@@ -171,7 +171,7 @@ mod tests {
 
     #[test]
     fn scattered_workload_answers_exactly_and_costs_one_sense_per_operand() {
-        let mut w = CoQueryWorkload::scattered(SsdConfig::tiny_test(), 8, 4, 3, 1.0, 7).unwrap();
+        let w = CoQueryWorkload::scattered(SsdConfig::tiny_test(), 8, 4, 3, 1.0, 7).unwrap();
         for rank in 0..w.sets.len() {
             let expr = w.expr(rank);
             let (result, stats) = w.dev.fc_read(&expr).unwrap();

@@ -1,37 +1,46 @@
 //! `fc-xtask` — repo-level checks that `cargo test` cannot express.
 //!
 //! The one subcommand today is `lint-mutators`: the core device funnels
-//! every structural mutation through three chokepoints — `ssd_mut()`
-//! (bumps the epoch and clears the result cache), `chip_mut()` (raw
-//! NAND access for fault injection), and `ftl_mut_for_audit()` (the
-//! `fc_audit` mutation harness's deliberate bypass). A reference to any
-//! of them outside the allowlisted modules is how the invariants the
-//! analyzer checks (see `LINTS.md`) silently rot, so CI fails on one.
+//! every structural mutation through a small set of chokepoints —
+//! `ssd_mut()` (bumps the epoch and clears the result cache),
+//! `chip_mut()` (raw NAND access for fault injection),
+//! `ftl_mut_for_audit()` (the `fc_audit` mutation harness's deliberate
+//! bypass), and since the concurrency refactor the lock-guarded trio:
+//! `chip_exec()` (per-die chip mutex for execute-path programming),
+//! `core_write()` (device write lock for maintenance/scrub/durable
+//! writes), and `core_mut()` (exclusive `&mut` access for config and
+//! fault injection). A reference to any of them outside the allowlisted
+//! modules is how the invariants the analyzer checks (see `LINTS.md`)
+//! silently rot, so CI fails on one.
 //!
 //! Usage: `cargo run -p fc-xtask -- lint-mutators [repo-root]`
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// Tokens whose presence marks raw-mutation access.
-const MUTATOR_TOKENS: [&str; 3] = ["ssd_mut(", "chip_mut(", "ftl_mut_for_audit("];
+/// Tokens whose presence marks raw-mutation access. The first three are
+/// the original `&mut self` funnels; the last three are the lock-guarded
+/// chokepoints the concurrent serving core routes mutation through.
+const MUTATOR_TOKENS: [&str; 6] =
+    ["ssd_mut(", "chip_mut(", "ftl_mut_for_audit(", "chip_exec(", "core_write(", "core_mut("];
 
 /// Files allowed to reference mutator tokens, relative to the repo
 /// root. Definition sites, the chokepoint-discipline call sites behind
 /// them, the audit mutation harness, and the test/bench suites (which
 /// exercise fault injection and seeded corruption by design).
-const ALLOWLIST: [&str; 11] = [
-    "crates/ssd/src/device.rs",       // defines ssd-level accessors
-    "crates/nand/src/chip.rs",        // defines raw chip access
-    "crates/core/src/device.rs",      // defines ssd_mut() + epoch discipline
-    "crates/core/src/batch.rs",       // the execution engine drives chips
-    "crates/core/src/session.rs",     // epoch-invalidation self-test
-    "crates/core/src/recovery.rs",    // fault injection rides chip_mut()
+const ALLOWLIST: [&str; 12] = [
+    "crates/ssd/src/device.rs",   // defines ssd-level accessors + chip_exec()
+    "crates/nand/src/chip.rs",    // defines raw chip access
+    "crates/core/src/device.rs",  // defines core_write()/core_mut() + epoch discipline
+    "crates/core/src/batch.rs",   // the execution engine drives chips via chip_exec()
+    "crates/core/src/session.rs", // drain phase B takes the write lock
+    "crates/core/src/maintenance.rs", // wrapper maintenance rides core_write()
+    "crates/core/src/recovery.rs", // fault injection rides chip_mut()/core_mut()
     "crates/core/src/reliability.rs", // deterministic fault plans
-    "crates/core/src/audit.rs",       // the mutation harness bypass
-    "crates/xtask/src/main.rs",       // this linter names the tokens
-    "crates/bench/benches/micro.rs",  // benches time raw-path costs
-    "tests/",                         // suites corrupt state on purpose
+    "crates/core/src/audit.rs",   // the mutation harness bypass
+    "crates/xtask/src/main.rs",   // this linter names the tokens
+    "crates/bench/benches/micro.rs", // benches time raw-path costs
+    "tests/",                     // suites corrupt state on purpose
 ];
 
 fn main() -> ExitCode {

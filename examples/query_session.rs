@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+    let dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
     let mut rng = StdRng::seed_from_u64(7);
     let bits = dev.config().page_bits();
 
@@ -50,8 +50,8 @@ fn main() {
         drained.overlap_saved_us(),
         drained.dies_used,
     );
-    let r0 = t0.wait(&mut dev).expect("batch 0 results");
-    let _r1 = t1.wait(&mut dev).expect("batch 1 results");
+    let r0 = t0.wait(&dev).expect("batch 0 results");
+    let _r1 = t1.wait(&dev).expect("batch 1 results");
 
     // Re-submit batch 0: every unit replays from the result cache — no
     // compilation against the FTL, no sensing, bit-identical output.

@@ -13,7 +13,7 @@ use rand::SeedableRng;
 fn main() {
     // A miniature SSD with functionally exact chips (geometry is scaled
     // down; the mechanisms are identical to the Table 1 device).
-    let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+    let dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
     let mut rng = StdRng::seed_from_u64(1);
 
     // Ten operand vectors destined for bulk ANDs: store them in the same

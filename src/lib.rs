@@ -41,7 +41,7 @@ mod tests {
     fn demo_device_is_usable() {
         use fc_bits::BitVec;
         use flash_cosmos::{QueryBatch, StoreHints};
-        let mut dev = super::demo_device();
+        let dev = super::demo_device();
         let v = BitVec::ones(64);
         let w = BitVec::zeros(64);
         let hv = dev.fc_write("x", &v, StoreHints::and_group("g")).unwrap();

@@ -203,7 +203,7 @@ proptest! {
 /// Mixed-size batches assemble each query at its own length.
 #[test]
 fn mixed_size_batch_end_to_end() {
-    let mut dev = device();
+    let dev = device();
     let mut rng = StdRng::seed_from_u64(0x517E);
     let long: Vec<BitVec> = (0..3).map(|_| BitVec::random(1500, &mut rng)).collect();
     let short: Vec<BitVec> = (0..2).map(|_| BitVec::random(120, &mut rng)).collect();

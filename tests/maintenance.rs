@@ -55,7 +55,7 @@ fn scattered_operands(
 /// query drop ≥ 2× versus the scattered layout.
 #[test]
 fn regrouping_converges_within_the_drain_slack_budget() {
-    let mut w = CoQueryWorkload::scattered(SsdConfig::tiny_test(), 12, 6, 4, 1.1, 0xC0).unwrap();
+    let w = CoQueryWorkload::scattered(SsdConfig::tiny_test(), 12, 6, 4, 1.1, 0xC0).unwrap();
     let hot = w.expr(0);
     let expected = w.expected(0);
     let mut batch = QueryBatch::new();
@@ -87,7 +87,7 @@ fn regrouping_converges_within_the_drain_slack_budget() {
         m.critical_path_us,
         m.budget_us
     );
-    let results = ticket.wait(&mut w.dev).unwrap();
+    let results = ticket.wait(&w.dev).unwrap();
     assert_eq!(results.results[0], expected, "drained query still bit-exact");
 
     // Warm path: the first post-migration submit cannot be served by the
@@ -211,7 +211,7 @@ fn retired_job_log_is_bounded() {
     assert_eq!(stats.jobs_retired, 4);
     assert_eq!(dev.session().jobs_retired_total(), 4, "the counter sees all retirements");
     assert_eq!(dev.session().retired_jobs().count(), 2, "the log keeps only the newest 2");
-    let names: Vec<&str> = dev.session().retired_jobs().map(|r| r.name.as_str()).collect();
+    let names: Vec<String> = dev.session().retired_jobs().map(|r| r.name.clone()).collect();
     assert_eq!(names, ["op2", "op3"], "oldest entries dropped first");
 }
 
@@ -225,7 +225,7 @@ fn cost_aware_cache_beats_fifo_under_zipf_skew() {
     const STREAM: usize = 400;
 
     let run = |fifo: bool| -> (f64, Vec<BitVec>) {
-        let mut w =
+        let w =
             CoQueryWorkload::scattered(SsdConfig::tiny_test(), 16, SETS, 2, 1.1, 0x21F).unwrap();
         w.dev.set_result_cache_capacity(CAPACITY);
         if fifo {
@@ -363,7 +363,7 @@ fn drain_time_recompile_does_not_double_count_affinity() {
     let v = BitVec::random(dev.config().page_bits(), &mut rng);
     dev.fc_overwrite("op0", &v).unwrap();
     dev.drain().unwrap();
-    ticket.wait(&mut dev).unwrap();
+    ticket.wait(&dev).unwrap();
     let entry = dev.session().affinity().entry(&ids).unwrap();
     assert_eq!(entry.fused, 1, "one submission = one observation, recompile or not");
     assert_eq!(dev.schedule_maintenance(), 0, "a once-queried set is not hot");
@@ -602,7 +602,7 @@ proptest! {
     fn background_maintenance_never_changes_results(seed in any::<u64>()) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut maint = device();
-        let mut cold = device();
+        let cold = device();
         cold.set_result_cache_capacity(0);
 
         let bits = maint.config().page_bits();

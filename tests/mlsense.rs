@@ -43,7 +43,7 @@ fn shuffle<T>(items: &mut [T], rng: &mut StdRng) {
 /// a single-bit operand. Both rounds must match `Expr::eval` bit-exact.
 fn threshold_scenario(seed: u64, n_slc: usize, k_sel: usize) -> Result<(), TestCaseError> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+    let dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
 
     // SLC singles: one co-located group, plain fc_write.
     let mut vectors: Vec<BitVec> = Vec::new();
@@ -168,7 +168,7 @@ fn pinned_seed_replays_bit_identically() {
 #[test]
 fn every_k_matches_on_a_mixed_encoding_set() {
     let mut rng = StdRng::seed_from_u64(0x7157);
-    let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+    let dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
     let mut vectors: Vec<BitVec> = Vec::new();
     for i in 0..2 {
         let v = BitVec::random(BITS, &mut rng);

@@ -104,7 +104,7 @@ fn die_aware_critical_path_beats_die0_serialization() {
 /// shape, instead of `PlanError::PlaneMismatch`.
 #[test]
 fn cross_die_queries_answer_exactly() {
-    let mut dev = device();
+    let dev = device();
     let mut rng = StdRng::seed_from_u64(0xC0DE);
     let bits = 700; // 3 stripes
     let a = BitVec::random(bits, &mut rng);
@@ -136,7 +136,7 @@ fn cross_die_queries_answer_exactly() {
 /// now reuses the die-split machinery and must match ground truth.
 #[test]
 fn parabit_cross_die_regression() {
-    let mut dev = device();
+    let dev = device();
     let mut rng = StdRng::seed_from_u64(0xBA5E);
     let bits = dev.config().page_bits();
     let vs: Vec<BitVec> = (0..4).map(|_| BitVec::random(bits, &mut rng)).collect();
@@ -171,7 +171,7 @@ fn parabit_cross_die_regression() {
 /// an `fc_read` after migration is back to a single sense.
 #[test]
 fn migration_regathers_across_dies() {
-    let mut dev = device();
+    let dev = device();
     let mut rng = StdRng::seed_from_u64(0x6A7);
     let bits = dev.config().page_bits();
     let vs: Vec<BitVec> = (0..3).map(|_| BitVec::random(bits, &mut rng)).collect();
@@ -227,7 +227,7 @@ proptest! {
     /// equivalence for random expressions over die-scattered operands.
     #[test]
     fn die_aware_batch_matches_serial(seed in any::<u64>()) {
-        let mut dev = device();
+        let dev = device();
         // Serial-reference test: disable the result cache so repeated
         // random expressions really re-sense on the serial path.
         dev.set_result_cache_capacity(0);

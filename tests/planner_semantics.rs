@@ -100,7 +100,7 @@ proptest! {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut dev = FlashCosmosDevice::new(fc_ssd::SsdConfig::tiny_test());
+        let dev = FlashCosmosDevice::new(fc_ssd::SsdConfig::tiny_test());
         let vectors: Vec<BitVec> =
             (0..5).map(|_| BitVec::random(600, &mut rng)).collect();
         for (i, v) in vectors.iter().enumerate() {
@@ -134,7 +134,7 @@ proptest! {
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(seed);
         let total = n_and + n_or;
-        let mut dev = FlashCosmosDevice::new(fc_ssd::SsdConfig::tiny_test());
+        let dev = FlashCosmosDevice::new(fc_ssd::SsdConfig::tiny_test());
         let vectors: Vec<BitVec> =
             (0..total).map(|_| BitVec::random(300, &mut rng)).collect();
         for (i, v) in vectors.iter().enumerate() {

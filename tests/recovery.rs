@@ -105,7 +105,7 @@ fn faults_between_submit_and_drain_observe_ground_truth() {
 
     let drained = dev.drain().unwrap();
     assert!(drained.health.parity_rebuilds >= 1, "DrainStats carries the health snapshot");
-    let out = ticket.wait(&mut dev).unwrap();
+    let out = ticket.wait(&dev).unwrap();
     assert!(out.failures.is_empty(), "nothing was lost: {:?}", out.failures);
     let expect = vs.iter().skip(1).fold(vs[0].clone(), |a, v| a.and(v));
     assert_eq!(out.results[q], expect, "drained query observes ground truth");
@@ -118,7 +118,7 @@ fn faults_between_submit_and_drain_observe_ground_truth() {
 #[test]
 fn lost_page_fails_only_the_queries_that_touch_it() {
     // No parity: the stuck block is genuinely unrecoverable.
-    let mut dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
+    let dev = FlashCosmosDevice::new(SsdConfig::tiny_test());
     let mut rng = StdRng::seed_from_u64(0x105E);
     let bad_data = BitVec::random(256, &mut rng);
     let ok_data: Vec<BitVec> = (0..2).map(|_| BitVec::random(256, &mut rng)).collect();
@@ -148,7 +148,7 @@ fn lost_page_fails_only_the_queries_that_touch_it() {
 
     // The async path delivers partial results through the ticket.
     let ticket = dev.submit_async(&batch).unwrap();
-    let out = ticket.wait(&mut dev).unwrap();
+    let out = ticket.wait(&dev).unwrap();
     assert_eq!(out.failures.len(), 1);
     assert_eq!(out.failures[0].query, q_bad);
     assert_eq!(out.results[q_ok], ok_data[0].and(&ok_data[1]));
@@ -204,7 +204,7 @@ fn endurance_run_with_full_fault_mix_stays_exact() {
         let ticket = dev.submit_async(&batch).unwrap();
         let drained = dev.drain().unwrap();
         assert_eq!(drained.health, dev.health());
-        let out = ticket.wait(&mut dev).unwrap();
+        let out = ticket.wait(&dev).unwrap();
         assert!(out.failures.is_empty(), "no query may fail: {:?}", out.failures);
         assert_eq!(out.results[q_pair], shadows[a].and(&shadows[b]), "round {round}");
         let all = shadows.iter().skip(1).fold(shadows[0].clone(), |acc, v| acc.and(v));

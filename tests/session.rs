@@ -188,8 +188,8 @@ fn overlapped_async_batches_beat_serial_submits() {
     assert!(drained.combined_critical_path_us < serial_sum);
 
     // And the overlapped results are bit-exact.
-    let ra = ta.wait(&mut dev).unwrap();
-    let rb = tb.wait(&mut dev).unwrap();
+    let ra = ta.wait(&dev).unwrap();
+    let rb = tb.wait(&dev).unwrap();
     assert_eq!(ra.results, expected_a);
     assert_eq!(rb.results, expected_b);
     assert_eq!(ra.results, sa.results);
@@ -210,7 +210,7 @@ fn async_batches_observe_drain_time_data() {
     let ticket = dev.submit_async(&batch).unwrap();
     let replacement = BitVec::random(dev.config().page_bits(), &mut rng);
     dev.fc_overwrite("g-0", &replacement).unwrap();
-    let results = ticket.wait(&mut dev).unwrap();
+    let results = ticket.wait(&dev).unwrap();
     assert_eq!(
         results.results[0],
         replacement.and(&data[1]),
