@@ -107,11 +107,14 @@ pub enum LintCode {
     Fc106,
     /// Placement bookkeeping inconsistent (operand/group/wear tables).
     Fc107,
+    /// FTL shard out of lockstep with its channel: a mapping in shard
+    /// `c` resolves to a physical page on another channel.
+    Fc108,
 }
 
 impl LintCode {
     /// Every code, plan pass first — iteration order for config and docs.
-    pub const ALL: [LintCode; 14] = [
+    pub const ALL: [LintCode; 15] = [
         LintCode::Fc001,
         LintCode::Fc002,
         LintCode::Fc003,
@@ -126,6 +129,7 @@ impl LintCode {
         LintCode::Fc105,
         LintCode::Fc106,
         LintCode::Fc107,
+        LintCode::Fc108,
     ];
 
     /// The code's display form, e.g. `"FC001"`.
@@ -145,6 +149,7 @@ impl LintCode {
             LintCode::Fc105 => "FC105",
             LintCode::Fc106 => "FC106",
             LintCode::Fc107 => "FC107",
+            LintCode::Fc108 => "FC108",
         }
     }
 
@@ -465,7 +470,7 @@ fn batch_residency(dev: &DeviceCore, compiled: &CompiledBatch) -> ResidencyMap {
         }
     }
     let mut map = ResidencyMap::new(cfg.total_planes(), cfg.blocks_per_plane, wpb);
-    for (lpn, ppa, meta) in dev.ssd.ftl().iter_mapped() {
+    for (lpn, ppa, meta) in dev.ssd.mapped_snapshot() {
         let Some(&Some((id, slot))) = page_of.get(lpn as usize) else { continue };
         if ppa.wl as usize >= wpb || ppa.wl >= 64 {
             continue; // beyond any PBM; FC001 flags such activations
@@ -1161,7 +1166,7 @@ fn tree_leaves(tree: &MergeTree, out: &mut Vec<usize>) {
 }
 
 // ---------------------------------------------------------------------------
-// Pass 2 — device audit (FC101–FC107).
+// Pass 2 — device audit (FC101–FC108).
 // ---------------------------------------------------------------------------
 
 impl DeviceCore {
@@ -1178,15 +1183,42 @@ impl DeviceCore {
         self.audit_cache_generations(&mut out);
         self.audit_job_stamps(&mut out);
         self.audit_placement(&mut out);
+        self.audit_shard_lockstep(&mut out);
         sort_findings(&mut out);
         out
+    }
+
+    /// FC108 — every FTL shard stays in lockstep with its channel:
+    /// each mapping held by shard `c` resolves to a physical page whose
+    /// plane lies on channel `c`. The router (placement-determined
+    /// residency) and the home-first probe both assume this; an entry
+    /// in the wrong shard silently degrades every lookup of that page
+    /// to a full sequential probe and breaks per-channel accounting.
+    fn audit_shard_lockstep(&self, out: &mut Vec<Finding>) {
+        let cfg = self.ssd.config();
+        for c in 0..self.ssd.ftl_shard_count() {
+            for (lpn, ppa, _) in self.ssd.ftl_shard(c).iter_mapped() {
+                let channel = cfg.channel_of_plane(ppa.plane.flat(cfg));
+                if channel != c {
+                    out.push(finding(
+                        LintCode::Fc108,
+                        format!("ftl shard {c}"),
+                        format!(
+                            "page {lpn} maps to flat plane {} on channel {channel}, outside shard {c}",
+                            ppa.plane.flat(cfg)
+                        ),
+                        "route mappings through SsdDevice::route; shard residency must follow placement",
+                    ));
+                }
+            }
+        }
     }
 
     /// FC101 — every physical page is mapped by at most one logical page,
     /// except the declared `ml_page` aliasing of multi-level wordlines.
     fn audit_ftl_aliasing(&self, out: &mut Vec<Finding>) {
         let mut by_ppa: HashMap<Ppa, Vec<(u64, PageMeta)>> = HashMap::new();
-        for (lpn, ppa, meta) in self.ssd.ftl().iter_mapped() {
+        for (lpn, ppa, meta) in self.ssd.mapped_snapshot() {
             by_ppa.entry(ppa).or_default().push((lpn, meta));
         }
         for (ppa, mut entries) in by_ppa {
@@ -1250,7 +1282,7 @@ impl DeviceCore {
                         "a page's rebuild source must be unique; re-stripe through the chokepoint",
                     ));
                 }
-                match self.ssd.ftl().translate(m) {
+                match self.ssd.translate(m) {
                     Some(ppa) => member_dies.push(ppa.plane.die.flat(cfg)),
                     None => {
                         if !self.recovery.lost_pages.contains(&m) {
@@ -1280,7 +1312,7 @@ impl DeviceCore {
                     "stripe members must sit on pairwise-distinct dies to survive a die loss",
                 ));
             }
-            match self.ssd.ftl().translate(s.parity_lpn) {
+            match self.ssd.translate(s.parity_lpn) {
                 Some(ppa) => {
                     let pdie = ppa.plane.die.flat(cfg);
                     let spare_healthy_die = (0..total_dies)
@@ -1318,7 +1350,7 @@ impl DeviceCore {
         // parity page itself).
         if self.recovery.parity_enabled {
             let mut uncovered: Vec<u64> = Vec::new();
-            for (lpn, _ppa, meta) in self.ssd.ftl().iter_mapped() {
+            for (lpn, _ppa, meta) in self.ssd.mapped_snapshot() {
                 if meta.randomized
                     || meta.ecc
                     || meta.scheme.cell_mode().bits_per_cell() > 1
@@ -1493,7 +1525,7 @@ impl DeviceCore {
                 if self.recovery.lost_pages.contains(&lpn) {
                     continue;
                 }
-                match self.ssd.ftl().translate(lpn) {
+                match self.ssd.translate(lpn) {
                     Some(ppa) if ppa.plane == r.planes[slot] => {}
                     Some(ppa) => out.push(finding(
                         LintCode::Fc107,
@@ -1645,6 +1677,9 @@ pub enum DeviceMutation {
     UnmappedScrub,
     /// Corrupt one slot of an operand's cached plane → `FC107`.
     SwapOperandPlane,
+    /// Move an operand page's mapping into the wrong channel's FTL
+    /// shard → `FC108`.
+    CrossChannelShardEntry,
 }
 
 impl DeviceCore {
@@ -1757,8 +1792,14 @@ impl DeviceCore {
                 };
                 let fresh = self.next_lpn;
                 self.next_lpn += 1;
+                // The alias must land in the shard holding the target's
+                // mapping (aliases share their base's physical page).
+                let shard = match self.ssd.translate(target) {
+                    Some(ppa) => ppa.plane.die.channel as usize,
+                    None => return false,
+                };
                 self.ssd
-                    .ftl_mut_for_audit()
+                    .ftl_mut_for_audit(shard)
                     .alias(fresh, target, PageMeta::flash_cosmos(false))
                     .is_ok()
             }
@@ -1829,6 +1870,36 @@ impl DeviceCore {
                 };
                 let flat = r.planes[0].flat(&cfg);
                 r.planes[0] = PlaneId::from_flat((flat + 1) % cfg.total_planes(), &cfg);
+                true
+            }
+            DeviceMutation::CrossChannelShardEntry => {
+                let shards = self.ssd.ftl_shard_count();
+                if shards < 2 {
+                    return false;
+                }
+                let Some(target) =
+                    self.operands.iter().find(|r| !r.ml).and_then(|r| r.lpns.first().copied())
+                else {
+                    return false;
+                };
+                let Some(home) =
+                    (0..shards).find(|&c| self.ssd.ftl_shard(c).translate(target).is_some())
+                else {
+                    return false;
+                };
+                let (ppa, meta) = {
+                    let shard = self.ssd.ftl_shard(home);
+                    match (shard.translate(target), shard.meta(target)) {
+                        (Some(ppa), Some(meta)) => (ppa, meta),
+                        _ => return false,
+                    }
+                };
+                // Relocate (not alias) the mapping, so the audit sees a
+                // pure lockstep violation: the page still resolves via
+                // the sequential probe, but lives in the wrong shard.
+                let wrong = (home + 1) % shards;
+                self.ssd.ftl_mut_for_audit(home).trim(target);
+                self.ssd.ftl_mut_for_audit(wrong).adopt_for_audit(target, ppa, meta);
                 true
             }
         }

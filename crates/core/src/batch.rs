@@ -130,8 +130,21 @@ pub struct BatchStats {
     pub serial_senses: u64,
     /// Serial-equivalent chip time (sum over all commands), µs.
     pub chip_time_us: f64,
-    /// Critical path under die parallelism: the busiest die's time, µs.
+    /// Critical path under die *and* channel parallelism: the busier of
+    /// the busiest die (sense/program time) and the busiest channel bus
+    /// (page output transfers), µs.
     pub critical_path_us: f64,
+    /// The busiest die's sense/program time, µs — the die-parallel
+    /// component of [`BatchStats::critical_path_us`].
+    pub busiest_die_us: f64,
+    /// The busiest channel bus's output-transfer occupancy, µs. Exceeds
+    /// `busiest_die_us` when the batch is transfer-bound (many pages
+    /// streamed out per sense).
+    pub busiest_channel_us: f64,
+    /// Wall time the controller spent merging cross-die / cross-shard
+    /// partial pages, µs. When this rivals `critical_path_us`, the
+    /// controller merge — not the flash — is the scaling bottleneck.
+    pub merge_us: f64,
     /// Total NAND energy, µJ.
     pub energy_uj: f64,
     /// Queries answered by another query's pass (canonical duplicates).
@@ -158,6 +171,33 @@ impl BatchStats {
     pub fn senses_saved(&self) -> u64 {
         self.serial_senses.saturating_sub(self.senses)
     }
+
+    /// Which resource bounded this batch: the busiest die, the busiest
+    /// channel bus, or the controller merge. Saturation attribution for
+    /// the channel-scaling story — near-linear qps scaling holds while
+    /// this stays [`Bottleneck::Die`]/[`Bottleneck::Channel`] and breaks
+    /// when the serial controller merge takes over.
+    pub fn bottleneck(&self) -> Bottleneck {
+        if self.merge_us > self.busiest_die_us && self.merge_us > self.busiest_channel_us {
+            Bottleneck::Merge
+        } else if self.busiest_channel_us > self.busiest_die_us {
+            Bottleneck::Channel
+        } else {
+            Bottleneck::Die
+        }
+    }
+}
+
+/// The resource a batch (or drain pass) saturated — see
+/// [`BatchStats::bottleneck`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bottleneck {
+    /// Sense/program time on the busiest die dominates.
+    Die,
+    /// Output transfers on the busiest channel bus dominate.
+    Channel,
+    /// The controller's serial cross-die / cross-shard merge dominates.
+    Merge,
 }
 
 /// Results of [`FlashCosmosDevice::submit`]: one vector per query, in
@@ -633,7 +673,7 @@ impl DeviceCore {
     ) -> Result<(BatchStats, Vec<QueryFailure>), FcError> {
         let mut stats = compiled.stats_seed.clone();
         let page_bits = self.ssd.config().page_bits();
-        let dies = self.ssd.config().total_dies();
+        let xfer_us = self.ssd.config().page_transfer_us();
 
         // Per-query failure isolation: a unit that would read a page the
         // recovery layer recorded as lost (unreadable after the retry
@@ -701,7 +741,7 @@ impl DeviceCore {
             })
             .collect();
 
-        let mut own = DieQueues::new(dies);
+        let mut own = DieQueues::for_config(self.ssd.config());
         for (ui, li) in order {
             let unit = &compiled.units[ui];
             let UnitWork::Execute { leaves, slots, direct, .. } = &unit.work else {
@@ -728,7 +768,12 @@ impl DeviceCore {
             stats.senses += senses;
             stats.chip_time_us += latency;
             stats.energy_uj += energy;
-            own.push(leaf.plane.die.flat(self.ssd.config()), latency);
+            let die_flat = leaf.plane.die.flat(self.ssd.config());
+            own.push(die_flat, latency);
+            // The ReadOut's page streams over the die's channel bus —
+            // bus occupancy, not die occupancy (the die is free to sense
+            // the next leaf while the bus drains).
+            own.push_transfer(die_flat, xfer_us);
             // Amortized attribution: a unit serving several queries splits
             // its cost evenly. A consumer-less unit (nothing to attribute
             // to) must not poison the stats with a division by zero.
@@ -767,7 +812,7 @@ impl DeviceCore {
                         let rec = &self.operands[id];
                         let lpn = rec.lpns[slot];
                         let meta =
-                            self.ssd.ftl().meta(lpn).expect("written operands carry metadata");
+                            self.ssd.page_meta(lpn).expect("written operands carry metadata");
                         let mode = meta.scheme.cell_mode();
                         let s = if mode.bits_per_cell() > 1 {
                             fc_nand::mlsense::senses_for_page(mode, meta.ml_page as usize)
@@ -779,6 +824,9 @@ impl DeviceCore {
                     let page = self.ssd.read(lpn)?;
                     let us = page_senses as f64 * fc_nand::calib::timing::T_R_SLC_US;
                     own.push(die_flat, us);
+                    // Controller evaluation moves every operand page off
+                    // the die — each read crosses the channel bus.
+                    own.push_transfer(die_flat, xfer_us);
                     latency_total += us;
                     env.insert(id, page);
                 }
@@ -800,14 +848,20 @@ impl DeviceCore {
                 }
             }
         }
-        stats.critical_path_us = own.busiest_us();
+        stats.busiest_die_us = own.busiest_us();
+        stats.busiest_channel_us = own.busiest_channel_us();
+        stats.critical_path_us = own.critical_path_us();
         stats.dies_used = own.dies_busy();
         if let Some(combined) = combined {
             combined.merge(&own);
         }
 
         // Merge each spanning unit-stripe's buffered partial pages into
-        // the unit output.
+        // the unit output. Measured: the merge is the one serial stage of
+        // a batch (dies and channels parallelize, the controller does
+        // not), so its wall time is the saturation signal the scaling
+        // bench attributes against.
+        let merge_start = std::time::Instant::now();
         for (ui, unit) in compiled.units.iter().enumerate() {
             if unit_failed[ui].is_some() {
                 continue;
@@ -821,6 +875,7 @@ impl DeviceCore {
                     .copy_from(slot * page_bits, &page);
             }
         }
+        stats.merge_us = merge_start.elapsed().as_secs_f64() * 1e6;
 
         // Accumulate unit results into the consumers' outputs (outputs
         // start zeroed, so OR doubles as the plain copy for single-unit
@@ -868,7 +923,7 @@ impl DeviceCore {
         for &id in ids {
             let rec = self.record(id)?;
             for &lpn in &rec.lpns {
-                let meta = self.ssd.ftl().meta(lpn).expect("written operands carry metadata");
+                let meta = self.ssd.page_meta(lpn).expect("written operands carry metadata");
                 let mode = meta.scheme.cell_mode();
                 senses += if mode.bits_per_cell() > 1 {
                     fc_nand::mlsense::senses_for_page(mode, meta.ml_page as usize) as u64

@@ -489,10 +489,11 @@ impl DeviceCore {
     pub(crate) fn placement_query(&self, with_wear: bool) -> PlacementQuery {
         let cfg = self.ssd.config();
         PlacementQuery {
-            pressures: self.ssd.ftl().plane_pressures().to_vec(),
+            pressures: self.ssd.plane_pressures(),
             wear: if with_wear { self.plane_wear() } else { vec![0; cfg.total_planes()] },
             planes_per_die: cfg.planes_per_die,
             dies: cfg.total_dies(),
+            dies_per_channel: cfg.dies_per_channel,
         }
     }
 
@@ -550,17 +551,34 @@ impl DeviceCore {
     }
 
     /// The plane a group's stripe slot lives on. Unpinned groups rotate
-    /// dies slot by slot (one vector's stripes sense in parallel); pinned
-    /// groups rotate the pinned die's planes instead.
+    /// dies slot by slot in channel-first order — consecutive stripes of
+    /// one vector hop channel buses before doubling up within one, so
+    /// parallel stripe senses also stream out in parallel; pinned groups
+    /// rotate the pinned die's planes instead.
     fn plane_for_slot(&self, place: GroupPlace, slot: u64) -> usize {
-        let ppd = self.ssd.config().planes_per_die;
-        let n_dies = self.ssd.config().total_dies();
+        let cfg = self.ssd.config();
+        let ppd = cfg.planes_per_die;
         let base_die = place.base_plane / ppd;
         let base_pid = place.base_plane % ppd;
         if place.pinned_die.is_some() {
             base_die * ppd + (base_pid + slot as usize) % ppd
         } else {
-            (base_die + slot as usize) % n_dies * ppd + base_pid
+            let q = self.placement_query_geometry();
+            let step = q.channel_first_step(base_die) + slot as usize;
+            q.channel_first_die(step) * ppd + base_pid
+        }
+    }
+
+    /// A [`PlacementQuery`] carrying only the geometry (no pressure or
+    /// wear snapshot) — for the channel-first die-order helpers.
+    fn placement_query_geometry(&self) -> PlacementQuery {
+        let cfg = self.ssd.config();
+        PlacementQuery {
+            pressures: Vec::new(),
+            wear: Vec::new(),
+            planes_per_die: cfg.planes_per_die,
+            dies: cfg.total_dies(),
+            dies_per_channel: cfg.dies_per_channel,
         }
     }
 
@@ -795,8 +813,7 @@ impl DeviceCore {
             .expect("stored operands always have a placed group");
         let inverted = self
             .ssd
-            .ftl()
-            .meta(self.operands[id].lpns[0])
+            .page_meta(self.operands[id].lpns[0])
             .expect("written operands carry metadata")
             .inverted;
         let old_lpns = self.operands[id].lpns.clone();
@@ -957,9 +974,9 @@ impl DeviceCore {
         let mut map = PlacementMap::new();
         for &id in ids {
             let lpn = self.record(id)?.lpns[slot];
-            let ppa = self.ssd.ftl().translate(lpn).expect("written operands are always mapped");
+            let ppa = self.ssd.translate(lpn).expect("written operands are always mapped");
             let inverted =
-                self.ssd.ftl().meta(lpn).expect("written operands carry metadata").inverted;
+                self.ssd.page_meta(lpn).expect("written operands carry metadata").inverted;
             map.insert(id, wl_addr(ppa), inverted);
         }
         Ok(map)
@@ -1004,7 +1021,7 @@ impl DeviceCore {
     /// the maintenance planner only gathers polarity-uniform sets.
     pub(crate) fn operand_inverted(&self, id: OperandId) -> Option<bool> {
         let rec = self.operands.get(id)?;
-        self.ssd.ftl().meta(*rec.lpns.first()?).map(|m| m.inverted)
+        self.ssd.page_meta(*rec.lpns.first()?).map(|m| m.inverted)
     }
 
     /// The die of every stripe page of an operand (slot-indexed) — the
@@ -1050,7 +1067,7 @@ impl DeviceCore {
                 meta,
             )?;
             copybacks += u64::from(used_copyback);
-            let ppa = self.ssd.ftl().translate(lpn).expect("migrated pages stay mapped");
+            let ppa = self.ssd.translate(lpn).expect("migrated pages stay mapped");
             planes.push(ppa.plane);
             dies.push(ppa.plane.die);
         }
@@ -1464,7 +1481,7 @@ mod tests {
         let core = dev.core();
         let lpn_a = core.operands[handles[0].id].lpns[0];
         let lpn_c = core.operands[handles[2].id].lpns[0];
-        assert_eq!(core.ssd.ftl().translate(lpn_a), core.ssd.ftl().translate(lpn_c));
+        assert_eq!(core.ssd.translate(lpn_a), core.ssd.translate(lpn_c));
         drop(core);
         // Expressions over ML operands evaluate in the controller,
         // bit-exactly, at the real multi-level page-read cost.

@@ -123,6 +123,7 @@
 
 pub mod audit;
 pub mod batch;
+pub mod cluster;
 pub mod crossdie;
 pub mod device;
 pub mod engines;
@@ -138,7 +139,10 @@ pub mod session;
 pub mod timeline;
 
 pub use audit::{AuditConfig, AuditMode, Finding, LintCode, Severity};
-pub use batch::{BatchResults, BatchStats, QueryBatch, QueryFailure, QueryId, QueryStats};
+pub use batch::{
+    BatchResults, BatchStats, Bottleneck, QueryBatch, QueryFailure, QueryId, QueryStats,
+};
+pub use cluster::{ClusterResults, ClusterStats, FcCluster};
 pub use device::{FcError, FlashCosmosDevice, OperandHandle, ReadStats, StoreHints};
 pub use engines::{Engines, Platform, PlatformReport, WorkloadShape};
 pub use expr::{Expr, Nnf, OperandId};

@@ -103,6 +103,10 @@ pub struct PlacementQuery {
     pub planes_per_die: usize,
     /// Dies in the SSD.
     pub dies: usize,
+    /// Dies sharing one channel bus (flat die layout is channel-major:
+    /// dies `c*dies_per_channel..(c+1)*dies_per_channel` sit on channel
+    /// `c`). `0` or `1` degrades to every die on its own channel.
+    pub dies_per_channel: usize,
 }
 
 impl PlacementQuery {
@@ -127,6 +131,57 @@ impl PlacementQuery {
             .iter()
             .map(|&p| p as u64)
             .sum()
+    }
+
+    /// Channels in the SSD (≥ 1).
+    pub fn channels(&self) -> usize {
+        self.dies.div_ceil(self.dies_per_channel.max(1)).max(1)
+    }
+
+    /// The channel a die's bus belongs to.
+    pub fn channel_of(&self, die: usize) -> usize {
+        die / self.dies_per_channel.max(1)
+    }
+
+    /// The channel-first die visiting order: step `j` visits one die of
+    /// every channel before revisiting a channel, so consecutive
+    /// placements spread over channel buses before doubling up within
+    /// one. With one die per channel this is the identity (the historic
+    /// die-rotating order).
+    pub(crate) fn channel_first_die(&self, step: usize) -> usize {
+        let dpc = self.dies_per_channel.max(1).min(self.dies.max(1));
+        let channels = self.dies.div_ceil(dpc);
+        // Walk the channel-major grid column by column, skipping the
+        // padding cells of a ragged last channel.
+        let mut j = step % self.dies.max(1);
+        for k in 0..channels * dpc {
+            let d = (k % channels) * dpc + k / channels;
+            if d < self.dies {
+                if j == 0 {
+                    return d;
+                }
+                j -= 1;
+            }
+        }
+        unreachable!("the grid holds every die exactly once");
+    }
+
+    /// Inverse of [`PlacementQuery::channel_first_die`]: the step at
+    /// which the order visits `die`.
+    pub(crate) fn channel_first_step(&self, die: usize) -> usize {
+        let dpc = self.dies_per_channel.max(1).min(self.dies.max(1));
+        let channels = self.dies.div_ceil(dpc);
+        let mut step = 0;
+        for k in 0..channels * dpc {
+            let d = (k % channels) * dpc + k / channels;
+            if d < self.dies {
+                if d == die {
+                    return step;
+                }
+                step += 1;
+            }
+        }
+        unreachable!("the grid holds every die exactly once");
     }
 }
 
@@ -163,10 +218,13 @@ impl SpreadPlacement {
     }
 }
 
-/// The shared die-rotating least-key scan both provided policies use:
-/// the minimal-`key` plane wins, ties visiting one plane of every die
-/// before revisiting a die (starting at `die_cursor`, which advances
-/// past the chosen die); a pin restricts the scan to one die's planes.
+/// The shared channel-first least-key scan both provided policies use:
+/// the minimal-`key` plane wins, ties visiting one die of every
+/// *channel* before a second die within any channel, and one plane of
+/// every die before revisiting a die (starting at `die_cursor`, a step
+/// in the channel-first order, which advances past the chosen die); a
+/// pin restricts the scan to one die's planes. With one die per channel
+/// the order degrades to the historic die rotation.
 fn choose_rotating<K: Ord + Copy>(
     q: &PlacementQuery,
     pinned_die: Option<usize>,
@@ -182,9 +240,9 @@ fn choose_rotating<K: Ord + Copy>(
     }
     let mut best: Option<(K, usize, usize)> = None;
     for k in 0..q.planes() {
-        // Die-fastest enumeration: visit one plane of every die before
-        // revisiting a die, starting at the cursor.
-        let d = (*die_cursor + k % q.dies) % q.dies;
+        // Channel-fastest enumeration: spread ties over channel buses
+        // first, then over dies within a channel, then over planes.
+        let d = q.channel_first_die(*die_cursor + k % q.dies);
         let pid = k / q.dies;
         let plane = d * ppd + pid;
         let plane_key = key(plane);
@@ -193,7 +251,7 @@ fn choose_rotating<K: Ord + Copy>(
         }
     }
     let (_, _, plane) = best.expect("an SSD has at least one plane");
-    *die_cursor = (plane / ppd + 1) % q.dies;
+    *die_cursor = (q.channel_first_step(plane / ppd) + 1) % q.dies;
     plane
 }
 
@@ -714,7 +772,7 @@ impl crate::device::DeviceCore {
     /// rest stay queued).
     pub fn run_maintenance(&mut self) -> Result<MaintenanceStats, crate::device::FcError> {
         self.schedule_maintenance();
-        let mut queues = fc_ssd::pipeline::DieQueues::new(self.ssd.config().total_dies());
+        let mut queues = fc_ssd::pipeline::DieQueues::for_config(self.ssd.config());
         self.execute_maintenance(&mut queues, f64::INFINITY)
     }
 
@@ -832,13 +890,21 @@ impl crate::device::FlashCosmosDevice {
 }
 
 /// The die with the least summed P/E wear — the §10 gathering target
-/// that doubles as wear levelling. Ties break on block pressure *plus*
-/// the gather jobs already aimed at each die (`queued_on`), so distinct
-/// hot sets planned back to back spread across dies instead of piling
-/// onto the one die that was least worn at the start of the pass.
+/// that doubles as wear levelling. Ties break first on the gather jobs
+/// already aimed at the die's *channel* (a gathered set's future senses
+/// all stream out over one bus, so back-to-back hot sets spread across
+/// channels), then on block pressure plus the jobs aimed at the die
+/// itself (`queued_on`) — distinct hot sets planned in one pass spread
+/// out instead of piling onto the snapshot's least-worn die.
 fn least_worn_die(q: &PlacementQuery, queued_on: &[u64]) -> usize {
+    let mut chan_queued = vec![0u64; q.channels()];
+    for (d, &n) in queued_on.iter().enumerate() {
+        chan_queued[q.channel_of(d)] += n;
+    }
     (0..q.dies)
-        .min_by_key(|&d| (q.die_wear(d), q.die_pressure(d) + queued_on[d], d))
+        .min_by_key(|&d| {
+            (q.die_wear(d), chan_queued[q.channel_of(d)], q.die_pressure(d) + queued_on[d], d)
+        })
         .expect("an SSD has at least one die")
 }
 
@@ -848,7 +914,7 @@ mod tests {
 
     fn query(pressures: Vec<u32>, wear: Vec<u64>) -> PlacementQuery {
         let planes = pressures.len();
-        PlacementQuery { pressures, wear, planes_per_die: 2, dies: planes / 2 }
+        PlacementQuery { pressures, wear, planes_per_die: 2, dies: planes / 2, dies_per_channel: 1 }
     }
 
     #[test]
@@ -860,6 +926,42 @@ mod tests {
         assert_ne!(first / 2, second / 2, "pressure ties must rotate dies");
         // A pin restricts to the die's planes.
         assert_eq!(p.choose_plane(&q, Some(3)) / 2, 3);
+    }
+
+    #[test]
+    fn spread_policy_hops_channels_before_dies() {
+        // 4 dies on 2 channels (dies 0,1 on channel 0; dies 2,3 on
+        // channel 1): consecutive tie placements alternate channel buses
+        // before reusing one, and the full tie rotation still visits
+        // every die once.
+        let mut p = SpreadPlacement::new();
+        let q = PlacementQuery {
+            pressures: vec![0; 8],
+            wear: vec![0; 8],
+            planes_per_die: 2,
+            dies: 4,
+            dies_per_channel: 2,
+        };
+        let dies: Vec<usize> = (0..4).map(|_| p.choose_plane(&q, None) / 2).collect();
+        assert_eq!(dies, vec![0, 2, 1, 3], "channel-first order: ch0, ch1, ch0, ch1");
+        let channels: Vec<usize> = dies.iter().map(|d| q.channel_of(*d)).collect();
+        assert_eq!(channels, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn gather_target_spreads_queued_sets_across_channels() {
+        // Even wear everywhere; 3 gather jobs already aimed at die 0
+        // (channel 0). The channel-aware tie-break sends the next set to
+        // channel 1 — not merely a different die on the loaded bus.
+        let q = PlacementQuery {
+            pressures: vec![0; 8],
+            wear: vec![0; 8],
+            planes_per_die: 2,
+            dies: 4,
+            dies_per_channel: 2,
+        };
+        let target = least_worn_die(&q, &[3, 0, 0, 0]);
+        assert_eq!(q.channel_of(target), 1, "queued channel 0 load repels the gather");
     }
 
     #[test]

@@ -423,7 +423,7 @@ impl DeviceCore {
         let mut chunk_dies: HashSet<usize> = HashSet::new();
         let mut chunks: Vec<(Vec<u64>, HashSet<usize>)> = Vec::new();
         for &lpn in lpns {
-            let die = match self.ssd.ftl().translate(lpn) {
+            let die = match self.ssd.translate(lpn) {
                 Some(ppa) => ppa.plane.die.flat(self.ssd.config()),
                 None => continue,
             };
@@ -443,7 +443,7 @@ impl DeviceCore {
             }
             let parity = xor_fold(payloads.iter());
             let conventional =
-                self.ssd.ftl().meta(members[0]).expect("freshly written pages carry metadata").ecc;
+                self.ssd.page_meta(members[0]).expect("freshly written pages carry metadata").ecc;
             let plane = self.healthy_plane(&dies);
             let parity_lpn = self.parity_write(&parity, conventional, plane)?;
             let id = self.recovery.next_stripe_id;
@@ -513,14 +513,14 @@ impl DeviceCore {
                     .filter(|&&m| m != lpn)
                     .copied()
                     .chain(std::iter::once(stripe.parity_lpn))
-                    .filter_map(|l| self.ssd.ftl().translate(l))
+                    .filter_map(|l| self.ssd.translate(l))
                     .map(|p| p.plane.die.flat(cfg))
                     .collect()
             } else if let Some((_, stripe)) = self.recovery.stripes.stripe_of_parity(lpn) {
                 stripe
                     .members
                     .iter()
-                    .filter_map(|&m| self.ssd.ftl().translate(m))
+                    .filter_map(|&m| self.ssd.translate(m))
                     .map(|p| p.plane.die.flat(cfg))
                     .collect()
             } else {
@@ -534,8 +534,7 @@ impl DeviceCore {
     /// even when disjointness cannot be honored.
     fn healthy_plane(&self, avoid: &HashSet<usize>) -> usize {
         let ppd = self.ssd.config().planes_per_die;
-        let ftl = self.ssd.ftl();
-        let pressures = ftl.plane_pressures();
+        let pressures = self.ssd.plane_pressures();
         let mut best: Option<(u32, usize)> = None;
         let mut healthy: Option<(u32, usize)> = None;
         let mut any: Option<(u32, usize)> = None;
@@ -579,12 +578,12 @@ impl DeviceCore {
                 if m == lpn {
                     continue;
                 }
-                if let Some(ppa) = self.ssd.ftl().translate(m) {
+                if let Some(ppa) = self.ssd.translate(m) {
                     avoid.insert(ppa.plane.die.flat(self.ssd.config()));
                 }
                 peers.push(self.ssd.read(m)?);
             }
-            if let Some(ppa) = self.ssd.ftl().translate(stripe.parity_lpn) {
+            if let Some(ppa) = self.ssd.translate(stripe.parity_lpn) {
                 avoid.insert(ppa.plane.die.flat(self.ssd.config()));
             }
             let parity = self.ssd.read(stripe.parity_lpn)?;
@@ -597,7 +596,7 @@ impl DeviceCore {
             let mut payloads = Vec::with_capacity(stripe.members.len());
             let mut avoid = HashSet::new();
             for &m in &stripe.members {
-                if let Some(ppa) = self.ssd.ftl().translate(m) {
+                if let Some(ppa) = self.ssd.translate(m) {
                     avoid.insert(ppa.plane.die.flat(self.ssd.config()));
                 }
                 payloads.push(self.ssd.read(m)?);
@@ -620,7 +619,7 @@ impl DeviceCore {
         payload: &BitVec,
         avoid: &HashSet<usize>,
     ) -> Result<(), FcError> {
-        let meta = self.ssd.ftl().meta(lpn).expect("rebuilt pages are mapped");
+        let meta = self.ssd.page_meta(lpn).expect("rebuilt pages are mapped");
         let plane = self.healthy_plane(avoid);
         let wls = self.ssd.config().wls_per_block as u64;
         let fill = self.recovery.rebuild_fill.entry(plane).or_insert(0);
@@ -638,7 +637,7 @@ impl DeviceCore {
         )?;
         self.recovery.relocations += 1;
         if let Some((id, slot)) = self.operand_of_lpn(lpn) {
-            let ppa = self.ssd.ftl().translate(lpn).expect("just rewritten");
+            let ppa = self.ssd.translate(lpn).expect("just rewritten");
             self.operands[id].planes[slot] = ppa.plane;
             self.operands[id].dies[slot] = ppa.plane.die;
             self.bump_generation(id);
@@ -825,7 +824,7 @@ impl DeviceCore {
         for (name, slot) in &plan.stuck_blocks {
             let (lpns, _) = self.fault_target(name)?;
             let Some(&lpn) = lpns.get(*slot) else { continue };
-            let Some(ppa) = self.ssd.ftl().translate(lpn) else { continue };
+            let Some(ppa) = self.ssd.translate(lpn) else { continue };
             let page_bits = self.ssd.config().page_bits();
             let die = ppa.plane.die.flat(self.ssd.config());
             let block = BlockAddr::new(ppa.plane.plane, ppa.block);
@@ -894,7 +893,7 @@ impl DeviceCore {
         let mut seen = HashSet::new();
         let mut out = Vec::new();
         for &lpn in lpns {
-            if let Some(ppa) = self.ssd.ftl().translate(lpn) {
+            if let Some(ppa) = self.ssd.translate(lpn) {
                 let die = ppa.plane.die.flat(self.ssd.config());
                 if seen.insert((die, ppa.plane.plane, ppa.block)) {
                     out.push((die, BlockAddr::new(ppa.plane.plane, ppa.block)));
@@ -917,8 +916,8 @@ impl DeviceCore {
     ) -> Result<(), FcError> {
         let victims: Vec<u64> = self
             .ssd
-            .ftl()
-            .iter_mapped()
+            .mapped_snapshot()
+            .into_iter()
             .filter(|&(lpn, ppa, _)| pred(ppa) && !self.recovery.lost_pages.contains(&lpn))
             .map(|(lpn, _, _)| lpn)
             .collect();
@@ -971,7 +970,7 @@ impl DeviceCore {
         let margin = self.ssd.ecc_correction_margin();
         let queued: HashSet<u64> = self.recovery.scrub_queue.iter().map(|j| j.lpn).collect();
         let mut candidates: Vec<ScrubCandidate> = Vec::new();
-        for (lpn, ppa, meta) in self.ssd.ftl().iter_mapped() {
+        for (lpn, ppa, meta) in self.ssd.mapped_snapshot() {
             if !meta.ecc || queued.contains(&lpn) || self.recovery.lost_pages.contains(&lpn) {
                 continue;
             }
@@ -1036,11 +1035,12 @@ impl DeviceCore {
         let mut scrubbed = 0u64;
         let mut deferred: Vec<ScrubJob> = Vec::new();
         while let Some(job) = self.recovery.scrub_queue.pop_front() {
-            let Some(ppa) = self.ssd.ftl().translate(job.lpn) else { continue };
-            let meta = self.ssd.ftl().meta(job.lpn).expect("mapped pages carry metadata");
+            let Some(ppa) = self.ssd.translate(job.lpn) else { continue };
+            let meta = self.ssd.page_meta(job.lpn).expect("mapped pages carry metadata");
             let src = ppa.plane.die.flat(self.ssd.config());
             let stripe_plane = self.stripe_refresh_plane(job.lpn);
-            let tgt = stripe_plane.unwrap_or_else(|| self.ssd.ftl().next_striped_plane()) / ppd;
+            let tgt =
+                stripe_plane.unwrap_or_else(|| self.ssd.next_striped_plane_for(job.lpn)) / ppd;
             let work: Vec<(usize, f64)> =
                 if src == tgt { vec![(src, tr + tprog)] } else { vec![(src, tr), (tgt, tprog)] };
             if !queues.try_fill(&work, budget_us) {
@@ -1095,7 +1095,7 @@ impl DeviceCore {
     /// Propagates SSD rewrite errors.
     pub fn run_scrub(&mut self) -> Result<u64, FcError> {
         self.schedule_scrub();
-        let mut queues = DieQueues::new(self.ssd.config().total_dies());
+        let mut queues = DieQueues::for_config(self.ssd.config());
         let (scrubbed, _) = self.execute_scrub(&mut queues, f64::INFINITY)?;
         Ok(scrubbed)
     }
@@ -1103,7 +1103,7 @@ impl DeviceCore {
     /// The page's current stress fingerprint `(block PEC, retention)` —
     /// scrub-done bookkeeping that prevents endless re-queueing.
     fn stress_fingerprint(&self, lpn: u64) -> Option<(u32, u64)> {
-        let ppa = self.ssd.ftl().translate(lpn)?;
+        let ppa = self.ssd.translate(lpn)?;
         let chip = self.ssd.chip(ppa.plane.die);
         let block = BlockAddr::new(ppa.plane.plane, ppa.block);
         Some((chip.block_pec(block).ok()?, chip.retention_months().to_bits()))
@@ -1262,12 +1262,11 @@ mod tests {
             let member_dies: Vec<usize> = stripe
                 .members
                 .iter()
-                .map(|&m| core.ssd.ftl().translate(m).unwrap().plane.die.flat(&cfg))
+                .map(|&m| core.ssd.translate(m).unwrap().plane.die.flat(&cfg))
                 .collect();
             let distinct: HashSet<usize> = member_dies.iter().copied().collect();
             assert_eq!(distinct.len(), member_dies.len(), "members share a die: {member_dies:?}");
-            let parity_die =
-                core.ssd.ftl().translate(stripe.parity_lpn).unwrap().plane.die.flat(&cfg);
+            let parity_die = core.ssd.translate(stripe.parity_lpn).unwrap().plane.die.flat(&cfg);
             assert!(
                 !distinct.contains(&parity_die),
                 "parity die {parity_die} collides with members {member_dies:?}"
@@ -1399,7 +1398,7 @@ mod tests {
         // A budget that fits roughly one refresh defers the rest instead
         // of blowing the latency envelope.
         let budget = dev.config().tr_us + dev.config().tprog_slc_us;
-        let mut queues = DieQueues::new(dev.config().total_dies());
+        let mut queues = DieQueues::for_config(dev.config());
         let (scrubbed, deferred) = dev.core_mut().execute_scrub(&mut queues, budget).unwrap();
         assert!(deferred > 0, "oversized pass must defer: {scrubbed} scrubbed, {deferred} left");
         assert_eq!(scrubbed as usize + deferred, queued);

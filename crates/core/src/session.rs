@@ -72,8 +72,7 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use fc_bits::BitVec;
 use fc_ssd::pipeline::{overlap_report, DieQueues};
@@ -371,6 +370,17 @@ pub struct DrainStats {
     pub serial_critical_path_us: f64,
     /// Distinct dies that executed sensing work during the drain.
     pub dies_used: usize,
+    /// The busiest die's combined sense/program occupancy, µs — the
+    /// die-parallel component of the combined critical path.
+    pub busiest_die_us: f64,
+    /// The busiest channel bus's combined output-transfer occupancy, µs.
+    /// When this exceeds `busiest_die_us` the drain was transfer-bound.
+    pub busiest_channel_us: f64,
+    /// Total controller merge wall time across the drained batches, µs —
+    /// the serial stage. Its share of the critical path is the
+    /// channel-scaling saturation signal: scaling is near-linear while
+    /// flash (die or channel) dominates and flattens once the merge does.
+    pub merge_us: f64,
     /// Background-maintenance work this drain filled into the idle-die
     /// slack (see [`crate::maintenance`]): migrations executed within the
     /// critical-path budget, deferred jobs, retirements — plus retention
@@ -388,16 +398,60 @@ impl DrainStats {
     pub fn overlap_saved_us(&self) -> f64 {
         (self.serial_critical_path_us - self.combined_critical_path_us).max(0.0)
     }
+
+    /// Which resource bounded this drain — the busiest die, the busiest
+    /// channel bus, or the controller merge (see
+    /// [`crate::batch::Bottleneck`]).
+    pub fn bottleneck(&self) -> crate::batch::Bottleneck {
+        use crate::batch::Bottleneck;
+        if self.merge_us > self.busiest_die_us && self.merge_us > self.busiest_channel_us {
+            Bottleneck::Merge
+        } else if self.busiest_channel_us > self.busiest_die_us {
+            Bottleneck::Channel
+        } else {
+            Bottleneck::Die
+        }
+    }
+
+    /// The controller merge's share of the combined critical path plus
+    /// merge time, in `[0, 1]` — 0 when the drain was pure flash work.
+    pub fn merge_share(&self) -> f64 {
+        let total = self.combined_critical_path_us + self.merge_us;
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.merge_us / total
+        }
+    }
+}
+
+/// One parked ticket's wake channel: a condvar shared by every thread
+/// waiting on the same seq, refcounted so the slot is reclaimed when the
+/// last waiter leaves.
+struct WaiterSlot {
+    cv: Arc<Condvar>,
+    waiters: usize,
+}
+
+/// One shard of the retired-results table (`seq % RETIRED_SHARDS`):
+/// parked results plus the per-seq waiter registry, under one mutex.
+#[derive(Default)]
+struct RetiredState {
+    results: HashMap<u64, BatchResults>,
+    /// Seq → wake channel for threads parked in
+    /// [`Session::wait_retired`]. Retire and abandon notify exactly the
+    /// affected seq's condvar — **under this mutex**, so a notification
+    /// can never slip between a waiter's last state check and its park.
+    waiters: HashMap<u64, WaiterSlot>,
 }
 
 /// One shard of the retired-results table: a slice of the ticket space
-/// (`seq % RETIRED_SHARDS`) with its own mutex and retire condvar, so
-/// waiters of different tickets park and wake independently.
+/// with its own mutex, so waiters of different tickets park and wake
+/// independently — and, within a shard, each ticket parks on its own
+/// condvar (no thundering herd, no periodic recheck).
 #[derive(Default)]
 struct RetiredShard {
-    map: Mutex<HashMap<u64, BatchResults>>,
-    /// Notified (under `map`) whenever a batch retires into this shard.
-    cv: Condvar,
+    state: Mutex<RetiredState>,
 }
 
 /// Mutex shards of the retired-results table. Eight is plenty: the
@@ -409,11 +463,6 @@ const RETIRED_SHARDS: usize = 8;
 /// claimed by a drain. See [`FlashCosmosDevice::submit_async`]'s
 /// backpressure contract.
 const DEFAULT_ADMISSION_CAPACITY: usize = 1024;
-
-/// How long a parked [`Ticket::wait`] sleeps between re-checks. A
-/// backstop only — every retire notifies the shard's condvar, so the
-/// timeout matters just for abandoned batches racing the park.
-const WAIT_RECHECK: Duration = Duration::from_millis(5);
 
 /// The device's session state: in-flight async batches, retired results
 /// awaiting their [`Ticket::wait`], the cross-batch result cache, and
@@ -427,13 +476,13 @@ const WAIT_RECHECK: Duration = Duration::from_millis(5);
 /// |---|---|---|
 /// | `pending` | admission queue | `submit_async`, drain claim, `wait` |
 /// | `executing` | claimed-but-not-retired seqs | drain claim/retire, `wait` |
-/// | `shards[k]` | retired results with `seq % 8 == k` | retire, `wait` |
+/// | `shards[k]` | retired results + per-seq waiters, `seq % 8 == k` | retire, `wait` |
 /// | `cache` | memoized unit results | batch compile/execute |
 /// | `affinity` | co-query observations | batch compile, planner |
 /// | `jobs` / `retired_jobs` | maintenance queue / log | drain phase B, planner |
 ///
 /// Lock order within the session: `pending` → `executing`, and
-/// `shards[k].map` → `executing`. Nothing holds two of {cache,
+/// `shards[k].state` → `executing`. Nothing holds two of {cache,
 /// affinity, jobs} at once.
 pub struct Session {
     cache: Mutex<ResultCache>,
@@ -494,7 +543,7 @@ impl Session {
 
     /// Drained batches whose ticket has not been waited on yet.
     pub fn retired(&self) -> usize {
-        self.shards.iter().map(|s| lock(&s.map).len()).sum()
+        self.shards.iter().map(|s| lock(&s.state).results.len()).sum()
     }
 
     /// Result-cache counters.
@@ -607,13 +656,16 @@ impl Session {
     }
 
     /// Parks a claimed batch's results into its retired shard and wakes
-    /// the shard's waiters, then releases the executing claim.
+    /// exactly the waiters parked on that seq, then releases the
+    /// executing claim.
     pub(crate) fn retire(&self, seq: u64, results: BatchResults) {
         let shard = self.shard(seq);
         {
-            let mut map = lock(&shard.map);
-            map.insert(seq, results);
-            shard.cv.notify_all();
+            let mut state = lock(&shard.state);
+            state.results.insert(seq, results);
+            if let Some(slot) = state.waiters.get(&seq) {
+                slot.cv.notify_all();
+            }
         }
         lock(&self.executing).remove(&seq); // order: shard → executing
     }
@@ -621,7 +673,9 @@ impl Session {
     /// Releases executing claims whose batches will never retire (a
     /// drain hit an error mid-pass): their waiters wake and report
     /// [`FcError::UnknownTicket`], mirroring the single-threaded
-    /// dropped-batch semantics.
+    /// dropped-batch semantics. The per-seq notify happens under the
+    /// shard's state lock — a waiter holds that lock from its executing
+    /// check until it parks, so the wakeup cannot race past it.
     pub(crate) fn abandon(&self, seqs: &[u64]) {
         {
             let mut executing = lock(&self.executing);
@@ -629,36 +683,60 @@ impl Session {
                 executing.remove(seq);
             }
         }
-        for shard in &self.shards {
-            shard.cv.notify_all();
+        for &seq in seqs {
+            let state = lock(&self.shard(seq).state);
+            if let Some(slot) = state.waiters.get(&seq) {
+                slot.cv.notify_all();
+            }
         }
     }
 
     /// Removes and returns a retired batch's results, if present.
     pub(crate) fn take_retired(&self, seq: u64) -> Option<BatchResults> {
-        lock(&self.shard(seq).map).remove(&seq)
+        lock(&self.shard(seq).state).results.remove(&seq)
     }
 
     /// Blocks until a currently-executing batch retires (returning its
-    /// results) or its claim is abandoned (returning `None`). The
-    /// executing check happens while holding the shard map lock — the
-    /// same lock a retire inserts under — so a retire between the map
-    /// miss and the park is impossible to miss: either the insert
-    /// happened before our map check (we see it) or the notify comes
-    /// after we atomically release the lock into the condvar wait.
+    /// results) or its claim is abandoned (returning `None`). The waiter
+    /// registers a per-seq condvar in the shard's waiter map and parks on
+    /// it — retire/abandon notify that seq alone, so unrelated tickets in
+    /// the same shard neither wake this thread nor get woken by it, and
+    /// no periodic recheck is needed. Missed wakeups are impossible: the
+    /// executing check and the park happen under the shard state lock,
+    /// the same lock retire inserts and notifies under — either the
+    /// insert (or the abandon's executing removal) happened before our
+    /// check, or its notify comes after we atomically release the lock
+    /// into the condvar wait.
     pub(crate) fn wait_retired(&self, seq: u64) -> Option<BatchResults> {
         let shard = self.shard(seq);
-        let mut map = lock(&shard.map);
-        loop {
-            if let Some(results) = map.remove(&seq) {
-                return Some(results);
+        let mut state = lock(&shard.state);
+        let mut registered = false;
+        let outcome = loop {
+            if let Some(results) = state.results.remove(&seq) {
+                break Some(results);
             }
             if !lock(&self.executing).contains(&seq) {
-                return None;
+                break None;
             }
-            map =
-                shard.cv.wait_timeout(map, WAIT_RECHECK).unwrap_or_else(PoisonError::into_inner).0;
+            let slot = state
+                .waiters
+                .entry(seq)
+                .or_insert_with(|| WaiterSlot { cv: Arc::new(Condvar::new()), waiters: 0 });
+            if !registered {
+                slot.waiters += 1;
+                registered = true;
+            }
+            let cv = Arc::clone(&slot.cv);
+            state = cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+        };
+        if registered {
+            let slot = state.waiters.get_mut(&seq).expect("registered waiters hold a slot");
+            slot.waiters -= 1;
+            if slot.waiters == 0 {
+                state.waiters.remove(&seq);
+            }
         }
+        outcome
     }
 
     /// Drops every retired-but-unwaited result across all shards.
@@ -666,9 +744,9 @@ impl Session {
         self.shards
             .iter()
             .map(|s| {
-                let mut map = lock(&s.map);
-                let n = map.len();
-                map.clear();
+                let mut state = lock(&s.state);
+                let n = state.results.len();
+                state.results.clear();
                 n
             })
             .sum()
@@ -761,9 +839,8 @@ impl FlashCosmosDevice {
             {
                 return Ok(DrainStats::default());
             }
-            let dies = core.ssd.config().total_dies();
             let mut per_batch: Vec<DieQueues> = Vec::new();
-            combined = DieQueues::new(dies);
+            combined = DieQueues::for_config(core.ssd.config());
             stats = DrainStats::default();
             // Claim-execute-retire one batch at a time: concurrent
             // drains each grab the next queued batch, so a backlog is
@@ -792,7 +869,7 @@ impl FlashCosmosDevice {
                     }
                     let mut outs: Vec<BitVec> =
                         (0..pb.compiled.queries()).map(|_| BitVec::zeros(0)).collect();
-                    let mut own = DieQueues::new(dies);
+                    let mut own = DieQueues::for_config(core.ssd.config());
                     let (batch_stats, failures) =
                         core.execute_compiled(&pb.compiled, &mut outs, Some(&mut own))?;
                     Ok((outs, batch_stats, failures, own))
@@ -801,6 +878,7 @@ impl FlashCosmosDevice {
                     Ok((outs, batch_stats, failures, own)) => {
                         stats.batches += 1;
                         stats.senses += batch_stats.senses;
+                        stats.merge_us += batch_stats.merge_us;
                         combined.merge(&own);
                         core.die_load.merge(&own);
                         per_batch.push(own);
@@ -828,6 +906,8 @@ impl FlashCosmosDevice {
             stats.combined_critical_path_us = overlap.combined_critical_us;
             stats.serial_critical_path_us = overlap.serial_critical_us;
             stats.dies_used = combined.dies_busy();
+            stats.busiest_die_us = combined.busiest_us();
+            stats.busiest_channel_us = combined.busiest_channel_us();
             overlap_budget_us = overlap.combined_critical_us;
             stats.health = core.health();
         }

@@ -198,16 +198,27 @@ impl std::ops::Deref for ChipRef<'_> {
 ///
 /// Interior-mutable: every I/O entry point takes `&self` so N threads
 /// can drive independent dies concurrently. Lock map — per-die chip
-/// mutexes (the parallelism grain), the FTL behind an `RwLock`
-/// (translation reads dominate; allocation/trim take the write side),
-/// controller scratch and the energy meter behind leaf mutexes, and
-/// read-health counters as atomics. Lock order: FTL before chip before
-/// {scratch, energy}; no code path acquires the FTL while holding a
-/// chip guard.
+/// mutexes (the parallelism grain), one FTL shard per channel, each
+/// behind its own `RwLock` (translation reads dominate; allocation/trim
+/// take the write side, and batches on disjoint channels no longer
+/// serialize on one map lock), controller scratch and the energy meter
+/// behind leaf mutexes, and read-health counters as atomics. Lock
+/// order: FTL shards are only ever taken **one at a time** (lookups
+/// probe sequentially, cross-channel migration drops the source guard
+/// before taking the destination), then chip, then {scratch, energy};
+/// no code path acquires an FTL shard while holding a chip guard.
+///
+/// Shard residency follows *placement*: a mapping lives in the shard of
+/// the channel its physical page occupies (audit code FC108 checks the
+/// lockstep). Grouped allocations route by their explicit plane's
+/// channel (or a stable hash of the group key, so every member of a
+/// group reaches the same block cursor); striped allocations hash by
+/// lpn. Lookups probe the lpn's home shard first, then the rest —
+/// cross-channel migration is the only way a mapping strays from home.
 pub struct SsdDevice {
     config: SsdConfig,
     chips: Vec<Mutex<NandChip>>,
-    ftl: RwLock<Ftl>,
+    ftl_shards: Vec<RwLock<Ftl>>,
     codec: PageCodec,
     energy: Mutex<EnergyMeter>,
     scratch: Mutex<IoScratch>,
@@ -220,7 +231,7 @@ impl std::fmt::Debug for SsdDevice {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SsdDevice")
             .field("config", &self.config)
-            .field("mapped_pages", &self.ftl().mapped_pages())
+            .field("mapped_pages", &self.mapped_pages())
             .finish_non_exhaustive()
     }
 }
@@ -258,11 +269,13 @@ impl SsdDevice {
                 Mutex::new(NandChip::new(chip_config))
             })
             .collect();
-        let ftl = RwLock::new(Ftl::new(&config));
+        let ftl_shards = (0..config.channels.max(1))
+            .map(|c| RwLock::new(Ftl::for_channel(&config, c)))
+            .collect();
         Self {
             config,
             chips,
-            ftl,
+            ftl_shards,
             codec: PageCodec::new(EccConfig::small()),
             energy: Mutex::new(EnergyMeter::new()),
             scratch: Mutex::new(IoScratch::default()),
@@ -299,27 +312,133 @@ impl SsdDevice {
         &self.config
     }
 
-    /// The FTL (read access for placement inspection). Returns the read
-    /// guard; translation lookups under it run concurrently across
-    /// threads. Do not hold it across a call that allocates or trims.
-    pub fn ftl(&self) -> RwLockReadGuard<'_, Ftl> {
-        self.ftl.read().unwrap_or_else(PoisonError::into_inner)
+    /// Number of FTL shards (one per channel).
+    pub fn ftl_shard_count(&self) -> usize {
+        self.ftl_shards.len()
     }
 
-    /// The FTL write guard — allocation, trim and remap go through here.
-    fn ftl_mut(&self) -> std::sync::RwLockWriteGuard<'_, Ftl> {
-        self.ftl.write().unwrap_or_else(PoisonError::into_inner)
+    /// One channel's FTL shard (read access for placement inspection).
+    /// Translation lookups under it run concurrently across threads. Do
+    /// not hold it across a call that allocates or trims, and never hold
+    /// two shard guards at once.
+    pub fn ftl_shard(&self, channel: usize) -> RwLockReadGuard<'_, Ftl> {
+        self.ftl_shards[channel].read().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Mutable FTL access for the `flash_cosmos::audit` mutation harness
-    /// **only**: it deliberately bypasses the epoch-bump discipline of the
-    /// core device's `ssd_mut()` chokepoint so seeded corruptions land
-    /// without structurally invalidating the state under test. Never use
-    /// it to mutate a live device — `fc-xtask lint-mutators` flags any
-    /// reference outside the audit allowlist.
+    /// One shard's write guard — allocation, trim and remap go through
+    /// here, one shard at a time.
+    fn ftl_shard_mut(&self, channel: usize) -> std::sync::RwLockWriteGuard<'_, Ftl> {
+        self.ftl_shards[channel].write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Mutable FTL-shard access for the `flash_cosmos::audit` mutation
+    /// harness **only**: it deliberately bypasses the epoch-bump
+    /// discipline of the core device's `ssd_mut()` chokepoint so seeded
+    /// corruptions land without structurally invalidating the state under
+    /// test. Never use it to mutate a live device — `fc-xtask
+    /// lint-mutators` flags any reference outside the audit allowlist.
     #[doc(hidden)]
-    pub fn ftl_mut_for_audit(&mut self) -> &mut Ftl {
-        self.ftl.get_mut().unwrap_or_else(PoisonError::into_inner)
+    pub fn ftl_mut_for_audit(&mut self, channel: usize) -> &mut Ftl {
+        self.ftl_shards[channel].get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The shard a *new* allocation for `lpn` under `placement` belongs
+    /// to. Grouped placement with an explicit plane routes by that
+    /// plane's channel (placement decides residency — the FC108
+    /// lockstep); grouped placement without affinity routes by a stable
+    /// hash of the group key, so every member of a group reaches the
+    /// same shard's block cursor; striped data hashes by lpn.
+    fn route(&self, lpn: u64, placement: &PlacementHint) -> usize {
+        match placement {
+            PlacementHint::Grouped { plane: Some(p), .. } => self.config.channel_of_plane(*p),
+            PlacementHint::Grouped { group, plane: None } => self.group_home(*group),
+            PlacementHint::Striped => (lpn % self.ftl_shards.len() as u64) as usize,
+        }
+    }
+
+    /// Stable shard choice for a group with no plane affinity.
+    fn group_home(&self, g: crate::ftl::GroupKey) -> usize {
+        let mut h = g.group.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= g.slot.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= g.overflow.wrapping_mul(0x94D0_49BB_1331_11EB);
+        (h % self.ftl_shards.len() as u64) as usize
+    }
+
+    /// Finds the shard holding `lpn`'s mapping: probes the home shard
+    /// (`lpn % channels`) first, then the rest — guards are taken one at
+    /// a time, never nested.
+    fn probe(&self, lpn: u64) -> Option<(usize, Ppa, PageMeta)> {
+        let n = self.ftl_shards.len();
+        let home = (lpn % n as u64) as usize;
+        for i in 0..n {
+            let s = (home + i) % n;
+            let guard = self.ftl_shard(s);
+            if let Some(ppa) = guard.translate(lpn) {
+                let meta = guard.meta(lpn).expect("mapped pages always carry metadata");
+                return Some((s, ppa, meta));
+            }
+        }
+        None
+    }
+
+    /// A logical page's physical address and metadata, if mapped.
+    pub fn lookup(&self, lpn: u64) -> Option<(Ppa, PageMeta)> {
+        self.probe(lpn).map(|(_, ppa, meta)| (ppa, meta))
+    }
+
+    /// A logical page's physical address, if mapped.
+    pub fn translate(&self, lpn: u64) -> Option<Ppa> {
+        self.probe(lpn).map(|(_, ppa, _)| ppa)
+    }
+
+    /// A logical page's metadata, if mapped.
+    pub fn page_meta(&self, lpn: u64) -> Option<PageMeta> {
+        self.probe(lpn).map(|(_, _, meta)| meta)
+    }
+
+    /// Mapped logical pages across every shard.
+    pub fn mapped_pages(&self) -> usize {
+        (0..self.ftl_shards.len()).map(|s| self.ftl_shard(s).mapped_pages()).sum()
+    }
+
+    /// A point-in-time copy of every mapping (shard by shard — the walk
+    /// that scrubbing, grown-defect discovery, and the `fc_audit`
+    /// residency pass run over; not a hot path).
+    pub fn mapped_snapshot(&self) -> Vec<(u64, Ppa, PageMeta)> {
+        let mut out = Vec::with_capacity(self.mapped_pages());
+        for s in 0..self.ftl_shards.len() {
+            out.extend(self.ftl_shard(s).iter_mapped());
+        }
+        out
+    }
+
+    /// Blocks already allocated per flat plane, across every shard in
+    /// global plane order — the block pressure the core layer consults
+    /// to spread placement groups across dies.
+    pub fn plane_pressures(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.config.total_planes());
+        for s in 0..self.ftl_shards.len() {
+            out.extend_from_slice(self.ftl_shard(s).plane_pressures());
+        }
+        out
+    }
+
+    /// The global flat plane the next striped allocation for `lpn` would
+    /// land on (the round-robin cursor of `lpn`'s home shard).
+    pub fn next_striped_plane_for(&self, lpn: u64) -> usize {
+        let home = (lpn % self.ftl_shards.len() as u64) as usize;
+        self.ftl_shard(home).next_striped_plane()
+    }
+
+    /// The global flat plane a grouped allocation with this key and
+    /// affinity would land on, without allocating (routed to the shard
+    /// the allocation itself would reach).
+    pub fn group_plane(&self, group: crate::ftl::GroupKey, plane: Option<usize>) -> usize {
+        let shard = match plane {
+            Some(p) => self.config.channel_of_plane(p),
+            None => self.group_home(group),
+        };
+        self.ftl_shard(shard).group_plane(group, plane)
     }
 
     /// The ECC correction margin as a fraction: `t / n` of the current
@@ -393,7 +512,8 @@ impl SsdDevice {
             return Err(DeviceError::PayloadSize { got: payload.len(), expected });
         }
         let stored = self.build_stored(payload, opts.meta);
-        let ppa = self.ftl_mut().allocate(lpn, opts.placement, opts.meta)?;
+        let shard = self.route(lpn, &opts.placement);
+        let ppa = self.ftl_shard_mut(shard).allocate(lpn, opts.placement, opts.meta)?;
         let addr = wl_addr(ppa);
         let die = ppa.plane.die;
         self.chip_exec(die).execute(Command::Program {
@@ -446,7 +566,8 @@ impl SsdDevice {
         let stored: Vec<BitVec> =
             payloads.iter().map(|p| if inverted { p.not() } else { p.clone() }).collect();
         let ppa = {
-            let mut ftl = self.ftl_mut();
+            // All aliases of one wordline live in the base lpn's shard.
+            let mut ftl = self.ftl_shard_mut(self.route(lpns[0], &placement));
             let ppa =
                 ftl.allocate(lpns[0], placement, PageMeta::multi_level(scheme, 0, inverted))?;
             for (b, &lpn) in lpns.iter().enumerate().skip(1) {
@@ -502,11 +623,7 @@ impl SsdDevice {
     /// Fails on unmapped pages, chip errors, or ECC failures that stay
     /// uncorrectable after the whole retry ladder.
     pub fn read(&self, lpn: u64) -> Result<BitVec, DeviceError> {
-        let (ppa, meta) = {
-            let ftl = self.ftl();
-            let ppa = ftl.translate(lpn).ok_or(DeviceError::NotMapped(lpn))?;
-            (ppa, ftl.meta(lpn).expect("mapped pages always carry metadata"))
-        };
+        let (ppa, meta) = self.lookup(lpn).ok_or(DeviceError::NotMapped(lpn))?;
         let addr = wl_addr(ppa);
         self.health.reads.fetch_add(1, Ordering::Relaxed);
         let mode = meta.scheme.cell_mode();
@@ -583,7 +700,7 @@ impl SsdDevice {
 
     /// The physical wordline address of a logical page, if mapped.
     pub fn locate(&self, lpn: u64) -> Option<(DieId, WlAddr)> {
-        self.ftl().translate(lpn).map(|ppa| (ppa.plane.die, wl_addr(ppa)))
+        self.translate(lpn).map(|ppa| (ppa.plane.die, wl_addr(ppa)))
     }
 
     /// Unmaps a logical page (trim): out-of-place overwrites retire the
@@ -591,7 +708,8 @@ impl SsdDevice {
     /// bits until a (future) garbage collector erases the block — exactly
     /// like a real drive. Returns the freed physical address, if any.
     pub fn trim(&self, lpn: u64) -> Option<Ppa> {
-        self.ftl_mut().trim(lpn)
+        let (shard, _, _) = self.probe(lpn)?;
+        self.ftl_shard_mut(shard).trim(lpn)
     }
 
     /// Assembles the raw stored page for a logical payload: optional
@@ -632,12 +750,7 @@ impl SsdDevice {
         placement: PlacementHint,
         meta: PageMeta,
     ) -> Result<bool, DeviceError> {
-        let (old_meta, old_ppa) = {
-            let ftl = self.ftl();
-            let meta = ftl.meta(lpn).ok_or(DeviceError::NotMapped(lpn))?;
-            let ppa = ftl.translate(lpn).ok_or(DeviceError::NotMapped(lpn))?;
-            (meta, ppa)
-        };
+        let (old_shard, old_ppa, old_meta) = self.probe(lpn).ok_or(DeviceError::NotMapped(lpn))?;
         if old_meta.scheme.cell_mode().bits_per_cell() > 1
             || meta.scheme.cell_mode().bits_per_cell() > 1
         {
@@ -654,12 +767,10 @@ impl SsdDevice {
         // remapping: cross-die moves (and metadata changes) must read the
         // logical payload first — reading after remap would chase the new
         // address.
-        let target_plane = {
-            let ftl = self.ftl();
-            match placement {
-                PlacementHint::Grouped { group, plane } => ftl.group_plane(group, plane),
-                PlacementHint::Striped => ftl.next_striped_plane(),
-            }
+        let target_shard = self.route(lpn, &placement);
+        let target_plane = match placement {
+            PlacementHint::Grouped { group, plane } => self.group_plane(group, plane),
+            PlacementHint::Striped => self.ftl_shard(target_shard).next_striped_plane(),
         };
         let same_die = crate::topology::PlaneId::from_flat(target_plane, &self.config).die
             == old_ppa.plane.die;
@@ -668,7 +779,19 @@ impl SsdDevice {
         // descramble with the wrong keystream on read.
         let use_copyback = compatible && same_die && !meta.randomized;
         let payload = if use_copyback { None } else { Some(self.read(lpn)?) };
-        let (old, new) = self.ftl_mut().remap(lpn, placement, meta)?;
+        let (old, new) = if target_shard == old_shard {
+            self.ftl_shard_mut(target_shard).remap(lpn, placement, meta)?
+        } else {
+            // Cross-channel move: allocate in the destination shard first
+            // (the old mapping survives an allocation failure), then
+            // retire the source entry — guards taken one at a time.
+            let new = self.ftl_shard_mut(target_shard).allocate(lpn, placement, meta)?;
+            let old = self
+                .ftl_shard_mut(old_shard)
+                .trim(lpn)
+                .expect("probed mapping is still present under exclusive migration");
+            (old, new)
+        };
         let old_addr = wl_addr(old);
         let new_addr = wl_addr(new);
         if use_copyback {

@@ -184,16 +184,27 @@ struct GroupCursor {
 }
 
 /// The page-mapped FTL.
+///
+/// An FTL instance owns a contiguous *plane domain*: the whole SSD for
+/// [`Ftl::new`], or one channel's planes for [`Ftl::for_channel`] (the
+/// per-channel shards the device layer serializes independently). All
+/// plane indices crossing the API are global flat indices; allocation
+/// never leaves the domain, which is exactly the shard↔channel lockstep
+/// audit code FC108 verifies.
 #[derive(Debug, Clone)]
 pub struct Ftl {
+    /// Planes in this FTL's domain.
     planes: usize,
+    /// Global flat index of the domain's first plane (0 for a whole-SSD
+    /// FTL; `channel × planes_per_channel` for a channel shard).
+    plane_lo: usize,
     wls_per_block: u32,
     blocks_per_plane: u32,
     /// One entry per mapped logical page: its physical address and
     /// metadata live together, so translation+metadata reads and the
     /// full-device walks ([`Ftl::iter_mapped`]) cost one lookup, not two.
     map: HashMap<u64, (Ppa, PageMeta)>,
-    /// Next free block per plane (blocks are allocated whole).
+    /// Next free block per domain plane (blocks are allocated whole).
     next_block: Vec<u32>,
     /// Striped-allocation cursor: (plane, open block, next wordline).
     stripe_cursor: usize,
@@ -203,11 +214,21 @@ pub struct Ftl {
 }
 
 impl Ftl {
-    /// Creates an empty FTL for the given SSD.
+    /// Creates an empty FTL over every plane of the SSD.
     pub fn new(config: &SsdConfig) -> Self {
-        let planes = config.total_planes();
+        Self::with_domain(config, 0, config.total_planes())
+    }
+
+    /// Creates an empty FTL shard over one channel's planes.
+    pub fn for_channel(config: &SsdConfig, channel: usize) -> Self {
+        let per = config.planes_per_channel();
+        Self::with_domain(config, channel * per, per)
+    }
+
+    fn with_domain(config: &SsdConfig, plane_lo: usize, planes: usize) -> Self {
         Self {
             planes,
+            plane_lo,
             wls_per_block: config.wls_per_block as u32,
             blocks_per_plane: config.blocks_per_plane as u32,
             map: HashMap::new(),
@@ -217,6 +238,16 @@ impl Ftl {
             groups: HashMap::new(),
             config: config.clone(),
         }
+    }
+
+    /// The domain's first global flat plane index.
+    pub fn domain_start(&self) -> usize {
+        self.plane_lo
+    }
+
+    /// Whether a global flat plane index falls in this FTL's domain.
+    pub fn owns_plane(&self, flat_plane: usize) -> bool {
+        (self.plane_lo..self.plane_lo + self.planes).contains(&flat_plane)
     }
 
     /// Number of mapped logical pages.
@@ -268,6 +299,7 @@ impl Ftl {
         Ok(ppa)
     }
 
+    /// `plane` is domain-local here (0-based within the shard).
     fn take_block(&mut self, plane: usize) -> Result<u32, FtlError> {
         let b = self.next_block[plane];
         if b >= self.blocks_per_plane {
@@ -286,7 +318,7 @@ impl Ftl {
         };
         self.stripe_open[plane] =
             if wl + 1 < self.wls_per_block { Some((block, wl + 1)) } else { None };
-        Ok(Ppa { plane: PlaneId::from_flat(plane, &self.config), block, wl })
+        Ok(Ppa { plane: PlaneId::from_flat(self.plane_lo + plane, &self.config), block, wl })
     }
 
     /// Maps `lpn` onto the physical page that already backs `to`
@@ -329,28 +361,31 @@ impl Ftl {
         Ok((old, new))
     }
 
-    /// Blocks already allocated per flat plane — the block pressure the
+    /// Blocks already allocated per domain plane (index 0 is the domain's
+    /// first plane, [`Ftl::domain_start`]) — the block pressure the
     /// device layer consults to spread placement groups across dies.
     pub fn plane_pressures(&self) -> &[u32] {
         &self.next_block
     }
 
-    /// The plane with the fewest allocated blocks (lowest index on ties)
-    /// — the default placement domain for grouped allocations without an
-    /// explicit plane affinity.
+    /// The domain plane with the fewest allocated blocks (lowest index on
+    /// ties), as a global flat index — the default placement for grouped
+    /// allocations without an explicit plane affinity.
     pub fn least_loaded_plane(&self) -> usize {
-        self.next_block
-            .iter()
-            .enumerate()
-            .min_by_key(|&(plane, &pressure)| (pressure, plane))
-            .map(|(plane, _)| plane)
-            .expect("an SSD has at least one plane")
+        self.plane_lo
+            + self
+                .next_block
+                .iter()
+                .enumerate()
+                .min_by_key(|&(plane, &pressure)| (pressure, plane))
+                .map(|(plane, _)| plane)
+                .expect("an SSD has at least one plane")
     }
 
-    /// The flat plane the next striped allocation would land on, without
-    /// allocating (the round-robin cursor's position).
+    /// The global flat plane the next striped allocation would land on,
+    /// without allocating (the round-robin cursor's position).
     pub fn next_striped_plane(&self) -> usize {
-        self.stripe_cursor
+        self.plane_lo + self.stripe_cursor
     }
 
     /// The flat plane a grouped allocation with this key and affinity
@@ -365,17 +400,22 @@ impl Ftl {
         }
     }
 
+    /// Group cursors store global flat planes; `take_block` wants
+    /// domain-local ones.
     fn allocate_grouped(&mut self, group: GroupKey, plane: Option<usize>) -> Result<Ppa, FtlError> {
         let cursor = match self.groups.get(&group).copied() {
             Some(c) => c,
             None => {
                 if let Some(p) = plane {
-                    if p >= self.planes {
-                        return Err(FtlError::PlaneOutOfRange { plane: p, planes: self.planes });
+                    if !self.owns_plane(p) {
+                        return Err(FtlError::PlaneOutOfRange {
+                            plane: p,
+                            planes: self.plane_lo + self.planes,
+                        });
                     }
                 }
                 let plane = plane.unwrap_or_else(|| self.least_loaded_plane());
-                let block = self.take_block(plane)?;
+                let block = self.take_block(plane - self.plane_lo)?;
                 GroupCursor { plane, block, next_wl: 0 }
             }
         };
@@ -389,6 +429,15 @@ impl Ftl {
         };
         self.groups.insert(group, GroupCursor { next_wl: cursor.next_wl + 1, ..cursor });
         Ok(ppa)
+    }
+
+    /// Force-inserts a mapping, bypassing allocation — the `fc_audit`
+    /// mutation harness's hook for planting a mapping in the *wrong*
+    /// channel shard so FC108 has something to catch. Never call this
+    /// outside the audit harness.
+    #[doc(hidden)]
+    pub fn adopt_for_audit(&mut self, lpn: u64, ppa: Ppa, meta: PageMeta) {
+        self.map.insert(lpn, (ppa, meta));
     }
 }
 
@@ -418,6 +467,39 @@ mod tests {
 
     fn grouped(group: GroupKey, plane: Option<usize>) -> PlacementHint {
         PlacementHint::Grouped { group, plane }
+    }
+
+    #[test]
+    fn channel_shard_allocates_only_its_domain() {
+        let cfg = SsdConfig::tiny_test(); // 2 channels × 4 planes each
+        let mut shard = Ftl::for_channel(&cfg, 1);
+        assert_eq!(shard.domain_start(), 4);
+        assert!(!shard.owns_plane(3) && shard.owns_plane(4) && !shard.owns_plane(8));
+        // Striped allocations rotate the shard's planes (4..8) only.
+        for i in 0..8u64 {
+            let ppa = shard.allocate(i, PlacementHint::Striped, PageMeta::conventional()).unwrap();
+            let flat = ppa.plane.flat(&cfg);
+            assert_eq!(flat, 4 + (i as usize % 4), "stays in channel 1's domain");
+            assert_eq!(ppa.plane.die.channel, 1);
+        }
+        assert_eq!(shard.next_striped_plane(), 4);
+        assert_eq!(shard.least_loaded_plane(), 4);
+        assert_eq!(shard.plane_pressures().len(), 4, "pressures are domain-local");
+        // Grouped affinity outside the domain is rejected; inside works.
+        let err = shard
+            .allocate(100, grouped(GroupKey::new(9, 0), Some(0)), PageMeta::flash_cosmos(false))
+            .unwrap_err();
+        assert!(matches!(err, FtlError::PlaneOutOfRange { plane: 0, .. }));
+        let ppa = shard
+            .allocate(100, grouped(GroupKey::new(9, 0), Some(5)), PageMeta::flash_cosmos(false))
+            .unwrap();
+        assert_eq!(ppa.plane.flat(&cfg), 5);
+        assert_eq!(shard.group_plane(GroupKey::new(9, 0), None), 5);
+        // Default (least-loaded) grouped placement also stays in-domain.
+        let ppa = shard
+            .allocate(101, grouped(GroupKey::new(10, 0), None), PageMeta::flash_cosmos(false))
+            .unwrap();
+        assert!(shard.owns_plane(ppa.plane.flat(&cfg)));
     }
 
     #[test]

@@ -139,6 +139,16 @@ pub fn append_die_jobs(batch: &mut Vec<Vec<SenseJob>>, jobs: Vec<Vec<SenseJob>>)
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DieQueues {
     busy_us: Vec<f64>,
+    /// Per-channel bus occupancy, µs: output transfers queued via
+    /// [`DieQueues::push_transfer`]. Senses/programs occupy only the die;
+    /// transfers occupy only the channel, so the two lanes overlap and
+    /// the modeled completion time is [`DieQueues::critical_path_us`] —
+    /// max(busiest die, busiest channel).
+    chan_us: Vec<f64>,
+    /// Dies sharing each channel bus (flat die `d` transfers over channel
+    /// `d / dies_per_channel`). `0` means unconfigured: each die gets its
+    /// own lane, so legacy die-only trackers model no bus contention.
+    dies_per_channel: usize,
     /// Total fill-in (background/maintenance) latency accepted via
     /// [`DieQueues::try_fill`], µs. Included in `busy_us` as well — this
     /// is the attribution split, not extra time.
@@ -148,7 +158,18 @@ pub struct DieQueues {
 impl DieQueues {
     /// An empty tracker for `dies` dies (it also grows on demand).
     pub fn new(dies: usize) -> Self {
-        Self { busy_us: vec![0.0; dies], filled_us: 0.0 }
+        Self { busy_us: vec![0.0; dies], chan_us: Vec::new(), dies_per_channel: 0, filled_us: 0.0 }
+    }
+
+    /// An empty tracker with the channel topology of `config`: transfers
+    /// pushed for die `d` occupy channel `d / dies_per_channel`.
+    pub fn for_config(config: &SsdConfig) -> Self {
+        Self {
+            busy_us: vec![0.0; config.total_dies()],
+            chan_us: vec![0.0; config.channels],
+            dies_per_channel: config.dies_per_channel,
+            filled_us: 0.0,
+        }
     }
 
     /// Queues `latency_us` of work on a die (flat index).
@@ -159,6 +180,17 @@ impl DieQueues {
         self.busy_us[die] += latency_us;
     }
 
+    /// Queues `latency_us` of output transfer on the channel bus serving
+    /// `die` (flat index). The die itself stays free — the cache latch
+    /// lets the next sense overlap the outgoing transfer (§3.1).
+    pub fn push_transfer(&mut self, die: usize, latency_us: f64) {
+        let ch = die / self.dies_per_channel.max(1);
+        if ch >= self.chan_us.len() {
+            self.chan_us.resize(ch + 1, 0.0);
+        }
+        self.chan_us[ch] += latency_us;
+    }
+
     /// Folds another tracker's queues into this one (per-die sums) — the
     /// combined occupancy of several batches draining together.
     pub fn merge(&mut self, other: &DieQueues) {
@@ -167,6 +199,15 @@ impl DieQueues {
         }
         for (acc, &b) in self.busy_us.iter_mut().zip(&other.busy_us) {
             *acc += b;
+        }
+        if self.chan_us.len() < other.chan_us.len() {
+            self.chan_us.resize(other.chan_us.len(), 0.0);
+        }
+        for (acc, &b) in self.chan_us.iter_mut().zip(&other.chan_us) {
+            *acc += b;
+        }
+        if self.dies_per_channel == 0 {
+            self.dies_per_channel = other.dies_per_channel;
         }
         self.filled_us += other.filled_us;
     }
@@ -209,9 +250,27 @@ impl DieQueues {
     }
 
     /// The busiest die's total queued latency, µs — the modeled critical
-    /// path of draining every queue concurrently.
+    /// path of draining every die queue concurrently (die lanes only; see
+    /// [`DieQueues::critical_path_us`] for the channel-aware path).
     pub fn busiest_us(&self) -> f64 {
         self.busy_us.iter().fold(0.0, |a, &b| a.max(b))
+    }
+
+    /// The busiest channel bus's total transfer time, µs.
+    pub fn busiest_channel_us(&self) -> f64 {
+        self.chan_us.iter().fold(0.0, |a, &b| a.max(b))
+    }
+
+    /// The modeled completion time of draining everything queued: dies
+    /// sense concurrently while channels stream concurrently, so the
+    /// critical path is max(busiest die, busiest channel).
+    pub fn critical_path_us(&self) -> f64 {
+        self.busiest_us().max(self.busiest_channel_us())
+    }
+
+    /// Whether the channel bus (not die sensing) bounds the critical path.
+    pub fn channel_bound(&self) -> bool {
+        self.busiest_channel_us() > self.busiest_us()
     }
 
     /// Total queued latency across all dies, µs (the serial-equivalent
@@ -225,14 +284,25 @@ impl DieQueues {
         self.busy_us.iter().filter(|&&b| b > 0.0).count()
     }
 
+    /// Number of channels with non-empty transfer lanes.
+    pub fn channels_busy(&self) -> usize {
+        self.chan_us.iter().filter(|&&b| b > 0.0).count()
+    }
+
     /// Per-die occupancy, µs, indexed by flat die id.
     pub fn occupancy_us(&self) -> &[f64] {
         &self.busy_us
     }
 
+    /// Per-channel bus occupancy, µs, indexed by channel id.
+    pub fn channel_occupancy_us(&self) -> &[f64] {
+        &self.chan_us
+    }
+
     /// Empties every queue.
     pub fn clear(&mut self) {
         self.busy_us.iter_mut().for_each(|b| *b = 0.0);
+        self.chan_us.iter_mut().for_each(|b| *b = 0.0);
         self.filled_us = 0.0;
     }
 }
@@ -318,11 +388,12 @@ impl SharedDieQueues {
 /// instead of executing back to back.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct OverlapReport {
-    /// Critical path of the combined per-die queues (busiest die of the
-    /// element-wise sum), µs.
+    /// Critical path of the combined queues — max(busiest die, busiest
+    /// channel) of the element-wise sum, µs.
     pub combined_critical_us: f64,
-    /// Sum of each batch's standalone critical path (busiest die per
-    /// batch), µs — what serial submission would cost.
+    /// Sum of each batch's standalone critical path (max of busiest die
+    /// and busiest channel per batch), µs — what serial submission would
+    /// cost.
     pub serial_critical_us: f64,
 }
 
@@ -342,9 +413,9 @@ pub fn overlap_report(batches: &[DieQueues]) -> OverlapReport {
     let mut serial = 0.0;
     for b in batches {
         combined.merge(b);
-        serial += b.busiest_us();
+        serial += b.critical_path_us();
     }
-    OverlapReport { combined_critical_us: combined.busiest_us(), serial_critical_us: serial }
+    OverlapReport { combined_critical_us: combined.critical_path_us(), serial_critical_us: serial }
 }
 
 /// A per-die trace entry (used to print Fig. 7-style timelines).
@@ -718,6 +789,47 @@ mod tests {
         grow.push(5, 2.0);
         assert_eq!(grow.occupancy_us().len(), 6);
         assert_eq!(grow.busiest_us(), 2.0);
+    }
+
+    #[test]
+    fn channel_lane_tracks_bus_contention() {
+        let cfg = SsdConfig::tiny_test(); // 2 channels × 2 dies
+        let mut q = DieQueues::for_config(&cfg);
+        // Senses occupy dies only; the channel lane stays empty.
+        q.push(0, 25.0);
+        q.push(2, 25.0);
+        assert_eq!(q.busiest_us(), 25.0);
+        assert_eq!(q.busiest_channel_us(), 0.0);
+        assert_eq!(q.critical_path_us(), 25.0);
+        assert!(!q.channel_bound());
+        // Dies 0 and 1 share channel 0: their transfers serialize on the
+        // bus while the dies themselves stay free.
+        q.push_transfer(0, 20.0);
+        q.push_transfer(1, 20.0);
+        q.push_transfer(2, 20.0); // channel 1, no contention
+        assert_eq!(q.busiest_us(), 25.0, "transfers do not occupy dies");
+        assert_eq!(q.busiest_channel_us(), 40.0);
+        assert_eq!(q.channel_occupancy_us(), &[40.0, 20.0]);
+        assert_eq!(q.channels_busy(), 2);
+        assert_eq!(q.critical_path_us(), 40.0, "channel bus bounds the drain");
+        assert!(q.channel_bound());
+        // merge folds channel lanes; overlap_report sees bus contention.
+        let mut other = DieQueues::for_config(&cfg);
+        other.push_transfer(3, 15.0); // channel 1
+        let report = overlap_report(&[q.clone(), other.clone()]);
+        assert_eq!(report.serial_critical_us, 55.0, "40 + 15 back to back");
+        assert_eq!(report.combined_critical_us, 40.0, "disjoint channels overlap");
+        q.merge(&other);
+        assert_eq!(q.channel_occupancy_us(), &[40.0, 35.0]);
+        // Legacy trackers (no channel topology) give each die its own
+        // lane, modeling no bus contention.
+        let mut legacy = DieQueues::new(4);
+        legacy.push_transfer(0, 10.0);
+        legacy.push_transfer(1, 10.0);
+        assert_eq!(legacy.busiest_channel_us(), 10.0);
+        q.clear();
+        assert_eq!(q.busiest_channel_us(), 0.0);
+        assert_eq!(q.channels_busy(), 0);
     }
 
     #[test]
